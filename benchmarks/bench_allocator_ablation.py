@@ -1,0 +1,19 @@
+"""Design-choice ablation: first-fit arena vs greedy-by-size planning
+(DESIGN.md's allocator axis). Both must stay close to the sum-of-live
+lower bound on the SERENITY schedules."""
+
+from repro.experiments import ablations
+
+
+def test_allocator_strategy_ablation(benchmark, save_result):
+    rows = benchmark.pedantic(
+        ablations.allocator_ablation, rounds=1, iterations=1
+    )
+    save_result("allocator_ablation", ablations.render_allocator(rows))
+
+    for r in rows:
+        assert r.first_fit_kb >= r.ideal_kb - 1e-9
+        assert r.greedy_kb >= r.ideal_kb - 1e-9
+        # fragmentation stays bounded on these workloads
+        assert r.first_fit_kb <= 2.0 * r.ideal_kb
+        assert r.greedy_kb <= 2.0 * r.ideal_kb

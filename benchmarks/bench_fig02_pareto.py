@@ -1,0 +1,14 @@
+"""Fig 2 / Fig 14: the accuracy-vs-compute landscape (quoted data) and
+the irregular family's Pareto dominance."""
+
+from repro.experiments import fig2_pareto
+
+
+def test_fig2_pareto_landscape(benchmark, save_result):
+    result = benchmark.pedantic(fig2_pareto.run, rounds=1, iterations=1)
+    save_result("fig02_pareto", fig2_pareto.render(result))
+
+    summary = result["summary"]
+    # the paper's claim: irregular networks dominate the frontier
+    assert summary["irregular_share"] >= 0.5
+    assert summary["frontier_size"] >= 5

@@ -1,0 +1,30 @@
+"""Fig 3(b): the schedule-space peak-memory CDF for SwiftNet Cell A.
+
+Paper: only 4.1 % of schedules meet the SparkFun Edge's 250 KB and
+0.04 % are optimal. The reproducible shape: feasible-fraction under a
+tight (1.25x-optimal) budget is a small minority, and optimal schedules
+are rare.
+"""
+
+from repro.experiments import fig3_cdf
+
+
+def test_fig3_schedule_space_cdf(benchmark, save_result):
+    result = benchmark.pedantic(
+        fig3_cdf.run,
+        kwargs={"cell_key": "swiftnet-a", "samples": 4000},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig03_cdf", fig3_cdf.render(result))
+
+    cdf = result.cdf
+    # optimal is rare: under 5% of sampled schedules achieve it
+    assert result.fraction_optimal < 0.05
+    # the matched relative budget (1.25x optimal, = the paper's 250KB
+    # relative to its cell) admits only a minority of schedules
+    assert cdf.fraction_within(1.25 * result.optimal_bytes) < 0.5
+    # no sampled schedule beats the DP optimum (Theorem 1, in the wild)
+    assert cdf.optimal_bytes >= result.optimal_bytes
+    # the spread is wide — the figure's motivation
+    assert cdf.worst_bytes > 1.5 * result.optimal_bytes

@@ -1,0 +1,42 @@
+"""Fig 10 + Fig 15: peak-memory reduction vs the TFLite baseline.
+
+Regenerates the paper's headline result over all nine cells: the
+DP-only and DP+rewriting arena peaks, their ratios to the baseline, and
+the geomean (paper: 1.68x / 1.86x).
+"""
+
+from repro.analysis.reporting import geomean
+from repro.experiments import fig10_peak
+
+
+def test_fig10_peak_memory(benchmark, save_result):
+    rows = benchmark.pedantic(fig10_peak.run, rounds=1, iterations=1)
+    save_result("fig10_fig15_peak_memory", fig10_peak.render(rows))
+
+    assert len(rows) == 9
+    for row in rows:
+        # SERENITY never loses to the baseline, rewriting never to DP-only
+        assert row.ratio_dp >= 1.0
+        assert row.ratio_gr >= row.ratio_dp - 1e-9
+
+    gm_dp = geomean([r.ratio_dp for r in rows])
+    gm_gr = geomean([r.ratio_gr for r in rows])
+    # paper: 1.68x / 1.86x; the shape to hold: substantial average
+    # reduction, rewriting adding on top
+    assert gm_dp > 1.3
+    assert gm_gr > gm_dp
+
+    by_key = {r.key: r for r in rows}
+    # rewriting must pay off on the concat-heavy SwiftNet cells...
+    for key in ("swiftnet-a", "swiftnet-b", "swiftnet-c"):
+        assert by_key[key].ratio_gr > by_key[key].ratio_dp
+    # ...and be a no-op on RandWire (no concats) and DARTS (concat sink)
+    for key in (
+        "darts-normal",
+        "randwire-c10-a",
+        "randwire-c10-b",
+        "randwire-c100-a",
+        "randwire-c100-b",
+        "randwire-c100-c",
+    ):
+        assert by_key[key].gr_kb == by_key[key].dp_kb

@@ -1,0 +1,52 @@
+"""Fig 11: off-chip memory traffic under {32,64,128,256} KB on-chip.
+
+Belady-policy two-level simulation of the baseline vs SERENITY
+schedules; paper geomean at 256 KB: 1.76x, with several cells' traffic
+eliminated outright.
+"""
+
+from repro.analysis.reporting import geomean
+from repro.experiments import fig11_offchip
+
+
+def test_fig11_offchip_traffic(benchmark, save_result):
+    cells = benchmark.pedantic(fig11_offchip.run, rounds=1, iterations=1)
+    save_result("fig11_offchip", fig11_offchip.render(cells))
+
+    assert len(cells) == 9
+    # the paper's qualitative claims:
+    # (1) some cells' traffic is eliminated outright by SERENITY
+    eliminated = [
+        (c.key, cap)
+        for c in cells
+        for cap in fig11_offchip.CAPACITIES_KB
+        if c.eliminated_at(cap)
+    ]
+    assert eliminated, "no cell eliminated its off-chip traffic"
+    # (2) at the largest capacity the finite ratios favour SERENITY
+    finite_256 = [
+        c.by_capacity[256][2]
+        for c in cells
+        if c.by_capacity[256][2] not in (None, float("inf"))
+    ]
+    assert finite_256 and geomean(finite_256) > 1.15
+    # (3) cells small enough to fit on-chip under both schedules are N/A
+    assert any(
+        c.by_capacity[256][2] is None for c in cells
+    ), "expected at least one N/A cell at 256KB"
+
+
+def test_fig11_policy_ablation(benchmark, save_result):
+    """Extension: Belady vs LRU vs FIFO at 256 KB (design-choice bench)."""
+    from repro.experiments import ablations
+
+    rows = benchmark.pedantic(
+        ablations.policy_ablation, args=(256,), rounds=1, iterations=1
+    )
+    save_result("fig11_policy_ablation", ablations.render_policy(rows, 256))
+    total = {"belady": 0, "lru": 0, "fifo": 0}
+    for _, t in rows:
+        for k in total:
+            total[k] += t[k]
+    assert total["belady"] <= total["lru"]
+    assert total["belady"] <= total["fifo"]

@@ -1,0 +1,56 @@
+"""Quantisation what-if ablation (extension): int8 scales every peak by
+the dtype ratio while SERENITY's relative wins are invariant."""
+
+from repro.analysis.quantization import cast_graph
+from repro.analysis.reporting import format_table
+from repro.models.suite import get_cell
+from repro.scheduler.dp import dp_schedule
+from repro.scheduler.memory import peak_of
+from repro.scheduler.topological import kahn_schedule
+
+CELLS = ("swiftnet-a", "swiftnet-b", "swiftnet-c")
+
+
+def run():
+    rows = []
+    for key in CELLS:
+        g32 = get_cell(key).factory()
+        g8 = cast_graph(g32, "int8")
+        rows.append(
+            (
+                key,
+                peak_of(g32, kahn_schedule(g32)),
+                dp_schedule(g32, max_states_per_step=50_000).peak_bytes,
+                peak_of(g8, kahn_schedule(g8)),
+                dp_schedule(g8, max_states_per_step=50_000).peak_bytes,
+            )
+        )
+    return rows
+
+
+def render(rows) -> str:
+    body = [
+        (
+            key,
+            f"{b32 / 1024:.1f}",
+            f"{o32 / 1024:.1f}",
+            f"{b8 / 1024:.1f}",
+            f"{o8 / 1024:.1f}",
+            f"{b32 / o32:.2f}x / {b8 / o8:.2f}x",
+        )
+        for key, b32, o32, b8, o8 in rows
+    ]
+    return format_table(
+        ("cell", "fp32 base KB", "fp32 DP KB", "int8 base KB", "int8 DP KB", "ratios"),
+        body,
+        title="Ablation - precision vs peak (scheduling gains are dtype-invariant)",
+    )
+
+
+def test_quantization_ablation(benchmark, save_result):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("quantization_ablation", render(rows))
+    for key, b32, o32, b8, o8 in rows:
+        assert b32 == 4 * b8, key   # peaks scale exactly with width
+        assert o32 == 4 * o8, key
+        assert b32 / o32 == b8 / o8  # relative win invariant

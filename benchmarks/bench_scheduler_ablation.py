@@ -1,0 +1,63 @@
+"""Scheduler-family ablation (extension): where does each class of
+scheduler land between the TFLite baseline and the DP optimum?
+
+Compares memory-oblivious orders (Kahn, DFS), the greedy memory-aware
+list scheduler, simulated annealing (a generic metaheuristic), and the
+exact DP, on the fast cells of the suite. The gaps motivate the paper's
+design: greedy and annealing close part of the distance but only the DP
+is reliably optimal — at interactive compile times.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.models.suite import get_cell
+from repro.scheduler.annealing import anneal_schedule
+from repro.scheduler.dp import dp_schedule
+from repro.scheduler.greedy import greedy_schedule
+from repro.scheduler.memory import peak_of
+from repro.scheduler.topological import dfs_schedule, kahn_schedule
+
+CELLS = ("swiftnet-a", "swiftnet-b", "swiftnet-c", "randwire-c100-c")
+
+
+def run():
+    rows = []
+    for key in CELLS:
+        g = get_cell(key).factory()
+        peaks = {
+            "kahn": peak_of(g, kahn_schedule(g)),
+            "dfs": peak_of(g, dfs_schedule(g)),
+            "greedy": peak_of(g, greedy_schedule(g)),
+            "anneal": anneal_schedule(g, iterations=1500, seed=0).peak_bytes,
+            "dp": dp_schedule(g, max_states_per_step=50_000).peak_bytes,
+        }
+        rows.append((key, peaks))
+    return rows
+
+
+def render(rows) -> str:
+    body = [
+        (
+            key,
+            *(f"{peaks[k] / 1024:.1f}" for k in ("kahn", "dfs", "greedy", "anneal", "dp")),
+            f"{peaks['kahn'] / peaks['dp']:.2f}x",
+        )
+        for key, peaks in rows
+    ]
+    return format_table(
+        ("cell", "kahn KB", "dfs KB", "greedy KB", "anneal KB", "DP KB", "kahn/DP"),
+        body,
+        title="Ablation - scheduler families (peak KB, no allocator)",
+    )
+
+
+def test_scheduler_family_ablation(benchmark, save_result):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("scheduler_ablation", render(rows))
+
+    for key, peaks in rows:
+        # the DP lower-bounds every other scheduler
+        assert all(peaks["dp"] <= v for v in peaks.values()), key
+        # memory-aware heuristics beat at least one oblivious baseline
+        assert peaks["greedy"] <= max(peaks["kahn"], peaks["dfs"]), key
+        # annealing is at least as good as a random restart's baseline
+        assert peaks["anneal"] <= max(peaks["kahn"], peaks["dfs"]), key

@@ -1,0 +1,28 @@
+"""Table 1: specification of the evaluated networks (measured cells vs
+the paper's whole-network figures)."""
+
+from repro.experiments import table1_networks
+
+
+def test_table1_network_specs(benchmark, save_result):
+    rows = benchmark.pedantic(table1_networks.run, rounds=1, iterations=1)
+    save_result("table1_networks", table1_networks.render(rows))
+
+    by_net = {r.network: r for r in rows}
+    assert set(by_net) == {
+        "DARTS",
+        "SwiftNet",
+        "RandWire-CIFAR10",
+        "RandWire-CIFAR100",
+    }
+    # SwiftNet is the full 62-node stacked network
+    assert by_net["SwiftNet"].measured.nodes == 62
+    # every measured cell-set is non-trivial but below the paper's
+    # whole-network MACs (cells < networks)
+    for r in rows:
+        assert 0 < r.measured.macs_m < r.paper_macs_m
+    # CIFAR100 RandWire outweighs CIFAR10 (paper: 160M vs 111M MACs)
+    assert (
+        by_net["RandWire-CIFAR100"].measured.macs
+        > by_net["RandWire-CIFAR10"].measured.macs
+    )

@@ -1,0 +1,33 @@
+"""Benchmark-suite fixtures.
+
+Each benchmark regenerates one table/figure of the paper, saves the
+rendered paper-vs-measured text under ``benchmarks/results/`` and
+asserts the reproduction's qualitative claims. SERENITY compilations are
+cached per process (``repro.experiments.common``), so the suite shares
+one compilation of each cell across figures.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save

@@ -1,0 +1,60 @@
+"""Edge deployment study: will SwiftNet fit a SparkFun-Edge-class device?
+
+Run:  python examples/edge_deployment.py
+
+The motivating scenario of the paper (Section 2.2): a 250 KB
+activation-memory microcontroller. This example compiles the full
+62-node SwiftNet with and without SERENITY, checks the hard memory
+constraint, and sweeps on-chip capacities to show the off-chip traffic
+a device with a memory hierarchy would see (Fig 11's methodology).
+"""
+
+from repro import Serenity, SerenityConfig, kahn_schedule, offchip_traffic
+from repro.analysis.cdf import SPARKFUN_EDGE_BYTES
+from repro.models import swiftnet_hpd
+
+
+def main() -> None:
+    graph = swiftnet_hpd()
+    print(f"network: {graph.name} ({len(graph)} nodes, "
+          f"{graph.total_macs() / 1e6:.1f}M MACs)\n")
+
+    report = Serenity(SerenityConfig(max_states_per_step=20_000)).compile(graph)
+    budget_kb = SPARKFUN_EDGE_BYTES / 1024
+
+    print(f"device activation budget      : {budget_kb:7.1f}KB (SparkFun Edge)")
+    baseline_kb = report.baseline_arena_bytes / 1024
+    ours_kb = report.arena_bytes / 1024
+    verdict = lambda kb: "FITS" if kb <= budget_kb else "DOES NOT FIT"
+    print(f"baseline schedule peak        : {baseline_kb:7.1f}KB  -> "
+          f"{verdict(baseline_kb)}")
+    print(f"SERENITY schedule peak        : {ours_kb:7.1f}KB  -> "
+          f"{verdict(ours_kb)}")
+    if report.divide:
+        sizes = ",".join(str(s) for s in report.divide.partition_sizes)
+        print(f"divide-and-conquer partitions : {{{sizes}}}")
+
+    print("\noff-chip traffic by on-chip capacity (Belady policy):")
+    print(f"  {'capacity':>10}  {'baseline':>12}  {'SERENITY':>12}  {'saving':>8}")
+    baseline_sched = kahn_schedule(graph)
+    for cap_kb in (32, 64, 128, 256, 512):
+        base = offchip_traffic(
+            graph, baseline_sched, cap_kb * 1024
+        ).total_bytes
+        ours = offchip_traffic(
+            report.scheduled_graph, report.schedule, cap_kb * 1024
+        ).total_bytes
+        if base == ours == 0:
+            saving = "on-chip"
+        elif ours == 0:
+            saving = "removed"
+        else:
+            saving = f"{base / ours:.2f}x"
+        print(
+            f"  {cap_kb:>8}KB  {base / 1024:>10.1f}KB  {ours / 1024:>10.1f}KB"
+            f"  {saving:>8}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+"""SERENITY reproduction: memory-aware scheduling of irregularly wired
+neural networks for edge devices (Ahn et al., MLSys 2020).
+
+Quickstart
+----------
+>>> from repro import GraphBuilder, Serenity
+>>> b = GraphBuilder("tiny")
+>>> x = b.input("x", (8, 16, 16))
+>>> l = b.conv2d(x, 8, kernel=3); r = b.conv2d(x, 8, kernel=3)
+>>> y = b.concat([l, r])
+>>> report = Serenity().compile(b.build())
+>>> report.peak_bytes <= report.baseline_peak_bytes
+True
+
+The public surface re-exports the main types; see DESIGN.md for the
+module map and EXPERIMENTS.md for the paper-reproduction results.
+"""
+
+from repro.exceptions import (
+    AllocationError,
+    BudgetSearchError,
+    CycleError,
+    ExecutionError,
+    GraphError,
+    InvalidScheduleError,
+    NoSolutionError,
+    ReproError,
+    RewriteError,
+    SchedulingError,
+    ShapeError,
+    StepTimeoutError,
+    UnknownOpError,
+)
+from repro.graph import (
+    DType,
+    Graph,
+    GraphBuilder,
+    GraphIndex,
+    MemorySemantics,
+    Node,
+    TensorSpec,
+    find_cut_nodes,
+    load_graph,
+    partition_at_cuts,
+    save_graph,
+)
+from repro.scheduler import (
+    SPARKFUN_EDGE,
+    AdaptiveSoftBudgetScheduler,
+    DeviceSpec,
+    anneal_schedule,
+    fit_to_device,
+    BufferModel,
+    DivideAndConquerScheduler,
+    DPScheduler,
+    MemoryTrace,
+    Schedule,
+    Serenity,
+    SerenityConfig,
+    SerenityReport,
+    brute_force_schedule,
+    dfs_schedule,
+    dp_schedule,
+    greedy_schedule,
+    kahn_schedule,
+    peak_of,
+    random_topological,
+    schedule_graph,
+    simulate_schedule,
+)
+from repro.allocator import arena_peak_bytes, plan_allocation
+from repro.analysis import cast_graph
+from repro.memsim import offchip_traffic
+from repro.rewriting import IdentityGraphRewriter, rewrite_graph
+from repro.runtime import Executor, verify_rewrite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graph
+    "Graph",
+    "GraphBuilder",
+    "GraphIndex",
+    "Node",
+    "MemorySemantics",
+    "TensorSpec",
+    "DType",
+    "find_cut_nodes",
+    "partition_at_cuts",
+    "save_graph",
+    "load_graph",
+    # scheduling
+    "Schedule",
+    "BufferModel",
+    "MemoryTrace",
+    "simulate_schedule",
+    "peak_of",
+    "kahn_schedule",
+    "dfs_schedule",
+    "random_topological",
+    "greedy_schedule",
+    "brute_force_schedule",
+    "DPScheduler",
+    "dp_schedule",
+    "AdaptiveSoftBudgetScheduler",
+    "DivideAndConquerScheduler",
+    "Serenity",
+    "SerenityConfig",
+    "SerenityReport",
+    "schedule_graph",
+    "anneal_schedule",
+    "DeviceSpec",
+    "fit_to_device",
+    "SPARKFUN_EDGE",
+    "cast_graph",
+    # memory systems
+    "arena_peak_bytes",
+    "plan_allocation",
+    "offchip_traffic",
+    # rewriting + runtime
+    "IdentityGraphRewriter",
+    "rewrite_graph",
+    "Executor",
+    "verify_rewrite",
+    # exceptions
+    "ReproError",
+    "GraphError",
+    "CycleError",
+    "ShapeError",
+    "UnknownOpError",
+    "SchedulingError",
+    "InvalidScheduleError",
+    "NoSolutionError",
+    "StepTimeoutError",
+    "BudgetSearchError",
+    "AllocationError",
+    "RewriteError",
+    "ExecutionError",
+]

@@ -1,0 +1,23 @@
+"""Linear-arena memory allocators (TFLite-style)."""
+
+from repro.allocator.arena import (
+    AllocationPlan,
+    arena_peak_bytes,
+    first_fit_arena,
+    greedy_by_size_plan,
+    plan_allocation,
+)
+from repro.allocator.export import export_plan, plan_to_dict
+from repro.allocator.lifetimes import BufferLifetime, compute_lifetimes
+
+__all__ = [
+    "AllocationPlan",
+    "BufferLifetime",
+    "compute_lifetimes",
+    "first_fit_arena",
+    "greedy_by_size_plan",
+    "plan_allocation",
+    "arena_peak_bytes",
+    "plan_to_dict",
+    "export_plan",
+]

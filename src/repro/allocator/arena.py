@@ -1,0 +1,163 @@
+"""Offset allocators for a single linear arena.
+
+Two strategies, both returning an :class:`AllocationPlan`:
+
+* :func:`first_fit_arena` — dynamic first-fit in execution order,
+  re-implementing TensorFlow Lite's ``simple_memory_arena`` behaviour
+  (the baseline memory scheme the paper compares under, see the Fig 10
+  footnote). Allocations happen as execution reaches each buffer's start
+  step and take the lowest-offset gap that fits; frees punch holes that
+  later allocations may fill. Fragmentation makes the high-water mark
+  exceed the ideal sum-of-live peak — visible as the allocator overhead
+  in Fig 12(a) vs 12(b).
+
+* :func:`greedy_by_size_plan` — TFLite's ahead-of-time
+  ``GreedyBySizePlanner``: place buffers in decreasing size order at the
+  lowest offset compatible with temporally-overlapping, already-placed
+  buffers. Usually tighter than first-fit; included as an ablation
+  (``bench_allocator_ablation``).
+
+Every plan is checked: temporally overlapping buffers must not overlap
+in address space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import AllocationError
+from repro.allocator.lifetimes import BufferLifetime, compute_lifetimes
+from repro.graph.graph import Graph
+from repro.scheduler.memory import BufferModel
+from repro.scheduler.schedule import Schedule
+
+__all__ = [
+    "AllocationPlan",
+    "first_fit_arena",
+    "greedy_by_size_plan",
+    "plan_allocation",
+    "arena_peak_bytes",
+]
+
+
+@dataclass(frozen=True)
+class AllocationPlan:
+    """Byte offsets for every buffer plus the arena high-water mark."""
+
+    strategy: str
+    offsets: dict[int, int]
+    arena_bytes: int
+    lifetimes: tuple[BufferLifetime, ...]
+
+    @property
+    def arena_kib(self) -> float:
+        return self.arena_bytes / 1024.0
+
+    def validate(self) -> "AllocationPlan":
+        """Raise :class:`AllocationError` on address-space overlap of
+        temporally live buffer pairs, or on out-of-arena placement."""
+        lts = list(self.lifetimes)
+        for i, a in enumerate(lts):
+            off_a = self.offsets[a.buffer_id]
+            if off_a < 0 or off_a + a.size > self.arena_bytes:
+                raise AllocationError(
+                    f"buffer {a.buffer_id} at [{off_a}, {off_a + a.size}) "
+                    f"escapes the {self.arena_bytes}-byte arena"
+                )
+            for b in lts[i + 1 :]:
+                if not a.overlaps(b):
+                    continue
+                off_b = self.offsets[b.buffer_id]
+                if off_a < off_b + b.size and off_b < off_a + a.size:
+                    raise AllocationError(
+                        f"live buffers {a.buffer_id} and {b.buffer_id} overlap: "
+                        f"[{off_a}, {off_a + a.size}) vs [{off_b}, {off_b + b.size})"
+                    )
+        return self
+
+
+def _lowest_gap(blocks: list[tuple[int, int]], size: int) -> int:
+    """Lowest offset fitting ``size`` among sorted (offset, size) blocks."""
+    cursor = 0
+    for off, sz in blocks:
+        if off - cursor >= size:
+            return cursor
+        cursor = max(cursor, off + sz)
+    return cursor
+
+
+def first_fit_arena(lifetimes: list[BufferLifetime]) -> AllocationPlan:
+    """Dynamic first-fit in execution order (TFLite simple arena)."""
+    by_start = sorted(lifetimes, key=lambda lt: (lt.start, lt.buffer_id))
+    live: list[tuple[int, int, BufferLifetime]] = []  # (offset, size, lt)
+    offsets: dict[int, int] = {}
+    high_water = 0
+    for lt in by_start:
+        live = [(o, s, x) for (o, s, x) in live if x.end > lt.start]
+        live.sort()
+        offset = _lowest_gap([(o, s) for (o, s, _) in live], lt.size)
+        offsets[lt.buffer_id] = offset
+        live.append((offset, lt.size, lt))
+        high_water = max(high_water, offset + lt.size)
+    return AllocationPlan(
+        strategy="first_fit",
+        offsets=offsets,
+        arena_bytes=high_water,
+        lifetimes=tuple(lifetimes),
+    ).validate()
+
+
+def greedy_by_size_plan(lifetimes: list[BufferLifetime]) -> AllocationPlan:
+    """Ahead-of-time greedy-by-size placement (TFLite planner)."""
+    by_size = sorted(lifetimes, key=lambda lt: (-lt.size, lt.start, lt.buffer_id))
+    placed: list[tuple[int, BufferLifetime]] = []  # (offset, lt)
+    offsets: dict[int, int] = {}
+    high_water = 0
+    for lt in by_size:
+        conflicts = sorted(
+            (off, x.size) for off, x in placed if lt.overlaps(x)
+        )
+        offset = _lowest_gap(conflicts, lt.size)
+        offsets[lt.buffer_id] = offset
+        placed.append((offset, lt))
+        high_water = max(high_water, offset + lt.size)
+    return AllocationPlan(
+        strategy="greedy_by_size",
+        offsets=offsets,
+        arena_bytes=high_water,
+        lifetimes=tuple(lifetimes),
+    ).validate()
+
+
+_STRATEGIES = {
+    "first_fit": first_fit_arena,
+    "greedy_by_size": greedy_by_size_plan,
+}
+
+
+def plan_allocation(
+    graph: Graph,
+    schedule: Schedule,
+    strategy: str = "first_fit",
+    model: BufferModel | None = None,
+) -> AllocationPlan:
+    """Lifetimes + offsets in one call."""
+    try:
+        planner = _STRATEGIES[strategy]
+    except KeyError:
+        raise AllocationError(
+            f"unknown allocation strategy {strategy!r}; "
+            f"choose from {sorted(_STRATEGIES)}"
+        ) from None
+    return planner(compute_lifetimes(graph, schedule, model=model))
+
+
+def arena_peak_bytes(
+    graph: Graph,
+    schedule: Schedule,
+    strategy: str = "first_fit",
+    model: BufferModel | None = None,
+) -> int:
+    """Arena high-water mark of ``schedule`` — the "+ Memory Allocator"
+    metric of Figs 10/12/15."""
+    return plan_allocation(graph, schedule, strategy=strategy, model=model).arena_bytes

@@ -1,0 +1,86 @@
+"""Deployment-artifact export: schedule + arena plan as JSON.
+
+The compiler's end product on a real device is not a Python object but
+an execution order plus a byte offset per buffer inside one arena —
+exactly what TFLite bakes into its flatbuffer. ``export_plan`` emits
+that artifact so a (hypothetical) C runtime could execute the SERENITY
+schedule directly; the document is versioned and round-trip tested.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.allocator.arena import AllocationPlan, plan_allocation
+from repro.graph.analysis import bits
+from repro.graph.graph import Graph
+from repro.scheduler.memory import BufferModel
+from repro.scheduler.schedule import Schedule
+
+__all__ = ["plan_to_dict", "export_plan"]
+
+_FORMAT = "repro-plan/1"
+
+
+def plan_to_dict(
+    graph: Graph,
+    schedule: Schedule,
+    plan: AllocationPlan | None = None,
+    model: BufferModel | None = None,
+) -> dict[str, Any]:
+    """Serialise the deployment artifact.
+
+    Contains the execution order, the arena size, and per-node tensor
+    placement: each node's output buffer id, byte offset and size (nodes
+    sharing a buffer — views, in-place accumulation — share offsets).
+    """
+    model = model or BufferModel.of(graph)
+    plan = plan or plan_allocation(graph, schedule, model=model)
+    idx = model.index
+
+    tensors = []
+    for i, name in enumerate(idx.order):
+        b = model.buffer_of[i]
+        tensors.append(
+            {
+                "node": name,
+                "op": graph.node(name).op,
+                "buffer": b,
+                "offset": plan.offsets[b],
+                "bytes": graph.node(name).output_bytes,
+            }
+        )
+    return {
+        "format": _FORMAT,
+        "graph": graph.name,
+        "arena_bytes": plan.arena_bytes,
+        "strategy": plan.strategy,
+        "schedule": list(schedule.order),
+        "tensors": tensors,
+        "buffers": [
+            {
+                "id": b,
+                "offset": plan.offsets[b],
+                "bytes": model.buf_size[b],
+                "persistent": model.buf_persistent[b],
+                "producers": [idx.order[i] for i in bits(model.buf_members[b])],
+            }
+            for b in range(model.n_buffers)
+        ],
+    }
+
+
+def export_plan(
+    graph: Graph,
+    schedule: Schedule,
+    path: str | Path,
+    strategy: str = "first_fit",
+) -> dict[str, Any]:
+    """Write the artifact to ``path`` and return the document."""
+    model = BufferModel.of(graph)
+    plan = plan_allocation(graph, schedule, strategy=strategy, model=model)
+    doc = plan_to_dict(graph, schedule, plan=plan, model=model)
+    Path(path).write_text(json.dumps(doc, indent=2))
+    return doc

@@ -1,0 +1,74 @@
+"""Buffer lifetime extraction: schedule -> allocation intervals.
+
+Bridges the scheduler's buffer model and the offset allocators: given a
+concrete schedule, every buffer gets a half-open step interval
+``[start, end)`` during which it must hold memory. Graph outputs extend
+to the end of the schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.analysis import bits
+from repro.graph.graph import Graph
+from repro.scheduler.memory import BufferModel
+from repro.scheduler.schedule import Schedule
+
+__all__ = ["BufferLifetime", "compute_lifetimes"]
+
+
+@dataclass(frozen=True)
+class BufferLifetime:
+    """One buffer's demand on the arena."""
+
+    buffer_id: int
+    size: int
+    #: step at which the buffer's first producer executes
+    start: int
+    #: exclusive step bound: the step *after* the last required node
+    end: int
+    #: representative node names (producers), for diagnostics
+    producers: tuple[str, ...]
+
+    @property
+    def steps(self) -> int:
+        return self.end - self.start
+
+    def overlaps(self, other: "BufferLifetime") -> bool:
+        """Temporal overlap — both live during some step."""
+        return self.start < other.end and other.start < self.end
+
+
+def compute_lifetimes(
+    graph: Graph,
+    schedule: Schedule,
+    model: BufferModel | None = None,
+) -> list[BufferLifetime]:
+    """Lifetimes of all buffers under ``schedule``, ordered by start."""
+    model = model or BufferModel.of(graph)
+    idx = model.index
+    pos = schedule.positions()
+    n = len(schedule)
+
+    out: list[BufferLifetime] = []
+    for b in range(model.n_buffers):
+        member_steps = [pos[idx.order[i]] for i in bits(model.buf_members[b])]
+        start = min(member_steps)
+        if model.buf_persistent[b]:
+            end = n
+        else:
+            end = max(pos[idx.order[i]] for i in bits(model.buf_required[b])) + 1
+        out.append(
+            BufferLifetime(
+                buffer_id=b,
+                size=model.buf_size[b],
+                start=start,
+                end=end,
+                producers=tuple(
+                    idx.order[i] for i in bits(model.buf_members[b])
+                ),
+            )
+        )
+    out.sort(key=lambda lt: (lt.start, -lt.size, lt.buffer_id))
+    return out

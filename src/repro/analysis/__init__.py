@@ -1,0 +1,45 @@
+"""Analysis utilities: schedule-space CDFs, network stats, Pareto data."""
+
+from repro.analysis.cdf import (
+    SPARKFUN_EDGE_BYTES,
+    ScheduleSpaceCDF,
+    enumerate_peak_cdf,
+    sample_peak_cdf,
+)
+from repro.analysis.complexity import (
+    ComplexityReport,
+    complexity_of,
+    count_downsets,
+    naive_recursion_size,
+)
+from repro.analysis.netstats import NetworkStats, network_stats
+from repro.analysis.pareto import (
+    IMAGENET_POINTS,
+    ModelPoint,
+    dominance_summary,
+    pareto_frontier,
+)
+from repro.analysis.quantization import cast_graph
+from repro.analysis.reporting import format_kib, format_table, geomean, ratio_str
+
+__all__ = [
+    "ScheduleSpaceCDF",
+    "sample_peak_cdf",
+    "enumerate_peak_cdf",
+    "SPARKFUN_EDGE_BYTES",
+    "NetworkStats",
+    "network_stats",
+    "ModelPoint",
+    "IMAGENET_POINTS",
+    "pareto_frontier",
+    "dominance_summary",
+    "geomean",
+    "format_table",
+    "format_kib",
+    "ratio_str",
+    "cast_graph",
+    "ComplexityReport",
+    "complexity_of",
+    "count_downsets",
+    "naive_recursion_size",
+]

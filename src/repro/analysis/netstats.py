@@ -1,0 +1,52 @@
+"""Network statistics for Table 1 (MACs, weights, graph shape)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.analysis import GraphIndex
+from repro.graph.graph import Graph
+from repro.ops import macs_of, weights_of
+
+__all__ = ["NetworkStats", "network_stats"]
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """Aggregate cost/shape metrics of one graph."""
+
+    name: str
+    nodes: int
+    edges: int
+    macs: int
+    weights: int
+    total_activation_bytes: int
+    width: int
+    sources: int
+    sinks: int
+
+    @property
+    def macs_m(self) -> float:
+        """MACs in millions (the Table 1 unit)."""
+        return self.macs / 1e6
+
+    @property
+    def weights_k(self) -> float:
+        """Parameters in thousands."""
+        return self.weights / 1e3
+
+
+def network_stats(graph: Graph) -> NetworkStats:
+    """Compute Table 1-style statistics for ``graph``."""
+    idx = GraphIndex.build(graph)
+    return NetworkStats(
+        name=graph.name,
+        nodes=len(graph),
+        edges=graph.num_edges,
+        macs=sum(macs_of(graph, n) for n in graph),
+        weights=sum(weights_of(graph, n) for n in graph),
+        total_activation_bytes=graph.total_activation_bytes(),
+        width=idx.width,
+        sources=len(graph.sources),
+        sinks=len(graph.sinks),
+    )

@@ -1,0 +1,91 @@
+"""Accuracy-vs-compute landscape of Fig 2 / Fig 14.
+
+The scatter compares irregularly wired networks against hand-designed
+regular ones on ImageNet. The points are *quoted from the literature*
+(the paper itself plots published numbers; no training happens in either
+work), so this module is a data table plus the Pareto-frontier analysis
+that supports the paper's claim: the irregular family dominates the
+regular family at equal compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ModelPoint", "IMAGENET_POINTS", "pareto_frontier", "dominance_summary"]
+
+
+@dataclass(frozen=True)
+class ModelPoint:
+    """One published ImageNet model."""
+
+    name: str
+    macs_b: float  # billions of multiply-accumulates
+    params_m: float  # millions of parameters
+    top1: float  # ImageNet top-1 accuracy (%)
+    irregular: bool  # NAS / random generator family?
+
+
+#: Published (MACs, params, top-1) triples as plotted in Fig 2/14.
+IMAGENET_POINTS: tuple[ModelPoint, ...] = (
+    ModelPoint("Inception V1", 1.5, 6.6, 69.8, False),
+    ModelPoint("MobileNet", 0.57, 4.2, 70.6, False),
+    ModelPoint("ShuffleNet", 0.52, 5.4, 73.7, False),
+    ModelPoint("Inception V2", 2.0, 11.2, 74.8, False),
+    ModelPoint("Inception V3", 5.7, 23.8, 78.8, False),
+    ModelPoint("Xception", 8.4, 22.8, 79.0, False),
+    ModelPoint("ResNet-152", 11.3, 60.2, 77.8, False),
+    ModelPoint("Inception ResNet V2", 13.2, 55.8, 80.1, False),
+    ModelPoint("Inception V4", 12.3, 42.7, 80.0, False),
+    ModelPoint("PolyNet", 34.7, 92.0, 81.3, False),
+    ModelPoint("ReNeXt-101", 31.5, 83.6, 80.9, False),
+    ModelPoint("SENet", 42.3, 145.8, 82.7, False),
+    ModelPoint("DPN-131", 32.0, 79.5, 81.5, False),
+    ModelPoint("NASNet-A", 23.8, 88.9, 82.7, True),
+    ModelPoint("NASNet-B", 0.49, 5.3, 72.8, True),
+    ModelPoint("AmoebaNet-A", 23.1, 86.7, 82.8, True),
+    ModelPoint("AmoebaNet-B", 0.56, 5.3, 74.0, True),
+    ModelPoint("RandWire (small)", 0.58, 5.6, 74.7, True),
+    ModelPoint("RandWire (large)", 7.9, 61.5, 81.6, True),
+)
+
+
+def pareto_frontier(
+    points: list[ModelPoint], axis: str = "macs"
+) -> list[ModelPoint]:
+    """Points not dominated in (lower cost, higher top-1).
+
+    ``axis`` selects the cost dimension: ``macs`` (Fig 2 / Fig 14(a))
+    or ``params`` (Fig 14(b) — "plot for number of parameters displays
+    a similar trend").
+    """
+    if axis == "macs":
+        cost = lambda p: p.macs_b  # noqa: E731
+    elif axis == "params":
+        cost = lambda p: p.params_m  # noqa: E731
+    else:
+        raise ValueError(f"unknown Pareto axis {axis!r}")
+    frontier = []
+    for p in points:
+        if not any(
+            (cost(q) <= cost(p) and q.top1 > p.top1)
+            or (cost(q) < cost(p) and q.top1 >= p.top1)
+            for q in points
+        ):
+            frontier.append(p)
+    return sorted(frontier, key=cost)
+
+
+def dominance_summary(
+    points: tuple[ModelPoint, ...] = IMAGENET_POINTS, axis: str = "macs"
+) -> dict[str, float]:
+    """How much of the joint Pareto frontier the irregular family owns —
+    the quantitative form of Fig 2's claim (and Fig 14(b)'s, with
+    ``axis='params'``)."""
+    frontier = pareto_frontier(list(points), axis=axis)
+    irregular = [p for p in frontier if p.irregular]
+    return {
+        "frontier_size": len(frontier),
+        "irregular_on_frontier": len(irregular),
+        "irregular_share": len(irregular) / len(frontier),
+    }

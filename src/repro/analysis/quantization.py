@@ -1,0 +1,32 @@
+"""Precision casting for what-if studies (extension).
+
+The paper's footprints assume one element width throughout; quantised
+deployments shrink every activation by the dtype ratio. ``cast_graph``
+re-types all tensors, letting the same scheduling machinery answer
+"would int8 make this fit?" — peaks scale exactly by the width ratio
+while optimal schedules and reduction factors are invariant (checked in
+``tests/analysis/test_quantization.py``).
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+from repro.graph.tensor import DType, TensorSpec
+
+__all__ = ["cast_graph"]
+
+
+def cast_graph(graph: Graph, dtype: DType | str) -> Graph:
+    """A copy of ``graph`` with every activation re-typed to ``dtype``."""
+    target = DType.from_any(dtype)
+    out = Graph(graph.name)
+    for node in graph:
+        attrs = dict(node.attrs)
+        if node.op == "input":
+            attrs["dtype"] = target.value
+        out.add(
+            node.replace(
+                output=TensorSpec(node.output.shape, target), attrs=attrs
+            )
+        )
+    return out

@@ -1,0 +1,52 @@
+"""Plain-text table rendering and small statistics helpers.
+
+All experiment harnesses print through these helpers so the
+``paper vs measured`` tables share one look (monospace, right-aligned
+numerics, explicit units).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["geomean", "format_table", "format_kib", "ratio_str"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the aggregate the paper reports in Figs 10/11)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("geomean of no values")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def format_kib(nbytes: float) -> str:
+    return f"{nbytes / 1024.0:.1f}KB"
+
+
+def ratio_str(value: float | None) -> str:
+    return "N/A" if value is None else f"{value:.2f}x"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(row, widths))
+
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = []
+    if title:
+        lines += [title, "=" * len(title)]
+    lines += [fmt(cells[0]), sep]
+    lines += [fmt(row) for row in cells[1:]]
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Command-line interface: ``serenity`` (or ``python -m repro.cli``).
+
+Subcommands
+-----------
+``schedule``     compile one benchmark cell (or a saved graph) and print
+                 the schedule report
+``experiment``   regenerate one of the paper's tables/figures
+``list``         list benchmark cells and experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.models.suite import BENCHMARK_SUITE, get_cell
+
+_EXPERIMENTS = {
+    "fig2": "repro.experiments.fig2_pareto",
+    "fig3": "repro.experiments.fig3_cdf",
+    "fig10": "repro.experiments.fig10_peak",
+    "fig11": "repro.experiments.fig11_offchip",
+    "fig12": "repro.experiments.fig12_trace",
+    "fig13": "repro.experiments.fig13_time",
+    "fig15": "repro.experiments.fig10_peak",  # same harness, raw KB columns
+    "table1": "repro.experiments.table1_networks",
+    "table2": "repro.experiments.table2_ablation",
+}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("benchmark cells:")
+    for key, spec in BENCHMARK_SUITE.items():
+        print(f"  {key:18s} {spec.display}")
+    print("\nexperiments:")
+    for key in sorted(set(_EXPERIMENTS) - {"fig15"}):
+        print(f"  {key}")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.graph.serialization import load_graph
+    from repro.scheduler.serenity import Serenity, SerenityConfig
+
+    if args.cell:
+        graph = get_cell(args.cell).factory()
+    elif args.graph:
+        graph = load_graph(args.graph)
+    else:
+        print("error: pass --cell <key> or --graph <file.json>", file=sys.stderr)
+        return 2
+
+    config = SerenityConfig(
+        rewrite=not args.no_rewrite,
+        divide=not args.no_divide,
+        adaptive_budget=not args.no_budget,
+        max_states_per_step=args.max_states,
+    )
+    report = Serenity(config).compile(graph)
+
+    print(f"graph: {graph.name} ({len(graph)} nodes -> "
+          f"{len(report.scheduled_graph)} after rewriting)")
+    print(f"rewrites applied        : {report.rewrite_count}")
+    print(f"baseline (Kahn) peak    : {report.baseline_peak_bytes / 1024:9.1f}KB")
+    print(f"baseline arena peak     : {report.baseline_arena_bytes / 1024:9.1f}KB")
+    print(f"SERENITY peak           : {report.peak_bytes / 1024:9.1f}KB")
+    print(f"SERENITY arena peak     : {report.arena_bytes / 1024:9.1f}KB")
+    print(f"reduction (arena)       : {report.reduction_with_alloc:9.2f}x")
+    print(f"scheduling time         : {report.scheduling_time_s:9.2f}s")
+    if report.divide:
+        sizes = ",".join(str(s) for s in report.divide.partition_sizes)
+        print(f"partitions              : {{{sizes}}}")
+    if args.emit_plan:
+        from repro.allocator.export import export_plan
+
+        export_plan(report.scheduled_graph, report.schedule, args.emit_plan)
+        print(f"deployment plan written to {args.emit_plan}")
+    if args.show_schedule:
+        print("\nschedule:")
+        for i, name in enumerate(report.schedule):
+            print(f"  {i:4d}  {name}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    module = importlib.import_module(_EXPERIMENTS[args.name])
+    module.main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="serenity",
+        description="SERENITY: memory-aware scheduling of irregularly wired "
+        "neural networks (MLSys 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list cells and experiments")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_sched = sub.add_parser("schedule", help="compile a graph")
+    p_sched.add_argument("--cell", choices=sorted(BENCHMARK_SUITE), default=None)
+    p_sched.add_argument("--graph", help="path to a saved graph JSON")
+    p_sched.add_argument("--no-rewrite", action="store_true")
+    p_sched.add_argument("--no-divide", action="store_true")
+    p_sched.add_argument("--no-budget", action="store_true")
+    p_sched.add_argument("--max-states", type=int, default=50_000)
+    p_sched.add_argument("--show-schedule", action="store_true")
+    p_sched.add_argument(
+        "--emit-plan",
+        metavar="FILE",
+        help="write the schedule + arena offsets as a JSON deployment plan",
+    )
+    p_sched.set_defaults(func=_cmd_schedule)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
+    p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the SERENITY reproduction.
+
+All library errors derive from :class:`ReproError` so downstream users can
+catch a single base class. Scheduling-control exceptions (budget overrun,
+step timeout) are *signals* used by the adaptive soft budgeting meta-search
+and are therefore part of the public API.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GraphError(ReproError):
+    """Structural problem in a :class:`repro.graph.Graph`."""
+
+
+class CycleError(GraphError):
+    """The graph contains a directed cycle and admits no schedule."""
+
+
+class ShapeError(GraphError):
+    """Tensor shapes are inconsistent with an operator's contract."""
+
+
+class UnknownOpError(GraphError):
+    """An operator type is not present in the registry."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler could not produce a valid schedule."""
+
+
+class InvalidScheduleError(SchedulingError):
+    """A schedule violates precedence constraints or omits nodes."""
+
+
+class NoSolutionError(SchedulingError):
+    """Budget-pruned DP exhausted every path: the soft budget ``tau`` is
+    below the optimal peak footprint (Algorithm 2's ``'no solution'``)."""
+
+    def __init__(self, budget: float, message: str | None = None) -> None:
+        self.budget = budget
+        super().__init__(message or f"no schedule fits within budget {budget}")
+
+
+class StepTimeoutError(SchedulingError):
+    """A DP search step exceeded its time/state allowance (Algorithm 2's
+    ``'timeout'``)."""
+
+    def __init__(self, step: int, states: int, message: str | None = None) -> None:
+        self.step = step
+        self.states = states
+        super().__init__(
+            message
+            or f"search step {step} exceeded its allowance ({states} states)"
+        )
+
+
+class BudgetSearchError(SchedulingError):
+    """Adaptive soft budgeting failed to converge on a feasible budget."""
+
+
+class AllocationError(ReproError):
+    """The memory allocator produced an inconsistent plan."""
+
+
+class RewriteError(ReproError):
+    """A graph rewrite rule failed to apply or broke graph invariants."""
+
+
+class ExecutionError(ReproError):
+    """The NumPy reference executor failed to evaluate a graph."""

@@ -1,0 +1,32 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module exposes ``run()`` (data) and ``render()`` (paper-vs-measured
+text table); ``main()`` prints. The benchmark suite under
+``benchmarks/`` wraps these with pytest-benchmark timing.
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    common,
+    fig2_pareto,
+    fig3_cdf,
+    fig10_peak,
+    fig11_offchip,
+    fig12_trace,
+    fig13_time,
+    table1_networks,
+    table2_ablation,
+)
+
+__all__ = [
+    "common",
+    "fig2_pareto",
+    "fig3_cdf",
+    "fig10_peak",
+    "fig11_offchip",
+    "fig12_trace",
+    "fig13_time",
+    "table1_networks",
+    "table2_ablation",
+    "ablations",
+]

@@ -1,0 +1,105 @@
+"""Fig 10 + Fig 15: peak-memory reduction against the TFLite baseline.
+
+Fig 10 plots, per cell, the baseline-over-SERENITY ratio of arena peak
+bytes under the first-fit allocator, for the DP-only and the
+DP + graph-rewriting pipelines; Fig 15 (appendix) is the same data in
+raw KB. One harness regenerates both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import format_table, geomean
+from repro.experiments.common import CellRun, suite_runs
+from repro.models.suite import PAPER_GEOMEANS
+
+__all__ = ["Fig10Row", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Fig10Row:
+    key: str
+    display: str
+    tflite_kb: float
+    dp_kb: float
+    gr_kb: float
+    ratio_dp: float
+    ratio_gr: float
+    paper_tflite_kb: float
+    paper_dp_kb: float
+    paper_gr_kb: float
+    paper_ratio_dp: float
+    paper_ratio_gr: float
+
+
+def run(keys: list[str] | None = None) -> list[Fig10Row]:
+    rows = []
+    for r in suite_runs(keys):
+        rows.append(
+            Fig10Row(
+                key=r.spec.key,
+                display=r.spec.display,
+                tflite_kb=r.dp.baseline_arena_bytes / 1024.0,
+                dp_kb=r.dp.arena_bytes / 1024.0,
+                gr_kb=r.gr.arena_bytes / 1024.0,
+                ratio_dp=r.dp.reduction_with_alloc,
+                ratio_gr=r.gr.reduction_with_alloc,
+                paper_tflite_kb=r.spec.paper_tflite_kb,
+                paper_dp_kb=r.spec.paper_dp_kb,
+                paper_gr_kb=r.spec.paper_gr_kb,
+                paper_ratio_dp=r.spec.paper_ratio_dp,
+                paper_ratio_gr=r.spec.paper_ratio_gr,
+            )
+        )
+    return rows
+
+
+def render(rows: list[Fig10Row]) -> str:
+    body = [
+        (
+            row.display,
+            f"{row.tflite_kb:.1f}",
+            f"{row.dp_kb:.1f}",
+            f"{row.gr_kb:.1f}",
+            f"{row.ratio_dp:.2f}x",
+            f"{row.paper_ratio_dp:.2f}x",
+            f"{row.ratio_gr:.2f}x",
+            f"{row.paper_ratio_gr:.2f}x",
+        )
+        for row in rows
+    ]
+    gm_dp = geomean([r.ratio_dp for r in rows])
+    gm_gr = geomean([r.ratio_gr for r in rows])
+    body.append(
+        (
+            "GEOMEAN",
+            "",
+            "",
+            "",
+            f"{gm_dp:.2f}x",
+            f"{PAPER_GEOMEANS['fig10_dp']:.2f}x",
+            f"{gm_gr:.2f}x",
+            f"{PAPER_GEOMEANS['fig10_gr']:.2f}x",
+        )
+    )
+    return format_table(
+        (
+            "cell",
+            "tflite KB",
+            "DP KB",
+            "DP+GR KB",
+            "DP ratio",
+            "(paper)",
+            "GR ratio",
+            "(paper)",
+        ),
+        body,
+        title="Fig 10 / Fig 15 - peak memory vs TensorFlow Lite baseline",
+    )
+
+
+def main() -> str:  # pragma: no cover - exercised via CLI/benches
+    out = render(run())
+    print(out)
+    return out

@@ -1,0 +1,126 @@
+"""Fig 11: off-chip memory traffic under a two-level hierarchy.
+
+For every cell and on-chip capacity in {32, 64, 128, 256} KB, replay the
+TFLite-baseline schedule and the SERENITY schedule through the
+Belady-policy memory simulator and compare total off-chip bytes. Cells
+whose baseline already runs entirely on-chip are N/A (as in the paper's
+figure); cells where only SERENITY fits on-chip "eliminate" the traffic
+(the starred bars).
+
+SERENITY here means the DP schedule *without* graph rewriting: the
+paper's Fig 11 gains track its Fig 10 DP-only ratios (e.g. DARTS
+1.92-2.00x vs the DP bar's 1.83x, not the rewritten 2.20x), and the
+accumulating partial convolutions that rewriting introduces trade peak
+footprint for extra accumulator round-trips, which is the wrong currency
+when the metric is traffic. Pass ``rewrite=True`` to measure that
+trade-off explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import format_table, geomean
+from repro.experiments.common import CellRun, suite_runs
+from repro.memsim.hierarchy import offchip_traffic
+from repro.models.suite import PAPER_GEOMEANS
+
+__all__ = ["CAPACITIES_KB", "Fig11Cell", "run", "render"]
+
+CAPACITIES_KB = (32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class Fig11Cell:
+    key: str
+    display: str
+    #: capacity KB -> (baseline_bytes, serenity_bytes, ratio-or-None)
+    by_capacity: dict[int, tuple[int, int, float | None]]
+
+    def eliminated_at(self, cap_kb: int) -> bool:
+        base, ours, _ = self.by_capacity[cap_kb]
+        return ours == 0 and base > 0
+
+
+def _traffic(
+    run_: CellRun, cap_kb: int, policy: str, rewrite: bool
+) -> tuple[int, int]:
+    cap = cap_kb * 1024
+    rep = run_.gr if rewrite else run_.dp
+    base = offchip_traffic(
+        rep.graph,
+        _baseline_schedule(run_),
+        cap,
+        policy=policy,
+    ).total_bytes
+    ours = offchip_traffic(
+        rep.scheduled_graph, rep.schedule, cap, policy=policy
+    ).total_bytes
+    return base, ours
+
+
+def _baseline_schedule(run_: CellRun):
+    from repro.scheduler.topological import kahn_schedule
+
+    return kahn_schedule(run_.gr.graph)
+
+
+def run(
+    keys: list[str] | None = None,
+    policy: str = "belady",
+    rewrite: bool = False,
+) -> list[Fig11Cell]:
+    out = []
+    for r in suite_runs(keys):
+        by_cap: dict[int, tuple[int, int, float | None]] = {}
+        for cap in CAPACITIES_KB:
+            base, ours = _traffic(r, cap, policy, rewrite)
+            if base == 0 and ours == 0:
+                ratio = None  # N/A: fits on-chip under both schedules
+            elif ours == 0:
+                ratio = float("inf")  # SERENITY eliminates the traffic
+            else:
+                ratio = base / ours
+            by_cap[cap] = (base, ours, ratio)
+        out.append(Fig11Cell(key=r.spec.key, display=r.spec.display, by_capacity=by_cap))
+    return out
+
+
+def _cell_str(entry: tuple[int, int, float | None]) -> str:
+    base, ours, ratio = entry
+    if ratio is None:
+        return "N/A"
+    if ratio == float("inf"):
+        return "elim*"
+    return f"{ratio:.2f}x"
+
+
+def render(cells: list[Fig11Cell], policy: str = "belady") -> str:
+    rows = [
+        (c.display, *[_cell_str(c.by_capacity[cap]) for cap in CAPACITIES_KB])
+        for c in cells
+    ]
+    # geomean over cells with a finite ratio, per capacity
+    gm_row = ["GEOMEAN (finite)"]
+    for cap in CAPACITIES_KB:
+        finite = [
+            c.by_capacity[cap][2]
+            for c in cells
+            if c.by_capacity[cap][2] not in (None, float("inf"))
+        ]
+        gm_row.append(f"{geomean(finite):.2f}x" if finite else "N/A")
+    rows.append(tuple(gm_row))
+    title = (
+        f"Fig 11 - off-chip traffic reduction vs TFLite ({policy} policy); "
+        f"paper geomean at 256KB: {PAPER_GEOMEANS['fig11_256kb']:.2f}x; "
+        "'elim*' = SERENITY removes all off-chip communication"
+    )
+    return format_table(
+        ("cell", *[f"{c}KB" for c in CAPACITIES_KB]), rows, title=title
+    )
+
+
+def main() -> str:  # pragma: no cover - exercised via CLI/benches
+    out = render(run())
+    print(out)
+    return out

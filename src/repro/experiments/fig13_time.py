@@ -1,0 +1,110 @@
+"""Fig 13: SERENITY's (static) scheduling time per cell.
+
+Wall-clock seconds to compile each cell with and without graph
+rewriting, plus the machine-independent explored-state counts. Absolute
+times are not comparable to the paper's (different implementation and
+host); the *shape* to check is: every cell schedules in seconds, and
+rewriting increases SwiftNet's time (more nodes) while leaving DARTS and
+RandWire unchanged (no rewrites fire).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.analysis.reporting import format_table
+from repro.experiments.common import default_config
+from repro.models.suite import PAPER_GEOMEANS, suite_cells
+from repro.scheduler.serenity import Serenity
+
+__all__ = ["Fig13Row", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Fig13Row:
+    key: str
+    display: str
+    time_dp_s: float
+    time_gr_s: float
+    states_dp: int
+    states_gr: int
+    paper_time_dp_s: float
+    paper_time_gr_s: float
+
+
+def run(keys: list[str] | None = None) -> list[Fig13Row]:
+    rows = []
+    for spec in suite_cells():
+        if keys is not None and spec.key not in keys:
+            continue
+        timings = {}
+        states = {}
+        for label, rewrite in (("dp", False), ("gr", True)):
+            graph = spec.factory()
+            t0 = time.perf_counter()
+            report = Serenity(default_config(rewrite)).compile(graph)
+            timings[label] = time.perf_counter() - t0
+            states[label] = (
+                report.divide.states_expanded if report.divide else 0
+            )
+        rows.append(
+            Fig13Row(
+                key=spec.key,
+                display=spec.display,
+                time_dp_s=timings["dp"],
+                time_gr_s=timings["gr"],
+                states_dp=states["dp"],
+                states_gr=states["gr"],
+                paper_time_dp_s=spec.paper_time_dp_s,
+                paper_time_gr_s=spec.paper_time_gr_s,
+            )
+        )
+    return rows
+
+
+def render(rows: list[Fig13Row]) -> str:
+    body = [
+        (
+            r.display,
+            f"{r.time_dp_s:.2f}s",
+            f"{r.paper_time_dp_s:.1f}s",
+            f"{r.time_gr_s:.2f}s",
+            f"{r.paper_time_gr_s:.1f}s",
+            f"{r.states_dp:,}",
+            f"{r.states_gr:,}",
+        )
+        for r in rows
+    ]
+    mean_dp = sum(r.time_dp_s for r in rows) / len(rows)
+    mean_gr = sum(r.time_gr_s for r in rows) / len(rows)
+    body.append(
+        (
+            "MEAN",
+            f"{mean_dp:.2f}s",
+            f"{PAPER_GEOMEANS['fig13_mean_dp_s']:.1f}s",
+            f"{mean_gr:.2f}s",
+            f"{PAPER_GEOMEANS['fig13_mean_gr_s']:.1f}s",
+            "",
+            "",
+        )
+    )
+    return format_table(
+        (
+            "cell",
+            "DP time",
+            "(paper)",
+            "DP+GR time",
+            "(paper)",
+            "DP states",
+            "GR states",
+        ),
+        body,
+        title="Fig 13 - scheduling time (ours: Python on this host)",
+    )
+
+
+def main() -> str:  # pragma: no cover - exercised via CLI/benches
+    out = render(run())
+    print(out)
+    return out

@@ -1,0 +1,92 @@
+"""Fig 3(b): the schedule-space peak-memory CDF for SwiftNet Cell A.
+
+The paper's point: under the SparkFun Edge's 250 KB budget only 4.1 % of
+topological orders are feasible and 0.04 % are optimal — so a
+memory-oblivious scheduler almost surely fails, motivating the DP. We
+reproduce the CDF by sampling random-tie-break topological orders, and
+compute the optimal peak exactly with the DP scheduler (rather than
+trusting the sample minimum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cdf import SPARKFUN_EDGE_BYTES, ScheduleSpaceCDF, sample_peak_cdf
+from repro.experiments.common import compiled
+from repro.models.suite import get_cell
+
+__all__ = ["Fig3Result", "run", "render"]
+
+PAPER = {"within_250kb": 0.041, "optimal": 0.0004}
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    cell_key: str
+    cdf: ScheduleSpaceCDF
+    optimal_bytes: int
+    budget_bytes: int
+
+    @property
+    def fraction_within_budget(self) -> float:
+        return self.cdf.fraction_within(self.budget_bytes)
+
+    @property
+    def fraction_optimal(self) -> float:
+        import numpy as np
+
+        return float((self.cdf.peaks <= self.optimal_bytes).mean())
+
+
+def run(
+    cell_key: str = "swiftnet-a",
+    samples: int = 5000,
+    seed: int = 0,
+    budget_bytes: int = SPARKFUN_EDGE_BYTES,
+) -> Fig3Result:
+    spec = get_cell(cell_key)
+    graph = spec.factory()
+    cdf = sample_peak_cdf(graph, samples=samples, seed=seed)
+    optimal = compiled(spec, rewrite=False).peak_bytes
+    return Fig3Result(
+        cell_key=cell_key,
+        cdf=cdf,
+        optimal_bytes=optimal,
+        budget_bytes=budget_bytes,
+    )
+
+
+def render(result: Fig3Result) -> str:
+    c = result.cdf
+    # The paper's 250 KB SparkFun budget sits at 1.25x its cell's optimal
+    # peak (250.9/200.7); our synthesised cell has a different optimum, so
+    # the matched *relative* budget is the comparable statistic.
+    rel_budget = 1.25 * result.optimal_bytes
+    lines = [
+        f"Fig 3(b) - CDF of schedule peak memory ({result.cell_key}, "
+        f"{c.n} sampled schedules)",
+        "=" * 64,
+        f"optimal peak (DP)        : {result.optimal_bytes / 1024:8.1f}KB",
+        f"best sampled peak        : {c.optimal_bytes / 1024:8.1f}KB",
+        f"worst sampled peak       : {c.worst_bytes / 1024:8.1f}KB",
+        f"within {result.budget_bytes // 1024}KB constraint  : "
+        f"{100 * result.fraction_within_budget:8.2f}%  (paper {100 * PAPER['within_250kb']:.1f}%)",
+        f"within 1.25x optimal     : "
+        f"{100 * c.fraction_within(rel_budget):8.2f}%  "
+        "(matched relative budget; paper's 250KB = 1.25x its optimum)",
+        f"achieving optimal peak   : "
+        f"{100 * result.fraction_optimal:8.3f}%  (paper {100 * PAPER['optimal']:.2f}%)",
+        "",
+        "cumulative distribution (peak KB -> fraction of schedules):",
+    ]
+    for kb, frac in result.cdf.cdf_points(resolution=11):
+        bar = "#" * int(frac * 40)
+        lines.append(f"  {kb:8.1f}KB  {100 * frac:6.1f}%  {bar}")
+    return "\n".join(lines)
+
+
+def main() -> str:  # pragma: no cover - exercised via CLI/benches
+    out = render(run())
+    print(out)
+    return out

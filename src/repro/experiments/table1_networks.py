@@ -1,0 +1,146 @@
+"""Table 1: specification of the evaluated networks.
+
+MAC and weight counts are *measured* from our graphs via the operator
+cost model; the paper's whole-network numbers and top-1 accuracies are
+quoted alongside (accuracy is a training-time property — nothing here
+trains, exactly as in the paper, which also quotes them).
+
+Our graphs are the scheduled *cells*; the paper's MAC/weight columns
+describe the full networks (e.g. DARTS' 574 M MACs span 14 stacked
+cells), so the measured column reports our per-network cell sums and the
+quoted column keeps the paper's network-level values for context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.netstats import NetworkStats, network_stats
+from repro.analysis.reporting import format_table
+from repro.models.suite import suite_cells
+from repro.models.swiftnet import swiftnet_hpd
+
+__all__ = ["Table1Row", "PAPER_NETWORKS", "run", "render"]
+
+#: Table 1 as printed in the paper (whole networks)
+PAPER_NETWORKS = {
+    "DARTS": {
+        "type": "NAS",
+        "dataset": "ImageNet",
+        "macs_m": 574.0,
+        "weights": 4_700_000,
+        "top1": 73.3,
+    },
+    "SwiftNet": {
+        "type": "NAS",
+        "dataset": "HPD",
+        "macs_m": 57.4,
+        "weights": 249_700,
+        "top1": 95.1,
+    },
+    "RandWire-CIFAR10": {
+        "type": "RAND",
+        "dataset": "CIFAR10",
+        "macs_m": 111.0,
+        "weights": 1_200_000,
+        "top1": 93.6,
+    },
+    "RandWire-CIFAR100": {
+        "type": "RAND",
+        "dataset": "CIFAR100",
+        "macs_m": 160.0,
+        "weights": 4_700_000,
+        "top1": 74.5,
+    },
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    network: str
+    dataset: str
+    measured: NetworkStats
+    paper_macs_m: float
+    paper_weights: int
+    paper_top1: float
+
+
+def _network_key(spec) -> str:
+    if spec.network == "RandWire":
+        return f"RandWire-{spec.dataset}"
+    return spec.network
+
+
+def run() -> list[Table1Row]:
+    # group suite cells by network; SwiftNet gets the full 62-node graph
+    grouped: dict[str, list] = {}
+    for spec in suite_cells():
+        grouped.setdefault(_network_key(spec), []).append(spec)
+
+    rows = []
+    for network, specs in grouped.items():
+        paper = PAPER_NETWORKS[network]
+        if network == "SwiftNet":
+            stats = network_stats(swiftnet_hpd())
+        else:
+            cells = [network_stats(s.factory()) for s in specs]
+            stats = NetworkStats(
+                name=network,
+                nodes=sum(c.nodes for c in cells),
+                edges=sum(c.edges for c in cells),
+                macs=sum(c.macs for c in cells),
+                weights=sum(c.weights for c in cells),
+                total_activation_bytes=sum(
+                    c.total_activation_bytes for c in cells
+                ),
+                width=max(c.width for c in cells),
+                sources=sum(c.sources for c in cells),
+                sinks=sum(c.sinks for c in cells),
+            )
+        rows.append(
+            Table1Row(
+                network=network,
+                dataset=paper["dataset"],
+                measured=stats,
+                paper_macs_m=paper["macs_m"],
+                paper_weights=paper["weights"],
+                paper_top1=paper["top1"],
+            )
+        )
+    return rows
+
+
+def render(rows: list[Table1Row]) -> str:
+    body = [
+        (
+            r.network,
+            r.dataset,
+            r.measured.nodes,
+            f"{r.measured.macs_m:.1f}M",
+            f"{r.paper_macs_m:.1f}M",
+            f"{r.measured.weights / 1e3:.1f}K",
+            f"{r.paper_weights / 1e3:.1f}K",
+            f"{r.paper_top1:.1f}%",
+        )
+        for r in rows
+    ]
+    return format_table(
+        (
+            "network",
+            "dataset",
+            "nodes",
+            "cell MACs",
+            "net MACs (paper)",
+            "cell weights",
+            "net weights (paper)",
+            "top-1 (paper)",
+        ),
+        body,
+        title="Table 1 - evaluated networks (measured cells vs paper networks)",
+    )
+
+
+def main() -> str:  # pragma: no cover - exercised via CLI/benches
+    out = render(run())
+    print(out)
+    return out

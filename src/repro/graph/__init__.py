@@ -1,0 +1,42 @@
+"""Graph IR: tensors, nodes, DAGs, analysis and partitioning."""
+
+from repro.graph.analysis import GraphIndex, bits, popcount
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph, INPUT_OP
+from repro.graph.node import MemorySemantics, Node
+from repro.graph.partition import (
+    CutPoint,
+    Segment,
+    find_cut_nodes,
+    partition_at_cuts,
+)
+from repro.graph.serialization import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+from repro.graph.tensor import DType, TensorSpec
+from repro.graph.transforms import mark_concat_views
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "GraphIndex",
+    "Node",
+    "MemorySemantics",
+    "TensorSpec",
+    "DType",
+    "INPUT_OP",
+    "CutPoint",
+    "Segment",
+    "find_cut_nodes",
+    "partition_at_cuts",
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph",
+    "load_graph",
+    "mark_concat_views",
+    "bits",
+    "popcount",
+]

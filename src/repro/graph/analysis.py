@@ -1,0 +1,171 @@
+"""Bitset-based graph analysis used by the DP scheduler and partitioner.
+
+:class:`GraphIndex` freezes a graph into integer-indexed arrays and
+Python-int bitmasks. Bitmasks are the workhorse of the whole scheduler:
+a *downset* (set of already-scheduled nodes) is one arbitrary-precision
+integer, and subset tests / unions are single machine-word-parallel ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.graph.graph import Graph
+
+__all__ = ["GraphIndex", "bits", "popcount"]
+
+
+def bits(mask: int):
+    """Iterate the set bit positions of ``mask`` (ascending)."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def popcount(mask: int) -> int:
+    return mask.bit_count()
+
+
+@dataclass(frozen=True)
+class GraphIndex:
+    """Immutable integer-indexed view of a :class:`Graph`.
+
+    Node *i* corresponds to ``order[i]``, where ``order`` is the graph's
+    insertion (topological) order. All masks use bit *i* for node *i*.
+    """
+
+    graph: Graph
+    order: tuple[str, ...]
+    index: dict[str, int]
+    preds: tuple[tuple[int, ...], ...]
+    succs: tuple[tuple[int, ...], ...]
+    preds_mask: tuple[int, ...]
+    succs_mask: tuple[int, ...]
+    out_bytes: tuple[int, ...]
+
+    @classmethod
+    def build(cls, graph: Graph) -> "GraphIndex":
+        order = tuple(graph.node_names)
+        index = {name: i for i, name in enumerate(order)}
+        preds = tuple(
+            tuple(sorted({index[p] for p in graph.preds(name)})) for name in order
+        )
+        succs = tuple(
+            tuple(sorted({index[s] for s in graph.succs(name)})) for name in order
+        )
+        preds_mask = tuple(sum(1 << p for p in ps) for ps in preds)
+        succs_mask = tuple(sum(1 << s for s in ss) for ss in succs)
+        out_bytes = tuple(graph.node(name).output_bytes for name in order)
+        return cls(
+            graph=graph,
+            order=order,
+            index=index,
+            preds=preds,
+            succs=succs,
+            preds_mask=preds_mask,
+            succs_mask=succs_mask,
+            out_bytes=out_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.order)
+
+    @property
+    def full_mask(self) -> int:
+        return (1 << self.n) - 1
+
+    def names(self, mask_or_indices) -> list[str]:
+        """Translate a bitmask or an index iterable back to node names."""
+        if isinstance(mask_or_indices, int):
+            return [self.order[i] for i in bits(mask_or_indices)]
+        return [self.order[i] for i in mask_or_indices]
+
+    def mask_of(self, names) -> int:
+        return sum(1 << self.index[name] for name in names)
+
+    # ------------------------------------------------------------------
+    # reachability
+    # ------------------------------------------------------------------
+    @cached_property
+    def ancestors_mask(self) -> tuple[int, ...]:
+        """``ancestors_mask[i]`` = strict ancestors of node *i* as a mask.
+
+        Computed in one topological sweep: ancestors(i) = union over
+        predecessors p of ({p} | ancestors(p)).
+        """
+        anc = [0] * self.n
+        for i in range(self.n):  # order is topological
+            m = 0
+            for p in self.preds[i]:
+                m |= (1 << p) | anc[p]
+            anc[i] = m
+        return tuple(anc)
+
+    @cached_property
+    def descendants_mask(self) -> tuple[int, ...]:
+        """``descendants_mask[i]`` = strict descendants of node *i*."""
+        desc = [0] * self.n
+        for i in range(self.n - 1, -1, -1):
+            m = 0
+            for s in self.succs[i]:
+                m |= (1 << s) | desc[s]
+            desc[i] = m
+        return tuple(desc)
+
+    def comparable_mask(self, i: int) -> int:
+        """Nodes ordered relative to *i* (ancestors ∪ {i} ∪ descendants)."""
+        return self.ancestors_mask[i] | (1 << i) | self.descendants_mask[i]
+
+    # ------------------------------------------------------------------
+    # downset / frontier relations (the DP signature algebra)
+    # ------------------------------------------------------------------
+    def initial_frontier(self) -> int:
+        """Zero-indegree set of the empty schedule."""
+        return sum(1 << i for i in range(self.n) if not self.preds[i])
+
+    def frontier_of(self, scheduled: int) -> int:
+        """Zero-indegree set *z* for a downset: unscheduled nodes whose
+        predecessors are all scheduled."""
+        z = 0
+        for i in range(self.n):
+            b = 1 << i
+            if not (scheduled & b) and (self.preds_mask[i] & ~scheduled) == 0:
+                z |= b
+        return z
+
+    def downset_of_frontier(self, z: int) -> int:
+        """Recover the unique downset whose frontier is ``z``.
+
+        The unscheduled nodes are exactly ``z`` plus everything reachable
+        from ``z`` — this uniqueness is what makes the zero-indegree set a
+        sound memoisation signature (paper Section 3.1).
+        """
+        unscheduled = z
+        for i in bits(z):
+            unscheduled |= self.descendants_mask[i]
+        return self.full_mask & ~unscheduled
+
+    def is_downset(self, mask: int) -> bool:
+        """Whether ``mask`` is predecessor-closed."""
+        for i in bits(mask):
+            if self.preds_mask[i] & ~mask:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @cached_property
+    def width(self) -> int:
+        """Maximum frontier size over the insertion-order sweep — a cheap
+        proxy for DP state-space width."""
+        width = 0
+        scheduled = 0
+        for i in range(self.n):
+            width = max(width, popcount(self.frontier_of(scheduled)))
+            scheduled |= 1 << i
+        return width

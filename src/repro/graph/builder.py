@@ -1,0 +1,232 @@
+"""Fluent graph construction with automatic shape inference.
+
+Example
+-------
+>>> from repro.graph import GraphBuilder
+>>> b = GraphBuilder("cell")
+>>> x = b.input("x", (8, 16, 16))
+>>> l = b.conv2d(x, out_channels=16, kernel=3)
+>>> r = b.depthwise_conv2d(x, kernel=3)
+>>> y = b.concat([l, r])
+>>> g = b.build()
+>>> g.node(y).output.shape
+(24, 16, 16)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph
+from repro.graph.node import MemorySemantics, Node
+from repro.graph.tensor import DType, TensorSpec
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Builds a :class:`Graph` node by node, inferring output shapes
+    through the operator registry.
+
+    Every op method returns the new node's *name*, so results chain
+    naturally. Names are auto-generated (``conv2d_3``) unless given.
+    """
+
+    def __init__(self, name: str = "graph") -> None:
+        self._graph = Graph(name)
+        self._counters: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # core
+    # ------------------------------------------------------------------
+    def _fresh_name(self, op: str, name: str | None) -> str:
+        if name is not None:
+            return name
+        n = self._counters.get(op, 0)
+        self._counters[op] = n + 1
+        return f"{op}_{n}"
+
+    def op(
+        self,
+        op: str,
+        inputs: Sequence[str] = (),
+        name: str | None = None,
+        memory: MemorySemantics | None = None,
+        **attrs: Any,
+    ) -> str:
+        """Add an arbitrary registered op; returns the node name."""
+        from repro.ops import infer_shape
+
+        inputs = tuple(inputs)
+        specs = [self._graph.node(src).output for src in inputs]
+        output = infer_shape(op, specs, attrs)
+        node = Node(
+            name=self._fresh_name(op, name),
+            op=op,
+            inputs=inputs,
+            output=output,
+            attrs=dict(attrs),
+            memory=memory or MemorySemantics(),
+        )
+        self._graph.add(node)
+        return node.name
+
+    def build(self, validate: bool = True) -> Graph:
+        """Finish and return the graph."""
+        if validate:
+            self._graph.validate()
+        return self._graph
+
+    @property
+    def graph(self) -> Graph:
+        """The graph under construction (mutable view)."""
+        return self._graph
+
+    def spec(self, name: str) -> TensorSpec:
+        """Output spec of an already-added node."""
+        return self._graph.node(name).output
+
+    # ------------------------------------------------------------------
+    # op conveniences
+    # ------------------------------------------------------------------
+    def input(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype: DType | str = DType.FLOAT32,
+    ) -> str:
+        return self.op("input", (), name=name, shape=tuple(shape), dtype=str(DType.from_any(dtype).value))
+
+    def conv2d(
+        self,
+        x: str,
+        out_channels: int,
+        kernel: int | tuple[int, int] = 1,
+        stride: int | tuple[int, int] = 1,
+        padding: str | int = "same",
+        name: str | None = None,
+        **extra: Any,
+    ) -> str:
+        return self.op(
+            "conv2d",
+            (x,),
+            name=name,
+            out_channels=out_channels,
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+            **extra,
+        )
+
+    def pointwise_conv2d(
+        self, x: str, out_channels: int, name: str | None = None, **extra: Any
+    ) -> str:
+        """1x1 convolution (the pointwise half of a separable conv)."""
+        return self.conv2d(x, out_channels, kernel=1, name=name, **extra)
+
+    def depthwise_conv2d(
+        self,
+        x: str,
+        kernel: int | tuple[int, int] = 3,
+        stride: int | tuple[int, int] = 1,
+        padding: str | int = "same",
+        multiplier: int = 1,
+        name: str | None = None,
+        **extra: Any,
+    ) -> str:
+        return self.op(
+            "depthwise_conv2d",
+            (x,),
+            name=name,
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+            multiplier=multiplier,
+            **extra,
+        )
+
+    def concat(self, xs: Iterable[str], name: str | None = None, **extra: Any) -> str:
+        xs = tuple(xs)
+        if not xs:
+            raise GraphError("concat needs at least one input")
+        return self.op("concat", xs, name=name, **extra)
+
+    def add(self, *xs: str, name: str | None = None) -> str:
+        return self.op("add", tuple(xs), name=name)
+
+    def mul(self, *xs: str, name: str | None = None) -> str:
+        return self.op("mul", tuple(xs), name=name)
+
+    def relu(self, x: str, name: str | None = None) -> str:
+        return self.op("relu", (x,), name=name)
+
+    def sigmoid(self, x: str, name: str | None = None) -> str:
+        return self.op("sigmoid", (x,), name=name)
+
+    def identity(self, x: str, name: str | None = None) -> str:
+        return self.op("identity", (x,), name=name)
+
+    def batch_norm(self, x: str, name: str | None = None) -> str:
+        return self.op("batch_norm", (x,), name=name)
+
+    def max_pool2d(
+        self,
+        x: str,
+        kernel: int | tuple[int, int] = 2,
+        stride: int | tuple[int, int] | None = None,
+        padding: str | int = "valid",
+        name: str | None = None,
+    ) -> str:
+        attrs: dict[str, Any] = {"kernel": kernel, "padding": padding}
+        if stride is not None:
+            attrs["stride"] = stride
+        return self.op("max_pool2d", (x,), name=name, **attrs)
+
+    def avg_pool2d(
+        self,
+        x: str,
+        kernel: int | tuple[int, int] = 2,
+        stride: int | tuple[int, int] | None = None,
+        padding: str | int = "valid",
+        name: str | None = None,
+    ) -> str:
+        attrs: dict[str, Any] = {"kernel": kernel, "padding": padding}
+        if stride is not None:
+            attrs["stride"] = stride
+        return self.op("avg_pool2d", (x,), name=name, **attrs)
+
+    def global_avg_pool(self, x: str, name: str | None = None) -> str:
+        return self.op("global_avg_pool", (x,), name=name)
+
+    def flatten(self, x: str, name: str | None = None) -> str:
+        return self.op("flatten", (x,), name=name)
+
+    def dense(self, x: str, units: int, name: str | None = None, **extra: Any) -> str:
+        return self.op("dense", (x,), name=name, units=units, **extra)
+
+    def slice_channels(
+        self, x: str, lo: int, hi: int, name: str | None = None
+    ) -> str:
+        return self.op("slice_channels", (x,), name=name, range=(lo, hi))
+
+    # ------------------------------------------------------------------
+    # composite helpers used by the model zoo
+    # ------------------------------------------------------------------
+    def separable_conv(
+        self,
+        x: str,
+        out_channels: int,
+        kernel: int | tuple[int, int] = 3,
+        stride: int | tuple[int, int] = 1,
+        name: str | None = None,
+    ) -> str:
+        """Depthwise-separable conv block: relu → dw → pw → bn (one round),
+        the primitive expansion used when lowering DARTS ``sep_conv`` ops."""
+        prefix = self._fresh_name("sep_conv", name)
+        r = self.relu(x, name=f"{prefix}/relu")
+        d = self.depthwise_conv2d(
+            r, kernel=kernel, stride=stride, name=f"{prefix}/dw"
+        )
+        p = self.pointwise_conv2d(d, out_channels, name=f"{prefix}/pw")
+        return self.batch_norm(p, name=f"{prefix}/bn")

@@ -1,0 +1,276 @@
+"""The dataflow-graph IR that SERENITY schedules.
+
+A :class:`Graph` is a DAG of :class:`~repro.graph.node.Node` objects. The
+class enforces a strong invariant that the rest of the stack relies on:
+
+* nodes may only be added after all of their producers, so **insertion
+  order is always a valid topological order**. This mirrors how TFLite
+  stores operators in flatbuffer order and is what the Kahn/"original
+  order" baseline executes.
+
+Graphs are cheap, pure-Python containers; the heavy analysis (bitset
+reachability, partitioning) lives in :mod:`repro.graph.analysis` and
+:mod:`repro.graph.partition`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.exceptions import GraphError
+from repro.graph.node import MemorySemantics, Node
+from repro.graph.tensor import TensorSpec
+
+__all__ = ["Graph", "INPUT_OP", "OUTPUT_OPS"]
+
+INPUT_OP = "input"
+#: ops that conventionally terminate a graph (kept for readability only;
+#: any sink node is treated as a graph output by the memory model).
+OUTPUT_OPS = frozenset({"output"})
+
+
+class Graph:
+    """An irregularly wired neural network as a typed DAG."""
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self._nodes: dict[str, Node] = {}
+        self._succs: dict[str, list[str]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, node: Node) -> Node:
+        """Insert ``node``; all of its inputs must already be present."""
+        if node.name in self._nodes:
+            raise GraphError(f"duplicate node name {node.name!r}")
+        for src in node.inputs:
+            if src not in self._nodes:
+                raise GraphError(
+                    f"node {node.name!r} consumes unknown producer {src!r} "
+                    "(producers must be added before consumers)"
+                )
+        self._nodes[node.name] = node
+        self._succs[node.name] = []
+        for src in node.inputs:
+            self._succs[src].append(node.name)
+        return node
+
+    def add_node(
+        self,
+        name: str,
+        op: str,
+        inputs: Iterable[str] = (),
+        output: TensorSpec | tuple[int, ...] | None = None,
+        attrs: dict[str, Any] | None = None,
+        memory: MemorySemantics | None = None,
+    ) -> Node:
+        """Convenience wrapper building the :class:`Node` inline.
+
+        ``output`` may be a plain shape tuple (float32 assumed); pass
+        ``None`` only for ops whose shape the caller infers separately.
+        """
+        if output is None:
+            raise GraphError(f"node {name!r} needs an output TensorSpec")
+        if not isinstance(output, TensorSpec):
+            output = TensorSpec(tuple(output))
+        node = Node(
+            name=name,
+            op=op,
+            inputs=tuple(inputs),
+            output=output,
+            attrs=dict(attrs or {}),
+            memory=memory or MemorySemantics(),
+        )
+        return self.add(node)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._nodes
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise GraphError(f"unknown node {name!r}") from None
+
+    @property
+    def node_names(self) -> list[str]:
+        """Node names in insertion (= topological) order."""
+        return list(self._nodes)
+
+    @property
+    def nodes(self) -> list[Node]:
+        """Nodes in insertion (= topological) order."""
+        return list(self._nodes.values())
+
+    def preds(self, name: str) -> tuple[str, ...]:
+        """Producer names of ``name`` in argument order (may repeat)."""
+        return self.node(name).inputs
+
+    def succs(self, name: str) -> tuple[str, ...]:
+        """Consumer names of ``name`` in insertion order (deduplicated)."""
+        self.node(name)
+        seen: dict[str, None] = {}
+        for s in self._succs[name]:
+            seen.setdefault(s, None)
+        return tuple(seen)
+
+    def out_degree(self, name: str) -> int:
+        """Number of distinct consumers."""
+        return len(self.succs(name))
+
+    def in_degree(self, name: str) -> int:
+        """Number of distinct producers."""
+        return len(set(self.preds(name)))
+
+    @property
+    def sources(self) -> list[str]:
+        """Nodes with no producers (graph inputs / weights-on-the-fly)."""
+        return [n.name for n in self if not n.inputs]
+
+    @property
+    def sinks(self) -> list[str]:
+        """Nodes with no consumers (graph outputs)."""
+        return [name for name in self._nodes if not self._succs[name]]
+
+    @property
+    def input_nodes(self) -> list[str]:
+        return [n.name for n in self if n.op == INPUT_OP]
+
+    def edges(self) -> list[tuple[str, str]]:
+        """Distinct (producer, consumer) pairs in deterministic order."""
+        out: list[tuple[str, str]] = []
+        for node in self:
+            for src in dict.fromkeys(node.inputs):
+                out.append((src, node.name))
+        return out
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges())
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants beyond what :meth:`add` enforces.
+
+        Raises :class:`GraphError` on: empty graph, dangling view/inplace
+        semantics, or non-sink nodes with zero consumers that are not
+        explicitly marked as outputs (dead nodes distort peak memory).
+        """
+        if not self._nodes:
+            raise GraphError("graph is empty")
+        for node in self:
+            if node.memory.view and not node.inputs:
+                raise GraphError(f"view node {node.name!r} has no inputs")
+            if node.memory.inplace_of is not None:
+                src = self.node(node.inputs[node.memory.inplace_of])
+                if src.output.bytes < node.output.bytes:
+                    raise GraphError(
+                        f"in-place node {node.name!r} does not fit in its "
+                        f"target buffer ({src.output.bytes} < {node.output.bytes})"
+                    )
+
+    def is_topological(self, order: Iterable[str]) -> bool:
+        """Whether ``order`` is a permutation of the nodes that respects
+        every edge."""
+        order = list(order)
+        if sorted(order) != sorted(self._nodes):
+            return False
+        pos = {name: i for i, name in enumerate(order)}
+        return all(pos[src] < pos[dst] for src, dst in self.edges())
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "Graph":
+        g = Graph(name or self.name)
+        for node in self:
+            g.add(node.replace())
+        return g
+
+    def induced_subgraph(
+        self, names: Iterable[str], name: str = "subgraph"
+    ) -> "Graph":
+        """Induced subgraph; boundary producers become ``input`` stubs.
+
+        A node whose producer falls outside ``names`` gets that producer
+        replaced by a synthetic ``input`` node with the same tensor spec,
+        so the subgraph is schedulable in isolation (this is exactly what
+        the divide step of divide-and-conquer needs: the cut node's
+        activation is live at the boundary).
+        """
+        keep = set(names)
+        unknown = keep - set(self._nodes)
+        if unknown:
+            raise GraphError(f"unknown nodes in subgraph request: {sorted(unknown)}")
+        sub = Graph(name)
+        for node in self:  # insertion order keeps it topological
+            if node.name not in keep:
+                continue
+            for src in node.inputs:
+                if src not in keep and src not in sub:
+                    spec = self.node(src).output
+                    sub.add(
+                        Node(name=src, op=INPUT_OP, inputs=(), output=spec)
+                    )
+                    keep.add(src)
+            sub.add(node.replace())
+        return sub
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.DiGraph` (nodes keep their specs)."""
+        import networkx as nx
+
+        g = nx.DiGraph(name=self.name)
+        for node in self:
+            g.add_node(node.name, op=node.op, output=node.output)
+        g.add_edges_from(self.edges())
+        return g
+
+    # ------------------------------------------------------------------
+    # aggregate statistics (delegated to the op registry)
+    # ------------------------------------------------------------------
+    def total_activation_bytes(self) -> int:
+        """Sum of all activation tensors (upper bound on any footprint)."""
+        return sum(n.output_bytes for n in self)
+
+    def total_macs(self) -> int:
+        from repro.ops import macs_of
+
+        return sum(macs_of(self, n) for n in self)
+
+    def total_weights(self) -> int:
+        from repro.ops import weights_of
+
+        return sum(weights_of(self, n) for n in self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if set(self._nodes) != set(other._nodes):
+            return False
+        for name, node in self._nodes.items():
+            o = other._nodes[name]
+            if (
+                node.op != o.op
+                or node.inputs != o.inputs
+                or node.output != o.output
+                or node.attrs != o.attrs
+                or node.memory != o.memory
+            ):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph({self.name!r}, nodes={len(self)}, edges={self.num_edges})"

@@ -1,0 +1,104 @@
+"""Graph nodes: one operator application producing one output tensor.
+
+The IR follows the paper's model (Section 3.1): every node ``u`` produces
+exactly one activation tensor whose size is ``prod(u.shape)`` elements.
+Multi-output ops (e.g. ``split``) are modelled as one node per output
+slice, which keeps the memory bookkeeping exact and the DP state simple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.graph.tensor import TensorSpec
+
+__all__ = ["Node", "MemorySemantics"]
+
+
+@dataclass(frozen=True, slots=True)
+class MemorySemantics:
+    """How a node's output interacts with buffer memory.
+
+    The default is a fresh buffer per output. The identity-graph-rewriting
+    rules (Section 3.3) introduce two aliasing forms:
+
+    * ``inplace_of = i`` — the output reuses input ``i``'s buffer
+      (partial-conv accumulation: ``acc += w_i * x_i``).
+    * ``view = True`` — the output is a zero-copy view assembled from all
+      inputs (the concat that follows kernel-wise partitioned depthwise
+      convolutions writes each partial result directly into the final
+      buffer, giving the paper's ``max(size(x_i)) + size(y)`` cost).
+    """
+
+    inplace_of: int | None = None
+    view: bool = False
+
+    def __post_init__(self) -> None:
+        if self.inplace_of is not None and self.view:
+            raise ValueError("a node cannot be both in-place and a view")
+
+    @property
+    def aliases(self) -> bool:
+        return self.view or self.inplace_of is not None
+
+
+@dataclass(slots=True)
+class Node:
+    """One operator application.
+
+    Attributes
+    ----------
+    name:
+        Unique node identifier within its graph.
+    op:
+        Operator type name, resolved through :mod:`repro.ops` for shape
+        inference, MAC counting and execution.
+    inputs:
+        Names of producer nodes, in operator-argument order.
+    output:
+        The :class:`TensorSpec` of the produced activation.
+    attrs:
+        Operator attributes (kernel size, stride, channel slices, ...).
+    memory:
+        Buffer-aliasing semantics used by the memory model.
+    """
+
+    name: str
+    op: str
+    inputs: tuple[str, ...]
+    output: TensorSpec
+    attrs: dict[str, Any] = field(default_factory=dict)
+    memory: MemorySemantics = field(default_factory=MemorySemantics)
+
+    def __post_init__(self) -> None:
+        self.inputs = tuple(self.inputs)
+        if self.memory.inplace_of is not None and not (
+            0 <= self.memory.inplace_of < len(self.inputs)
+        ):
+            raise ValueError(
+                f"node {self.name!r}: inplace_of={self.memory.inplace_of} "
+                f"out of range for {len(self.inputs)} inputs"
+            )
+
+    @property
+    def output_bytes(self) -> int:
+        """Bytes of the produced activation tensor."""
+        return self.output.bytes
+
+    def replace(self, **changes: Any) -> "Node":
+        """A shallow copy with some fields replaced (attrs are copied)."""
+        merged = {
+            "name": self.name,
+            "op": self.op,
+            "inputs": self.inputs,
+            "output": self.output,
+            "attrs": dict(self.attrs),
+            "memory": self.memory,
+        }
+        merged.update(changes)
+        return Node(**merged)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        args = ", ".join(self.inputs)
+        return f"{self.name} = {self.op}({args}) -> {self.output}"

@@ -1,0 +1,139 @@
+"""Divide-and-conquer graph partitioning (paper Section 3.2, Fig 7).
+
+Irregularly wired networks from NAS are "hourglass shaped": cells with a
+single input and single output stacked in sequence. At each waist of the
+hourglass there is a **cut node** ``v`` such that
+
+1. every other node is an ancestor or a descendant of ``v`` (any
+   topological order schedules all of ``anc(v)`` before ``v`` and all of
+   ``desc(v)`` after), and
+2. no edge jumps over ``v`` from an ancestor to a descendant — so at the
+   moment ``v`` has just executed, ``v``'s activation is the *only* live
+   tensor.
+
+Under these two conditions the scheduling problem splits exactly: the
+optimal peak of the whole graph is the max of the optimal peaks of the
+segments between consecutive cut nodes (Wilken et al., 2000), which is
+what :mod:`repro.scheduler.divide` exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.analysis import GraphIndex, bits
+from repro.graph.graph import Graph
+
+__all__ = ["CutPoint", "find_cut_nodes", "partition_at_cuts", "Segment"]
+
+
+@dataclass(frozen=True)
+class CutPoint:
+    """A single-node graph cut."""
+
+    name: str
+    index: int
+    #: nodes scheduled strictly before the cut (mask over GraphIndex bits)
+    before_mask: int
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One divide-and-conquer subproblem.
+
+    ``entry`` is the upstream cut node whose activation is live when the
+    segment starts (``None`` for the first segment). ``graph`` contains
+    the entry as an ``input`` stub so the segment is independently
+    schedulable; ``exit`` is the downstream cut node, included in the
+    segment (it is the segment's sink).
+    """
+
+    graph: Graph
+    entry: str | None
+    exit: str | None
+    #: names of the segment's nodes in the parent graph, excluding the
+    #: entry stub (i.e. the nodes this segment is responsible for
+    #: scheduling), in parent topological order.
+    owned: tuple[str, ...]
+
+
+def find_cut_nodes(graph: Graph, index: GraphIndex | None = None) -> list[CutPoint]:
+    """All single-node cuts of ``graph``, in topological order.
+
+    A node ``v`` qualifies iff (a) every node is comparable to ``v`` and
+    (b) every edge leaving the downset ``anc(v) | {v}`` originates at
+    ``v`` itself. Sources/sinks of a connected hourglass graph qualify
+    trivially and delimit the first/last segments.
+    """
+    idx = index or GraphIndex.build(graph)
+    full = idx.full_mask
+    cuts: list[CutPoint] = []
+    for i in range(idx.n):
+        if idx.comparable_mask(i) != full:
+            continue
+        before = idx.ancestors_mask[i]
+        inside = before | (1 << i)
+        ok = True
+        for j in bits(before):
+            if idx.succs_mask[j] & ~inside:
+                ok = False
+                break
+        if ok:
+            cuts.append(CutPoint(name=idx.order[i], index=i, before_mask=before))
+    cuts.sort(key=lambda c: c.before_mask.bit_count())
+    return cuts
+
+
+def partition_at_cuts(
+    graph: Graph,
+    cuts: list[CutPoint] | None = None,
+    min_segment_nodes: int = 2,
+) -> list[Segment]:
+    """Split ``graph`` into segments between consecutive cut nodes.
+
+    Consecutive cuts with fewer than ``min_segment_nodes`` new nodes in
+    between are merged (cutting there buys nothing). Returns at least one
+    segment; with no interior cut the single segment is the whole graph.
+    """
+    idx = GraphIndex.build(graph)
+    cuts = find_cut_nodes(graph, idx) if cuts is None else cuts
+
+    # Keep cuts that advance by at least min_segment_nodes.
+    kept: list[CutPoint] = []
+    prev_count = 0
+    for cut in cuts:
+        count = cut.before_mask.bit_count() + 1  # nodes up to and incl. cut
+        if count - prev_count >= min_segment_nodes and count < idx.n:
+            kept.append(cut)
+            prev_count = count
+        elif count == idx.n:
+            # final sink — never a useful boundary on its own
+            continue
+
+    segments: list[Segment] = []
+    prev_cut: CutPoint | None = None
+    boundaries = kept + [None]  # type: ignore[list-item]
+    for cut in boundaries:
+        if cut is None:
+            lo_mask = prev_cut.before_mask | (1 << prev_cut.index) if prev_cut else 0
+            owned_idx = [i for i in range(idx.n) if not (lo_mask >> i) & 1]
+            exit_name = None
+        else:
+            lo_mask = prev_cut.before_mask | (1 << prev_cut.index) if prev_cut else 0
+            hi_mask = cut.before_mask | (1 << cut.index)
+            owned_idx = [i for i in bits(hi_mask & ~lo_mask)]
+            exit_name = cut.name
+        if not owned_idx:
+            prev_cut = cut
+            continue
+        owned = tuple(idx.order[i] for i in sorted(owned_idx))
+        entry = prev_cut.name if prev_cut else None
+        # The entry cut node is *not* owned: induced_subgraph stubs it as
+        # an ``input`` node automatically, modelling its activation being
+        # live (and already paid for) at the segment boundary.
+        sub = graph.induced_subgraph(
+            list(owned), name=f"{graph.name}/seg{len(segments)}"
+        )
+        segments.append(Segment(graph=sub, entry=entry, exit=exit_name, owned=owned))
+        prev_cut = cut
+    return segments

@@ -1,0 +1,103 @@
+"""Graph (de)serialisation: JSON documents and networkx round-trips.
+
+The JSON schema is intentionally simple and versioned so saved benchmark
+graphs remain loadable:
+
+.. code-block:: json
+
+    {"format": "repro-graph/1", "name": "...", "nodes": [
+        {"name": "x", "op": "input", "inputs": [],
+         "shape": [8, 16, 16], "dtype": "float32",
+         "attrs": {...}, "memory": {"view": false, "inplace_of": null}}
+    ]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph
+from repro.graph.node import MemorySemantics, Node
+from repro.graph.tensor import DType, TensorSpec
+
+__all__ = ["graph_to_dict", "graph_from_dict", "save_graph", "load_graph"]
+
+_FORMAT = "repro-graph/1"
+
+
+def _attrs_to_json(attrs: dict[str, Any]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, tuple):
+            value = list(value)
+        out[key] = value
+    return out
+
+
+def _attrs_from_json(attrs: dict[str, Any]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, list):
+            value = tuple(value)
+        out[key] = value
+    return out
+
+
+def graph_to_dict(graph: Graph) -> dict[str, Any]:
+    """Serialise ``graph`` to a JSON-compatible dict."""
+    return {
+        "format": _FORMAT,
+        "name": graph.name,
+        "nodes": [
+            {
+                "name": n.name,
+                "op": n.op,
+                "inputs": list(n.inputs),
+                "shape": list(n.output.shape),
+                "dtype": n.output.dtype.value,
+                "attrs": _attrs_to_json(n.attrs),
+                "memory": {
+                    "view": n.memory.view,
+                    "inplace_of": n.memory.inplace_of,
+                },
+            }
+            for n in graph
+        ],
+    }
+
+
+def graph_from_dict(doc: dict[str, Any]) -> Graph:
+    """Inverse of :func:`graph_to_dict`."""
+    if doc.get("format") != _FORMAT:
+        raise GraphError(f"unsupported graph format {doc.get('format')!r}")
+    graph = Graph(doc.get("name", "graph"))
+    for entry in doc["nodes"]:
+        mem = entry.get("memory", {})
+        graph.add(
+            Node(
+                name=entry["name"],
+                op=entry["op"],
+                inputs=tuple(entry["inputs"]),
+                output=TensorSpec(
+                    tuple(entry["shape"]), DType(entry.get("dtype", "float32"))
+                ),
+                attrs=_attrs_from_json(entry.get("attrs", {})),
+                memory=MemorySemantics(
+                    inplace_of=mem.get("inplace_of"), view=mem.get("view", False)
+                ),
+            )
+        )
+    return graph
+
+
+def save_graph(graph: Graph, path: str | Path) -> None:
+    """Write ``graph`` as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=2))
+
+
+def load_graph(path: str | Path) -> Graph:
+    """Load a graph saved by :func:`save_graph`."""
+    return graph_from_dict(json.loads(Path(path).read_text()))

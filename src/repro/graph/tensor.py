@@ -1,0 +1,99 @@
+"""Tensor metadata for the graph IR.
+
+SERENITY never touches tensor *values* at scheduling time; the IR only
+carries shapes and dtypes so the scheduler can account for activation
+bytes. The NumPy reference executor (:mod:`repro.runtime`) consumes the
+same metadata when verifying graph rewrites numerically.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+__all__ = ["DType", "TensorSpec"]
+
+
+class DType(enum.Enum):
+    """Element types supported by the IR.
+
+    The paper's footprint numbers assume a fixed element width per
+    network; we default to ``float32`` but the whole stack is
+    parameterised so int8-quantised variants can be scheduled too.
+    """
+
+    FLOAT32 = "float32"
+    FLOAT16 = "float16"
+    INT8 = "int8"
+    UINT8 = "uint8"
+    INT32 = "int32"
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per element."""
+        return int(np.dtype(self.value).itemsize)
+
+    @property
+    def numpy(self) -> np.dtype:
+        """The equivalent NumPy dtype object."""
+        return np.dtype(self.value)
+
+    @classmethod
+    def from_any(cls, value: "DType | str | np.dtype") -> "DType":
+        """Coerce a string/NumPy dtype/DType into a :class:`DType`."""
+        if isinstance(value, cls):
+            return value
+        return cls(np.dtype(value).name)
+
+
+@dataclass(frozen=True, slots=True)
+class TensorSpec:
+    """Shape + dtype of one activation tensor.
+
+    Shapes follow ``(channels, height, width)`` for feature maps (the
+    batch dimension is always 1 on edge devices and is omitted), but any
+    rank is allowed — e.g. ``(features,)`` for dense layers.
+    """
+
+    shape: tuple[int, ...]
+    dtype: DType = DType.FLOAT32
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.shape, tuple):
+            object.__setattr__(self, "shape", tuple(self.shape))
+        if any((not isinstance(d, int)) or d <= 0 for d in self.shape):
+            raise ShapeError(f"invalid tensor shape {self.shape!r}")
+        object.__setattr__(self, "dtype", DType.from_any(self.dtype))
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def elements(self) -> int:
+        """Number of scalar elements (``prod(shape)``)."""
+        return math.prod(self.shape)
+
+    @property
+    def bytes(self) -> int:
+        """Activation bytes this tensor occupies — the paper's
+        ``prod(u.shape)`` scaled by element width."""
+        return self.elements * self.dtype.itemsize
+
+    @property
+    def kib(self) -> float:
+        """Size in KiB (the unit used throughout the paper's figures)."""
+        return self.bytes / 1024.0
+
+    def with_shape(self, shape: tuple[int, ...]) -> "TensorSpec":
+        """A copy with a different shape, keeping the dtype."""
+        return TensorSpec(tuple(shape), self.dtype)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dims = "x".join(str(d) for d in self.shape)
+        return f"{dims}:{self.dtype.value}"

@@ -1,0 +1,85 @@
+"""Graph normalisation passes applied before scheduling.
+
+``mark_concat_views`` implements the concat buffer sharing every serious
+edge runtime performs (and which the paper's Fig 9 cost model assumes:
+the pre-rewrite footprint of ``concat -> conv`` is ``sum(x_i) + y``,
+i.e. the concatenated tensor is *not* double-buffered): a concat operand
+whose only consumer is the concat can be produced directly into its
+slice of the concat output buffer. Operands with additional consumers
+stay separately materialised and are copied at concat time (partial
+view, recorded in the ``view_inputs`` attr).
+
+The pass is applied by every model-zoo factory so the TFLite-like
+baseline and SERENITY schedules are compared under identical, realistic
+buffer semantics.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+from repro.graph.node import MemorySemantics
+
+__all__ = ["mark_concat_views"]
+
+
+def mark_concat_views(graph: Graph) -> Graph:
+    """Return a copy with eligible concat operands aliased into the
+    concat output buffer.
+
+    An operand (input occurrence) is eligible iff
+
+    * it appears exactly once in the concat's input list (a repeated
+      operand cannot occupy two offsets of one buffer),
+    * it is not claimed by another view concat (a tensor cannot be a
+      slice of two different buffers),
+    * it is not itself aliased in-place into some other buffer, and
+    * it is not a graph input (whose placement is fixed by the caller).
+
+    Operands with *additional* consumers remain eligible: each slice is
+    written exactly once, and other readers simply read from within the
+    shared buffer — this is what lets e.g. a DARTS state that feeds both
+    the cell-output concat and a later op chain live directly in the
+    cell-output buffer. Concats whose every operand is ineligible stay
+    ordinary copies.
+    """
+    out = Graph(graph.name)
+    inplace_nodes = {
+        n.name for n in graph if n.memory.inplace_of is not None
+    }
+    # operands already aliased into an existing view buffer cannot be a
+    # slice of a second one (makes the pass idempotent and safe to run
+    # after rewriting, whose gather concats are views)
+    claimed: set[str] = set()
+    for node in graph:
+        if node.memory.view:
+            aliased = node.attrs.get("view_inputs")
+            indices = range(len(node.inputs)) if aliased is None else aliased
+            claimed.update(node.inputs[j] for j in indices)
+    for node in graph:
+        if node.op != "concat" or node.memory.view or not node.inputs:
+            out.add(node.replace())
+            continue
+        counts: dict[str, int] = {}
+        for src in node.inputs:
+            counts[src] = counts.get(src, 0) + 1
+        eligible = tuple(
+            j
+            for j, src in enumerate(node.inputs)
+            if counts[src] == 1
+            and src not in claimed
+            and src not in inplace_nodes
+            and graph.node(src).op != "input"
+        )
+        claimed.update(node.inputs[j] for j in eligible)
+        if not eligible:
+            out.add(node.replace())
+            continue
+        attrs = dict(node.attrs)
+        if len(eligible) < len(node.inputs):
+            attrs["view_inputs"] = eligible
+        else:
+            attrs.pop("view_inputs", None)
+        out.add(
+            node.replace(attrs=attrs, memory=MemorySemantics(view=True))
+        )
+    return out

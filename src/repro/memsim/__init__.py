@@ -1,0 +1,29 @@
+"""Two-level memory-hierarchy simulation (off-chip traffic, Fig 11)."""
+
+from repro.memsim.hierarchy import (
+    MemoryHierarchySimulator,
+    TrafficReport,
+    offchip_traffic,
+)
+from repro.memsim.policies import (
+    BeladyPolicy,
+    FIFOPolicy,
+    LRUPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.memsim.trace import Access, AccessTrace, build_trace
+
+__all__ = [
+    "Access",
+    "AccessTrace",
+    "build_trace",
+    "ReplacementPolicy",
+    "BeladyPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "make_policy",
+    "MemoryHierarchySimulator",
+    "TrafficReport",
+    "offchip_traffic",
+]

@@ -1,0 +1,158 @@
+"""Schedule → access trace for the memory-hierarchy simulator.
+
+Traffic is modelled at **tile granularity** (default 8 KB): kernels
+stream feature maps row-by-row, so the unit of DRAM↔SRAM movement is a
+tile of a tensor, not the whole activation — without this, a tensor
+larger than SRAM would bypass entirely and every schedule would look
+identical at small capacities. ``tile_bytes=None`` falls back to
+whole-tensor transfers.
+
+Buffer aliasing (view concats, in-place accumulation) affects
+*allocation* footprints, not transfer sizes, so the trace resolves
+through aliasing:
+
+* a view (zero-copy concat) performs no accesses of its own;
+* reading a view's output reads each underlying materialised tensor
+  (recursively — nested views resolve all the way down);
+* an in-place node writes a fresh logical tensor version (same bytes).
+
+Each executed node contributes, in order: read accesses for every tile
+of every distinct resolved input tensor, then write accesses for its own
+output tiles (unless it is a view). Accesses carry the step index and
+whether this is the tile's *last* use (dead afterwards — droppable
+without writeback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.graph.graph import Graph
+from repro.scheduler.memory import BufferModel
+from repro.scheduler.schedule import Schedule
+
+__all__ = ["Access", "AccessTrace", "build_trace"]
+
+
+#: default DRAM↔SRAM transfer granularity
+DEFAULT_TILE_BYTES = 8 * 1024
+
+
+@dataclass(frozen=True)
+class Access:
+    step: int
+    node: str
+    #: id of the transferred object: (tensor index, tile index)
+    buffer_id: tuple[int, int]
+    size: int
+    kind: str  # 'read' | 'write'
+    last_use: bool
+
+
+@dataclass(frozen=True)
+class AccessTrace:
+    """Flat access sequence plus per-object access positions (the
+    clairvoyant knowledge Belady's policy needs)."""
+
+    accesses: tuple[Access, ...]
+    #: object id -> ascending positions in ``accesses``
+    positions: dict[tuple[int, int], tuple[int, ...]]
+    n_buffers: int
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    @property
+    def total_bytes_touched(self) -> int:
+        return sum(a.size for a in self.accesses)
+
+
+def build_trace(
+    graph: Graph,
+    schedule: Schedule,
+    model: BufferModel | None = None,
+    tile_bytes: int | None = DEFAULT_TILE_BYTES,
+) -> AccessTrace:
+    """Linearise ``schedule`` into tile accesses (see module docstring).
+
+    ``model`` is accepted for interface compatibility; only its index is
+    used when provided.
+    """
+    idx = model.index if model is not None else None
+    if idx is None:
+        from repro.graph.analysis import GraphIndex
+
+        idx = GraphIndex.build(graph)
+
+    is_view = tuple(graph.node(name).memory.view for name in idx.order)
+    _memo: dict[int, tuple[int, ...]] = {}
+
+    def materialize(i: int) -> tuple[int, ...]:
+        """Materialised tensor ids behind node *i*'s output."""
+        if i in _memo:
+            return _memo[i]
+        if not is_view[i]:
+            out: tuple[int, ...] = (i,)
+        else:
+            seen: dict[int, None] = {}
+            for p in idx.preds[i]:
+                for t in materialize(p):
+                    seen.setdefault(t, None)
+            out = tuple(seen)
+        _memo[i] = out
+        return out
+
+    def tiles_of(t: int) -> list[tuple[tuple[int, int], int]]:
+        """[(object id, tile bytes)] for tensor t."""
+        total = idx.out_bytes[t]
+        if tile_bytes is None or total <= tile_bytes:
+            return [((t, 0), total)]
+        n_full, rem = divmod(total, tile_bytes)
+        sizes = [tile_bytes] * n_full + ([rem] if rem else [])
+        return [((t, k), sz) for k, sz in enumerate(sizes)]
+
+    raw: list[tuple[int, str, tuple[int, int], int, str]] = []
+    for step, name in enumerate(schedule):
+        u = idx.index[name]
+        if is_view[u]:
+            continue  # zero-copy: a view moves no data of its own
+        seen: dict[int, None] = {}
+        for p in idx.preds[u]:
+            for t in materialize(p):
+                seen.setdefault(t, None)
+        for t in seen:
+            for obj, sz in tiles_of(t):
+                raw.append((step, name, obj, sz, "read"))
+        for obj, sz in tiles_of(u):
+            raw.append((step, name, obj, sz, "write"))
+
+    positions: dict[tuple[int, int], list[int]] = {}
+    for i, (_, _, obj, _, _) in enumerate(raw):
+        positions.setdefault(obj, []).append(i)
+
+    # A tensor is persistent (never droppable) iff it is a graph output
+    # itself or lives inside a view chain ending at a graph output.
+    persistent: set[int] = set()
+    for i in range(idx.n):
+        if not idx.succs[i]:
+            persistent.update(materialize(i))
+
+    last_pos = {obj: ps[-1] for obj, ps in positions.items()}
+    accesses = tuple(
+        Access(
+            step=step,
+            node=node,
+            buffer_id=obj,
+            size=sz,
+            kind=kind,
+            last_use=(i == last_pos[obj]) and obj[0] not in persistent,
+        )
+        for i, (step, name_, obj, sz, kind) in enumerate(raw)
+        for node in (name_,)
+    )
+    return AccessTrace(
+        accesses=accesses,
+        positions={obj: tuple(ps) for obj, ps in positions.items()},
+        n_buffers=idx.n,
+    )

@@ -1,0 +1,38 @@
+"""Model zoo: the irregularly wired networks of the paper's Table 1."""
+
+from repro.models.darts import DARTS_V2_NORMAL, darts_normal_cell
+from repro.models.nasnet import nasnet_a_cell
+from repro.models.randwire import RANDWIRE_DEFAULTS, random_dag, randwire_stage
+from repro.models.suite import (
+    BENCHMARK_SUITE,
+    PAPER_GEOMEANS,
+    CellSpec,
+    get_cell,
+    suite_cells,
+)
+from repro.models.swiftnet import (
+    SWIFTNET_PARTITION,
+    swiftnet_cell_a,
+    swiftnet_cell_b,
+    swiftnet_cell_c,
+    swiftnet_hpd,
+)
+
+__all__ = [
+    "darts_normal_cell",
+    "DARTS_V2_NORMAL",
+    "nasnet_a_cell",
+    "random_dag",
+    "randwire_stage",
+    "RANDWIRE_DEFAULTS",
+    "swiftnet_cell_a",
+    "swiftnet_cell_b",
+    "swiftnet_cell_c",
+    "swiftnet_hpd",
+    "SWIFTNET_PARTITION",
+    "BENCHMARK_SUITE",
+    "PAPER_GEOMEANS",
+    "CellSpec",
+    "get_cell",
+    "suite_cells",
+]

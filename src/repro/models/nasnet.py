@@ -1,0 +1,55 @@
+"""NASNet-A-like normal cell (Zoph et al., CVPR 2018) — extension model.
+
+Not part of the paper's evaluation suite (the paper cites NASNet as the
+stacking convention DARTS follows); included as an extra irregular
+workload for the examples and for stress-testing the scheduler on a
+five-block cell with heavy skip connectivity.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.graph.transforms import mark_concat_views
+
+__all__ = ["nasnet_a_cell"]
+
+#: (op_left, input_left, op_right, input_right) per block; inputs index
+#: the state list (0 = c_{k-2}, 1 = c_{k-1}, 2+ = prior blocks).
+_NASNET_A_NORMAL = (
+    ("sep_conv_3x3", 1, "identity", 1),
+    ("sep_conv_3x3", 0, "sep_conv_3x3", 1),
+    ("avg_pool_3x3", 1, "identity", 0),
+    ("avg_pool_3x3", 0, "avg_pool_3x3", 0),
+    ("sep_conv_3x3", 1, "identity", 1),
+)
+
+
+def _apply(b: GraphBuilder, op: str, x: str, channels: int, name: str) -> str:
+    if op == "sep_conv_3x3":
+        r = b.relu(x, name=f"{name}/relu")
+        d = b.depthwise_conv2d(r, kernel=3, name=f"{name}/dw")
+        p = b.conv2d(d, channels, kernel=1, name=f"{name}/pw")
+        return b.batch_norm(p, name=f"{name}/bn")
+    if op == "avg_pool_3x3":
+        return b.avg_pool2d(x, kernel=3, stride=1, padding="same", name=f"{name}/avg")
+    if op == "identity":
+        return b.identity(x, name=f"{name}/id")
+    raise ValueError(f"unknown NASNet op {op!r}")
+
+
+def nasnet_a_cell(channels: int = 32, hw: int = 28) -> Graph:
+    """One NASNet-A normal cell; output concatenates all unused states."""
+    b = GraphBuilder("nasnet-a-normal")
+    s0 = b.input("c_km2", (channels, hw, hw))
+    s1 = b.input("c_km1", (channels, hw, hw))
+    states = [s0, s1]
+    used: set[int] = set()
+    for i, (op_l, in_l, op_r, in_r) in enumerate(_NASNET_A_NORMAL):
+        left = _apply(b, op_l, states[in_l], channels, f"b{i}/l")
+        right = _apply(b, op_r, states[in_r], channels, f"b{i}/r")
+        states.append(b.add(left, right, name=f"b{i}/add"))
+        used.update((in_l, in_r))
+    loose = [s for j, s in enumerate(states) if j not in used and j >= 1]
+    b.concat(loose, name="cell_out")
+    return mark_concat_views(b.build())

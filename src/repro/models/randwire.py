@@ -1,0 +1,121 @@
+"""RandWire randomly wired networks (Xie et al., ICCV 2019).
+
+Generates the random-graph stages ("cells") evaluated on CIFAR10/100.
+The generative process follows the paper exactly:
+
+1. sample an undirected graph from a classic random family —
+   Watts–Strogatz ``WS(n, k, p)`` (RandWire's default, ``k=4, p=0.75``),
+   Erdős–Rényi ``ER(n, p)`` or Barabási–Albert ``BA(n, m)`` — with a
+   fixed seed;
+2. orient every edge from lower to upper node index (yielding a DAG);
+3. nodes without in-edges read from the stage input, nodes without
+   out-edges are averaged into the stage output.
+
+Each random node is lowered to one *fused* ``relu → sepconv3x3 → bn``
+unit producing a single ``channels x hw x hw`` activation — the paper's
+scheduling granularity (one activation tensor per graph node, Fig 6);
+the transient depthwise intermediate inside the unit is private to the
+fused kernel. Aggregation of multiple in-edges is an explicit ``add``
+node (weighted sum in RandWire), so the irregular wiring is fully
+visible to the scheduler. There are **no concats**, which is why
+identity graph rewriting leaves RandWire untouched — matching Fig 10,
+where the DP-only and DP+rewriting bars are identical for RandWire.
+
+Stage emission is level-by-level (networkx topological generations),
+the order a framework exporter produces — and the order the
+TFLite-style baseline executes.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.exceptions import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+
+__all__ = ["random_dag", "randwire_stage", "RANDWIRE_DEFAULTS"]
+
+#: the generator settings RandWire uses for its headline results
+RANDWIRE_DEFAULTS = {"k": 4, "p": 0.75}
+
+
+def random_dag(
+    n: int,
+    generator: str = "ws",
+    seed: int = 0,
+    k: int = 4,
+    p: float = 0.75,
+    m: int = 5,
+) -> "nx.DiGraph":
+    """A random DAG over nodes ``0..n-1`` via index-orientation.
+
+    ``generator``: ``ws`` (Watts–Strogatz, connected variant), ``er``
+    (Erdős–Rényi G(n, p)) or ``ba`` (Barabási–Albert with ``m`` edges
+    per new node).
+    """
+    if generator == "ws":
+        und = nx.connected_watts_strogatz_graph(n, k, p, seed=seed)
+    elif generator == "er":
+        und = nx.erdos_renyi_graph(n, p, seed=seed)
+    elif generator == "ba":
+        und = nx.barabasi_albert_graph(n, m, seed=seed)
+    else:
+        raise GraphError(f"unknown random graph generator {generator!r}")
+    dag = nx.DiGraph()
+    dag.add_nodes_from(range(n))
+    dag.add_edges_from((min(u, v), max(u, v)) for u, v in und.edges())
+    return dag
+
+
+def randwire_stage(
+    n: int = 24,
+    channels: int = 16,
+    hw: int = 16,
+    generator: str = "ws",
+    seed: int = 0,
+    name: str | None = None,
+    **gen_kwargs,
+) -> Graph:
+    """One RandWire stage as a schedulable graph.
+
+    The stage input is a ``channels x hw x hw`` activation; every random
+    node is a fused separable-conv unit at the same shape; sink nodes are
+    combined by ``add`` and projected by a strided pointwise conv (the
+    stage's hand-off to the next resolution).
+    """
+    dag = random_dag(n, generator=generator, seed=seed, **gen_kwargs)
+    b = GraphBuilder(name or f"randwire-{generator}{n}-s{seed}")
+    x = b.input("x", (channels, hw, hw))
+
+    produced: dict[int, str] = {}
+    # level-by-level emission (exporter order): generations of the DAG
+    for level in nx.topological_generations(dag):
+        for i in sorted(level):
+            preds = sorted(dag.predecessors(i))
+            if not preds:
+                feed = x
+            elif len(preds) == 1:
+                feed = produced[preds[0]]
+            else:
+                feed = b.add(
+                    *[produced[j] for j in preds], name=f"n{i}/agg"
+                )
+            r = b.relu(feed, name=f"n{i}/relu")
+            s = b.op(
+                "fused_sep_conv3x3",
+                (r,),
+                name=f"n{i}/sep",
+                out_channels=channels,
+                kernel=3,
+            )
+            produced[i] = s
+
+    sinks = [i for i in dag.nodes if dag.out_degree(i) == 0]
+    tail = (
+        produced[sinks[0]]
+        if len(sinks) == 1
+        else b.add(*[produced[i] for i in sorted(sinks)], name="out/agg")
+    )
+    b.conv2d(tail, channels * 2, kernel=1, stride=2, name="out/proj")
+    return b.build()

@@ -1,0 +1,135 @@
+"""SwiftNet-like cells A/B/C (Zhang et al., 2019) for the HPD workload.
+
+SwiftNet's exact node-level architecture is not public, so these cells
+are *synthesised to the paper's published structural facts* (the
+substitution is recorded in DESIGN.md):
+
+* the full network has **62 nodes partitioned {21, 19, 22}** at the two
+  cell-boundary cuts — Table 2's ``62={21,19,22}`` (cell A's 21 includes
+  the network input; B and C contribute 19 and 22 nodes);
+* concat-heavy multi-branch wiring with depthwise-separable convs, so
+  both identity-rewriting patterns (``concat->conv`` and
+  ``concat->depthwise``) fire, as they do on the real SwiftNet
+  (Table 2's 62 -> 92 node growth);
+* activation tensors in the hundreds-of-KB regime of Fig 12/15 (fp32).
+
+Nodes are emitted **level by level** (all branch depthwise convs, then
+all pointwise convs), matching how graph exporters serialise NAS cells —
+this is the operator order the TFLite-like baseline executes, and it is
+what makes the baseline's peak poor on wide cells: every branch's
+intermediate is alive simultaneously.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.graph.transforms import mark_concat_views
+
+__all__ = [
+    "swiftnet_cell_a",
+    "swiftnet_cell_b",
+    "swiftnet_cell_c",
+    "swiftnet_hpd",
+    "SWIFTNET_PARTITION",
+]
+
+#: Table 2 partition sizes (owned nodes per divide-and-conquer segment)
+SWIFTNET_PARTITION = (21, 19, 22)
+
+
+def _cell_a_body(b: GraphBuilder, x: str, p: str = "") -> str:
+    """Cell A body: 20 nodes after the input (21 counting it)."""
+    stem = b.conv2d(x, 28, kernel=1, stride=2, name=f"{p}stem_pw")
+    # block 1: five separable branches, emitted level-wise (BFS)
+    dws = [b.depthwise_conv2d(stem, kernel=3, name=f"{p}b1_dw{i}") for i in range(5)]
+    pws = [b.conv2d(d, 7, kernel=1, name=f"{p}b1_pw{i}") for i, d in enumerate(dws)]
+    cat1 = b.concat(pws, name=f"{p}cat1")
+    merge = b.conv2d(cat1, 32, kernel=3, stride=2, name=f"{p}merge_conv")
+    # block 2: five pointwise branches gathered by a depthwise conv
+    qws = [b.conv2d(merge, 7, kernel=1, name=f"{p}b2_pw{i}") for i in range(5)]
+    cat2 = b.concat(qws, name=f"{p}cat2")
+    return b.depthwise_conv2d(cat2, kernel=3, name=f"{p}tail_dw")
+
+
+def _cell_b_body(b: GraphBuilder, x: str, p: str = "") -> str:
+    """Cell B body: 19 nodes after the input. Branches expand straight
+    off the cell input (channel multiplier 2) — no stem, so the baseline
+    pays for every expanded branch at once."""
+    dws = [
+        b.depthwise_conv2d(x, kernel=3, multiplier=2, name=f"{p}b1_dw{i}")
+        for i in range(4)
+    ]
+    pws = [b.conv2d(d, 10, kernel=1, name=f"{p}b1_pw{i}") for i, d in enumerate(dws)]
+    cat1 = b.concat(pws, name=f"{p}cat1")
+    merge = b.conv2d(cat1, 24, kernel=3, name=f"{p}merge_conv")
+    norm = b.batch_norm(merge, name=f"{p}merge_bn")
+    qws = [b.conv2d(norm, 8, kernel=1, name=f"{p}b2_pw{i}") for i in range(5)]
+    cat2 = b.concat(qws, name=f"{p}cat2")
+    tail = b.depthwise_conv2d(cat2, kernel=3, name=f"{p}tail_dw")
+    return b.conv2d(tail, 24, kernel=1, name=f"{p}tail_pw")
+
+
+def _cell_c_body(b: GraphBuilder, x: str, p: str = "") -> str:
+    """Cell C body: 22 nodes after the input (the network's final cell):
+    a 7-way expansion block (depthwise channel multiplier 2) whose concat
+    dominates the footprint — rewriting shines here, as in the paper's
+    Cell C (Fig 10's largest rewriting gain)."""
+    stem = b.conv2d(x, 24, kernel=1, stride=2, name=f"{p}stem_pw")
+    dws = [
+        b.depthwise_conv2d(stem, kernel=3, multiplier=2, name=f"{p}b1_dw{i}")
+        for i in range(7)
+    ]
+    pws = [b.conv2d(d, 8, kernel=1, name=f"{p}b1_pw{i}") for i, d in enumerate(dws)]
+    cat1 = b.concat(pws, name=f"{p}cat1")
+    merge = b.conv2d(cat1, 32, kernel=3, name=f"{p}merge_conv")
+    qws = [b.conv2d(merge, 12, kernel=1, name=f"{p}b2_pw{i}") for i in range(2)]
+    cat2 = b.concat(qws, name=f"{p}cat2")
+    tail = b.depthwise_conv2d(cat2, kernel=3, name=f"{p}tail_dw")
+    return b.global_avg_pool(tail, name=f"{p}gap")
+
+
+def _standalone(name: str, input_shape: tuple[int, int, int], body) -> Graph:
+    b = GraphBuilder(name)
+    x = b.input("x", input_shape)
+    body(b, x)
+    # TFLite-style concat buffer sharing (see graph.transforms)
+    return mark_concat_views(b.build())
+
+
+def swiftnet_cell_a(input_shape: tuple[int, int, int] = (8, 56, 56)) -> Graph:
+    """Cell A standalone: 21 nodes including the HPD input."""
+    g = _standalone("swiftnet-a", input_shape, _cell_a_body)
+    assert len(g) == 21, f"cell A must have 21 nodes, got {len(g)}"
+    return g
+
+
+def swiftnet_cell_b(input_shape: tuple[int, int, int] = (35, 14, 14)) -> Graph:
+    """Cell B standalone: 19 owned nodes plus the boundary input stub."""
+    g = _standalone("swiftnet-b", input_shape, _cell_b_body)
+    assert len(g) == 20, f"cell B must have 20 nodes standalone, got {len(g)}"
+    return g
+
+
+def swiftnet_cell_c(input_shape: tuple[int, int, int] = (24, 14, 14)) -> Graph:
+    """Cell C standalone: 22 owned nodes plus the boundary input stub."""
+    g = _standalone("swiftnet-c", input_shape, _cell_c_body)
+    assert len(g) == 23, f"cell C must have 23 nodes standalone, got {len(g)}"
+    return g
+
+
+def swiftnet_hpd(input_shape: tuple[int, int, int] = (8, 56, 56)) -> Graph:
+    """The full 62-node SwiftNet: cells A → B → C stacked at single-node
+    cuts — the hourglass topology divide-and-conquer exploits
+    (Table 2: ``62 = {21, 19, 22}``)."""
+    b = GraphBuilder("swiftnet-hpd")
+    x = b.input("x", input_shape)
+
+    prev = _cell_a_body(b, x, "A/")
+    prev = _cell_b_body(b, prev, "B/")
+    _cell_c_body(b, prev, "C/")
+    g = mark_concat_views(b.build())
+    assert len(g) == sum(SWIFTNET_PARTITION), (
+        f"SwiftNet must have {sum(SWIFTNET_PARTITION)} nodes, got {len(g)}"
+    )
+    return g

@@ -1,0 +1,55 @@
+"""Operator library: schemas, shape inference and cost accounting.
+
+Importing this package registers the full built-in operator set.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+from repro.graph.node import Node
+from repro.ops.base import (
+    OpSchema,
+    get_op,
+    has_op,
+    infer_shape,
+    op_macs,
+    op_weights,
+    register_op,
+    registered_ops,
+)
+
+# Importing the submodules populates the registry.
+from repro.ops import conv as _conv  # noqa: F401
+from repro.ops import dense as _dense  # noqa: F401
+from repro.ops import elementwise as _elementwise  # noqa: F401
+from repro.ops import fused as _fused  # noqa: F401
+from repro.ops import norm as _norm  # noqa: F401
+from repro.ops import pool as _pool  # noqa: F401
+from repro.ops import shape_ops as _shape_ops  # noqa: F401
+
+__all__ = [
+    "OpSchema",
+    "register_op",
+    "get_op",
+    "has_op",
+    "registered_ops",
+    "infer_shape",
+    "op_macs",
+    "op_weights",
+    "macs_of",
+    "weights_of",
+]
+
+
+def _input_specs(graph: Graph, node: Node):
+    return [graph.node(src).output for src in node.inputs]
+
+
+def macs_of(graph: Graph, node: Node) -> int:
+    """Multiply-accumulate count of ``node`` within ``graph``."""
+    return op_macs(node.op, _input_specs(graph, node), node.output, node.attrs)
+
+
+def weights_of(graph: Graph, node: Node) -> int:
+    """Learnable parameter count of ``node`` within ``graph``."""
+    return op_weights(node.op, _input_specs(graph, node), node.output, node.attrs)

@@ -1,0 +1,164 @@
+"""Operator registry: shape inference and MAC/parameter accounting.
+
+Each operator type registers an :class:`OpSchema`. The registry is the
+single source of truth used by
+
+* :class:`repro.graph.builder.GraphBuilder` (shape inference at build time),
+* Table 1 statistics (MAC / weight counting),
+* the NumPy executor (which keeps its own kernel table in
+  :mod:`repro.runtime.kernels`, keyed by the same op names).
+
+Schemas are deliberately metadata-only — no tensor math here — so the
+scheduler stack never imports NumPy kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import ShapeError, UnknownOpError
+from repro.graph.tensor import TensorSpec
+
+__all__ = [
+    "OpSchema",
+    "register_op",
+    "get_op",
+    "has_op",
+    "registered_ops",
+    "infer_shape",
+    "op_macs",
+    "op_weights",
+    "conv_output_hw",
+    "normalize_pair",
+]
+
+ShapeFn = Callable[[list[TensorSpec], dict[str, Any]], TensorSpec]
+CountFn = Callable[[list[TensorSpec], TensorSpec, dict[str, Any]], int]
+
+
+def _zero(_inputs: list[TensorSpec], _out: TensorSpec, _attrs: dict[str, Any]) -> int:
+    return 0
+
+
+@dataclass(frozen=True)
+class OpSchema:
+    """Static description of one operator type."""
+
+    name: str
+    infer_shape: ShapeFn
+    macs: CountFn = field(default=_zero)
+    weights: CountFn = field(default=_zero)
+    #: minimum number of inputs (None = exactly ``max_inputs``)
+    min_inputs: int = 1
+    #: maximum number of inputs (None = unbounded, e.g. concat)
+    max_inputs: int | None = 1
+
+
+_REGISTRY: dict[str, OpSchema] = {}
+
+
+def register_op(schema: OpSchema) -> OpSchema:
+    """Register ``schema``; re-registration with identical name replaces
+    (useful for tests extending the op set)."""
+    _REGISTRY[schema.name] = schema
+    return schema
+
+
+def has_op(name: str) -> bool:
+    return name in _REGISTRY
+
+
+def get_op(name: str) -> OpSchema:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownOpError(f"operator {name!r} is not registered") from None
+
+
+def registered_ops() -> list[str]:
+    """All registered op names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def _check_arity(schema: OpSchema, n: int) -> None:
+    lo = schema.min_inputs
+    hi = schema.max_inputs
+    if n < lo or (hi is not None and n > hi):
+        bound = f"exactly {lo}" if hi == lo else f"between {lo} and {hi or 'inf'}"
+        raise ShapeError(f"op {schema.name!r} expects {bound} inputs, got {n}")
+
+
+def infer_shape(
+    op: str, inputs: list[TensorSpec], attrs: dict[str, Any]
+) -> TensorSpec:
+    """Infer the output spec of ``op`` applied to ``inputs``."""
+    schema = get_op(op)
+    _check_arity(schema, len(inputs))
+    return schema.infer_shape(inputs, attrs)
+
+
+def op_macs(op: str, inputs: list[TensorSpec], out: TensorSpec, attrs: dict) -> int:
+    """Multiply-accumulate count of one node."""
+    return get_op(op).macs(inputs, out, attrs)
+
+
+def op_weights(op: str, inputs: list[TensorSpec], out: TensorSpec, attrs: dict) -> int:
+    """Learnable parameter count of one node."""
+    return get_op(op).weights(inputs, out, attrs)
+
+
+# ----------------------------------------------------------------------
+# shared shape helpers
+# ----------------------------------------------------------------------
+def normalize_pair(value: int | tuple[int, int], what: str) -> tuple[int, int]:
+    """Accept ``3`` or ``(3, 3)`` style kernel/stride attributes."""
+    if isinstance(value, int):
+        if value <= 0:
+            raise ShapeError(f"{what} must be positive, got {value}")
+        return (value, value)
+    pair = tuple(value)
+    if len(pair) != 2 or any((not isinstance(v, int)) or v <= 0 for v in pair):
+        raise ShapeError(f"{what} must be an int or a pair of ints, got {value!r}")
+    return pair  # type: ignore[return-value]
+
+
+def conv_output_hw(
+    h: int,
+    w: int,
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+    padding: str | int | tuple[int, int],
+) -> tuple[int, int]:
+    """Spatial output size under ``same``/``valid``/explicit padding.
+
+    ``same`` follows the TensorFlow convention ``ceil(in / stride)``;
+    ``valid`` is ``floor((in - k) / stride) + 1``.
+    """
+    kh, kw = kernel
+    sh, sw = stride
+    if padding == "same":
+        oh = -(-h // sh)
+        ow = -(-w // sw)
+    elif padding == "valid":
+        oh = (h - kh) // sh + 1
+        ow = (w - kw) // sw + 1
+    else:
+        ph, pw = normalize_pair(padding, "padding") if not isinstance(
+            padding, int
+        ) else (padding, padding)
+        oh = (h + 2 * ph - kh) // sh + 1
+        ow = (w + 2 * pw - kw) // sw + 1
+    if oh <= 0 or ow <= 0:
+        raise ShapeError(
+            f"convolution output collapsed to {oh}x{ow} "
+            f"(input {h}x{w}, kernel {kernel}, stride {stride}, padding {padding!r})"
+        )
+    return oh, ow
+
+
+def require_chw(spec: TensorSpec, op: str) -> tuple[int, int, int]:
+    """Unpack a (C, H, W) feature map or raise a helpful error."""
+    if spec.rank != 3:
+        raise ShapeError(f"op {op!r} expects (C, H, W) input, got {spec.shape}")
+    return spec.shape  # type: ignore[return-value]

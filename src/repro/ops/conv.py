@@ -1,0 +1,169 @@
+"""Convolution operators: full, depthwise, and the *partial* variants
+introduced by identity graph rewriting (paper Section 3.3, Fig 9).
+
+Attribute conventions (all ops):
+
+``kernel``            int or (kh, kw)
+``stride``            int or (sh, sw), default 1
+``padding``           'same' | 'valid' | int | (ph, pw), default 'same'
+``use_bias``          bool, default True (bias parameters counted once)
+
+``conv2d`` additionally takes ``out_channels``; ``depthwise_conv2d`` takes
+``multiplier`` (channel multiplier, default 1).
+
+The partial ops carry bookkeeping attributes linking them back to the
+rewritten pattern:
+
+``partial_conv2d``            ``in_slice=(lo, hi)`` — channel range of the
+                              original (pre-rewrite) concatenated input this
+                              partial convolution covers; ``accumulate`` —
+                              whether input 1 is a running accumulator.
+``partial_depthwise_conv2d``  ``in_slice=(lo, hi)`` — kernel slice of the
+                              original depthwise convolution.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import ShapeError
+from repro.graph.tensor import TensorSpec
+from repro.ops.base import (
+    OpSchema,
+    conv_output_hw,
+    normalize_pair,
+    register_op,
+    require_chw,
+)
+
+__all__ = ["conv_attrs"]
+
+
+def conv_attrs(attrs: dict[str, Any]) -> tuple[tuple[int, int], tuple[int, int], Any, bool]:
+    """Normalised (kernel, stride, padding, use_bias) tuple."""
+    kernel = normalize_pair(attrs.get("kernel", 1), "kernel")
+    stride = normalize_pair(attrs.get("stride", 1), "stride")
+    padding = attrs.get("padding", "same")
+    use_bias = bool(attrs.get("use_bias", True))
+    return kernel, stride, padding, use_bias
+
+
+# ----------------------------------------------------------------------
+# conv2d
+# ----------------------------------------------------------------------
+def _conv2d_shape(inputs: list[TensorSpec], attrs: dict[str, Any]) -> TensorSpec:
+    c, h, w = require_chw(inputs[0], "conv2d")
+    kernel, stride, padding, _ = conv_attrs(attrs)
+    out_channels = int(attrs["out_channels"])
+    if out_channels <= 0:
+        raise ShapeError(f"conv2d out_channels must be positive, got {out_channels}")
+    oh, ow = conv_output_hw(h, w, kernel, stride, padding)
+    return TensorSpec((out_channels, oh, ow), inputs[0].dtype)
+
+
+def _conv2d_macs(inputs: list[TensorSpec], out: TensorSpec, attrs: dict) -> int:
+    c = inputs[0].shape[0]
+    kernel, _, _, _ = conv_attrs(attrs)
+    m, oh, ow = out.shape
+    return m * oh * ow * c * kernel[0] * kernel[1]
+
+
+def _conv2d_weights(inputs: list[TensorSpec], out: TensorSpec, attrs: dict) -> int:
+    c = inputs[0].shape[0]
+    kernel, _, _, use_bias = conv_attrs(attrs)
+    m = out.shape[0]
+    return m * c * kernel[0] * kernel[1] + (m if use_bias else 0)
+
+
+register_op(
+    OpSchema(
+        name="conv2d",
+        infer_shape=_conv2d_shape,
+        macs=_conv2d_macs,
+        weights=_conv2d_weights,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# partial_conv2d — channel-wise partitioned convolution (+ accumulation)
+# ----------------------------------------------------------------------
+def _partial_conv2d_shape(inputs: list[TensorSpec], attrs: dict[str, Any]) -> TensorSpec:
+    out = _conv2d_shape(inputs[:1], attrs)
+    if bool(attrs.get("accumulate", False)):
+        if len(inputs) != 2:
+            raise ShapeError("accumulating partial_conv2d needs (x, acc) inputs")
+        if inputs[1].shape != out.shape:
+            raise ShapeError(
+                f"accumulator shape {inputs[1].shape} != partial output {out.shape}"
+            )
+    elif len(inputs) != 1:
+        raise ShapeError("non-accumulating partial_conv2d takes exactly one input")
+    return out
+
+
+def _partial_conv2d_weights(inputs: list[TensorSpec], out: TensorSpec, attrs: dict) -> int:
+    # The weight slice is part of the original conv's kernel; bias is
+    # attributed to the first (non-accumulating) partial only, flagged by
+    # the rewriter via ``owns_bias``.
+    c = inputs[0].shape[0]
+    kernel, _, _, use_bias = conv_attrs(attrs)
+    m = out.shape[0]
+    bias = m if (use_bias and attrs.get("owns_bias", False)) else 0
+    return m * c * kernel[0] * kernel[1] + bias
+
+
+register_op(
+    OpSchema(
+        name="partial_conv2d",
+        infer_shape=_partial_conv2d_shape,
+        macs=_conv2d_macs,
+        weights=_partial_conv2d_weights,
+        min_inputs=1,
+        max_inputs=2,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# depthwise_conv2d
+# ----------------------------------------------------------------------
+def _depthwise_shape(inputs: list[TensorSpec], attrs: dict[str, Any]) -> TensorSpec:
+    c, h, w = require_chw(inputs[0], "depthwise_conv2d")
+    kernel, stride, padding, _ = conv_attrs(attrs)
+    multiplier = int(attrs.get("multiplier", 1))
+    if multiplier <= 0:
+        raise ShapeError(f"depthwise multiplier must be positive, got {multiplier}")
+    oh, ow = conv_output_hw(h, w, kernel, stride, padding)
+    return TensorSpec((c * multiplier, oh, ow), inputs[0].dtype)
+
+
+def _depthwise_macs(inputs: list[TensorSpec], out: TensorSpec, attrs: dict) -> int:
+    kernel, _, _, _ = conv_attrs(attrs)
+    m, oh, ow = out.shape
+    return m * oh * ow * kernel[0] * kernel[1]
+
+
+def _depthwise_weights(inputs: list[TensorSpec], out: TensorSpec, attrs: dict) -> int:
+    kernel, _, _, use_bias = conv_attrs(attrs)
+    m = out.shape[0]
+    return m * kernel[0] * kernel[1] + (m if use_bias else 0)
+
+
+register_op(
+    OpSchema(
+        name="depthwise_conv2d",
+        infer_shape=_depthwise_shape,
+        macs=_depthwise_macs,
+        weights=_depthwise_weights,
+    )
+)
+
+register_op(
+    OpSchema(
+        name="partial_depthwise_conv2d",
+        infer_shape=_depthwise_shape,
+        macs=_depthwise_macs,
+        weights=_depthwise_weights,
+    )
+)

@@ -1,0 +1,40 @@
+"""Fully connected (dense) operator."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import ShapeError
+from repro.graph.tensor import TensorSpec
+from repro.ops.base import OpSchema, register_op
+
+
+def _dense_shape(inputs: list[TensorSpec], attrs: dict[str, Any]) -> TensorSpec:
+    units = int(attrs["units"])
+    if units <= 0:
+        raise ShapeError(f"dense units must be positive, got {units}")
+    if inputs[0].rank != 1:
+        raise ShapeError(
+            f"dense expects a flattened (features,) input, got {inputs[0].shape}; "
+            "insert a flatten node"
+        )
+    return TensorSpec((units,), inputs[0].dtype)
+
+
+def _dense_macs(inputs: list[TensorSpec], out: TensorSpec, attrs: dict) -> int:
+    return inputs[0].elements * out.elements
+
+
+def _dense_weights(inputs: list[TensorSpec], out: TensorSpec, attrs: dict) -> int:
+    bias = out.elements if attrs.get("use_bias", True) else 0
+    return inputs[0].elements * out.elements + bias
+
+
+register_op(
+    OpSchema(
+        name="dense",
+        infer_shape=_dense_shape,
+        macs=_dense_macs,
+        weights=_dense_weights,
+    )
+)

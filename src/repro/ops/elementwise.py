@@ -1,0 +1,65 @@
+"""Elementwise operators: activations and binary arithmetic."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import ShapeError
+from repro.graph.tensor import TensorSpec
+from repro.ops.base import OpSchema, register_op
+
+
+def _unary_shape(inputs: list[TensorSpec], attrs: dict[str, Any]) -> TensorSpec:
+    return inputs[0]
+
+
+def _unary_macs(inputs: list[TensorSpec], out: TensorSpec, attrs: dict) -> int:
+    return out.elements
+
+
+for _name in ("relu", "relu6", "sigmoid", "tanh", "identity"):
+    register_op(
+        OpSchema(
+            name=_name,
+            infer_shape=_unary_shape,
+            macs=_unary_macs if _name != "identity" else (lambda i, o, a: 0),
+        )
+    )
+
+
+def _nary_same_shape(inputs: list[TensorSpec], attrs: dict[str, Any]) -> TensorSpec:
+    first = inputs[0]
+    for spec in inputs[1:]:
+        if spec.shape != first.shape:
+            raise ShapeError(
+                f"elementwise operands differ: {first.shape} vs {spec.shape}"
+            )
+        if spec.dtype != first.dtype:
+            raise ShapeError(
+                f"elementwise dtypes differ: {first.dtype} vs {spec.dtype}"
+            )
+    return first
+
+
+def _nary_macs(inputs: list[TensorSpec], out: TensorSpec, attrs: dict) -> int:
+    return out.elements * (len(inputs) - 1)
+
+
+register_op(
+    OpSchema(
+        name="add",
+        infer_shape=_nary_same_shape,
+        macs=_nary_macs,
+        min_inputs=2,
+        max_inputs=None,
+    )
+)
+register_op(
+    OpSchema(
+        name="mul",
+        infer_shape=_nary_same_shape,
+        macs=_nary_macs,
+        min_inputs=2,
+        max_inputs=None,
+    )
+)

@@ -1,0 +1,61 @@
+"""Fused composite operators.
+
+``fused_sep_conv3x3`` is the RandWire node unit (relu is kept separate;
+the depthwise + pointwise pair is fused): one output activation per
+graph node, with the depthwise intermediate private to the kernel. This
+is the scheduling granularity the paper uses for RandWire graphs — the
+graph node *is* the unit of allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import ShapeError
+from repro.graph.tensor import TensorSpec
+from repro.ops.base import (
+    OpSchema,
+    conv_output_hw,
+    normalize_pair,
+    register_op,
+    require_chw,
+)
+
+
+def _fused_sep_shape(inputs: list[TensorSpec], attrs: dict[str, Any]) -> TensorSpec:
+    c, h, w = require_chw(inputs[0], "fused_sep_conv3x3")
+    kernel = normalize_pair(attrs.get("kernel", 3), "kernel")
+    stride = normalize_pair(attrs.get("stride", 1), "stride")
+    padding = attrs.get("padding", "same")
+    out_channels = int(attrs.get("out_channels", c))
+    if out_channels <= 0:
+        raise ShapeError("fused_sep_conv3x3 out_channels must be positive")
+    oh, ow = conv_output_hw(h, w, kernel, stride, padding)
+    return TensorSpec((out_channels, oh, ow), inputs[0].dtype)
+
+
+def _fused_sep_macs(inputs: list[TensorSpec], out: TensorSpec, attrs: dict) -> int:
+    c = inputs[0].shape[0]
+    kernel = normalize_pair(attrs.get("kernel", 3), "kernel")
+    m, oh, ow = out.shape
+    depthwise = c * oh * ow * kernel[0] * kernel[1]
+    pointwise = m * oh * ow * c
+    return depthwise + pointwise
+
+
+def _fused_sep_weights(inputs: list[TensorSpec], out: TensorSpec, attrs: dict) -> int:
+    c = inputs[0].shape[0]
+    kernel = normalize_pair(attrs.get("kernel", 3), "kernel")
+    m = out.shape[0]
+    bias = m if attrs.get("use_bias", True) else 0
+    return c * kernel[0] * kernel[1] + c * m + bias
+
+
+register_op(
+    OpSchema(
+        name="fused_sep_conv3x3",
+        infer_shape=_fused_sep_shape,
+        macs=_fused_sep_macs,
+        weights=_fused_sep_weights,
+    )
+)

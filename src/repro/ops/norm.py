@@ -1,0 +1,33 @@
+"""Normalisation operators (inference-time batch norm)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.graph.tensor import TensorSpec
+from repro.ops.base import OpSchema, register_op, require_chw
+
+
+def _bn_shape(inputs: list[TensorSpec], attrs: dict[str, Any]) -> TensorSpec:
+    require_chw(inputs[0], "batch_norm")
+    return inputs[0]
+
+
+def _bn_macs(inputs: list[TensorSpec], out: TensorSpec, attrs: dict) -> int:
+    # Folded scale + shift: one multiply-add per element.
+    return out.elements
+
+
+def _bn_weights(inputs: list[TensorSpec], out: TensorSpec, attrs: dict) -> int:
+    # Inference-time BN folds to per-channel (scale, shift).
+    return 2 * inputs[0].shape[0]
+
+
+register_op(
+    OpSchema(
+        name="batch_norm",
+        infer_shape=_bn_shape,
+        macs=_bn_macs,
+        weights=_bn_weights,
+    )
+)

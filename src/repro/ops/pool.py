@@ -1,0 +1,46 @@
+"""Pooling operators (max / average / global average)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.graph.tensor import TensorSpec
+from repro.ops.base import (
+    OpSchema,
+    conv_output_hw,
+    normalize_pair,
+    register_op,
+    require_chw,
+)
+
+
+def _pool_shape(inputs: list[TensorSpec], attrs: dict[str, Any]) -> TensorSpec:
+    c, h, w = require_chw(inputs[0], "pool2d")
+    kernel = normalize_pair(attrs.get("kernel", 2), "kernel")
+    stride = normalize_pair(attrs.get("stride", kernel), "stride")
+    padding = attrs.get("padding", "valid")
+    oh, ow = conv_output_hw(h, w, kernel, stride, padding)
+    return TensorSpec((c, oh, ow), inputs[0].dtype)
+
+
+def _pool_macs(inputs: list[TensorSpec], out: TensorSpec, attrs: dict) -> int:
+    # Comparisons/additions, counted like one MAC per window element, the
+    # convention used by common profilers for pooling cost.
+    kernel = normalize_pair(attrs.get("kernel", 2), "kernel")
+    return out.elements * kernel[0] * kernel[1]
+
+
+register_op(OpSchema(name="max_pool2d", infer_shape=_pool_shape, macs=_pool_macs))
+register_op(OpSchema(name="avg_pool2d", infer_shape=_pool_shape, macs=_pool_macs))
+
+
+def _gap_shape(inputs: list[TensorSpec], attrs: dict[str, Any]) -> TensorSpec:
+    c, h, w = require_chw(inputs[0], "global_avg_pool")
+    return TensorSpec((c, 1, 1), inputs[0].dtype)
+
+
+def _gap_macs(inputs: list[TensorSpec], out: TensorSpec, attrs: dict) -> int:
+    return inputs[0].elements
+
+
+register_op(OpSchema(name="global_avg_pool", infer_shape=_gap_shape, macs=_gap_macs))

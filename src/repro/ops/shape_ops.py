@@ -1,0 +1,71 @@
+"""Shape-manipulating operators: input, concat, flatten, slice.
+
+``concat`` concatenates along the channel axis (axis 0 of ``(C, H, W)``),
+the only concat direction the paper's networks use. The identity graph
+rewriter re-emits concat nodes with ``MemorySemantics(view=True)`` when
+the inputs can be written straight into the output buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import ShapeError
+from repro.graph.tensor import TensorSpec
+from repro.ops.base import OpSchema, register_op, require_chw
+
+
+def _input_shape(inputs: list[TensorSpec], attrs: dict[str, Any]) -> TensorSpec:
+    shape = attrs.get("shape")
+    if shape is None:
+        raise ShapeError("input op requires a 'shape' attribute")
+    return TensorSpec(tuple(shape), attrs.get("dtype", "float32"))
+
+
+register_op(
+    OpSchema(name="input", infer_shape=_input_shape, min_inputs=0, max_inputs=0)
+)
+
+
+def _concat_shape(inputs: list[TensorSpec], attrs: dict[str, Any]) -> TensorSpec:
+    axis = int(attrs.get("axis", 0))
+    if axis != 0:
+        raise ShapeError("concat is only supported along the channel axis (0)")
+    first = inputs[0]
+    for spec in inputs:
+        if spec.rank != first.rank:
+            raise ShapeError("concat operands must share rank")
+        if spec.shape[1:] != first.shape[1:]:
+            raise ShapeError(
+                f"concat operands must share trailing dims: "
+                f"{first.shape} vs {spec.shape}"
+            )
+        if spec.dtype != first.dtype:
+            raise ShapeError("concat operands must share dtype")
+    channels = sum(spec.shape[0] for spec in inputs)
+    return TensorSpec((channels, *first.shape[1:]), first.dtype)
+
+
+register_op(
+    OpSchema(
+        name="concat", infer_shape=_concat_shape, min_inputs=1, max_inputs=None
+    )
+)
+
+
+def _flatten_shape(inputs: list[TensorSpec], attrs: dict[str, Any]) -> TensorSpec:
+    return TensorSpec((inputs[0].elements,), inputs[0].dtype)
+
+
+register_op(OpSchema(name="flatten", infer_shape=_flatten_shape))
+
+
+def _slice_channels_shape(inputs: list[TensorSpec], attrs: dict[str, Any]) -> TensorSpec:
+    c, h, w = require_chw(inputs[0], "slice_channels")
+    lo, hi = attrs["range"]
+    if not (0 <= lo < hi <= c):
+        raise ShapeError(f"slice range ({lo}, {hi}) invalid for {c} channels")
+    return TensorSpec((hi - lo, h, w), inputs[0].dtype)
+
+
+register_op(OpSchema(name="slice_channels", infer_shape=_slice_channels_shape))

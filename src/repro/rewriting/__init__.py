@@ -1,0 +1,32 @@
+"""Identity graph rewriting (paper Section 3.3)."""
+
+from repro.rewriting.patterns import Match, RewriteRule
+from repro.rewriting.rewriter import (
+    IdentityGraphRewriter,
+    RewriteResult,
+    rewrite_graph,
+)
+from repro.rewriting.extra_rules import (
+    EXTRA_RULES,
+    ConcatFlattening,
+    IdentityElimination,
+)
+from repro.rewriting.rules import (
+    DEFAULT_RULES,
+    ChannelWisePartitioning,
+    KernelWisePartitioning,
+)
+
+__all__ = [
+    "Match",
+    "RewriteRule",
+    "IdentityGraphRewriter",
+    "RewriteResult",
+    "rewrite_graph",
+    "ChannelWisePartitioning",
+    "KernelWisePartitioning",
+    "DEFAULT_RULES",
+    "EXTRA_RULES",
+    "ConcatFlattening",
+    "IdentityElimination",
+]

@@ -1,0 +1,134 @@
+"""Additional identity rewriting rules (extensions beyond the paper).
+
+* :class:`ConcatFlattening` — ``concat(concat(a, b), c) ->
+  concat(a, b, c)``: flattening nested concats is an identity (channel
+  order is preserved) and *enables* the paper's partitioning rules,
+  whose matchers only see one concat level.
+* :class:`IdentityElimination` — drops ``identity`` nodes, rerouting
+  consumers to the source (frameworks insert these as placeholders; each
+  one costs a full activation copy in the memory model).
+
+Neither is in the default rule set (to keep the paper-faithful pipeline
+exactly the paper's); compose them explicitly:
+
+>>> from repro.rewriting import IdentityGraphRewriter, DEFAULT_RULES
+>>> from repro.rewriting.extra_rules import EXTRA_RULES
+>>> rewriter = IdentityGraphRewriter(EXTRA_RULES + DEFAULT_RULES)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.graph.graph import Graph
+from repro.graph.node import Node
+from repro.ops import infer_shape
+from repro.rewriting.patterns import Match
+
+__all__ = ["ConcatFlattening", "IdentityElimination", "EXTRA_RULES"]
+
+
+class ConcatFlattening:
+    """Inline a concat's concat-operands when they have no other reader."""
+
+    name = "concat_flattening"
+
+    def find(self, graph: Graph) -> list[Match]:
+        matches = []
+        claimed: set[str] = set()
+        for node in graph:
+            if node.op != "concat":
+                continue
+            inner = [
+                src
+                for src in node.inputs
+                if graph.node(src).op == "concat"
+                and not graph.node(src).memory.view
+                and graph.succs(src) == (node.name,)
+                and src not in claimed
+            ]
+            if not inner or node.name in claimed:
+                continue
+            claimed.update(inner)
+            claimed.add(node.name)
+            matches.append(
+                Match(
+                    rule=self.name,
+                    anchor=node.name,
+                    removed=tuple(inner) + (node.name,),
+                )
+            )
+        return matches
+
+    def emit(
+        self,
+        graph: Graph,
+        match: Match,
+        namer: Callable[[str], str],
+        rename: dict[str, str],
+    ) -> Iterator[Node]:
+        outer = graph.node(match.anchor)
+        inner_names = set(match.removed) - {match.anchor}
+        flat: list[str] = []
+        for src in outer.inputs:
+            if src in inner_names:
+                flat.extend(
+                    rename.get(s, s) for s in graph.node(src).inputs
+                )
+            else:
+                flat.append(rename.get(src, src))
+        # resolve specs through the original graph (rewrites preserve
+        # output specs, so the renamed producer has the old one's shape)
+        specs = [graph.node(_original(graph, s, rename)).output for s in flat]
+        out = infer_shape("concat", specs, dict(outer.attrs))
+        node = Node(
+            name=namer(f"{outer.name}/flat"),
+            op="concat",
+            inputs=tuple(flat),
+            output=out,
+            attrs={k: v for k, v in outer.attrs.items() if k != "view_inputs"},
+            memory=outer.memory,
+        )
+        yield node
+        rename[outer.name] = node.name
+
+
+def _original(graph: Graph, name: str, rename: dict[str, str]) -> str:
+    """Resolve a possibly-renamed node back to an original graph name
+    carrying the same tensor spec (rewrites preserve output specs)."""
+    if name in graph:
+        return name
+    for old, new in rename.items():
+        if new == name:
+            return old
+    raise KeyError(name)  # pragma: no cover - rename map is total
+
+
+class IdentityElimination:
+    """Reroute consumers of ``identity`` nodes to the underlying source."""
+
+    name = "identity_elimination"
+
+    def find(self, graph: Graph) -> list[Match]:
+        return [
+            # an identity that *is* a graph output must stay: something
+            # has to hold the output tensor
+            Match(rule=self.name, anchor=node.name, removed=(node.name,))
+            for node in graph
+            if node.op == "identity" and graph.succs(node.name)
+        ]
+
+    def emit(
+        self,
+        graph: Graph,
+        match: Match,
+        namer: Callable[[str], str],
+        rename: dict[str, str],
+    ) -> Iterator[Node]:
+        node = graph.node(match.anchor)
+        source = node.inputs[0]
+        rename[node.name] = rename.get(source, source)
+        return iter(())
+
+
+EXTRA_RULES = (ConcatFlattening(), IdentityElimination())

@@ -1,0 +1,88 @@
+"""Pattern matching for identity graph rewriting (paper Section 3.3).
+
+Following compiler practice (LLVM-style peephole matching), a rule scans
+the graph for occurrences of a small subgraph pattern and reports
+:class:`Match` objects; the rewriter then reconstructs the graph with
+each match replaced. Matching and replacement are kept separate so rules
+stay declarative and replacements compose in one reconstruction pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.graph.graph import Graph
+from repro.graph.node import Node
+
+__all__ = ["Match", "RewriteRule", "concat_sole_consumer_matches"]
+
+
+@dataclass(frozen=True)
+class Match:
+    """One rule application site.
+
+    ``anchor`` is the node whose position in the topological order hosts
+    the replacement emission (the conv/depthwise following the concat);
+    ``removed`` are the original nodes the replacement supersedes;
+    ``rule`` identifies the matching rule.
+    """
+
+    rule: str
+    anchor: str
+    removed: tuple[str, ...]
+
+
+class RewriteRule(Protocol):
+    """Interface implemented by the rules in :mod:`repro.rewriting.rules`."""
+
+    name: str
+
+    def find(self, graph: Graph) -> list[Match]:
+        """All non-overlapping applications in ``graph``."""
+        ...
+
+    def emit(self, graph: Graph, match: Match, namer, rename: dict[str, str]):
+        """Yield replacement :class:`Node` objects for ``match``.
+
+        ``namer(base)`` returns collision-free node names; ``rename``
+        maps already-replaced producer names to their substitutes and
+        must be updated with the mapping for the anchor's output.
+        """
+        ...
+
+
+def concat_sole_consumer_matches(
+    graph: Graph, consumer_op: str, rule: str
+) -> list[Match]:
+    """Shared matcher: ``concat -> <consumer_op>`` where the concat has at
+    least two inputs and the consumer is its only reader.
+
+    A concat with additional readers must stay materialised, so
+    partitioning it would *add* memory pressure rather than remove it —
+    both paper patterns require sole consumption.
+    """
+    matches: list[Match] = []
+    claimed: set[str] = set()
+    for node in graph:
+        if node.op != consumer_op or len(node.inputs) != 1:
+            continue
+        src = graph.node(node.inputs[0])
+        # View concats match too: even with buffer sharing the whole
+        # concatenated tensor coexists with the consumer's output
+        # (sum(x_i) + y, Fig 9 left); partitioning still reduces it to
+        # max(x_i) + y. Gather concats emitted by the kernel-wise rule
+        # are excluded (their inputs are already partial results).
+        if src.op != "concat" or src.attrs.get("gather", False):
+            continue
+        if len(src.inputs) < 2 or len(set(src.inputs)) != len(src.inputs):
+            continue
+        if graph.succs(src.name) != (node.name,):
+            continue
+        if src.name in claimed or node.name in claimed:
+            continue
+        claimed.update((src.name, node.name))
+        matches.append(
+            Match(rule=rule, anchor=node.name, removed=(src.name, node.name))
+        )
+    return matches

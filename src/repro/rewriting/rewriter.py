@@ -1,0 +1,139 @@
+"""Identity graph rewriter: applies the rules in one reconstruction pass.
+
+The rewriter walks the original graph in topological order, skips nodes
+superseded by a match, emits each match's replacement at the position of
+its anchor, and remaps inputs through the accumulated rename table. The
+output is a fresh :class:`Graph`; the input graph is never mutated.
+
+``rewrite_graph`` can optionally iterate to a fixed point: a replacement
+can expose a new match (e.g. a concat whose new sole consumer is a
+conv). The paper applies one pass; fixed-point iteration is available as
+an extension (``until_fixed_point=True``) and is exercised in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.graph.graph import Graph
+from repro.rewriting.patterns import Match, RewriteRule
+from repro.rewriting.rules import DEFAULT_RULES
+
+__all__ = ["RewriteResult", "IdentityGraphRewriter", "rewrite_graph"]
+
+
+@dataclass(frozen=True)
+class RewriteResult:
+    """Outcome of rewriting a graph."""
+
+    graph: Graph
+    #: total matches applied
+    applied: int
+    #: per-rule application counts
+    by_rule: dict[str, int] = field(default_factory=dict)
+    #: matches in application order
+    matches: tuple[Match, ...] = ()
+    #: original node name -> replacement node name, for every node whose
+    #: output was superseded (used to pair graph outputs when verifying
+    #: numerical equivalence)
+    renamed: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def changed(self) -> bool:
+        return self.applied > 0
+
+
+class IdentityGraphRewriter:
+    """Applies a rule set to graphs (defaults to the paper's two rules)."""
+
+    def __init__(self, rules: Sequence[RewriteRule] = DEFAULT_RULES) -> None:
+        self.rules = tuple(rules)
+
+    def rewrite_once(self, graph: Graph) -> RewriteResult:
+        """One matching + reconstruction pass."""
+        matches: list[Match] = []
+        claimed: set[str] = set()
+        for rule in self.rules:
+            for match in rule.find(graph):
+                if claimed & set(match.removed):
+                    continue
+                claimed.update(match.removed)
+                matches.append(match)
+        if not matches:
+            return RewriteResult(graph=graph, applied=0)
+
+        by_anchor = {m.anchor: m for m in matches}
+        removed = {name for m in matches for name in m.removed}
+        rule_by_name = {r.name: r for r in self.rules}
+
+        out = Graph(graph.name)
+        rename: dict[str, str] = {}
+        taken = set(graph.node_names)
+
+        def namer(base: str) -> str:
+            name = base
+            bump = 0
+            while name in taken or name in out:
+                bump += 1
+                name = f"{base}.{bump}"
+            taken.add(name)
+            return name
+
+        counts: dict[str, int] = {}
+        for node in graph:
+            match = by_anchor.get(node.name)
+            if match is not None:
+                rule = rule_by_name[match.rule]
+                for new_node in rule.emit(graph, match, namer, rename):
+                    out.add(new_node)
+                counts[match.rule] = counts.get(match.rule, 0) + 1
+                continue
+            if node.name in removed:
+                continue  # e.g. the concat — superseded, emits nothing
+            out.add(
+                node.replace(
+                    inputs=tuple(rename.get(src, src) for src in node.inputs)
+                )
+            )
+        out.validate()
+        return RewriteResult(
+            graph=out,
+            applied=len(matches),
+            by_rule=counts,
+            matches=tuple(matches),
+            renamed=dict(rename),
+        )
+
+    def rewrite(self, graph: Graph, until_fixed_point: bool = False) -> RewriteResult:
+        """Apply rules; optionally iterate until no rule fires."""
+        result = self.rewrite_once(graph)
+        if not until_fixed_point:
+            return result
+        total = result.applied
+        counts = dict(result.by_rule)
+        matches = list(result.matches)
+        renamed = dict(result.renamed)
+        while result.changed:
+            result = self.rewrite_once(result.graph)
+            total += result.applied
+            for k, v in result.by_rule.items():
+                counts[k] = counts.get(k, 0) + v
+            matches.extend(result.matches)
+            # compose rename chains across passes
+            renamed = {
+                old: result.renamed.get(new, new) for old, new in renamed.items()
+            }
+            renamed.update(result.renamed)
+        return RewriteResult(
+            graph=result.graph,
+            applied=total,
+            by_rule=counts,
+            matches=tuple(matches),
+            renamed=renamed,
+        )
+
+
+def rewrite_graph(graph: Graph, until_fixed_point: bool = False) -> RewriteResult:
+    """Module-level convenience using the default (paper) rule set."""
+    return IdentityGraphRewriter().rewrite(graph, until_fixed_point=until_fixed_point)

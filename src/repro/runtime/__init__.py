@@ -1,0 +1,21 @@
+"""NumPy reference runtime for executing and verifying graphs."""
+
+from repro.runtime.executor import Executor, init_params, random_feeds
+from repro.runtime.kernels import KERNELS, conv2d, depthwise_conv2d
+from repro.runtime.verify import (
+    EquivalenceReport,
+    derive_rewritten_params,
+    verify_rewrite,
+)
+
+__all__ = [
+    "Executor",
+    "init_params",
+    "random_feeds",
+    "KERNELS",
+    "conv2d",
+    "depthwise_conv2d",
+    "EquivalenceReport",
+    "derive_rewritten_params",
+    "verify_rewrite",
+]

@@ -1,0 +1,258 @@
+"""NumPy reference kernels for every operator.
+
+These are *correctness* kernels: vectorised over the spatial dimensions
+(per the NumPy-idiom guidance — the inner loops run only over kernel
+taps, never pixels) but written for clarity, not throughput. They give
+the rewriting rules an executable semantics so identity preservation is
+testable with ``allclose`` rather than argued on paper.
+
+Layout conventions: feature maps are ``(C, H, W)``; convolution weights
+``(M, C, kh, kw)``; depthwise weights ``(C, mult, kh, kw)``; dense
+weights ``(units, features)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ExecutionError
+from repro.ops.base import conv_output_hw, normalize_pair
+
+__all__ = [
+    "pad_same",
+    "conv2d",
+    "depthwise_conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "KERNELS",
+]
+
+
+def _padding_amounts(
+    h: int, w: int, kernel: tuple[int, int], stride: tuple[int, int], padding
+) -> tuple[tuple[int, int], tuple[int, int]]:
+    """TensorFlow-convention padding: asymmetric ``same``, zero ``valid``,
+    symmetric explicit."""
+    kh, kw = kernel
+    sh, sw = stride
+    if padding == "same":
+        oh, ow = conv_output_hw(h, w, kernel, stride, "same")
+        ph = max((oh - 1) * sh + kh - h, 0)
+        pw = max((ow - 1) * sw + kw - w, 0)
+        return (ph // 2, ph - ph // 2), (pw // 2, pw - pw // 2)
+    if padding == "valid":
+        return (0, 0), (0, 0)
+    ph, pw = (padding, padding) if isinstance(padding, int) else normalize_pair(
+        padding, "padding"
+    )
+    return (ph, ph), (pw, pw)
+
+
+def pad_same(x: np.ndarray, kernel, stride, padding) -> np.ndarray:
+    """Zero-pad a (C, H, W) map for the requested padding mode."""
+    (pt, pb), (pl, pr) = _padding_amounts(
+        x.shape[1], x.shape[2], kernel, stride, padding
+    )
+    if pt == pb == pl == pr == 0:
+        return x
+    return np.pad(x, ((0, 0), (pt, pb), (pl, pr)))
+
+
+def _tap_view(xp: np.ndarray, u: int, v: int, oh: int, ow: int, sh: int, sw: int):
+    """The (C, oh, ow) input window hitting kernel tap (u, v)."""
+    return xp[:, u : u + oh * sh : sh, v : v + ow * sw : sw]
+
+
+def conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride=1,
+    padding="same",
+) -> np.ndarray:
+    """Standard convolution: ``(C,H,W) x (M,C,kh,kw) -> (M,oh,ow)``."""
+    kernel = weight.shape[2], weight.shape[3]
+    stride = normalize_pair(stride, "stride")
+    oh, ow = conv_output_hw(x.shape[1], x.shape[2], kernel, stride, padding)
+    xp = pad_same(x, kernel, stride, padding)
+    out = np.zeros((weight.shape[0], oh, ow), dtype=np.result_type(x, weight))
+    for u in range(kernel[0]):
+        for v in range(kernel[1]):
+            window = _tap_view(xp, u, v, oh, ow, *stride)
+            out += np.einsum("chw,mc->mhw", window, weight[:, :, u, v])
+    if bias is not None:
+        out += bias[:, None, None]
+    return out
+
+
+def depthwise_conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride=1,
+    padding="same",
+) -> np.ndarray:
+    """Depthwise convolution: ``(C,H,W) x (C,mult,kh,kw) -> (C*mult,oh,ow)``.
+
+    Output channel ``c*mult + t`` convolves input channel ``c`` with
+    kernel ``weight[c, t]`` (the TensorFlow depthwise layout).
+    """
+    c, mult = weight.shape[0], weight.shape[1]
+    kernel = weight.shape[2], weight.shape[3]
+    stride = normalize_pair(stride, "stride")
+    oh, ow = conv_output_hw(x.shape[1], x.shape[2], kernel, stride, padding)
+    xp = pad_same(x, kernel, stride, padding)
+    out = np.zeros((c, mult, oh, ow), dtype=np.result_type(x, weight))
+    for u in range(kernel[0]):
+        for v in range(kernel[1]):
+            window = _tap_view(xp, u, v, oh, ow, *stride)  # (C, oh, ow)
+            out += window[:, None] * weight[:, :, u, v][:, :, None, None]
+    out = out.reshape(c * mult, oh, ow)
+    if bias is not None:
+        out += bias[:, None, None]
+    return out
+
+
+def _pool(x: np.ndarray, attrs: dict[str, Any], reducer) -> np.ndarray:
+    kernel = normalize_pair(attrs.get("kernel", 2), "kernel")
+    stride = normalize_pair(attrs.get("stride", kernel), "stride")
+    padding = attrs.get("padding", "valid")
+    oh, ow = conv_output_hw(x.shape[1], x.shape[2], kernel, stride, padding)
+    if padding == "valid":
+        xp = x
+    else:
+        fill = -np.inf if reducer is np.maximum else 0.0
+        (pt, pb), (pl, pr) = _padding_amounts(
+            x.shape[1], x.shape[2], kernel, stride, padding
+        )
+        xp = np.pad(
+            x, ((0, 0), (pt, pb), (pl, pr)), constant_values=fill
+        )
+    taps = [
+        _tap_view(xp, u, v, oh, ow, *stride)
+        for u in range(kernel[0])
+        for v in range(kernel[1])
+    ]
+    stacked = np.stack(taps)
+    if reducer is np.maximum:
+        return stacked.max(axis=0)
+    # average pooling divides by the window size (zero-padded taps count,
+    # matching TF's ``avg_pool`` with padding='SAME' semantics on counts
+    # only for 'valid'; models here pool with 'valid')
+    return stacked.mean(axis=0)
+
+
+def max_pool2d(x: np.ndarray, attrs: dict[str, Any]) -> np.ndarray:
+    return _pool(x, attrs, np.maximum)
+
+
+def avg_pool2d(x: np.ndarray, attrs: dict[str, Any]) -> np.ndarray:
+    return _pool(x, attrs, np.add)
+
+
+# ----------------------------------------------------------------------
+# dispatch table: op name -> fn(inputs, attrs, params) -> np.ndarray
+# ----------------------------------------------------------------------
+def _k_input(inputs, attrs, params):
+    raise ExecutionError("input nodes must be fed, not executed")
+
+
+def _k_conv2d(inputs, attrs, params):
+    return conv2d(
+        inputs[0],
+        params["weight"],
+        params.get("bias"),
+        stride=attrs.get("stride", 1),
+        padding=attrs.get("padding", "same"),
+    )
+
+
+def _k_partial_conv2d(inputs, attrs, params):
+    out = conv2d(
+        inputs[0],
+        params["weight"],
+        params.get("bias"),
+        stride=attrs.get("stride", 1),
+        padding=attrs.get("padding", "same"),
+    )
+    if attrs.get("accumulate", False):
+        out = out + inputs[1]
+    return out
+
+
+def _k_depthwise(inputs, attrs, params):
+    return depthwise_conv2d(
+        inputs[0],
+        params["weight"],
+        params.get("bias"),
+        stride=attrs.get("stride", 1),
+        padding=attrs.get("padding", "same"),
+    )
+
+
+def _k_concat(inputs, attrs, params):
+    return np.concatenate(inputs, axis=0)
+
+
+def _k_add(inputs, attrs, params):
+    out = inputs[0]
+    for x in inputs[1:]:
+        out = out + x
+    return out
+
+
+def _k_mul(inputs, attrs, params):
+    out = inputs[0]
+    for x in inputs[1:]:
+        out = out * x
+    return out
+
+
+def _k_batch_norm(inputs, attrs, params):
+    scale = params["scale"][:, None, None]
+    shift = params["shift"][:, None, None]
+    return inputs[0] * scale + shift
+
+
+def _k_fused_sep(inputs, attrs, params):
+    mid = depthwise_conv2d(
+        inputs[0],
+        params["dw_weight"],
+        None,
+        stride=attrs.get("stride", 1),
+        padding=attrs.get("padding", "same"),
+    )
+    return conv2d(mid, params["pw_weight"], params.get("bias"), stride=1, padding="same")
+
+
+def _k_dense(inputs, attrs, params):
+    out = params["weight"] @ inputs[0]
+    bias = params.get("bias")
+    return out + bias if bias is not None else out
+
+
+KERNELS = {
+    "input": _k_input,
+    "conv2d": _k_conv2d,
+    "partial_conv2d": _k_partial_conv2d,
+    "depthwise_conv2d": _k_depthwise,
+    "partial_depthwise_conv2d": _k_depthwise,
+    "fused_sep_conv3x3": _k_fused_sep,
+    "concat": _k_concat,
+    "add": _k_add,
+    "mul": _k_mul,
+    "relu": lambda i, a, p: np.maximum(i[0], 0.0),
+    "relu6": lambda i, a, p: np.clip(i[0], 0.0, 6.0),
+    "sigmoid": lambda i, a, p: 1.0 / (1.0 + np.exp(-i[0])),
+    "tanh": lambda i, a, p: np.tanh(i[0]),
+    "identity": lambda i, a, p: i[0],
+    "batch_norm": _k_batch_norm,
+    "max_pool2d": lambda i, a, p: max_pool2d(i[0], a),
+    "avg_pool2d": lambda i, a, p: avg_pool2d(i[0], a),
+    "global_avg_pool": lambda i, a, p: i[0].mean(axis=(1, 2), keepdims=True),
+    "flatten": lambda i, a, p: i[0].reshape(-1),
+    "dense": _k_dense,
+    "slice_channels": lambda i, a, p: i[0][a["range"][0] : a["range"][1]],
+}

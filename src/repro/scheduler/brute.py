@@ -1,0 +1,78 @@
+"""Exhaustive optimal scheduler (test oracle).
+
+Walks every topological order with branch-and-bound on the running peak.
+Complexity is O(|V|!) so this is only for graphs of roughly a dozen
+nodes; the test suite uses it to certify the DP scheduler's optimality
+on thousands of random small DAGs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.analysis import GraphIndex, bits
+from repro.graph.graph import Graph
+from repro.scheduler.memory import BufferModel
+from repro.scheduler.schedule import Schedule
+
+__all__ = ["brute_force_schedule", "BruteForceResult"]
+
+
+@dataclass(frozen=True)
+class BruteForceResult:
+    schedule: Schedule
+    peak_bytes: int
+    orders_explored: int
+
+
+def brute_force_schedule(
+    graph: Graph, model: BufferModel | None = None, max_nodes: int = 16
+) -> BruteForceResult:
+    """Provably optimal peak-memory schedule by exhaustive search."""
+    model = model or BufferModel.of(graph)
+    idx = model.index
+    n = idx.n
+    if n > max_nodes:
+        raise ValueError(
+            f"brute force limited to {max_nodes} nodes, graph has {n} "
+            "(raise max_nodes explicitly if you really mean it)"
+        )
+
+    best_peak = [None]  # type: list[int | None]
+    best_order: list[tuple[int, ...]] = [()]
+    explored = [0]
+    prefix: list[int] = []
+
+    def recurse(scheduled: int, mu: int, peak: int, frontier: int) -> None:
+        if best_peak[0] is not None and peak >= best_peak[0]:
+            # cannot strictly improve; prune
+            if scheduled != idx.full_mask:
+                return
+        if scheduled == idx.full_mask:
+            explored[0] += 1
+            if best_peak[0] is None or peak < best_peak[0]:
+                best_peak[0] = peak
+                best_order[0] = tuple(prefix)
+            return
+        for u in bits(frontier):
+            transient, mu2, new_mask = model.step(scheduled, mu, u)
+            new_peak = max(peak, transient)
+            if best_peak[0] is not None and new_peak >= best_peak[0]:
+                continue
+            new_frontier = frontier & ~(1 << u)
+            for s in idx.succs[u]:
+                if not (idx.preds_mask[s] & ~new_mask):
+                    new_frontier |= 1 << s
+            prefix.append(u)
+            recurse(new_mask, mu2, new_peak, new_frontier)
+            prefix.pop()
+
+    recurse(0, 0, 0, idx.initial_frontier())
+    if best_peak[0] is None:  # pragma: no cover - empty graph guarded earlier
+        raise RuntimeError("no schedule found")
+    order = tuple(idx.order[i] for i in best_order[0])
+    return BruteForceResult(
+        schedule=Schedule(order, graph.name),
+        peak_bytes=int(best_peak[0]),
+        orders_explored=explored[0],
+    )

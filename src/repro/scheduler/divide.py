@@ -1,0 +1,147 @@
+"""Divide-and-conquer scheduling driver (paper Section 3.2, Fig 7).
+
+Partitions the graph at single-node cuts (see
+:mod:`repro.graph.partition`), schedules each segment independently with
+the DP — optionally wrapped in adaptive soft budgeting — and
+concatenates the per-segment schedules. Because every topological order
+of the whole graph schedules all of a cut's ancestors before it and all
+descendants after, and only the cut activation crosses the boundary, the
+concatenation of optimal segment schedules is an optimal whole-graph
+schedule (Wilken et al., 2000); ``tests/scheduler/test_divide.py``
+verifies the equality against whole-graph DP on random hourglass graphs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.graph.graph import Graph
+from repro.graph.partition import Segment, partition_at_cuts
+from repro.scheduler.budget import AdaptiveSoftBudgetScheduler, BudgetSearchResult
+from repro.scheduler.dp import DPResult, DPScheduler
+from repro.scheduler.memory import simulate_schedule
+from repro.scheduler.schedule import Schedule
+
+__all__ = ["DivideAndConquerScheduler", "DivideAndConquerResult", "SegmentOutcome"]
+
+
+@dataclass(frozen=True)
+class SegmentOutcome:
+    """Per-segment scheduling record."""
+
+    segment: Segment
+    peak_bytes: int
+    states_expanded: int
+    wall_time_s: float
+    probes: int = 1
+
+
+@dataclass(frozen=True)
+class DivideAndConquerResult:
+    schedule: Schedule
+    peak_bytes: int
+    segments: tuple[SegmentOutcome, ...]
+    wall_time_s: float
+
+    @property
+    def partition_sizes(self) -> tuple[int, ...]:
+        """Owned-node counts per segment — the paper's ``62={21,19,22}``
+        notation in Table 2."""
+        return tuple(len(s.segment.owned) for s in self.segments)
+
+    @property
+    def states_expanded(self) -> int:
+        return sum(s.states_expanded for s in self.segments)
+
+
+@dataclass
+class DivideAndConquerScheduler:
+    """Schedules segment-by-segment with DP or DP+ASB.
+
+    Parameters
+    ----------
+    adaptive_budget:
+        Wrap each segment's DP in Algorithm 2. Without it segments run
+        unpruned Algorithm 1 (the paper's ``1 + 2`` configuration).
+    min_segment_nodes:
+        Merge boundaries closer than this many nodes.
+    """
+
+    adaptive_budget: bool = True
+    max_states_per_step: int | None = 50_000
+    step_timeout_s: float | None = None
+    min_segment_nodes: int = 2
+    max_probes: int = 24
+    #: restrict partitioning to these cut-node names (e.g. the cell
+    #: boundaries of Table 2); None = use every discovered cut
+    cut_names: tuple[str, ...] | None = None
+
+    def schedule(self, graph: Graph) -> DivideAndConquerResult:
+        t0 = time.perf_counter()
+        cuts = None
+        if self.cut_names is not None:
+            from repro.graph.partition import find_cut_nodes
+
+            wanted = set(self.cut_names)
+            cuts = [c for c in find_cut_nodes(graph) if c.name in wanted]
+            missing = wanted - {c.name for c in cuts}
+            if missing:
+                from repro.exceptions import SchedulingError
+
+                raise SchedulingError(
+                    f"requested boundaries are not single-node cuts: {sorted(missing)}"
+                )
+        segments = partition_at_cuts(
+            graph, cuts=cuts, min_segment_nodes=self.min_segment_nodes
+        )
+        outcomes: list[SegmentOutcome] = []
+        order: list[str] = []
+        peak = 0
+        for seg in segments:
+            prealloc = (seg.entry,) if seg.entry is not None else ()
+            seg_t0 = time.perf_counter()
+            if self.adaptive_budget:
+                asb = AdaptiveSoftBudgetScheduler(
+                    max_states_per_step=self.max_states_per_step,
+                    step_timeout_s=self.step_timeout_s,
+                    max_probes=self.max_probes,
+                    preallocated=prealloc,
+                )
+                search: BudgetSearchResult = asb.schedule(seg.graph)
+                result = search.result
+                probes = len(search.probes)
+            else:
+                result = DPScheduler(preallocated=prealloc).schedule(seg.graph)
+                probes = 1
+            outcomes.append(
+                SegmentOutcome(
+                    segment=seg,
+                    peak_bytes=result.peak_bytes,
+                    states_expanded=result.states_expanded,
+                    wall_time_s=time.perf_counter() - seg_t0,
+                    probes=probes,
+                )
+            )
+            peak = max(peak, result.peak_bytes)
+            # drop the entry stub — it executed as part of the previous
+            # segment (combine step of Fig 7)
+            order.extend(n for n in result.schedule.order if n != seg.entry)
+
+        schedule = Schedule(tuple(order), graph.name).validate(graph)
+        # Cross-check the combine step: the stitched schedule's simulated
+        # peak must equal the max of segment peaks.
+        sim_peak = simulate_schedule(graph, schedule, validate=False).peak_bytes
+        if sim_peak != peak:  # pragma: no cover - internal invariant
+            from repro.exceptions import SchedulingError
+
+            raise SchedulingError(
+                f"divide-and-conquer combine mismatch: whole-graph peak "
+                f"{sim_peak} != max segment peak {peak}"
+            )
+        return DivideAndConquerResult(
+            schedule=schedule,
+            peak_bytes=peak,
+            segments=tuple(outcomes),
+            wall_time_s=time.perf_counter() - t0,
+        )

@@ -1,0 +1,48 @@
+"""Greedy memory-aware list scheduler (ablation baseline).
+
+At every step, pick the ready node whose execution leaves the lowest
+footprint (ties: lowest transient, then original order). Linear-time and
+often decent, but — as Fig 3(b)'s long CDF tail implies — it can be far
+from optimal on irregular wirings, which is precisely why the paper
+builds the DP. Included to quantify that gap in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SchedulingError
+from repro.graph.analysis import GraphIndex, bits
+from repro.graph.graph import Graph
+from repro.scheduler.memory import BufferModel
+from repro.scheduler.schedule import Schedule
+
+__all__ = ["greedy_schedule"]
+
+
+def greedy_schedule(graph: Graph, model: BufferModel | None = None) -> Schedule:
+    model = model or BufferModel.of(graph)
+    idx = model.index
+    n = idx.n
+    scheduled = 0
+    mu = 0
+    frontier = idx.initial_frontier()
+    order: list[str] = []
+
+    for _ in range(n):
+        best: tuple[int, int, int] | None = None
+        best_u = -1
+        for u in bits(frontier):
+            transient, after, _ = model.step(scheduled, mu, u)
+            key = (after, transient, u)
+            if best is None or key < best:
+                best = key
+                best_u = u
+        if best_u < 0:
+            raise SchedulingError("graph contains a cycle")  # pragma: no cover
+        _, mu, scheduled = model.step(scheduled, mu, best_u)
+        order.append(idx.order[best_u])
+        frontier &= ~(1 << best_u)
+        for s in idx.succs[best_u]:
+            if not (idx.preds_mask[s] & ~scheduled):
+                frontier |= 1 << s
+
+    return Schedule(tuple(order), graph.name)

@@ -1,0 +1,72 @@
+"""Schedule container and validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.exceptions import InvalidScheduleError
+from repro.graph.graph import Graph
+
+__all__ = ["Schedule"]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A total order over the nodes of one graph.
+
+    The order must be topological — :meth:`validate` enforces it — since
+    an activation cannot be computed before its inputs exist.
+    """
+
+    order: tuple[str, ...]
+    graph_name: str = field(default="graph")
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "order", tuple(self.order))
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.order)
+
+    def __getitem__(self, i: int) -> str:
+        return self.order[i]
+
+    def position(self, name: str) -> int:
+        """Index of ``name`` in the order."""
+        try:
+            return self.order.index(name)
+        except ValueError:
+            raise InvalidScheduleError(f"{name!r} not in schedule") from None
+
+    def positions(self) -> dict[str, int]:
+        """Name → index mapping."""
+        return {name: i for i, name in enumerate(self.order)}
+
+    def validate(self, graph: Graph) -> "Schedule":
+        """Raise :class:`InvalidScheduleError` unless this is a complete
+        topological order of ``graph``; returns ``self`` for chaining."""
+        if len(self.order) != len(set(self.order)):
+            raise InvalidScheduleError("schedule repeats a node")
+        if set(self.order) != set(graph.node_names):
+            missing = set(graph.node_names) - set(self.order)
+            extra = set(self.order) - set(graph.node_names)
+            raise InvalidScheduleError(
+                f"schedule does not cover the graph (missing={sorted(missing)}, "
+                f"extra={sorted(extra)})"
+            )
+        pos = self.positions()
+        for src, dst in graph.edges():
+            if pos[src] >= pos[dst]:
+                raise InvalidScheduleError(
+                    f"edge {src!r} -> {dst!r} violated at positions "
+                    f"{pos[src]} >= {pos[dst]}"
+                )
+        return self
+
+    @classmethod
+    def of(cls, graph: Graph, order) -> "Schedule":
+        """Build and validate in one call."""
+        return cls(tuple(order), graph.name).validate(graph)

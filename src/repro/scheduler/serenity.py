@@ -1,0 +1,133 @@
+"""SERENITY pipeline facade (paper Fig 4).
+
+``identity graph rewriting -> divide-and-conquer -> DP + adaptive soft
+budgeting``, returning a rich report with both the "sum of live
+activations" peak (Fig 12(b)) and the arena-allocator peak (Fig 12(a) /
+Fig 10's "+ Memory Allocator" series).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.graph.graph import Graph
+from repro.scheduler.divide import DivideAndConquerResult, DivideAndConquerScheduler
+from repro.scheduler.memory import MemoryTrace, simulate_schedule
+from repro.scheduler.schedule import Schedule
+from repro.scheduler.topological import kahn_schedule
+
+__all__ = ["SerenityConfig", "SerenityReport", "Serenity", "schedule_graph"]
+
+
+@dataclass(frozen=True)
+class SerenityConfig:
+    """Pipeline switches, mirroring the paper's ablation axes.
+
+    ``rewrite``            identity graph rewriting (Section 3.3)
+    ``divide``             divide-and-conquer partitioning (Section 3.2)
+    ``adaptive_budget``    Algorithm 2 around each DP run
+    """
+
+    rewrite: bool = True
+    divide: bool = True
+    adaptive_budget: bool = True
+    max_states_per_step: int | None = 50_000
+    step_timeout_s: float | None = None
+    min_segment_nodes: int = 2
+    max_probes: int = 24
+
+
+@dataclass(frozen=True)
+class SerenityReport:
+    """Everything the experiments need about one compilation."""
+
+    config: SerenityConfig
+    graph: Graph
+    #: graph actually scheduled (rewritten when config.rewrite)
+    scheduled_graph: Graph
+    schedule: Schedule
+    #: optimal peak, sum-of-live-activations semantics (no allocator)
+    peak_bytes: int
+    #: peak arena bytes under the TFLite-style first-fit allocator
+    arena_bytes: int
+    #: baseline (Kahn on the *original* graph) peaks for convenience
+    baseline_peak_bytes: int
+    baseline_arena_bytes: int
+    scheduling_time_s: float
+    rewrite_count: int
+    divide: DivideAndConquerResult | None = None
+
+    @property
+    def reduction_no_alloc(self) -> float:
+        """Baseline/serenity peak ratio without the allocator."""
+        return self.baseline_peak_bytes / self.peak_bytes
+
+    @property
+    def reduction_with_alloc(self) -> float:
+        """Baseline/serenity ratio under the arena allocator — the
+        quantity plotted in Fig 10."""
+        return self.baseline_arena_bytes / self.arena_bytes
+
+    def trace(self) -> MemoryTrace:
+        """Footprint trace of the chosen schedule (Fig 12(b) series)."""
+        return simulate_schedule(self.scheduled_graph, self.schedule, validate=False)
+
+
+class Serenity:
+    """End-to-end memory-aware compiler for irregularly wired networks.
+
+    >>> from repro.models import swiftnet_cell_a
+    >>> report = Serenity().compile(swiftnet_cell_a())
+    >>> report.reduction_with_alloc > 1.0
+    True
+    """
+
+    def __init__(self, config: SerenityConfig | None = None) -> None:
+        self.config = config or SerenityConfig()
+
+    def compile(self, graph: Graph) -> SerenityReport:
+        from repro.allocator import arena_peak_bytes
+        from repro.rewriting import rewrite_graph
+
+        cfg = self.config
+        t0 = time.perf_counter()
+
+        scheduled_graph = graph
+        rewrite_count = 0
+        if cfg.rewrite:
+            rewritten = rewrite_graph(graph)
+            scheduled_graph = rewritten.graph
+            rewrite_count = rewritten.applied
+
+        dnc = DivideAndConquerScheduler(
+            adaptive_budget=cfg.adaptive_budget,
+            max_states_per_step=cfg.max_states_per_step,
+            step_timeout_s=cfg.step_timeout_s,
+            min_segment_nodes=cfg.min_segment_nodes if cfg.divide else 10**9,
+            max_probes=cfg.max_probes,
+        )
+        result = dnc.schedule(scheduled_graph)
+        elapsed = time.perf_counter() - t0
+
+        baseline = kahn_schedule(graph)
+        baseline_peak = simulate_schedule(graph, baseline, validate=False).peak_bytes
+
+        return SerenityReport(
+            config=cfg,
+            graph=graph,
+            scheduled_graph=scheduled_graph,
+            schedule=result.schedule,
+            peak_bytes=result.peak_bytes,
+            arena_bytes=arena_peak_bytes(scheduled_graph, result.schedule),
+            baseline_peak_bytes=baseline_peak,
+            baseline_arena_bytes=arena_peak_bytes(graph, baseline),
+            scheduling_time_s=elapsed,
+            rewrite_count=rewrite_count,
+            divide=result,
+        )
+
+
+def schedule_graph(graph: Graph, **config_kwargs) -> SerenityReport:
+    """One-call compilation: ``schedule_graph(g, rewrite=False, ...)``."""
+    return Serenity(SerenityConfig(**config_kwargs)).compile(graph)

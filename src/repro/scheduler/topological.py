@@ -1,0 +1,172 @@
+"""Memory-oblivious baseline schedulers.
+
+These are the orderings the paper compares against (Section 2.2):
+deep-learning frameworks schedule with "basic topological ordering
+algorithms" — Kahn's algorithm in particular (TensorFlow Lite executes
+operators in flatbuffer order, which is the converter's topological
+order; our ``insertion`` tie-break reproduces that behaviour since graph
+insertion order *is* the original model order).
+
+Also provides random-tie-break sampling and full enumeration of
+topological orders, used by the schedule-space CDF study (Fig 3(b)) and
+by the brute-force optimality oracle in the tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections import deque
+from typing import Iterator
+
+from repro.exceptions import SchedulingError
+from repro.graph.graph import Graph
+from repro.scheduler.schedule import Schedule
+
+__all__ = [
+    "kahn_schedule",
+    "dfs_schedule",
+    "random_topological",
+    "iter_topological_orders",
+    "count_topological_orders",
+]
+
+
+def _degrees(graph: Graph) -> dict[str, int]:
+    return {name: graph.in_degree(name) for name in graph.node_names}
+
+
+def kahn_schedule(graph: Graph, tie_break: str = "insertion") -> Schedule:
+    """Kahn's algorithm (Kahn, 1962) with a deterministic tie-break.
+
+    ``insertion``
+        always pick the ready node that appears earliest in the graph's
+        original order — the TFLite-like baseline used throughout the
+        experiments.
+    ``lexicographic``
+        pick the lexicographically smallest ready node name.
+    ``fifo``
+        classic queue-based Kahn: nodes become ready in discovery order.
+    """
+    order_index = {name: i for i, name in enumerate(graph.node_names)}
+    indeg = _degrees(graph)
+    out: list[str] = []
+
+    if tie_break == "fifo":
+        queue: deque[str] = deque(n for n in graph.node_names if indeg[n] == 0)
+        while queue:
+            name = queue.popleft()
+            out.append(name)
+            for succ in graph.succs(name):
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    queue.append(succ)
+    else:
+        if tie_break == "insertion":
+            key = order_index.__getitem__
+        elif tie_break == "lexicographic":
+            key = lambda name: name  # noqa: E731
+        else:
+            raise SchedulingError(f"unknown tie_break {tie_break!r}")
+        heap = [(key(n), n) for n in graph.node_names if indeg[n] == 0]
+        heapq.heapify(heap)
+        while heap:
+            _, name = heapq.heappop(heap)
+            out.append(name)
+            for succ in graph.succs(name):
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    heapq.heappush(heap, (key(succ), succ))
+
+    if len(out) != len(graph):
+        raise SchedulingError("graph contains a cycle")  # pragma: no cover
+    return Schedule(tuple(out), graph.name)
+
+
+def dfs_schedule(graph: Graph) -> Schedule:
+    """Depth-first topological order: like Kahn's algorithm but popping
+    the *most recently readied* node (LIFO), i.e. the ordering an eager
+    recursive code generator would emit. Chases one branch to the point
+    it blocks before returning to siblings — typically a poor but not
+    adversarial footprint, a useful contrast to breadth-flavoured Kahn."""
+    indeg = _degrees(graph)
+    stack = [n for n in reversed(graph.node_names) if indeg[n] == 0]
+    out: list[str] = []
+    while stack:
+        name = stack.pop()
+        out.append(name)
+        for succ in reversed(graph.succs(name)):
+            indeg[succ] -= 1
+            if indeg[succ] == 0:
+                stack.append(succ)
+    if len(out) != len(graph):
+        raise SchedulingError("graph contains a cycle")  # pragma: no cover
+    return Schedule(tuple(out), graph.name)
+
+
+def random_topological(graph: Graph, rng: random.Random) -> Schedule:
+    """One topological order sampled by uniformly random tie-breaking.
+
+    (Not uniform over the set of all topological orders — no cheap
+    algorithm is — but an unbiased "pick any ready node" process, which
+    is what the paper's Fig 3(b) schedule population represents.)
+    """
+    indeg = _degrees(graph)
+    ready = [n for n in graph.node_names if indeg[n] == 0]
+    out: list[str] = []
+    while ready:
+        i = rng.randrange(len(ready))
+        ready[i], ready[-1] = ready[-1], ready[i]
+        name = ready.pop()
+        out.append(name)
+        for succ in graph.succs(name):
+            indeg[succ] -= 1
+            if indeg[succ] == 0:
+                ready.append(succ)
+    if len(out) != len(graph):
+        raise SchedulingError("graph contains a cycle")  # pragma: no cover
+    return Schedule(tuple(out), graph.name)
+
+
+def iter_topological_orders(
+    graph: Graph, limit: int | None = None
+) -> Iterator[tuple[str, ...]]:
+    """Enumerate topological orders by backtracking (lexicographic in
+    insertion order). ``limit`` caps the number yielded."""
+    indeg = _degrees(graph)
+    names = graph.node_names
+    prefix: list[str] = []
+    produced = 0
+
+    def backtrack() -> Iterator[tuple[str, ...]]:
+        nonlocal produced
+        if limit is not None and produced >= limit:
+            return
+        if len(prefix) == len(names):
+            produced += 1
+            yield tuple(prefix)
+            return
+        for name in names:
+            if indeg[name] != 0:
+                continue
+            indeg[name] = -1  # claimed
+            for succ in graph.succs(name):
+                indeg[succ] -= 1
+            prefix.append(name)
+            yield from backtrack()
+            prefix.pop()
+            for succ in graph.succs(name):
+                indeg[succ] += 1
+            indeg[name] = 0
+            if limit is not None and produced >= limit:
+                return
+
+    return backtrack()
+
+
+def count_topological_orders(graph: Graph, cap: int = 10_000_000) -> int:
+    """Number of topological orders (stops counting at ``cap``)."""
+    count = 0
+    for _ in iter_topological_orders(graph, limit=cap):
+        count += 1
+    return count

@@ -1,0 +1,69 @@
+"""Deployment-plan export."""
+
+import json
+
+import pytest
+
+from repro.allocator.export import export_plan, plan_to_dict
+from repro.scheduler.dp import dp_schedule
+from repro.scheduler.topological import kahn_schedule
+
+
+class TestPlanExport:
+    def test_document_structure(self, concat_conv_graph):
+        sched = kahn_schedule(concat_conv_graph)
+        doc = plan_to_dict(concat_conv_graph, sched)
+        assert doc["format"] == "repro-plan/1"
+        assert doc["schedule"] == list(sched.order)
+        assert len(doc["tensors"]) == len(concat_conv_graph)
+        assert doc["arena_bytes"] > 0
+
+    def test_offsets_within_arena(self, concat_conv_graph):
+        sched = kahn_schedule(concat_conv_graph)
+        doc = plan_to_dict(concat_conv_graph, sched)
+        for buf in doc["buffers"]:
+            assert 0 <= buf["offset"]
+            assert buf["offset"] + buf["bytes"] <= doc["arena_bytes"]
+
+    def test_shared_buffers_share_offsets(self):
+        """Rewritten graphs have aliasing: partials must land at their
+        accumulator's offset."""
+        from repro.rewriting.rewriter import rewrite_graph
+        from repro.models.swiftnet import swiftnet_cell_c
+
+        g = rewrite_graph(swiftnet_cell_c()).graph
+        sched = dp_schedule(g, max_states_per_step=50_000).schedule
+        doc = plan_to_dict(g, sched)
+        by_node = {t["node"]: t for t in doc["tensors"]}
+        parts = [
+            t for t in doc["tensors"]
+            if by_node[t["node"]]["op"] == "partial_conv2d"
+        ]
+        assert len({p["buffer"] for p in parts}) < len(parts)  # chain shares
+        offsets = {p["buffer"]: p["offset"] for p in parts}
+        for p in parts:
+            assert p["offset"] == offsets[p["buffer"]]
+
+    def test_file_round_trip(self, tmp_path, diamond_graph):
+        sched = kahn_schedule(diamond_graph)
+        path = tmp_path / "plan.json"
+        doc = export_plan(diamond_graph, sched, path)
+        assert json.loads(path.read_text()) == doc
+
+    def test_cli_emit_plan(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "plan.json"
+        assert (
+            main(["schedule", "--cell", "swiftnet-c", "--emit-plan", str(path)])
+            == 0
+        )
+        doc = json.loads(path.read_text())
+        assert doc["format"] == "repro-plan/1"
+        assert "deployment plan written" in capsys.readouterr().out
+
+    def test_persistent_outputs_flagged(self, chain_graph):
+        sched = kahn_schedule(chain_graph)
+        doc = plan_to_dict(chain_graph, sched)
+        persistent = [b for b in doc["buffers"] if b["persistent"]]
+        assert any("c2" in b["producers"] for b in persistent)

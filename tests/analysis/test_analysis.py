@@ -1,0 +1,139 @@
+"""Analysis utilities: CDFs, network stats, Pareto data, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import (
+    SPARKFUN_EDGE_BYTES,
+    enumerate_peak_cdf,
+    sample_peak_cdf,
+)
+from repro.analysis.netstats import network_stats
+from repro.analysis.pareto import (
+    IMAGENET_POINTS,
+    ModelPoint,
+    dominance_summary,
+    pareto_frontier,
+)
+from repro.analysis.reporting import format_kib, format_table, geomean, ratio_str
+
+
+class TestCDF:
+    def test_enumerate_matches_manual(self, diamond_graph):
+        from repro.scheduler.memory import peak_of
+        from repro.scheduler.topological import iter_topological_orders
+        from repro.scheduler.schedule import Schedule
+
+        cdf = enumerate_peak_cdf(diamond_graph)
+        manual = sorted(
+            peak_of(diamond_graph, Schedule(o))
+            for o in iter_topological_orders(diamond_graph)
+        )
+        assert list(cdf.peaks) == manual
+        assert cdf.exhaustive
+
+    def test_sample_deterministic(self, hourglass_graph):
+        a = sample_peak_cdf(hourglass_graph, samples=50, seed=1)
+        b = sample_peak_cdf(hourglass_graph, samples=50, seed=1)
+        assert np.array_equal(a.peaks, b.peaks)
+
+    def test_fraction_within_monotone(self, hourglass_graph):
+        cdf = sample_peak_cdf(hourglass_graph, samples=100, seed=0)
+        assert cdf.fraction_within(cdf.worst_bytes) == 1.0
+        assert cdf.fraction_within(0) == 0.0
+        assert 0 < cdf.fraction_optimal() <= 1.0
+
+    def test_cdf_points_cover_unit_interval(self, diamond_graph):
+        cdf = enumerate_peak_cdf(diamond_graph)
+        pts = cdf.cdf_points(resolution=5)
+        assert pts[0][1] == 0.0 and pts[-1][1] == 1.0
+
+    def test_limit_respected(self, hourglass_graph):
+        cdf = enumerate_peak_cdf(hourglass_graph, limit=7)
+        assert cdf.n == 7
+        assert not cdf.exhaustive
+
+    def test_sparkfun_constant(self):
+        assert SPARKFUN_EDGE_BYTES == 250 * 1024
+
+
+class TestNetworkStats:
+    def test_counts_on_known_graph(self, chain_graph):
+        stats = network_stats(chain_graph)
+        assert stats.nodes == len(chain_graph)
+        assert stats.edges == chain_graph.num_edges
+        assert stats.sources == 1 and stats.sinks == 1
+
+    def test_macs_match_registry_sum(self, concat_conv_graph):
+        from repro.ops import macs_of
+
+        stats = network_stats(concat_conv_graph)
+        assert stats.macs == sum(
+            macs_of(concat_conv_graph, n) for n in concat_conv_graph
+        )
+
+    def test_unit_properties(self, chain_graph):
+        stats = network_stats(chain_graph)
+        assert stats.macs_m == stats.macs / 1e6
+        assert stats.weights_k == stats.weights / 1e3
+
+
+class TestPareto:
+    def test_frontier_no_dominated_point(self):
+        frontier = pareto_frontier(list(IMAGENET_POINTS))
+        for p in frontier:
+            assert not any(
+                q.macs_b <= p.macs_b and q.top1 > p.top1 for q in IMAGENET_POINTS
+            )
+
+    def test_synthetic_frontier(self):
+        pts = [
+            ModelPoint("a", 1.0, 1.0, 70.0, False),
+            ModelPoint("b", 2.0, 1.0, 75.0, True),
+            ModelPoint("c", 2.0, 1.0, 72.0, False),  # dominated by b
+        ]
+        names = {p.name for p in pareto_frontier(pts)}
+        assert names == {"a", "b"}
+
+    def test_summary_majority_irregular(self):
+        s = dominance_summary()
+        assert s["irregular_share"] >= 0.5  # the paper's Fig 2 claim
+
+    def test_params_axis_same_trend(self):
+        """Fig 14(b): the parameter axis 'displays a similar trend' —
+        irregular networks hold a large frontier share and own the
+        highest-accuracy frontier point."""
+        s = dominance_summary(axis="params")
+        assert s["irregular_share"] >= 0.4
+        frontier = pareto_frontier(list(IMAGENET_POINTS), axis="params")
+        best = max(frontier, key=lambda p: p.top1)
+        assert best.irregular
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError):
+            pareto_frontier(list(IMAGENET_POINTS), axis="flops")
+
+
+class TestReporting:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_format_kib(self):
+        assert format_kib(2048) == "2.0KB"
+
+    def test_ratio_str(self):
+        assert ratio_str(None) == "N/A"
+        assert ratio_str(1.234) == "1.23x"
+
+    def test_format_table_alignment(self):
+        table = format_table(("a", "bb"), [("1", "2"), ("33", "44")], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # all rows padded to equal width

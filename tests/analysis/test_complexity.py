@@ -1,0 +1,90 @@
+"""Search-space complexity analysis (paper Appendix D / Fig 5)."""
+
+import math
+
+import pytest
+
+from repro.analysis.complexity import (
+    complexity_of,
+    count_downsets,
+    naive_recursion_size,
+)
+from repro.graph.builder import GraphBuilder
+
+from tests.conftest import random_dag_graph
+
+
+def _parallel_branches(k: int):
+    """The Fig 16 worst-case topology: entry -> k independent nodes -> exit."""
+    b = GraphBuilder(f"fig16-{k}")
+    x = b.input("x", (1, 2, 2))
+    mids = [b.conv2d(x, 1, name=f"m{i}") for i in range(k)]
+    b.concat(mids, name="exit")
+    return b.build()
+
+
+class TestNaiveRecursion:
+    def test_chain_is_linear(self, chain_graph):
+        # a chain has exactly one order: tree size = number of nodes
+        assert naive_recursion_size(chain_graph) == len(chain_graph)
+
+    def test_fig16_topology_is_factorial(self):
+        g = _parallel_branches(5)
+        # entry + 5! interleavings of the branches + exit positions:
+        # the tree size must dominate 5!
+        assert naive_recursion_size(g) >= math.factorial(5)
+
+    def test_cap_returns_none(self):
+        g = _parallel_branches(12)
+        assert naive_recursion_size(g, cap=1000) is None
+
+
+class TestDownsetCount:
+    def test_chain(self, chain_graph):
+        # a chain of n nodes has n+1 downsets (prefixes)
+        assert count_downsets(chain_graph) == len(chain_graph) + 1
+
+    def test_fig16_is_two_to_the_k(self):
+        g = _parallel_branches(6)
+        # downsets: empty, {x}, any subset of mids after x, + full
+        assert count_downsets(g) == 2 + 2**6
+
+    def test_matches_dp_memoization(self):
+        """The analytic count equals what the DP actually memoises."""
+        from repro.scheduler.dp import dp_schedule
+
+        for seed in range(5):
+            g = random_dag_graph(9, seed)
+            res = dp_schedule(g)
+            assert res.states_memoized == count_downsets(g)
+
+
+class TestReport:
+    def test_collapse_factor_on_fig16(self):
+        g = _parallel_branches(6)
+        rep = complexity_of(g)
+        # 6! = 720 interleavings collapse onto 2^6 = 64 signatures
+        assert rep.collapse_factor is not None
+        assert rep.collapse_factor > 5
+
+    def test_bounds_ordering(self):
+        g = _parallel_branches(6)
+        rep = complexity_of(g)
+        assert rep.dp_states <= rep.dp_bound
+        assert rep.dp_bound < rep.factorial_bound
+
+    def test_capped_naive_reports_none(self):
+        g = _parallel_branches(12)
+        rep = complexity_of(g, naive_cap=1000)
+        assert rep.naive_tree is None
+        assert rep.collapse_factor is None
+
+    def test_suite_cell_collapse(self):
+        """On a real cell the signature collapse is dramatic — the
+        quantitative form of Fig 5."""
+        from repro.models.swiftnet import swiftnet_cell_c
+
+        rep = complexity_of(swiftnet_cell_c(), naive_cap=2_000_000)
+        assert rep.dp_states < 50_000
+        if rep.naive_tree is not None:
+            assert rep.collapse_factor > 10

@@ -1,0 +1,132 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.graph.node import MemorySemantics, Node
+from repro.graph.tensor import TensorSpec
+
+
+# ----------------------------------------------------------------------
+# deterministic example graphs
+# ----------------------------------------------------------------------
+@pytest.fixture
+def chain_graph() -> Graph:
+    """input -> conv -> relu -> conv (a straight line)."""
+    b = GraphBuilder("chain")
+    x = b.input("x", (4, 8, 8))
+    c1 = b.conv2d(x, 8, kernel=3, name="c1")
+    r = b.relu(c1, name="r")
+    b.conv2d(r, 4, kernel=1, name="c2")
+    return b.build()
+
+
+@pytest.fixture
+def diamond_graph() -> Graph:
+    """Two parallel branches merged by add — the smallest graph where
+    schedule order changes the peak."""
+    b = GraphBuilder("diamond")
+    x = b.input("x", (2, 4, 4))
+    l = b.conv2d(x, 8, kernel=3, name="left")   # big branch
+    r = b.conv2d(x, 2, kernel=3, name="right")  # small branch
+    lr = b.conv2d(l, 2, kernel=1, name="left_down")
+    b.add(lr, r, name="join")
+    return b.build()
+
+
+@pytest.fixture
+def concat_conv_graph() -> Graph:
+    """The channel-wise rewriting pattern: branches -> concat -> conv."""
+    b = GraphBuilder("concat-conv")
+    x = b.input("x", (4, 8, 8))
+    l = b.conv2d(x, 4, kernel=1, name="l")
+    m = b.conv2d(x, 6, kernel=3, name="m")
+    r = b.conv2d(x, 2, kernel=3, name="r")
+    cat = b.concat([l, m, r], name="cat")
+    b.conv2d(cat, 5, kernel=3, stride=2, name="head")
+    return b.build()
+
+
+@pytest.fixture
+def concat_depthwise_graph() -> Graph:
+    """The kernel-wise rewriting pattern: branches -> concat -> dwconv."""
+    b = GraphBuilder("concat-dw")
+    x = b.input("x", (4, 8, 8))
+    l = b.conv2d(x, 4, kernel=1, name="l")
+    r = b.conv2d(x, 6, kernel=3, name="r")
+    cat = b.concat([l, r], name="cat")
+    b.depthwise_conv2d(cat, kernel=3, multiplier=2, name="head")
+    return b.build()
+
+
+@pytest.fixture
+def hourglass_graph() -> Graph:
+    """Three 'cells' joined at single-node cuts."""
+    b = GraphBuilder("hourglass")
+    x = b.input("x", (4, 8, 8))
+    prev = x
+    for cell in range(3):
+        l = b.conv2d(prev, 6, kernel=3, name=f"c{cell}_l")
+        r = b.conv2d(prev, 2, kernel=3, name=f"c{cell}_r")
+        j = b.concat([l, r], name=f"c{cell}_cat")
+        prev = b.conv2d(j, 4, kernel=1, name=f"c{cell}_out")
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# random-graph helpers (shared by unit and property tests)
+# ----------------------------------------------------------------------
+def random_dag_graph(
+    n_nodes: int,
+    seed: int,
+    edge_prob: float = 0.4,
+    max_bytes_scale: int = 6,
+    with_views: bool = False,
+) -> Graph:
+    """A random DAG of ``identity``-like ops with varied tensor sizes.
+
+    Uses abstract single-tensor ops (op='input'/'add'/'identity'
+    semantics irrelevant to memory) so tests exercise the scheduler on
+    arbitrary topologies without shape-inference constraints.
+    """
+    rng = random.Random(seed)
+    g = Graph(f"rand{seed}")
+    names: list[str] = []
+    for i in range(n_nodes):
+        # every non-first node picks 0..3 predecessors among prior nodes
+        preds: list[str] = []
+        if names:
+            k = rng.randint(0, min(3, len(names)))
+            preds = rng.sample(names, k) if k else []
+        if rng.random() < edge_prob and names and not preds:
+            preds = [rng.choice(names)]
+        shape = (rng.randint(1, max_bytes_scale), 2, 2)
+        name = f"n{i}"
+        memory = MemorySemantics()
+        op = "input" if not preds else "blob"
+        if with_views and len(preds) >= 2 and rng.random() < 0.3:
+            # zero-copy concat: output spans all inputs' channels
+            op = "concat_view"
+            memory = MemorySemantics(view=True)
+            shape = (sum(g.node(p).output.shape[0] for p in preds), 2, 2)
+        node = Node(
+            name=name,
+            op=op,
+            inputs=tuple(preds),
+            output=TensorSpec(shape),
+            memory=memory,
+        )
+        g.add(node)
+        names.append(name)
+    return g
+
+
+dag_seeds = st.integers(min_value=0, max_value=10_000)
+small_node_counts = st.integers(min_value=1, max_value=8)
+medium_node_counts = st.integers(min_value=1, max_value=14)

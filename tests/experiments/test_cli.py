@@ -1,0 +1,46 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "swiftnet-a" in out and "fig10" in out
+
+    def test_schedule_cell(self, capsys):
+        assert main(["schedule", "--cell", "swiftnet-c"]) == 0
+        out = capsys.readouterr().out
+        assert "SERENITY peak" in out and "reduction" in out
+
+    def test_schedule_no_rewrite(self, capsys):
+        assert main(["schedule", "--cell", "swiftnet-c", "--no-rewrite"]) == 0
+        assert "rewrites applied        : 0" in capsys.readouterr().out
+
+    def test_schedule_show_schedule(self, capsys):
+        assert (
+            main(["schedule", "--cell", "swiftnet-c", "--show-schedule"]) == 0
+        )
+        assert "schedule:" in capsys.readouterr().out
+
+    def test_schedule_saved_graph(self, tmp_path, capsys, diamond_graph):
+        from repro.graph.serialization import save_graph
+
+        path = tmp_path / "g.json"
+        save_graph(diamond_graph, path)
+        assert main(["schedule", "--graph", str(path)]) == 0
+        assert "diamond" in capsys.readouterr().out
+
+    def test_schedule_requires_source(self, capsys):
+        assert main(["schedule"]) == 2
+
+    def test_experiment_fig2(self, capsys):
+        assert main(["experiment", "fig2"]) == 0
+        assert "Pareto" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

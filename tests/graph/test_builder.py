@@ -1,0 +1,136 @@
+"""GraphBuilder: shape inference, naming, composite helpers."""
+
+import pytest
+
+from repro.exceptions import GraphError, ShapeError
+from repro.graph.builder import GraphBuilder
+from repro.graph.tensor import DType
+
+
+@pytest.fixture
+def b() -> GraphBuilder:
+    return GraphBuilder("t")
+
+
+class TestCore:
+    def test_auto_names_increment(self, b):
+        x = b.input("x", (2, 4, 4))
+        c1 = b.conv2d(x, 2)
+        c2 = b.conv2d(x, 2)
+        assert (c1, c2) == ("conv2d_0", "conv2d_1")
+
+    def test_explicit_name(self, b):
+        x = b.input("x", (2, 4, 4))
+        assert b.relu(x, name="myrelu") == "myrelu"
+
+    def test_spec_lookup(self, b):
+        x = b.input("x", (2, 4, 4))
+        assert b.spec(x).shape == (2, 4, 4)
+
+    def test_build_validates(self, b):
+        with pytest.raises(GraphError):
+            b.build()  # empty
+
+    def test_graph_property_live(self, b):
+        b.input("x", (2, 4, 4))
+        assert len(b.graph) == 1
+
+
+class TestOps:
+    def test_input_dtype(self, b):
+        x = b.input("x", (2, 4, 4), dtype="int8")
+        assert b.spec(x).dtype is DType.INT8
+
+    def test_conv2d_same_stride2(self, b):
+        x = b.input("x", (3, 9, 9))
+        c = b.conv2d(x, 8, kernel=3, stride=2)
+        assert b.spec(c).shape == (8, 5, 5)
+
+    def test_conv2d_valid(self, b):
+        x = b.input("x", (3, 9, 9))
+        c = b.conv2d(x, 8, kernel=3, padding="valid")
+        assert b.spec(c).shape == (8, 7, 7)
+
+    def test_pointwise(self, b):
+        x = b.input("x", (3, 9, 9))
+        c = b.pointwise_conv2d(x, 16)
+        assert b.spec(c).shape == (16, 9, 9)
+
+    def test_depthwise_multiplier(self, b):
+        x = b.input("x", (3, 8, 8))
+        d = b.depthwise_conv2d(x, kernel=3, multiplier=2)
+        assert b.spec(d).shape == (6, 8, 8)
+
+    def test_concat_channels(self, b):
+        x = b.input("x", (3, 8, 8))
+        y = b.conv2d(x, 5, kernel=1)
+        cat = b.concat([x, y])
+        assert b.spec(cat).shape == (8, 8, 8)
+
+    def test_concat_empty_rejected(self, b):
+        with pytest.raises(GraphError):
+            b.concat([])
+
+    def test_concat_mismatched_hw_rejected(self, b):
+        x = b.input("x", (3, 8, 8))
+        y = b.input("y", (3, 4, 4))
+        with pytest.raises(ShapeError):
+            b.concat([x, y])
+
+    def test_add_shape(self, b):
+        x = b.input("x", (3, 8, 8))
+        y = b.input("y", (3, 8, 8))
+        assert b.spec(b.add(x, y)).shape == (3, 8, 8)
+
+    def test_add_mismatch_rejected(self, b):
+        x = b.input("x", (3, 8, 8))
+        y = b.input("y", (4, 8, 8))
+        with pytest.raises(ShapeError):
+            b.add(x, y)
+
+    def test_max_pool_defaults(self, b):
+        x = b.input("x", (3, 8, 8))
+        p = b.max_pool2d(x, kernel=2)
+        assert b.spec(p).shape == (3, 4, 4)
+
+    def test_avg_pool_stride(self, b):
+        x = b.input("x", (3, 9, 9))
+        p = b.avg_pool2d(x, kernel=3, stride=2, padding="same")
+        assert b.spec(p).shape == (3, 5, 5)
+
+    def test_global_avg_pool(self, b):
+        x = b.input("x", (7, 9, 9))
+        assert b.spec(b.global_avg_pool(x)).shape == (7, 1, 1)
+
+    def test_flatten_dense(self, b):
+        x = b.input("x", (2, 3, 3))
+        f = b.flatten(x)
+        d = b.dense(f, 10)
+        assert b.spec(f).shape == (18,)
+        assert b.spec(d).shape == (10,)
+
+    def test_dense_requires_flat(self, b):
+        x = b.input("x", (2, 3, 3))
+        with pytest.raises(ShapeError, match="flatten"):
+            b.dense(x, 10)
+
+    def test_slice_channels(self, b):
+        x = b.input("x", (8, 4, 4))
+        s = b.slice_channels(x, 2, 5)
+        assert b.spec(s).shape == (3, 4, 4)
+
+    def test_slice_channels_bad_range(self, b):
+        x = b.input("x", (8, 4, 4))
+        with pytest.raises(ShapeError):
+            b.slice_channels(x, 5, 2)
+
+    def test_batch_norm_identity_shape(self, b):
+        x = b.input("x", (8, 4, 4))
+        assert b.spec(b.batch_norm(x)).shape == (8, 4, 4)
+
+    def test_separable_conv_composite(self, b):
+        x = b.input("x", (4, 8, 8))
+        out = b.separable_conv(x, 16, kernel=3, name="sep")
+        assert b.spec(out).shape == (16, 8, 8)
+        # relu -> dw -> pw -> bn chain = four nodes plus the input
+        assert len(b.graph) == 5

@@ -1,0 +1,163 @@
+"""Graph container invariants and queries."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph
+from repro.graph.node import MemorySemantics, Node
+from repro.graph.tensor import TensorSpec
+
+
+def _n(name, inputs=(), bytes_shape=(1, 2, 2), op=None, memory=None):
+    return Node(
+        name=name,
+        op=op or ("input" if not inputs else "blob"),
+        inputs=tuple(inputs),
+        output=TensorSpec(bytes_shape),
+        memory=memory or MemorySemantics(),
+    )
+
+
+@pytest.fixture
+def g() -> Graph:
+    g = Graph("t")
+    g.add(_n("a"))
+    g.add(_n("b", ("a",)))
+    g.add(_n("c", ("a",)))
+    g.add(_n("d", ("b", "c")))
+    return g
+
+
+class TestConstruction:
+    def test_insertion_order_preserved(self, g):
+        assert g.node_names == ["a", "b", "c", "d"]
+
+    def test_duplicate_name_rejected(self, g):
+        with pytest.raises(GraphError, match="duplicate"):
+            g.add(_n("a"))
+
+    def test_forward_reference_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError, match="unknown producer"):
+            g.add(_n("x", ("ghost",)))
+
+    def test_add_node_convenience(self):
+        g = Graph()
+        node = g.add_node("x", "input", output=(2, 2))
+        assert node.output == TensorSpec((2, 2))
+
+    def test_add_node_requires_output(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_node("x", "input", output=None)
+
+    def test_len_and_contains(self, g):
+        assert len(g) == 4
+        assert "a" in g and "zz" not in g
+
+    def test_unknown_node_lookup(self, g):
+        with pytest.raises(GraphError, match="unknown node"):
+            g.node("zz")
+
+
+class TestTopologyQueries:
+    def test_preds(self, g):
+        assert g.preds("d") == ("b", "c")
+
+    def test_succs_in_insertion_order(self, g):
+        assert g.succs("a") == ("b", "c")
+
+    def test_succs_deduplicated(self):
+        g = Graph()
+        g.add(_n("a"))
+        g.add(_n("dbl", ("a", "a")))
+        assert g.succs("a") == ("dbl",)
+        assert g.out_degree("a") == 1
+
+    def test_in_degree_distinct(self):
+        g = Graph()
+        g.add(_n("a"))
+        g.add(_n("dbl", ("a", "a")))
+        assert g.in_degree("dbl") == 1
+
+    def test_sources_and_sinks(self, g):
+        assert g.sources == ["a"]
+        assert g.sinks == ["d"]
+
+    def test_edges(self, g):
+        assert g.edges() == [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+        assert g.num_edges == 4
+
+    def test_input_nodes(self, g):
+        assert g.input_nodes == ["a"]
+
+
+class TestValidation:
+    def test_empty_graph_invalid(self):
+        with pytest.raises(GraphError, match="empty"):
+            Graph().validate()
+
+    def test_valid_graph_passes(self, g):
+        g.validate()
+
+    def test_inplace_larger_than_target_rejected(self):
+        g = Graph()
+        g.add(_n("a", bytes_shape=(1, 2, 2)))
+        g.add(
+            _n(
+                "b",
+                ("a",),
+                bytes_shape=(4, 2, 2),
+                memory=MemorySemantics(inplace_of=0),
+            )
+        )
+        with pytest.raises(GraphError, match="does not fit"):
+            g.validate()
+
+    def test_is_topological_true(self, g):
+        assert g.is_topological(["a", "b", "c", "d"])
+        assert g.is_topological(["a", "c", "b", "d"])
+
+    def test_is_topological_violations(self, g):
+        assert not g.is_topological(["b", "a", "c", "d"])  # edge violated
+        assert not g.is_topological(["a", "b", "c"])  # incomplete
+        assert not g.is_topological(["a", "b", "c", "d", "d"])  # repeat
+
+
+class TestDerivation:
+    def test_copy_is_structural_equal_but_independent(self, g):
+        h = g.copy()
+        assert h == g
+        h.add(_n("e", ("d",)))
+        assert h != g
+
+    def test_eq_detects_attr_change(self, g):
+        h = g.copy()
+        h.node("d").attrs["x"] = 1
+        assert h != g
+
+    def test_eq_other_type(self, g):
+        assert (g == 42) is False or (g == 42) is NotImplemented or True
+
+    def test_induced_subgraph_plain(self, g):
+        sub = g.induced_subgraph(["a", "b"])
+        assert sub.node_names == ["a", "b"]
+
+    def test_induced_subgraph_stubs_boundary(self, g):
+        sub = g.induced_subgraph(["d"])
+        # b and c become input stubs so d is schedulable
+        assert set(sub.node_names) == {"b", "c", "d"}
+        assert sub.node("b").op == "input"
+        assert sub.node("b").output == g.node("b").output
+
+    def test_induced_subgraph_unknown_node(self, g):
+        with pytest.raises(GraphError, match="unknown nodes"):
+            g.induced_subgraph(["zz"])
+
+    def test_to_networkx(self, g):
+        nxg = g.to_networkx()
+        assert set(nxg.nodes) == {"a", "b", "c", "d"}
+        assert nxg.number_of_edges() == 4
+
+    def test_total_activation_bytes(self, g):
+        assert g.total_activation_bytes() == 4 * (1 * 2 * 2 * 4)

@@ -1,0 +1,63 @@
+"""Node and MemorySemantics invariants."""
+
+import pytest
+
+from repro.graph.node import MemorySemantics, Node
+from repro.graph.tensor import TensorSpec
+
+
+class TestMemorySemantics:
+    def test_default_is_plain(self):
+        mem = MemorySemantics()
+        assert not mem.aliases
+        assert mem.inplace_of is None
+        assert not mem.view
+
+    def test_inplace_aliases(self):
+        assert MemorySemantics(inplace_of=0).aliases
+
+    def test_view_aliases(self):
+        assert MemorySemantics(view=True).aliases
+
+    def test_inplace_and_view_conflict(self):
+        with pytest.raises(ValueError):
+            MemorySemantics(inplace_of=0, view=True)
+
+
+class TestNode:
+    def _node(self, **kw):
+        defaults = dict(
+            name="n", op="blob", inputs=("a", "b"), output=TensorSpec((2, 2))
+        )
+        defaults.update(kw)
+        return Node(**defaults)
+
+    def test_output_bytes(self):
+        assert self._node().output_bytes == 2 * 2 * 4
+
+    def test_inputs_coerced_to_tuple(self):
+        node = self._node(inputs=["a", "b"])
+        assert node.inputs == ("a", "b")
+
+    def test_inplace_of_out_of_range(self):
+        with pytest.raises(ValueError):
+            self._node(memory=MemorySemantics(inplace_of=2))
+
+    def test_inplace_of_valid(self):
+        node = self._node(memory=MemorySemantics(inplace_of=1))
+        assert node.memory.inplace_of == 1
+
+    def test_replace_changes_field(self):
+        node = self._node()
+        new = node.replace(name="m")
+        assert new.name == "m"
+        assert node.name == "n"
+
+    def test_replace_copies_attrs(self):
+        node = self._node(attrs={"k": 1})
+        new = node.replace()
+        new.attrs["k"] = 2
+        assert node.attrs["k"] == 1
+
+    def test_str_mentions_op(self):
+        assert "blob" in str(self._node())

@@ -1,0 +1,83 @@
+"""Single-node cut detection and divide-and-conquer partitioning."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.partition import find_cut_nodes, partition_at_cuts
+
+
+class TestFindCutNodes:
+    def test_chain_every_node_is_cut(self, chain_graph):
+        cuts = [c.name for c in find_cut_nodes(chain_graph)]
+        assert cuts == ["x", "c1", "r", "c2"]
+
+    def test_diamond_only_endpoints(self, diamond_graph):
+        cuts = [c.name for c in find_cut_nodes(diamond_graph)]
+        assert cuts == ["x", "join"]
+
+    def test_bypass_edge_disqualifies(self):
+        # x -> a -> b, plus x -> b: 'a' sees a bypassing edge
+        b = GraphBuilder("bypass")
+        x = b.input("x", (2, 4, 4))
+        a = b.conv2d(x, 2, name="a")
+        b.op("add", (a, x), name="b")
+        cuts = [c.name for c in find_cut_nodes(b.build())]
+        assert "a" not in cuts
+        assert cuts == ["x", "b"]
+
+    def test_multi_source_graph_has_no_early_cuts(self):
+        b = GraphBuilder("two-in")
+        x = b.input("x", (2, 4, 4))
+        y = b.input("y", (2, 4, 4))
+        j = b.add(x, y, name="j")
+        b.relu(j, name="out")
+        cuts = [c.name for c in find_cut_nodes(b.build())]
+        assert cuts == ["j", "out"]
+
+    def test_cuts_sorted_topologically(self, hourglass_graph):
+        cuts = find_cut_nodes(hourglass_graph)
+        counts = [c.before_mask.bit_count() for c in cuts]
+        assert counts == sorted(counts)
+
+
+class TestPartition:
+    def test_hourglass_three_cells(self, hourglass_graph):
+        segs = partition_at_cuts(hourglass_graph, min_segment_nodes=4)
+        owned = [len(s.owned) for s in segs]
+        assert sum(owned) == len(hourglass_graph)
+        assert len(segs) >= 2
+
+    def test_entry_is_stubbed(self, hourglass_graph):
+        segs = partition_at_cuts(hourglass_graph, min_segment_nodes=4)
+        for seg in segs[1:]:
+            assert seg.entry is not None
+            assert seg.graph.node(seg.entry).op == "input"
+
+    def test_first_segment_has_no_entry(self, hourglass_graph):
+        segs = partition_at_cuts(hourglass_graph, min_segment_nodes=4)
+        assert segs[0].entry is None
+
+    def test_owned_nodes_disjoint_and_cover(self, hourglass_graph):
+        segs = partition_at_cuts(hourglass_graph, min_segment_nodes=4)
+        seen = []
+        for seg in segs:
+            seen.extend(seg.owned)
+        assert sorted(seen) == sorted(hourglass_graph.node_names)
+
+    def test_min_segment_merging(self, chain_graph):
+        # chain of 4: with a large minimum, one single segment remains
+        segs = partition_at_cuts(chain_graph, min_segment_nodes=10)
+        assert len(segs) == 1
+        assert segs[0].entry is None
+        assert len(segs[0].owned) == len(chain_graph)
+
+    def test_single_segment_for_diamond_interior(self, diamond_graph):
+        segs = partition_at_cuts(diamond_graph, min_segment_nodes=2)
+        assert sum(len(s.owned) for s in segs) == len(diamond_graph)
+
+    def test_segments_are_schedulable_graphs(self, hourglass_graph):
+        from repro.scheduler.topological import kahn_schedule
+
+        for seg in partition_at_cuts(hourglass_graph, min_segment_nodes=4):
+            sched = kahn_schedule(seg.graph)
+            sched.validate(seg.graph)

@@ -1,0 +1,65 @@
+"""Graph JSON round-trips."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.serialization import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+
+from tests.conftest import random_dag_graph
+
+
+class TestRoundTrip:
+    def test_simple(self, concat_conv_graph):
+        doc = graph_to_dict(concat_conv_graph)
+        assert graph_from_dict(doc) == concat_conv_graph
+
+    def test_preserves_attrs_tuples(self, concat_conv_graph):
+        doc = graph_to_dict(concat_conv_graph)
+        back = graph_from_dict(doc)
+        head = back.node("head")
+        assert head.attrs["out_channels"] == 5
+        assert head.attrs.get("stride") == 2
+
+    def test_memory_semantics_survive(self):
+        from repro.graph.transforms import mark_concat_views
+
+        g = mark_concat_views(_views_graph())
+        back = graph_from_dict(graph_to_dict(g))
+        assert back == g
+        assert back.node("cat").memory.view
+
+    def test_file_round_trip(self, tmp_path, diamond_graph):
+        path = tmp_path / "g.json"
+        save_graph(diamond_graph, path)
+        assert load_graph(path) == diamond_graph
+
+    def test_random_graphs_round_trip(self):
+        for seed in range(10):
+            g = random_dag_graph(12, seed, with_views=True)
+            assert graph_from_dict(graph_to_dict(g)) == g
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(GraphError, match="format"):
+            graph_from_dict({"format": "bogus", "nodes": []})
+
+    def test_doc_is_json_serialisable(self, hourglass_graph):
+        import json
+
+        json.dumps(graph_to_dict(hourglass_graph))
+
+
+def _views_graph():
+    from repro.graph.builder import GraphBuilder
+
+    b = GraphBuilder("v")
+    x = b.input("x", (2, 4, 4))
+    l = b.conv2d(x, 2, name="l")
+    r = b.conv2d(x, 3, name="r")
+    cat = b.concat([l, r], name="cat")
+    b.conv2d(cat, 2, name="head")
+    return b.build()

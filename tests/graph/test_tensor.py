@@ -1,0 +1,85 @@
+"""Tensor metadata: dtypes, shapes, byte accounting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.graph.tensor import DType, TensorSpec
+
+
+class TestDType:
+    def test_float32_itemsize(self):
+        assert DType.FLOAT32.itemsize == 4
+
+    def test_float16_itemsize(self):
+        assert DType.FLOAT16.itemsize == 2
+
+    def test_int8_itemsize(self):
+        assert DType.INT8.itemsize == 1
+
+    def test_numpy_dtype(self):
+        assert DType.FLOAT32.numpy == np.dtype("float32")
+
+    def test_from_any_passthrough(self):
+        assert DType.from_any(DType.INT8) is DType.INT8
+
+    def test_from_any_string(self):
+        assert DType.from_any("float32") is DType.FLOAT32
+
+    def test_from_any_numpy(self):
+        assert DType.from_any(np.dtype("uint8")) is DType.UINT8
+
+    def test_from_any_unknown_raises(self):
+        with pytest.raises((ValueError, TypeError)):
+            DType.from_any("float128foo")
+
+
+class TestTensorSpec:
+    def test_bytes_fp32(self):
+        assert TensorSpec((4, 8, 8)).bytes == 4 * 8 * 8 * 4
+
+    def test_bytes_int8(self):
+        assert TensorSpec((4, 8, 8), DType.INT8).bytes == 4 * 8 * 8
+
+    def test_kib(self):
+        assert TensorSpec((1, 16, 16)).kib == 1.0
+
+    def test_elements(self):
+        assert TensorSpec((3, 5, 7)).elements == 105
+
+    def test_rank(self):
+        assert TensorSpec((10,)).rank == 1
+        assert TensorSpec((1, 2, 3)).rank == 3
+
+    def test_list_shape_coerced_to_tuple(self):
+        spec = TensorSpec([4, 4])  # type: ignore[arg-type]
+        assert spec.shape == (4, 4)
+
+    def test_dtype_string_coerced(self):
+        spec = TensorSpec((2,), "int8")  # type: ignore[arg-type]
+        assert spec.dtype is DType.INT8
+
+    def test_zero_dim_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorSpec((0, 4))
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorSpec((4, -1))
+
+    def test_non_int_dim_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorSpec((4.0, 4))  # type: ignore[arg-type]
+
+    def test_with_shape_keeps_dtype(self):
+        spec = TensorSpec((4, 4), DType.INT8).with_shape((2, 2))
+        assert spec.shape == (2, 2)
+        assert spec.dtype is DType.INT8
+
+    def test_equality_and_hash(self):
+        assert TensorSpec((4, 4)) == TensorSpec((4, 4))
+        assert hash(TensorSpec((4, 4))) == hash(TensorSpec((4, 4)))
+        assert TensorSpec((4, 4)) != TensorSpec((4, 4), DType.INT8)
+
+    def test_str_contains_dims(self):
+        assert "4x8x8" in str(TensorSpec((4, 8, 8)))

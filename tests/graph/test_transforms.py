@@ -1,0 +1,94 @@
+"""Concat view marking (TFLite-style buffer sharing)."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.transforms import mark_concat_views
+
+
+def _pattern(tail_op="conv"):
+    b = GraphBuilder("p")
+    x = b.input("x", (2, 4, 4))
+    l = b.conv2d(x, 2, name="l")
+    r = b.conv2d(x, 3, name="r")
+    cat = b.concat([l, r], name="cat")
+    b.conv2d(cat, 2, name="head")
+    return b.build()
+
+
+class TestMarkConcatViews:
+    def test_sole_consumer_operands_alias(self):
+        g = mark_concat_views(_pattern())
+        cat = g.node("cat")
+        assert cat.memory.view
+        assert "view_inputs" not in cat.attrs  # all operands aliased
+
+    def test_multi_consumer_operand_still_aliases(self):
+        b = GraphBuilder("p")
+        x = b.input("x", (2, 4, 4))
+        l = b.conv2d(x, 2, name="l")
+        r = b.conv2d(x, 3, name="r")
+        cat = b.concat([l, r], name="cat")
+        b.conv2d(cat, 2, name="head")
+        b.relu(l, name="extra_reader")  # l read elsewhere: still sliceable
+        g = mark_concat_views(b.build())
+        assert g.node("cat").memory.view
+
+    def test_graph_input_operand_excluded(self):
+        b = GraphBuilder("p")
+        x = b.input("x", (2, 4, 4))
+        l = b.conv2d(x, 2, name="l")
+        cat = b.concat([x, l], name="cat")
+        b.conv2d(cat, 2, name="head")
+        g = mark_concat_views(b.build())
+        cat_node = g.node("cat")
+        assert cat_node.memory.view
+        assert cat_node.attrs["view_inputs"] == (1,)  # only 'l' aliases
+
+    def test_repeated_operand_excluded(self):
+        b = GraphBuilder("p")
+        x = b.input("x", (2, 4, 4))
+        l = b.conv2d(x, 2, name="l")
+        cat = b.concat([l, l], name="cat")
+        b.conv2d(cat, 2, name="head")
+        g = mark_concat_views(b.build())
+        assert not g.node("cat").memory.view  # nothing eligible
+
+    def test_operand_claimed_once_across_concats(self):
+        b = GraphBuilder("p")
+        x = b.input("x", (2, 4, 4))
+        l = b.conv2d(x, 2, name="l")
+        r = b.conv2d(x, 3, name="r")
+        c1 = b.concat([l, r], name="c1")
+        c2 = b.concat([l, r], name="c2")
+        b.conv2d(c1, 2, name="h1")
+        b.conv2d(c2, 2, name="h2")
+        g = mark_concat_views(b.build())
+        # first concat claims both operands; the second gets neither
+        assert g.node("c1").memory.view
+        assert not g.node("c2").memory.view
+
+    def test_already_view_untouched(self):
+        g = mark_concat_views(mark_concat_views(_pattern()))
+        assert g.node("cat").memory.view
+
+    def test_non_concat_nodes_unchanged(self):
+        g0 = _pattern()
+        g = mark_concat_views(g0)
+        assert g.node("l") == g0.node("l")
+
+    def test_original_graph_not_mutated(self):
+        g0 = _pattern()
+        mark_concat_views(g0)
+        assert not g0.node("cat").memory.view
+
+    def test_peak_semantics_change(self):
+        """View marking removes the concat double-buffer from the peak."""
+        from repro.scheduler.memory import peak_of
+        from repro.scheduler.topological import kahn_schedule
+
+        g0 = _pattern()
+        g1 = mark_concat_views(g0)
+        k0 = peak_of(g0, kahn_schedule(g0))
+        k1 = peak_of(g1, kahn_schedule(g1))
+        assert k1 < k0

@@ -1,0 +1,208 @@
+"""Access traces, replacement policies, two-level memory simulation."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.memsim.hierarchy import MemoryHierarchySimulator, offchip_traffic
+from repro.memsim.policies import BeladyPolicy, FIFOPolicy, LRUPolicy, make_policy
+from repro.memsim.trace import build_trace
+from repro.scheduler.schedule import Schedule
+from repro.scheduler.topological import kahn_schedule, random_topological
+
+from tests.conftest import random_dag_graph
+
+
+@pytest.fixture
+def chain_sched(chain_graph):
+    return kahn_schedule(chain_graph)
+
+
+class TestTrace:
+    def test_reads_precede_write_per_step(self, chain_graph, chain_sched):
+        trace = build_trace(chain_graph, chain_sched, tile_bytes=None)
+        by_step = {}
+        for i, acc in enumerate(trace.accesses):
+            by_step.setdefault(acc.step, []).append(acc)
+        for accs in by_step.values():
+            kinds = [a.kind for a in accs]
+            assert kinds == sorted(kinds)  # 'read' < 'write'
+
+    def test_last_use_marked_once(self, chain_graph, chain_sched):
+        trace = build_trace(chain_graph, chain_sched, tile_bytes=None)
+        for obj, positions in trace.positions.items():
+            flags = [trace.accesses[p].last_use for p in positions]
+            assert sum(flags) <= 1
+            assert not any(flags[:-1])
+
+    def test_outputs_never_last_use(self, chain_graph, chain_sched):
+        trace = build_trace(chain_graph, chain_sched, tile_bytes=None)
+        sink_obj = [
+            a for a in trace.accesses if a.node == "c2" and a.kind == "write"
+        ]
+        assert sink_obj and not sink_obj[0].last_use
+
+    def test_view_resolution(self):
+        """Reading a view concat reads the underlying tensors."""
+        from repro.graph.transforms import mark_concat_views
+
+        b = GraphBuilder("v")
+        x = b.input("x", (2, 4, 4))
+        l = b.conv2d(x, 2, name="l")
+        r = b.conv2d(x, 3, name="r")
+        cat = b.concat([l, r], name="cat")
+        b.conv2d(cat, 2, name="head")
+        g = mark_concat_views(b.build())
+        trace = build_trace(g, kahn_schedule(g), tile_bytes=None)
+        head_reads = {
+            a.buffer_id[0] for a in trace.accesses
+            if a.node == "head" and a.kind == "read"
+        }
+        from repro.graph.analysis import GraphIndex
+
+        idx = GraphIndex.build(g)
+        assert head_reads == {idx.index["l"], idx.index["r"]}
+        # the view itself performs no write
+        assert not any(a.node == "cat" for a in trace.accesses)
+
+    def test_tiling_splits_large_tensors(self, chain_graph, chain_sched):
+        trace = build_trace(chain_graph, chain_sched, tile_bytes=256)
+        c1_writes = [
+            a for a in trace.accesses if a.node == "c1" and a.kind == "write"
+        ]
+        total = sum(a.size for a in c1_writes)
+        assert total == chain_graph.node("c1").output_bytes
+        assert all(a.size <= 256 for a in c1_writes)
+        assert len(c1_writes) > 1
+
+    def test_tile_remainder(self):
+        b = GraphBuilder("r")
+        b.input("x", (3, 5, 5))  # 300 bytes
+        g = b.build()
+        trace = build_trace(g, kahn_schedule(g), tile_bytes=256)
+        sizes = [a.size for a in trace.accesses]
+        assert sorted(sizes) == [44, 256]
+
+
+class TestPolicies:
+    def _trace(self, graph):
+        return build_trace(graph, kahn_schedule(graph), tile_bytes=None)
+
+    def test_belady_next_use(self, chain_graph):
+        trace = self._trace(chain_graph)
+        policy = BeladyPolicy(trace)
+        obj = trace.accesses[0].buffer_id
+        first, *rest = trace.positions[obj]
+        nxt = policy.next_use(obj, first)
+        assert nxt == (rest[0] if rest else float("inf"))
+
+    def test_belady_evicts_farthest(self):
+        # two residents: one reused soon, one never again
+        b = GraphBuilder("p")
+        x = b.input("x", (2, 4, 4))
+        l = b.conv2d(x, 2, name="l")
+        b.op("add", (x, l), name="j")
+        g = b.build()
+        trace = self._trace(g)
+        policy = BeladyPolicy(trace)
+        from repro.graph.analysis import GraphIndex
+
+        idx = GraphIndex.build(g)
+        xo, lo = (idx.index["x"], 0), (idx.index["l"], 0)
+        victim = policy.victim({xo, lo}, position=2)
+        # neither used after position 2's write of j except j itself...
+        assert victim in {xo, lo}
+
+    def test_lru_prefers_stale(self):
+        policy = LRUPolicy()
+        policy.on_access("a", 0)
+        policy.on_access("b", 5)
+        assert policy.victim({"a", "b"}, 6) == "a"
+
+    def test_fifo_prefers_oldest_arrival(self):
+        policy = FIFOPolicy()
+        policy.on_access("a", 0)
+        policy.on_access("b", 1)
+        policy.on_access("a", 2)  # re-access must not refresh arrival
+        assert policy.victim({"a", "b"}, 3) == "a"
+
+    def test_make_policy_unknown(self, chain_graph):
+        with pytest.raises(ValueError):
+            make_policy("bogus", self._trace(chain_graph))
+
+
+class TestHierarchy:
+    def test_zero_traffic_when_everything_fits(self, chain_graph, chain_sched):
+        report = offchip_traffic(
+            chain_graph, chain_sched, capacity_bytes=10**9
+        )
+        assert report.total_bytes == 0
+        assert report.eliminated
+
+    def test_capacity_must_be_positive(self, chain_graph, chain_sched):
+        from repro.exceptions import ReproError
+
+        sim = MemoryHierarchySimulator(0)
+        with pytest.raises(ReproError):
+            sim.run(build_trace(chain_graph, chain_sched))
+
+    def test_tiny_capacity_traffic_bounded_by_touched(self, chain_graph, chain_sched):
+        trace = build_trace(chain_graph, chain_sched)
+        report = MemoryHierarchySimulator(1024).run(trace)
+        assert 0 < report.total_bytes <= 2 * trace.total_bytes_touched
+
+    def test_writeback_only_when_reused(self):
+        """A dirty tensor evicted after its final read is dropped."""
+        b = GraphBuilder("wb")
+        x = b.input("x", (2, 4, 4))
+        b.conv2d(x, 2, name="c")
+        g = b.build()
+        report = offchip_traffic(g, kahn_schedule(g), 64, tile_bytes=0)
+        # tensors are bigger than 64B -> all accesses bypass, but nothing
+        # is ever written back as "needed again"
+        assert report.writebacks == 0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_belady_not_worse_than_lru_or_fifo(self, seed):
+        """Clairvoyant eviction beats reactive policies (uniform tile
+        sizes make MIN provably optimal)."""
+        import random
+
+        g = random_dag_graph(12, seed, max_bytes_scale=8)
+        sched = random_topological(g, random.Random(seed))
+        cap = 128
+        results = {
+            policy: offchip_traffic(
+                g, sched, cap, policy=policy, tile_bytes=16
+            ).total_bytes
+            for policy in ("belady", "lru", "fifo")
+        }
+        assert results["belady"] <= results["lru"]
+        assert results["belady"] <= results["fifo"]
+
+    def test_better_schedule_not_more_traffic_on_pattern(self):
+        """On the motivating pattern, the DP schedule's traffic is no
+        worse than an adversarial (max-liveness) order."""
+        from repro.scheduler.dp import dp_schedule
+
+        b = GraphBuilder("t")
+        x = b.input("x", (2, 8, 8))
+        branches = [b.conv2d(x, 4, kernel=3, name=f"b{i}") for i in range(4)]
+        downs = [b.conv2d(br, 1, name=f"d{i}") for i, br in enumerate(branches)]
+        b.concat(downs, name="cat")
+        g = b.build()
+        dp = dp_schedule(g).schedule
+        bad = Schedule(
+            ("x", "b0", "b1", "b2", "b3", "d0", "d1", "d2", "d3", "cat")
+        )
+        cap = 2 * 1024
+        t_dp = offchip_traffic(g, dp, cap).total_bytes
+        t_bad = offchip_traffic(g, bad, cap).total_bytes
+        assert t_dp <= t_bad
+
+    def test_report_fields(self, chain_graph, chain_sched):
+        report = offchip_traffic(chain_graph, chain_sched, 4096)
+        assert report.total_bytes == (
+            report.bytes_in + report.bytes_out + report.bypass_bytes
+        )
+        assert report.total_kib == report.total_bytes / 1024.0
+        assert report.accesses == len(build_trace(chain_graph, chain_sched))

@@ -1,0 +1,179 @@
+"""Convolution op schemas: shapes, MACs, weights."""
+
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.graph.tensor import TensorSpec
+from repro.ops import infer_shape, op_macs, op_weights
+
+
+def _chw(c, h, w):
+    return TensorSpec((c, h, w))
+
+
+class TestConv2dShape:
+    def test_same_keeps_hw(self):
+        out = infer_shape("conv2d", [_chw(3, 8, 8)], {"out_channels": 5, "kernel": 3})
+        assert out.shape == (5, 8, 8)
+
+    def test_same_with_stride_ceil(self):
+        out = infer_shape(
+            "conv2d",
+            [_chw(3, 9, 7)],
+            {"out_channels": 5, "kernel": 3, "stride": 2},
+        )
+        assert out.shape == (5, 5, 4)
+
+    def test_valid(self):
+        out = infer_shape(
+            "conv2d",
+            [_chw(3, 8, 8)],
+            {"out_channels": 5, "kernel": 3, "padding": "valid"},
+        )
+        assert out.shape == (5, 6, 6)
+
+    def test_explicit_padding(self):
+        out = infer_shape(
+            "conv2d",
+            [_chw(3, 8, 8)],
+            {"out_channels": 5, "kernel": 5, "padding": 2},
+        )
+        assert out.shape == (5, 8, 8)
+
+    def test_rect_kernel(self):
+        out = infer_shape(
+            "conv2d",
+            [_chw(3, 8, 8)],
+            {"out_channels": 5, "kernel": (1, 3), "padding": "valid"},
+        )
+        assert out.shape == (5, 8, 6)
+
+    def test_collapsed_output_rejected(self):
+        with pytest.raises(ShapeError, match="collapsed"):
+            infer_shape(
+                "conv2d",
+                [_chw(3, 2, 2)],
+                {"out_channels": 5, "kernel": 5, "padding": "valid"},
+            )
+
+    def test_bad_out_channels(self):
+        with pytest.raises(ShapeError):
+            infer_shape("conv2d", [_chw(3, 8, 8)], {"out_channels": 0})
+
+    def test_requires_chw(self):
+        with pytest.raises(ShapeError):
+            infer_shape("conv2d", [TensorSpec((8,))], {"out_channels": 5})
+
+    def test_dtype_propagated(self):
+        out = infer_shape(
+            "conv2d",
+            [TensorSpec((3, 8, 8), "int8")],
+            {"out_channels": 5, "kernel": 1},
+        )
+        assert out.dtype.value == "int8"
+
+
+class TestConv2dCosts:
+    def test_macs(self):
+        inp, attrs = _chw(3, 8, 8), {"out_channels": 5, "kernel": 3}
+        out = infer_shape("conv2d", [inp], attrs)
+        assert op_macs("conv2d", [inp], out, attrs) == 5 * 8 * 8 * 3 * 3 * 3
+
+    def test_weights_with_bias(self):
+        inp, attrs = _chw(3, 8, 8), {"out_channels": 5, "kernel": 3}
+        out = infer_shape("conv2d", [inp], attrs)
+        assert op_weights("conv2d", [inp], out, attrs) == 5 * 3 * 9 + 5
+
+    def test_weights_no_bias(self):
+        inp = _chw(3, 8, 8)
+        attrs = {"out_channels": 5, "kernel": 3, "use_bias": False}
+        out = infer_shape("conv2d", [inp], attrs)
+        assert op_weights("conv2d", [inp], out, attrs) == 5 * 3 * 9
+
+
+class TestDepthwise:
+    def test_shape_multiplier(self):
+        out = infer_shape(
+            "depthwise_conv2d", [_chw(4, 8, 8)], {"kernel": 3, "multiplier": 3}
+        )
+        assert out.shape == (12, 8, 8)
+
+    def test_bad_multiplier(self):
+        with pytest.raises(ShapeError):
+            infer_shape(
+                "depthwise_conv2d", [_chw(4, 8, 8)], {"kernel": 3, "multiplier": 0}
+            )
+
+    def test_macs(self):
+        inp, attrs = _chw(4, 8, 8), {"kernel": 3}
+        out = infer_shape("depthwise_conv2d", [inp], attrs)
+        assert op_macs("depthwise_conv2d", [inp], out, attrs) == 4 * 8 * 8 * 9
+
+    def test_weights(self):
+        inp, attrs = _chw(4, 8, 8), {"kernel": 3, "multiplier": 2}
+        out = infer_shape("depthwise_conv2d", [inp], attrs)
+        assert op_weights("depthwise_conv2d", [inp], out, attrs) == 8 * 9 + 8
+
+
+class TestPartialConv:
+    def test_accumulating_needs_two_inputs(self):
+        with pytest.raises(ShapeError):
+            infer_shape(
+                "partial_conv2d",
+                [_chw(3, 8, 8)],
+                {"out_channels": 5, "kernel": 3, "accumulate": True},
+            )
+
+    def test_accumulator_shape_must_match(self):
+        with pytest.raises(ShapeError, match="accumulator"):
+            infer_shape(
+                "partial_conv2d",
+                [_chw(3, 8, 8), _chw(4, 8, 8)],
+                {"out_channels": 5, "kernel": 3, "accumulate": True},
+            )
+
+    def test_accumulating_ok(self):
+        out = infer_shape(
+            "partial_conv2d",
+            [_chw(3, 8, 8), _chw(5, 8, 8)],
+            {"out_channels": 5, "kernel": 3, "accumulate": True},
+        )
+        assert out.shape == (5, 8, 8)
+
+    def test_non_accumulating_single_input(self):
+        with pytest.raises(ShapeError):
+            infer_shape(
+                "partial_conv2d",
+                [_chw(3, 8, 8), _chw(5, 8, 8)],
+                {"out_channels": 5, "kernel": 3},
+            )
+
+    def test_bias_counted_only_for_owner(self):
+        inp = _chw(3, 8, 8)
+        base = {"out_channels": 5, "kernel": 3}
+        out = infer_shape("partial_conv2d", [inp], base)
+        owner = dict(base, owns_bias=True)
+        other = dict(base, owns_bias=False)
+        w_owner = op_weights("partial_conv2d", [inp], out, owner)
+        w_other = op_weights("partial_conv2d", [inp], out, other)
+        assert w_owner - w_other == 5
+
+
+class TestFusedSepConv:
+    def test_shape(self):
+        out = infer_shape(
+            "fused_sep_conv3x3", [_chw(4, 8, 8)], {"out_channels": 6, "kernel": 3}
+        )
+        assert out.shape == (6, 8, 8)
+
+    def test_macs_sum_of_parts(self):
+        inp = _chw(4, 8, 8)
+        attrs = {"out_channels": 6, "kernel": 3}
+        out = infer_shape("fused_sep_conv3x3", [inp], attrs)
+        dw = 4 * 8 * 8 * 9
+        pw = 6 * 8 * 8 * 4
+        assert op_macs("fused_sep_conv3x3", [inp], out, attrs) == dw + pw
+
+    def test_default_out_channels_is_input(self):
+        out = infer_shape("fused_sep_conv3x3", [_chw(4, 8, 8)], {"kernel": 3})
+        assert out.shape == (4, 8, 8)

@@ -1,0 +1,164 @@
+"""Pooling, dense, norm, elementwise and shape-manipulation op schemas."""
+
+import pytest
+
+from repro.exceptions import ShapeError, UnknownOpError
+from repro.graph.tensor import TensorSpec
+from repro.ops import get_op, has_op, infer_shape, op_macs, op_weights, registered_ops
+from repro.ops.base import OpSchema, register_op
+
+
+def _chw(c, h, w):
+    return TensorSpec((c, h, w))
+
+
+class TestRegistry:
+    def test_expected_ops_present(self):
+        names = registered_ops()
+        for op in (
+            "input",
+            "conv2d",
+            "depthwise_conv2d",
+            "partial_conv2d",
+            "partial_depthwise_conv2d",
+            "fused_sep_conv3x3",
+            "concat",
+            "add",
+            "relu",
+            "max_pool2d",
+            "avg_pool2d",
+            "global_avg_pool",
+            "dense",
+            "batch_norm",
+            "flatten",
+            "slice_channels",
+        ):
+            assert op in names
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(UnknownOpError):
+            get_op("frobnicate")
+
+    def test_has_op(self):
+        assert has_op("conv2d") and not has_op("frobnicate")
+
+    def test_reregistration_replaces(self):
+        schema = OpSchema(name="test_tmp_op", infer_shape=lambda i, a: i[0])
+        register_op(schema)
+        assert get_op("test_tmp_op") is schema
+
+    def test_arity_enforced(self):
+        with pytest.raises(ShapeError, match="inputs"):
+            infer_shape("relu", [_chw(1, 2, 2), _chw(1, 2, 2)], {})
+        with pytest.raises(ShapeError, match="inputs"):
+            infer_shape("add", [_chw(1, 2, 2)], {})
+
+
+class TestPooling:
+    def test_max_pool_defaults_stride_kernel(self):
+        out = infer_shape("max_pool2d", [_chw(3, 8, 8)], {"kernel": 2})
+        assert out.shape == (3, 4, 4)
+
+    def test_avg_pool_same_padding(self):
+        out = infer_shape(
+            "avg_pool2d", [_chw(3, 7, 7)], {"kernel": 3, "stride": 1, "padding": "same"}
+        )
+        assert out.shape == (3, 7, 7)
+
+    def test_pool_macs(self):
+        inp, attrs = _chw(3, 8, 8), {"kernel": 2}
+        out = infer_shape("max_pool2d", [inp], attrs)
+        assert op_macs("max_pool2d", [inp], out, attrs) == 3 * 4 * 4 * 4
+
+    def test_global_avg_pool(self):
+        inp = _chw(5, 9, 9)
+        out = infer_shape("global_avg_pool", [inp], {})
+        assert out.shape == (5, 1, 1)
+        assert op_macs("global_avg_pool", [inp], out, {}) == 5 * 81
+
+    def test_pool_has_no_weights(self):
+        inp, attrs = _chw(3, 8, 8), {"kernel": 2}
+        out = infer_shape("max_pool2d", [inp], attrs)
+        assert op_weights("max_pool2d", [inp], out, attrs) == 0
+
+
+class TestDense:
+    def test_shape(self):
+        out = infer_shape("dense", [TensorSpec((12,))], {"units": 4})
+        assert out.shape == (4,)
+
+    def test_macs_and_weights(self):
+        inp, attrs = TensorSpec((12,)), {"units": 4}
+        out = infer_shape("dense", [inp], attrs)
+        assert op_macs("dense", [inp], out, attrs) == 48
+        assert op_weights("dense", [inp], out, attrs) == 48 + 4
+
+    def test_rejects_feature_maps(self):
+        with pytest.raises(ShapeError):
+            infer_shape("dense", [_chw(3, 2, 2)], {"units": 4})
+
+    def test_bad_units(self):
+        with pytest.raises(ShapeError):
+            infer_shape("dense", [TensorSpec((12,))], {"units": -1})
+
+
+class TestBatchNorm:
+    def test_shape_identity(self):
+        assert infer_shape("batch_norm", [_chw(6, 4, 4)], {}).shape == (6, 4, 4)
+
+    def test_weights_two_per_channel(self):
+        inp = _chw(6, 4, 4)
+        out = infer_shape("batch_norm", [inp], {})
+        assert op_weights("batch_norm", [inp], out, {}) == 12
+
+
+class TestElementwise:
+    def test_add_nary(self):
+        specs = [_chw(2, 3, 3)] * 4
+        assert infer_shape("add", specs, {}).shape == (2, 3, 3)
+
+    def test_add_macs_scale_with_arity(self):
+        specs = [_chw(2, 3, 3)] * 4
+        out = infer_shape("add", specs, {})
+        assert op_macs("add", specs, out, {}) == 18 * 3
+
+    def test_mul_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            infer_shape("mul", [_chw(2, 3, 3), _chw(2, 3, 4)], {})
+
+    def test_dtype_mismatch(self):
+        with pytest.raises(ShapeError):
+            infer_shape(
+                "add", [_chw(2, 3, 3), TensorSpec((2, 3, 3), "int8")], {}
+            )
+
+    def test_identity_costs_nothing(self):
+        inp = _chw(2, 3, 3)
+        out = infer_shape("identity", [inp], {})
+        assert op_macs("identity", [inp], out, {}) == 0
+
+    def test_relu_macs(self):
+        inp = _chw(2, 3, 3)
+        out = infer_shape("relu", [inp], {})
+        assert op_macs("relu", [inp], out, {}) == 18
+
+
+class TestShapeOps:
+    def test_input_requires_shape_attr(self):
+        with pytest.raises(ShapeError):
+            infer_shape("input", [], {})
+
+    def test_concat_sums_channels(self):
+        out = infer_shape("concat", [_chw(2, 3, 3), _chw(5, 3, 3)], {})
+        assert out.shape == (7, 3, 3)
+
+    def test_concat_axis_restriction(self):
+        with pytest.raises(ShapeError):
+            infer_shape("concat", [_chw(2, 3, 3)], {"axis": 1})
+
+    def test_flatten(self):
+        assert infer_shape("flatten", [_chw(2, 3, 4)], {}).shape == (24,)
+
+    def test_slice_channels(self):
+        out = infer_shape("slice_channels", [_chw(8, 3, 3)], {"range": (2, 6)})
+        assert out.shape == (4, 3, 3)

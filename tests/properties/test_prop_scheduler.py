@@ -1,0 +1,127 @@
+"""Property-based tests of the scheduling core.
+
+These are the paper's theorems, checked mechanically on random DAGs:
+
+* Theorem 1 (Appendix C): the DP with zero-indegree signatures finds the
+  optimal peak — cross-checked against exhaustive search;
+* Algorithm 2's soundness: pruning at tau >= mu* never loses optimality,
+  and tau < mu* is always reported infeasible;
+* divide-and-conquer exactness at single-node cuts (Wilken et al.).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import NoSolutionError
+from repro.scheduler.brute import brute_force_schedule
+from repro.scheduler.budget import AdaptiveSoftBudgetScheduler
+from repro.scheduler.divide import DivideAndConquerScheduler
+from repro.scheduler.dp import dp_schedule
+from repro.scheduler.memory import BufferModel, simulate_schedule
+from repro.scheduler.topological import random_topological
+
+from tests.conftest import random_dag_graph
+
+dag = st.builds(
+    random_dag_graph,
+    n_nodes=st.integers(2, 8),
+    seed=st.integers(0, 10_000),
+    with_views=st.booleans(),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(g=dag)
+def test_dp_is_optimal(g):
+    dp = dp_schedule(g)
+    bf = brute_force_schedule(g)
+    assert dp.peak_bytes == bf.peak_bytes
+    dp.schedule.validate(g)
+    assert simulate_schedule(g, dp.schedule).peak_bytes == dp.peak_bytes
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=dag)
+def test_dp_never_beaten_by_random_schedules(g):
+    dp = dp_schedule(g)
+    rng = random.Random(0)
+    for _ in range(5):
+        sched = random_topological(g, rng)
+        assert simulate_schedule(g, sched).peak_bytes >= dp.peak_bytes
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=dag)
+def test_budget_at_optimum_feasible_below_infeasible(g):
+    opt = dp_schedule(g).peak_bytes
+    assert dp_schedule(g, budget=opt).peak_bytes == opt
+    with pytest.raises(NoSolutionError):
+        dp_schedule(g, budget=opt - 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(g=dag)
+def test_adaptive_soft_budgeting_preserves_optimality(g):
+    opt = dp_schedule(g).peak_bytes
+    res = AdaptiveSoftBudgetScheduler(max_states_per_step=64).schedule(g)
+    assert res.peak_bytes == opt
+    assert res.probes[-1].outcome == "solution"
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_cells=st.integers(1, 3),
+    seed=st.integers(0, 5_000),
+)
+def test_divide_and_conquer_is_exact(n_cells, seed):
+    """Stacked random cells: D&C peak equals whole-graph DP peak."""
+    from repro.graph.builder import GraphBuilder
+
+    rng = random.Random(seed)
+    b = GraphBuilder(f"stack{seed}")
+    prev = b.input("x", (rng.randint(1, 3), 2, 2))
+    for cell in range(n_cells):
+        branches = [
+            b.conv2d(prev, rng.randint(1, 5), kernel=1, name=f"c{cell}b{i}")
+            for i in range(rng.randint(1, 3))
+        ]
+        if len(branches) == 1:
+            merged = branches[0]
+        else:
+            merged = b.concat(branches, name=f"c{cell}cat")
+        prev = b.conv2d(merged, rng.randint(1, 3), kernel=1, name=f"c{cell}o")
+    g = b.build()
+
+    whole = dp_schedule(g)
+    dnc = DivideAndConquerScheduler(adaptive_budget=False).schedule(g)
+    assert dnc.peak_bytes == whole.peak_bytes
+    dnc.schedule.validate(g)
+
+
+@settings(max_examples=50, deadline=None)
+@given(g=dag, seed=st.integers(0, 100))
+def test_simulation_prefix_invariant(g, seed):
+    """Incremental accounting equals first-principles accounting at
+    every prefix, for any topological order."""
+    model = BufferModel.of(g)
+    idx = model.index
+    sched = random_topological(g, random.Random(seed))
+    mask, mu = 0, 0
+    for name in sched:
+        transient, mu, mask = model.step(mask, mu, idx.index[name])
+        assert mu == model.footprint_of(mask)
+        assert transient >= mu
+        assert mu >= 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=dag, seed=st.integers(0, 100))
+def test_final_footprint_is_schedule_independent(g, seed):
+    """The settled footprint after the last step depends only on the
+    graph (its persistent outputs), never on the order."""
+    rng = random.Random(seed)
+    a = simulate_schedule(g, random_topological(g, rng)).final_bytes
+    b = simulate_schedule(g, random_topological(g, rng)).final_bytes
+    assert a == b

@@ -1,0 +1,111 @@
+"""Properties of graph normalisation and model determinism."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.transforms import mark_concat_views
+from tests.conftest import random_dag_graph
+
+
+def _random_concat_graph(seed: int):
+    """Random DAG of convs with concat joins (realistic view targets)."""
+    from repro.graph.builder import GraphBuilder
+
+    rng = random.Random(seed)
+    b = GraphBuilder(f"cat{seed}")
+    tensors = [b.input("x", (rng.randint(1, 4), 4, 4))]
+    for i in range(rng.randint(2, 10)):
+        if len(tensors) >= 2 and rng.random() < 0.35:
+            k = rng.randint(2, min(3, len(tensors)))
+            srcs = rng.sample(tensors, k)
+            tensors.append(b.concat(srcs, name=f"cat{i}"))
+        else:
+            src = rng.choice(tensors)
+            tensors.append(
+                b.conv2d(src, rng.randint(1, 4), kernel=1, name=f"c{i}")
+            )
+    return b.build()
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 5_000))
+def test_mark_concat_views_idempotent(seed):
+    g1 = mark_concat_views(_random_concat_graph(seed))
+    g2 = mark_concat_views(g1)
+    assert g1 == g2
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 5_000))
+def test_mark_concat_views_preserves_structure(seed):
+    g0 = _random_concat_graph(seed)
+    g1 = mark_concat_views(g0)
+    g1.validate()
+    assert g1.node_names == g0.node_names
+    assert g1.edges() == g0.edges()
+    for node in g0:
+        assert g1.node(node.name).output == node.output
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 5_000))
+def test_view_marking_keeps_schedules_valid(seed):
+    """Any topological order of the original graph is still valid and
+    simulable on the view-marked graph (same nodes and edges)."""
+    from repro.scheduler.memory import simulate_schedule
+    from repro.scheduler.topological import random_topological
+
+    g0 = _random_concat_graph(seed)
+    g1 = mark_concat_views(g0)
+    sched = random_topological(g0, random.Random(seed))
+    trace = simulate_schedule(g1, sched)
+    assert trace.peak_bytes > 0
+
+
+class TestModelDeterminism:
+    def test_suite_factories_are_pure(self):
+        from repro.models.suite import suite_cells
+
+        for spec in suite_cells():
+            assert spec.factory() == spec.factory()
+
+    def test_random_dag_graph_deterministic(self):
+        assert random_dag_graph(10, 7).__eq__(random_dag_graph(10, 7))
+
+
+class TestMemsimGranularityModes:
+    def test_whole_tensor_mode_bypasses_large_tensors(self, chain_graph):
+        from repro.memsim.hierarchy import offchip_traffic
+        from repro.scheduler.topological import kahn_schedule
+
+        sched = kahn_schedule(chain_graph)
+        report = offchip_traffic(
+            chain_graph, sched, capacity_bytes=128, tile_bytes=0
+        )
+        assert report.bypass_bytes > 0
+
+    def test_tiled_mode_has_no_bypass_when_tiles_fit(self, chain_graph):
+        from repro.memsim.hierarchy import offchip_traffic
+        from repro.scheduler.topological import kahn_schedule
+
+        sched = kahn_schedule(chain_graph)
+        report = offchip_traffic(
+            chain_graph, sched, capacity_bytes=4096, tile_bytes=1024
+        )
+        assert report.bypass_bytes == 0
+
+
+class TestExperimentSubsets:
+    def test_fig13_runs_on_subset(self):
+        from repro.experiments import fig13_time
+
+        rows = fig13_time.run(keys=["swiftnet-c"])
+        assert len(rows) == 1 and rows[0].key == "swiftnet-c"
+
+    def test_fig11_rewrite_variant(self):
+        from repro.experiments import fig11_offchip
+
+        cells = fig11_offchip.run(keys=["swiftnet-c"], rewrite=True)
+        assert len(cells) == 1

@@ -1,0 +1,131 @@
+"""Extension rewrite rules: concat flattening and identity elimination."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.rewriting.extra_rules import (
+    EXTRA_RULES,
+    ConcatFlattening,
+    IdentityElimination,
+)
+from repro.rewriting.rewriter import IdentityGraphRewriter
+from repro.rewriting.rules import DEFAULT_RULES
+from repro.runtime.verify import verify_rewrite
+
+
+def _nested_concat_graph():
+    b = GraphBuilder("nested")
+    x = b.input("x", (2, 6, 6))
+    a = b.conv2d(x, 2, name="a")
+    c = b.conv2d(x, 3, name="c")
+    d = b.conv2d(x, 4, name="d")
+    inner = b.concat([a, c], name="inner")
+    outer = b.concat([inner, d], name="outer")
+    b.conv2d(outer, 5, kernel=3, name="head")
+    return b.build()
+
+
+class TestConcatFlattening:
+    def test_flattens_one_level(self):
+        g = _nested_concat_graph()
+        res = IdentityGraphRewriter([ConcatFlattening()]).rewrite_once(g)
+        assert res.applied == 1
+        flat = res.graph.node(res.renamed["outer"])
+        assert flat.op == "concat"
+        assert flat.inputs == ("a", "c", "d")
+        assert flat.output == g.node("outer").output
+
+    def test_numerically_identical(self):
+        g = _nested_concat_graph()
+        res = IdentityGraphRewriter([ConcatFlattening()]).rewrite(g)
+        assert verify_rewrite(g, res).equivalent
+
+    def test_enables_channel_wise_partitioning(self):
+        """Flattening first lets the paper's rule see all three branches
+        instead of two operands (one of them a concat)."""
+        g = _nested_concat_graph()
+        combined = IdentityGraphRewriter(EXTRA_RULES + DEFAULT_RULES)
+        res = combined.rewrite(g, until_fixed_point=True)
+        parts = [n for n in res.graph if n.op == "partial_conv2d"]
+        assert len(parts) == 3
+        assert verify_rewrite(g, res).equivalent
+
+    def test_inner_with_other_reader_not_flattened(self):
+        b = GraphBuilder("keep")
+        x = b.input("x", (2, 6, 6))
+        a = b.conv2d(x, 2, name="a")
+        c = b.conv2d(x, 3, name="c")
+        inner = b.concat([a, c], name="inner")
+        b.relu(inner, name="other")
+        d = b.conv2d(x, 4, name="d")
+        b.concat([inner, d], name="outer")
+        assert ConcatFlattening().find(b.build()) == []
+
+    def test_deeply_nested_fixed_point(self):
+        b = GraphBuilder("deep")
+        x = b.input("x", (2, 6, 6))
+        cur = b.conv2d(x, 2, name="leaf0")
+        for i in range(3):
+            nxt = b.conv2d(x, 2, name=f"leaf{i + 1}")
+            cur = b.concat([cur, nxt], name=f"cat{i}")
+        b.relu(cur, name="head")
+        g = b.build()
+        res = IdentityGraphRewriter([ConcatFlattening()]).rewrite(
+            g, until_fixed_point=True
+        )
+        final = res.graph.node(res.renamed["cat2"])
+        assert len(final.inputs) == 4
+        assert verify_rewrite(g, res).equivalent
+
+
+class TestIdentityElimination:
+    def test_removes_pass_through(self):
+        b = GraphBuilder("ident")
+        x = b.input("x", (2, 4, 4))
+        i = b.identity(x, name="skip")
+        b.conv2d(i, 2, name="head")
+        g = b.build()
+        res = IdentityGraphRewriter([IdentityElimination()]).rewrite_once(g)
+        assert "skip" not in res.graph
+        assert res.graph.node("head").inputs == ("x",)
+
+    def test_sink_identity_kept(self):
+        b = GraphBuilder("sink")
+        x = b.input("x", (2, 4, 4))
+        b.identity(x, name="out")
+        g = b.build()
+        res = IdentityGraphRewriter([IdentityElimination()]).rewrite_once(g)
+        assert "out" in res.graph
+
+    def test_chain_of_identities(self):
+        b = GraphBuilder("chain")
+        x = b.input("x", (2, 4, 4))
+        i1 = b.identity(x, name="i1")
+        i2 = b.identity(i1, name="i2")
+        b.conv2d(i2, 2, name="head")
+        g = b.build()
+        res = IdentityGraphRewriter([IdentityElimination()]).rewrite(
+            g, until_fixed_point=True
+        )
+        assert res.graph.node("head").inputs == ("x",)
+
+    def test_reduces_peak(self):
+        from repro.scheduler.dp import dp_schedule
+
+        b = GraphBuilder("peaky")
+        x = b.input("x", (8, 8, 8))
+        i = b.identity(x, name="copy")
+        b.conv2d(i, 2, name="head")
+        g = b.build()
+        res = IdentityGraphRewriter([IdentityElimination()]).rewrite_once(g)
+        assert dp_schedule(res.graph).peak_bytes < dp_schedule(g).peak_bytes
+
+    def test_numerically_identical(self):
+        b = GraphBuilder("ident-eq")
+        x = b.input("x", (2, 4, 4))
+        i = b.identity(x, name="skip")
+        c = b.conv2d(i, 2, name="head")
+        b.add(c, c, name="out")
+        g = b.build()
+        res = IdentityGraphRewriter([IdentityElimination()]).rewrite(g)
+        assert verify_rewrite(g, res).equivalent

@@ -1,0 +1,184 @@
+"""Pattern matching and the two rewrite rules' emitted structure."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.rewriting.patterns import concat_sole_consumer_matches
+from repro.rewriting.rewriter import IdentityGraphRewriter, rewrite_graph
+from repro.rewriting.rules import ChannelWisePartitioning, KernelWisePartitioning
+
+
+class TestMatcher:
+    def test_basic_match(self, concat_conv_graph):
+        matches = concat_sole_consumer_matches(concat_conv_graph, "conv2d", "r")
+        assert len(matches) == 1
+        assert matches[0].anchor == "head"
+        assert set(matches[0].removed) == {"cat", "head"}
+
+    def test_multi_consumer_concat_not_matched(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 4, 4))
+        l = b.conv2d(x, 2, name="l")
+        r = b.conv2d(x, 2, name="r")
+        cat = b.concat([l, r], name="cat")
+        b.conv2d(cat, 2, name="head")
+        b.relu(cat, name="other_reader")
+        assert concat_sole_consumer_matches(b.build(), "conv2d", "r") == []
+
+    def test_single_input_concat_not_matched(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 4, 4))
+        l = b.conv2d(x, 2, name="l")
+        cat = b.concat([l], name="cat")
+        b.conv2d(cat, 2, name="head")
+        assert concat_sole_consumer_matches(b.build(), "conv2d", "r") == []
+
+    def test_repeated_operand_not_matched(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 4, 4))
+        l = b.conv2d(x, 2, name="l")
+        cat = b.concat([l, l], name="cat")
+        b.conv2d(cat, 2, name="head")
+        assert concat_sole_consumer_matches(b.build(), "conv2d", "r") == []
+
+    def test_view_concat_still_matches(self, concat_conv_graph):
+        from repro.graph.transforms import mark_concat_views
+
+        g = mark_concat_views(concat_conv_graph)
+        assert len(concat_sole_consumer_matches(g, "conv2d", "r")) == 1
+
+    def test_gather_concat_excluded(self, concat_depthwise_graph):
+        # rewrite once; the emitted gather must not rematch
+        res = rewrite_graph(concat_depthwise_graph)
+        assert res.applied == 1
+        again = KernelWisePartitioning().find(res.graph)
+        assert again == []
+
+
+class TestChannelWiseEmission:
+    def test_structure(self, concat_conv_graph):
+        res = IdentityGraphRewriter([ChannelWisePartitioning()]).rewrite_once(
+            concat_conv_graph
+        )
+        g = res.graph
+        parts = [n for n in g if n.op == "partial_conv2d"]
+        assert len(parts) == 3  # one per concat operand
+        # chained accumulation: first allocates, rest are in-place
+        assert parts[0].memory.inplace_of is None
+        assert all(p.memory.inplace_of == 1 for p in parts[1:])
+        assert parts[0].attrs["owns_bias"] and not parts[1].attrs["owns_bias"]
+
+    def test_channel_slices_partition_input(self, concat_conv_graph):
+        res = IdentityGraphRewriter([ChannelWisePartitioning()]).rewrite_once(
+            concat_conv_graph
+        )
+        slices = [
+            n.attrs["in_slice"]
+            for n in res.graph
+            if n.op == "partial_conv2d"
+        ]
+        assert slices == [(0, 4), (4, 10), (10, 12)]
+
+    def test_source_provenance(self, concat_conv_graph):
+        res = IdentityGraphRewriter([ChannelWisePartitioning()]).rewrite_once(
+            concat_conv_graph
+        )
+        assert all(
+            n.attrs["source"] == "head"
+            for n in res.graph
+            if n.op == "partial_conv2d"
+        )
+
+    def test_consumers_rerouted(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 4, 4))
+        l = b.conv2d(x, 2, name="l")
+        r = b.conv2d(x, 2, name="r")
+        cat = b.concat([l, r], name="cat")
+        h = b.conv2d(cat, 3, name="head")
+        b.relu(h, name="after")
+        res = rewrite_graph(b.build())
+        after = res.graph.node("after")
+        assert after.inputs == (res.renamed["head"],)
+
+    def test_output_shape_preserved(self, concat_conv_graph):
+        res = rewrite_graph(concat_conv_graph)
+        old = concat_conv_graph.node("head").output
+        new = res.graph.node(res.renamed["head"]).output
+        assert old == new
+
+
+class TestKernelWiseEmission:
+    def test_structure(self, concat_depthwise_graph):
+        res = rewrite_graph(concat_depthwise_graph)
+        g = res.graph
+        parts = [n for n in g if n.op == "partial_depthwise_conv2d"]
+        assert len(parts) == 2
+        gather = g.node(res.renamed["head"])
+        assert gather.op == "concat"
+        assert gather.memory.view
+        assert gather.attrs.get("gather") is True
+
+    def test_multiplier_carried(self, concat_depthwise_graph):
+        res = rewrite_graph(concat_depthwise_graph)
+        parts = [
+            n for n in res.graph if n.op == "partial_depthwise_conv2d"
+        ]
+        assert all(p.attrs["multiplier"] == 2 for p in parts)
+
+    def test_gather_shape_matches_original(self, concat_depthwise_graph):
+        res = rewrite_graph(concat_depthwise_graph)
+        old = concat_depthwise_graph.node("head").output
+        assert res.graph.node(res.renamed["head"]).output == old
+
+
+class TestRewriter:
+    def test_no_match_returns_same_graph(self, diamond_graph):
+        res = rewrite_graph(diamond_graph)
+        assert not res.changed
+        assert res.graph is diamond_graph
+
+    def test_node_count_growth(self, concat_conv_graph):
+        res = rewrite_graph(concat_conv_graph)
+        # k=3 channel-wise: +3 partials -2 removed = +1
+        assert len(res.graph) == len(concat_conv_graph) + 1
+
+    def test_by_rule_counts(self, concat_conv_graph, concat_depthwise_graph):
+        r1 = rewrite_graph(concat_conv_graph)
+        r2 = rewrite_graph(concat_depthwise_graph)
+        assert r1.by_rule == {"channel_wise_partitioning": 1}
+        assert r2.by_rule == {"kernel_wise_partitioning": 1}
+
+    def test_both_patterns_one_pass(self):
+        b = GraphBuilder("both")
+        x = b.input("x", (4, 8, 8))
+        l = b.conv2d(x, 4, name="l")
+        r = b.conv2d(x, 4, name="r")
+        c1 = b.concat([l, r], name="c1")
+        m = b.conv2d(c1, 6, name="m")  # channel-wise site
+        p = b.conv2d(m, 4, name="p")
+        q = b.conv2d(m, 4, name="q")
+        c2 = b.concat([p, q], name="c2")
+        b.depthwise_conv2d(c2, kernel=3, name="dw")  # kernel-wise site
+        res = rewrite_graph(b.build())
+        assert res.applied == 2
+        assert set(res.by_rule) == {
+            "channel_wise_partitioning",
+            "kernel_wise_partitioning",
+        }
+
+    def test_result_graph_validates(self, concat_conv_graph):
+        rewrite_graph(concat_conv_graph).graph.validate()
+
+    def test_fixed_point_terminates(self, concat_conv_graph):
+        res = rewrite_graph(concat_conv_graph, until_fixed_point=True)
+        assert res.applied >= 1
+
+    def test_peak_not_worse_after_rewrite(self, concat_conv_graph):
+        from repro.graph.transforms import mark_concat_views
+        from repro.scheduler.dp import dp_schedule
+
+        g = mark_concat_views(concat_conv_graph)
+        before = dp_schedule(g).peak_bytes
+        after = dp_schedule(rewrite_graph(g).graph).peak_bytes
+        assert after <= before

@@ -1,0 +1,115 @@
+"""Graph executor: feeding, dispatch, determinism, shape policing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExecutionError
+from repro.graph.builder import GraphBuilder
+from repro.runtime.executor import Executor, init_params, random_feeds
+
+
+@pytest.fixture
+def net():
+    b = GraphBuilder("net")
+    x = b.input("x", (3, 8, 8))
+    c = b.conv2d(x, 4, kernel=3, name="c")
+    r = b.relu(c, name="r")
+    d = b.depthwise_conv2d(r, kernel=3, name="d")
+    g1 = b.global_avg_pool(d, name="gap")
+    f = b.flatten(g1, name="f")
+    b.dense(f, 2, name="head")
+    return b.build()
+
+
+class TestExecutor:
+    def test_runs_to_sink(self, net):
+        out = Executor(net).run(random_feeds(net))
+        assert set(out) == {"head"}
+        assert out["head"].shape == (2,)
+
+    def test_requested_outputs(self, net):
+        out = Executor(net).run(random_feeds(net), outputs=["c", "r"])
+        np.testing.assert_allclose(out["r"], np.maximum(out["c"], 0))
+
+    def test_missing_feed(self, net):
+        with pytest.raises(ExecutionError, match="missing feed"):
+            Executor(net).run({})
+
+    def test_bad_feed_shape(self, net):
+        with pytest.raises(ExecutionError, match="shape"):
+            Executor(net).run({"x": np.zeros((1, 2, 2))})
+
+    def test_params_deterministic_by_seed(self, net):
+        p1 = init_params(net, seed=3)
+        p2 = init_params(net, seed=3)
+        for name in p1:
+            for key in p1[name]:
+                np.testing.assert_array_equal(p1[name][key], p2[name][key])
+
+    def test_params_differ_across_seeds(self, net):
+        p1 = init_params(net, seed=1)
+        p2 = init_params(net, seed=2)
+        assert any(
+            not np.array_equal(p1[n][k], p2[n][k])
+            for n in p1
+            for k in p1[n]
+        )
+
+    def test_feeds_deterministic(self, net):
+        f1 = random_feeds(net, seed=5)
+        f2 = random_feeds(net, seed=5)
+        np.testing.assert_array_equal(f1["x"], f2["x"])
+
+    def test_same_params_same_result(self, net):
+        feeds = random_feeds(net)
+        a = Executor(net, seed=0).run(feeds)["head"]
+        b = Executor(net, seed=0).run(feeds)["head"]
+        np.testing.assert_array_equal(a, b)
+
+    def test_unknown_op_rejected(self):
+        from repro.graph.graph import Graph
+        from repro.graph.node import Node
+        from repro.graph.tensor import TensorSpec
+
+        g = Graph()
+        g.add(Node(name="x", op="input", inputs=(), output=TensorSpec((1, 2, 2))))
+        g.add(Node(name="y", op="made_up", inputs=("x",), output=TensorSpec((1, 2, 2))))
+        with pytest.raises(ExecutionError, match="no kernel"):
+            Executor(g).run({"x": np.zeros((1, 2, 2))})
+
+    def test_intermediate_freeing_doesnt_change_result(self, net):
+        feeds = random_feeds(net)
+        lean = Executor(net).run(feeds, outputs=["head"])
+        fat = Executor(net).run(feeds, outputs=["head"], keep_all=True)
+        np.testing.assert_array_equal(lean["head"], fat["head"])
+
+    def test_concat_and_add_execute(self):
+        b = GraphBuilder("ca")
+        x = b.input("x", (2, 4, 4))
+        l = b.relu(x, name="l")
+        r = b.sigmoid(x, name="r")
+        cat = b.concat([l, r], name="cat")
+        b.add(cat, cat, name="dbl")
+        g = b.build()
+        out = Executor(g).run(random_feeds(g))["dbl"]
+        assert out.shape == (4, 4, 4)
+
+    def test_fused_sep_conv_runs(self):
+        b = GraphBuilder("fs")
+        x = b.input("x", (3, 6, 6))
+        b.op("fused_sep_conv3x3", (x,), name="s", out_channels=5, kernel=3)
+        g = b.build()
+        out = Executor(g).run(random_feeds(g))["s"]
+        assert out.shape == (5, 6, 6)
+
+    def test_batch_norm_affine(self):
+        b = GraphBuilder("bn")
+        x = b.input("x", (2, 3, 3))
+        b.batch_norm(x, name="bn")
+        g = b.build()
+        ex = Executor(g)
+        feeds = random_feeds(g)
+        out = ex.run(feeds)["bn"]
+        scale = ex.params["bn"]["scale"][:, None, None]
+        shift = ex.params["bn"]["shift"][:, None, None]
+        np.testing.assert_allclose(out, feeds["x"] * scale + shift)

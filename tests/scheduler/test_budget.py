@@ -1,0 +1,71 @@
+"""Adaptive soft budgeting (Algorithm 2)."""
+
+import pytest
+
+from repro.scheduler.budget import AdaptiveSoftBudgetScheduler
+from repro.scheduler.dp import dp_schedule
+from repro.scheduler.memory import simulate_schedule
+from repro.scheduler.topological import kahn_schedule
+
+from tests.conftest import random_dag_graph
+
+
+class TestASB:
+    def test_returns_optimal_peak(self, concat_conv_graph):
+        opt = dp_schedule(concat_conv_graph).peak_bytes
+        res = AdaptiveSoftBudgetScheduler().schedule(concat_conv_graph)
+        assert res.peak_bytes == opt
+
+    def test_hard_budget_is_kahn_peak(self, hourglass_graph):
+        res = AdaptiveSoftBudgetScheduler().schedule(hourglass_graph)
+        kahn_peak = simulate_schedule(
+            hourglass_graph, kahn_schedule(hourglass_graph)
+        ).peak_bytes
+        assert res.hard_budget == kahn_peak
+
+    def test_first_probe_at_hard_budget(self, hourglass_graph):
+        res = AdaptiveSoftBudgetScheduler().schedule(hourglass_graph)
+        assert res.probes[0].tau == res.hard_budget
+
+    def test_last_probe_is_solution(self, hourglass_graph):
+        res = AdaptiveSoftBudgetScheduler().schedule(hourglass_graph)
+        assert res.probes[-1].outcome == "solution"
+
+    def test_schedule_valid(self, hourglass_graph):
+        res = AdaptiveSoftBudgetScheduler().schedule(hourglass_graph)
+        res.schedule.validate(hourglass_graph)
+
+    def test_tight_step_cap_triggers_bisection(self, hourglass_graph):
+        res = AdaptiveSoftBudgetScheduler(max_states_per_step=2).schedule(
+            hourglass_graph
+        )
+        outcomes = {p.outcome for p in res.probes}
+        # with an allowance this tight the meta-search must have worked
+        assert res.probes[-1].outcome == "solution"
+        assert len(res.probes) >= 1
+        # optimality preserved regardless of the trajectory
+        assert res.peak_bytes == dp_schedule(hourglass_graph).peak_bytes or (
+            "timeout" in outcomes
+        )
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_optimal_on_random_dags(self, seed):
+        g = random_dag_graph(10, seed)
+        res = AdaptiveSoftBudgetScheduler(max_states_per_step=500).schedule(g)
+        assert res.peak_bytes == dp_schedule(g).peak_bytes
+
+    def test_total_wall_time_aggregates(self, hourglass_graph):
+        res = AdaptiveSoftBudgetScheduler().schedule(hourglass_graph)
+        assert res.total_wall_time_s >= sum(
+            p.wall_time_s for p in res.probes[:-1]
+        )
+
+    def test_preallocated_passthrough(self):
+        from repro.graph.builder import GraphBuilder
+
+        b = GraphBuilder("pre")
+        x = b.input("x", (2, 4, 4))
+        b.conv2d(x, 2, name="c")
+        g = b.build()
+        res = AdaptiveSoftBudgetScheduler(preallocated=("x",)).schedule(g)
+        assert res.schedule.order[0] == "x"

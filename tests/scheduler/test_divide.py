@@ -1,0 +1,87 @@
+"""Divide-and-conquer scheduling: exact combination at graph cuts."""
+
+import pytest
+
+from repro.exceptions import SchedulingError
+from repro.graph.builder import GraphBuilder
+from repro.scheduler.divide import DivideAndConquerScheduler
+from repro.scheduler.dp import dp_schedule
+from repro.scheduler.memory import simulate_schedule
+
+
+def _stacked_cells(n_cells: int, seed: int = 0):
+    """Random multi-branch cells joined at single-node cuts."""
+    import random
+
+    rng = random.Random(seed)
+    b = GraphBuilder(f"stack{seed}")
+    prev = b.input("x", (rng.randint(1, 4), 4, 4))
+    for cell in range(n_cells):
+        branches = [
+            b.conv2d(prev, rng.randint(1, 6), kernel=1, name=f"c{cell}b{i}")
+            for i in range(rng.randint(2, 4))
+        ]
+        cat = b.concat(branches, name=f"c{cell}cat")
+        prev = b.conv2d(cat, rng.randint(1, 4), kernel=1, name=f"c{cell}out")
+    return b.build()
+
+
+class TestEquivalenceWithWholeGraphDP:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_same_peak_as_whole_dp(self, seed):
+        g = _stacked_cells(3, seed)
+        whole = dp_schedule(g)
+        dnc = DivideAndConquerScheduler(adaptive_budget=False).schedule(g)
+        assert dnc.peak_bytes == whole.peak_bytes
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_same_peak_with_asb(self, seed):
+        g = _stacked_cells(3, seed)
+        whole = dp_schedule(g)
+        dnc = DivideAndConquerScheduler(
+            adaptive_budget=True, max_states_per_step=100
+        ).schedule(g)
+        assert dnc.peak_bytes == whole.peak_bytes
+
+    def test_schedule_valid_and_simulates_to_peak(self, hourglass_graph):
+        res = DivideAndConquerScheduler().schedule(hourglass_graph)
+        res.schedule.validate(hourglass_graph)
+        sim = simulate_schedule(hourglass_graph, res.schedule)
+        assert sim.peak_bytes == res.peak_bytes
+
+
+class TestPartitioning:
+    def test_partition_sizes_cover_graph(self, hourglass_graph):
+        res = DivideAndConquerScheduler().schedule(hourglass_graph)
+        assert sum(res.partition_sizes) == len(hourglass_graph)
+
+    def test_min_segment_nodes_merges(self, hourglass_graph):
+        res = DivideAndConquerScheduler(min_segment_nodes=10**6).schedule(
+            hourglass_graph
+        )
+        assert res.partition_sizes == (len(hourglass_graph),)
+
+    def test_cut_names_restrict_boundaries(self):
+        g = _stacked_cells(3, seed=1)
+        res = DivideAndConquerScheduler(
+            adaptive_budget=False, cut_names=("c0out", "c1out")
+        ).schedule(g)
+        assert len(res.partition_sizes) == 3
+
+    def test_bad_cut_name_rejected(self, hourglass_graph):
+        with pytest.raises(SchedulingError, match="not single-node cuts"):
+            DivideAndConquerScheduler(cut_names=("c0_l",)).schedule(
+                hourglass_graph
+            )
+
+    def test_segment_outcomes_recorded(self, hourglass_graph):
+        res = DivideAndConquerScheduler().schedule(hourglass_graph)
+        assert len(res.segments) == len(res.partition_sizes)
+        assert all(s.wall_time_s >= 0 for s in res.segments)
+        assert res.states_expanded == sum(
+            s.states_expanded for s in res.segments
+        )
+
+    def test_single_source_graph_without_cuts(self, diamond_graph):
+        res = DivideAndConquerScheduler().schedule(diamond_graph)
+        assert res.peak_bytes == dp_schedule(diamond_graph).peak_bytes

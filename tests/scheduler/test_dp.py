@@ -1,0 +1,109 @@
+"""DP scheduler (Algorithm 1): optimality, pruning, limits."""
+
+import pytest
+
+from repro.exceptions import NoSolutionError, StepTimeoutError
+from repro.scheduler.brute import brute_force_schedule
+from repro.scheduler.dp import DPScheduler, dp_schedule
+from repro.scheduler.memory import simulate_schedule
+from repro.scheduler.topological import kahn_schedule
+
+from tests.conftest import random_dag_graph
+
+
+class TestOptimality:
+    def test_reports_peak_consistent_with_simulation(self, concat_conv_graph):
+        res = dp_schedule(concat_conv_graph)
+        sim = simulate_schedule(concat_conv_graph, res.schedule)
+        assert sim.peak_bytes == res.peak_bytes
+
+    def test_never_worse_than_kahn(self, hourglass_graph):
+        res = dp_schedule(hourglass_graph)
+        kahn_peak = simulate_schedule(
+            hourglass_graph, kahn_schedule(hourglass_graph)
+        ).peak_bytes
+        assert res.peak_bytes <= kahn_peak
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_matches_brute_force_on_random_dags(self, seed):
+        g = random_dag_graph(9, seed)
+        dp = dp_schedule(g)
+        bf = brute_force_schedule(g)
+        assert dp.peak_bytes == bf.peak_bytes
+        dp.schedule.validate(g)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_matches_brute_force_with_views(self, seed):
+        g = random_dag_graph(9, seed, with_views=True)
+        dp = dp_schedule(g)
+        bf = brute_force_schedule(g)
+        assert dp.peak_bytes == bf.peak_bytes
+
+
+class TestBudgetPruning:
+    def test_budget_at_optimum_still_finds_it(self, concat_conv_graph):
+        opt = dp_schedule(concat_conv_graph).peak_bytes
+        res = dp_schedule(concat_conv_graph, budget=opt)
+        assert res.peak_bytes == opt
+
+    def test_budget_below_optimum_is_infeasible(self, concat_conv_graph):
+        opt = dp_schedule(concat_conv_graph).peak_bytes
+        with pytest.raises(NoSolutionError):
+            dp_schedule(concat_conv_graph, budget=opt - 1)
+
+    def test_pruning_reduces_expansions(self, hourglass_graph):
+        free = dp_schedule(hourglass_graph)
+        tight = dp_schedule(hourglass_graph, budget=free.peak_bytes)
+        assert tight.states_expanded <= free.states_expanded
+
+    def test_budget_recorded(self, chain_graph):
+        res = dp_schedule(chain_graph, budget=10**9)
+        assert res.budget == 10**9
+
+
+class TestStepLimits:
+    def test_state_cap_raises(self, hourglass_graph):
+        with pytest.raises(StepTimeoutError) as exc:
+            dp_schedule(hourglass_graph, max_states_per_step=1)
+        assert exc.value.step >= 0
+
+    def test_generous_cap_is_fine(self, hourglass_graph):
+        res = dp_schedule(hourglass_graph, max_states_per_step=10_000)
+        assert res.max_step_states <= 10_000
+
+
+class TestPreallocated:
+    def test_entry_tensor_counts_from_start(self):
+        from repro.graph.builder import GraphBuilder
+
+        b = GraphBuilder("pre")
+        x = b.input("x", (4, 4, 4))
+        b.conv2d(x, 2, name="c")
+        g = b.build()
+        res = DPScheduler(preallocated=("x",)).schedule(g)
+        assert res.schedule.order[0] == "x"
+        # peak includes x's 256B even though it is "already there"
+        assert res.peak_bytes >= 4 * 4 * 4 * 4
+
+    def test_preallocated_with_preds_rejected(self, chain_graph):
+        with pytest.raises(NoSolutionError):
+            DPScheduler(preallocated=("c1",)).schedule(chain_graph)
+
+
+class TestAccounting:
+    def test_single_node_graph(self):
+        g = random_dag_graph(1, 0)
+        res = dp_schedule(g)
+        assert len(res.schedule) == 1
+        assert res.peak_bytes == g.nodes[0].output_bytes
+
+    def test_states_memoized_at_least_steps(self, chain_graph):
+        res = dp_schedule(chain_graph)
+        assert res.states_memoized >= len(chain_graph)
+
+    def test_wall_time_positive(self, chain_graph):
+        assert dp_schedule(chain_graph).wall_time_s >= 0
+
+    def test_kib_property(self, chain_graph):
+        res = dp_schedule(chain_graph)
+        assert res.peak_kib == res.peak_bytes / 1024.0

@@ -1,0 +1,85 @@
+"""Greedy list scheduler and brute-force oracle."""
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.node import Node
+from repro.graph.tensor import TensorSpec
+from repro.scheduler.brute import brute_force_schedule
+from repro.scheduler.dp import dp_schedule
+from repro.scheduler.greedy import greedy_schedule
+from repro.scheduler.memory import peak_of, simulate_schedule
+
+from tests.conftest import random_dag_graph
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_valid_on_random_dags(self, seed):
+        g = random_dag_graph(14, seed)
+        greedy_schedule(g).validate(g)
+
+    def test_never_worse_than_dp_is_false_sometimes(self):
+        """Greedy is a heuristic: document a graph where it is beaten by
+        the DP (the gap motivating the paper's approach)."""
+        # Two chains sharing the input; greedy's myopic choice of the
+        # locally-lighter step commits it to holding the heavy tensor.
+        g = Graph("trap")
+
+        def blob(name, inputs=(), ch=1):
+            g.add(
+                Node(
+                    name=name,
+                    op="input" if not inputs else "blob",
+                    inputs=tuple(inputs),
+                    output=TensorSpec((ch, 1, 1)),
+                )
+            )
+
+        blob("x", ch=1)
+        blob("a1", ("x",), ch=1)   # looks cheap now...
+        blob("a2", ("a1",), ch=9)  # ...but blows up later
+        blob("b1", ("x",), ch=3)
+        blob("b2", ("b1",), ch=1)
+        blob("join", ("a2", "b2"), ch=1)
+        greedy_peak = peak_of(g, greedy_schedule(g))
+        optimal = dp_schedule(g).peak_bytes
+        assert optimal <= greedy_peak
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_at_least_as_good_as_worst_case(self, seed):
+        g = random_dag_graph(10, seed)
+        greedy_peak = peak_of(g, greedy_schedule(g))
+        assert greedy_peak <= g.total_activation_bytes()
+
+
+class TestBruteForce:
+    def test_rejects_large_graphs(self):
+        g = random_dag_graph(20, 0)
+        with pytest.raises(ValueError, match="brute force limited"):
+            brute_force_schedule(g)
+
+    def test_explicit_max_nodes_override(self):
+        g = random_dag_graph(17, 0)
+        res = brute_force_schedule(g, max_nodes=17)
+        res.schedule.validate(g)
+
+    def test_result_consistent_with_simulation(self, diamond_graph):
+        res = brute_force_schedule(diamond_graph)
+        assert (
+            simulate_schedule(diamond_graph, res.schedule).peak_bytes
+            == res.peak_bytes
+        )
+
+    def test_orders_explored_positive(self, diamond_graph):
+        assert brute_force_schedule(diamond_graph).orders_explored >= 1
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_no_schedule_beats_it(self, seed):
+        from repro.scheduler.topological import iter_topological_orders
+        from repro.scheduler.schedule import Schedule
+
+        g = random_dag_graph(7, seed)
+        best = brute_force_schedule(g).peak_bytes
+        for order in iter_topological_orders(g, limit=500):
+            assert peak_of(g, Schedule(order)) >= best

@@ -1,0 +1,205 @@
+"""Buffer model and schedule simulation: hand-computed footprints.
+
+These tests pin down the exact memory semantics everything else relies
+on (paper Fig 6): alloc on execute, peak sampled post-alloc, free when
+the last consumer retires, outputs persist, views and in-place nodes
+share buffers.
+"""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.graph.node import MemorySemantics, Node
+from repro.graph.tensor import TensorSpec
+from repro.scheduler.memory import BufferModel, peak_of, simulate_schedule
+from repro.scheduler.schedule import Schedule
+
+
+def _blob(name, inputs=(), channels=1, memory=None):
+    return Node(
+        name=name,
+        op="input" if not inputs else "blob",
+        inputs=tuple(inputs),
+        output=TensorSpec((channels, 1, 1)),  # channels * 4 bytes
+        memory=memory or MemorySemantics(),
+    )
+
+
+def _bytes(channels):
+    return channels * 4
+
+
+class TestChainFootprint:
+    """a(1) -> b(2) -> c(3): peaks are transitions a+b then b+c."""
+
+    @pytest.fixture
+    def g(self):
+        g = Graph()
+        g.add(_blob("a", channels=1))
+        g.add(_blob("b", ("a",), channels=2))
+        g.add(_blob("c", ("b",), channels=3))
+        return g
+
+    def test_transients(self, g):
+        tr = simulate_schedule(g, Schedule(("a", "b", "c")))
+        assert list(tr.transients) == [_bytes(1), _bytes(3), _bytes(5)]
+
+    def test_settled_footprints(self, g):
+        tr = simulate_schedule(g, Schedule(("a", "b", "c")))
+        # a freed once b executes; c persists as the graph output
+        assert list(tr.footprints) == [_bytes(1), _bytes(2), _bytes(3)]
+
+    def test_peak(self, g):
+        tr = simulate_schedule(g, Schedule(("a", "b", "c")))
+        assert tr.peak_bytes == _bytes(5)
+        assert tr.peak_step == 2
+
+    def test_final_bytes_is_output(self, g):
+        tr = simulate_schedule(g, Schedule(("a", "b", "c")))
+        assert tr.final_bytes == _bytes(3)
+
+
+class TestOrderDependence:
+    """x -> big(8), x -> small(1), both -> join(1): computing the big
+    branch first lets it retire before the small one joins."""
+
+    @pytest.fixture
+    def g(self):
+        g = Graph()
+        g.add(_blob("x", channels=2))
+        g.add(_blob("big", ("x",), channels=8))
+        g.add(_blob("small", ("x",), channels=1))
+        g.add(_blob("join", ("big", "small"), channels=1))
+        return g
+
+    def test_big_first(self, g):
+        peak = peak_of(g, ("x", "big", "small", "join"))
+        # x+big = 10 transient, then x+big+small = 11, join: big+small+join=10
+        assert peak == _bytes(11)
+
+    def test_small_first_is_same_here(self, g):
+        peak = peak_of(g, ("x", "small", "big", "join"))
+        assert peak == _bytes(11)
+
+    def test_multi_consumer_keeps_tensor_alive(self):
+        g = Graph()
+        g.add(_blob("x", channels=4))
+        g.add(_blob("u", ("x",), channels=1))
+        g.add(_blob("v", ("x",), channels=1))
+        tr = simulate_schedule(g, Schedule(("x", "u", "v")))
+        # x must stay until v executes
+        assert list(tr.transients) == [_bytes(4), _bytes(5), _bytes(6)]
+
+
+class TestViewSemantics:
+    """Partials writing into a shared view buffer cost the full buffer
+    once (paper Fig 9: max(x_i) + y)."""
+
+    @pytest.fixture
+    def g(self):
+        g = Graph()
+        g.add(_blob("x", channels=1))
+        g.add(_blob("p1", ("x",), channels=2))
+        g.add(_blob("p2", ("x",), channels=3))
+        g.add(
+            _blob(
+                "cat", ("p1", "p2"), channels=5, memory=MemorySemantics(view=True)
+            )
+        )
+        g.add(_blob("head", ("cat",), channels=1))
+        return g
+
+    def test_shared_buffer_counted_once(self, g):
+        model = BufferModel.of(g)
+        idx = model.index
+        assert model.buffer_of[idx.index["p1"]] == model.buffer_of[idx.index["cat"]]
+        assert model.buffer_of[idx.index["p2"]] == model.buffer_of[idx.index["cat"]]
+
+    def test_buffer_sized_as_concat_output(self, g):
+        model = BufferModel.of(g)
+        b = model.buffer_of[model.index.index["cat"]]
+        assert model.buf_size[b] == _bytes(5)
+
+    def test_full_buffer_allocated_at_first_partial(self, g):
+        tr = simulate_schedule(g, Schedule(("x", "p1", "p2", "cat", "head")))
+        # step p1: x(1) + full view buffer (5) = 6
+        assert tr.transients[1] == _bytes(6)
+
+    def test_view_node_itself_allocates_nothing(self, g):
+        tr = simulate_schedule(g, Schedule(("x", "p1", "p2", "cat", "head")))
+        assert tr.transients[3] == tr.footprints[2]
+
+    def test_inputs_not_freed_until_view_consumed(self, g):
+        tr = simulate_schedule(g, Schedule(("x", "p1", "p2", "cat", "head")))
+        # after head: view buffer freed, head persists
+        assert tr.footprints[-1] == _bytes(1)
+
+    def test_partial_view_attr(self):
+        g = Graph()
+        g.add(_blob("x", channels=1))
+        g.add(_blob("a", ("x",), channels=2))
+        g.add(_blob("b", ("x",), channels=3))
+        cat = _blob(
+            "cat", ("a", "b"), channels=5, memory=MemorySemantics(view=True)
+        )
+        cat.attrs["view_inputs"] = (0,)  # only 'a' aliases
+        g.add(cat)
+        g.add(_blob("head", ("cat",), channels=1))
+        model = BufferModel.of(g)
+        i = model.index.index
+        assert model.buffer_of[i["a"]] == model.buffer_of[i["cat"]]
+        assert model.buffer_of[i["b"]] != model.buffer_of[i["cat"]]
+
+
+class TestInplaceSemantics:
+    def test_accumulator_chain_single_buffer(self):
+        g = Graph()
+        g.add(_blob("x", channels=1))
+        g.add(_blob("acc0", ("x",), channels=4))
+        g.add(
+            _blob(
+                "acc1",
+                ("x", "acc0"),
+                channels=4,
+                memory=MemorySemantics(inplace_of=1),
+            )
+        )
+        g.add(_blob("out", ("acc1",), channels=1))
+        model = BufferModel.of(g)
+        i = model.index.index
+        assert model.buffer_of[i["acc0"]] == model.buffer_of[i["acc1"]]
+        tr = simulate_schedule(g, Schedule(("x", "acc0", "acc1", "out")))
+        # acc1 allocates nothing new: transient = x + acc buffer
+        assert tr.transients[2] == _bytes(5)
+
+
+class TestConsistency:
+    def test_step_matches_footprint_of(self):
+        from tests.conftest import random_dag_graph
+        from repro.scheduler.topological import random_topological
+        import random
+
+        for seed in range(10):
+            g = random_dag_graph(12, seed, with_views=True)
+            model = BufferModel.of(g)
+            idx = model.index
+            rng = random.Random(seed)
+            sched = random_topological(g, rng)
+            mask, mu = 0, 0
+            for name in sched:
+                _, mu, mask = model.step(mask, mu, idx.index[name])
+                assert mu == model.footprint_of(mask)
+
+    def test_validation_rejects_bad_schedule(self, diamond_graph):
+        from repro.exceptions import InvalidScheduleError
+
+        names = list(reversed(diamond_graph.node_names))
+        with pytest.raises(InvalidScheduleError):
+            simulate_schedule(diamond_graph, Schedule(tuple(names)))
+
+    def test_peak_of_accepts_iterables(self, chain_graph):
+        order = tuple(chain_graph.node_names)
+        assert peak_of(chain_graph, order) == peak_of(
+            chain_graph, Schedule(order)
+        )

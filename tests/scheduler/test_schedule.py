@@ -1,0 +1,44 @@
+"""Schedule container validation."""
+
+import pytest
+
+from repro.exceptions import InvalidScheduleError
+from repro.scheduler.schedule import Schedule
+
+
+class TestSchedule:
+    def test_iteration_and_len(self):
+        s = Schedule(("a", "b"))
+        assert list(s) == ["a", "b"]
+        assert len(s) == 2
+        assert s[1] == "b"
+
+    def test_position(self):
+        s = Schedule(("a", "b", "c"))
+        assert s.position("b") == 1
+
+    def test_position_missing(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule(("a",)).position("zz")
+
+    def test_positions_map(self):
+        assert Schedule(("a", "b")).positions() == {"a": 0, "b": 1}
+
+    def test_validate_ok(self, chain_graph):
+        Schedule(tuple(chain_graph.node_names)).validate(chain_graph)
+
+    def test_validate_repeat(self, chain_graph):
+        with pytest.raises(InvalidScheduleError, match="repeats"):
+            Schedule(("x", "x", "c1", "r")).validate(chain_graph)
+
+    def test_validate_coverage(self, chain_graph):
+        with pytest.raises(InvalidScheduleError, match="cover"):
+            Schedule(("x", "c1")).validate(chain_graph)
+
+    def test_validate_edge_violation(self, chain_graph):
+        with pytest.raises(InvalidScheduleError, match="violated"):
+            Schedule(("c1", "x", "r", "c2")).validate(chain_graph)
+
+    def test_of_builds_and_validates(self, chain_graph):
+        s = Schedule.of(chain_graph, chain_graph.node_names)
+        assert s.graph_name == chain_graph.name

@@ -1,0 +1,60 @@
+"""SERENITY pipeline facade."""
+
+import pytest
+
+from repro.scheduler.serenity import Serenity, SerenityConfig, schedule_graph
+
+
+class TestPipeline:
+    def test_report_invariants(self, concat_conv_graph):
+        rep = Serenity().compile(concat_conv_graph)
+        rep.schedule.validate(rep.scheduled_graph)
+        assert rep.peak_bytes <= rep.baseline_peak_bytes
+        assert rep.arena_bytes >= rep.peak_bytes  # offsets can't beat sum-of-live
+        assert rep.scheduling_time_s >= 0
+
+    def test_rewrite_toggle(self, concat_conv_graph):
+        on = Serenity(SerenityConfig(rewrite=True)).compile(concat_conv_graph)
+        off = Serenity(SerenityConfig(rewrite=False)).compile(concat_conv_graph)
+        assert on.rewrite_count >= 1
+        assert off.rewrite_count == 0
+        assert off.scheduled_graph is concat_conv_graph
+        assert on.peak_bytes <= off.peak_bytes
+
+    def test_divide_toggle_same_peak(self, hourglass_graph):
+        with_divide = Serenity(SerenityConfig(rewrite=False)).compile(
+            hourglass_graph
+        )
+        without = Serenity(
+            SerenityConfig(rewrite=False, divide=False)
+        ).compile(hourglass_graph)
+        assert with_divide.peak_bytes == without.peak_bytes
+
+    def test_budget_toggle_same_peak(self, hourglass_graph):
+        asb = Serenity(SerenityConfig(rewrite=False)).compile(hourglass_graph)
+        plain = Serenity(
+            SerenityConfig(rewrite=False, adaptive_budget=False)
+        ).compile(hourglass_graph)
+        assert asb.peak_bytes == plain.peak_bytes
+
+    def test_reduction_properties(self, concat_conv_graph):
+        rep = Serenity().compile(concat_conv_graph)
+        assert rep.reduction_no_alloc == pytest.approx(
+            rep.baseline_peak_bytes / rep.peak_bytes
+        )
+        assert rep.reduction_with_alloc == pytest.approx(
+            rep.baseline_arena_bytes / rep.arena_bytes
+        )
+
+    def test_trace_matches_peak(self, concat_conv_graph):
+        rep = Serenity().compile(concat_conv_graph)
+        assert rep.trace().peak_bytes == rep.peak_bytes
+
+    def test_schedule_graph_convenience(self, diamond_graph):
+        rep = schedule_graph(diamond_graph, rewrite=False)
+        assert rep.config.rewrite is False
+
+    def test_divide_result_attached(self, hourglass_graph):
+        rep = Serenity().compile(hourglass_graph)
+        assert rep.divide is not None
+        assert sum(rep.divide.partition_sizes) == len(rep.scheduled_graph)

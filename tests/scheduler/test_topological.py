@@ -1,0 +1,106 @@
+"""Baseline topological schedulers."""
+
+import random
+
+import pytest
+
+from repro.scheduler.schedule import Schedule
+from repro.scheduler.topological import (
+    count_topological_orders,
+    dfs_schedule,
+    iter_topological_orders,
+    kahn_schedule,
+    random_topological,
+)
+
+from tests.conftest import random_dag_graph
+
+
+class TestKahn:
+    def test_valid_on_fixtures(self, diamond_graph, hourglass_graph):
+        for g in (diamond_graph, hourglass_graph):
+            kahn_schedule(g).validate(g)
+
+    def test_insertion_tie_break_matches_model_order(self, diamond_graph):
+        # left was inserted before right, so insertion Kahn runs it first
+        sched = kahn_schedule(diamond_graph)
+        assert sched.position("left") < sched.position("right")
+
+    def test_lexicographic_tie_break(self, diamond_graph):
+        sched = kahn_schedule(diamond_graph, tie_break="lexicographic")
+        sched.validate(diamond_graph)
+        # 'left' < 'left_down' < 'right' lexicographically
+        assert sched.position("left") < sched.position("right")
+
+    def test_fifo_variant_valid(self, hourglass_graph):
+        kahn_schedule(hourglass_graph, tie_break="fifo").validate(hourglass_graph)
+
+    def test_unknown_tie_break(self, diamond_graph):
+        from repro.exceptions import SchedulingError
+
+        with pytest.raises(SchedulingError):
+            kahn_schedule(diamond_graph, tie_break="bogus")
+
+    def test_deterministic(self, hourglass_graph):
+        a = kahn_schedule(hourglass_graph)
+        b = kahn_schedule(hourglass_graph)
+        assert a.order == b.order
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_valid_on_random_dags(self, seed):
+        g = random_dag_graph(15, seed)
+        kahn_schedule(g).validate(g)
+
+
+class TestDFS:
+    def test_valid_on_fixtures(self, diamond_graph, hourglass_graph):
+        for g in (diamond_graph, hourglass_graph):
+            dfs_schedule(g).validate(g)
+
+    def test_chases_branches(self, diamond_graph):
+        # LIFO order dives into the most recently readied node
+        sched = dfs_schedule(diamond_graph)
+        sched.validate(diamond_graph)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_valid_on_random_dags(self, seed):
+        g = random_dag_graph(15, seed)
+        dfs_schedule(g).validate(g)
+
+
+class TestRandomTopological:
+    def test_valid_and_seed_deterministic(self, hourglass_graph):
+        a = random_topological(hourglass_graph, random.Random(7))
+        b = random_topological(hourglass_graph, random.Random(7))
+        a.validate(hourglass_graph)
+        assert a.order == b.order
+
+    def test_different_seeds_vary(self, hourglass_graph):
+        orders = {
+            random_topological(hourglass_graph, random.Random(s)).order
+            for s in range(20)
+        }
+        assert len(orders) > 1
+
+
+class TestEnumeration:
+    def test_diamond_count(self, diamond_graph):
+        # x first; then left/right/left_down interleavings with
+        # left < left_down: orders = permutations of (left, left_down,
+        # right) with left before left_down = 3
+        assert count_topological_orders(diamond_graph) == 3
+
+    def test_chain_is_unique(self, chain_graph):
+        assert count_topological_orders(chain_graph) == 1
+
+    def test_orders_distinct_and_valid(self, diamond_graph):
+        orders = list(iter_topological_orders(diamond_graph))
+        assert len(set(orders)) == len(orders)
+        for order in orders:
+            Schedule(order).validate(diamond_graph)
+
+    def test_limit_respected(self, hourglass_graph):
+        assert len(list(iter_topological_orders(hourglass_graph, limit=5))) == 5
+
+    def test_count_cap(self, hourglass_graph):
+        assert count_topological_orders(hourglass_graph, cap=4) == 4

@@ -1,0 +1,74 @@
+"""Exception hierarchy and carried diagnostics."""
+
+import pytest
+
+from repro.exceptions import (
+    AllocationError,
+    BudgetSearchError,
+    CycleError,
+    ExecutionError,
+    GraphError,
+    InvalidScheduleError,
+    NoSolutionError,
+    ReproError,
+    RewriteError,
+    SchedulingError,
+    ShapeError,
+    StepTimeoutError,
+    UnknownOpError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphError,
+            CycleError,
+            ShapeError,
+            UnknownOpError,
+            SchedulingError,
+            InvalidScheduleError,
+            NoSolutionError,
+            StepTimeoutError,
+            BudgetSearchError,
+            AllocationError,
+            RewriteError,
+            ExecutionError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_graph_family(self):
+        assert issubclass(CycleError, GraphError)
+        assert issubclass(ShapeError, GraphError)
+        assert issubclass(UnknownOpError, GraphError)
+
+    def test_scheduling_family(self):
+        assert issubclass(NoSolutionError, SchedulingError)
+        assert issubclass(StepTimeoutError, SchedulingError)
+        assert issubclass(InvalidScheduleError, SchedulingError)
+        assert issubclass(BudgetSearchError, SchedulingError)
+
+
+class TestDiagnostics:
+    def test_no_solution_carries_budget(self):
+        err = NoSolutionError(12345)
+        assert err.budget == 12345
+        assert "12345" in str(err)
+
+    def test_no_solution_custom_message(self):
+        err = NoSolutionError(1, "custom")
+        assert str(err) == "custom"
+
+    def test_step_timeout_carries_step_and_states(self):
+        err = StepTimeoutError(step=7, states=999)
+        assert err.step == 7 and err.states == 999
+        assert "7" in str(err) and "999" in str(err)
+
+    def test_catching_base_class(self, concat_conv_graph):
+        from repro.scheduler.dp import dp_schedule
+
+        with pytest.raises(ReproError):
+            dp_schedule(concat_conv_graph, budget=1)
