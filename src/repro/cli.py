@@ -2,10 +2,12 @@
 
 Subcommands
 -----------
-``schedule``     compile one benchmark cell (or a saved graph) and print
-                 the schedule report
-``experiment``   regenerate one of the paper's tables/figures
-``list``         list benchmark cells and experiments
+``schedule``       compile one benchmark cell (or a saved graph) and print
+                   the schedule report
+``compile-batch``  portfolio-compile many graphs in parallel with the
+                   persistent scheduling cache
+``experiment``     regenerate one of the paper's tables/figures
+``list``           list benchmark cells, strategies and experiments
 """
 
 from __future__ import annotations
@@ -29,9 +31,14 @@ _EXPERIMENTS = {
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
+    from repro.scheduler.registry import iter_strategies
+
     print("benchmark cells:")
     for key, spec in BENCHMARK_SUITE.items():
         print(f"  {key:18s} {spec.display}")
+    print("\nscheduling strategies (cheapest first):")
+    for strategy in iter_strategies():
+        print(f"  {strategy.name:18s} {strategy.summary}")
     print("\nexperiments:")
     for key in sorted(set(_EXPERIMENTS) - {"fig15"}):
         print(f"  {key}")
@@ -82,6 +89,54 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compile_batch(args: argparse.Namespace) -> int:
+    from repro.exceptions import SchedulingError
+    from repro.graph.serialization import load_graph
+    from repro.scheduler.cache import ScheduleCache
+    from repro.scheduler.device import KNOWN_DEVICES
+    from repro.scheduler.portfolio import PortfolioCompiler
+    from repro.scheduler.registry import default_portfolio
+
+    graphs = []
+    if args.cells:
+        for key in args.cells:
+            graphs.append(get_cell(key).factory())
+    if args.graphs:
+        for path in args.graphs:
+            graphs.append(load_graph(path))
+    if not graphs:  # default: the whole benchmark suite
+        graphs = [spec.factory() for spec in BENCHMARK_SUITE.values()]
+
+    if args.clear_cache:  # honoured even under --no-cache
+        removed = ScheduleCache(args.cache_dir).clear()
+        print(f"cleared {removed} cache entries")
+    cache = None if args.no_cache else ScheduleCache(args.cache_dir)
+
+    strategies = default_portfolio()
+    if args.strategies:
+        strategies = [s.strip() for s in args.strategies.split(",") if s.strip()]
+        if not strategies:
+            print("error: --strategies names no strategies", file=sys.stderr)
+            return 2
+    device = KNOWN_DEVICES[args.device] if args.device else None
+
+    try:
+        compiler = PortfolioCompiler(
+            strategies,
+            workers=args.workers,
+            cache=cache,
+            device=device,
+        )
+    except SchedulingError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = compiler.compile_batch(graphs)
+    print(report.summary())
+    if cache is not None:
+        print(f"  cache: {cache.root}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
 
@@ -115,6 +170,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the schedule + arena offsets as a JSON deployment plan",
     )
     p_sched.set_defaults(func=_cmd_schedule)
+
+    p_batch = sub.add_parser(
+        "compile-batch",
+        help="portfolio-compile a batch of graphs in parallel",
+        description="Race a portfolio of scheduling strategies over many "
+        "graphs, fanning out over worker processes and memoising every "
+        "outcome in the persistent schedule cache. With no --cell/--graph "
+        "arguments the full benchmark suite is compiled.",
+    )
+    p_batch.add_argument(
+        "--cell",
+        dest="cells",
+        action="append",
+        choices=sorted(BENCHMARK_SUITE),
+        help="benchmark cell to include (repeatable)",
+    )
+    p_batch.add_argument(
+        "--graph",
+        dest="graphs",
+        action="append",
+        metavar="FILE",
+        help="saved graph JSON to include (repeatable)",
+    )
+    p_batch.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (<=1 compiles in-process; default 0)",
+    )
+    p_batch.add_argument(
+        "--strategies",
+        help="comma-separated strategy names (default: the standard portfolio)",
+    )
+    from repro.scheduler.device import KNOWN_DEVICES
+
+    p_batch.add_argument(
+        "--device",
+        choices=sorted(KNOWN_DEVICES),
+        help="race with early cancellation against this device budget",
+    )
+    p_batch.add_argument(
+        "--cache-dir",
+        help="schedule cache directory (default $REPRO_CACHE_DIR or "
+        "~/.cache/repro/schedules)",
+    )
+    p_batch.add_argument(
+        "--no-cache", action="store_true", help="compile without the cache"
+    )
+    p_batch.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="drop existing cache entries before compiling",
+    )
+    p_batch.set_defaults(func=_cmd_compile_batch)
 
     p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
     p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))

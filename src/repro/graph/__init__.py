@@ -12,6 +12,7 @@ from repro.graph.partition import (
 )
 from repro.graph.serialization import (
     graph_from_dict,
+    graph_signature,
     graph_to_dict,
     load_graph,
     save_graph,
@@ -34,6 +35,7 @@ __all__ = [
     "partition_at_cuts",
     "graph_to_dict",
     "graph_from_dict",
+    "graph_signature",
     "save_graph",
     "load_graph",
     "mark_concat_views",

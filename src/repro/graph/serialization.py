@@ -14,6 +14,7 @@ graphs remain loadable:
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any
@@ -23,9 +24,17 @@ from repro.graph.graph import Graph
 from repro.graph.node import MemorySemantics, Node
 from repro.graph.tensor import DType, TensorSpec
 
-__all__ = ["graph_to_dict", "graph_from_dict", "save_graph", "load_graph"]
+__all__ = [
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph",
+    "load_graph",
+    "graph_signature",
+    "canonical_node_keys",
+]
 
 _FORMAT = "repro-graph/1"
+_SIGNATURE_FORMAT = "repro-graph-sig/2"
 
 
 def _attrs_to_json(attrs: dict[str, Any]) -> dict[str, Any]:
@@ -91,6 +100,103 @@ def graph_from_dict(doc: dict[str, Any]) -> Graph:
             )
         )
     return graph
+
+
+def _sha(payload: list) -> str:
+    doc = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(doc.encode()).hexdigest()
+
+
+def _canonical_digests(graph: Graph) -> dict[str, str]:
+    """Per-node content digests, invariant under node renaming.
+
+    Each node is hashed twice — downward (its payload plus its
+    producers' digests, in argument order) and upward (its payload plus
+    its consumers' digests with the input positions it feeds) — and the
+    two are combined. The bidirectional pass matters: a purely downward
+    Merkle hash cannot tell twin nodes apart, so it could not see which
+    of two identical producers a consumer is wired to.
+    """
+    payloads = {
+        node.name: [
+            node.op,
+            list(node.output.shape),
+            node.output.dtype.value,
+            _attrs_to_json(node.attrs),
+            node.memory.view,
+            node.memory.inplace_of,
+        ]
+        for node in graph
+    }
+    down: dict[str, str] = {}
+    for node in graph:  # insertion order is topological: producers first
+        down[node.name] = _sha(
+            [payloads[node.name], [down[src] for src in node.inputs]]
+        )
+    up: dict[str, str] = {}
+    for node in reversed(graph.nodes):  # consumers first
+        context = sorted(
+            _sha(
+                [
+                    up[succ],
+                    [
+                        i
+                        for i, src in enumerate(graph.node(succ).inputs)
+                        if src == node.name
+                    ],
+                ]
+            )
+            for succ in graph.succs(node.name)
+        )
+        up[node.name] = _sha([payloads[node.name], context])
+    return {name: _sha([down[name], up[name]]) for name in down}
+
+
+def graph_signature(graph: Graph) -> str:
+    """Canonical content hash of a graph, stable across node renamings.
+
+    Two graphs that compute the same thing — identical wiring, ops,
+    tensor specs, attrs, and memory semantics — hash to the same
+    signature even when their node names differ or independent nodes
+    were inserted in a different (topological) order. This is the key of
+    the persistent scheduling cache (:mod:`repro.scheduler.cache`): a
+    schedule found for one instance of a graph can be replayed, via
+    :func:`canonical_node_keys`, on every relabeling of it.
+
+    The signature is the hash of the sorted multiset of the
+    bidirectional per-node digests (see :func:`_canonical_digests`),
+    which is invariant under any name/insertion-order permutation.
+    Cache consumers must still validate a served schedule against the
+    concrete graph — the multiset hash, like any Weisfeiler-Lehman
+    style invariant, is not a proof of isomorphism.
+    """
+    digests = _canonical_digests(graph)
+    top = json.dumps(
+        [_SIGNATURE_FORMAT, len(graph), sorted(digests.values())],
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(top.encode()).hexdigest()
+
+
+def canonical_node_keys(graph: Graph) -> dict[str, str]:
+    """Rename-invariant key per node: content digest + duplicate rank.
+
+    Nodes with identical digests (structural twins) are disambiguated
+    by their rank in insertion order, so the mapping is always a
+    bijection. Keys let a cached schedule recorded for one instance of
+    a graph be translated onto a relabeled instance: equal signature +
+    equal key sets ⇒ a candidate node mapping (which the consumer must
+    then validate as a topological order).
+    """
+    digests = _canonical_digests(graph)
+    seen: dict[str, int] = {}
+    keys: dict[str, str] = {}
+    for name in graph.node_names:
+        digest = digests[name]
+        rank = seen.get(digest, 0)
+        seen[digest] = rank + 1
+        keys[name] = f"{digest}:{rank}"
+    return keys
 
 
 def save_graph(graph: Graph, path: str | Path) -> None:

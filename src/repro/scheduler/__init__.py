@@ -3,6 +3,7 @@
 from repro.scheduler.annealing import AnnealingResult, anneal_schedule
 
 from repro.scheduler.brute import BruteForceResult, brute_force_schedule
+from repro.scheduler.cache import CacheEntry, CacheStats, ScheduleCache
 from repro.scheduler.device import (
     AMBIQ_APOLLO3,
     KNOWN_DEVICES,
@@ -29,6 +30,21 @@ from repro.scheduler.memory import (
     MemoryTrace,
     peak_of,
     simulate_schedule,
+)
+from repro.scheduler.portfolio import (
+    BatchReport,
+    PortfolioCompiler,
+    PortfolioResult,
+    schedule_from_entry,
+)
+from repro.scheduler.registry import (
+    StrategyOutcome,
+    StrategySpec,
+    default_portfolio,
+    get_strategy,
+    register_strategy,
+    run_strategy,
+    strategy_names,
 )
 from repro.scheduler.schedule import Schedule
 from repro.scheduler.serenity import (
@@ -81,4 +97,18 @@ __all__ = [
     "STM32F746",
     "AMBIQ_APOLLO3",
     "KNOWN_DEVICES",
+    "ScheduleCache",
+    "CacheEntry",
+    "CacheStats",
+    "StrategySpec",
+    "StrategyOutcome",
+    "register_strategy",
+    "get_strategy",
+    "strategy_names",
+    "default_portfolio",
+    "run_strategy",
+    "PortfolioCompiler",
+    "PortfolioResult",
+    "BatchReport",
+    "schedule_from_entry",
 ]

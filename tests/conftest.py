@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -11,6 +12,20 @@ from repro.graph.builder import GraphBuilder
 from repro.graph.graph import Graph
 from repro.graph.node import MemorySemantics, Node
 from repro.graph.tensor import TensorSpec
+
+
+# ----------------------------------------------------------------------
+# hermeticity: never let tests read or write the user's schedule cache
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_schedule_cache(tmp_path_factory):
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("schedule-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
 
 
 # ----------------------------------------------------------------------

@@ -37,6 +37,69 @@ class TestCLI:
     def test_schedule_requires_source(self, capsys):
         assert main(["schedule"]) == 2
 
+    def test_compile_batch_cells(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "compile-batch",
+                    "--cell", "swiftnet-c",
+                    "--cell", "swiftnet-b",
+                    "--cache-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "portfolio compilation report" in out
+        assert "swiftnet-c" in out and "swiftnet-b" in out
+        assert "cache hits 0/12" in out
+
+        # warm rerun through the same cache dir: every lookup hits
+        assert (
+            main(
+                [
+                    "compile-batch",
+                    "--cell", "swiftnet-c",
+                    "--cell", "swiftnet-b",
+                    "--cache-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert "cache hits 12/12 (100.0%)" in capsys.readouterr().out
+
+    def test_compile_batch_device_and_no_cache(self, capsys):
+        assert (
+            main(
+                [
+                    "compile-batch",
+                    "--cell", "swiftnet-c",
+                    "--device", "SparkFun Edge",
+                    "--no-cache",
+                    "--strategies", "kahn,greedy,serenity",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "deployable on SparkFun Edge: 1/1" in out
+        assert "serenity" in out  # cancelled by the budget race
+
+    def test_compile_batch_saved_graph(self, tmp_path, capsys, diamond_graph):
+        from repro.graph.serialization import save_graph
+
+        path = tmp_path / "g.json"
+        save_graph(diamond_graph, path)
+        assert (
+            main(["compile-batch", "--graph", str(path), "--no-cache"]) == 0
+        )
+        assert "diamond" in capsys.readouterr().out
+
+    def test_list_includes_strategies(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduling strategies" in out and "serenity-fast" in out
+
     def test_experiment_fig2(self, capsys):
         assert main(["experiment", "fig2"]) == 0
         assert "Pareto" in capsys.readouterr().out

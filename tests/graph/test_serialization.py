@@ -1,10 +1,11 @@
-"""Graph JSON round-trips."""
+"""Graph JSON round-trips and the canonical content signature."""
 
 import pytest
 
 from repro.exceptions import GraphError
 from repro.graph.serialization import (
     graph_from_dict,
+    graph_signature,
     graph_to_dict,
     load_graph,
     save_graph,
@@ -51,6 +52,130 @@ class TestRoundTrip:
         import json
 
         json.dumps(graph_to_dict(hourglass_graph))
+
+
+def _relabel(graph, mapping):
+    """Rebuild ``graph`` with every node renamed through ``mapping``."""
+    from repro.graph.graph import Graph
+
+    out = Graph(graph.name)
+    for node in graph:
+        out.add(
+            node.replace(
+                name=mapping[node.name],
+                inputs=tuple(mapping[s] for s in node.inputs),
+            )
+        )
+    return out
+
+
+class TestGraphSignature:
+    def test_deterministic(self, diamond_graph):
+        assert graph_signature(diamond_graph) == graph_signature(diamond_graph)
+        assert len(graph_signature(diamond_graph)) == 64  # sha256 hex
+
+    def test_survives_json_round_trip(self, concat_conv_graph):
+        back = graph_from_dict(graph_to_dict(concat_conv_graph))
+        assert graph_signature(back) == graph_signature(concat_conv_graph)
+
+    def test_invariant_under_relabeling(self):
+        for seed in range(8):
+            g = random_dag_graph(12, seed, with_views=True)
+            mapping = {n: f"renamed_{i}" for i, n in enumerate(g.node_names)}
+            assert graph_signature(_relabel(g, mapping)) == graph_signature(g)
+
+    def test_invariant_under_insertion_order(self):
+        """Two independent branches inserted in either order hash alike."""
+        from repro.graph.graph import Graph
+        from repro.graph.node import Node
+        from repro.graph.tensor import TensorSpec
+
+        def build(first_branch):
+            g = Graph("order")
+            g.add(Node("x", "input", (), TensorSpec((4, 2, 2))))
+            branches = [
+                Node("a", "blob", ("x",), TensorSpec((2, 2, 2))),
+                Node("b", "blob", ("x",), TensorSpec((3, 2, 2))),
+            ]
+            if first_branch == "b":
+                branches.reverse()
+            for n in branches:
+                g.add(n)
+            g.add(Node("join", "blob", ("a", "b"), TensorSpec((1, 2, 2))))
+            return g
+
+        assert graph_signature(build("a")) == graph_signature(build("b"))
+
+    def test_sensitive_to_structure(self, diamond_graph):
+        sigs = {graph_signature(diamond_graph)}
+        for seed in range(6):
+            sigs.add(graph_signature(random_dag_graph(10, seed)))
+            sigs.add(graph_signature(random_dag_graph(11, seed)))
+        assert len(sigs) == 13  # all distinct
+
+    def test_sensitive_to_shapes_and_attrs(self):
+        from repro.graph.graph import Graph
+        from repro.graph.node import Node
+        from repro.graph.tensor import TensorSpec
+
+        def build(shape=(4, 2, 2), attrs=None):
+            g = Graph("g")
+            g.add(Node("x", "input", (), TensorSpec(shape)))
+            g.add(Node("y", "blob", ("x",), TensorSpec((2, 2, 2)), attrs or {}))
+            return g
+
+        base = graph_signature(build())
+        assert graph_signature(build(shape=(5, 2, 2))) != base
+        assert graph_signature(build(attrs={"k": 3})) != base
+
+    def test_distinguishes_twin_wirings(self):
+        """Two graphs with identical twin producers but different
+        consumer wiring must NOT collide (a pure downward Merkle hash
+        cannot tell these apart — the upward pass exists for this)."""
+        from repro.graph.graph import Graph
+        from repro.graph.node import Node
+        from repro.graph.tensor import TensorSpec
+
+        def build(d_consumes: str) -> Graph:
+            g = Graph("twins")
+            g.add(Node("x", "input", (), TensorSpec((4, 2, 2))))
+            g.add(Node("a", "blob", ("x",), TensorSpec((2, 2, 2))))
+            g.add(Node("b", "blob", ("x",), TensorSpec((2, 2, 2))))  # twin of a
+            g.add(Node("c", "blob", ("a",), TensorSpec((1, 2, 2))))
+            g.add(Node("d", "blob", (d_consumes,), TensorSpec((1, 2, 2))))
+            g.add(Node("e", "blob", ("c", "d"), TensorSpec((1, 2, 2))))
+            return g
+
+        balanced = build("b")  # a->c, b->d
+        lopsided = build("a")  # a feeds both; b is a dead sink
+        assert graph_signature(balanced) != graph_signature(lopsided)
+
+    def test_canonical_keys_are_a_bijection(self):
+        from repro.graph.serialization import canonical_node_keys
+
+        for seed in range(6):
+            g = random_dag_graph(12, seed, with_views=True)
+            keys = canonical_node_keys(g)
+            assert set(keys) == set(g.node_names)
+            assert len(set(keys.values())) == len(g)  # unique keys
+
+    def test_canonical_keys_translate_across_relabelings(self):
+        from repro.graph.serialization import canonical_node_keys
+
+        g = random_dag_graph(10, seed=2)
+        mapping = {n: f"z{i}" for i, n in enumerate(g.node_names)}
+        relabeled = _relabel(g, mapping)
+        keys_g = canonical_node_keys(g)
+        keys_r = canonical_node_keys(relabeled)
+        # same canonical key set, and key-joining recovers the renaming
+        assert set(keys_g.values()) == set(keys_r.values())
+        inverse = {k: n for n, k in keys_r.items()}
+        translated = {n: inverse[k] for n, k in keys_g.items()}
+        assert translated == mapping
+
+    def test_name_of_graph_ignored(self, diamond_graph):
+        clone = diamond_graph.copy(name="other-name")
+        assert graph_signature(clone) == graph_signature(diamond_graph)
 
 
 def _views_graph():

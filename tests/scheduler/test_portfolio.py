@@ -1,0 +1,184 @@
+"""Strategy registry and the parallel portfolio compiler."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.suite import get_cell
+from repro.scheduler.cache import ScheduleCache
+from repro.scheduler.device import SPARKFUN_EDGE, DeviceSpec
+from repro.scheduler.memory import simulate_schedule
+from repro.scheduler.portfolio import PortfolioCompiler
+from repro.scheduler.registry import (
+    default_portfolio,
+    get_strategy,
+    run_strategy,
+    strategy_names,
+)
+from repro.scheduler.serenity import Serenity
+
+from tests.conftest import random_dag_graph
+
+#: the strategies cheap enough to run under hypothesis
+FAST_STRATEGIES = ("kahn", "dfs", "greedy", "serenity-fast", "serenity-dp", "serenity")
+
+
+class TestRegistry:
+    def test_default_portfolio_is_registered(self):
+        for name in default_portfolio():
+            assert name in strategy_names()
+
+    def test_names_ordered_by_cost(self):
+        names = strategy_names()
+        ranks = [get_strategy(n).rank for n in names]
+        assert ranks == sorted(ranks)
+
+    def test_unknown_strategy_raises(self):
+        from repro.exceptions import SchedulingError
+
+        with pytest.raises(SchedulingError, match="unknown strategy"):
+            get_strategy("bogus")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.exceptions import SchedulingError
+        from repro.scheduler.registry import register_strategy
+
+        with pytest.raises(SchedulingError, match="duplicate"):
+            register_strategy("kahn", summary="clash")(lambda g: None)
+
+
+class TestStrategyProperties:
+    """Paper-level invariants every registered strategy must satisfy."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_outputs_are_valid_topological_orders(self, seed):
+        graph = random_dag_graph(10, seed, with_views=True)
+        for name in FAST_STRATEGIES:
+            out = run_strategy(name, graph)
+            # validate() raises unless the order is a complete
+            # topological order of the scheduled graph
+            out.schedule.validate(out.scheduled_graph)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_reported_peak_matches_independent_replay(self, seed):
+        graph = random_dag_graph(10, seed)
+        for name in FAST_STRATEGIES:
+            out = run_strategy(name, graph)
+            replay = simulate_schedule(
+                out.scheduled_graph, out.schedule, validate=True
+            )
+            assert out.peak_bytes == replay.peak_bytes
+
+    def test_anneal_strategy(self, diamond_graph):
+        out = run_strategy("anneal", diamond_graph)
+        out.schedule.validate(out.scheduled_graph)
+        replay = simulate_schedule(out.scheduled_graph, out.schedule)
+        assert out.peak_bytes == replay.peak_bytes
+
+    def test_rewriting_strategies_target_rewritten_graph(
+        self, concat_depthwise_graph
+    ):
+        out = run_strategy("serenity", concat_depthwise_graph)
+        assert len(out.scheduled_graph) > len(concat_depthwise_graph)
+
+
+class TestPortfolioCompiler:
+    @pytest.mark.parametrize("key", ["swiftnet-b", "swiftnet-c"])
+    def test_winner_no_worse_than_plain_serenity(self, key):
+        """The portfolio includes SERENITY, so it can never lose to it."""
+        graph = get_cell(key).factory()
+        result = PortfolioCompiler(workers=0, cache=None).compile(graph)
+        serenity_peak = Serenity().compile(get_cell(key).factory()).peak_bytes
+        assert result.winner.peak_bytes <= serenity_peak
+
+    def test_batch_covers_all_graphs_and_strategies(self, diamond_graph):
+        graphs = [random_dag_graph(8, s) for s in (1, 2)] + [diamond_graph]
+        report = PortfolioCompiler(workers=0, cache=None).compile_batch(graphs)
+        assert len(report.results) == 3
+        for res in report.results:
+            assert {o.strategy for o in res.outcomes} == set(default_portfolio())
+            res.winner.schedule.validate(res.winner.scheduled_graph)
+
+    def test_device_budget_cancels_expensive_strategies(self):
+        """A cheap fit short-circuits the race (serial path)."""
+        graph = get_cell("swiftnet-c").factory()  # fits 250KB via baseline
+        result = PortfolioCompiler(
+            workers=0, cache=None, device=SPARKFUN_EDGE
+        ).compile(graph)
+        assert result.fits is True
+        assert "serenity" in result.cancelled
+        assert "serenity-dp" in result.cancelled
+
+    def test_impossible_budget_runs_everything(self):
+        tiny = DeviceSpec("tiny", 1)
+        graph = get_cell("swiftnet-c").factory()
+        result = PortfolioCompiler(
+            workers=0, cache=None, device=tiny
+        ).compile(graph)
+        assert result.fits is False
+        assert result.cancelled == ()
+        assert len(result.outcomes) == len(default_portfolio())
+
+    def test_parallel_budget_race_matches_serial(self):
+        """The parallel race must actually skip expensive strategies —
+        same cancellation semantics as the serial path, even when the
+        pool has more workers than jobs."""
+        serial = PortfolioCompiler(
+            workers=0, cache=None, device=SPARKFUN_EDGE
+        ).compile(get_cell("swiftnet-c").factory())
+        parallel = PortfolioCompiler(
+            workers=3, cache=None, device=SPARKFUN_EDGE
+        ).compile(get_cell("swiftnet-c").factory())
+        assert set(parallel.cancelled) == set(serial.cancelled)
+        assert parallel.cancelled != ()
+        assert parallel.fits is True
+        assert parallel.winner.peak_bytes == serial.winner.peak_bytes
+
+    def test_duplicate_strategies_deduplicated(self, diamond_graph):
+        report = PortfolioCompiler(
+            ["kahn", "kahn", "greedy"], workers=0, cache=None
+        ).compile_batch([diamond_graph])
+        assert report.strategies == ("kahn", "greedy")
+        assert len(report.results[0].outcomes) == 2
+
+    def test_parallel_matches_serial(self, diamond_graph, hourglass_graph):
+        graphs = [diamond_graph, hourglass_graph]
+        serial = PortfolioCompiler(workers=0, cache=None).compile_batch(graphs)
+        parallel = PortfolioCompiler(workers=2, cache=None).compile_batch(graphs)
+        for a, b in zip(serial.results, parallel.results):
+            assert a.winner.strategy == b.winner.strategy
+            assert a.winner.peak_bytes == b.winner.peak_bytes
+            assert a.winner.schedule.order == b.winner.schedule.order
+
+    def test_summary_report(self, diamond_graph):
+        report = PortfolioCompiler(workers=0, cache=None).compile_batch(
+            [diamond_graph]
+        )
+        text = report.summary()
+        assert "portfolio compilation report" in text
+        assert "diamond" in text
+        assert "wall time" in text
+
+    def test_strategy_subset(self, diamond_graph):
+        report = PortfolioCompiler(
+            ["kahn", "greedy"], workers=0, cache=None
+        ).compile_batch([diamond_graph])
+        assert report.strategies == ("kahn", "greedy")
+        assert {o.strategy for o in report.results[0].outcomes} == {
+            "kahn",
+            "greedy",
+        }
+
+    def test_cached_batch_is_byte_identical(self, tmp_path, hourglass_graph):
+        cache = ScheduleCache(tmp_path)
+        cold = PortfolioCompiler(workers=0, cache=cache).compile(hourglass_graph)
+        warm = PortfolioCompiler(workers=0, cache=cache).compile(hourglass_graph)
+        assert not cold.cache_hit and warm.cache_hit
+        assert warm.winner.strategy == cold.winner.strategy
+        assert warm.winner.peak_bytes == cold.winner.peak_bytes
+        for a, b in zip(cold.outcomes, warm.outcomes):
+            assert a.schedule.order == b.schedule.order
