@@ -25,7 +25,7 @@ def main() -> None:
     print(f"device activation budget      : {budget_kb:7.1f}KB (SparkFun Edge)")
     baseline_kb = report.baseline_arena_bytes / 1024
     ours_kb = report.arena_bytes / 1024
-    verdict = lambda kb: "FITS" if kb <= budget_kb else "DOES NOT FIT"
+    verdict = lambda kb: "FITS" if kb <= budget_kb else "DOES NOT FIT"  # noqa: E731
     print(f"baseline schedule peak        : {baseline_kb:7.1f}KB  -> "
           f"{verdict(baseline_kb)}")
     print(f"SERENITY schedule peak        : {ours_kb:7.1f}KB  -> "

@@ -70,9 +70,10 @@ from repro.scheduler import (
 )
 from repro.allocator import arena_peak_bytes, plan_allocation
 from repro.analysis import cast_graph
+from repro.compiler import CompilationPipeline, CompiledModel
 from repro.memsim import offchip_traffic
 from repro.rewriting import IdentityGraphRewriter, rewrite_graph
-from repro.runtime import Executor, verify_rewrite
+from repro.runtime import Executor, PlanExecutor, verify_execution, verify_rewrite
 
 __version__ = "1.0.0"
 
@@ -118,10 +119,15 @@ __all__ = [
     "arena_peak_bytes",
     "plan_allocation",
     "offchip_traffic",
+    # compile pipeline
+    "CompilationPipeline",
+    "CompiledModel",
     # rewriting + runtime
     "IdentityGraphRewriter",
     "rewrite_graph",
     "Executor",
+    "PlanExecutor",
+    "verify_execution",
     "verify_rewrite",
     # exceptions
     "ReproError",

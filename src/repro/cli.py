@@ -2,12 +2,21 @@
 
 Subcommands
 -----------
+``compile``        run the full pipeline on one graph and write a
+                   self-contained :class:`CompiledModel` artifact
+``run``            load an artifact and execute it inside its planned
+                   arena, reporting measured peak vs plan
 ``schedule``       compile one benchmark cell (or a saved graph) and print
                    the schedule report
 ``compile-batch``  portfolio-compile many graphs in parallel with the
                    persistent scheduling cache
 ``experiment``     regenerate one of the paper's tables/figures
 ``list``           list benchmark cells, strategies and experiments
+
+The ``compile``/``run`` pair is the deployment story: compile once
+(anywhere, with the schedule cache warm), ship the JSON artifact,
+execute it in a fresh process under the exact schedule and arena layout
+the compiler chose.
 """
 
 from __future__ import annotations
@@ -46,14 +55,10 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
-    from repro.graph.serialization import load_graph
     from repro.scheduler.serenity import Serenity, SerenityConfig
 
-    if args.cell:
-        graph = get_cell(args.cell).factory()
-    elif args.graph:
-        graph = load_graph(args.graph)
-    else:
+    graph = _load_source_graph(args)
+    if graph is None:
         print("error: pass --cell <key> or --graph <file.json>", file=sys.stderr)
         return 2
 
@@ -86,6 +91,116 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         print("\nschedule:")
         for i, name in enumerate(report.schedule):
             print(f"  {i:4d}  {name}")
+    return 0
+
+
+def _load_source_graph(args: argparse.Namespace):
+    """Resolve --cell/--graph into a Graph (None + error message on misuse)."""
+    from repro.graph.serialization import load_graph
+
+    if args.cell:
+        return get_cell(args.cell).factory()
+    if args.graph:
+        return load_graph(args.graph)
+    return None
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.compiler import CompilationPipeline
+    from repro.exceptions import ReproError
+    from repro.scheduler.cache import ScheduleCache
+    from repro.scheduler.device import KNOWN_DEVICES
+
+    try:
+        graph = _load_source_graph(args)
+    except (ReproError, OSError, json.JSONDecodeError, KeyError) as exc:
+        print(f"error: cannot load graph: {exc}", file=sys.stderr)
+        return 2
+    if graph is None:
+        print("error: pass --cell <key> or --graph <file.json>", file=sys.stderr)
+        return 2
+
+    pipeline = CompilationPipeline(
+        args.strategy,
+        allocator=args.allocator,
+        device=KNOWN_DEVICES[args.device] if args.device else None,
+        cache=None if args.no_cache else ScheduleCache(args.cache_dir),
+        verify=args.verify,
+    )
+    try:
+        model = pipeline.compile(graph)
+    except ReproError as exc:
+        print(f"error: compilation failed: {exc}", file=sys.stderr)
+        return 2
+    path = model.save(args.output)
+
+    meta = model.meta
+    print(f"compiled {graph.name}: {meta['source_nodes']} nodes -> "
+          f"{meta['nodes']} scheduled ({model.strategy}"
+          f"{', cached schedule' if meta.get('cached') else ''})")
+    print(f"ideal peak              : {meta['peak_bytes'] / 1024:9.1f}KB")
+    print(f"arena peak              : {model.arena_bytes / 1024:9.1f}KB "
+          f"({model.plan.strategy})")
+    if model.device is not None:
+        verdict = "fits" if model.fits_device else "OVER BUDGET"
+        print(f"device {model.device.name} ({model.device.sram_kib:.0f}KB): "
+              f"{verdict}")
+    if args.verify:
+        print("verified                : bitwise-equal to reference executor")
+    print(f"artifact written to {path}")
+    return 0 if model.fits_device in (None, True) else 1
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.compiler import CompiledModel
+    from repro.exceptions import ReproError
+    from repro.runtime import random_feeds
+
+    try:
+        model = CompiledModel.load(args.artifact)
+    except (ReproError, OSError, json.JSONDecodeError, KeyError) as exc:
+        print(f"error: cannot load artifact {args.artifact}: {exc}", file=sys.stderr)
+        return 2
+    feeds = random_feeds(model.graph, seed=args.seed)
+    try:
+        executor = model.executor(seed=args.seed)
+        outputs = executor.run(feeds)
+    except ReproError as exc:
+        print(f"error: cannot execute artifact {args.artifact}: {exc}",
+              file=sys.stderr)
+        return 2
+    stats = executor.last_stats
+    assert stats is not None
+
+    print(f"executed {model.graph.name}: {stats.steps} steps in schedule "
+          f"order ({model.strategy} schedule, {model.plan.strategy} arena)")
+    print(f"planned arena           : {stats.arena_bytes / 1024:9.1f}KB")
+    print(f"measured high-water mark: {stats.measured_peak_bytes / 1024:9.1f}KB "
+          f"({100.0 * stats.utilization:.1f}% of plan)")
+    for name, value in outputs.items():
+        flat = value.ravel()
+        head = ", ".join(f"{v:.4g}" for v in flat[:4])
+        more = ", ..." if flat.size > 4 else ""
+        print(f"output {name:<17s}: shape {value.shape} [{head}{more}]")
+    if args.verify:
+        # compare the outputs just computed against one reference run
+        # (same params/feeds) instead of re-executing everything
+        from repro.runtime import Executor
+        from repro.runtime.verify import compare_outputs
+
+        ref = Executor(model.graph, params=executor.params).run(
+            feeds, outputs=list(outputs)
+        )
+        report = compare_outputs(ref, outputs)
+        verdict = "bitwise-equal" if report.equivalent else "DIVERGED"
+        print(f"reference executor      : {verdict} "
+              f"(max abs error {report.max_abs_error:g})")
+        if not report.equivalent:
+            return 1
     return 0
 
 
@@ -170,6 +285,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the schedule + arena offsets as a JSON deployment plan",
     )
     p_sched.set_defaults(func=_cmd_schedule)
+
+    from repro.scheduler.registry import strategy_names
+
+    p_comp = sub.add_parser(
+        "compile",
+        help="compile a graph into a deployable artifact",
+        description="Run the unified pipeline — strategy scheduling "
+        "(cache-served when warm), arena allocation, validation — and "
+        "write a self-contained CompiledModel JSON artifact that "
+        "`serenity run` executes in any process.",
+    )
+    p_comp.add_argument("--cell", choices=sorted(BENCHMARK_SUITE), default=None)
+    p_comp.add_argument("--graph", help="path to a saved graph JSON")
+    p_comp.add_argument(
+        "-o", "--output", required=True, metavar="FILE",
+        help="artifact path to write",
+    )
+    p_comp.add_argument(
+        "--strategy",
+        choices=strategy_names(),
+        default="serenity",
+        help="scheduling strategy (default: serenity)",
+    )
+    p_comp.add_argument(
+        "--allocator",
+        choices=("first_fit", "greedy_by_size"),
+        default="first_fit",
+        help="arena offset allocator (default: first_fit)",
+    )
+    from repro.scheduler.device import KNOWN_DEVICES as _DEVICES
+
+    p_comp.add_argument(
+        "--device",
+        choices=sorted(_DEVICES),
+        help="record a target device; exit 1 if the plan exceeds its budget",
+    )
+    p_comp.add_argument(
+        "--cache-dir",
+        help="schedule cache directory (default $REPRO_CACHE_DIR or "
+        "~/.cache/repro/schedules)",
+    )
+    p_comp.add_argument(
+        "--no-cache", action="store_true", help="compile without the cache"
+    )
+    p_comp.add_argument(
+        "--verify",
+        action="store_true",
+        help="execute the plan and require bitwise parity with the "
+        "reference executor before writing the artifact",
+    )
+    p_comp.set_defaults(func=_cmd_compile)
+
+    p_run = sub.add_parser(
+        "run",
+        help="execute a compiled artifact inside its planned arena",
+        description="Load a CompiledModel artifact, execute its kernels "
+        "in schedule order inside one preallocated arena at the planned "
+        "byte offsets, and report the measured high-water mark against "
+        "the plan's arena_bytes.",
+    )
+    p_run.add_argument("artifact", help="path to a CompiledModel JSON")
+    p_run.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the deterministic random weights/inputs (default 0)",
+    )
+    p_run.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run the reference executor and compare outputs bitwise",
+    )
+    p_run.set_defaults(func=_cmd_run)
 
     p_batch = sub.add_parser(
         "compile-batch",

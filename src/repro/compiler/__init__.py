@@ -1,0 +1,17 @@
+"""Compile pipeline: one front door from graph to deployable artifact.
+
+>>> from repro.compiler import CompilationPipeline, CompiledModel
+>>> model = CompilationPipeline("serenity").compile(graph)
+>>> model.save("model.json")
+>>> CompiledModel.load("model.json").executor().run(feeds)
+"""
+
+from repro.compiler.model import ARTIFACT_FORMAT, CompiledModel
+from repro.compiler.pipeline import CompilationPipeline, compiled_model_from_report
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "CompiledModel",
+    "CompilationPipeline",
+    "compiled_model_from_report",
+]

@@ -1,0 +1,166 @@
+"""The frozen compile artifact: graph + schedule + arena plan in one file.
+
+A :class:`CompiledModel` is the pipeline's end product — everything a
+runtime needs to execute a network inside a fixed memory budget, with
+nothing left to decide at load time:
+
+* the **scheduled graph** (rewritten when the strategy rewrites),
+* the **schedule** — the memory-aware execution order,
+* the **allocation plan** — a byte offset per buffer inside one arena,
+* the originating **device spec** and compilation metadata.
+
+Artifacts serialise to a single versioned JSON document, round-tripping
+through :mod:`repro.graph.serialization` for the graph and
+:mod:`repro.allocator.export` for the plan. Both the source graph's and
+the scheduled graph's canonical :func:`~repro.graph.serialization.graph_signature`
+are embedded, so an artifact can be matched against the persistent
+:class:`~repro.scheduler.cache.ScheduleCache` (same keys) and a loaded
+document is verified against the graph it carries — a tampered or
+corrupted artifact fails loudly instead of executing a wrong plan.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.allocator.arena import AllocationPlan
+from repro.allocator.export import plan_to_dict
+from repro.allocator.lifetimes import compute_lifetimes
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph
+from repro.graph.serialization import (
+    graph_from_dict,
+    graph_signature,
+    graph_to_dict,
+)
+from repro.scheduler.device import DeviceSpec
+from repro.scheduler.memory import BufferModel
+from repro.scheduler.schedule import Schedule
+
+__all__ = ["CompiledModel", "ARTIFACT_FORMAT"]
+
+ARTIFACT_FORMAT = "repro-compiled/1"
+
+
+@dataclass(frozen=True)
+class CompiledModel:
+    """One network, compiled: executable graph, order, and arena layout."""
+
+    #: the graph the schedule and plan target (rewritten when the
+    #: compiling strategy rewrites; the *executable* graph)
+    graph: Graph
+    schedule: Schedule
+    plan: AllocationPlan
+    #: canonical signature of the *source* graph (ScheduleCache key)
+    source_signature: str
+    #: canonical signature of :attr:`graph`
+    signature: str
+    #: registry name of the strategy that produced the schedule
+    strategy: str
+    device: DeviceSpec | None = None
+    #: free-form compilation metadata (timings, cache provenance, ...)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def arena_bytes(self) -> int:
+        """The arena capacity the runtime must provision."""
+        return self.plan.arena_bytes
+
+    @property
+    def fits_device(self) -> bool | None:
+        """Budget verdict against :attr:`device` (None without one)."""
+        if self.device is None:
+            return None
+        return self.plan.arena_bytes <= self.device.sram_bytes
+
+    def executor(self, params=None, seed: int = 0):
+        """A ready :class:`~repro.runtime.plan_executor.PlanExecutor`."""
+        from repro.runtime.plan_executor import PlanExecutor
+
+        return PlanExecutor(
+            self.graph, self.schedule, self.plan, params=params, seed=seed
+        )
+
+    # ------------------------------------------------------------------
+    # (de)serialisation
+    # ------------------------------------------------------------------
+    def to_doc(self) -> dict[str, Any]:
+        """Serialise to a versioned JSON-compatible document."""
+        doc: dict[str, Any] = {
+            "format": ARTIFACT_FORMAT,
+            "name": self.graph.name,
+            "source_signature": self.source_signature,
+            "signature": self.signature,
+            "strategy": self.strategy,
+            "graph": graph_to_dict(self.graph),
+            "plan": plan_to_dict(self.graph, self.schedule, plan=self.plan),
+            "device": (
+                {"name": self.device.name, "sram_bytes": self.device.sram_bytes}
+                if self.device is not None
+                else None
+            ),
+            "meta": dict(self.meta),
+        }
+        return doc
+
+    @classmethod
+    def from_doc(cls, doc: dict[str, Any]) -> "CompiledModel":
+        """Rebuild and *verify* an artifact document.
+
+        The schedule is re-validated against the carried graph, the
+        plan is re-checked for overlaps, and the embedded signature must
+        match the graph's recomputed one.
+        """
+        if doc.get("format") != ARTIFACT_FORMAT:
+            raise GraphError(
+                f"unsupported compiled-model format {doc.get('format')!r}"
+            )
+        graph = graph_from_dict(doc["graph"])
+        signature = graph_signature(graph)
+        if signature != doc.get("signature"):
+            raise GraphError(
+                "compiled model is corrupt: embedded signature "
+                f"{doc.get('signature')!r} does not match the carried graph"
+            )
+        plan_doc = doc["plan"]
+        schedule = Schedule(tuple(plan_doc["schedule"]), graph.name)
+        schedule.validate(graph)
+        model = BufferModel.of(graph)
+        offsets = {int(b["id"]): int(b["offset"]) for b in plan_doc["buffers"]}
+        plan = AllocationPlan(
+            strategy=plan_doc["strategy"],
+            offsets=offsets,
+            arena_bytes=int(plan_doc["arena_bytes"]),
+            lifetimes=tuple(compute_lifetimes(graph, schedule, model=model)),
+        ).validate()
+        device_doc = doc.get("device")
+        device = (
+            DeviceSpec(device_doc["name"], int(device_doc["sram_bytes"]))
+            if device_doc
+            else None
+        )
+        return cls(
+            graph=graph,
+            schedule=schedule,
+            plan=plan,
+            source_signature=doc.get("source_signature", signature),
+            signature=signature,
+            strategy=doc.get("strategy", "unknown"),
+            device=device,
+            meta=dict(doc.get("meta", {})),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the artifact as pretty-printed JSON."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_doc(), indent=2))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CompiledModel":
+        """Load and verify an artifact written by :meth:`save`."""
+        return cls.from_doc(json.loads(Path(path).read_text()))

@@ -1,0 +1,198 @@
+"""The unified compile pipeline: graph in, :class:`CompiledModel` out.
+
+This is the one front door to everything the compiler side can do.
+``CompilationPipeline.compile`` composes, in order:
+
+1. **strategy execution** — any strategy from
+   :mod:`repro.scheduler.registry` (rewriting, when the strategy
+   declares it, happens inside :func:`~repro.scheduler.registry.run_strategy`),
+   served from the persistent :class:`~repro.scheduler.cache.ScheduleCache`
+   when a valid entry exists for ``(graph_signature, strategy key)``;
+2. **allocation planning** — byte offsets for every buffer under the
+   chosen arena allocator, overlap-validated;
+3. **validation** — the schedule is checked as a topological order of
+   the scheduled graph, and (optionally) the compiled plan is executed
+   and compared bitwise against the reference executor;
+
+and freezes the result into a :class:`CompiledModel` artifact that
+``serenity run`` (or any future runtime) can execute as-is. Because
+cache keys are shared with the :class:`~repro.scheduler.portfolio.PortfolioCompiler`,
+a batch compilation warms the cache for subsequent artifact builds and
+vice versa.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.allocator.arena import plan_allocation
+from repro.compiler.model import CompiledModel
+from repro.graph.graph import Graph
+from repro.graph.serialization import graph_signature
+from repro.scheduler.cache import ScheduleCache
+from repro.scheduler.device import DeviceSpec
+from repro.scheduler.memory import BufferModel
+from repro.scheduler.portfolio import outcome_from_cache, store_outcome
+from repro.scheduler.registry import StrategyOutcome, get_strategy, run_strategy
+from repro.scheduler.serenity import SerenityReport
+
+__all__ = ["CompilationPipeline", "compiled_model_from_report"]
+
+
+class CompilationPipeline:
+    """Compile graphs into frozen, executable :class:`CompiledModel`\\ s.
+
+    Parameters
+    ----------
+    strategy:
+        Registry name of the scheduling strategy (default ``serenity``,
+        the paper's full pipeline).
+    allocator:
+        Arena offset allocator: ``first_fit`` (TFLite simple arena) or
+        ``greedy_by_size``.
+    device:
+        Optional deployment target; recorded in the artifact and used
+        for the ``fits`` verdict in the metadata.
+    cache:
+        A :class:`ScheduleCache` to serve/record schedules, or ``None``
+        to always compile fresh.
+    verify:
+        When true, every compiled plan is executed on random inputs and
+        compared bitwise against the reference executor before the
+        artifact is returned (slow; off by default).
+    """
+
+    def __init__(
+        self,
+        strategy: str = "serenity",
+        *,
+        allocator: str = "first_fit",
+        device: DeviceSpec | None = None,
+        cache: ScheduleCache | None = None,
+        verify: bool = False,
+    ) -> None:
+        self.spec = get_strategy(strategy)  # fail fast on unknown names
+        self.allocator = allocator
+        self.device = device
+        self.cache = cache
+        self.verify = verify
+
+    # ------------------------------------------------------------------
+    def compile(self, graph: Graph) -> CompiledModel:
+        """Run the full pipeline on ``graph``."""
+        graph.validate()
+        t0 = time.perf_counter()
+        signature = graph_signature(graph)
+
+        outcome: StrategyOutcome | None = None
+        if self.cache is not None:
+            def rewritten() -> Graph:
+                from repro.rewriting.rewriter import rewrite_graph
+
+                return rewrite_graph(graph).graph
+
+            outcome = outcome_from_cache(
+                self.cache, self.spec, signature, graph, rewritten
+            )
+        if outcome is None:
+            outcome = run_strategy(self.spec.name, graph)
+            if self.cache is not None:
+                store_outcome(self.cache, signature, self.spec, outcome)
+
+        model = self._freeze(
+            graph_sig=signature,
+            outcome=outcome,
+            source_nodes=len(graph),
+            compile_time_s=time.perf_counter() - t0,
+        )
+        if self.verify:
+            self._verify(model)
+        return model
+
+    # ------------------------------------------------------------------
+    def _freeze(
+        self,
+        graph_sig: str,
+        outcome: StrategyOutcome,
+        source_nodes: int,
+        compile_time_s: float,
+    ) -> CompiledModel:
+        target = outcome.scheduled_graph
+        outcome.schedule.validate(target)
+        buffers = BufferModel.of(target)
+        plan = plan_allocation(
+            target, outcome.schedule, strategy=self.allocator, model=buffers
+        )
+        meta: dict[str, Any] = {
+            "allocator": self.allocator,
+            "cached": outcome.cached,
+            "peak_bytes": outcome.peak_bytes,
+            "schedule_time_s": outcome.time_s,
+            "compile_time_s": compile_time_s,
+            "source_nodes": source_nodes,
+            "nodes": len(target),
+        }
+        if self.device is not None:
+            meta["fits"] = plan.arena_bytes <= self.device.sram_bytes
+        return CompiledModel(
+            graph=target,
+            schedule=outcome.schedule,
+            plan=plan,
+            source_signature=graph_sig,
+            signature=(
+                graph_sig if not self.spec.rewrites else graph_signature(target)
+            ),
+            strategy=self.spec.name,
+            device=self.device,
+            meta=meta,
+        )
+
+    def _verify(self, model: CompiledModel) -> None:
+        from repro.exceptions import ExecutionError
+        from repro.runtime.verify import verify_execution
+
+        report = verify_execution(model)
+        if not report:
+            raise ExecutionError(
+                f"compiled plan for {model.graph.name!r} diverges from the "
+                f"reference executor (max abs error {report.max_abs_error:g})"
+            )
+
+
+def compiled_model_from_report(
+    report: SerenityReport,
+    *,
+    allocator: str = "first_fit",
+    device: DeviceSpec | None = None,
+) -> CompiledModel:
+    """Freeze an existing :class:`SerenityReport` into an artifact.
+
+    Lets the experiment harnesses (which need the report's search
+    statistics and baselines) export the same deployment artifact the
+    :class:`CompilationPipeline` produces, without recompiling.
+    """
+    target = report.scheduled_graph
+    buffers = BufferModel.of(target)
+    plan = plan_allocation(target, report.schedule, strategy=allocator, model=buffers)
+    meta: dict[str, Any] = {
+        "allocator": allocator,
+        "cached": report.from_cache,
+        "peak_bytes": report.peak_bytes,
+        "schedule_time_s": report.scheduling_time_s,
+        "rewrite_count": report.rewrite_count,
+        "source_nodes": len(report.graph),
+        "nodes": len(target),
+    }
+    if device is not None:
+        meta["fits"] = plan.arena_bytes <= device.sram_bytes
+    return CompiledModel(
+        graph=target,
+        schedule=report.schedule,
+        plan=plan,
+        source_signature=graph_signature(report.graph),
+        signature=graph_signature(target),
+        strategy="serenity" if report.config.rewrite else "serenity-dp",
+        device=device,
+        meta=meta,
+    )

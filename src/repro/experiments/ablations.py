@@ -12,11 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.allocator.arena import plan_allocation
-from repro.analysis.reporting import format_table, geomean
+from repro.analysis.reporting import format_table
 from repro.experiments.common import suite_runs
 from repro.memsim.hierarchy import offchip_traffic
 from repro.scheduler.budget import AdaptiveSoftBudgetScheduler
-from repro.scheduler.memory import simulate_schedule
 
 __all__ = [
     "allocator_ablation",

@@ -13,9 +13,15 @@ needs, so results are memoised at two levels:
 
 The persistent layer honours ``$REPRO_CACHE_DIR`` and can be disabled
 entirely with ``REPRO_NO_CACHE=1``. Reports rebuilt from cache carry
-``divide=None`` (the DP search-tree statistics are not persisted);
-every figure harness that needs ``states_expanded`` compiles directly
-rather than through :func:`compiled`.
+``from_cache=True`` and ``divide=None`` (the DP search-tree statistics
+are not persisted); figure harnesses that need ``states_expanded`` go
+through :meth:`~repro.scheduler.serenity.SerenityReport.search_stats`,
+which fails loudly on a cache-rebuilt report instead of reading zeros.
+
+:func:`compile_model` freezes a memoised report into the same
+:class:`~repro.compiler.CompiledModel` artifact the
+:class:`~repro.compiler.CompilationPipeline` produces, so experiments
+and deployments share one compile path.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from repro.scheduler.serenity import Serenity, SerenityConfig, SerenityReport
 
 __all__ = [
     "compiled",
+    "compile_model",
     "clear_cache",
     "default_config",
     "persistent_cache",
@@ -115,6 +122,7 @@ def _report_from_entry(
         scheduling_time_s=float(entry.meta.get("time_s", 0.0)),
         rewrite_count=rewrite_count,
         divide=None,
+        from_cache=True,
     )
 
 
@@ -156,6 +164,21 @@ def compiled(spec: CellSpec, rewrite: bool) -> SerenityReport:
         )
     _CACHE[key] = report
     return report
+
+
+def compile_model(spec: CellSpec, rewrite: bool = True, allocator: str = "first_fit"):
+    """The memoised compilation of ``spec`` as a deployable artifact.
+
+    Returns a :class:`~repro.compiler.CompiledModel` frozen from the
+    same report :func:`compiled` memoises — schedule, arena plan and
+    signatures included — ready for ``CompiledModel.save`` /
+    ``serenity run``.
+    """
+    from repro.compiler import compiled_model_from_report
+
+    return compiled_model_from_report(
+        compiled(spec, rewrite=rewrite), allocator=allocator
+    )
 
 
 def clear_cache() -> None:

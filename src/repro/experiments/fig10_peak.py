@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.reporting import format_table, geomean
-from repro.experiments.common import CellRun, suite_runs
+from repro.experiments.common import suite_runs
 from repro.models.suite import PAPER_GEOMEANS
 
 __all__ = ["Fig10Row", "run", "render"]

@@ -45,9 +45,9 @@ def run(keys: list[str] | None = None) -> list[Fig13Row]:
             t0 = time.perf_counter()
             report = Serenity(default_config(rewrite)).compile(graph)
             timings[label] = time.perf_counter() - t0
-            states[label] = (
-                report.divide.states_expanded if report.divide else 0
-            )
+            # search_stats() raises on a cache-rebuilt report: this
+            # harness compiles directly, so zeros here would be a bug
+            states[label] = report.search_stats().states_expanded
         rows.append(
             Fig13Row(
                 key=spec.key,

@@ -34,8 +34,6 @@ class Fig3Result:
 
     @property
     def fraction_optimal(self) -> float:
-        import numpy as np
-
         return float((self.cdf.peaks <= self.optimal_bytes).mean())
 
 

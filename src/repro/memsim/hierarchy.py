@@ -25,7 +25,7 @@ Model (documented in DESIGN.md):
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.exceptions import ReproError
 from repro.graph.graph import Graph

@@ -26,7 +26,6 @@ without writeback).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
 from repro.graph.graph import Graph
 from repro.scheduler.memory import BufferModel

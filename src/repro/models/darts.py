@@ -113,7 +113,6 @@ def darts_normal_cell(
             pending.append((j, f"n{i + 2}/{side}", _op_steps(op, channels, rounds), ""))
 
     cursors: dict[str, tuple[str, int]] = {}  # chain name -> (tensor, step)
-    remaining = {name: steps for (_, name, steps, _) in pending}
     sources = {name: j for (j, name, _, _) in pending}
     finished: dict[str, str] = {}
     while len(finished) < len(pending):

@@ -13,7 +13,6 @@ from dataclasses import dataclass
 from typing import Protocol
 
 from repro.graph.graph import Graph
-from repro.graph.node import Node
 
 __all__ = ["Match", "RewriteRule", "concat_sole_consumer_matches"]
 

@@ -1,15 +1,20 @@
-"""NumPy reference runtime for executing and verifying graphs."""
+"""NumPy runtimes: the reference dict executor, the arena-backed plan
+executor, and the verification harnesses tying them together."""
 
 from repro.runtime.executor import Executor, init_params, random_feeds
 from repro.runtime.kernels import KERNELS, conv2d, depthwise_conv2d
+from repro.runtime.plan_executor import PlanExecutionStats, PlanExecutor
 from repro.runtime.verify import (
     EquivalenceReport,
     derive_rewritten_params,
+    verify_execution,
     verify_rewrite,
 )
 
 __all__ = [
     "Executor",
+    "PlanExecutor",
+    "PlanExecutionStats",
     "init_params",
     "random_feeds",
     "KERNELS",
@@ -17,5 +22,6 @@ __all__ = [
     "depthwise_conv2d",
     "EquivalenceReport",
     "derive_rewritten_params",
+    "verify_execution",
     "verify_rewrite",
 ]

@@ -115,6 +115,18 @@ class Executor:
         if not self.params:
             self.params = init_params(self.graph, self.seed)
 
+    def _needed(self, wanted: list[str]) -> set[str]:
+        """Nodes reachable backwards from ``wanted`` (inclusive)."""
+        needed: set[str] = set()
+        stack = list(dict.fromkeys(wanted))
+        while stack:
+            name = stack.pop()
+            if name in needed:
+                continue
+            needed.add(name)
+            stack.extend(self.graph.node(name).inputs)
+        return needed
+
     def run(
         self,
         feeds: Mapping[str, np.ndarray],
@@ -122,15 +134,27 @@ class Executor:
         keep_all: bool = False,
     ) -> dict[str, np.ndarray]:
         """Execute in topological order; returns the requested ``outputs``
-        (default: graph sinks)."""
+        (default: graph sinks).
+
+        Only the ancestors of the requested outputs execute: asking for
+        an intermediate runs (and requires feeds for) exactly the
+        subgraph that produces it, not the whole network.
+        """
         wanted = list(outputs) if outputs is not None else self.graph.sinks
+        unknown = [w for w in wanted if w not in self.graph]
+        if unknown:
+            raise ExecutionError(f"requested outputs never computed: {unknown}")
+        needed = self._needed(wanted)
         values: dict[str, np.ndarray] = {}
-        remaining_uses = {
-            name: self.graph.out_degree(name) for name in self.graph.node_names
-        }
+        remaining_uses = {name: 0 for name in needed}
+        for name in needed:
+            for src in set(self.graph.node(name).inputs):
+                remaining_uses[src] += 1
         keep = set(wanted)
 
         for node in self.graph:
+            if node.name not in needed:
+                continue
             if node.op == "input":
                 if node.name not in feeds:
                     raise ExecutionError(f"missing feed for input {node.name!r}")
@@ -159,7 +183,4 @@ class Executor:
                     if remaining_uses[src] == 0 and src not in keep:
                         del values[src]
 
-        missing = [w for w in wanted if w not in values]
-        if missing:
-            raise ExecutionError(f"requested outputs never computed: {missing}")
         return {w: values[w] for w in wanted}

@@ -1,0 +1,367 @@
+"""Arena-backed plan executor: run a graph the way a device would.
+
+The reference :class:`~repro.runtime.executor.Executor` evaluates a
+graph in topological order with a dict of arrays — correct, but blind
+to everything the compiler worked out. :class:`PlanExecutor` instead
+executes under a compiled plan:
+
+* kernels run in **schedule order** (the memory-aware order found by
+  the scheduler, not the graph's insertion order);
+* every activation lives at its planned byte offset inside **one
+  preallocated arena** (the :class:`~repro.allocator.arena.AllocationPlan`
+  produced by the TFLite-style offset allocators);
+* buffer aliasing is honoured physically: an in-place accumulation
+  writes over its target's bytes, and a view concat's operands are
+  produced directly into their slice of the shared output buffer
+  (:class:`~repro.graph.node.MemorySemantics`).
+
+The executor tracks the arena's measured high-water mark while it runs
+and raises if it ever exceeds ``AllocationPlan.arena_bytes`` — the
+plan's promise is checked on every execution, not assumed. Outputs are
+bitwise-identical to the reference executor (same kernels, same
+parameters, same float64 compute dtype); the parity suite in
+``tests/runtime/test_plan_executor.py`` asserts exactly that across the
+whole benchmark suite.
+
+Offsets inside a shared buffer
+------------------------------
+The :class:`~repro.scheduler.memory.BufferModel` says *which* tensors
+share a buffer; executing them also needs *where inside it* each tensor
+sits. That placement is solved once at construction: aliasing edges
+(``intra[u] == intra[target]`` for in-place nodes, ``intra[x_j] ==
+intra[view] + sum(bytes(x_0..x_{j-1}))`` for view operands) are
+propagated from each buffer's deepest consumer, then bounds-checked
+against the buffer extent. Inconsistent aliasing is rejected instead of
+silently corrupting memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.allocator.arena import AllocationPlan
+from repro.exceptions import ExecutionError
+from repro.graph.graph import Graph
+from repro.graph.node import Node
+from repro.runtime.executor import Params, init_params
+from repro.runtime.kernels import KERNELS
+from repro.scheduler.memory import BufferModel
+from repro.scheduler.schedule import Schedule
+
+__all__ = ["PlanExecutor", "PlanExecutionStats", "intra_buffer_offsets"]
+
+#: the reference executor computes in float64; the arena does the same
+#: so the two produce bitwise-identical outputs
+_EXEC_DTYPE = np.dtype(np.float64)
+
+
+def _view_operand_offsets(graph: Graph, node: Node) -> list[int]:
+    """Byte offset of each input occurrence inside a view node's output.
+
+    View concats stack their operands along axis 0 of a C-contiguous
+    tensor, so operand *j* starts at the summed bytes of operands
+    ``0..j-1`` (aliased or not — copied operands still occupy their
+    slice of the layout).
+    """
+    offsets: list[int] = []
+    cursor = 0
+    for src in node.inputs:
+        offsets.append(cursor)
+        cursor += graph.node(src).output.bytes
+    return offsets
+
+
+def intra_buffer_offsets(graph: Graph, model: BufferModel) -> dict[str, int]:
+    """Byte offset of every node's tensor *within* its shared buffer.
+
+    Plain (non-aliasing, non-aliased) tensors sit at offset 0 of their
+    own buffer. Aliasing constraints are propagated from each buffer's
+    deepest consumer backwards; a node constrained to two different
+    offsets (a tensor cannot be a slice of two places at once) raises
+    :class:`ExecutionError`, as does any placement escaping the buffer.
+    """
+    idx = model.index
+    n = idx.n
+    # adjacency: intra[a] == intra[b] + delta  <=>  (b, a, -delta)
+    edges: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+
+    def constrain(a: int, b: int, delta: int) -> None:
+        edges[a].append((b, delta))
+        edges[b].append((a, -delta))
+
+    for i, name in enumerate(idx.order):
+        node = graph.node(name)
+        if node.memory.inplace_of is not None:
+            constrain(i, idx.index[node.inputs[node.memory.inplace_of]], 0)
+        elif node.memory.view:
+            aliased = node.attrs.get("view_inputs")
+            indices = range(len(node.inputs)) if aliased is None else aliased
+            rel = _view_operand_offsets(graph, node)
+            for j in indices:
+                # intra[input_j] == intra[view] + rel[j]
+                constrain(idx.index[node.inputs[j]], i, rel[j])
+
+    intra: list[int | None] = [None] * n
+    for root in range(n - 1, -1, -1):  # deepest consumers first
+        if intra[root] is not None:
+            continue
+        intra[root] = 0
+        stack = [root]
+        while stack:
+            a = stack.pop()
+            base = intra[a]
+            assert base is not None
+            for b, delta in edges[a]:
+                want = base - delta
+                if intra[b] is None:
+                    intra[b] = want
+                    stack.append(b)
+                elif intra[b] != want:
+                    raise ExecutionError(
+                        f"inconsistent buffer aliasing: {idx.order[b]!r} is "
+                        f"placed at byte {intra[b]} and {want} of the same "
+                        "buffer"
+                    )
+
+    # normalise each buffer to start at 0 and check every member fits
+    from repro.graph.analysis import bits
+
+    for b in range(model.n_buffers):
+        members = list(bits(model.buf_members[b]))
+        lo = min(intra[i] for i in members)  # type: ignore[type-var]
+        for i in members:
+            intra[i] -= lo  # type: ignore[operator]
+            if intra[i] + idx.out_bytes[i] > model.buf_size[b]:  # type: ignore[operator]
+                raise ExecutionError(
+                    f"tensor {idx.order[i]!r} at intra-buffer byte "
+                    f"{intra[i]} escapes its {model.buf_size[b]}-byte buffer"
+                )
+    return {idx.order[i]: int(intra[i]) for i in range(n)}  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class PlanExecutionStats:
+    """Arena accounting measured during one :meth:`PlanExecutor.run`."""
+
+    steps: int
+    #: the plan's promised capacity
+    arena_bytes: int
+    #: highest byte extent any live buffer actually reached
+    measured_peak_bytes: int
+
+    @property
+    def utilization(self) -> float:
+        """Measured peak as a fraction of the planned arena."""
+        return (
+            self.measured_peak_bytes / self.arena_bytes if self.arena_bytes else 1.0
+        )
+
+
+class PlanExecutor:
+    """Execute a graph under a schedule and arena plan.
+
+    >>> px = PlanExecutor(model.graph, model.schedule, model.plan)
+    >>> outputs = px.run(random_feeds(model.graph))
+    >>> px.last_stats.measured_peak_bytes <= model.plan.arena_bytes
+    True
+
+    Parameters mirror the reference executor: ``params`` defaults to the
+    deterministic per-node random initialisation, so the same
+    ``(graph, seed)`` pair yields bitwise-identical outputs under both
+    executors.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        schedule: Schedule,
+        plan: AllocationPlan,
+        params: Params | None = None,
+        seed: int = 0,
+        model: BufferModel | None = None,
+    ) -> None:
+        schedule.validate(graph)
+        self.graph = graph
+        self.schedule = schedule
+        self.plan = plan
+        self.params = params if params is not None else init_params(graph, seed)
+        self.model = model or BufferModel.of(graph)
+        self.last_stats: PlanExecutionStats | None = None
+
+        idx = self.model.index
+        if set(plan.offsets) != set(range(self.model.n_buffers)):
+            raise ExecutionError(
+                "allocation plan does not cover the graph's buffers "
+                f"({len(plan.offsets)} offsets for {self.model.n_buffers} buffers)"
+            )
+        for lt in plan.lifetimes:
+            if self.model.buf_size[lt.buffer_id] != lt.size:
+                raise ExecutionError(
+                    f"allocation plan disagrees with the graph: buffer "
+                    f"{lt.buffer_id} is {lt.size} bytes in the plan, "
+                    f"{self.model.buf_size[lt.buffer_id]} in the graph"
+                )
+
+        itemsizes = {graph.node(name).output.dtype.itemsize for name in idx.order}
+        if len(itemsizes) != 1:
+            raise ExecutionError(
+                "PlanExecutor requires a uniform tensor itemsize "
+                f"(found {sorted(itemsizes)}); use the reference Executor "
+                "for mixed-dtype graphs"
+            )
+        self._itemsize = itemsizes.pop()
+
+        intra = intra_buffer_offsets(graph, self.model)
+        self._check_write_hazards(intra)
+        self._elem_offset: dict[str, int] = {}
+        for i, name in enumerate(idx.order):
+            byte_off = plan.offsets[self.model.buffer_of[i]] + intra[name]
+            if byte_off % self._itemsize:
+                raise ExecutionError(
+                    f"planned offset {byte_off} of {name!r} is not aligned "
+                    f"to the {self._itemsize}-byte element size"
+                )
+            self._elem_offset[name] = byte_off // self._itemsize
+        self._arena_elems = -(-plan.arena_bytes // self._itemsize)
+
+    def _check_write_hazards(self, intra: dict[str, int]) -> None:
+        """Reject schedules under which buffer sharing corrupts a read.
+
+        Two members of one buffer with overlapping byte ranges are fine
+        only while nobody reads the earlier tensor after the later one
+        writes — e.g. an in-place accumulator whose target has a second
+        consumer scheduled after the overwrite would silently read the
+        *new* bytes. A view node rewriting an aliased operand's slice
+        is exempt: it copies the identical bytes back.
+        """
+        from repro.graph.analysis import bits
+
+        graph, model = self.graph, self.model
+        idx = model.index
+        pos = self.schedule.positions()
+
+        def aliased_inputs(node: Node) -> set[str]:
+            indices = node.attrs.get("view_inputs")
+            if indices is None:
+                indices = range(len(node.inputs))
+            return {node.inputs[j] for j in indices}
+
+        for b in range(model.n_buffers):
+            members = [
+                (idx.order[i], intra[idx.order[i]], idx.out_bytes[i])
+                for i in bits(model.buf_members[b])
+            ]
+            for vi, (a, a_off, a_sz) in enumerate(members):
+                for b2, b_off, b_sz in members[vi + 1 :]:
+                    if not (a_off < b_off + b_sz and b_off < a_off + a_sz):
+                        continue  # disjoint slices (e.g. view operands)
+                    # late (scheduled later) writes over early's bytes
+                    early, late = (a, b2) if pos[a] <= pos[b2] else (b2, a)
+                    writer = graph.node(late)
+                    if writer.memory.view and early in aliased_inputs(writer):
+                        continue  # byte-preserving copy-back
+                    clobbered = [
+                        c
+                        for c in graph.succs(early)
+                        if c != late and pos[c] > pos[late]
+                    ]
+                    if clobbered:
+                        raise ExecutionError(
+                            f"schedule is unsafe for this buffer layout: "
+                            f"{late!r} overwrites {early!r}'s bytes at step "
+                            f"{pos[late]}, but {clobbered[0]!r} still reads "
+                            f"{early!r} at step {pos[clobbered[0]]}"
+                        )
+
+    # ------------------------------------------------------------------
+    def _site(self, arena: np.ndarray, name: str) -> np.ndarray:
+        """The arena view holding ``name``'s activation."""
+        node = self.graph.node(name)
+        start = self._elem_offset[name]
+        return arena[start : start + node.output.elements].reshape(node.output.shape)
+
+    def run(
+        self,
+        feeds: Mapping[str, np.ndarray],
+        outputs: Iterable[str] | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Execute the full schedule inside one arena.
+
+        Returns copies of the requested ``outputs`` (default: graph
+        sinks) — an intermediate output is snapshotted the moment it is
+        produced, before any later in-place consumer can overwrite its
+        bytes. Sets :attr:`last_stats` with the measured arena peak and
+        raises :class:`ExecutionError` if that peak ever exceeds the
+        plan's ``arena_bytes``.
+        """
+        wanted = list(outputs) if outputs is not None else self.graph.sinks
+        unknown = [w for w in wanted if w not in self.graph]
+        if unknown:
+            raise ExecutionError(f"requested outputs never computed: {unknown}")
+
+        model = self.model
+        idx = model.index
+        arena = np.zeros(self._arena_elems, dtype=_EXEC_DTYPE)
+        snapshots: dict[str, np.ndarray] = {}
+        want = set(wanted)
+
+        live: set[int] = set()
+        executed = 0
+        measured_peak = 0
+        for name in self.schedule:
+            node = self.graph.node(name)
+            u = idx.index[name]
+            b = model.buffer_of[u]
+            live.add(b)
+            extent = max(
+                self.plan.offsets[bb] + model.buf_size[bb] for bb in live
+            )
+            measured_peak = max(measured_peak, extent)
+            if measured_peak > self.plan.arena_bytes:
+                raise ExecutionError(
+                    f"arena overflow at {name!r}: measured high-water mark "
+                    f"{measured_peak} exceeds the planned "
+                    f"{self.plan.arena_bytes} bytes"
+                )
+
+            site = self._site(arena, name)
+            if node.op == "input":
+                if name not in feeds:
+                    raise ExecutionError(f"missing feed for input {name!r}")
+                value = np.asarray(feeds[name], dtype=_EXEC_DTYPE)
+                if tuple(value.shape) != node.output.shape:
+                    raise ExecutionError(
+                        f"feed {name!r} has shape {value.shape}, "
+                        f"expected {node.output.shape}"
+                    )
+            else:
+                kernel = KERNELS.get(node.op)
+                if kernel is None:
+                    raise ExecutionError(f"no kernel for op {node.op!r}")
+                args = [self._site(arena, src) for src in node.inputs]
+                value = kernel(args, node.attrs, self.params.get(name, {}))
+                if tuple(value.shape) != node.output.shape:
+                    raise ExecutionError(
+                        f"kernel {node.op!r} produced shape {value.shape} for "
+                        f"{name!r}, spec says {node.output.shape}"
+                    )
+            site[...] = value
+            if name in want:
+                snapshots[name] = site.copy()
+
+            executed |= 1 << u
+            for b2 in model.check_buffers[u]:
+                if model.buf_persistent[b2]:
+                    continue
+                if not (model.buf_required[b2] & ~executed):
+                    live.discard(b2)
+
+        self.last_stats = PlanExecutionStats(
+            steps=len(self.schedule),
+            arena_bytes=self.plan.arena_bytes,
+            measured_peak_bytes=measured_peak,
+        )
+        return {w: snapshots[w] for w in wanted}

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.graph.analysis import GraphIndex, bits
+from repro.graph.analysis import bits
 from repro.graph.graph import Graph
 from repro.scheduler.memory import BufferModel
 from repro.scheduler.schedule import Schedule

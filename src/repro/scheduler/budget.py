@@ -24,7 +24,7 @@ exhausted (in practice the search converges in a handful of probes).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.exceptions import BudgetSearchError, NoSolutionError, StepTimeoutError
 from repro.graph.graph import Graph

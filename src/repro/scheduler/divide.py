@@ -14,12 +14,12 @@ verifies the equality against whole-graph DP on random hourglass graphs.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.graph.graph import Graph
 from repro.graph.partition import Segment, partition_at_cuts
 from repro.scheduler.budget import AdaptiveSoftBudgetScheduler, BudgetSearchResult
-from repro.scheduler.dp import DPResult, DPScheduler
+from repro.scheduler.dp import DPScheduler
 from repro.scheduler.memory import simulate_schedule
 from repro.scheduler.schedule import Schedule
 

@@ -26,10 +26,10 @@ drives:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.exceptions import NoSolutionError, StepTimeoutError
-from repro.graph.analysis import GraphIndex, bits
+from repro.graph.analysis import bits
 from repro.graph.graph import Graph
 from repro.scheduler.memory import BufferModel
 from repro.scheduler.schedule import Schedule

@@ -10,7 +10,7 @@ builds the DP. Included to quantify that gap in the benchmarks.
 from __future__ import annotations
 
 from repro.exceptions import SchedulingError
-from repro.graph.analysis import GraphIndex, bits
+from repro.graph.analysis import bits
 from repro.graph.graph import Graph
 from repro.scheduler.memory import BufferModel
 from repro.scheduler.schedule import Schedule

@@ -30,7 +30,7 @@ from functools import cached_property
 
 import numpy as np
 
-from repro.graph.analysis import GraphIndex, bits
+from repro.graph.analysis import GraphIndex
 from repro.graph.graph import Graph
 from repro.scheduler.schedule import Schedule
 

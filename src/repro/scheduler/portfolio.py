@@ -53,6 +53,8 @@ __all__ = [
     "BatchReport",
     "PortfolioCompiler",
     "schedule_from_entry",
+    "outcome_from_cache",
+    "store_outcome",
 ]
 
 
@@ -82,6 +84,63 @@ def schedule_from_entry(entry: CacheEntry, target: Graph) -> Schedule | None:
     except InvalidScheduleError:
         return None
     return schedule
+
+
+def outcome_from_cache(
+    cache: ScheduleCache,
+    spec: StrategySpec,
+    signature: str,
+    graph: Graph,
+    rewritten: Callable[[], Graph],
+) -> StrategyOutcome | None:
+    """Serve one (graph, strategy) pair from the persistent cache.
+
+    Peaks are recomputed by replaying the served schedule rather than
+    trusted from the entry, so a bad entry can at worst cause a
+    recompute, never a wrong number. Shared by the portfolio compiler
+    and the :class:`~repro.compiler.pipeline.CompilationPipeline`.
+    """
+    from repro.allocator.arena import arena_peak_bytes
+    from repro.scheduler.memory import simulate_schedule
+
+    entry = cache.get(signature, spec.cache_key)
+    if entry is None:
+        return None
+    target = rewritten() if spec.rewrites else graph
+    schedule = schedule_from_entry(entry, target)
+    if schedule is None:
+        return None
+    return StrategyOutcome(
+        strategy=spec.name,
+        schedule=schedule,
+        scheduled_graph=target,
+        peak_bytes=simulate_schedule(target, schedule, validate=False).peak_bytes,
+        arena_bytes=arena_peak_bytes(target, schedule),
+        time_s=float(entry.meta.get("time_s", 0.0)),
+        cached=True,
+    )
+
+
+def store_outcome(
+    cache: ScheduleCache,
+    signature: str,
+    spec: StrategySpec,
+    out: StrategyOutcome,
+) -> None:
+    """Record a freshly-compiled outcome under the strategy's cache key."""
+    keys = canonical_node_keys(out.scheduled_graph)
+    cache.put(
+        CacheEntry(
+            signature=signature,
+            strategy_key=spec.cache_key,
+            graph_name=out.scheduled_graph.name,
+            order=out.schedule.order,
+            canon_order=tuple(keys[n] for n in out.schedule.order),
+            peak_bytes=out.peak_bytes,
+            arena_bytes=out.arena_bytes,
+            meta={"time_s": out.time_s, "strategy": spec.name},
+        )
+    )
 
 
 @dataclass(frozen=True)
@@ -240,50 +299,14 @@ class PortfolioCompiler:
         graph: Graph,
         rewritten: Callable[[], Graph],
     ) -> StrategyOutcome | None:
-        """Serve one (graph, strategy) pair from the cache.
-
-        Peaks are recomputed by replaying the served schedule rather
-        than trusted from the entry, so a bad entry can at worst cause
-        a recompute, never a wrong number.
-        """
-        from repro.allocator.arena import arena_peak_bytes
-        from repro.scheduler.memory import simulate_schedule
-
         if self.cache is None:
             return None
-        entry = self.cache.get(signature, spec.cache_key)
-        if entry is None:
-            return None
-        target = rewritten() if spec.rewrites else graph
-        schedule = schedule_from_entry(entry, target)
-        if schedule is None:
-            return None
-        return StrategyOutcome(
-            strategy=spec.name,
-            schedule=schedule,
-            scheduled_graph=target,
-            peak_bytes=simulate_schedule(target, schedule, validate=False).peak_bytes,
-            arena_bytes=arena_peak_bytes(target, schedule),
-            time_s=float(entry.meta.get("time_s", 0.0)),
-            cached=True,
-        )
+        return outcome_from_cache(self.cache, spec, signature, graph, rewritten)
 
     def _store(self, signature: str, spec: StrategySpec, out: StrategyOutcome) -> None:
         if self.cache is None:
             return
-        keys = canonical_node_keys(out.scheduled_graph)
-        self.cache.put(
-            CacheEntry(
-                signature=signature,
-                strategy_key=spec.cache_key,
-                graph_name=out.scheduled_graph.name,
-                order=out.schedule.order,
-                canon_order=tuple(keys[n] for n in out.schedule.order),
-                peak_bytes=out.peak_bytes,
-                arena_bytes=out.arena_bytes,
-                meta={"time_s": out.time_s, "strategy": spec.name},
-            )
-        )
+        store_outcome(self.cache, signature, spec, out)
 
     # ------------------------------------------------------------------
     # compilation

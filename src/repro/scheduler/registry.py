@@ -28,7 +28,7 @@ numbers are comparable across strategies by construction.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from repro.exceptions import SchedulingError

@@ -9,7 +9,7 @@ Fig 10's "+ Memory Allocator" series).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.graph.graph import Graph
 from repro.scheduler.divide import DivideAndConquerResult, DivideAndConquerScheduler
@@ -57,6 +57,31 @@ class SerenityReport:
     scheduling_time_s: float
     rewrite_count: int
     divide: DivideAndConquerResult | None = None
+    #: True when the report was rebuilt from a persistent cache entry
+    #: (schedule replayed; DP search statistics not available)
+    from_cache: bool = False
+
+    def search_stats(self) -> DivideAndConquerResult:
+        """The DP search statistics, or a loud error explaining why not.
+
+        Cache-rebuilt reports replay the schedule without re-running the
+        search, so ``divide`` is ``None``; harnesses that need
+        ``states_expanded`` must compile directly (or disable the cache)
+        rather than read a silent zero.
+        """
+        if self.divide is None:
+            from repro.exceptions import SchedulingError
+
+            hint = (
+                " (report was rebuilt from the schedule cache; compile "
+                "directly or set REPRO_NO_CACHE=1 to get search statistics)"
+                if self.from_cache
+                else ""
+            )
+            raise SchedulingError(
+                f"no search statistics for {self.graph.name!r}{hint}"
+            )
+        return self.divide
 
     @property
     def reduction_no_alloc(self) -> float:

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.allocator.export import export_plan, plan_to_dict
 from repro.scheduler.dp import dp_schedule

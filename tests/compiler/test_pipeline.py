@@ -1,0 +1,202 @@
+"""CompilationPipeline and CompiledModel: compile, freeze, round-trip,
+and interoperate with the persistent schedule cache."""
+
+import json
+
+import pytest
+
+from repro.compiler import (
+    ARTIFACT_FORMAT,
+    CompilationPipeline,
+    CompiledModel,
+    compiled_model_from_report,
+)
+from repro.exceptions import ExecutionError, GraphError, SchedulingError
+from repro.scheduler.cache import ScheduleCache
+from repro.scheduler.device import SPARKFUN_EDGE, DeviceSpec
+from repro.scheduler.portfolio import PortfolioCompiler
+from repro.scheduler.registry import get_strategy
+from repro.scheduler.serenity import Serenity, SerenityConfig
+
+
+class TestPipeline:
+    def test_compile_produces_consistent_model(self, diamond_graph):
+        model = CompilationPipeline("greedy").compile(diamond_graph)
+        model.schedule.validate(model.graph)
+        model.plan.validate()
+        assert model.strategy == "greedy"
+        assert model.arena_bytes == model.plan.arena_bytes
+        assert model.meta["source_nodes"] == len(diamond_graph)
+        assert model.meta["nodes"] == len(model.graph)
+        assert not model.meta["cached"]
+        assert model.source_signature == model.signature  # no rewriting
+
+    def test_rewriting_strategy_changes_signature(self, concat_depthwise_graph):
+        model = CompilationPipeline("serenity-fast").compile(
+            concat_depthwise_graph
+        )
+        assert len(model.graph) != len(concat_depthwise_graph)
+        assert model.source_signature != model.signature
+
+    def test_unknown_strategy_fails_fast(self):
+        with pytest.raises(SchedulingError, match="unknown strategy"):
+            CompilationPipeline("made-up")
+
+    def test_device_verdict_recorded(self, diamond_graph):
+        model = CompilationPipeline("greedy", device=SPARKFUN_EDGE).compile(
+            diamond_graph
+        )
+        assert model.device == SPARKFUN_EDGE
+        assert model.fits_device is True and model.meta["fits"] is True
+        tiny = DeviceSpec("tiny", 16)
+        model = CompilationPipeline("greedy", device=tiny).compile(diamond_graph)
+        assert model.fits_device is False
+
+    def test_verify_flag_checks_parity(self, diamond_graph):
+        model = CompilationPipeline("greedy", verify=True).compile(diamond_graph)
+        assert model.arena_bytes > 0
+
+    def test_allocator_choice(self, diamond_graph):
+        ff = CompilationPipeline("kahn", allocator="first_fit")
+        gbs = CompilationPipeline("kahn", allocator="greedy_by_size")
+        assert ff.compile(diamond_graph).plan.strategy == "first_fit"
+        assert gbs.compile(diamond_graph).plan.strategy == "greedy_by_size"
+
+
+class TestCacheInterop:
+    def test_pipeline_warms_and_reads_cache(self, tmp_path, diamond_graph):
+        cache = ScheduleCache(tmp_path)
+        pipe = CompilationPipeline("greedy", cache=cache)
+        cold = pipe.compile(diamond_graph)
+        assert not cold.meta["cached"] and len(cache) == 1
+        warm = pipe.compile(diamond_graph)
+        assert warm.meta["cached"]
+        assert warm.schedule.order == cold.schedule.order
+        assert warm.plan.offsets == cold.plan.offsets
+
+    def test_portfolio_entries_served_to_pipeline(self, tmp_path, diamond_graph):
+        """compile-batch warms the exact keys the pipeline looks up."""
+        cache = ScheduleCache(tmp_path)
+        PortfolioCompiler(["greedy"], cache=cache).compile(diamond_graph)
+        model = CompilationPipeline("greedy", cache=cache).compile(diamond_graph)
+        assert model.meta["cached"]
+
+    def test_artifact_keyed_by_graph_signature(self, tmp_path, diamond_graph):
+        cache = ScheduleCache(tmp_path)
+        model = CompilationPipeline("greedy", cache=cache).compile(diamond_graph)
+        spec = get_strategy("greedy")
+        entry = cache.get(model.source_signature, spec.cache_key)
+        assert entry is not None
+        assert tuple(entry.order) == model.schedule.order
+
+
+class TestArtifactRoundTrip:
+    def test_save_load_round_trip(self, tmp_path, diamond_graph):
+        model = CompilationPipeline("greedy", device=SPARKFUN_EDGE).compile(
+            diamond_graph
+        )
+        path = model.save(tmp_path / "m.json")
+        loaded = CompiledModel.load(path)
+        assert loaded.graph == model.graph
+        assert loaded.schedule.order == model.schedule.order
+        assert loaded.plan.offsets == model.plan.offsets
+        assert loaded.plan.arena_bytes == model.plan.arena_bytes
+        assert loaded.signature == model.signature
+        assert loaded.source_signature == model.source_signature
+        assert loaded.device == SPARKFUN_EDGE
+        assert loaded.strategy == "greedy"
+
+    def test_loaded_model_executes(self, tmp_path, diamond_graph):
+        from repro.runtime import random_feeds, verify_execution
+
+        model = CompilationPipeline("serenity-fast").compile(diamond_graph)
+        path = model.save(tmp_path / "m.json")
+        loaded = CompiledModel.load(path)
+        assert verify_execution(loaded).equivalent
+        px = loaded.executor()
+        px.run(random_feeds(loaded.graph))
+        assert px.last_stats.measured_peak_bytes <= loaded.arena_bytes
+
+    def test_format_versioned(self, tmp_path, diamond_graph):
+        model = CompilationPipeline("kahn").compile(diamond_graph)
+        doc = model.to_doc()
+        assert doc["format"] == ARTIFACT_FORMAT
+        doc["format"] = "bogus/9"
+        with pytest.raises(GraphError, match="unsupported"):
+            CompiledModel.from_doc(doc)
+
+    def test_tampered_graph_rejected(self, tmp_path, diamond_graph):
+        model = CompilationPipeline("kahn").compile(diamond_graph)
+        path = model.save(tmp_path / "m.json")
+        doc = json.loads(path.read_text())
+        doc["graph"]["nodes"][1]["attrs"]["out_channels"] = 999
+        with pytest.raises(GraphError, match="signature"):
+            CompiledModel.from_doc(doc)
+
+    def test_tampered_schedule_rejected(self, tmp_path, diamond_graph):
+        from repro.exceptions import InvalidScheduleError
+
+        model = CompilationPipeline("kahn").compile(diamond_graph)
+        doc = model.to_doc()
+        doc["plan"]["schedule"] = list(reversed(doc["plan"]["schedule"]))
+        with pytest.raises(InvalidScheduleError):
+            CompiledModel.from_doc(doc)
+
+
+class TestFromReport:
+    def test_report_freezes_to_artifact(self, concat_depthwise_graph):
+        report = Serenity(SerenityConfig(max_states_per_step=2_000)).compile(
+            concat_depthwise_graph
+        )
+        model = compiled_model_from_report(report)
+        assert model.graph == report.scheduled_graph
+        assert model.schedule.order == report.schedule.order
+        assert model.meta["rewrite_count"] == report.rewrite_count
+        assert model.arena_bytes == report.arena_bytes
+        from repro.runtime import verify_execution
+
+        assert verify_execution(model).equivalent
+
+
+class TestSearchStatsSatellite:
+    def test_fresh_report_has_stats(self, diamond_graph):
+        report = Serenity(SerenityConfig(max_states_per_step=2_000)).compile(
+            diamond_graph
+        )
+        assert not report.from_cache
+        assert report.search_stats().states_expanded > 0
+
+    def test_cache_rebuilt_report_fails_loudly(self, tmp_path, monkeypatch):
+        from repro.experiments import common
+        from repro.models.suite import get_cell
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        common.clear_cache()
+        spec = get_cell("swiftnet-c")
+        fresh = common.compiled(spec, rewrite=False)
+        assert not fresh.from_cache
+        common.clear_cache()  # drop the memo; force the persistent layer
+        rebuilt = common.compiled(spec, rewrite=False)
+        assert rebuilt.from_cache and rebuilt.divide is None
+        with pytest.raises(SchedulingError, match="schedule cache"):
+            rebuilt.search_stats()
+        common.clear_cache()
+
+    def test_verify_failure_raises(self, diamond_graph, monkeypatch):
+        """A pipeline whose plan diverges from the reference must not
+        hand back an artifact."""
+
+        class Lying:
+            equivalent = False
+            max_abs_error = 1.0
+
+            def __bool__(self):
+                return False
+
+        monkeypatch.setattr(
+            "repro.runtime.verify.verify_execution", lambda model: Lying()
+        )
+        pipe = CompilationPipeline("kahn", verify=True)
+        with pytest.raises(ExecutionError, match="diverges"):
+            pipe.compile(diamond_graph)

@@ -107,3 +107,109 @@ class TestCLI:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["bogus"])
+
+
+class TestCompileRun:
+    def test_compile_writes_artifact(self, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        assert (
+            main(
+                [
+                    "compile", "--cell", "swiftnet-c", "-o", str(out),
+                    "--strategy", "greedy", "--no-cache",
+                ]
+            )
+            == 0
+        )
+        text = capsys.readouterr().out
+        assert "artifact written to" in text and "arena peak" in text
+        assert out.exists()
+
+    def test_run_executes_artifact(self, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        main(["compile", "--cell", "swiftnet-c", "-o", str(out),
+              "--strategy", "serenity-fast", "--no-cache"])
+        capsys.readouterr()
+        assert main(["run", str(out), "--verify"]) == 0
+        text = capsys.readouterr().out
+        assert "measured high-water mark" in text
+        assert "bitwise-equal" in text
+
+    def test_compile_over_budget_exit_code(self, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        # darts-normal needs ~1.3MB arena; no strategy fits 250KB
+        assert (
+            main(
+                [
+                    "compile", "--cell", "darts-normal", "-o", str(out),
+                    "--strategy", "kahn", "--no-cache",
+                    "--device", "SparkFun Edge",
+                ]
+            )
+            == 1
+        )
+        assert "OVER BUDGET" in capsys.readouterr().out
+
+    def test_compile_requires_source(self, tmp_path, capsys):
+        assert main(["compile", "-o", str(tmp_path / "m.json")]) == 2
+
+    def test_compile_missing_graph_file_clean_error(self, tmp_path, capsys):
+        assert (
+            main(["compile", "--graph", str(tmp_path / "nope.json"),
+                  "-o", str(tmp_path / "m.json")])
+            == 2
+        )
+        assert "cannot load graph" in capsys.readouterr().err
+
+    def test_run_rejects_corrupt_artifact(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "m.json"
+        main(["compile", "--cell", "swiftnet-c", "-o", str(out),
+              "--strategy", "kahn", "--no-cache"])
+        capsys.readouterr()
+        doc = json.loads(out.read_text())
+        doc["graph"]["nodes"][1]["op"] = "relu"  # tamper
+        out.write_text(json.dumps(doc))
+        assert main(["run", str(out)]) == 2
+        assert "cannot load artifact" in capsys.readouterr().err
+
+    def test_compile_uses_schedule_cache(self, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        args = [
+            "compile", "--cell", "swiftnet-c", "-o", str(out),
+            "--strategy", "greedy", "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "cached schedule" in capsys.readouterr().out
+
+    def test_compile_run_across_processes(self, tmp_path):
+        """The acceptance criterion: compile in one process, run in a
+        genuinely fresh one."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        out = tmp_path / "m.json"
+        env = dict(os.environ)
+        repo_src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+        compile_proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "compile",
+             "--cell", "swiftnet-c", "-o", str(out),
+             "--strategy", "greedy", "--no-cache"],
+            capture_output=True, text=True, env=env,
+        )
+        assert compile_proc.returncode == 0, compile_proc.stderr
+        run_proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "run", str(out), "--verify"],
+            capture_output=True, text=True, env=env,
+        )
+        assert run_proc.returncode == 0, run_proc.stderr
+        assert "bitwise-equal" in run_proc.stdout
+        assert "measured high-water mark" in run_proc.stdout

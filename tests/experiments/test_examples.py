@@ -7,7 +7,6 @@ entry points.
 
 import io
 import runpy
-import sys
 from contextlib import redirect_stdout
 from pathlib import Path
 

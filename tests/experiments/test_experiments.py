@@ -39,6 +39,14 @@ class TestCommon:
         runs = common.suite_runs(FAST)
         assert [r.spec.key for r in runs] == FAST
 
+    def test_compile_model_freezes_memoised_report(self):
+        spec = next(s for s in _cells() if s.key == "swiftnet-c")
+        report = common.compiled(spec, rewrite=True)
+        model = common.compile_model(spec, rewrite=True)
+        assert model.schedule.order == report.schedule.order
+        assert model.arena_bytes == report.arena_bytes
+        assert model.graph == report.scheduled_graph
+
 
 def _cells():
     from repro.models.suite import suite_cells

@@ -1,6 +1,5 @@
 """Single-node cut detection and divide-and-conquer partitioning."""
 
-import pytest
 
 from repro.graph.builder import GraphBuilder
 from repro.graph.partition import find_cut_nodes, partition_at_cuts

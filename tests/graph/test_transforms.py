@@ -1,6 +1,5 @@
 """Concat view marking (TFLite-style buffer sharing)."""
 
-import pytest
 
 from repro.graph.builder import GraphBuilder
 from repro.graph.transforms import mark_concat_views

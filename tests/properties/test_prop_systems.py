@@ -3,7 +3,6 @@ serialization, rewriting equivalence)."""
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.allocator.arena import plan_allocation

@@ -1,6 +1,5 @@
 """Extension rewrite rules: concat flattening and identity elimination."""
 
-import pytest
 
 from repro.graph.builder import GraphBuilder
 from repro.rewriting.extra_rules import (

@@ -1,6 +1,5 @@
 """Pattern matching and the two rewrite rules' emitted structure."""
 
-import pytest
 
 from repro.graph.builder import GraphBuilder
 from repro.rewriting.patterns import concat_sole_consumer_matches

@@ -77,6 +77,47 @@ class TestExecutor:
         with pytest.raises(ExecutionError, match="no kernel"):
             Executor(g).run({"x": np.zeros((1, 2, 2))})
 
+    def test_subset_outputs_prune_execution(self, net):
+        """Only ancestors of the requested outputs execute."""
+        executed = []
+        ex = Executor(net)
+        import repro.runtime.executor as mod
+
+        original = dict(mod.KERNELS)
+
+        def spy(op):
+            def run(inputs, attrs, params):
+                executed.append(op)
+                return original[op](inputs, attrs, params)
+
+            return run
+
+        for op in original:
+            mod.KERNELS[op] = spy(op)
+        try:
+            ex.run(random_feeds(net), outputs=["r"])
+        finally:
+            mod.KERNELS.clear()
+            mod.KERNELS.update(original)
+        # only conv2d (c) and relu (r) run — nothing downstream of r
+        assert sorted(executed) == ["conv2d", "relu"]
+
+    def test_subset_outputs_skip_unneeded_feeds(self):
+        """Inputs outside the requested subgraph need no feed."""
+        b = GraphBuilder("two-inputs")
+        x = b.input("x", (2, 4, 4))
+        y = b.input("y", (2, 4, 4))
+        b.relu(x, name="rx")
+        b.relu(y, name="ry")
+        g = b.build()
+        feeds = {"x": np.zeros((2, 4, 4))}
+        out = Executor(g).run(feeds, outputs=["rx"])  # no feed for y
+        assert set(out) == {"rx"}
+
+    def test_unknown_output_rejected(self, net):
+        with pytest.raises(ExecutionError, match="never computed"):
+            Executor(net).run(random_feeds(net), outputs=["nope"])
+
     def test_intermediate_freeing_doesnt_change_result(self, net):
         feeds = random_feeds(net)
         lean = Executor(net).run(feeds, outputs=["head"])

@@ -1,0 +1,312 @@
+"""PlanExecutor: bitwise parity with the reference executor, arena
+accounting, and aliasing edge cases feeding the arena."""
+
+import numpy as np
+import pytest
+
+from repro.allocator.arena import plan_allocation
+from repro.compiler import CompilationPipeline
+from repro.exceptions import ExecutionError
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.graph.node import MemorySemantics, Node
+from repro.graph.tensor import TensorSpec
+from repro.models.suite import suite_cells
+from repro.rewriting import rewrite_graph
+from repro.runtime.executor import Executor, init_params, random_feeds
+from repro.runtime.plan_executor import PlanExecutor, intra_buffer_offsets
+from repro.runtime.verify import verify_execution
+from repro.scheduler.memory import BufferModel
+from repro.scheduler.registry import run_strategy
+from repro.scheduler.schedule import Schedule
+
+
+def assert_parity(graph, schedule, plan, seed=0):
+    """Both executors, same weights/feeds: outputs must be bitwise equal."""
+    params = init_params(graph, seed=seed)
+    feeds = random_feeds(graph, seed=seed)
+    ref = Executor(graph, params=params).run(feeds)
+    px = PlanExecutor(graph, schedule, plan, params=params)
+    got = px.run(feeds)
+    assert set(ref) == set(got)
+    for name in ref:
+        np.testing.assert_array_equal(ref[name], got[name])
+    assert px.last_stats is not None
+    assert px.last_stats.measured_peak_bytes <= plan.arena_bytes
+    return px
+
+
+def compile_with(graph, strategy="greedy", allocator="first_fit"):
+    out = run_strategy(strategy, graph)
+    plan = plan_allocation(
+        out.scheduled_graph, out.schedule, strategy=allocator
+    )
+    return out.scheduled_graph, out.schedule, plan
+
+
+class TestSuiteParity:
+    """Every benchmark cell executes identically under the arena plan."""
+
+    @pytest.mark.parametrize(
+        "key", [c.key for c in suite_cells()]
+    )
+    def test_cell_parity(self, key):
+        spec = next(c for c in suite_cells() if c.key == key)
+        graph, schedule, plan = compile_with(spec.factory(), "greedy")
+        assert_parity(graph, schedule, plan)
+
+    @pytest.mark.parametrize(
+        "key", [c.key for c in suite_cells()]
+    )
+    def test_cell_parity_greedy_by_size_arena(self, key):
+        spec = next(c for c in suite_cells() if c.key == key)
+        graph, schedule, plan = compile_with(
+            spec.factory(), "kahn", allocator="greedy_by_size"
+        )
+        assert_parity(graph, schedule, plan)
+
+    def test_rewritten_cell_parity(self):
+        # serenity-fast rewrites: inplace partial-conv chains and view
+        # gather concats execute inside the arena
+        spec = next(c for c in suite_cells() if c.key == "swiftnet-c")
+        graph, schedule, plan = compile_with(spec.factory(), "serenity-fast")
+        assert any(n.memory.aliases for n in graph)
+        assert_parity(graph, schedule, plan)
+
+
+class TestAliasingEdgeCases:
+    def test_inplace_chain(self):
+        """acc += style chains share one buffer at one offset."""
+        b = GraphBuilder("inplace")
+        x = b.input("x", (4, 4, 4))
+        b.relu(x, name="r")
+        b.sigmoid(x, name="s")
+        g = b.build()
+        g.add(
+            Node(
+                name="acc",
+                op="add",
+                inputs=("r", "s"),
+                output=TensorSpec((4, 4, 4)),
+                memory=MemorySemantics(inplace_of=0),
+            )
+        )
+        g.add(
+            Node(
+                name="acc2",
+                op="add",
+                inputs=("acc", "s"),
+                output=TensorSpec((4, 4, 4)),
+                memory=MemorySemantics(inplace_of=0),
+            )
+        )
+        model = BufferModel.of(g)
+        intra = intra_buffer_offsets(g, model)
+        idx = model.index
+        assert (
+            model.buffer_of[idx.index["r"]]
+            == model.buffer_of[idx.index["acc"]]
+            == model.buffer_of[idx.index["acc2"]]
+        )
+        assert intra["r"] == intra["acc"] == intra["acc2"] == 0
+        schedule = Schedule.of(g, g.node_names)
+        assert_parity(g, schedule, plan_allocation(g, schedule))
+
+    def test_view_concat_offsets_and_parity(self, concat_conv_graph):
+        from repro.graph.transforms import mark_concat_views
+
+        g = mark_concat_views(concat_conv_graph)
+        assert g.node("cat").memory.view
+        model = BufferModel.of(g)
+        intra = intra_buffer_offsets(g, model)
+        # operands land at their slice offsets inside the concat buffer
+        assert intra["cat"] == 0
+        assert intra["l"] == 0
+        assert intra["m"] == g.node("l").output.bytes
+        assert intra["r"] == intra["m"] + g.node("m").output.bytes
+        schedule = Schedule.of(g, g.node_names)
+        assert_parity(g, schedule, plan_allocation(g, schedule))
+
+    def test_partial_view_copied_operand(self):
+        """A graph-input operand stays outside the view buffer and is
+        copied at concat time (``view_inputs`` partial aliasing)."""
+        from repro.graph.transforms import mark_concat_views
+
+        b = GraphBuilder("partial-view")
+        x = b.input("x", (2, 4, 4))
+        l = b.relu(x, name="l")
+        cat = b.concat([x, l], name="cat")
+        b.relu(cat, name="out")
+        g = mark_concat_views(b.build())
+        cat_node = g.node("cat")
+        assert cat_node.memory.view and cat_node.attrs["view_inputs"] == (1,)
+        model = BufferModel.of(g)
+        intra = intra_buffer_offsets(g, model)
+        # l aliases at its slice past x's (copied) region; x keeps its
+        # own buffer at offset 0
+        assert intra["l"] == g.node("x").output.bytes
+        assert intra["x"] == 0
+        idx = model.index
+        assert model.buffer_of[idx.index["x"]] != model.buffer_of[idx.index["cat"]]
+        schedule = Schedule.of(g, g.node_names)
+        assert_parity(g, schedule, plan_allocation(g, schedule))
+
+    def test_rewritten_graphs_parity(self, concat_conv_graph, concat_depthwise_graph):
+        for base in (concat_conv_graph, concat_depthwise_graph):
+            g = rewrite_graph(base).graph
+            assert any(n.memory.aliases for n in g)
+            schedule = Schedule.of(g, g.node_names)
+            assert_parity(g, schedule, plan_allocation(g, schedule))
+
+    def test_zero_use_outputs_persist(self):
+        """A sink nobody consumes still occupies its planned bytes and
+        is returned intact at the end."""
+        b = GraphBuilder("multi-sink")
+        x = b.input("x", (2, 4, 4))
+        b.relu(x, name="dead_end")  # zero consumers
+        c = b.conv2d(x, 4, kernel=3, name="c")
+        b.relu(c, name="main")
+        g = b.build()
+        schedule = Schedule.of(g, g.node_names)
+        plan = plan_allocation(g, schedule)
+        px = assert_parity(g, schedule, plan)
+        out = px.run(random_feeds(g))
+        assert set(out) == {"dead_end", "main"}
+
+    def test_inplace_overwrite_before_sibling_reader_rejected(self):
+        """A schedule that runs an in-place writer before another
+        consumer of its target would silently corrupt that read — the
+        executor must refuse it (and accept the safe order)."""
+        b = GraphBuilder("hazard")
+        x = b.input("x", (2, 2, 2))
+        b.relu(x, name="r")
+        g = b.build()
+        g.add(
+            Node(
+                name="over",
+                op="sigmoid",
+                inputs=("r",),
+                output=TensorSpec((2, 2, 2)),
+                memory=MemorySemantics(inplace_of=0),
+            )
+        )
+        g.add(
+            Node(
+                name="z", op="relu", inputs=("r",), output=TensorSpec((2, 2, 2))
+            )
+        )
+        unsafe = Schedule.of(g, ("x", "r", "over", "z"))
+        with pytest.raises(ExecutionError, match="unsafe"):
+            PlanExecutor(g, unsafe, plan_allocation(g, unsafe))
+        safe = Schedule.of(g, ("x", "r", "z", "over"))
+        assert_parity(g, safe, plan_allocation(g, safe))
+
+    def test_two_inplace_writers_on_one_target_rejected(self):
+        """Two independent in-place writers over the same bytes: in any
+        order, the later one reads a clobbered target — every pair in
+        the buffer must be checked, not just the first."""
+        b = GraphBuilder("double-writer")
+        x = b.input("x", (2, 2, 2))
+        b.relu(x, name="t")
+        g = b.build()
+        for name, op in (("wa", "sigmoid"), ("wb", "tanh")):
+            g.add(
+                Node(
+                    name=name,
+                    op=op,
+                    inputs=("t",),
+                    output=TensorSpec((2, 2, 2)),
+                    memory=MemorySemantics(inplace_of=0),
+                )
+            )
+        for order in (("x", "t", "wa", "wb"), ("x", "t", "wb", "wa")):
+            schedule = Schedule.of(g, order)
+            with pytest.raises(ExecutionError, match="unsafe"):
+                PlanExecutor(g, schedule, plan_allocation(g, schedule))
+
+    def test_intermediate_snapshot_before_inplace_overwrite(self):
+        """Requesting a tensor that an in-place consumer later clobbers
+        returns the as-produced value (reference semantics)."""
+        b = GraphBuilder("snap")
+        x = b.input("x", (2, 2, 2))
+        b.relu(x, name="r")
+        g = b.build()
+        g.add(
+            Node(
+                name="over",
+                op="sigmoid",
+                inputs=("r",),
+                output=TensorSpec((2, 2, 2)),
+                memory=MemorySemantics(inplace_of=0),
+            )
+        )
+        schedule = Schedule.of(g, g.node_names)
+        plan = plan_allocation(g, schedule)
+        feeds = random_feeds(g)
+        params = init_params(g)
+        ref = Executor(g, params=params).run(feeds, outputs=["r", "over"])
+        got = PlanExecutor(g, schedule, plan, params=params).run(
+            feeds, outputs=["r", "over"]
+        )
+        np.testing.assert_array_equal(ref["r"], got["r"])
+        np.testing.assert_array_equal(ref["over"], got["over"])
+
+
+class TestPlanExecutorErrors:
+    def test_plan_graph_mismatch_rejected(self, chain_graph, diamond_graph):
+        from repro.exceptions import ReproError
+
+        schedule = Schedule.of(diamond_graph, diamond_graph.node_names)
+        plan = plan_allocation(diamond_graph, schedule)
+        with pytest.raises(ReproError):
+            PlanExecutor(chain_graph, schedule, plan)
+
+    def test_missing_feed(self, chain_graph):
+        schedule = Schedule.of(chain_graph, chain_graph.node_names)
+        plan = plan_allocation(chain_graph, schedule)
+        with pytest.raises(ExecutionError, match="missing feed"):
+            PlanExecutor(chain_graph, schedule, plan).run({})
+
+    def test_unknown_output_rejected(self, chain_graph):
+        schedule = Schedule.of(chain_graph, chain_graph.node_names)
+        plan = plan_allocation(chain_graph, schedule)
+        with pytest.raises(ExecutionError, match="never computed"):
+            PlanExecutor(chain_graph, schedule, plan).run(
+                random_feeds(chain_graph), outputs=["nope"]
+            )
+
+    def test_mixed_itemsize_rejected(self):
+        g = Graph("mixed")
+        g.add(Node(name="x", op="input", inputs=(), output=TensorSpec((2, 2))))
+        g.add(
+            Node(
+                name="y",
+                op="identity",
+                inputs=("x",),
+                output=TensorSpec((2, 2), "int8"),
+            )
+        )
+        schedule = Schedule.of(g, g.node_names)
+        plan = plan_allocation(g, schedule)
+        with pytest.raises(ExecutionError, match="itemsize"):
+            PlanExecutor(g, schedule, plan)
+
+    def test_undersized_plan_overflows(self, chain_graph):
+        """A plan whose arena lies about its capacity is caught mid-run."""
+        from dataclasses import replace
+
+        schedule = Schedule.of(chain_graph, chain_graph.node_names)
+        plan = plan_allocation(chain_graph, schedule)
+        lying = replace(plan, arena_bytes=plan.arena_bytes // 2)
+        with pytest.raises(ExecutionError, match="arena overflow"):
+            PlanExecutor(chain_graph, schedule, lying).run(
+                random_feeds(chain_graph)
+            )
+
+
+class TestVerifyExecution:
+    def test_verify_execution_reports_equivalence(self, diamond_graph):
+        model = CompilationPipeline("greedy").compile(diamond_graph)
+        report = verify_execution(model)
+        assert report.equivalent
+        assert report.max_abs_error == 0.0

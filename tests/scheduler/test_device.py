@@ -1,6 +1,5 @@
 """Device-targeted compilation (fit_to_device escalation)."""
 
-import pytest
 
 from repro.scheduler.device import (
     AMBIQ_APOLLO3,

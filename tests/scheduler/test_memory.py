@@ -8,7 +8,6 @@ share buffers.
 
 import pytest
 
-from repro.graph.builder import GraphBuilder
 from repro.graph.graph import Graph
 from repro.graph.node import MemorySemantics, Node
 from repro.graph.tensor import TensorSpec

@@ -109,8 +109,6 @@ class TestCrossSubsystemConsistency:
 
     def test_serialization_round_trip_preserves_scheduling(self, tmp_path):
         from repro.graph import load_graph, save_graph
-        from repro.scheduler.dp import dp_schedule
-
         g = swiftnet_hpd()
         path = tmp_path / "hpd.json"
         save_graph(g, path)
