@@ -1,0 +1,118 @@
+"""Serving throughput: pooled arena reuse vs fresh-allocation-per-request.
+
+Drives identical synthetic workloads through the serving runtime
+(registry -> arena pool -> request scheduler) twice:
+
+* **pooled** — executors and their preallocated arenas are reused
+  across requests (micro-batching on), the deployment the compiled
+  plans exist for;
+* **fresh** — a new executor + arena per request, the naive baseline
+  the PR-2 hot path effectively imposed.
+
+Hard assertions:
+
+* pooled serving sustains **>= 2x** the baseline's requests/sec on the
+  micro serving suite (small irregular stages where per-request churn,
+  not kernel compute, dominates — the paper's edge regime);
+* a concurrent run (4 clients, 4 workers, 2 models resident) returns
+  outputs **bitwise-equal** to the reference executor for every single
+  request, with a warm arena-reuse hit rate.
+
+Marked ``slow``; set ``REPRO_BENCH_QUICK=1`` (as CI does) to shrink the
+request counts.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.compiler import CompilationPipeline
+from repro.models.suite import serving_suite
+from repro.serving import ModelRegistry, run_load
+
+pytestmark = pytest.mark.slow
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+REQUESTS = 120 if QUICK else 320
+CLIENTS = 4
+WORKERS = 4
+
+
+def build_registry() -> ModelRegistry:
+    registry = ModelRegistry()
+    pipeline = CompilationPipeline("greedy")
+    for name, factory in serving_suite().items():
+        registry.register(pipeline.compile(factory()), name=name)
+    return registry
+
+
+def run() -> dict:
+    registry = build_registry()
+    common = dict(
+        requests=REQUESTS, clients=CLIENTS, workers=WORKERS, seed=0
+    )
+    # warm both paths once so neither pays first-touch costs in the
+    # measured window
+    for reuse in (True, False):
+        run_load(registry, requests=CLIENTS, clients=CLIENTS,
+                 workers=WORKERS, reuse=reuse)
+    pooled = run_load(registry, max_batch=8, reuse=True, **common)
+    fresh = run_load(registry, max_batch=1, reuse=False, **common)
+    verified = run_load(
+        registry,
+        requests=max(24, REQUESTS // 4),
+        clients=CLIENTS,
+        workers=WORKERS,
+        max_batch=8,
+        reuse=True,
+        verify=True,
+    )
+    return {"pooled": pooled, "fresh": fresh, "verified": verified}
+
+
+def render(result: dict) -> str:
+    pooled, fresh, verified = result["pooled"], result["fresh"], result["verified"]
+    speedup = pooled.rps / fresh.rps if fresh.rps else float("inf")
+    lines = [
+        "serving throughput: pooled arena reuse vs fresh per request "
+        f"({'quick' if QUICK else 'full'} mode)",
+        "",
+        pooled.summary(),
+        "",
+        fresh.summary(),
+        "",
+        f"arena reuse speedup     : {speedup:9.2f}x requests/sec",
+        "",
+        "concurrent verification run:",
+        verified.summary(),
+    ]
+    return "\n".join(lines)
+
+
+def test_serving_smoke(benchmark, save_result):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("serving_smoke", render(result))
+
+    pooled, fresh, verified = result["pooled"], result["fresh"], result["verified"]
+    assert not pooled.errors and not fresh.errors and not verified.errors
+
+    # the serving layer is an executor, not an approximation: every
+    # concurrently served response is bitwise the reference executor's
+    assert len(verified.models) >= 2
+    assert verified.clients >= 4
+    assert verified.verified is True
+
+    # arena reuse actually happens, and it pays: >= 2x requests/sec
+    # over the fresh-allocation-per-request baseline
+    assert pooled.pool.hit_rate > 0.5
+    assert fresh.pool.hits == 0
+    assert pooled.rps >= 2.0 * fresh.rps, (
+        f"pooled {pooled.rps:.1f} req/s vs fresh {fresh.rps:.1f} req/s "
+        f"({pooled.rps / fresh.rps:.2f}x < 2x)"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual profiling entry
+    print(render(run()))

@@ -17,6 +17,7 @@ module map and EXPERIMENTS.md for the paper-reproduction results.
 """
 
 from repro.exceptions import (
+    AdmissionError,
     AllocationError,
     BudgetSearchError,
     CycleError,
@@ -27,6 +28,7 @@ from repro.exceptions import (
     ReproError,
     RewriteError,
     SchedulingError,
+    ServingError,
     ShapeError,
     StepTimeoutError,
     UnknownOpError,
@@ -74,6 +76,7 @@ from repro.compiler import CompilationPipeline, CompiledModel
 from repro.memsim import offchip_traffic
 from repro.rewriting import IdentityGraphRewriter, rewrite_graph
 from repro.runtime import Executor, PlanExecutor, verify_execution, verify_rewrite
+from repro.serving import ArenaPool, ModelRegistry, RequestScheduler
 
 __version__ = "1.0.0"
 
@@ -122,6 +125,10 @@ __all__ = [
     # compile pipeline
     "CompilationPipeline",
     "CompiledModel",
+    # serving runtime
+    "ModelRegistry",
+    "ArenaPool",
+    "RequestScheduler",
     # rewriting + runtime
     "IdentityGraphRewriter",
     "rewrite_graph",
@@ -143,4 +150,6 @@ __all__ = [
     "AllocationError",
     "RewriteError",
     "ExecutionError",
+    "ServingError",
+    "AdmissionError",
 ]

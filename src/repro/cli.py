@@ -10,6 +10,10 @@ Subcommands
                    the schedule report
 ``compile-batch``  portfolio-compile many graphs in parallel with the
                    persistent scheduling cache
+``serve``          load artifacts into the concurrent serving runtime
+                   and drive a synthetic request load through it
+``bench-serve``    serving throughput A/B: pooled arena reuse vs the
+                   fresh-allocation-per-request baseline
 ``experiment``     regenerate one of the paper's tables/figures
 ``list``           list benchmark cells, strategies and experiments
 
@@ -252,6 +256,99 @@ def _cmd_compile_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serving_budget(args: argparse.Namespace):
+    from repro.scheduler.device import resolve_budget
+
+    return resolve_budget(args.budget_device, args.budget_kb)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.exceptions import ReproError
+    from repro.serving import ModelRegistry, run_load
+
+    registry = ModelRegistry()
+    try:
+        for path in args.artifacts:
+            name = registry.load(path)
+            model = registry.get(name)
+            print(f"loaded {name}: {len(model.graph)} nodes, "
+                  f"arena {model.arena_bytes / 1024:.1f}KB ({model.strategy})")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        report = run_load(
+            registry,
+            requests=args.requests,
+            clients=args.clients,
+            workers=args.workers,
+            max_batch=args.max_batch,
+            budget=_serving_budget(args),
+            seed=args.seed,
+            reuse=not args.no_reuse,
+            scrub=args.scrub,
+            verify=args.verify,
+        )
+    except ReproError as exc:
+        print(f"error: serving run failed: {exc}", file=sys.stderr)
+        return 2
+    print()
+    print(report.summary())
+    return 0 if not report.errors and report.verified in (None, True) else 1
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.compiler import CompilationPipeline
+    from repro.exceptions import ReproError
+    from repro.models.suite import serving_suite
+    from repro.serving import ModelRegistry, run_load
+
+    registry = ModelRegistry()
+    try:
+        pipeline = CompilationPipeline(args.strategy)
+        if args.cells:
+            for key in args.cells:
+                registry.register(pipeline.compile(get_cell(key).factory()))
+        else:
+            for name, factory in serving_suite().items():
+                registry.register(pipeline.compile(factory()), name=name)
+    except ReproError as exc:
+        print(f"error: compilation failed: {exc}", file=sys.stderr)
+        return 2
+    print(f"compiled {len(registry)} models: {', '.join(registry.names())}")
+
+    budget = _serving_budget(args)
+    common = dict(
+        requests=args.requests,
+        clients=args.clients,
+        workers=args.workers,
+        budget=budget,
+        seed=args.seed,
+    )
+    try:
+        # warm both paths once so neither pays first-touch costs
+        run_load(registry, requests=args.clients, clients=args.clients,
+                 workers=args.workers, budget=budget, reuse=True)
+        run_load(registry, requests=args.clients, clients=args.clients,
+                 workers=args.workers, budget=budget, reuse=False)
+        pooled = run_load(
+            registry, max_batch=args.max_batch, reuse=True, **common
+        )
+        fresh = run_load(registry, max_batch=1, reuse=False, **common)
+    except ReproError as exc:
+        print(f"error: serving run failed: {exc}", file=sys.stderr)
+        return 2
+    print()
+    print(pooled.summary())
+    print()
+    print(fresh.summary())
+    print()
+    speedup = pooled.rps / fresh.rps if fresh.rps else float("inf")
+    print(f"arena reuse speedup     : {speedup:9.2f}x requests/sec")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
 
@@ -410,6 +507,93 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop existing cache entries before compiling",
     )
     p_batch.set_defaults(func=_cmd_compile_batch)
+
+    def add_serving_options(p: argparse.ArgumentParser, requests: int) -> None:
+        p.add_argument(
+            "--requests", type=int, default=requests,
+            help=f"total synthetic requests to drive (default {requests})",
+        )
+        p.add_argument(
+            "--clients", type=int, default=4,
+            help="concurrent closed-loop client threads (default 4)",
+        )
+        p.add_argument(
+            "--workers", type=int, default=4,
+            help="scheduler worker threads (default 4)",
+        )
+        p.add_argument(
+            "--max-batch", type=int, default=4,
+            help="micro-batch limit for same-model requests (default 4)",
+        )
+        p.add_argument(
+            "--budget-device",
+            choices=sorted(KNOWN_DEVICES),
+            help="cap resident arenas by this device's SRAM budget",
+        )
+        p.add_argument(
+            "--budget-kb", type=float, metavar="KIB",
+            help="cap resident arenas by a custom KiB budget",
+        )
+        p.add_argument(
+            "--seed", type=int, default=0,
+            help="seed for weights and request feeds (default 0)",
+        )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve compiled artifacts under a synthetic request load",
+        description="Load CompiledModel artifacts into the serving "
+        "runtime (registry -> arena pool -> request scheduler) and drive "
+        "a concurrent synthetic load, reporting throughput, latency "
+        "percentiles and the arena-reuse hit rate.",
+    )
+    p_serve.add_argument(
+        "artifacts", nargs="+", metavar="ARTIFACT",
+        help="CompiledModel JSON artifact(s) to register",
+    )
+    add_serving_options(p_serve, requests=64)
+    p_serve.add_argument(
+        "--no-reuse", action="store_true",
+        help="disable arena pooling (fresh executor per request)",
+    )
+    p_serve.add_argument(
+        "--scrub",
+        choices=("never", "zero", "fresh"),
+        default="never",
+        help="arena scrub policy between pooled runs (default: never)",
+    )
+    p_serve.add_argument(
+        "--verify",
+        action="store_true",
+        help="compare every response bitwise against the reference "
+        "executor; exit 1 on any divergence",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_bserve = sub.add_parser(
+        "bench-serve",
+        help="serving throughput: arena reuse vs fresh-per-request",
+        description="Compile a set of models (default: the micro "
+        "serving suite), then measure requests/sec twice — pooled arena "
+        "reuse vs a fresh executor + arena per request — over identical "
+        "workloads, and print the speedup.",
+    )
+    p_bserve.add_argument(
+        "--cell",
+        dest="cells",
+        action="append",
+        choices=sorted(BENCHMARK_SUITE),
+        help="benchmark cell to serve instead of the micro suite "
+        "(repeatable)",
+    )
+    p_bserve.add_argument(
+        "--strategy",
+        choices=strategy_names(),
+        default="greedy",
+        help="scheduling strategy for compilation (default: greedy)",
+    )
+    add_serving_options(p_bserve, requests=160)
+    p_bserve.set_defaults(func=_cmd_bench_serve)
 
     p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
     p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))

@@ -73,3 +73,11 @@ class RewriteError(ReproError):
 
 class ExecutionError(ReproError):
     """The NumPy reference executor failed to evaluate a graph."""
+
+
+class ServingError(ReproError):
+    """The concurrent serving runtime refused or failed a request."""
+
+
+class AdmissionError(ServingError):
+    """An arena could not be admitted under the serving memory budget."""

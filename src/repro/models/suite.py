@@ -20,7 +20,14 @@ from repro.models.swiftnet import (
     swiftnet_cell_c,
 )
 
-__all__ = ["CellSpec", "BENCHMARK_SUITE", "suite_cells", "get_cell", "PAPER_GEOMEANS"]
+__all__ = [
+    "CellSpec",
+    "BENCHMARK_SUITE",
+    "suite_cells",
+    "get_cell",
+    "serving_suite",
+    "PAPER_GEOMEANS",
+]
 
 
 @dataclass(frozen=True)
@@ -198,3 +205,22 @@ def get_cell(key: str) -> CellSpec:
         raise KeyError(
             f"unknown benchmark cell {key!r}; available: {sorted(BENCHMARK_SUITE)}"
         ) from None
+
+
+def serving_suite() -> dict[str, Callable[[], Graph]]:
+    """Micro cells for the serving benchmark and ``bench-serve`` CLI.
+
+    Small irregularly wired stages in the regime the serving layer
+    targets: per-request overhead (executor construction, arena
+    allocation) rivals or exceeds kernel compute, so arena reuse — not
+    raw FLOPs — decides throughput. The paper's benchmark cells remain
+    available for compute-bound serving runs via ``--cell``.
+    """
+    return {
+        "rw-micro-a": lambda: randwire_stage(
+            n=10, channels=8, hw=2, generator="ws", seed=7, name="rw-micro-a"
+        ),
+        "rw-micro-b": lambda: randwire_stage(
+            n=10, channels=8, hw=2, generator="ws", seed=11, name="rw-micro-b"
+        ),
+    }

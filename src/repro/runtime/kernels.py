@@ -27,6 +27,7 @@ __all__ = [
     "max_pool2d",
     "avg_pool2d",
     "KERNELS",
+    "OUT_KERNELS",
 ]
 
 
@@ -50,6 +51,18 @@ def _padding_amounts(
     return (ph, ph), (pw, pw)
 
 
+def _padded(x: np.ndarray, pt: int, pb: int, pl: int, pr: int, fill: float):
+    """Constant-pad a (C, H, W) map (cheaper than ``np.pad`` on the
+    micro feature maps these networks run on; same bytes out)."""
+    c, h, w = x.shape
+    if fill == 0.0:
+        xp = np.zeros((c, h + pt + pb, w + pl + pr), dtype=x.dtype)
+    else:
+        xp = np.full((c, h + pt + pb, w + pl + pr), fill, dtype=x.dtype)
+    xp[:, pt : pt + h, pl : pl + w] = x
+    return xp
+
+
 def pad_same(x: np.ndarray, kernel, stride, padding) -> np.ndarray:
     """Zero-pad a (C, H, W) map for the requested padding mode."""
     (pt, pb), (pl, pr) = _padding_amounts(
@@ -57,7 +70,7 @@ def pad_same(x: np.ndarray, kernel, stride, padding) -> np.ndarray:
     )
     if pt == pb == pl == pr == 0:
         return x
-    return np.pad(x, ((0, 0), (pt, pb), (pl, pr)))
+    return _padded(x, pt, pb, pl, pr, 0.0)
 
 
 def _tap_view(xp: np.ndarray, u: int, v: int, oh: int, ow: int, sh: int, sw: int):
@@ -127,9 +140,7 @@ def _pool(x: np.ndarray, attrs: dict[str, Any], reducer) -> np.ndarray:
         (pt, pb), (pl, pr) = _padding_amounts(
             x.shape[1], x.shape[2], kernel, stride, padding
         )
-        xp = np.pad(
-            x, ((0, 0), (pt, pb), (pl, pr)), constant_values=fill
-        )
+        xp = _padded(x, pt, pb, pl, pr, fill)
     taps = [
         _tap_view(xp, u, v, oh, ow, *stride)
         for u in range(kernel[0])
@@ -231,6 +242,84 @@ def _k_dense(inputs, attrs, params):
     out = params["weight"] @ inputs[0]
     bias = params.get("bias")
     return out + bias if bias is not None else out
+
+
+# ----------------------------------------------------------------------
+# destination-write variants: fn(inputs, attrs, params, out) -> None
+# ----------------------------------------------------------------------
+# These write their result directly into ``out`` (an arena view) instead
+# of materialising a temporary that the executor then copies. Each one
+# reproduces its KERNELS counterpart's float operations in the same
+# order, so results are bitwise-identical to the copy path — the
+# PlanExecutor parity suite depends on that. Only ops whose ufunc chain
+# can target ``out`` safely are here; everything else (convs, pools,
+# dense) keeps the temporary-then-copy fallback.
+
+
+def _o_add(inputs, attrs, params, out):
+    if len(inputs) == 1:
+        np.copyto(out, inputs[0])
+        return
+    np.add(inputs[0], inputs[1], out=out)
+    for x in inputs[2:]:
+        np.add(out, x, out=out)
+
+
+def _o_mul(inputs, attrs, params, out):
+    if len(inputs) == 1:
+        np.copyto(out, inputs[0])
+        return
+    np.multiply(inputs[0], inputs[1], out=out)
+    for x in inputs[2:]:
+        np.multiply(out, x, out=out)
+
+
+def _o_sigmoid(inputs, attrs, params, out):
+    # same op sequence as 1.0 / (1.0 + np.exp(-x)), step by step
+    np.negative(inputs[0], out=out)
+    np.exp(out, out=out)
+    np.add(out, 1.0, out=out)
+    np.divide(1.0, out, out=out)
+
+
+def _o_batch_norm(inputs, attrs, params, out):
+    np.multiply(inputs[0], params["scale"][:, None, None], out=out)
+    np.add(out, params["shift"][:, None, None], out=out)
+
+
+def _o_concat(inputs, attrs, params, out):
+    lo = 0
+    for x in inputs:
+        out[lo : lo + x.shape[0]] = x
+        lo += x.shape[0]
+    if lo != out.shape[0]:
+        raise ExecutionError(
+            f"concat operands fill {lo} of {out.shape[0]} output channels"
+        )
+
+
+def _o_flatten(inputs, attrs, params, out):
+    np.copyto(out, inputs[0].reshape(-1))
+
+
+def _o_slice_channels(inputs, attrs, params, out):
+    lo, hi = attrs["range"]
+    np.copyto(out, inputs[0][lo:hi])
+
+
+OUT_KERNELS = {
+    "add": _o_add,
+    "mul": _o_mul,
+    "relu": lambda i, a, p, out: np.maximum(i[0], 0.0, out=out),
+    "relu6": lambda i, a, p, out: np.clip(i[0], 0.0, 6.0, out=out),
+    "sigmoid": _o_sigmoid,
+    "tanh": lambda i, a, p, out: np.tanh(i[0], out=out),
+    "identity": lambda i, a, p, out: np.copyto(out, i[0]),
+    "batch_norm": _o_batch_norm,
+    "concat": _o_concat,
+    "flatten": _o_flatten,
+    "slice_channels": _o_slice_channels,
+}
 
 
 KERNELS = {

@@ -31,6 +31,7 @@ __all__ = [
     "FitStage",
     "DeviceFitReport",
     "fit_to_device",
+    "resolve_budget",
     "SPARKFUN_EDGE",
     "STM32F746",
     "AMBIQ_APOLLO3",
@@ -58,6 +59,26 @@ STM32F746 = DeviceSpec("STM32F746", 320 * 1024)
 AMBIQ_APOLLO3 = DeviceSpec("Ambiq Apollo3", 384 * 1024)
 
 KNOWN_DEVICES = {d.name: d for d in (SPARKFUN_EDGE, STM32F746, AMBIQ_APOLLO3)}
+
+
+def resolve_budget(
+    device: str | None = None, kib: float | None = None
+) -> DeviceSpec | None:
+    """Resolve a CLI-style memory budget into a :class:`DeviceSpec`.
+
+    Pass a :data:`KNOWN_DEVICES` name, a custom KiB figure, or neither
+    (``None``: unbounded). Used by the serving runtime to cap the
+    resident arena set the same way device fitting caps a single plan.
+    """
+    if device is not None:
+        if device not in KNOWN_DEVICES:
+            raise KeyError(
+                f"unknown device {device!r}; known: {sorted(KNOWN_DEVICES)}"
+            )
+        return KNOWN_DEVICES[device]
+    if kib is not None:
+        return DeviceSpec(f"custom-{kib:g}KiB", int(kib * 1024))
+    return None
 
 
 @dataclass(frozen=True)

@@ -27,6 +27,7 @@ from __future__ import annotations
 import time
 from collections import defaultdict
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -152,6 +153,8 @@ class PortfolioResult:
     outcomes: tuple[StrategyOutcome, ...]
     #: strategies skipped or cancelled by the early budget exit
     cancelled: tuple[str, ...]
+    #: strategies recomputed in-process after their worker pool broke
+    fallbacks: tuple[str, ...] = ()
     device: DeviceSpec | None = None
 
     @property
@@ -226,6 +229,14 @@ class BatchReport:
             f"{self.cache_hits}/{self.cache_lookups} "
             f"({100.0 * self.hit_rate:.1f}%)"
         )
+        degraded = [
+            f"{r.graph_name}:{name}" for r in self.results for name in r.fallbacks
+        ]
+        if degraded:
+            lines.append(
+                "  worker pool broke; recomputed in-process: "
+                + ", ".join(degraded)
+            )
         if self.device is not None:
             n_fit = sum(1 for r in self.results if r.fits)
             lines.append(
@@ -338,6 +349,7 @@ class PortfolioCompiler:
 
         outcomes: dict[int, dict[str, StrategyOutcome]] = defaultdict(dict)
         cancelled: dict[int, list[str]] = defaultdict(list)
+        fallbacks: dict[int, list[str]] = defaultdict(list)
         hits = 0
         lookups = 0
 
@@ -370,7 +382,9 @@ class PortfolioCompiler:
             if self.workers <= 1:
                 self._run_serial(pending, graphs, signatures, outcomes, cancelled)
             else:
-                self._run_parallel(pending, graphs, signatures, outcomes, cancelled)
+                self._run_parallel(
+                    pending, graphs, signatures, outcomes, cancelled, fallbacks
+                )
 
         results = tuple(
             PortfolioResult(
@@ -380,6 +394,7 @@ class PortfolioCompiler:
                     outcomes[gi][n] for n in self.strategies if n in outcomes[gi]
                 ),
                 cancelled=tuple(cancelled[gi]),
+                fallbacks=tuple(fallbacks[gi]),
                 device=self.device,
             )
             for gi in range(len(graphs))
@@ -444,6 +459,32 @@ class PortfolioCompiler:
         return out
 
     def _run_parallel(
+        self,
+        pending: list[tuple[int, str]],
+        graphs: list[Graph],
+        signatures: list[str],
+        outcomes: dict[int, dict[str, StrategyOutcome]],
+        cancelled: dict[int, list[str]],
+        fallbacks: dict[int, list[str]],
+    ) -> None:
+        try:
+            self._run_pool(pending, graphs, signatures, outcomes, cancelled)
+        except BrokenProcessPool:
+            # A worker died (OOM-killed, segfaulted, ...) and took the
+            # whole pool with it; every in-flight result is lost. Rather
+            # than aborting the batch, degrade the unfinished jobs to the
+            # in-process sequential path and record the downgrade.
+            remaining = [
+                (gi, name)
+                for gi, name in pending
+                if name not in outcomes[gi] and name not in cancelled[gi]
+            ]
+            self._run_serial(remaining, graphs, signatures, outcomes, cancelled)
+            for gi, name in remaining:
+                if name in outcomes[gi]:
+                    fallbacks[gi].append(name)
+
+    def _run_pool(
         self,
         pending: list[tuple[int, str]],
         graphs: list[Graph],

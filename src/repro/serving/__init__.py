@@ -1,0 +1,42 @@
+"""Concurrent artifact-serving runtime over preallocated arenas.
+
+The deployment story in three layers:
+
+* :class:`~repro.serving.registry.ModelRegistry` — loads and
+  signature-verifies :class:`~repro.compiler.model.CompiledModel`
+  artifacts;
+* :class:`~repro.serving.pool.ArenaPool` — owns reusable preallocated
+  :class:`~repro.runtime.plan_executor.PlanExecutor` workers per model,
+  bounded by a device memory budget with admission control;
+* :class:`~repro.serving.scheduler.RequestScheduler` — dispatches
+  concurrent requests to pooled executors across threads, with optional
+  micro-batching of same-model requests and per-request stats.
+
+>>> registry = ModelRegistry()
+>>> registry.load("model.json")
+>>> pool = ArenaPool(registry, budget=SPARKFUN_EDGE)
+>>> with RequestScheduler(registry, pool, workers=4) as server:
+...     outputs = server.submit("model", feeds).result().outputs
+"""
+
+from repro.serving.loadgen import LoadReport, run_load
+from repro.serving.pool import ArenaPool, PoolStats
+from repro.serving.registry import ModelRegistry
+from repro.serving.scheduler import (
+    InferenceResult,
+    RequestScheduler,
+    RequestStats,
+    ServingStats,
+)
+
+__all__ = [
+    "ArenaPool",
+    "InferenceResult",
+    "LoadReport",
+    "ModelRegistry",
+    "PoolStats",
+    "RequestScheduler",
+    "RequestStats",
+    "ServingStats",
+    "run_load",
+]

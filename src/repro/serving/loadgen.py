@@ -1,0 +1,178 @@
+"""Synthetic load driver for the serving runtime.
+
+One function, :func:`run_load`, drives N closed-loop clients against a
+:class:`~repro.serving.scheduler.RequestScheduler` and reports
+throughput, latency percentiles and the pool's arena-reuse hit rate.
+It is shared by the ``serve`` / ``bench-serve`` CLI subcommands and by
+``benchmarks/bench_serving.py``, so the number the benchmark asserts on
+is the number the CLI prints.
+
+With ``verify=True`` every response is compared **bitwise** against the
+reference :class:`~repro.runtime.executor.Executor` on the same weights
+and feeds — the serving layer inherits the plan executor's equivalence
+contract, per request, under full concurrency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime.executor import Executor, init_params, random_feeds
+from repro.scheduler.device import DeviceSpec
+from repro.serving.pool import ArenaPool, PoolStats
+from repro.serving.registry import ModelRegistry
+from repro.serving.scheduler import RequestScheduler
+
+__all__ = ["LoadReport", "run_load"]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Outcome of one synthetic serving run."""
+
+    requests: int
+    clients: int
+    workers: int
+    max_batch: int
+    reuse: bool
+    models: tuple[str, ...]
+    wall_s: float
+    p50_ms: float
+    p99_ms: float
+    mean_batch: float
+    pool: PoolStats
+    errors: int
+    #: ``None`` when verification was off; otherwise all-bitwise-equal
+    verified: bool | None
+    mismatches: tuple[int, ...] = ()
+
+    @property
+    def rps(self) -> float:
+        return self.requests / self.wall_s if self.wall_s else 0.0
+
+    def summary(self) -> str:
+        mode = "arena reuse" if self.reuse else "fresh alloc per request"
+        lines = [
+            f"serving run: {self.requests} requests, {self.clients} clients, "
+            f"{self.workers} workers, max_batch {self.max_batch} ({mode})",
+            f"  models resident       : {', '.join(self.models)}",
+            f"  throughput            : {self.rps:9.1f} req/s "
+            f"({self.wall_s:.2f}s wall)",
+            f"  latency p50 / p99     : {self.p50_ms:7.2f} / {self.p99_ms:.2f} ms",
+            f"  arena reuse hit rate  : {100.0 * self.pool.hit_rate:7.1f}% "
+            f"({self.pool.hits} hits, {self.pool.misses} fresh, "
+            f"{self.pool.evictions} evicted)",
+            f"  mean micro-batch      : {self.mean_batch:7.2f}",
+            f"  resident arena bytes  : {self.pool.resident_bytes / 1024:7.1f}KB",
+        ]
+        if self.errors:
+            lines.append(f"  ERRORS                : {self.errors}")
+        if self.verified is not None:
+            verdict = (
+                "bitwise-equal to reference executor on every request"
+                if self.verified
+                else f"DIVERGED on requests {list(self.mismatches)}"
+            )
+            lines.append(f"  verification          : {verdict}")
+        return "\n".join(lines)
+
+
+def run_load(
+    registry: ModelRegistry,
+    *,
+    requests: int = 64,
+    clients: int = 4,
+    workers: int = 4,
+    max_batch: int = 1,
+    budget: DeviceSpec | int | None = None,
+    seed: int = 0,
+    reuse: bool = True,
+    scrub: str = "never",
+    verify: bool = False,
+) -> LoadReport:
+    """Drive ``requests`` inferences from ``clients`` concurrent threads.
+
+    Request *i* targets model ``names[i % len(names)]`` with feeds drawn
+    deterministically from ``seed + i``, so a pooled and a baseline run
+    serve byte-identical workloads. Each client is closed-loop: it
+    submits, waits for the response, optionally verifies it against the
+    reference executor (outside the latency window), then issues its
+    next request.
+    """
+    names = registry.names()
+    if not names:
+        raise ValueError("registry has no models to serve")
+    pool = ArenaPool(registry, budget, seed=seed, scrub=scrub, reuse=reuse)
+    references = (
+        {
+            name: Executor(
+                registry.get(name).graph,
+                params=init_params(registry.get(name).graph, seed),
+            )
+            for name in names
+        }
+        if verify
+        else {}
+    )
+
+    errors = 0
+    mismatches: list[int] = []
+    lock = threading.Lock()
+
+    def client(client_id: int, server: RequestScheduler) -> None:
+        nonlocal errors
+        for i in range(client_id, requests, clients):
+            name = names[i % len(names)]
+            graph = registry.get(name).graph
+            feeds = random_feeds(graph, seed=seed + i)
+            try:
+                result = server.submit(name, feeds).result()
+            except Exception:
+                with lock:
+                    errors += 1
+                continue
+            if verify:
+                ref = references[name].run(feeds)
+                ok = set(ref) == set(result.outputs) and all(
+                    np.array_equal(ref[k], result.outputs[k]) for k in ref
+                )
+                if not ok:
+                    with lock:
+                        mismatches.append(i)
+
+    with RequestScheduler(
+        registry, pool, workers=workers, max_batch=max_batch
+    ) as server:
+        t0 = time.perf_counter()
+        threads = [
+            threading.Thread(target=client, args=(c, server), name=f"client-{c}")
+            for c in range(clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall_s = time.perf_counter() - t0
+        stats = server.stats()
+
+    pool.close()
+    return LoadReport(
+        requests=requests,
+        clients=clients,
+        workers=workers,
+        max_batch=max_batch,
+        reuse=reuse,
+        models=tuple(names),
+        wall_s=wall_s,
+        p50_ms=stats.p50_s * 1e3,
+        p99_ms=stats.p99_s * 1e3,
+        mean_batch=stats.mean_batch,
+        pool=stats.pool,
+        errors=errors,
+        verified=(not mismatches) if verify else None,
+        mismatches=tuple(mismatches),
+    )

@@ -1,0 +1,268 @@
+"""Budget-bounded pool of reusable arena executors.
+
+The whole point of the compiled plan is a *fixed, preallocated*
+footprint — so the serving runtime must not allocate an arena per
+request. The pool owns :class:`~repro.runtime.plan_executor.PlanExecutor`
+workers (each one arena + solved placement + parameters) per model and
+hands them out to request threads:
+
+* ``acquire`` prefers an **idle executor of the same model** (an arena
+  hit: zero allocation, zero placement work on the request path);
+* a **miss** builds a fresh executor, but only if its arena fits the
+  remaining memory budget — the resident set of all pooled arenas is
+  capped by a :class:`~repro.scheduler.device.DeviceSpec` (or raw byte
+  budget), mirroring the device the plans were compiled for;
+* when the budget is exhausted, admission control first **evicts idle
+  arenas** of other models (coldest first), then blocks the request
+  until a lease is released; a model whose single arena can never fit
+  is rejected outright with :class:`~repro.exceptions.AdmissionError`.
+
+``reuse=False`` turns the pool into the naive baseline — every acquire
+builds a fresh executor, every release discards it — which is exactly
+the fresh-allocation-per-request behaviour the serving benchmark
+quantifies against.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict, deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import AdmissionError, ServingError
+from repro.runtime.plan_executor import PlanExecutor
+from repro.scheduler.device import DeviceSpec
+from repro.serving.registry import ModelRegistry
+
+__all__ = ["ArenaPool", "PoolStats"]
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Cumulative pool accounting (snapshot; see :meth:`ArenaPool.stats`)."""
+
+    #: acquires served by a pooled, already-built executor
+    hits: int
+    #: acquires that had to build a fresh executor + arena
+    misses: int
+    #: idle executors dropped to make room under the budget
+    evictions: int
+    #: acquires that had to block waiting for a lease to come back
+    waits: int
+    #: bytes of arena currently resident (idle + leased)
+    resident_bytes: int
+    #: executors currently leased out
+    leased: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ArenaPool:
+    """Reusable preallocated executors per model, under one memory budget.
+
+    Parameters
+    ----------
+    registry:
+        The verified artifacts this pool may build executors for.
+    budget:
+        A :class:`DeviceSpec`, a raw byte count, or ``None`` for
+        unlimited. Bounds the *sum* of all resident arena bytes.
+    seed:
+        Parameter seed passed to every executor (deterministic weights,
+        shared across the pool so every executor of a model computes the
+        same function).
+    scrub:
+        Arena scrub policy for pooled executors (see
+        :class:`~repro.runtime.plan_executor.PlanExecutor`).
+    reuse:
+        ``False`` disables pooling entirely (fresh executor per acquire,
+        discarded on release) — the serving benchmark's baseline.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        budget: DeviceSpec | int | None = None,
+        *,
+        seed: int = 0,
+        scrub: str = "never",
+        reuse: bool = True,
+    ) -> None:
+        self.registry = registry
+        self.budget_bytes = (
+            budget.sram_bytes if isinstance(budget, DeviceSpec) else budget
+        )
+        self.seed = seed
+        self.scrub = scrub
+        self.reuse = reuse
+        self._cond = threading.Condition()
+        #: idle executors per model, most-recently-released last
+        self._idle: dict[str, deque[PlanExecutor]] = defaultdict(deque)
+        #: model names by last use, coldest first (for eviction)
+        self._cold_order: deque[str] = deque()
+        self._resident_bytes = 0
+        self._leased = 0
+        self._closed = False
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._waits = 0
+
+    # ------------------------------------------------------------------
+    def _build(self, name: str) -> PlanExecutor:
+        model = self.registry.get(name)
+        return PlanExecutor(
+            model.graph,
+            model.schedule,
+            model.plan,
+            seed=self.seed,
+            scrub=self.scrub,
+        )
+
+    def _arena_cost(self, name: str) -> int:
+        """Bytes one executor of ``name`` counts against the budget.
+
+        This is the *plan's* arena size — the number device-fit verdicts
+        are made of — used consistently for admission, release and
+        eviction. (The NumPy executor simulates in float64, so its host
+        allocation can be larger than the plan for narrower dtypes;
+        budgets model the device, not the simulator's heap.)
+        """
+        return self.registry.get(name).plan.arena_bytes
+
+    def _evict_idle(self, needed: int, keep: str) -> None:
+        """Drop coldest idle executors (any model but ``keep``) until
+        ``needed`` bytes fit the budget. Caller holds the lock."""
+        assert self.budget_bytes is not None
+        for name in list(self._cold_order):
+            if self._resident_bytes + needed <= self.budget_bytes:
+                return
+            if name == keep:
+                continue
+            queue = self._idle.get(name)
+            while queue and self._resident_bytes + needed > self.budget_bytes:
+                queue.popleft()
+                self._resident_bytes -= self._arena_cost(name)
+                self._evictions += 1
+            if not queue:
+                self._cold_order.remove(name)
+
+    def acquire(self, name: str, timeout: float | None = 30.0) -> PlanExecutor:
+        """Lease an executor for ``name``, building one if the budget
+        admits it; blocks (up to ``timeout`` seconds) when every
+        admissible arena is leased out."""
+        cost = self._arena_cost(name)
+        if self.budget_bytes is not None and cost > self.budget_bytes:
+            raise AdmissionError(
+                f"model {name!r} needs a {cost}-byte arena but the pool "
+                f"budget is {self.budget_bytes} bytes; it can never be "
+                "admitted"
+            )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise ServingError("pool is closed")
+                queue = self._idle.get(name)
+                if self.reuse and queue:
+                    executor = queue.pop()
+                    if not queue:
+                        self._cold_order.remove(name)
+                    self._hits += 1
+                    self._leased += 1
+                    return executor
+                if (
+                    self.budget_bytes is None
+                    or self._resident_bytes + cost <= self.budget_bytes
+                ):
+                    break
+                self._evict_idle(cost, keep=name)
+                if self._resident_bytes + cost <= self.budget_bytes:
+                    break
+                # everything resident is leased: wait for a release
+                # (against an absolute deadline — wakeups that don't
+                # admit us must not restart the clock)
+                self._waits += 1
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if (
+                    remaining is not None and remaining <= 0.0
+                ) or not self._cond.wait(timeout=remaining):
+                    raise AdmissionError(
+                        f"timed out after {timeout}s waiting to admit a "
+                        f"{cost}-byte arena for {name!r} "
+                        f"({self._resident_bytes}/{self.budget_bytes} bytes "
+                        "leased out)"
+                    )
+            # reserve the bytes, then build outside the lock (placement
+            # solving and parameter init are the expensive part)
+            self._resident_bytes += cost
+            self._misses += 1
+            self._leased += 1
+        try:
+            executor = self._build(name)
+        except BaseException:
+            with self._cond:
+                self._resident_bytes -= cost
+                self._leased -= 1
+                self._cond.notify_all()
+            raise
+        return executor
+
+    def release(self, name: str, executor: PlanExecutor) -> None:
+        """Return a leased executor to the pool (or discard it when
+        pooling is disabled)."""
+        with self._cond:
+            self._leased -= 1
+            if self.reuse and not self._closed:
+                queue = self._idle[name]
+                if not queue:
+                    self._cold_order.append(name)
+                else:
+                    # refresh warmth: model moves to the warm end
+                    self._cold_order.remove(name)
+                    self._cold_order.append(name)
+                queue.append(executor)
+            else:
+                self._resident_bytes -= self._arena_cost(name)
+            self._cond.notify_all()
+
+    @contextmanager
+    def lease(self, name: str, timeout: float | None = 30.0) -> Iterator[PlanExecutor]:
+        """``with pool.lease(name) as px: px.run(feeds)``."""
+        executor = self.acquire(name, timeout=timeout)
+        try:
+            yield executor
+        finally:
+            self.release(name, executor)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> PoolStats:
+        with self._cond:
+            return PoolStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                waits=self._waits,
+                resident_bytes=self._resident_bytes,
+                leased=self._leased,
+            )
+
+    def close(self) -> None:
+        """Drop every idle executor and refuse further acquires."""
+        with self._cond:
+            self._closed = True
+            for name, queue in self._idle.items():
+                while queue:
+                    queue.popleft()
+                    self._resident_bytes -= self._arena_cost(name)
+            self._idle.clear()
+            self._cold_order.clear()
+            self._cond.notify_all()

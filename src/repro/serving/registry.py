@@ -1,0 +1,112 @@
+"""Model registry: named, signature-verified compiled artifacts.
+
+The serving runtime never schedules or allocates anything at request
+time — it executes :class:`~repro.compiler.model.CompiledModel`
+artifacts exactly as the compiler froze them. The registry is the
+runtime's source of truth for *which* artifacts those are:
+
+* loading from disk goes through :meth:`CompiledModel.load`, which
+  re-validates the schedule and plan and recomputes the graph's
+  canonical signature against the embedded one — a tampered or corrupt
+  artifact is rejected at registration, never at request time;
+* in-memory registration re-verifies the signature the same way, so a
+  mutated model object cannot sneak past the check the file path gets.
+
+Names are unique; registering two different artifacts under one name is
+an error (re-registering the *same* signature is idempotent).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.compiler.model import CompiledModel
+from repro.exceptions import ReproError, ServingError
+from repro.graph.serialization import graph_signature
+
+__all__ = ["ModelRegistry"]
+
+
+class ModelRegistry:
+    """Name → verified :class:`CompiledModel` mapping for the runtime."""
+
+    def __init__(self) -> None:
+        self._models: dict[str, CompiledModel] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, model: CompiledModel, name: str | None = None) -> str:
+        """Register an in-memory artifact; returns the serving name.
+
+        The embedded signature is re-verified against the carried graph
+        (the same check :meth:`CompiledModel.from_doc` performs for
+        artifacts loaded from disk).
+        """
+        name = name or model.graph.name
+        if graph_signature(model.graph) != model.signature:
+            raise ServingError(
+                f"cannot register {name!r}: artifact signature "
+                f"{model.signature!r} does not match its graph"
+            )
+        existing = self._models.get(name)
+        if existing is not None and not self._same_artifact(existing, model):
+            raise ServingError(
+                f"model name {name!r} already registered with a different "
+                "artifact; pick another name"
+            )
+        self._models[name] = model
+        return name
+
+    @staticmethod
+    def _same_artifact(a: CompiledModel, b: CompiledModel) -> bool:
+        """Whether two artifacts are interchangeable for serving.
+
+        The graph signature alone is not enough — two compilations of
+        one graph can carry different schedules and arena plans, and a
+        silent swap would corrupt pool byte accounting for executors
+        already leased. Idempotent re-registration compares everything
+        an executor is built from.
+        """
+        return (
+            a.signature == b.signature
+            and a.strategy == b.strategy
+            and a.schedule.order == b.schedule.order
+            and a.plan.arena_bytes == b.plan.arena_bytes
+            and a.plan.offsets == b.plan.offsets
+        )
+
+    def load(self, path: str | Path, name: str | None = None) -> str:
+        """Load, verify and register an artifact file; returns the name."""
+        try:
+            model = CompiledModel.load(path)
+        except (ReproError, OSError, ValueError, KeyError) as exc:
+            raise ServingError(f"cannot load artifact {path}: {exc}") from exc
+        return self.register(model, name)
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> CompiledModel:
+        model = self._models.get(name)
+        if model is None:
+            raise ServingError(
+                f"unknown model {name!r}; registered: {sorted(self._models)}"
+            )
+        return model
+
+    def names(self) -> list[str]:
+        return sorted(self._models)
+
+    def arena_bytes(self, name: str) -> int:
+        """The arena one executor of ``name`` must provision."""
+        return self.get(name).plan.arena_bytes
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._models
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._models))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ModelRegistry({self.names()!r})"

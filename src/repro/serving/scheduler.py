@@ -1,0 +1,307 @@
+"""Concurrent request scheduler over pooled arena executors.
+
+Requests enter through :meth:`RequestScheduler.submit` (returning a
+:class:`concurrent.futures.Future`) and are dispatched to worker
+threads. Each worker leases one executor from the
+:class:`~repro.serving.pool.ArenaPool` per dispatch and, with
+micro-batching enabled, drains up to ``max_batch`` queued requests for
+the *same model* into that single lease — back-to-back runs on one hot
+arena, which is where static-allocation inference wins: after the first
+request, every run reuses the same preallocated bytes.
+
+Every response carries a :class:`RequestStats` (queue wait, run time,
+measured arena peak, whether the arena was reused, batch size), and the
+scheduler aggregates them into a :class:`ServingStats` snapshot with
+latency percentiles and the pool's arena-reuse hit rate.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.exceptions import ServingError
+from repro.serving.pool import ArenaPool, PoolStats
+from repro.serving.registry import ModelRegistry
+
+__all__ = [
+    "InferenceResult",
+    "RequestScheduler",
+    "RequestStats",
+    "ServingStats",
+]
+
+
+@dataclass(frozen=True)
+class RequestStats:
+    """Per-request accounting, attached to every response."""
+
+    model: str
+    #: seconds spent queued before a worker picked the request up
+    queue_s: float
+    #: seconds inside ``PlanExecutor.run``
+    run_s: float
+    #: measured arena high-water mark of this run
+    measured_peak_bytes: int
+    #: whether the run reused a previous run's arena bytes
+    arena_reused: bool
+    #: how many requests shared this request's executor lease
+    batch_size: int
+
+    @property
+    def total_s(self) -> float:
+        return self.queue_s + self.run_s
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """One served inference: outputs plus its request stats."""
+
+    outputs: dict[str, np.ndarray]
+    stats: RequestStats
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """Aggregate snapshot over every request completed so far."""
+
+    requests: int
+    errors: int
+    batches: int
+    latencies_s: tuple[float, ...] = field(repr=False)
+    pool: PoolStats | None = None
+
+    @property
+    def p50_s(self) -> float:
+        return _percentile(sorted(self.latencies_s), 0.50)
+
+    @property
+    def p99_s(self) -> float:
+        return _percentile(sorted(self.latencies_s), 0.99)
+
+    @property
+    def mean_batch(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+    @property
+    def arena_hit_rate(self) -> float:
+        return self.pool.hit_rate if self.pool is not None else 0.0
+
+
+@dataclass
+class _Request:
+    model: str
+    feeds: Mapping[str, np.ndarray]
+    outputs: list[str] | None
+    future: Future
+    enqueued_at: float
+
+
+class RequestScheduler:
+    """Dispatch concurrent inference requests across pooled executors.
+
+    >>> with RequestScheduler(registry, pool, workers=4) as server:
+    ...     fut = server.submit("swiftnet-c", feeds)
+    ...     result = fut.result()
+
+    Parameters
+    ----------
+    registry / pool:
+        The verified artifacts and the arena pool to lease from.
+    workers:
+        Dispatcher threads (concurrent leases never exceed this).
+    max_batch:
+        Micro-batch limit: a worker drains up to this many queued
+        same-model requests into one executor lease. ``1`` disables
+        batching.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        pool: ArenaPool,
+        *,
+        workers: int = 4,
+        max_batch: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ServingError("RequestScheduler needs at least one worker")
+        if max_batch < 1:
+            raise ServingError("max_batch must be >= 1")
+        self.registry = registry
+        self.pool = pool
+        self.workers = workers
+        self.max_batch = max_batch
+        self._queue: deque[_Request] = deque()
+        self._cond = threading.Condition()
+        self._threads: list[threading.Thread] = []
+        self._stop = False
+        self._started = False
+        # aggregate accounting (guarded by _cond)
+        self._latencies: list[float] = []
+        self._requests = 0
+        self._errors = 0
+        self._batches = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "RequestScheduler":
+        if self._started:
+            return self
+        self._started = True
+        self._stop = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"serve-worker-{i}", daemon=True
+            )
+            for i in range(self.workers)
+        ]
+        for t in self._threads:
+            t.start()
+        return self
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting requests; drain the queue, then join workers."""
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        if wait:
+            for t in self._threads:
+                t.join()
+        self._threads = []
+        self._started = False
+
+    def __enter__(self) -> "RequestScheduler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        model: str,
+        feeds: Mapping[str, np.ndarray],
+        outputs: Iterable[str] | None = None,
+    ) -> Future:
+        """Enqueue one inference; resolves to an :class:`InferenceResult`."""
+        self.registry.get(model)  # fail fast on unknown names
+        fut: Future = Future()
+        request = _Request(
+            model=model,
+            feeds=feeds,
+            outputs=list(outputs) if outputs is not None else None,
+            future=fut,
+            enqueued_at=time.perf_counter(),
+        )
+        with self._cond:
+            if self._stop or not self._started:
+                raise ServingError("scheduler is not running (call start())")
+            self._queue.append(request)
+            self._cond.notify()
+        return fut
+
+    def stats(self) -> ServingStats:
+        with self._cond:
+            return ServingStats(
+                requests=self._requests,
+                errors=self._errors,
+                batches=self._batches,
+                latencies_s=tuple(self._latencies),
+                pool=self.pool.stats(),
+            )
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+    def _take_batch(self) -> list[_Request] | None:
+        """Pop the head request plus up to ``max_batch - 1`` queued
+        requests for the same model (others keep their order). Returns
+        ``None`` when the scheduler is drained and stopping."""
+        with self._cond:
+            while not self._queue:
+                if self._stop:
+                    return None
+                self._cond.wait()
+            head = self._queue.popleft()
+            batch = [head]
+            if self.max_batch > 1:
+                rest: deque[_Request] = deque()
+                while self._queue and len(batch) < self.max_batch:
+                    req = self._queue.popleft()
+                    if req.model == head.model:
+                        batch.append(req)
+                    else:
+                        rest.append(req)
+                self._queue.extendleft(reversed(rest))
+            return batch
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            model = batch[0].model
+            try:
+                executor = self.pool.acquire(model)
+            except BaseException as exc:
+                for req in batch:
+                    if req.future.set_running_or_notify_cancel():
+                        req.future.set_exception(exc)
+                with self._cond:
+                    self._errors += len(batch)
+                continue
+            try:
+                self._run_batch(model, batch, executor)
+            finally:
+                self.pool.release(model, executor)
+
+    def _run_batch(self, model: str, batch: list[_Request], executor) -> None:
+        completed = 0
+        errors = 0
+        latencies: list[float] = []
+        for req in batch:
+            if not req.future.set_running_or_notify_cancel():
+                continue
+            t0 = time.perf_counter()
+            try:
+                outputs = executor.run(req.feeds, outputs=req.outputs)
+            except BaseException as exc:
+                req.future.set_exception(exc)
+                errors += 1
+                continue
+            t1 = time.perf_counter()
+            run_stats = executor.last_stats
+            stats = RequestStats(
+                model=model,
+                queue_s=t0 - req.enqueued_at,
+                run_s=t1 - t0,
+                measured_peak_bytes=run_stats.measured_peak_bytes,
+                arena_reused=run_stats.arena_reused,
+                batch_size=len(batch),
+            )
+            req.future.set_result(InferenceResult(outputs=outputs, stats=stats))
+            completed += 1
+            latencies.append(stats.total_s)
+        with self._cond:
+            self._requests += completed
+            self._errors += errors
+            self._batches += 1
+            self._latencies.extend(latencies)

@@ -21,18 +21,24 @@ from repro.scheduler.registry import run_strategy
 from repro.scheduler.schedule import Schedule
 
 
-def assert_parity(graph, schedule, plan, seed=0):
-    """Both executors, same weights/feeds: outputs must be bitwise equal."""
+def assert_parity(graph, schedule, plan, seed=0, rounds=3):
+    """Both executors, same weights: outputs must be bitwise equal — on
+    the first run *and* on ``rounds - 1`` further runs over the stale
+    bytes of the executor's reused arena (fresh feeds each round)."""
     params = init_params(graph, seed=seed)
-    feeds = random_feeds(graph, seed=seed)
-    ref = Executor(graph, params=params).run(feeds)
+    ref = Executor(graph, params=params)
     px = PlanExecutor(graph, schedule, plan, params=params)
-    got = px.run(feeds)
-    assert set(ref) == set(got)
-    for name in ref:
-        np.testing.assert_array_equal(ref[name], got[name])
-    assert px.last_stats is not None
-    assert px.last_stats.measured_peak_bytes <= plan.arena_bytes
+    for round_ in range(rounds):
+        feeds = random_feeds(graph, seed=seed + round_)
+        want = ref.run(feeds)
+        got = px.run(feeds)
+        assert set(want) == set(got)
+        for name in want:
+            np.testing.assert_array_equal(want[name], got[name])
+        assert px.last_stats is not None
+        assert px.last_stats.measured_peak_bytes <= plan.arena_bytes
+        assert px.last_stats.arena_reused == (round_ > 0)
+    assert px.runs == rounds
     return px
 
 
@@ -250,6 +256,239 @@ class TestAliasingEdgeCases:
         )
         np.testing.assert_array_equal(ref["r"], got["r"])
         np.testing.assert_array_equal(ref["over"], got["over"])
+
+
+class TestArenaReuse:
+    """The per-executor arena and its scrub policies."""
+
+    def test_scrub_policies_all_bitwise_equal(self, concat_conv_graph):
+        from repro.graph.transforms import mark_concat_views
+
+        g = mark_concat_views(concat_conv_graph)
+        schedule = Schedule.of(g, g.node_names)
+        plan = plan_allocation(g, schedule)
+        params = init_params(g)
+        executors = {
+            scrub: PlanExecutor(g, schedule, plan, params=params, scrub=scrub)
+            for scrub in ("never", "zero", "fresh")
+        }
+        ref = Executor(g, params=params)
+        for seed in range(3):
+            feeds = random_feeds(g, seed=seed)
+            want = ref.run(feeds)
+            for scrub, px in executors.items():
+                got = px.run(feeds)
+                for name in want:
+                    np.testing.assert_array_equal(want[name], got[name])
+                # only "fresh" forfeits arena reuse
+                assert px.last_stats.arena_reused == (
+                    seed > 0 and scrub != "fresh"
+                )
+
+    def test_unknown_scrub_policy_rejected(self, chain_graph):
+        schedule = Schedule.of(chain_graph, chain_graph.node_names)
+        plan = plan_allocation(chain_graph, schedule)
+        with pytest.raises(ExecutionError, match="scrub"):
+            PlanExecutor(chain_graph, schedule, plan, scrub="sometimes")
+
+    def test_dirty_arena_not_rescrubbed_by_default(self, chain_graph):
+        """scrub='never' really does leave stale bytes behind — parity
+        holds because every read byte is rewritten, not because the
+        arena is secretly cleaned."""
+        schedule = Schedule.of(chain_graph, chain_graph.node_names)
+        plan = plan_allocation(chain_graph, schedule)
+        px = PlanExecutor(chain_graph, schedule, plan)
+        px.run(random_feeds(chain_graph))
+        assert np.any(px._arena != 0.0)
+        before = px._arena.copy()
+        px.run(random_feeds(chain_graph, seed=1))
+        assert px.last_stats.arena_reused
+        # same storage, different request: bytes actually changed in place
+        assert not np.array_equal(before, px._arena)
+
+    def test_returned_outputs_survive_later_runs(self, diamond_graph):
+        """Responses are snapshots: a later request over the same arena
+        must not mutate an earlier request's returned arrays."""
+        schedule = Schedule.of(diamond_graph, diamond_graph.node_names)
+        plan = plan_allocation(diamond_graph, schedule)
+        px = PlanExecutor(diamond_graph, schedule, plan)
+        first = px.run(random_feeds(diamond_graph, seed=0))
+        kept = {k: v.copy() for k, v in first.items()}
+        px.run(random_feeds(diamond_graph, seed=1))
+        for k in kept:
+            np.testing.assert_array_equal(kept[k], first[k])
+
+
+class TestDirectWrites:
+    def test_elementwise_ops_write_direct(self):
+        b = GraphBuilder("direct")
+        x = b.input("x", (4, 4, 4))
+        r = b.relu(x, name="r")
+        s = b.sigmoid(r, name="s")
+        t = b.identity(r, name="t")
+        b.add(s, t, name="out")
+        g = b.build()
+        schedule = Schedule.of(g, g.node_names)
+        px = assert_parity(g, schedule, plan_allocation(g, schedule))
+        assert px.last_stats.direct_writes == 4
+        assert px.last_stats.copy_writes == 0
+
+    def test_view_concat_writes_direct(self, concat_conv_graph):
+        from repro.graph.transforms import mark_concat_views
+
+        g = mark_concat_views(concat_conv_graph)
+        schedule = Schedule.of(g, g.node_names)
+        px = assert_parity(g, schedule, plan_allocation(g, schedule))
+        # the aliased concat writes its (identical) bytes in place
+        assert px.last_stats.direct_writes >= 1
+
+    def test_inplace_chain_writes_direct(self):
+        """An in-place accumulator's destination *is* its target input:
+        the overlap is exact, so the direct path stays enabled."""
+        b = GraphBuilder("inplace-direct")
+        x = b.input("x", (4, 4, 4))
+        b.relu(x, name="r")
+        b.sigmoid(x, name="s")
+        g = b.build()
+        g.add(
+            Node(
+                name="acc",
+                op="add",
+                inputs=("r", "s"),
+                output=TensorSpec((4, 4, 4)),
+                memory=MemorySemantics(inplace_of=0),
+            )
+        )
+        schedule = Schedule.of(g, g.node_names)
+        px = assert_parity(g, schedule, plan_allocation(g, schedule))
+        assert px.last_stats.direct_writes >= 3  # r, s, acc
+
+    def test_nary_inplace_on_late_operand_falls_back(self):
+        """A 3-input add writing in place over its *third* operand must
+        not take the direct path: the ufunc chain reads operand 2 after
+        the destination was already written. The planner must fall back
+        to temp-and-copy, and parity must hold."""
+        b = GraphBuilder("late-inplace")
+        x = b.input("x", (4, 4, 4))
+        b.relu(x, name="r0")
+        b.sigmoid(x, name="r1")
+        b.identity(x, name="r2")
+        g = b.build()
+        g.add(
+            Node(
+                name="acc",
+                op="add",
+                inputs=("r0", "r1", "r2"),
+                output=TensorSpec((4, 4, 4)),
+                memory=MemorySemantics(inplace_of=2),
+            )
+        )
+        schedule = Schedule.of(g, g.node_names)
+        plan = plan_allocation(g, schedule)
+        px = assert_parity(g, schedule, plan)
+        assert "acc" not in px._direct
+        # in-place over operand 0 or 1 stays direct (lockstep-safe)
+        g2 = GraphBuilder("early-inplace")
+        x2 = g2.input("x", (4, 4, 4))
+        g2.relu(x2, name="r0")
+        g2.sigmoid(x2, name="r1")
+        g2b = g2.build()
+        g2b.add(
+            Node(
+                name="acc",
+                op="add",
+                inputs=("r0", "r1"),
+                output=TensorSpec((4, 4, 4)),
+                memory=MemorySemantics(inplace_of=1),
+            )
+        )
+        schedule2 = Schedule.of(g2b, g2b.node_names)
+        px2 = assert_parity(g2b, schedule2, plan_allocation(g2b, schedule2))
+        assert "acc" in px2._direct
+
+    def test_conv_ops_keep_copy_fallback(self, chain_graph):
+        schedule = Schedule.of(chain_graph, chain_graph.node_names)
+        px = assert_parity(chain_graph, schedule, plan_allocation(chain_graph, schedule))
+        assert px.last_stats.copy_writes >= 2  # both convs
+
+
+class TestOutputPruning:
+    """Requesting a subset executes (and feeds) only its ancestors —
+    aligned between the reference executor and the plan executor."""
+
+    @pytest.fixture
+    def two_branch(self):
+        b = GraphBuilder("two-branch")
+        x = b.input("x", (2, 4, 4))
+        y = b.input("y", (2, 4, 4))
+        bx = b.relu(x, name="bx")
+        by = b.relu(y, name="by")
+        b.sigmoid(bx, name="out_x")
+        b.sigmoid(by, name="out_y")
+        return b.build()
+
+    @pytest.mark.parametrize("executor_kind", ["reference", "plan"])
+    def test_subset_needs_only_ancestor_feeds(self, two_branch, executor_kind):
+        g = two_branch
+        feeds_x = {"x": random_feeds(g)["x"]}
+        if executor_kind == "reference":
+            run = Executor(g).run
+        else:
+            schedule = Schedule.of(g, g.node_names)
+            run = PlanExecutor(g, schedule, plan_allocation(g, schedule)).run
+        out = run(feeds_x, outputs=["out_x"])
+        assert set(out) == {"out_x"}
+        # the full graph still demands the other feed
+        with pytest.raises(ExecutionError, match="missing feed"):
+            run(feeds_x)
+
+    def test_plan_executor_executes_only_ancestors(self, two_branch):
+        g = two_branch
+        schedule = Schedule.of(g, g.node_names)
+        px = PlanExecutor(g, schedule, plan_allocation(g, schedule))
+        px.run({"x": random_feeds(g)["x"]}, outputs=["out_x"])
+        assert px.last_stats.steps == 3  # x, bx, out_x
+        px.run(random_feeds(g))
+        assert px.last_stats.steps == len(g)
+
+    def test_pruned_outputs_bitwise_match_reference(self, two_branch):
+        g = two_branch
+        params = init_params(g)
+        feeds = random_feeds(g)
+        schedule = Schedule.of(g, g.node_names)
+        px = PlanExecutor(g, schedule, plan_allocation(g, schedule), params=params)
+        for wanted in (["bx"], ["out_y"], ["out_x", "by"]):
+            ref = Executor(g, params=params).run(feeds, outputs=wanted)
+            got = px.run(feeds, outputs=wanted)
+            assert set(ref) == set(got)
+            for name in ref:
+                np.testing.assert_array_equal(ref[name], got[name])
+
+    def test_pruning_keeps_hazard_free_inplace_semantics(self):
+        """Pruning away a later in-place overwriter must not change the
+        returned value of the tensor it would have clobbered."""
+        b = GraphBuilder("prune-inplace")
+        x = b.input("x", (2, 2, 2))
+        b.relu(x, name="r")
+        g = b.build()
+        g.add(
+            Node(
+                name="over",
+                op="sigmoid",
+                inputs=("r",),
+                output=TensorSpec((2, 2, 2)),
+                memory=MemorySemantics(inplace_of=0),
+            )
+        )
+        schedule = Schedule.of(g, g.node_names)
+        plan = plan_allocation(g, schedule)
+        params = init_params(g)
+        feeds = random_feeds(g)
+        px = PlanExecutor(g, schedule, plan, params=params)
+        ref = Executor(g, params=params).run(feeds, outputs=["r"])
+        got = px.run(feeds, outputs=["r"])
+        np.testing.assert_array_equal(ref["r"], got["r"])
+        assert px.last_stats.steps == 2  # 'over' pruned
 
 
 class TestPlanExecutorErrors:

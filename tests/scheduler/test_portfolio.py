@@ -182,3 +182,95 @@ class TestPortfolioCompiler:
         assert warm.winner.peak_bytes == cold.winner.peak_bytes
         for a, b in zip(cold.outcomes, warm.outcomes):
             assert a.schedule.order == b.schedule.order
+
+
+class TestBrokenPoolFallback:
+    """A crashed worker pool degrades to in-process compilation instead
+    of aborting the batch."""
+
+    @pytest.fixture
+    def broken_pool(self, monkeypatch):
+        """Replace the process pool with one whose every future fails
+        with BrokenProcessPool (as after a worker OOM-kill)."""
+        from concurrent.futures import Future
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.scheduler import portfolio
+
+        class _BrokenPool:
+            def __init__(self, max_workers=None):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, *args, **kwargs):
+                fut: Future = Future()
+                fut.set_exception(BrokenProcessPool("worker died"))
+                return fut
+
+        monkeypatch.setattr(portfolio, "ProcessPoolExecutor", _BrokenPool)
+
+    def test_batch_completes_in_process(self, broken_pool, diamond_graph):
+        compiler = PortfolioCompiler(("kahn", "greedy"), workers=2, cache=None)
+        report = compiler.compile_batch([diamond_graph])
+        result = report.results[0]
+        assert {o.strategy for o in result.outcomes} == {"kahn", "greedy"}
+        assert set(result.fallbacks) == {"kahn", "greedy"}
+        assert "recomputed in-process" in report.summary()
+
+    def test_budget_race_still_cancels_after_fallback(
+        self, broken_pool, diamond_graph
+    ):
+        huge = DeviceSpec("huge", 10**12)  # kahn alone satisfies it
+        compiler = PortfolioCompiler(
+            ("kahn", "greedy"), workers=2, cache=None, device=huge
+        )
+        result = compiler.compile_batch([diamond_graph]).results[0]
+        assert [o.strategy for o in result.outcomes] == ["kahn"]
+        assert result.fallbacks == ("kahn",)
+        assert "greedy" in result.cancelled
+
+    def test_fallback_matches_serial_compilation(self, broken_pool, diamond_graph):
+        degraded = PortfolioCompiler(("kahn", "greedy"), workers=2, cache=None)
+        serial = PortfolioCompiler(("kahn", "greedy"), workers=0, cache=None)
+        got = degraded.compile_batch([diamond_graph]).results[0]
+        want = serial.compile_batch([diamond_graph]).results[0]
+        for a, b in zip(got.outcomes, want.outcomes):
+            assert a.strategy == b.strategy
+            assert a.schedule.order == b.schedule.order
+            assert a.peak_bytes == b.peak_bytes
+
+    def test_real_worker_crash_degrades(self, diamond_graph):
+        """End-to-end: a strategy whose worker process dies mid-run
+        breaks the real pool; the batch must still complete."""
+        import multiprocessing
+        import os
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("crash strategy must be visible in worker processes")
+
+        from repro.scheduler import registry as reg_mod
+        from repro.scheduler.registry import register_strategy
+
+        parent = os.getpid()
+        name = "crashy-test-only"
+
+        def crashy(graph):
+            if os.getpid() != parent:  # die only inside pool workers
+                os._exit(1)
+            return run_strategy("kahn", graph).schedule
+
+        register_strategy(
+            name, summary="test-only crashing strategy", rank=1
+        )(crashy)
+        try:
+            compiler = PortfolioCompiler((name,), workers=2, cache=None)
+            result = compiler.compile_batch([diamond_graph]).results[0]
+            assert [o.strategy for o in result.outcomes] == [name]
+            assert result.fallbacks == (name,)
+        finally:
+            reg_mod._REGISTRY.pop(name, None)

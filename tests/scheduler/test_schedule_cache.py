@@ -187,3 +187,54 @@ class TestCacheCompilerIntegration:
         fresh = run_strategy("serenity-dp", graph)
         assert entry.order == fresh.schedule.order
         assert entry.peak_bytes == fresh.peak_bytes
+
+
+def _hammer_put(args: tuple[str, int, int]) -> int:
+    """Worker-process body for the concurrent-writer test: repeatedly
+    put an entry under one shared (signature, strategy) key."""
+    root, writer, rounds = args
+    cache = ScheduleCache(root)
+    entry = CacheEntry(
+        signature="cafe" * 16,
+        strategy_key="kahn@1",
+        graph_name=f"writer-{writer}",
+        order=("a", "b", "c"),
+        peak_bytes=111,
+        arena_bytes=222,
+        meta={"writer": writer},
+    )
+    for _ in range(rounds):
+        cache.put(entry)
+    return writer
+
+
+class TestConcurrentWriters:
+    def test_simultaneous_puts_leave_one_valid_entry(self, tmp_path):
+        """Multiple processes racing ``put`` on the same key: the atomic
+        temp-file + os.replace path must leave exactly one entry, valid
+        and attributable to one of the writers — never a torn mix."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        writers = 4
+        with ProcessPoolExecutor(max_workers=writers) as pool:
+            done = list(
+                pool.map(
+                    _hammer_put,
+                    [(str(tmp_path), w, 25) for w in range(writers)],
+                )
+            )
+        assert sorted(done) == list(range(writers))
+
+        cache = ScheduleCache(tmp_path)
+        assert len(cache) == 1
+        entry = cache.get("cafe" * 16, "kahn@1")
+        assert entry is not None
+        assert entry.order == ("a", "b", "c")
+        # last-writer-wins: the surviving entry is one writer's, intact
+        winner = entry.meta["writer"]
+        assert winner in range(writers)
+        assert entry.graph_name == f"writer-{winner}"
+        # no orphaned temp files linger in the shard
+        shard = tmp_path / ("cafe" * 16)[:2]
+        assert not list(shard.glob("*.tmp"))
+        assert cache.stats.corrupt == 0

@@ -1,0 +1,125 @@
+"""ArenaPool: reuse, budget admission control, eviction, baseline mode."""
+
+import threading
+
+import pytest
+
+from repro.compiler import CompilationPipeline
+from repro.exceptions import AdmissionError, ServingError
+from repro.scheduler.device import DeviceSpec
+from repro.serving import ArenaPool, ModelRegistry
+
+
+@pytest.fixture
+def registry(chain_graph, diamond_graph):
+    registry = ModelRegistry()
+    pipeline = CompilationPipeline("greedy")
+    registry.register(pipeline.compile(chain_graph), name="chain")
+    registry.register(pipeline.compile(diamond_graph), name="diamond")
+    return registry
+
+
+class TestReuse:
+    def test_acquire_release_reuses_executor(self, registry):
+        pool = ArenaPool(registry)
+        first = pool.acquire("chain")
+        pool.release("chain", first)
+        second = pool.acquire("chain")
+        assert second is first  # same arena, same placement work
+        stats = pool.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+
+    def test_lease_context_manager(self, registry):
+        pool = ArenaPool(registry)
+        from repro.runtime.executor import random_feeds
+
+        with pool.lease("diamond") as px:
+            px.run(random_feeds(registry.get("diamond").graph))
+        assert pool.stats().leased == 0
+
+    def test_concurrent_leases_get_distinct_executors(self, registry):
+        pool = ArenaPool(registry)
+        a = pool.acquire("chain")
+        b = pool.acquire("chain")
+        assert a is not b
+        pool.release("chain", a)
+        pool.release("chain", b)
+        assert pool.stats().misses == 2
+
+    def test_resident_bytes_track_plan_arenas(self, registry):
+        pool = ArenaPool(registry)
+        px = pool.acquire("chain")
+        assert pool.stats().resident_bytes == registry.arena_bytes("chain")
+        pool.release("chain", px)  # idle executors stay resident
+        assert pool.stats().resident_bytes == registry.arena_bytes("chain")
+
+    def test_close_refuses_acquires(self, registry):
+        pool = ArenaPool(registry)
+        pool.release("chain", pool.acquire("chain"))
+        pool.close()
+        assert pool.stats().resident_bytes == 0
+        with pytest.raises(ServingError, match="closed"):
+            pool.acquire("chain")
+
+
+class TestBudget:
+    def test_never_fitting_model_rejected_outright(self, registry):
+        pool = ArenaPool(registry, budget=DeviceSpec("tiny", 16))
+        with pytest.raises(AdmissionError, match="never"):
+            pool.acquire("chain")
+        assert pool.stats().resident_bytes == 0
+
+    def test_idle_arena_evicted_to_admit_other_model(self, registry):
+        both = registry.arena_bytes("chain") + registry.arena_bytes("diamond")
+        budget = both - 1  # fits either, never both
+        pool = ArenaPool(registry, budget=budget)
+        pool.release("chain", pool.acquire("chain"))
+        px = pool.acquire("diamond")  # must evict the idle chain arena
+        stats = pool.stats()
+        assert stats.evictions == 1
+        assert stats.resident_bytes == registry.arena_bytes("diamond")
+        pool.release("diamond", px)
+
+    def test_exhausted_budget_blocks_until_release(self, registry):
+        budget = max(
+            registry.arena_bytes("chain"), registry.arena_bytes("diamond")
+        )
+        pool = ArenaPool(registry, budget=budget)
+        held = pool.acquire("chain")
+
+        acquired = []
+
+        def waiter():
+            px = pool.acquire("diamond", timeout=10.0)
+            acquired.append(px)
+            pool.release("diamond", px)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        t.join(timeout=0.2)
+        assert t.is_alive()  # blocked: everything resident is leased
+        pool.release("chain", held)
+        t.join(timeout=10.0)
+        assert not t.is_alive() and acquired
+        assert pool.stats().waits >= 1
+
+    def test_admission_timeout_raises(self, registry):
+        budget = registry.arena_bytes("chain")
+        pool = ArenaPool(registry, budget=budget)
+        held = pool.acquire("chain")
+        with pytest.raises(AdmissionError, match="timed out"):
+            pool.acquire("chain", timeout=0.05)
+        pool.release("chain", held)
+
+
+class TestBaselineMode:
+    def test_no_reuse_discards_on_release(self, registry):
+        pool = ArenaPool(registry, reuse=False)
+        first = pool.acquire("chain")
+        pool.release("chain", first)
+        second = pool.acquire("chain")
+        assert second is not first
+        stats = pool.stats()
+        assert stats.hits == 0 and stats.misses == 2
+        pool.release("chain", second)
+        assert pool.stats().resident_bytes == 0

@@ -1,0 +1,86 @@
+"""ModelRegistry: naming, signature verification, artifact loading."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.compiler import CompilationPipeline
+from repro.exceptions import ServingError
+from repro.serving import ModelRegistry
+
+
+@pytest.fixture
+def compiled(diamond_graph):
+    return CompilationPipeline("greedy").compile(diamond_graph)
+
+
+class TestRegister:
+    def test_register_and_get(self, compiled):
+        registry = ModelRegistry()
+        name = registry.register(compiled)
+        assert name == compiled.graph.name
+        assert registry.get(name) is compiled
+        assert name in registry
+        assert registry.names() == [name]
+        assert registry.arena_bytes(name) == compiled.plan.arena_bytes
+
+    def test_custom_name(self, compiled):
+        registry = ModelRegistry()
+        assert registry.register(compiled, name="prod-v1") == "prod-v1"
+        assert "prod-v1" in registry
+
+    def test_reregistering_same_artifact_is_idempotent(self, compiled):
+        registry = ModelRegistry()
+        registry.register(compiled, name="m")
+        registry.register(compiled, name="m")
+        assert len(registry) == 1
+
+    def test_name_collision_with_different_artifact_rejected(
+        self, compiled, chain_graph
+    ):
+        other = CompilationPipeline("greedy").compile(chain_graph)
+        registry = ModelRegistry()
+        registry.register(compiled, name="m")
+        with pytest.raises(ServingError, match="already registered"):
+            registry.register(other, name="m")
+
+    def test_same_graph_different_compilation_rejected(self, diamond_graph):
+        """Same graph signature is not the same artifact: a different
+        schedule/plan under an existing name must not silently replace
+        it (leased executors would desync pool byte accounting)."""
+        a = CompilationPipeline("kahn").compile(diamond_graph)
+        b = CompilationPipeline("greedy").compile(diamond_graph)
+        registry = ModelRegistry()
+        registry.register(a, name="m")
+        with pytest.raises(ServingError, match="already registered"):
+            registry.register(b, name="m")
+
+    def test_signature_mismatch_rejected(self, compiled):
+        forged = dataclasses.replace(compiled, signature="0" * 64)
+        with pytest.raises(ServingError, match="signature"):
+            ModelRegistry().register(forged)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ServingError, match="unknown model"):
+            ModelRegistry().get("nope")
+
+
+class TestLoad:
+    def test_load_verified_artifact(self, compiled, tmp_path):
+        path = compiled.save(tmp_path / "m.json")
+        registry = ModelRegistry()
+        name = registry.load(path)
+        assert registry.get(name).signature == compiled.signature
+
+    def test_tampered_artifact_rejected(self, compiled, tmp_path):
+        path = compiled.save(tmp_path / "m.json")
+        doc = json.loads(path.read_text())
+        doc["graph"]["nodes"][0]["name"] += "-evil"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ServingError, match="cannot load"):
+            ModelRegistry().load(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ServingError, match="cannot load"):
+            ModelRegistry().load(tmp_path / "absent.json")

@@ -1,0 +1,168 @@
+"""RequestScheduler: dispatch, micro-batching, concurrent bitwise parity."""
+
+import time
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompilationPipeline
+from repro.exceptions import ExecutionError, ServingError
+from repro.runtime.executor import Executor, init_params, random_feeds
+from repro.serving import (
+    ArenaPool,
+    ModelRegistry,
+    RequestScheduler,
+    run_load,
+)
+from repro.serving.scheduler import _Request
+
+
+@pytest.fixture
+def registry(chain_graph, diamond_graph):
+    registry = ModelRegistry()
+    pipeline = CompilationPipeline("greedy")
+    registry.register(pipeline.compile(chain_graph), name="chain")
+    registry.register(pipeline.compile(diamond_graph), name="diamond")
+    return registry
+
+
+class TestDispatch:
+    def test_submit_returns_reference_outputs(self, registry):
+        graph = registry.get("chain").graph
+        feeds = random_feeds(graph)
+        ref = Executor(graph, params=init_params(graph, 0)).run(feeds)
+        pool = ArenaPool(registry)
+        with RequestScheduler(registry, pool, workers=2) as server:
+            result = server.submit("chain", feeds).result(timeout=30)
+        assert set(result.outputs) == set(ref)
+        for name in ref:
+            np.testing.assert_array_equal(ref[name], result.outputs[name])
+        assert result.stats.model == "chain"
+        assert result.stats.run_s > 0
+
+    def test_output_subset_request(self, registry):
+        graph = registry.get("chain").graph
+        feeds = random_feeds(graph)
+        pool = ArenaPool(registry)
+        with RequestScheduler(registry, pool, workers=1) as server:
+            result = server.submit("chain", feeds, outputs=["r"]).result(timeout=30)
+        assert set(result.outputs) == {"r"}
+
+    def test_unknown_model_fails_fast(self, registry):
+        pool = ArenaPool(registry)
+        with RequestScheduler(registry, pool, workers=1) as server:
+            with pytest.raises(ServingError, match="unknown model"):
+                server.submit("nope", {})
+
+    def test_submit_before_start_rejected(self, registry):
+        server = RequestScheduler(registry, ArenaPool(registry), workers=1)
+        with pytest.raises(ServingError, match="not running"):
+            server.submit("chain", {})
+
+    def test_request_error_sets_future_exception(self, registry):
+        pool = ArenaPool(registry)
+        with RequestScheduler(registry, pool, workers=1) as server:
+            fut = server.submit("chain", {})  # missing feeds
+            with pytest.raises(ExecutionError, match="missing feed"):
+                fut.result(timeout=30)
+        assert server.stats().errors == 1
+        # the pool survives failed requests
+        assert pool.stats().leased == 0
+
+
+class TestMicroBatching:
+    def _request(self, model: str) -> _Request:
+        return _Request(
+            model=model,
+            feeds={},
+            outputs=None,
+            future=Future(),
+            enqueued_at=time.perf_counter(),
+        )
+
+    def test_take_batch_groups_same_model(self, registry):
+        server = RequestScheduler(
+            registry, ArenaPool(registry), workers=1, max_batch=3
+        )
+        for model in ("chain", "chain", "diamond", "chain", "chain"):
+            server._queue.append(self._request(model))
+        batch = server._take_batch()
+        assert [r.model for r in batch] == ["chain", "chain", "chain"]
+        # the skipped diamond request kept its place at the head
+        assert [r.model for r in server._queue] == ["diamond", "chain"]
+
+    def test_take_batch_respects_limit_one(self, registry):
+        server = RequestScheduler(registry, ArenaPool(registry), workers=1)
+        for model in ("chain", "chain"):
+            server._queue.append(self._request(model))
+        assert len(server._take_batch()) == 1
+
+    def test_batched_requests_all_answered(self, registry):
+        graph = registry.get("diamond").graph
+        params = init_params(graph, 0)
+        pool = ArenaPool(registry)
+        with RequestScheduler(
+            registry, pool, workers=1, max_batch=4
+        ) as server:
+            futures = [
+                server.submit("diamond", random_feeds(graph, seed=i))
+                for i in range(8)
+            ]
+            results = [f.result(timeout=30) for f in futures]
+        ref = Executor(graph, params=params)
+        for i, result in enumerate(results):
+            want = ref.run(random_feeds(graph, seed=i))
+            for name in want:
+                np.testing.assert_array_equal(want[name], result.outputs[name])
+        stats = server.stats()
+        assert stats.requests == 8
+        assert stats.batches <= 8  # some leases served several requests
+
+
+class TestConcurrentServing:
+    def test_four_clients_two_models_bitwise(self, registry):
+        """The acceptance-criterion shape: >= 4 concurrent clients over
+        >= 2 resident models, every response bitwise-equal to the
+        reference executor."""
+        report = run_load(
+            registry,
+            requests=32,
+            clients=4,
+            workers=4,
+            max_batch=4,
+            verify=True,
+        )
+        assert report.errors == 0
+        assert report.verified is True
+        assert len(report.models) == 2
+        assert report.pool.hit_rate > 0.0
+        assert report.rps > 0
+
+    def test_budgeted_run_with_eviction_still_bitwise(self, registry):
+        budget = max(
+            registry.arena_bytes("chain"), registry.arena_bytes("diamond")
+        ) + min(
+            registry.arena_bytes("chain"), registry.arena_bytes("diamond")
+        ) // 2
+        report = run_load(
+            registry,
+            requests=24,
+            clients=4,
+            workers=2,
+            budget=budget,
+            verify=True,
+        )
+        assert report.errors == 0
+        assert report.verified is True
+
+    def test_baseline_mode_serves_identically(self, registry):
+        report = run_load(
+            registry, requests=12, clients=3, workers=2, reuse=False, verify=True
+        )
+        assert report.verified is True
+        assert report.pool.hits == 0
+
+    def test_stats_percentiles_ordered(self, registry):
+        report = run_load(registry, requests=16, clients=2, workers=2)
+        assert 0.0 < report.p50_ms <= report.p99_ms
