@@ -6,11 +6,19 @@ asserts the reproduction's qualitative claims. SERENITY compilations are
 cached per process (``repro.experiments.common``), so the suite shares
 one compilation of each cell across figures.
 
+Performance benchmarks additionally write machine-readable
+``BENCH_<name>.json`` documents (via ``save_json``) so the perf
+trajectory — req/s, samples/s, latency percentiles, arena peaks — is
+tracked across PRs; CI uploads them as build artifacts and into the
+step summary.
+
 Run with ``pytest benchmarks/ --benchmark-only``.
 """
 
 from __future__ import annotations
 
+import json
+import platform
 from pathlib import Path
 
 import pytest
@@ -29,5 +37,33 @@ def save_result(results_dir):
     def _save(name: str, text: str) -> None:
         (results_dir / f"{name}.txt").write_text(text + "\n")
         print(f"\n{text}\n")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_json(results_dir):
+    """Persist a machine-readable benchmark document.
+
+    ``save_json("serving", payload)`` writes
+    ``benchmarks/results/BENCH_serving.json`` with a small host
+    fingerprint merged in, so results compared across PRs carry the
+    context needed to explain absolute-number drift.
+    """
+    import numpy
+
+    def _save(name: str, payload: dict) -> Path:
+        doc = {
+            "bench": name,
+            "host": {
+                "python": platform.python_version(),
+                "numpy": numpy.__version__,
+                "machine": platform.machine(),
+            },
+            **payload,
+        }
+        path = results_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        return path
 
     return _save

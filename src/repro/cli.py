@@ -10,9 +10,11 @@ Subcommands
                    the schedule report
 ``compile-batch``  portfolio-compile many graphs in parallel with the
                    persistent scheduling cache
-``serve``          load artifacts into the concurrent serving runtime
-                   and drive a synthetic request load through it
-``bench-serve``    serving throughput A/B: pooled arena reuse vs the
+``serve``          load artifacts — or compile cells/graphs on the spot
+                   through the schedule cache — into the concurrent
+                   serving runtime and drive a synthetic request load
+``bench-serve``    serving throughput A/B: pooled arena reuse (with
+                   stacked tensor batching) vs the
                    fresh-allocation-per-request baseline
 ``experiment``     regenerate one of the paper's tables/figures
 ``list``           list benchmark cells, strategies and experiments
@@ -266,6 +268,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.exceptions import ReproError
     from repro.serving import ModelRegistry, run_load
 
+    if not args.artifacts and not args.cells and not args.graphs:
+        print(
+            "error: nothing to serve; pass artifact file(s), --cell or --graph",
+            file=sys.stderr,
+        )
+        return 2
+
     registry = ModelRegistry()
     try:
         for path in args.artifacts:
@@ -273,8 +282,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             model = registry.get(name)
             print(f"loaded {name}: {len(model.graph)} nodes, "
                   f"arena {model.arena_bytes / 1024:.1f}KB ({model.strategy})")
+        # "point it at a graph" deployments: compile sources on the spot,
+        # served from the persistent schedule cache when warm
+        if args.cells or args.graphs:
+            from repro.compiler import CompilationPipeline
+            from repro.graph.serialization import load_graph
+            from repro.scheduler.cache import ScheduleCache
+
+            pipeline = CompilationPipeline(
+                args.strategy,
+                cache=None if args.no_cache else ScheduleCache(args.cache_dir),
+            )
+            sources = [get_cell(key).factory() for key in args.cells or []]
+            sources += [load_graph(path) for path in args.graphs or []]
+            for graph in sources:
+                name = registry.register(pipeline.compile(graph))
+                model = registry.get(name)
+                cached = model.meta.get("cached")
+                print(f"compiled {name}: {len(model.graph)} nodes, "
+                      f"arena {model.arena_bytes / 1024:.1f}KB "
+                      f"({model.strategy}"
+                      f"{', cached schedule' if cached else ''})")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError, KeyError) as exc:
+        # e.g. a malformed --graph file raising a bare KeyError('op')
+        print(
+            f"error: cannot load serving sources: {exc!r}", file=sys.stderr
+        )
         return 2
 
     try:
@@ -289,6 +325,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             reuse=not args.no_reuse,
             scrub=args.scrub,
             verify=args.verify,
+            preload=args.preload,
         )
     except ReproError as exc:
         print(f"error: serving run failed: {exc}", file=sys.stderr)
@@ -333,7 +370,8 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         run_load(registry, requests=args.clients, clients=args.clients,
                  workers=args.workers, budget=budget, reuse=False)
         pooled = run_load(
-            registry, max_batch=args.max_batch, reuse=True, **common
+            registry, max_batch=args.max_batch, reuse=True,
+            preload=args.preload, **common
         )
         fresh = run_load(registry, max_batch=1, reuse=False, **common)
     except ReproError as exc:
@@ -345,7 +383,9 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     print(fresh.summary())
     print()
     speedup = pooled.rps / fresh.rps if fresh.rps else float("inf")
-    print(f"arena reuse speedup     : {speedup:9.2f}x requests/sec")
+    print(f"arena reuse speedup     : {speedup:9.2f}x requests/sec "
+          f"(stacked batch {pooled.batch_size}, "
+          f"mean {pooled.mean_batch:.2f})")
     return 0
 
 
@@ -523,7 +563,14 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--max-batch", type=int, default=4,
-            help="micro-batch limit for same-model requests (default 4)",
+            help="micro-batch limit for same-model requests; pooled "
+            "executors are built batch-capable at this capacity, so a "
+            "drained batch runs as ONE stacked kernel pass (default 4)",
+        )
+        p.add_argument(
+            "--preload", action="store_true",
+            help="build one executor per model before accepting traffic "
+            "(kills cold-start builds in the latency tail)",
         )
         p.add_argument(
             "--budget-device",
@@ -541,15 +588,48 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_serve = sub.add_parser(
         "serve",
-        help="serve compiled artifacts under a synthetic request load",
-        description="Load CompiledModel artifacts into the serving "
-        "runtime (registry -> arena pool -> request scheduler) and drive "
-        "a concurrent synthetic load, reporting throughput, latency "
+        help="serve compiled artifacts or freshly compiled graphs",
+        description="Load CompiledModel artifacts — and/or compile "
+        "benchmark cells / saved graphs on the spot through the "
+        "persistent schedule cache — into the serving runtime "
+        "(registry -> arena pool -> request scheduler) and drive a "
+        "concurrent synthetic load, reporting throughput, latency "
         "percentiles and the arena-reuse hit rate.",
     )
     p_serve.add_argument(
-        "artifacts", nargs="+", metavar="ARTIFACT",
+        "artifacts", nargs="*", metavar="ARTIFACT",
         help="CompiledModel JSON artifact(s) to register",
+    )
+    p_serve.add_argument(
+        "--cell",
+        dest="cells",
+        action="append",
+        choices=sorted(BENCHMARK_SUITE),
+        help="benchmark cell to compile-and-serve (repeatable; schedules "
+        "come from the persistent cache when warm)",
+    )
+    p_serve.add_argument(
+        "--graph",
+        dest="graphs",
+        action="append",
+        metavar="FILE",
+        help="saved graph JSON to compile-and-serve (repeatable)",
+    )
+    p_serve.add_argument(
+        "--strategy",
+        choices=strategy_names(),
+        default="greedy",
+        help="scheduling strategy for --cell/--graph compilation "
+        "(default: greedy)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        help="schedule cache directory (default $REPRO_CACHE_DIR or "
+        "~/.cache/repro/schedules)",
+    )
+    p_serve.add_argument(
+        "--no-cache", action="store_true",
+        help="compile --cell/--graph sources without the schedule cache",
     )
     add_serving_options(p_serve, requests=64)
     p_serve.add_argument(

@@ -77,12 +77,36 @@ class CompiledModel:
             return None
         return self.plan.arena_bytes <= self.device.sram_bytes
 
-    def executor(self, params=None, seed: int = 0):
-        """A ready :class:`~repro.runtime.plan_executor.PlanExecutor`."""
+    def arena_bytes_for(self, batch_size: int) -> int:
+        """Arena bytes a batch-capable executor of this model provisions.
+
+        The batched layout is ``batch_size`` per-sample rows, so peak
+        memory scales linearly: every planned offset and lifetime is
+        reused per row, and admission control can price a batch-``N``
+        executor as exactly ``N x`` the compiled plan.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        return self.plan.arena_bytes * batch_size
+
+    def executor(
+        self, params=None, seed: int = 0, batch_size: int = 1, scrub: str = "never"
+    ):
+        """A ready :class:`~repro.runtime.plan_executor.PlanExecutor`.
+
+        ``batch_size=N`` provisions ``N`` arena rows so ``run_batch``
+        can execute up to ``N`` stacked samples per dispatch.
+        """
         from repro.runtime.plan_executor import PlanExecutor
 
         return PlanExecutor(
-            self.graph, self.schedule, self.plan, params=params, seed=seed
+            self.graph,
+            self.schedule,
+            self.plan,
+            params=params,
+            seed=seed,
+            batch_size=batch_size,
+            scrub=scrub,
         )
 
     # ------------------------------------------------------------------

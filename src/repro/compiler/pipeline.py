@@ -132,6 +132,9 @@ class CompilationPipeline:
             "compile_time_s": compile_time_s,
             "source_nodes": source_nodes,
             "nodes": len(target),
+            # batched serving provisions batch_size x this figure: the
+            # strided batch layout repeats the per-sample plan per row
+            "arena_bytes_per_sample": plan.arena_bytes,
         }
         if self.device is not None:
             meta["fits"] = plan.arena_bytes <= self.device.sram_bytes

@@ -9,6 +9,22 @@ testable with ``allclose`` rather than argued on paper.
 Layout conventions: feature maps are ``(C, H, W)``; convolution weights
 ``(M, C, kh, kw)``; depthwise weights ``(C, mult, kh, kw)``; dense
 weights ``(units, features)``.
+
+Batched variants
+----------------
+Every kernel also exists in a **batched** form that takes tensors with
+one extra leading batch axis ``N`` (feature maps ``(N, C, H, W)``,
+dense activations ``(N, features)``) and computes all samples in a
+single NumPy call — that amortises per-call dispatch overhead, which on
+the paper's micro cells dominates kernel compute. The batched kernels
+are held to a *per-sample bitwise* contract: row ``b`` of a batched
+result equals the unbatched kernel applied to row ``b`` of the inputs,
+bit for bit. Each implementation therefore reproduces the unbatched
+float-operation order per sample (same einsum contraction axis, same
+ufunc chains, matrix–vector products kept per sample under matmul
+broadcasting rather than reassociated into one GEMM); the batched
+parity suite in ``tests/runtime`` asserts the contract over every
+operator and suite cell.
 """
 
 from __future__ import annotations
@@ -26,8 +42,12 @@ __all__ = [
     "depthwise_conv2d",
     "max_pool2d",
     "avg_pool2d",
+    "batched_conv2d",
+    "batched_depthwise_conv2d",
     "KERNELS",
     "OUT_KERNELS",
+    "BATCH_KERNELS",
+    "BATCH_OUT_KERNELS",
 ]
 
 
@@ -319,6 +339,240 @@ OUT_KERNELS = {
     "concat": _o_concat,
     "flatten": _o_flatten,
     "slice_channels": _o_slice_channels,
+}
+
+
+# ----------------------------------------------------------------------
+# batched kernels: one leading batch axis, one NumPy call per node
+# ----------------------------------------------------------------------
+# Feature maps are (N, C, H, W); dense activations (N, features).
+# Per-sample bitwise parity with the unbatched kernels is load-bearing
+# (the serving layer scatters a stacked run back to individual requests
+# that are verified against the reference executor), so reductions keep
+# the unbatched contraction order per sample: einsum contracts the same
+# axis, pooling reduces the same tap axis, and dense stays a broadcast
+# stack of matrix–vector products instead of one reassociated GEMM.
+
+
+def _batched_padded(
+    x: np.ndarray, pt: int, pb: int, pl: int, pr: int, fill: float
+) -> np.ndarray:
+    """Constant-pad the spatial dims of a (N, C, H, W) stack."""
+    n, c, h, w = x.shape
+    if fill == 0.0:
+        xp = np.zeros((n, c, h + pt + pb, w + pl + pr), dtype=x.dtype)
+    else:
+        xp = np.full((n, c, h + pt + pb, w + pl + pr), fill, dtype=x.dtype)
+    xp[:, :, pt : pt + h, pl : pl + w] = x
+    return xp
+
+
+def _batched_pad_same(x: np.ndarray, kernel, stride, padding) -> np.ndarray:
+    (pt, pb), (pl, pr) = _padding_amounts(
+        x.shape[2], x.shape[3], kernel, stride, padding
+    )
+    if pt == pb == pl == pr == 0:
+        return x
+    return _batched_padded(x, pt, pb, pl, pr, 0.0)
+
+
+def _batched_tap_view(
+    xp: np.ndarray, u: int, v: int, oh: int, ow: int, sh: int, sw: int
+) -> np.ndarray:
+    """The (N, C, oh, ow) input window hitting kernel tap (u, v)."""
+    return xp[:, :, u : u + oh * sh : sh, v : v + ow * sw : sw]
+
+
+def batched_conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride=1,
+    padding="same",
+) -> np.ndarray:
+    """Batched convolution: ``(N,C,H,W) x (M,C,kh,kw) -> (N,M,oh,ow)``."""
+    kernel = weight.shape[2], weight.shape[3]
+    stride = normalize_pair(stride, "stride")
+    oh, ow = conv_output_hw(x.shape[2], x.shape[3], kernel, stride, padding)
+    xp = _batched_pad_same(x, kernel, stride, padding)
+    out = np.zeros(
+        (x.shape[0], weight.shape[0], oh, ow), dtype=np.result_type(x, weight)
+    )
+    for u in range(kernel[0]):
+        for v in range(kernel[1]):
+            window = _batched_tap_view(xp, u, v, oh, ow, *stride)
+            out += np.einsum("bchw,mc->bmhw", window, weight[:, :, u, v])
+    if bias is not None:
+        out += bias[:, None, None]
+    return out
+
+
+def batched_depthwise_conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride=1,
+    padding="same",
+) -> np.ndarray:
+    """Batched depthwise conv: ``(N,C,H,W) x (C,mult,kh,kw) -> (N,C*mult,oh,ow)``."""
+    c, mult = weight.shape[0], weight.shape[1]
+    kernel = weight.shape[2], weight.shape[3]
+    stride = normalize_pair(stride, "stride")
+    oh, ow = conv_output_hw(x.shape[2], x.shape[3], kernel, stride, padding)
+    xp = _batched_pad_same(x, kernel, stride, padding)
+    out = np.zeros((x.shape[0], c, mult, oh, ow), dtype=np.result_type(x, weight))
+    for u in range(kernel[0]):
+        for v in range(kernel[1]):
+            window = _batched_tap_view(xp, u, v, oh, ow, *stride)  # (N,C,oh,ow)
+            out += window[:, :, None] * weight[:, :, u, v][None, :, :, None, None]
+    out = out.reshape(x.shape[0], c * mult, oh, ow)
+    if bias is not None:
+        out += bias[:, None, None]
+    return out
+
+
+def _batched_pool(x: np.ndarray, attrs: dict[str, Any], reducer) -> np.ndarray:
+    kernel = normalize_pair(attrs.get("kernel", 2), "kernel")
+    stride = normalize_pair(attrs.get("stride", kernel), "stride")
+    padding = attrs.get("padding", "valid")
+    oh, ow = conv_output_hw(x.shape[2], x.shape[3], kernel, stride, padding)
+    if padding == "valid":
+        xp = x
+    else:
+        fill = -np.inf if reducer is np.maximum else 0.0
+        (pt, pb), (pl, pr) = _padding_amounts(
+            x.shape[2], x.shape[3], kernel, stride, padding
+        )
+        xp = _batched_padded(x, pt, pb, pl, pr, fill)
+    taps = [
+        _batched_tap_view(xp, u, v, oh, ow, *stride)
+        for u in range(kernel[0])
+        for v in range(kernel[1])
+    ]
+    stacked = np.stack(taps)  # (taps, N, C, oh, ow): same reduction axis
+    if reducer is np.maximum:
+        return stacked.max(axis=0)
+    return stacked.mean(axis=0)
+
+
+def _bk_conv2d(inputs, attrs, params):
+    return batched_conv2d(
+        inputs[0],
+        params["weight"],
+        params.get("bias"),
+        stride=attrs.get("stride", 1),
+        padding=attrs.get("padding", "same"),
+    )
+
+
+def _bk_partial_conv2d(inputs, attrs, params):
+    out = batched_conv2d(
+        inputs[0],
+        params["weight"],
+        params.get("bias"),
+        stride=attrs.get("stride", 1),
+        padding=attrs.get("padding", "same"),
+    )
+    if attrs.get("accumulate", False):
+        out = out + inputs[1]
+    return out
+
+
+def _bk_depthwise(inputs, attrs, params):
+    return batched_depthwise_conv2d(
+        inputs[0],
+        params["weight"],
+        params.get("bias"),
+        stride=attrs.get("stride", 1),
+        padding=attrs.get("padding", "same"),
+    )
+
+
+def _bk_fused_sep(inputs, attrs, params):
+    mid = batched_depthwise_conv2d(
+        inputs[0],
+        params["dw_weight"],
+        None,
+        stride=attrs.get("stride", 1),
+        padding=attrs.get("padding", "same"),
+    )
+    return batched_conv2d(
+        mid, params["pw_weight"], params.get("bias"), stride=1, padding="same"
+    )
+
+
+def _bk_dense(inputs, attrs, params):
+    # (units, features) @ (N, features, 1) broadcasts to N independent
+    # matrix-vector products — bitwise the unbatched ``weight @ x`` per
+    # sample, which one reassociated (N,features) GEMM would not be
+    out = np.matmul(params["weight"], inputs[0][:, :, None])[:, :, 0]
+    bias = params.get("bias")
+    return out + bias if bias is not None else out
+
+
+def _bk_batch_norm(inputs, attrs, params):
+    scale = params["scale"][:, None, None]
+    shift = params["shift"][:, None, None]
+    return inputs[0] * scale + shift
+
+
+#: batched op dispatch: fn(inputs, attrs, params) -> (N, ...) ndarray.
+#: Positionwise ops reuse the unbatched callables outright — an extra
+#: leading axis changes nothing about an elementwise ufunc chain.
+BATCH_KERNELS = {
+    "input": _k_input,
+    "conv2d": _bk_conv2d,
+    "partial_conv2d": _bk_partial_conv2d,
+    "depthwise_conv2d": _bk_depthwise,
+    "partial_depthwise_conv2d": _bk_depthwise,
+    "fused_sep_conv3x3": _bk_fused_sep,
+    "concat": lambda i, a, p: np.concatenate(i, axis=1),
+    "add": _k_add,
+    "mul": _k_mul,
+    "relu": lambda i, a, p: np.maximum(i[0], 0.0),
+    "relu6": lambda i, a, p: np.clip(i[0], 0.0, 6.0),
+    "sigmoid": lambda i, a, p: 1.0 / (1.0 + np.exp(-i[0])),
+    "tanh": lambda i, a, p: np.tanh(i[0]),
+    "identity": lambda i, a, p: i[0],
+    "batch_norm": _bk_batch_norm,
+    "max_pool2d": lambda i, a, p: _batched_pool(i[0], a, np.maximum),
+    "avg_pool2d": lambda i, a, p: _batched_pool(i[0], a, np.add),
+    "global_avg_pool": lambda i, a, p: i[0].mean(axis=(2, 3), keepdims=True),
+    "flatten": lambda i, a, p: i[0].reshape(i[0].shape[0], -1),
+    "dense": _bk_dense,
+    "slice_channels": lambda i, a, p: i[0][:, a["range"][0] : a["range"][1]],
+}
+
+
+def _bo_concat(inputs, attrs, params, out):
+    lo = 0
+    for x in inputs:
+        out[:, lo : lo + x.shape[1]] = x
+        lo += x.shape[1]
+    if lo != out.shape[1]:
+        raise ExecutionError(
+            f"concat operands fill {lo} of {out.shape[1]} output channels"
+        )
+
+
+#: batched destination-write variants. The elementwise entries are the
+#: unbatched callables unchanged (``out=`` ufuncs are shape-generic and
+#: batch_norm's (C, 1, 1) factors broadcast across the batch axis); only
+#: the layout ops need to respect the shifted channel axis.
+BATCH_OUT_KERNELS = {
+    "add": _o_add,
+    "mul": _o_mul,
+    "relu": OUT_KERNELS["relu"],
+    "relu6": OUT_KERNELS["relu6"],
+    "sigmoid": _o_sigmoid,
+    "tanh": OUT_KERNELS["tanh"],
+    "identity": OUT_KERNELS["identity"],
+    "batch_norm": _o_batch_norm,
+    "concat": _bo_concat,
+    "flatten": lambda i, a, p, out: np.copyto(out, i[0].reshape(out.shape)),
+    "slice_channels": lambda i, a, p, out: np.copyto(
+        out, i[0][:, a["range"][0] : a["range"][1]]
+    ),
 }
 
 

@@ -43,6 +43,25 @@ construction and only enabled where the destination range is disjoint
 from — or exactly equal to, for positionwise ops — every input's range,
 so aliased layouts can never corrupt an operand mid-kernel.
 
+Batching
+--------
+``batch_size=N`` makes the executor **batch-native**: the arena becomes
+``N`` per-sample rows (a strided ``(N, arena_elems)`` layout), so every
+planned byte offset, lifetime and hazard verdict from the per-sample
+compilation is reused unchanged — row ``b`` of the batched arena is
+exactly the single-sample arena of sample ``b``, and nothing is
+re-scheduled. :meth:`run_batch` executes up to ``N`` stacked samples
+per step through the batched kernel tables
+(:data:`~repro.runtime.kernels.BATCH_KERNELS` /
+:data:`~repro.runtime.kernels.BATCH_OUT_KERNELS`), paying NumPy's
+per-call dispatch once per node per batch instead of once per node per
+sample. A partial batch ``n < N`` runs on the first ``n`` arena rows at
+its true size — no padding, no wasted compute. Per-sample results are
+bitwise those of :meth:`run` (and therefore of the reference executor);
+the batched parity suite asserts that across the benchmark suite.
+:meth:`run` itself always executes single-sample on row 0 with the
+unbatched kernels, whatever the construction batch size.
+
 Offsets inside a shared buffer
 ------------------------------
 The :class:`~repro.scheduler.memory.BufferModel` says *which* tensors
@@ -58,7 +77,7 @@ silently corrupting memory.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Mapping
+from typing import Iterable, Mapping
 
 import numpy as np
 
@@ -67,7 +86,12 @@ from repro.exceptions import ExecutionError
 from repro.graph.graph import Graph
 from repro.graph.node import Node
 from repro.runtime.executor import Params, init_params
-from repro.runtime.kernels import KERNELS, OUT_KERNELS
+from repro.runtime.kernels import (
+    BATCH_KERNELS,
+    BATCH_OUT_KERNELS,
+    KERNELS,
+    OUT_KERNELS,
+)
 from repro.scheduler.memory import BufferModel
 from repro.scheduler.schedule import Schedule
 
@@ -172,9 +196,9 @@ class PlanExecutionStats:
     """Arena accounting measured during one :meth:`PlanExecutor.run`."""
 
     steps: int
-    #: the plan's promised capacity
+    #: the plan's promised capacity (per sample — one arena row)
     arena_bytes: int
-    #: highest byte extent any live buffer actually reached
+    #: highest byte extent any live buffer actually reached (per sample)
     measured_peak_bytes: int
     #: whether this run reused the bytes of a previous run's arena
     arena_reused: bool = False
@@ -182,6 +206,8 @@ class PlanExecutionStats:
     direct_writes: int = 0
     #: kernels that fell back to temporary-then-copy
     copy_writes: int = 0
+    #: samples executed by this run (1 for :meth:`PlanExecutor.run`)
+    batch: int = 1
 
     @property
     def utilization(self) -> float:
@@ -217,9 +243,14 @@ class _RunPlan:
 SCRUB_POLICIES = ("never", "zero", "fresh")
 
 #: compiled pruned-output plans kept per executor (the full-schedule
-#: plan is pinned separately); long-lived pooled executors must not
+#: plans are pinned separately); long-lived pooled executors must not
 #: grow without bound under request traffic with varied output subsets
 _RUN_PLAN_CACHE_LIMIT = 32
+
+#: plan-cache batch key for the unbatched single-sample path (row 0,
+#: unbatched kernel tables) — distinct from a batched run at n == 1,
+#: which binds (1, ...)-shaped views and the batched tables
+_UNBATCHED = 0
 
 
 class PlanExecutor:
@@ -247,6 +278,10 @@ class PlanExecutor:
     ``"fresh"``
         allocate a brand-new zeroed arena per run — the historical
         per-request behaviour, kept as the benchmark baseline.
+
+    ``batch_size=N`` provisions ``N`` arena rows with the identical
+    per-sample layout, enabling :meth:`run_batch` over up to ``N``
+    stacked samples (see the module docstring).
     """
 
     def __init__(
@@ -258,11 +293,16 @@ class PlanExecutor:
         seed: int = 0,
         model: BufferModel | None = None,
         scrub: str = "never",
+        batch_size: int = 1,
     ) -> None:
         schedule.validate(graph)
         if scrub not in SCRUB_POLICIES:
             raise ExecutionError(
                 f"unknown scrub policy {scrub!r}; pick one of {SCRUB_POLICIES}"
+            )
+        if not isinstance(batch_size, int) or batch_size < 1:
+            raise ExecutionError(
+                f"batch_size must be a positive integer, got {batch_size!r}"
             )
         self.graph = graph
         self.schedule = schedule
@@ -270,6 +310,7 @@ class PlanExecutor:
         self.params = params if params is not None else init_params(graph, seed)
         self.model = model or BufferModel.of(graph)
         self.scrub = scrub
+        self.batch_size = batch_size
         self.runs = 0
         self.last_stats: PlanExecutionStats | None = None
 
@@ -322,16 +363,34 @@ class PlanExecutor:
         )
 
         # The arena and its per-node views live for the executor's whole
-        # lifetime: one allocation, reused by every run. Everything the
-        # hot loop needs per step (site view, kernel, argument views,
-        # parameters, liveness trace) is compiled here, once.
-        self._arena = np.zeros(self._arena_elems, dtype=_EXEC_DTYPE)
-        self._sites = self._make_sites(self._arena)
+        # lifetime: one allocation, reused by every run. Row b is the
+        # complete single-sample arena of sample b — the per-sample
+        # layout solved above is stamped out batch_size times, byte for
+        # byte. Everything the hot loop needs per step (site view,
+        # kernel, argument views, parameters, liveness trace) is
+        # compiled once per (output subset, batch width) and cached.
         self._direct = self._plan_direct_writes()
-        #: compiled run plans: None = full schedule, else pruned per
-        #: requested-output set
-        self._run_plans: dict[frozenset[str] | None, _RunPlan] = {}
-        self._run_plans[None] = self._compile_run_plan(tuple(self.schedule), 0)
+        self._alloc_arena()
+        #: compiled run plans keyed by (output subset or None for the
+        #: full schedule, batch width; _UNBATCHED = single-sample path)
+        self._run_plans: dict[tuple[frozenset[str] | None, int], _RunPlan] = {}
+        self._pinned = {(None, _UNBATCHED)}
+        if batch_size > 1:
+            self._pinned.add((None, batch_size))
+        for key in self._pinned:
+            self._run_plans[key] = self._compile_run_plan(
+                tuple(self.schedule), 0, key[1]
+            )
+
+    def _alloc_arena(self) -> None:
+        """(Re)allocate the zeroed arena and rebuild every site view."""
+        self._arena = np.zeros(
+            (self.batch_size, self._arena_elems), dtype=_EXEC_DTYPE
+        )
+        #: per-node views keyed by batch width (_UNBATCHED = row-0
+        #: views with the spec's own shape; n >= 1 = (n, ...) views
+        #: over the first n rows), built lazily per width
+        self._sites: dict[int, dict[str, np.ndarray]] = {}
 
     def _check_write_hazards(self, intra: dict[str, int]) -> None:
         """Reject schedules under which buffer sharing corrupts a read.
@@ -385,34 +444,57 @@ class PlanExecutor:
     # ------------------------------------------------------------------
     @property
     def arena_nbytes(self) -> int:
-        """Actual bytes held by the preallocated arena array."""
+        """Actual bytes held by the preallocated arena array (all
+        ``batch_size`` rows)."""
         return self._arena.nbytes
 
-    def _make_sites(self, arena: np.ndarray) -> dict[str, np.ndarray]:
-        """Per-node arena views, built once per arena allocation."""
+    def _sites_for(self, n: int) -> dict[str, np.ndarray]:
+        """Per-node arena views at batch width ``n``, built lazily once
+        per arena allocation.
+
+        ``n == _UNBATCHED`` binds row-0 views with each spec's own shape
+        (the single-sample hot path); ``n >= 1`` binds ``(n, ...)``
+        views spanning the first ``n`` rows — zero-copy strided views
+        into the same bytes, so batched and single-sample runs share
+        one arena.
+        """
+        cached = self._sites.get(n)
+        if cached is not None:
+            return cached
         sites: dict[str, np.ndarray] = {}
         for name in self.model.index.order:
             node = self.graph.node(name)
             start = self._elem_offset[name]
-            sites[name] = arena[start : start + node.output.elements].reshape(
-                node.output.shape
-            )
+            stop = start + node.output.elements
+            if n == _UNBATCHED:
+                sites[name] = self._arena[0, start:stop].reshape(node.output.shape)
+            else:
+                # splitting the (contiguous) trailing axis of a strided
+                # (n, elems) slice is always expressible as a view
+                sites[name] = self._arena[:n, start:stop].reshape(
+                    (n,) + node.output.shape
+                )
+        self._sites[n] = sites
         return sites
 
     def _elem_range(self, name: str) -> tuple[int, int]:
         start = self._elem_offset[name]
         return start, start + self.graph.node(name).output.elements
 
-    def _plan_direct_writes(self) -> dict[str, Any]:
-        """Choose, per node, a destination-write kernel that is provably
-        safe for this arena layout (see module docstring); everything
-        else keeps the temporary-then-copy fallback."""
+    def _plan_direct_writes(self) -> dict[str, str]:
+        """Choose, per node, a destination-write kernel (recorded by op
+        name; resolved against the unbatched or batched table at plan
+        compile time) that is provably safe for this arena layout (see
+        module docstring); everything else keeps the
+        temporary-then-copy fallback. The safety argument is purely
+        about per-sample element ranges, which batched rows replicate
+        exactly — one verdict covers every batch width."""
 
         def disjoint_or_equal(src: str, lo: int, hi: int) -> bool:
             s_lo, s_hi = self._elem_range(src)
             return s_hi <= lo or hi <= s_lo or (s_lo == lo and s_hi == hi)
 
-        direct: dict[str, Any] = {}
+        direct: dict[str, str] = {}
         for name in self.model.index.order:
             node = self.graph.node(name)
             out_kernel = OUT_KERNELS.get(node.op)
@@ -470,21 +552,33 @@ class PlanExecutor:
                         break
                 if not ok:
                     continue
-            direct[name] = out_kernel
+            direct[name] = node.op
         return direct
 
-    def _compile_run_plan(self, order: tuple[str, ...], executed0: int) -> "_RunPlan":
-        """Bake one execution order into a flat step table.
+    def _compile_run_plan(
+        self, order: tuple[str, ...], executed0: int, n: int
+    ) -> "_RunPlan":
+        """Bake one execution order into a flat step table at batch
+        width ``n`` (``_UNBATCHED`` for the single-sample path).
 
         The liveness trace is replayed here, once: which buffers are
         live at each step — and therefore the measured high-water mark —
         depends only on (schedule, plan, buffer model), never on request
-        data, so re-deriving it per request would re-measure a constant.
-        The replay also locates the first overflowing step, if any, so
-        ``run`` can fail with the same diagnostic the per-step check
-        used to produce.
+        data or batch width (rows are layout-identical), so re-deriving
+        it per request would re-measure a constant. The replay also
+        locates the first overflowing step, if any, so ``run`` can fail
+        with the same diagnostic the per-step check used to produce —
+        an understated plan is rejected statically, before any kernel
+        (batched or not) touches the arena.
         """
         graph, model, params = self.graph, self.model, self.params
+        if n == _UNBATCHED:
+            kernel_table, out_table = KERNELS, OUT_KERNELS
+            batch_dims: tuple[int, ...] = ()
+        else:
+            kernel_table, out_table = BATCH_KERNELS, BATCH_OUT_KERNELS
+            batch_dims = (n,)
+        sites = self._sites_for(n)
         idx = model.index
         steps: list[tuple] = []
         direct_writes = 0
@@ -510,22 +604,21 @@ class PlanExecutor:
                 if not (model.buf_required[b2] & ~executed):
                     live.discard(b2)
 
-            site = self._sites[name]
+            site = sites[name]
+            shape = batch_dims + node.output.shape
             if node.op == "input":
-                steps.append(
-                    (_STEP_INPUT, name, site, None, (), {}, {}, node.output.shape)
-                )
+                steps.append((_STEP_INPUT, name, site, None, (), {}, {}, shape))
                 continue
-            out_kernel = self._direct.get(name)
-            args = tuple(self._sites[src] for src in node.inputs)
+            direct_op = self._direct.get(name)
+            args = tuple(sites[src] for src in node.inputs)
             node_params = params.get(name, {})
-            if out_kernel is not None:
+            if direct_op is not None:
                 steps.append(
                     (
                         _STEP_DIRECT,
                         name,
                         site,
-                        out_kernel,
+                        out_table[direct_op],
                         args,
                         node.attrs,
                         node_params,
@@ -534,7 +627,7 @@ class PlanExecutor:
                 )
                 direct_writes += 1
             else:
-                kernel = KERNELS.get(node.op)
+                kernel = kernel_table.get(node.op)
                 if kernel is None:
                     raise ExecutionError(f"no kernel for op {node.op!r}")
                 steps.append(
@@ -546,7 +639,7 @@ class PlanExecutor:
                         args,
                         node.attrs,
                         node_params,
-                        node.output.shape,
+                        shape,
                     )
                 )
                 copy_writes += 1
@@ -558,35 +651,42 @@ class PlanExecutor:
             copy_writes=copy_writes,
         )
 
-    def _plan_for(self, wanted: list[str]) -> "_RunPlan":
-        """The compiled plan for an explicit output subset: the schedule
+    def _get_plan(self, wanted: list[str] | None, n: int) -> "_RunPlan":
+        """The compiled plan for ``(output subset, batch width)``.
+
+        ``wanted=None`` is the full schedule; otherwise the schedule is
         restricted to ancestors of ``wanted``, with every pruned node
         treated as already executed so shared buffers release once their
-        *remaining* consumers have run (reference-executor semantics)."""
-        key = frozenset(wanted)
+        *remaining* consumers have run (reference-executor semantics).
+        """
+        key = (None if wanted is None else frozenset(wanted), n)
         hit = self._run_plans.get(key)
         if hit is not None:
             return hit
-        needed: set[str] = set()
-        stack = list(key)
-        while stack:
-            name = stack.pop()
-            if name in needed:
-                continue
-            needed.add(name)
-            stack.extend(self.graph.node(name).inputs)
-        order = tuple(n for n in self.schedule if n in needed)
-        idx = self.model.index
-        pruned_mask = 0
-        for name in idx.order:
-            if name not in needed:
-                pruned_mask |= 1 << idx.index[name]
-        compiled = self._compile_run_plan(order, pruned_mask)
-        if len(self._run_plans) > _RUN_PLAN_CACHE_LIMIT:
-            # drop the oldest pruned plan (dict preserves insertion
-            # order; the full-schedule plan under key None stays)
+        if wanted is None:
+            order: tuple[str, ...] = tuple(self.schedule)
+            pruned_mask = 0
+        else:
+            needed: set[str] = set()
+            stack = list(key[0])  # type: ignore[arg-type]
+            while stack:
+                name = stack.pop()
+                if name in needed:
+                    continue
+                needed.add(name)
+                stack.extend(self.graph.node(name).inputs)
+            order = tuple(nm for nm in self.schedule if nm in needed)
+            idx = self.model.index
+            pruned_mask = 0
+            for name in idx.order:
+                if name not in needed:
+                    pruned_mask |= 1 << idx.index[name]
+        compiled = self._compile_run_plan(order, pruned_mask, n)
+        if len(self._run_plans) - len(self._pinned) >= _RUN_PLAN_CACHE_LIMIT:
+            # drop the oldest unpinned plan (dict preserves insertion
+            # order; the full-schedule plans stay)
             for stale in self._run_plans:
-                if stale is not None:
+                if stale not in self._pinned:
                     del self._run_plans[stale]
                     break
         self._run_plans[key] = compiled
@@ -608,28 +708,75 @@ class PlanExecutor:
         arena peak and raises :class:`ExecutionError` if that peak ever
         exceeds the plan's ``arena_bytes``.
         """
+        return self._execute(feeds, outputs, _UNBATCHED)
+
+    def run_batch(
+        self,
+        feeds: Mapping[str, np.ndarray],
+        outputs: Iterable[str] | None = None,
+        batch: int | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Execute ``n`` stacked samples in one pass over the arena rows.
+
+        Every feed carries a leading batch axis: input ``x`` of spec
+        shape ``s`` is fed as ``(n, *s)`` with ``1 <= n <= batch_size``.
+        ``batch`` makes ``n`` explicit; by default it is inferred from
+        the feeds (which must agree). Outputs come back with the same
+        leading axis, and sample ``b`` of every output is bitwise what
+        :meth:`run` returns for sample ``b`` alone — stacking is a
+        dispatch-amortisation strategy, not an approximation. A partial
+        batch (``n < batch_size``) runs at its true size on the first
+        ``n`` arena rows; nothing is padded. Sets :attr:`last_stats`
+        with ``batch=n``.
+        """
+        n = batch
+        if n is None:
+            widths = {int(np.asarray(v).shape[0]) if np.ndim(v) else 0
+                      for v in feeds.values()}
+            if len(widths) != 1:
+                raise ExecutionError(
+                    "cannot infer the batch width: feeds have leading "
+                    f"dimensions {sorted(widths)}; stack every feed to "
+                    "(n, *spec.shape) or pass batch= explicitly"
+                )
+            n = widths.pop()
+        if not 1 <= n <= self.batch_size:
+            raise ExecutionError(
+                f"batch width {n} outside this executor's capacity "
+                f"1..{self.batch_size} (construct with batch_size={n} "
+                "or larger)"
+            )
+        return self._execute(feeds, outputs, n)
+
+    def _execute(
+        self,
+        feeds: Mapping[str, np.ndarray],
+        outputs: Iterable[str] | None,
+        n: int,
+    ) -> dict[str, np.ndarray]:
         wanted = list(outputs) if outputs is not None else self.graph.sinks
         unknown = [w for w in wanted if w not in self.graph]
         if unknown:
             raise ExecutionError(f"requested outputs never computed: {unknown}")
-        plan = (
-            self._run_plans[None] if outputs is None else self._plan_for(wanted)
-        )
+        subset = None if outputs is None else wanted
+        plan = self._get_plan(subset, n)
         if plan.overflow_at is not None:
             raise ExecutionError(
                 f"arena overflow at {plan.overflow_at!r}: measured high-water "
                 f"mark {plan.measured_peak_bytes} exceeds the planned "
-                f"{self.plan.arena_bytes} bytes"
+                f"{self.plan.arena_bytes} bytes per sample"
             )
 
         if self.scrub == "fresh":
-            # brand-new arena: rebuild the views every step table binds to
-            self._arena = np.zeros(self._arena_elems, dtype=_EXEC_DTYPE)
-            self._sites = self._make_sites(self._arena)
-            self._run_plans = {
-                None: self._compile_run_plan(tuple(self.schedule), 0)
-            }
-            plan = self._run_plans[None] if outputs is None else self._plan_for(wanted)
+            # brand-new arena: rebuild the views every step table binds
+            # to, then recompile the plan against the new views
+            self._alloc_arena()
+            self._run_plans = {}
+            for key in self._pinned:
+                self._run_plans[key] = self._compile_run_plan(
+                    tuple(self.schedule), 0, key[1]
+                )
+            plan = self._get_plan(subset, n)
         elif self.scrub == "zero":
             self._arena.fill(0.0)
         reused = self.scrub != "fresh" and self.runs > 0
@@ -668,5 +815,6 @@ class PlanExecutor:
             arena_reused=reused,
             direct_writes=plan.direct_writes,
             copy_writes=plan.copy_writes,
+            batch=1 if n == _UNBATCHED else n,
         )
         return {w: snapshots[w] for w in wanted}

@@ -10,7 +10,8 @@ is the number the CLI prints.
 With ``verify=True`` every response is compared **bitwise** against the
 reference :class:`~repro.runtime.executor.Executor` on the same weights
 and feeds — the serving layer inherits the plan executor's equivalence
-contract, per request, under full concurrency.
+contract, per request, under full concurrency, *including* requests
+that were served as one sample of a stacked batched run.
 """
 
 from __future__ import annotations
@@ -49,13 +50,28 @@ class LoadReport:
     #: ``None`` when verification was off; otherwise all-bitwise-equal
     verified: bool | None
     mismatches: tuple[int, ...] = ()
+    #: batch capacity of the pooled executors (1 = solo runs only)
+    batch_size: int = 1
+    #: whether the pool was warmed before the measured window
+    preloaded: bool = False
 
     @property
     def rps(self) -> float:
         return self.requests / self.wall_s if self.wall_s else 0.0
 
+    @property
+    def samples_per_s(self) -> float:
+        """Samples served per second (every request carries one sample,
+        so this equals :attr:`rps`; stacked runs serve several samples
+        per executor dispatch)."""
+        return self.rps
+
     def summary(self) -> str:
         mode = "arena reuse" if self.reuse else "fresh alloc per request"
+        if self.batch_size > 1:
+            mode += f", batch {self.batch_size}"
+        if self.preloaded:
+            mode += ", preloaded"
         lines = [
             f"serving run: {self.requests} requests, {self.clients} clients, "
             f"{self.workers} workers, max_batch {self.max_batch} ({mode})",
@@ -65,8 +81,8 @@ class LoadReport:
             f"  latency p50 / p99     : {self.p50_ms:7.2f} / {self.p99_ms:.2f} ms",
             f"  arena reuse hit rate  : {100.0 * self.pool.hit_rate:7.1f}% "
             f"({self.pool.hits} hits, {self.pool.misses} fresh, "
-            f"{self.pool.evictions} evicted)",
-            f"  mean micro-batch      : {self.mean_batch:7.2f}",
+            f"{self.pool.preloads} preloaded, {self.pool.evictions} evicted)",
+            f"  mean stacked batch    : {self.mean_batch:7.2f}",
             f"  resident arena bytes  : {self.pool.resident_bytes / 1024:7.1f}KB",
         ]
         if self.errors:
@@ -88,11 +104,13 @@ def run_load(
     clients: int = 4,
     workers: int = 4,
     max_batch: int = 1,
+    batch_size: int | None = None,
     budget: DeviceSpec | int | None = None,
     seed: int = 0,
     reuse: bool = True,
     scrub: str = "never",
     verify: bool = False,
+    preload: bool = False,
 ) -> LoadReport:
     """Drive ``requests`` inferences from ``clients`` concurrent threads.
 
@@ -102,11 +120,27 @@ def run_load(
     submits, waits for the response, optionally verifies it against the
     reference executor (outside the latency window), then issues its
     next request.
+
+    ``batch_size`` sets the pooled executors' batch capacity (default:
+    ``max_batch``, so a fully drained micro-batch runs as one stacked
+    kernel pass). ``preload=True`` warms the pool — one executor per
+    model — before the clients start, so the measured window contains
+    no cold-start builds.
     """
     names = registry.names()
     if not names:
         raise ValueError("registry has no models to serve")
-    pool = ArenaPool(registry, budget, seed=seed, scrub=scrub, reuse=reuse)
+    if batch_size is None:
+        batch_size = max_batch if reuse else 1
+    pool = ArenaPool(
+        registry,
+        budget,
+        seed=seed,
+        scrub=scrub,
+        reuse=reuse,
+        batch_size=batch_size,
+    )
+    preloaded = bool(pool.preload()) if preload else False
     references = (
         {
             name: Executor(
@@ -175,4 +209,6 @@ def run_load(
         errors=errors,
         verified=(not mismatches) if verify else None,
         mismatches=tuple(mismatches),
+        batch_size=batch_size,
+        preloaded=preloaded,
     )

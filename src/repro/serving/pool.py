@@ -17,6 +17,18 @@ hands them out to request threads:
   until a lease is released; a model whose single arena can never fit
   is rejected outright with :class:`~repro.exceptions.AdmissionError`.
 
+``batch_size=N`` makes every pooled executor **batch-capable**: its
+arena is ``N`` per-sample rows, the request scheduler can stack a
+drained micro-batch into one ``run_batch`` call, and admission prices
+the executor at ``N x`` the compiled plan — the budget bounds real
+resident bytes, batched or not.
+
+:meth:`ArenaPool.preload` warms the pool before traffic arrives: one
+executor per registered model is built up front (inside the budget,
+never evicting anything), so the first request of every model is an
+arena *hit* instead of paying construction + allocation on the request
+path — the cold-start misses that otherwise sit in the p99.
+
 ``reuse=False`` turns the pool into the naive baseline — every acquire
 builds a fresh executor, every release discards it — which is exactly
 the fresh-allocation-per-request behaviour the serving benchmark
@@ -56,6 +68,8 @@ class PoolStats:
     resident_bytes: int
     #: executors currently leased out
     leased: int
+    #: executors built ahead of traffic by :meth:`ArenaPool.preload`
+    preloads: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -83,6 +97,11 @@ class ArenaPool:
     reuse:
         ``False`` disables pooling entirely (fresh executor per acquire,
         discarded on release) — the serving benchmark's baseline.
+    batch_size:
+        Batch capacity of every pooled executor. ``N > 1`` provisions
+        ``N`` arena rows per executor (admission prices them at ``N x``
+        the plan) so the scheduler can stack same-model requests into
+        one batched run.
     """
 
     def __init__(
@@ -93,7 +112,10 @@ class ArenaPool:
         seed: int = 0,
         scrub: str = "never",
         reuse: bool = True,
+        batch_size: int = 1,
     ) -> None:
+        if batch_size < 1:
+            raise ServingError(f"batch_size must be >= 1, got {batch_size}")
         self.registry = registry
         self.budget_bytes = (
             budget.sram_bytes if isinstance(budget, DeviceSpec) else budget
@@ -101,6 +123,7 @@ class ArenaPool:
         self.seed = seed
         self.scrub = scrub
         self.reuse = reuse
+        self.batch_size = batch_size
         self._cond = threading.Condition()
         #: idle executors per model, most-recently-released last
         self._idle: dict[str, deque[PlanExecutor]] = defaultdict(deque)
@@ -113,6 +136,7 @@ class ArenaPool:
         self._misses = 0
         self._evictions = 0
         self._waits = 0
+        self._preloads = 0
 
     # ------------------------------------------------------------------
     def _build(self, name: str) -> PlanExecutor:
@@ -123,18 +147,21 @@ class ArenaPool:
             model.plan,
             seed=self.seed,
             scrub=self.scrub,
+            batch_size=self.batch_size,
         )
 
     def _arena_cost(self, name: str) -> int:
         """Bytes one executor of ``name`` counts against the budget.
 
-        This is the *plan's* arena size — the number device-fit verdicts
-        are made of — used consistently for admission, release and
-        eviction. (The NumPy executor simulates in float64, so its host
-        allocation can be larger than the plan for narrower dtypes;
-        budgets model the device, not the simulator's heap.)
+        This is the *plan's* arena size times the pool's batch capacity
+        (a batch-``N`` executor holds ``N`` layout-identical rows) — the
+        number device-fit verdicts are made of — used consistently for
+        admission, release and eviction. (The NumPy executor simulates
+        in float64, so its host allocation can be larger than the plan
+        for narrower dtypes; budgets model the device, not the
+        simulator's heap.)
         """
-        return self.registry.get(name).plan.arena_bytes
+        return self.registry.arena_bytes(name, batch_size=self.batch_size)
 
     def _evict_idle(self, needed: int, keep: str) -> None:
         """Drop coldest idle executors (any model but ``keep``) until
@@ -159,9 +186,15 @@ class ArenaPool:
         admissible arena is leased out."""
         cost = self._arena_cost(name)
         if self.budget_bytes is not None and cost > self.budget_bytes:
+            batched = (
+                f" (batch {self.batch_size}: {self.batch_size} x "
+                f"{cost // self.batch_size} bytes)"
+                if self.batch_size > 1
+                else ""
+            )
             raise AdmissionError(
-                f"model {name!r} needs a {cost}-byte arena but the pool "
-                f"budget is {self.budget_bytes} bytes; it can never be "
+                f"model {name!r} needs a {cost}-byte arena{batched} but the "
+                f"pool budget is {self.budget_bytes} bytes; it can never be "
                 "admitted"
             )
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -244,6 +277,60 @@ class ArenaPool:
             self.release(name, executor)
 
     # ------------------------------------------------------------------
+    def preload(self) -> list[str]:
+        """Build one idle executor per registered model before traffic.
+
+        Warms the pool so no request pays executor construction (arena
+        allocation, placement solving, parameter init) on the serving
+        path: after ``preload()`` the first request of every preloaded
+        model is a pool *hit*. Models are warmed strictly within the
+        remaining budget — preload never evicts and never blocks; a
+        model that does not fit right now is skipped (it will be built
+        on demand later, exactly as without preload). Builds are counted
+        in :attr:`PoolStats.preloads`, **not** as misses — the miss
+        counter keeps meaning "a request paid for a build".
+
+        Returns the names actually built. No-op (empty list) when
+        pooling is disabled.
+        """
+        built: list[str] = []
+        if not self.reuse:
+            return built
+        for name in self.registry.names():
+            cost = self._arena_cost(name)
+            with self._cond:
+                if self._closed:
+                    raise ServingError("pool is closed")
+                if self._idle.get(name):
+                    continue  # already warm
+                if (
+                    self.budget_bytes is not None
+                    and self._resident_bytes + cost > self.budget_bytes
+                ):
+                    continue  # would not fit without evicting: skip
+                self._resident_bytes += cost
+            try:
+                executor = self._build(name)
+            except BaseException:
+                with self._cond:
+                    self._resident_bytes -= cost
+                    self._cond.notify_all()
+                raise
+            with self._cond:
+                if self._closed:
+                    self._resident_bytes -= cost
+                    self._cond.notify_all()
+                    raise ServingError("pool is closed")
+                queue = self._idle[name]
+                queue.append(executor)
+                if name not in self._cold_order:
+                    self._cold_order.append(name)
+                self._preloads += 1
+                self._cond.notify_all()
+            built.append(name)
+        return built
+
+    # ------------------------------------------------------------------
     def stats(self) -> PoolStats:
         with self._cond:
             return PoolStats(
@@ -253,6 +340,7 @@ class ArenaPool:
                 waits=self._waits,
                 resident_bytes=self._resident_bytes,
                 leased=self._leased,
+                preloads=self._preloads,
             )
 
     def close(self) -> None:

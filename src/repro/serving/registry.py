@@ -95,9 +95,11 @@ class ModelRegistry:
     def names(self) -> list[str]:
         return sorted(self._models)
 
-    def arena_bytes(self, name: str) -> int:
-        """The arena one executor of ``name`` must provision."""
-        return self.get(name).plan.arena_bytes
+    def arena_bytes(self, name: str, batch_size: int = 1) -> int:
+        """The arena one executor of ``name`` must provision — ``N x``
+        the compiled per-sample plan for a batch-``N`` executor (the
+        strided batch layout repeats the plan per row)."""
+        return self.get(name).arena_bytes_for(batch_size)
 
     def __contains__(self, name: object) -> bool:
         return name in self._models

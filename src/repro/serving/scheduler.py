@@ -5,14 +5,24 @@ Requests enter through :meth:`RequestScheduler.submit` (returning a
 threads. Each worker leases one executor from the
 :class:`~repro.serving.pool.ArenaPool` per dispatch and, with
 micro-batching enabled, drains up to ``max_batch`` queued requests for
-the *same model* into that single lease — back-to-back runs on one hot
-arena, which is where static-allocation inference wins: after the first
-request, every run reuses the same preallocated bytes.
+the *same model* into that single lease.
+
+When the pool's executors are **batch-capable** (``batch_size > 1``),
+a drained micro-batch becomes *one stacked* ``run_batch`` call: the
+requests' feeds are stacked along a leading batch axis, every kernel
+runs once for the whole batch (amortising NumPy's per-call dispatch,
+which dominates on micro cells), and the outputs are scattered back to
+the individual futures — each sample bitwise what a solo run would
+have produced. Stacking requires identical request shapes (same output
+subset, same feed names, spec-shaped feeds); requests that differ fall
+back to back-to-back runs on the same hot arena, and a partial drain
+runs at its true stacked size — never padded to capacity.
 
 Every response carries a :class:`RequestStats` (queue wait, run time,
-measured arena peak, whether the arena was reused, batch size), and the
-scheduler aggregates them into a :class:`ServingStats` snapshot with
-latency percentiles and the pool's arena-reuse hit rate.
+measured arena peak, whether the arena was reused, and the *actual*
+number of samples stacked into its run), and the scheduler aggregates
+them into a :class:`ServingStats` snapshot with latency percentiles,
+the true mean batch size, and the pool's arena-reuse hit rate.
 """
 
 from __future__ import annotations
@@ -47,11 +57,12 @@ class RequestStats:
     queue_s: float
     #: seconds inside ``PlanExecutor.run``
     run_s: float
-    #: measured arena high-water mark of this run
+    #: measured arena high-water mark of this run (per sample)
     measured_peak_bytes: int
     #: whether the run reused a previous run's arena bytes
     arena_reused: bool
-    #: how many requests shared this request's executor lease
+    #: how many samples actually ran stacked in this request's run
+    #: (1 = solo run; > 1 = one batched kernel pass served them all)
     batch_size: int
 
     @property
@@ -95,6 +106,9 @@ class ServingStats:
 
     @property
     def mean_batch(self) -> float:
+        """Requests per executor *run* — the true stacking factor, with
+        every run counted at the size it actually executed (partial
+        drains count at their real size, never at capacity)."""
         return self.requests / self.batches if self.batches else 0.0
 
     @property
@@ -127,7 +141,9 @@ class RequestScheduler:
     max_batch:
         Micro-batch limit: a worker drains up to this many queued
         same-model requests into one executor lease. ``1`` disables
-        batching.
+        batching. When the pool's executors are batch-capable, the
+        drained requests additionally run as one stacked
+        ``run_batch`` call (chunked to the executors' capacity).
     """
 
     def __init__(
@@ -147,6 +163,9 @@ class RequestScheduler:
         self.workers = workers
         self.max_batch = max_batch
         self._queue: deque[_Request] = deque()
+        #: per-model input specs for stacking validation, memoised —
+        #: artifacts are immutable, and this sits on the dispatch path
+        self._input_specs: dict[str, dict[str, tuple[int, ...]]] = {}
         self._cond = threading.Condition()
         self._threads: list[threading.Thread] = []
         self._stop = False
@@ -273,35 +292,130 @@ class RequestScheduler:
             finally:
                 self.pool.release(model, executor)
 
+    def _stack_groups(self, model: str, batch: list[_Request]) -> list[list[_Request]]:
+        """Partition a drained micro-batch into stackable groups.
+
+        Requests stack only when one ``run_batch`` call can serve them
+        all: identical output subset, identical feed names, and every
+        feed a spec-shaped graph input (a malformed request — or one
+        carrying extra non-input feeds whose shapes np.stack could
+        trip over — must fail or succeed *alone*, not poison its
+        neighbours, so it is left as a singleton and the solo path
+        decides). Order within the batch is preserved group-wise.
+        """
+        specs = self._input_specs.get(model)
+        if specs is None:
+            graph = self.registry.get(model).graph
+            specs = {
+                name: graph.node(name).output.shape
+                for name in graph.input_nodes
+            }
+            self._input_specs[model] = specs
+        groups: dict[tuple, list[_Request]] = {}
+        singletons: list[list[_Request]] = []
+        for req in batch:
+            try:
+                names = frozenset(req.feeds)
+                stackable = names <= specs.keys() and all(
+                    tuple(np.asarray(req.feeds[k]).shape) == specs[k]
+                    for k in names
+                )
+            except Exception:
+                stackable = False
+            if not stackable:
+                singletons.append([req])
+                continue
+            key = (
+                None if req.outputs is None else tuple(sorted(req.outputs)),
+                names,
+            )
+            groups.setdefault(key, []).append(req)
+        return list(groups.values()) + singletons
+
     def _run_batch(self, model: str, batch: list[_Request], executor) -> None:
+        """Serve one drained micro-batch on one leased executor.
+
+        With a batch-capable executor, stackable groups execute as ONE
+        ``run_batch`` over their stacked feeds (chunked to the
+        executor's capacity) and the outputs are scattered back per
+        request; everything else falls back to back-to-back solo runs
+        on the same hot arena. Runs always execute at the actual number
+        of drained samples — a partial batch is never padded.
+        """
         completed = 0
         errors = 0
+        runs = 0
         latencies: list[float] = []
-        for req in batch:
-            if not req.future.set_running_or_notify_cancel():
-                continue
-            t0 = time.perf_counter()
-            try:
-                outputs = executor.run(req.feeds, outputs=req.outputs)
-            except BaseException as exc:
-                req.future.set_exception(exc)
-                errors += 1
-                continue
-            t1 = time.perf_counter()
-            run_stats = executor.last_stats
-            stats = RequestStats(
-                model=model,
-                queue_s=t0 - req.enqueued_at,
-                run_s=t1 - t0,
-                measured_peak_bytes=run_stats.measured_peak_bytes,
-                arena_reused=run_stats.arena_reused,
-                batch_size=len(batch),
+        capacity = getattr(executor, "batch_size", 1)
+        if capacity > 1 and len(batch) > 1:
+            groups = self._stack_groups(model, batch)
+        else:
+            groups = [[req] for req in batch]
+
+        for group in groups:
+            chunks = (
+                [group]
+                if len(group) <= capacity
+                else [
+                    group[i : i + capacity]
+                    for i in range(0, len(group), capacity)
+                ]
             )
-            req.future.set_result(InferenceResult(outputs=outputs, stats=stats))
-            completed += 1
-            latencies.append(stats.total_s)
+            for chunk in chunks:
+                live = [
+                    req
+                    for req in chunk
+                    if req.future.set_running_or_notify_cancel()
+                ]
+                if not live:
+                    continue
+                stacked = len(live) > 1
+                t0 = time.perf_counter()
+                try:
+                    if stacked:
+                        feeds = {
+                            k: np.stack(
+                                [np.asarray(req.feeds[k]) for req in live]
+                            )
+                            for k in live[0].feeds
+                        }
+                        outputs = executor.run_batch(
+                            feeds, outputs=live[0].outputs, batch=len(live)
+                        )
+                    else:
+                        outputs = executor.run(
+                            live[0].feeds, outputs=live[0].outputs
+                        )
+                except BaseException as exc:
+                    for req in live:
+                        req.future.set_exception(exc)
+                    errors += len(live)
+                    runs += 1
+                    continue
+                t1 = time.perf_counter()
+                run_stats = executor.last_stats
+                runs += 1
+                for i, req in enumerate(live):
+                    scattered = (
+                        {k: v[i].copy() for k, v in outputs.items()}
+                        if stacked
+                        else outputs
+                    )
+                    stats = RequestStats(
+                        model=model,
+                        queue_s=t0 - req.enqueued_at,
+                        run_s=t1 - t0,
+                        measured_peak_bytes=run_stats.measured_peak_bytes,
+                        arena_reused=run_stats.arena_reused,
+                        batch_size=len(live),
+                    )
+                    req.future.set_result(
+                        InferenceResult(outputs=scattered, stats=stats)
+                    )
+                    completed += 1
+                    latencies.append(stats.total_s)
         with self._cond:
             self._requests += completed
             self._errors += errors
-            self._batches += 1
+            self._batches += runs
             self._latencies.extend(latencies)

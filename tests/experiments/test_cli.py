@@ -109,6 +109,46 @@ class TestCLI:
             main(["bogus"])
 
 
+class TestServe:
+    def test_serve_compiles_cell_through_cache(self, tmp_path, capsys):
+        """Cache-served serving startup: `serve --cell` is one command,
+        compile-on-miss the first time, cache-served the second."""
+        args = [
+            "serve", "--cell", "swiftnet-c",
+            "--strategy", "greedy",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--requests", "8", "--clients", "2", "--workers", "2",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "compiled swiftnet-c" in out
+        assert "cached schedule" not in out
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "cached schedule" in out
+        assert "throughput" in out
+
+    def test_serve_preload_and_verify(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "serve", "--cell", "swiftnet-c",
+                    "--strategy", "greedy", "--no-cache",
+                    "--requests", "8", "--clients", "2", "--workers", "2",
+                    "--preload", "--verify",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "preloaded" in out
+        assert "bitwise-equal to reference executor" in out
+
+    def test_serve_requires_a_source(self, capsys):
+        assert main(["serve"]) == 2
+        assert "nothing to serve" in capsys.readouterr().err
+
+
 class TestCompileRun:
     def test_compile_writes_artifact(self, tmp_path, capsys):
         out = tmp_path / "m.json"

@@ -123,3 +123,78 @@ class TestBaselineMode:
         assert stats.hits == 0 and stats.misses == 2
         pool.release("chain", second)
         assert pool.stats().resident_bytes == 0
+
+
+class TestBatchCapablePool:
+    def test_executors_are_batch_capable(self, registry):
+        pool = ArenaPool(registry, batch_size=4)
+        px = pool.acquire("chain")
+        assert px.batch_size == 4
+        pool.release("chain", px)
+
+    def test_admission_accounts_n_times_arena(self, registry):
+        pool = ArenaPool(registry, batch_size=4)
+        px = pool.acquire("chain")
+        assert pool.stats().resident_bytes == 4 * registry.arena_bytes("chain")
+        assert pool.stats().resident_bytes == registry.arena_bytes(
+            "chain", batch_size=4
+        )
+        pool.release("chain", px)
+
+    def test_batched_arena_can_never_fit_small_budget(self, registry):
+        # budget fits ONE per-sample arena but not the 4-row batch
+        budget = registry.arena_bytes("chain") + 1
+        assert ArenaPool(registry, budget=budget).acquire("chain")
+        pool = ArenaPool(registry, budget=budget, batch_size=4)
+        with pytest.raises(AdmissionError, match="batch 4"):
+            pool.acquire("chain")
+
+    def test_invalid_batch_size_rejected(self, registry):
+        with pytest.raises(ServingError, match="batch_size"):
+            ArenaPool(registry, batch_size=0)
+
+
+class TestPreload:
+    def test_first_request_after_preload_builds_nothing(self, registry):
+        """The warmup contract: after preload, the first acquire of
+        every model is a pool hit — zero builds on the request path."""
+        pool = ArenaPool(registry)
+        built = pool.preload()
+        assert sorted(built) == ["chain", "diamond"]
+        stats = pool.stats()
+        assert stats.preloads == 2
+        assert stats.misses == 0  # preload builds are not misses
+        for name in ("chain", "diamond"):
+            px = pool.acquire(name)
+            pool.release(name, px)
+        stats = pool.stats()
+        assert stats.misses == 0  # no build happened on a request
+        assert stats.hits == 2
+
+    def test_preload_is_idempotent(self, registry):
+        pool = ArenaPool(registry)
+        pool.preload()
+        assert pool.preload() == []  # everything already warm
+        assert pool.stats().preloads == 2
+
+    def test_preload_skips_what_does_not_fit(self, registry):
+        chain = registry.arena_bytes("chain")
+        diamond = registry.arena_bytes("diamond")
+        budget = max(chain, diamond)  # fits the bigger one alone
+        pool = ArenaPool(registry, budget=budget)
+        built = pool.preload()
+        # preload never evicts and never blocks: exactly one fits
+        assert len(built) == 1
+        assert pool.stats().evictions == 0
+        assert pool.stats().resident_bytes <= budget
+
+    def test_preload_noop_without_pooling(self, registry):
+        pool = ArenaPool(registry, reuse=False)
+        assert pool.preload() == []
+        assert pool.stats().preloads == 0
+
+    def test_preload_closed_pool_raises(self, registry):
+        pool = ArenaPool(registry)
+        pool.close()
+        with pytest.raises(ServingError, match="closed"):
+            pool.preload()

@@ -120,6 +120,174 @@ class TestMicroBatching:
         assert stats.batches <= 8  # some leases served several requests
 
 
+class TestStackedBatching:
+    """Batch-capable executors turn a drained micro-batch into ONE
+    stacked run with per-request scatter."""
+
+    def _request(self, graph, seed, outputs=None, feeds=None) -> _Request:
+        return _Request(
+            model="diamond",
+            feeds=feeds if feeds is not None else random_feeds(graph, seed=seed),
+            outputs=outputs,
+            future=Future(),
+            enqueued_at=time.perf_counter(),
+        )
+
+    def test_stacked_batch_scatters_bitwise_outputs(self, registry):
+        graph = registry.get("diamond").graph
+        params = init_params(graph, 0)
+        pool = ArenaPool(registry, batch_size=8)
+        with RequestScheduler(
+            registry, pool, workers=1, max_batch=8
+        ) as server:
+            futures = [
+                server.submit("diamond", random_feeds(graph, seed=i))
+                for i in range(16)
+            ]
+            results = [f.result(timeout=30) for f in futures]
+        ref = Executor(graph, params=params)
+        for i, result in enumerate(results):
+            want = ref.run(random_feeds(graph, seed=i))
+            for name in want:
+                np.testing.assert_array_equal(want[name], result.outputs[name])
+        stats = server.stats()
+        assert stats.requests == 16
+        # stacking happened: fewer executor runs than requests, and the
+        # per-request stats carry the true stacked size
+        assert stats.batches < 16
+        assert stats.mean_batch > 1.0
+        assert any(r.stats.batch_size > 1 for r in results)
+        assert max(r.stats.batch_size for r in results) <= 8
+
+    def test_partial_drain_runs_at_true_size(self, registry):
+        """Three queued requests against capacity 8: the stacked run
+        executes at size 3 (no padding) and records batch_size=3."""
+        graph = registry.get("diamond").graph
+        pool = ArenaPool(registry, batch_size=8)
+        server = RequestScheduler(registry, pool, workers=1, max_batch=8)
+        requests = [self._request(graph, seed=i) for i in range(3)]
+        executor = pool.acquire("diamond")
+        try:
+            server._run_batch("diamond", requests, executor)
+        finally:
+            pool.release("diamond", executor)
+        for req in requests:
+            result = req.future.result(timeout=5)
+            assert result.stats.batch_size == 3
+        assert executor.last_stats.batch == 3
+        assert server.stats().batches == 1
+        assert server.stats().mean_batch == 3.0
+
+    def test_mixed_output_subsets_grouped_separately(self, registry):
+        graph = registry.get("diamond").graph
+        params = init_params(graph, 0)
+        pool = ArenaPool(registry, batch_size=8)
+        server = RequestScheduler(registry, pool, workers=1, max_batch=8)
+        subset = [graph.sinks[0]]
+        requests = [
+            self._request(graph, seed=0),
+            self._request(graph, seed=1, outputs=list(subset)),
+            self._request(graph, seed=2),
+            self._request(graph, seed=3, outputs=list(subset)),
+        ]
+        executor = pool.acquire("diamond")
+        try:
+            server._run_batch("diamond", requests, executor)
+        finally:
+            pool.release("diamond", executor)
+        ref = Executor(graph, params=params)
+        for i, req in enumerate(requests):
+            result = req.future.result(timeout=5)
+            assert result.stats.batch_size == 2  # two groups of two
+            want = ref.run(random_feeds(graph, seed=i), outputs=req.outputs)
+            assert set(result.outputs) == set(want)
+            for name in want:
+                np.testing.assert_array_equal(want[name], result.outputs[name])
+
+    def test_malformed_request_fails_alone(self, registry):
+        """A bad request in a drained batch must not poison the
+        stackable neighbours it was drained with."""
+        graph = registry.get("diamond").graph
+        pool = ArenaPool(registry, batch_size=8)
+        server = RequestScheduler(registry, pool, workers=1, max_batch=8)
+        good = [self._request(graph, seed=i) for i in range(2)]
+        bad = self._request(graph, seed=9, feeds={})  # missing feed
+        requests = [good[0], bad, good[1]]
+        executor = pool.acquire("diamond")
+        try:
+            server._run_batch("diamond", requests, executor)
+        finally:
+            pool.release("diamond", executor)
+        for req in good:
+            assert req.future.result(timeout=5).stats.batch_size == 2
+        with pytest.raises(ExecutionError, match="missing feed"):
+            bad.future.result(timeout=5)
+        assert server.stats().errors == 1
+
+    def test_extra_feeds_go_solo_not_poisoned(self, registry):
+        """Requests carrying extra non-input feeds (which np.stack could
+        trip over) must not be stacked together: each succeeds alone,
+        exactly as the executor treats extra feeds solo."""
+        graph = registry.get("diamond").graph
+        params = init_params(graph, 0)
+        pool = ArenaPool(registry, batch_size=8)
+        server = RequestScheduler(registry, pool, workers=1, max_batch=8)
+        requests = []
+        for i, extra_shape in enumerate([(2,), (3,)]):
+            feeds = random_feeds(graph, seed=i)
+            feeds["aux"] = np.zeros(extra_shape)  # not a graph input
+            requests.append(self._request(graph, seed=i, feeds=feeds))
+        executor = pool.acquire("diamond")
+        try:
+            server._run_batch("diamond", requests, executor)
+        finally:
+            pool.release("diamond", executor)
+        ref = Executor(graph, params=params)
+        for i, req in enumerate(requests):
+            result = req.future.result(timeout=5)
+            assert result.stats.batch_size == 1  # solo, not stacked
+            want = ref.run(random_feeds(graph, seed=i))
+            for name in want:
+                np.testing.assert_array_equal(want[name], result.outputs[name])
+        assert server.stats().errors == 0
+
+    def test_drain_beyond_capacity_chunks(self, registry):
+        """max_batch above the executor capacity chunks the stacked
+        runs instead of overflowing the arena rows."""
+        graph = registry.get("diamond").graph
+        pool = ArenaPool(registry, batch_size=2)
+        server = RequestScheduler(registry, pool, workers=1, max_batch=6)
+        requests = [self._request(graph, seed=i) for i in range(5)]
+        executor = pool.acquire("diamond")
+        try:
+            server._run_batch("diamond", requests, executor)
+        finally:
+            pool.release("diamond", executor)
+        sizes = sorted(
+            req.future.result(timeout=5).stats.batch_size for req in requests
+        )
+        assert sizes == [1, 2, 2, 2, 2]
+        assert server.stats().batches == 3
+
+    def test_verified_load_with_stacking(self, registry):
+        """End-to-end: concurrent load over batch-capable pool, every
+        scattered sample bitwise the reference executor's."""
+        report = run_load(
+            registry,
+            requests=48,
+            clients=12,
+            workers=1,
+            max_batch=8,
+            preload=True,
+            verify=True,
+        )
+        assert report.errors == 0
+        assert report.verified is True
+        assert report.mean_batch > 1.0
+        assert report.batch_size == 8
+        assert report.pool.preloads == 2
+
+
 class TestConcurrentServing:
     def test_four_clients_two_models_bitwise(self, registry):
         """The acceptance-criterion shape: >= 4 concurrent clients over
