@@ -1,0 +1,258 @@
+"""Tiered arenas: off-chip-aware serving instead of AdmissionError.
+
+The ISSUE-5 acceptance benchmark. One model whose arena exceeds the
+serving budget — exactly the request the pool used to refuse with
+:class:`AdmissionError` — is driven through the runtime twice:
+
+* **constrained**: pool budget midway between the schedule's staging
+  floor and the planned arena, ``spill=auto`` — admission degrades to
+  a spill-planned executor, every response is verified **bitwise**
+  against the reference executor, and the measured off-chip traffic is
+  recorded in :class:`~repro.memsim.hierarchy.TrafficReport` units;
+* **unconstrained**: same workload, no budget — the zero-traffic
+  baseline the constrained run is compared against (req/s cost of
+  spilling).
+
+An executor-level capacity sweep (100% / 75% / floor of the planned
+peak) records the traffic curve, asserting zero bytes at full capacity
+and monotonically non-decreasing traffic as capacity shrinks.
+
+Hard assertions:
+
+* ``spill='never'`` still raises :class:`AdmissionError` (with the
+  needed-vs-available diagnostic);
+* the same admission under ``spill='auto'`` serves every request with
+  **zero errors**, **nonzero** measured traffic, and bitwise-verified
+  outputs;
+* the full-capacity spill plan is trivial: no traffic.
+
+Results land in ``benchmarks/results/BENCH_spill.json`` (traffic
+bytes, req/s constrained vs unconstrained) and CI uploads them as an
+artifact + step summary like the serving/executor benches.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompilationPipeline
+from repro.exceptions import AdmissionError
+from repro.models.suite import get_cell
+from repro.runtime.executor import Executor, init_params, random_feeds
+from repro.serving import ModelRegistry, run_load
+from repro.serving.pool import ArenaPool
+
+pytestmark = pytest.mark.slow
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+REQUESTS = 32 if QUICK else 128
+CLIENTS = 4
+WORKERS = 2
+CELL = "randwire-c10-b"
+
+
+def build_registry() -> ModelRegistry:
+    registry = ModelRegistry()
+    pipeline = CompilationPipeline("greedy")
+    registry.register(pipeline.compile(get_cell(CELL).factory()), name=CELL)
+    return registry
+
+
+def measure_capacity_sweep(registry: ModelRegistry) -> list[dict]:
+    """Executor-level traffic at 100% / 75% / floor capacity, each
+    point bitwise-verified against the reference executor."""
+    model = registry.get(CELL)
+    graph = model.graph
+    params = init_params(graph, seed=0)
+    ref = Executor(graph, params=params)
+    feeds = random_feeds(graph, seed=1)
+    want = ref.run(feeds)
+    floor, arena = model.spill_floor_bytes, model.arena_bytes
+    rows = []
+    for label, cap in (
+        ("100%", arena),
+        ("75%", max(int(arena * 0.75), floor)),
+        ("floor", floor),
+    ):
+        px = model.executor(params=params, capacity_bytes=cap)
+        got = px.run(feeds)
+        mismatched = sum(
+            0 if np.array_equal(want[k], got[k]) else 1 for k in want
+        )
+        traffic = px.traffic_report()
+        rows.append(
+            {
+                "capacity": label,
+                "capacity_bytes": cap,
+                "spilled_buffers": len(px.spill.spilled),
+                "resident_bytes": px.spill.resident_bytes,
+                "traffic_bytes": traffic.total_bytes,
+                "fetches": traffic.fetches,
+                "writebacks": traffic.writebacks,
+                "bitwise_mismatches": mismatched,
+            }
+        )
+    return rows
+
+
+def run() -> dict:
+    registry = build_registry()
+    model = registry.get(CELL)
+    floor, arena = model.spill_floor_bytes, model.arena_bytes
+    budget = (floor + arena) // 2
+
+    # the old behaviour: this admission is refused outright
+    admission_error = None
+    try:
+        ArenaPool(registry, budget).acquire(CELL)
+    except AdmissionError as exc:
+        admission_error = str(exc)
+
+    sweep = measure_capacity_sweep(registry)
+
+    common = dict(
+        requests=REQUESTS,
+        clients=CLIENTS,
+        workers=WORKERS,
+        max_batch=1,
+        seed=0,
+        preload=True,
+    )
+    # warm both paths outside the measured window
+    run_load(registry, requests=CLIENTS, clients=CLIENTS, workers=WORKERS,
+             budget=budget, spill="auto")
+    run_load(registry, requests=CLIENTS, clients=CLIENTS, workers=WORKERS)
+    constrained = run_load(
+        registry, budget=budget, spill="auto", verify=True, **common
+    )
+    unconstrained = run_load(registry, verify=True, **common)
+    return {
+        "model": CELL,
+        "arena_bytes": arena,
+        "floor_bytes": floor,
+        "budget_bytes": budget,
+        "admission_error": admission_error,
+        "sweep": sweep,
+        "constrained": constrained,
+        "unconstrained": unconstrained,
+    }
+
+
+def render(result: dict) -> str:
+    constrained = result["constrained"]
+    unconstrained = result["unconstrained"]
+    lines = [
+        "tiered arenas: off-chip-aware serving instead of AdmissionError "
+        f"({'quick' if QUICK else 'full'} mode)",
+        "",
+        f"model {result['model']}: arena "
+        f"{result['arena_bytes'] / 1024:.1f}KB, staging floor "
+        f"{result['floor_bytes'] / 1024:.1f}KB, serving budget "
+        f"{result['budget_bytes'] / 1024:.1f}KB",
+        "",
+        "spill='never' (the old behaviour):",
+        f"  {result['admission_error']}",
+        "",
+        "executor-level capacity sweep (bitwise-verified at every point):",
+        f"  {'capacity':>9s} {'spilled':>8s} {'resident KB':>12s} "
+        f"{'traffic KB':>11s} {'fetch/wb':>9s}",
+    ]
+    for row in result["sweep"]:
+        lines.append(
+            f"  {row['capacity']:>9s} {row['spilled_buffers']:>8d}"
+            f" {row['resident_bytes'] / 1024:>12.1f}"
+            f" {row['traffic_bytes'] / 1024:>11.1f}"
+            f" {row['fetches']:>4d}/{row['writebacks']:<4d}"
+        )
+    lines += [
+        "",
+        "constrained serving (spill=auto over the same admission):",
+        constrained.summary(),
+        "",
+        "unconstrained serving (no budget):",
+        unconstrained.summary(),
+        "",
+        f"spill cost              : {unconstrained.rps / constrained.rps:9.2f}x "
+        "req/s unconstrained vs constrained",
+    ]
+    return "\n".join(lines)
+
+
+def payload(result: dict) -> dict:
+    """The machine-readable BENCH_spill.json document."""
+    constrained = result["constrained"]
+    unconstrained = result["unconstrained"]
+
+    def load_doc(report) -> dict:
+        return {
+            "requests": report.requests,
+            "req_per_s": report.rps,
+            "p50_ms": report.p50_ms,
+            "p99_ms": report.p99_ms,
+            "errors": report.errors,
+            "verified_bitwise": report.verified,
+            "spill": report.spill,
+            "spill_bytes": report.spill_bytes,
+            "spilled_builds": report.pool.spilled_builds,
+            "resident_arena_bytes": report.pool.resident_bytes,
+        }
+
+    return {
+        "quick": QUICK,
+        "model": result["model"],
+        "arena_bytes": result["arena_bytes"],
+        "floor_bytes": result["floor_bytes"],
+        "budget_bytes": result["budget_bytes"],
+        "admission_error_without_spill": result["admission_error"],
+        "capacity_sweep": result["sweep"],
+        "serving": {
+            "constrained": load_doc(constrained),
+            "unconstrained": load_doc(unconstrained),
+        },
+        "req_per_s_unconstrained_vs_constrained": (
+            unconstrained.rps / constrained.rps if constrained.rps else None
+        ),
+    }
+
+
+def test_spill_smoke(benchmark, save_result, save_json):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("spill_smoke", render(result))
+    save_json("spill", payload(result))
+
+    # the old behaviour is still the default, with a useful diagnostic
+    assert result["admission_error"] is not None
+    assert "spill='auto'" in result["admission_error"]
+
+    # capacity sweep: bitwise everywhere, zero traffic at full
+    # capacity, non-decreasing traffic as capacity shrinks
+    sweep = result["sweep"]
+    assert all(row["bitwise_mismatches"] == 0 for row in sweep)
+    assert sweep[0]["traffic_bytes"] == 0 and sweep[0]["spilled_buffers"] == 0
+    assert sweep[1]["traffic_bytes"] > 0
+    traffics = [row["traffic_bytes"] for row in sweep]
+    assert traffics == sorted(traffics)
+    for row in sweep:
+        assert row["resident_bytes"] <= row["capacity_bytes"]
+
+    # the ISSUE-5 acceptance assertion: the admission that raised
+    # AdmissionError now serves under spill=auto — zero errors, nonzero
+    # measured traffic, every output bitwise the reference executor's
+    constrained = result["constrained"]
+    assert constrained.errors == 0
+    assert constrained.verified is True
+    assert constrained.spill_bytes > 0
+    assert constrained.pool.spilled_builds >= 1
+
+    unconstrained = result["unconstrained"]
+    assert unconstrained.errors == 0
+    assert unconstrained.verified is True
+    assert unconstrained.spill_bytes == 0
+    assert constrained.rps > 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual profiling entry
+    print(render(run()))

@@ -9,8 +9,18 @@ from repro.allocator.arena import (
 )
 from repro.allocator.export import export_plan, plan_to_dict
 from repro.allocator.lifetimes import BufferLifetime, compute_lifetimes
+from repro.allocator.spill import (
+    SPILL_MODES,
+    SpillPlan,
+    StageWindow,
+    plan_spill,
+)
 
 __all__ = [
+    "SPILL_MODES",
+    "SpillPlan",
+    "StageWindow",
+    "plan_spill",
     "AllocationPlan",
     "BufferLifetime",
     "compute_lifetimes",

@@ -1,0 +1,547 @@
+"""Compile-time spill planning: fit a plan into a smaller on-chip arena.
+
+The :class:`~repro.allocator.arena.AllocationPlan` promises one arena
+big enough for the schedule's whole working set. When the target's
+on-chip capacity is *smaller* than that promise, the runtime used to
+refuse outright (``AdmissionError``). This module turns that refusal
+into a planned degradation, the way the paper's §5 off-chip story (and
+SERENITY's off-chip extension) treats overflow: partition the plan's
+buffers into
+
+* **resident** buffers, which keep an on-chip slot for their whole
+  lifetime, and
+* **spilled** buffers, whose *home* is a second, off-chip region; they
+  are **staged** on-chip only for the contiguous step windows in which
+  the schedule actually touches them, fetched at window entry and
+  written back at window exit when dirty.
+
+Victim selection reuses the replacement-policy registry of the Fig 11
+memory simulator (:func:`repro.memsim.policies.make_policy` — Belady's
+clairvoyant farthest-next-use by default, LRU/FIFO for ablations): the
+schedule fixes the whole access sequence at compile time, so next-use
+distances are exact, exactly as in the offline simulator. Offsets for
+the resident region (full lifetimes for resident buffers, one interval
+per staging window for spilled ones) come from the same
+``greedy_by_size`` allocator that lays out ordinary arenas, and the
+resulting region is *proved* to fit the capacity before any kernel
+runs.
+
+Spill model (mirrors the :mod:`repro.memsim.hierarchy` rules; the
+fetch/writeback steps the executor inserts implement it literally):
+
+* a buffer must be staged on-chip to be read or written — the
+  irreducible capacity floor is therefore the largest single-step
+  working set (everything one kernel touches at once);
+* a window that *creates* data (the buffer's first-ever access is
+  always its producing write) fetches nothing; every later window
+  entry fetches the whole buffer (``bytes_in += size``), preserving
+  every byte written by earlier windows;
+* at window exit a **dirty** buffer (some step in the window produced
+  a member tensor) is written back (``bytes_out += size``) iff the
+  data is needed again — a later window exists — or the buffer holds a
+  graph output; clean or dead windows drop silently;
+* fetch/writeback moves whole buffers: traffic is counted at buffer
+  granularity (the tile-granularity refinement stays with the offline
+  simulator).
+
+Because fetch and writeback copy bytes verbatim, a spilled execution
+is **bitwise identical** to the resident one under every capacity —
+spilling trades traffic for footprint, never accuracy.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.allocator.arena import (
+    AllocationPlan,
+    first_fit_arena,
+    greedy_by_size_plan,
+)
+from repro.allocator.lifetimes import BufferLifetime
+from repro.exceptions import SpillError
+from repro.graph.graph import Graph
+from repro.memsim.policies import POLICY_NAMES, BeladyPolicy, make_policy
+from repro.memsim.trace import Access, AccessTrace
+from repro.scheduler.memory import BufferModel
+from repro.scheduler.schedule import Schedule
+
+__all__ = [
+    "SPILL_MODES",
+    "StageWindow",
+    "SpillPlan",
+    "plan_spill",
+    "min_capacity_bytes",
+    "step_touches",
+    "buffer_access_trace",
+]
+
+#: serving/CLI spill policy knob: refuse over-capacity arenas (the old
+#: behaviour), degrade them to a spill plan, or force spill planning
+SPILL_MODES = ("never", "auto", "always")
+
+SPILL_FORMAT = "repro-spill/1"
+
+
+@dataclass(frozen=True)
+class StageWindow:
+    """One on-chip residency interval of a spilled buffer.
+
+    ``[start, end)`` are full-schedule step bounds covering a maximal
+    run of consecutive steps that touch the buffer; ``offset`` is the
+    staging slot's byte offset in the resident region. Whether the
+    staged copy turns dirty is tracked dynamically by the executor
+    (a pruned run may skip the window's writing steps)."""
+
+    start: int
+    end: int
+    offset: int
+
+
+@dataclass(frozen=True)
+class SpillPlan:
+    """A two-region arena layout for one (schedule, plan, capacity).
+
+    The resident region holds resident buffers at ``resident_offsets``
+    plus the staging windows of spilled buffers; its high-water mark
+    ``resident_bytes`` never exceeds ``capacity_bytes``. The spill
+    region holds one *home* slot per spilled buffer at
+    ``home_offsets`` (``spill_bytes`` total). An empty ``spilled`` set
+    is the trivial plan: the whole arena fits on-chip and no traffic
+    occurs."""
+
+    capacity_bytes: int
+    policy: str
+    resident_bytes: int
+    spill_bytes: int
+    spilled: frozenset[int]
+    resident_offsets: dict[int, int]
+    home_offsets: dict[int, int]
+    windows: dict[int, tuple[StageWindow, ...]]
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when nothing spills (zero off-chip traffic)."""
+        return not self.spilled
+
+    @property
+    def spilled_count(self) -> int:
+        return len(self.spilled)
+
+    def window_at(self, buffer_id: int, step: int) -> StageWindow:
+        """The staging window of ``buffer_id`` covering schedule
+        ``step`` (every touch step is covered by construction)."""
+        ws = self.windows[buffer_id]
+        i = bisect.bisect_right([w.start for w in ws], step) - 1
+        if i >= 0 and ws[i].start <= step < ws[i].end:
+            return ws[i]
+        raise SpillError(
+            f"step {step} touches spilled buffer {buffer_id} outside "
+            "every staging window (corrupt spill plan)"
+        )
+
+    # ------------------------------------------------------------------
+    def validate(self) -> "SpillPlan":
+        """Structural sanity: regions bounded, windows ordered,
+        spilled/home/window sets consistent. Raises :class:`SpillError`
+        on violation. (Home-slot *overlap* needs buffer sizes, which
+        the plan does not carry — the executor cross-checks it against
+        the graph's buffer model at construction.)"""
+        if self.resident_bytes > self.capacity_bytes:
+            raise SpillError(
+                f"spill plan resident region ({self.resident_bytes} bytes) "
+                f"exceeds the {self.capacity_bytes}-byte capacity"
+            )
+        if set(self.windows) != set(self.spilled) or set(
+            self.home_offsets
+        ) != set(self.spilled):
+            raise SpillError(
+                "spill plan is inconsistent: spilled set, homes and "
+                "windows disagree"
+            )
+        for b, ws in self.windows.items():
+            prev_end = -1
+            for w in ws:
+                if w.start < 0 or w.end <= w.start:
+                    raise SpillError(
+                        f"buffer {b}: malformed window [{w.start}, {w.end})"
+                    )
+                if w.start <= prev_end:
+                    raise SpillError(
+                        f"buffer {b}: staging windows overlap or are "
+                        "out of order"
+                    )
+                prev_end = w.end - 1
+                if w.offset < 0 or w.offset > self.resident_bytes:
+                    raise SpillError(
+                        f"buffer {b}: staging offset {w.offset} escapes "
+                        f"the {self.resident_bytes}-byte resident region"
+                    )
+        for b, off in sorted(self.home_offsets.items()):
+            if off < 0 or off > self.spill_bytes:
+                raise SpillError(
+                    f"buffer {b}: home offset {off} escapes the "
+                    f"{self.spill_bytes}-byte spill region"
+                )
+        return self
+
+    # ------------------------------------------------------------------
+    def to_doc(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible document (artifact embedding)."""
+        return {
+            "format": SPILL_FORMAT,
+            "capacity_bytes": self.capacity_bytes,
+            "policy": self.policy,
+            "resident_bytes": self.resident_bytes,
+            "spill_bytes": self.spill_bytes,
+            "spilled": sorted(self.spilled),
+            "resident_offsets": {
+                str(b): off for b, off in sorted(self.resident_offsets.items())
+            },
+            "home_offsets": {
+                str(b): off for b, off in sorted(self.home_offsets.items())
+            },
+            "windows": {
+                str(b): [[w.start, w.end, w.offset] for w in ws]
+                for b, ws in sorted(self.windows.items())
+            },
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict[str, Any]) -> "SpillPlan":
+        if doc.get("format") != SPILL_FORMAT:
+            raise SpillError(
+                f"unsupported spill plan format {doc.get('format')!r}"
+            )
+        return cls(
+            capacity_bytes=int(doc["capacity_bytes"]),
+            policy=str(doc["policy"]),
+            resident_bytes=int(doc["resident_bytes"]),
+            spill_bytes=int(doc["spill_bytes"]),
+            spilled=frozenset(int(b) for b in doc["spilled"]),
+            resident_offsets={
+                int(b): int(off)
+                for b, off in doc["resident_offsets"].items()
+            },
+            home_offsets={
+                int(b): int(off) for b, off in doc["home_offsets"].items()
+            },
+            windows={
+                int(b): tuple(
+                    StageWindow(int(s), int(e), int(off)) for s, e, off in ws
+                )
+                for b, ws in doc["windows"].items()
+            },
+        ).validate()
+
+
+# ----------------------------------------------------------------------
+# schedule -> buffer touch structure
+# ----------------------------------------------------------------------
+def step_touches(
+    graph: Graph, schedule: Schedule, model: BufferModel
+) -> list[tuple[int, ...]]:
+    """Buffers each schedule step touches, executor-faithfully.
+
+    Step *s* (executing node *u*) touches *u*'s own buffer (written)
+    plus every input's buffer (read) — the exact set of arena ranges
+    the plan executor's kernel for *u* binds views into. Order is own
+    buffer first, then inputs in declaration order, deduplicated."""
+    idx = model.index
+    out: list[tuple[int, ...]] = []
+    for name in schedule:
+        u = idx.index[name]
+        seen: dict[int, None] = {model.buffer_of[u]: None}
+        for p in idx.preds[u]:
+            seen.setdefault(model.buffer_of[p], None)
+        out.append(tuple(seen))
+    return out
+
+
+def buffer_access_trace(
+    graph: Graph, schedule: Schedule, model: BufferModel
+) -> AccessTrace:
+    """Buffer-granularity access trace for the replacement policies.
+
+    The Fig 11 simulator traces at tile granularity; spill planning
+    moves whole buffers, so victims are ranked over buffer-level
+    accesses. Object ids are ``(buffer_id, 0)`` tuples, matching the
+    ``(tensor, tile)`` shape :mod:`repro.memsim.policies` expects."""
+    idx = model.index
+    raw: list[Access] = []
+    for step, name in enumerate(schedule):
+        u = idx.index[name]
+        own = model.buffer_of[u]
+        seen: dict[int, None] = {}
+        for p in idx.preds[u]:
+            seen.setdefault(model.buffer_of[p], None)
+        for b in seen:
+            if b != own:
+                raw.append(
+                    Access(step, name, (b, 0), model.buf_size[b], "read", False)
+                )
+        raw.append(
+            Access(step, name, (own, 0), model.buf_size[own], "write", False)
+        )
+    positions: dict[tuple[int, int], list[int]] = {}
+    for i, acc in enumerate(raw):
+        positions.setdefault(acc.buffer_id, []).append(i)
+    return AccessTrace(
+        accesses=tuple(raw),
+        positions={obj: tuple(ps) for obj, ps in positions.items()},
+        n_buffers=model.n_buffers,
+    )
+
+
+def _live_table(
+    lifetimes: Iterable[BufferLifetime], n_steps: int
+) -> list[list[int]]:
+    """Per-step list of live buffer ids."""
+    live: list[list[int]] = [[] for _ in range(n_steps)]
+    for lt in lifetimes:
+        for s in range(lt.start, min(lt.end, n_steps)):
+            live[s].append(lt.buffer_id)
+    return live
+
+
+def _select_spilled(
+    model: BufferModel,
+    live: list[list[int]],
+    touch: list[tuple[int, ...]],
+    capacity: int,
+    policy_name: str,
+    trace: AccessTrace,
+    pos_end: list[int],
+) -> frozenset[int]:
+    """Pick the spilled buffer set for a selection capacity.
+
+    Iteratively finds the step with the highest ideal resident demand
+    (resident live bytes + staged touch bytes) and spills the victim
+    the replacement policy names among buffers live-but-untouched
+    there, until every step fits. Belady uses exact next-use distances
+    from the trace; LRU/FIFO replay the access history up to the
+    overflow point."""
+    size = model.buf_size
+    spilled: set[int] = set()
+    n_steps = len(touch)
+    for _ in range(model.n_buffers + 1):
+        peak_step, peak = -1, 0
+        for s in range(n_steps):
+            demand = sum(size[b] for b in live[s] if b not in spilled)
+            demand += sum(size[b] for b in touch[s] if b in spilled)
+            if demand > peak:
+                peak_step, peak = s, demand
+        if peak <= capacity:
+            return frozenset(spilled)
+        candidates = {
+            (b, 0)
+            for b in live[peak_step]
+            if b not in spilled and b not in touch[peak_step]
+        }
+        if not candidates:
+            raise SpillError(
+                f"no spill configuration fits {capacity} bytes on-chip: "
+                f"step {peak_step} needs {peak} bytes staged at once"
+            )
+        policy = make_policy(policy_name, trace)
+        position = pos_end[peak_step]
+        if not isinstance(policy, BeladyPolicy):
+            # reactive policies rank by history: replay it
+            for i in range(position + 1):
+                acc = trace.accesses[i]
+                policy.on_access(acc.buffer_id, i)
+        victim = policy.victim(candidates, position)
+        spilled.add(victim[0])
+    raise SpillError(
+        f"spill selection did not converge under {capacity} bytes"
+    )  # pragma: no cover - loop is bounded by construction
+
+
+def _stage_runs(
+    touch: list[tuple[int, ...]], b: int
+) -> list[tuple[int, int]]:
+    """Maximal runs of consecutive steps touching buffer ``b``, as
+    inclusive ``(first, last)`` step pairs."""
+    runs: list[tuple[int, int]] = []
+    for s, bufs in enumerate(touch):
+        if b not in bufs:
+            continue
+        if runs and runs[-1][1] == s - 1:
+            runs[-1] = (runs[-1][0], s)
+        else:
+            runs.append((s, s))
+    return runs
+
+
+def min_capacity_bytes(
+    graph: Graph, schedule: Schedule, model: BufferModel | None = None
+) -> int:
+    """The irreducible on-chip floor of ``schedule``: the largest
+    single-step working set. Fetch/writeback moves whole buffers, so
+    every tensor one kernel touches must be staged simultaneously — no
+    spill configuration can execute below this."""
+    model = model or BufferModel.of(graph)
+    touch = step_touches(graph, schedule, model)
+    return max(
+        (sum(model.buf_size[b] for b in bufs) for bufs in touch), default=0
+    )
+
+
+def plan_spill(
+    graph: Graph,
+    schedule: Schedule,
+    plan: AllocationPlan,
+    capacity_bytes: int,
+    policy: str = "belady",
+    model: BufferModel | None = None,
+) -> SpillPlan:
+    """Partition ``plan``'s buffers into resident vs spilled so the
+    resident region fits ``capacity_bytes`` (see module docstring).
+
+    Deterministic: the same ``(graph, schedule, plan, capacity,
+    policy)`` always yields the same plan. Raises :class:`SpillError`
+    when the capacity is below the schedule's irreducible single-step
+    working set — no spill configuration can help there, because every
+    tensor a kernel touches must be staged on-chip while it runs."""
+    if capacity_bytes <= 0:
+        raise SpillError(
+            f"on-chip capacity must be positive, got {capacity_bytes}"
+        )
+    if policy not in POLICY_NAMES:
+        raise ValueError(
+            f"unknown replacement policy {policy!r}; pick one of "
+            f"{POLICY_NAMES}"
+        )
+    model = model or BufferModel.of(graph)
+    if plan.arena_bytes <= capacity_bytes:
+        # the whole arena fits: trivial plan, zero traffic
+        return SpillPlan(
+            capacity_bytes=capacity_bytes,
+            policy=policy,
+            resident_bytes=plan.arena_bytes,
+            spill_bytes=0,
+            spilled=frozenset(),
+            resident_offsets=dict(plan.offsets),
+            home_offsets={},
+            windows={},
+        ).validate()
+
+    size = model.buf_size
+    touch = step_touches(graph, schedule, model)
+    n_steps = len(touch)
+    min_needed = max(
+        (sum(size[b] for b in bufs) for bufs in touch), default=0
+    )
+    if capacity_bytes < min_needed:
+        raise SpillError(
+            f"{graph.name}: no spill plan fits {capacity_bytes} bytes "
+            f"on-chip; the schedule's largest single-step working set "
+            f"needs {min_needed} bytes staged at once (plan arena: "
+            f"{plan.arena_bytes} bytes)"
+        )
+
+    trace = buffer_access_trace(graph, schedule, model)
+    # pos_end[s]: last trace index at step <= s ("strictly after step
+    # s" is then bisect_right territory for the policies)
+    pos_end: list[int] = [-1] * n_steps
+    for i, acc in enumerate(trace.accesses):
+        pos_end[acc.step] = i
+    for s in range(1, n_steps):
+        if pos_end[s] < 0:
+            pos_end[s] = pos_end[s - 1]
+
+    live = _live_table(plan.lifetimes, n_steps)
+
+    # Selection works at the ideal (sum-of-live) level; the allocator
+    # can fragment above it, so tighten the selection capacity by the
+    # observed overage and retry until the *allocated* region fits —
+    # clamped at the irreducible floor, which gets a last-resort try.
+    select_capacity = capacity_bytes
+    for _ in range(64):
+        spilled = _select_spilled(
+            model, live, touch, select_capacity, policy, trace, pos_end
+        )
+        intervals: list[BufferLifetime] = []
+        tag: list[tuple] = []  # synthetic id -> ("res", b) | ("win", b, k)
+        for lt in plan.lifetimes:
+            if lt.buffer_id in spilled:
+                continue
+            intervals.append(
+                BufferLifetime(
+                    buffer_id=len(tag),
+                    size=lt.size,
+                    start=lt.start,
+                    end=lt.end,
+                    producers=lt.producers,
+                )
+            )
+            tag.append(("res", lt.buffer_id))
+        runs_of: dict[int, list[tuple[int, int]]] = {}
+        for b in sorted(spilled):
+            runs = _stage_runs(touch, b)
+            runs_of[b] = runs
+            for k, (s0, s1) in enumerate(runs):
+                intervals.append(
+                    BufferLifetime(
+                        buffer_id=len(tag),
+                        size=size[b],
+                        start=s0,
+                        end=s1 + 1,
+                        producers=(),
+                    )
+                )
+                tag.append(("win", b, k))
+        # two offset allocators, tightest region wins (fragmentation
+        # profiles differ; both only ever see the same interval set)
+        region = min(
+            (greedy_by_size_plan(intervals), first_fit_arena(intervals)),
+            key=lambda r: r.arena_bytes,
+        )
+        if region.arena_bytes <= capacity_bytes:
+            break
+        if select_capacity <= min_needed:
+            raise SpillError(
+                f"{graph.name}: allocator fragmentation defeats every "
+                f"spill configuration under {capacity_bytes} bytes "
+                f"(tightest region: {region.arena_bytes} bytes)"
+            )
+        select_capacity = max(
+            min_needed, select_capacity - (region.arena_bytes - capacity_bytes)
+        )
+    else:  # pragma: no cover - select_capacity strictly decreases
+        raise SpillError(
+            f"{graph.name}: spill planning did not converge under "
+            f"{capacity_bytes} bytes"
+        )
+
+    resident_offsets: dict[int, int] = {}
+    window_offsets: dict[tuple[int, int], int] = {}
+    for synthetic_id, entry in enumerate(tag):
+        if entry[0] == "res":
+            resident_offsets[entry[1]] = region.offsets[synthetic_id]
+        else:
+            window_offsets[(entry[1], entry[2])] = region.offsets[synthetic_id]
+
+    windows: dict[int, tuple[StageWindow, ...]] = {}
+    home_offsets: dict[int, int] = {}
+    cursor = 0
+    for b in sorted(spilled):
+        windows[b] = tuple(
+            StageWindow(start=s0, end=s1 + 1, offset=window_offsets[(b, k)])
+            for k, (s0, s1) in enumerate(runs_of[b])
+        )
+        home_offsets[b] = cursor
+        cursor += size[b]
+
+    return SpillPlan(
+        capacity_bytes=capacity_bytes,
+        policy=policy,
+        resident_bytes=region.arena_bytes,
+        spill_bytes=cursor,
+        spilled=spilled,
+        resident_offsets=resident_offsets,
+        home_offsets=home_offsets,
+        windows=windows,
+    ).validate()

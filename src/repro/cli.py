@@ -140,6 +140,22 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     except ReproError as exc:
         print(f"error: compilation failed: {exc}", file=sys.stderr)
         return 2
+    if args.capacity:
+        # embed a tiered-arena spill plan per requested on-chip capacity
+        from dataclasses import replace
+
+        from repro.exceptions import SpillError
+
+        plans = []
+        for kib in args.capacity:
+            cap = int(kib * 1024)
+            try:
+                plans.append(model.spill_plan(cap, policy=args.spill_policy))
+            except SpillError as exc:
+                print(f"error: cannot spill-plan {kib:g}KiB: {exc}",
+                      file=sys.stderr)
+                return 1
+        model = replace(model, spill_plans=tuple(plans))
     path = model.save(args.output)
 
     meta = model.meta
@@ -153,6 +169,11 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         verdict = "fits" if model.fits_device else "OVER BUDGET"
         print(f"device {model.device.name} ({model.device.sram_kib:.0f}KB): "
               f"{verdict}")
+    for sp in model.spill_plans:
+        print(f"spill plan {sp.capacity_bytes / 1024:g}KiB ({sp.policy}): "
+              f"{sp.spilled_count} buffers spilled, resident "
+              f"{sp.resident_bytes / 1024:.1f}KB, off-chip home "
+              f"{sp.spill_bytes / 1024:.1f}KB")
     if args.verify:
         print("verified                : bitwise-equal to reference executor")
     print(f"artifact written to {path}")
@@ -172,8 +193,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: cannot load artifact {args.artifact}: {exc}", file=sys.stderr)
         return 2
     feeds = random_feeds(model.graph, seed=args.seed)
+    capacity = int(args.capacity * 1024) if args.capacity is not None else None
+    if capacity is not None and args.spill == "never":
+        if model.arena_bytes > capacity:
+            print(
+                f"error: {model.graph.name} needs a {model.arena_bytes}-byte "
+                f"arena but --capacity is {capacity} bytes "
+                f"({model.arena_bytes - capacity} bytes short); rerun with "
+                "--spill auto to stage cold buffers off-chip",
+                file=sys.stderr,
+            )
+            return 1
+        capacity = None  # fits: plain resident execution
     try:
-        executor = model.executor(seed=args.seed)
+        executor = model.executor(
+            seed=args.seed,
+            capacity_bytes=capacity,
+            spill_policy=args.spill_policy,
+        )
         outputs = executor.run(feeds)
     except ReproError as exc:
         print(f"error: cannot execute artifact {args.artifact}: {exc}",
@@ -187,6 +224,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"planned arena           : {stats.arena_bytes / 1024:9.1f}KB")
     print(f"measured high-water mark: {stats.measured_peak_bytes / 1024:9.1f}KB "
           f"({100.0 * stats.utilization:.1f}% of plan)")
+    if capacity is not None:
+        traffic = executor.traffic_report()
+        print(f"on-chip capacity        : {capacity / 1024:9.1f}KB "
+              f"({stats.spilled_buffers} buffers spilled, "
+              f"{traffic.policy} policy)")
+        print(f"off-chip traffic        : {traffic.total_kib:9.1f}KB "
+              f"({traffic.fetches} fetches, {traffic.writebacks} writebacks)")
     for name, value in outputs.items():
         flat = value.ravel()
         head = ", ".join(f"{v:.4g}" for v in flat[:4])
@@ -326,6 +370,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             scrub=args.scrub,
             verify=args.verify,
             preload=args.preload,
+            spill=args.spill,
+            spill_policy=args.spill_policy,
         )
     except ReproError as exc:
         print(f"error: serving run failed: {exc}", file=sys.stderr)
@@ -362,13 +408,17 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         budget=budget,
         seed=args.seed,
+        spill=args.spill,
+        spill_policy=args.spill_policy,
     )
     try:
         # warm both paths once so neither pays first-touch costs
         run_load(registry, requests=args.clients, clients=args.clients,
-                 workers=args.workers, budget=budget, reuse=True)
+                 workers=args.workers, budget=budget, reuse=True,
+                 spill=args.spill, spill_policy=args.spill_policy)
         run_load(registry, requests=args.clients, clients=args.clients,
-                 workers=args.workers, budget=budget, reuse=False)
+                 workers=args.workers, budget=budget, reuse=False,
+                 spill=args.spill, spill_policy=args.spill_policy)
         pooled = run_load(
             registry, max_batch=args.max_batch, reuse=True,
             preload=args.preload, **common
@@ -393,7 +443,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
 
     module = importlib.import_module(_EXPERIMENTS[args.name])
-    module.main()
+    if args.policy is not None:
+        if args.name != "fig11":
+            print(
+                f"error: --policy only applies to fig11, not {args.name}",
+                file=sys.stderr,
+            )
+            return 2
+        module.main(policy=args.policy)
+    else:
+        module.main()
     return 0
 
 
@@ -423,6 +482,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sched.set_defaults(func=_cmd_schedule)
 
+    from repro.memsim.policies import POLICY_NAMES
     from repro.scheduler.registry import strategy_names
 
     p_comp = sub.add_parser(
@@ -472,6 +532,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute the plan and require bitwise parity with the "
         "reference executor before writing the artifact",
     )
+    p_comp.add_argument(
+        "--capacity",
+        type=float,
+        action="append",
+        metavar="KIB",
+        help="embed a tiered-arena spill plan for this on-chip capacity "
+        "(repeatable; exit 1 below the schedule's staging floor)",
+    )
+    p_comp.add_argument(
+        "--spill-policy",
+        choices=POLICY_NAMES,
+        default="belady",
+        help="replacement policy ranking spill victims (default: belady)",
+    )
     p_comp.set_defaults(func=_cmd_compile)
 
     p_run = sub.add_parser(
@@ -491,6 +565,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify",
         action="store_true",
         help="also run the reference executor and compare outputs bitwise",
+    )
+    p_run.add_argument(
+        "--capacity",
+        type=float,
+        metavar="KIB",
+        help="execute under this on-chip capacity: an over-capacity arena "
+        "degrades to a two-region tiered arena with measured off-chip "
+        "traffic (bitwise-identical outputs)",
+    )
+    p_run.add_argument(
+        "--spill",
+        choices=("never", "auto", "always"),
+        default="auto",
+        help="what to do when the arena exceeds --capacity: refuse "
+        "(never, exit 1), spill cold buffers off-chip (auto, default), "
+        "or force spill planning even when it fits (always)",
+    )
+    p_run.add_argument(
+        "--spill-policy",
+        choices=POLICY_NAMES,
+        default="belady",
+        help="replacement policy ranking spill victims (default: belady)",
     )
     p_run.set_defaults(func=_cmd_run)
 
@@ -585,6 +681,20 @@ def build_parser() -> argparse.ArgumentParser:
             "--seed", type=int, default=0,
             help="seed for weights and request feeds (default 0)",
         )
+        p.add_argument(
+            "--spill",
+            choices=("never", "auto", "always"),
+            default="never",
+            help="over-budget admission policy: refuse (never, default), "
+            "degrade to spill-planned executors with measured off-chip "
+            "traffic (auto), or spill-plan every executor (always)",
+        )
+        p.add_argument(
+            "--spill-policy",
+            choices=POLICY_NAMES,
+            default="belady",
+            help="replacement policy ranking spill victims (default: belady)",
+        )
 
     p_serve = sub.add_parser(
         "serve",
@@ -677,6 +787,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
     p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+    p_exp.add_argument(
+        "--policy",
+        choices=POLICY_NAMES,
+        default=None,
+        help="replacement policy for the fig11 off-chip simulation (the "
+        "same registry the runtime's spill planner draws from; "
+        "default: belady)",
+    )
     p_exp.set_defaults(func=_cmd_experiment)
 
     return parser

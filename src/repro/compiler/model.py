@@ -29,6 +29,7 @@ from typing import Any
 from repro.allocator.arena import AllocationPlan
 from repro.allocator.export import plan_to_dict
 from repro.allocator.lifetimes import compute_lifetimes
+from repro.allocator.spill import SpillPlan, min_capacity_bytes, plan_spill
 from repro.exceptions import GraphError
 from repro.graph.graph import Graph
 from repro.graph.serialization import (
@@ -63,6 +64,9 @@ class CompiledModel:
     device: DeviceSpec | None = None
     #: free-form compilation metadata (timings, cache provenance, ...)
     meta: dict[str, Any] = field(default_factory=dict)
+    #: tiered-arena layouts precomputed per on-chip capacity (embedded
+    #: in the artifact; :meth:`spill_plan` serves/extends them)
+    spill_plans: tuple[SpillPlan, ...] = ()
 
     # ------------------------------------------------------------------
     @property
@@ -89,16 +93,78 @@ class CompiledModel:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         return self.plan.arena_bytes * batch_size
 
+    @property
+    def spill_floor_bytes(self) -> int:
+        """Irreducible on-chip capacity of this schedule: the largest
+        single-step working set (whole buffers are staged to be
+        touched). No spill plan can execute below this; memoised."""
+        cache = self._spill_cache()
+        floor = cache.get("floor")
+        if floor is None:
+            floor = min_capacity_bytes(self.graph, self.schedule)
+            cache["floor"] = floor
+        return floor
+
+    def spill_plan(
+        self, capacity_bytes: int, policy: str = "belady"
+    ) -> SpillPlan:
+        """The tiered-arena layout for one on-chip capacity.
+
+        Serves a carried (artifact-embedded) plan when one matches,
+        else computes and memoises — spill planning is deterministic in
+        ``(graph, schedule, plan, capacity, policy)``, so a computed
+        plan equals the one the compiler would have embedded. Raises
+        :class:`~repro.exceptions.SpillError` below
+        :attr:`spill_floor_bytes`.
+        """
+        for sp in self.spill_plans:
+            if sp.capacity_bytes == capacity_bytes and sp.policy == policy:
+                return sp
+        cache = self._spill_cache()
+        key = (capacity_bytes, policy)
+        plan = cache.get(key)
+        if plan is None:
+            plan = plan_spill(
+                self.graph,
+                self.schedule,
+                self.plan,
+                capacity_bytes,
+                policy=policy,
+            )
+            cache[key] = plan
+        return plan
+
+    def _spill_cache(self) -> dict:
+        """Per-instance memo for spill plans (frozen dataclass; lazy)."""
+        cache = getattr(self, "_spill_memo", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_spill_memo", cache)
+        return cache
+
     def executor(
-        self, params=None, seed: int = 0, batch_size: int = 1, scrub: str = "never"
+        self,
+        params=None,
+        seed: int = 0,
+        batch_size: int = 1,
+        scrub: str = "never",
+        spill: SpillPlan | None = None,
+        capacity_bytes: int | None = None,
+        spill_policy: str = "belady",
     ):
         """A ready :class:`~repro.runtime.plan_executor.PlanExecutor`.
 
         ``batch_size=N`` provisions ``N`` arena rows so ``run_batch``
         can execute up to ``N`` stacked samples per dispatch.
+        ``capacity_bytes`` (or an explicit ``spill`` plan) executes
+        under a two-region tiered arena whose on-chip region fits that
+        capacity, spilled buffers streaming from the off-chip region
+        with measured traffic — outputs stay bitwise identical.
         """
         from repro.runtime.plan_executor import PlanExecutor
 
+        if spill is None and capacity_bytes is not None:
+            spill = self.spill_plan(capacity_bytes, policy=spill_policy)
         return PlanExecutor(
             self.graph,
             self.schedule,
@@ -107,6 +173,7 @@ class CompiledModel:
             seed=seed,
             batch_size=batch_size,
             scrub=scrub,
+            spill=spill,
         )
 
     # ------------------------------------------------------------------
@@ -129,6 +196,8 @@ class CompiledModel:
             ),
             "meta": dict(self.meta),
         }
+        if self.spill_plans:
+            doc["spill_plans"] = [sp.to_doc() for sp in self.spill_plans]
         return doc
 
     @classmethod
@@ -167,6 +236,9 @@ class CompiledModel:
             if device_doc
             else None
         )
+        spill_plans = tuple(
+            SpillPlan.from_doc(sp) for sp in doc.get("spill_plans", ())
+        )
         return cls(
             graph=graph,
             schedule=schedule,
@@ -176,6 +248,7 @@ class CompiledModel:
             strategy=doc.get("strategy", "unknown"),
             device=device,
             meta=dict(doc.get("meta", {})),
+            spill_plans=spill_plans,
         )
 
     def save(self, path: str | Path) -> Path:

@@ -67,6 +67,15 @@ class AllocationError(ReproError):
     """The memory allocator produced an inconsistent plan."""
 
 
+class SpillError(AllocationError):
+    """No spill plan can fit the schedule into the on-chip capacity.
+
+    Raised by :func:`repro.allocator.spill.plan_spill` when the
+    capacity is below the schedule's irreducible single-step working
+    set (every tensor a kernel touches must be staged on-chip while it
+    runs), or when fragmentation defeats every spill configuration."""
+
+
 class RewriteError(ReproError):
     """A graph rewrite rule failed to apply or broke graph invariants."""
 

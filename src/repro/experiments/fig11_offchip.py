@@ -120,7 +120,7 @@ def render(cells: list[Fig11Cell], policy: str = "belady") -> str:
     )
 
 
-def main() -> str:  # pragma: no cover - exercised via CLI/benches
-    out = render(run())
+def main(policy: str = "belady") -> str:  # pragma: no cover - via CLI/benches
+    out = render(run(policy=policy), policy=policy)
     print(out)
     return out

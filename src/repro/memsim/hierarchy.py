@@ -5,7 +5,8 @@ at compile time, replay the buffer access trace against an on-chip
 memory of capacity ``C`` under a replacement policy (Belady's
 clairvoyant MIN by default) and count off-chip bytes moved.
 
-Model (documented in DESIGN.md):
+Model (the README's "Memory hierarchy & spill" section records these
+rules next to the runtime spill model):
 
 * a buffer must be on-chip to be read or written;
 * a **write** (node producing its output) allocates residency without a
@@ -20,6 +21,15 @@ Model (documented in DESIGN.md):
 * if the running schedule's live set fits in ``C`` at all times no
   traffic occurs — the "SERENITY removes off-chip communication" cases
   of Fig 11.
+
+This simulator is the *offline* (tile-granularity, reactive-eviction)
+half of the story. Its runtime counterpart is
+:mod:`repro.allocator.spill` + the plan executor's tiered arena: spill
+sites are chosen at compile time with the same replacement-policy
+registry (:mod:`repro.memsim.policies`), fetch/writeback steps are
+*executed* at whole-buffer granularity, and the measured traffic comes
+back in this module's :class:`TrafficReport` units
+(:meth:`~repro.runtime.plan_executor.PlanExecutor.traffic_report`).
 """
 
 from __future__ import annotations

@@ -24,7 +24,18 @@ from typing import Protocol
 
 from repro.memsim.trace import AccessTrace
 
-__all__ = ["ReplacementPolicy", "BeladyPolicy", "LRUPolicy", "FIFOPolicy", "make_policy"]
+__all__ = [
+    "POLICY_NAMES",
+    "ReplacementPolicy",
+    "BeladyPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "make_policy",
+]
+
+#: the one replacement-policy registry: the fig11 offline simulator and
+#: the runtime spill planner both resolve names against this
+POLICY_NAMES = ("belady", "lru", "fifo")
 
 _INF = float("inf")
 
@@ -103,7 +114,7 @@ class FIFOPolicy:
 
 
 def make_policy(name: str, trace: AccessTrace) -> ReplacementPolicy:
-    """Policy factory: ``belady`` | ``lru`` | ``fifo``."""
+    """Policy factory over :data:`POLICY_NAMES`."""
     if name == "belady":
         return BeladyPolicy(trace)
     if name == "lru":

@@ -62,6 +62,24 @@ the batched parity suite asserts that across the benchmark suite.
 :meth:`run` itself always executes single-sample on row 0 with the
 unbatched kernels, whatever the construction batch size.
 
+Tiered arenas & spilling
+------------------------
+``spill=SpillPlan`` turns the single arena into a **two-region**
+layout: an on-chip *resident* region bounded by the plan's capacity,
+plus an off-chip *spill* region holding the home bytes of spilled
+buffers (:class:`~repro.allocator.spill.SpillPlan`). The flat step
+table gains explicit **fetch** steps (home → staging slot, at every
+staging-window entry after the buffer's first write) and **writeback**
+steps (staging slot → home, at dirty window exits whose data is needed
+again), so off-chip traffic is *executed*, not merely estimated — and
+counted per run in :class:`~repro.memsim.hierarchy.TrafficReport`-
+compatible units (:meth:`PlanExecutor.traffic_report`). Because fetch
+and writeback copy bytes verbatim, outputs stay **bitwise identical**
+to the resident execution (and therefore to the reference executor)
+under every capacity, solo and batched; batched rows each stage and
+move their own bytes, so a batch-``N`` spilled run pays ``N x`` the
+per-sample traffic.
+
 Offsets inside a shared buffer
 ------------------------------
 The :class:`~repro.scheduler.memory.BufferModel` says *which* tensors
@@ -82,9 +100,11 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from repro.allocator.arena import AllocationPlan
+from repro.allocator.spill import SpillPlan, StageWindow, step_touches
 from repro.exceptions import ExecutionError
 from repro.graph.graph import Graph
 from repro.graph.node import Node
+from repro.memsim.hierarchy import TrafficReport
 from repro.runtime.executor import Params, init_params
 from repro.runtime.kernels import (
     BATCH_KERNELS,
@@ -208,6 +228,24 @@ class PlanExecutionStats:
     copy_writes: int = 0
     #: samples executed by this run (1 for :meth:`PlanExecutor.run`)
     batch: int = 1
+    #: on-chip capacity the run was held to (None: no spill plan; the
+    #: plan's own arena_bytes is the promise)
+    capacity_bytes: int | None = None
+    #: buffers homed off-chip by the spill plan
+    spilled_buffers: int = 0
+    #: off-chip traffic executed by this run (all samples), in the
+    #: units of :class:`~repro.memsim.hierarchy.TrafficReport`
+    spill_fetches: int = 0
+    spill_writebacks: int = 0
+    spill_bytes_in: int = 0
+    spill_bytes_out: int = 0
+    #: buffer touches replayed (reads + writes), for traffic reports
+    spill_accesses: int = 0
+
+    @property
+    def spill_bytes_total(self) -> int:
+        """Total off-chip bytes moved by this run (the Fig 11 quantity)."""
+        return self.spill_bytes_in + self.spill_bytes_out
 
     @property
     def utilization(self) -> float:
@@ -219,6 +257,8 @@ class PlanExecutionStats:
 
 #: step kinds inside a compiled :class:`_RunPlan`
 _STEP_INPUT, _STEP_DIRECT, _STEP_COPY = 0, 1, 2
+#: spill data movement: fetch = home -> staging slot, writeback = back
+_STEP_FETCH, _STEP_WRITEBACK = 3, 4
 
 
 @dataclass(frozen=True)
@@ -237,6 +277,13 @@ class _RunPlan:
     overflow_at: str | None
     direct_writes: int
     copy_writes: int
+    #: per-sample off-chip traffic baked into the step table (a batch
+    #: of n rows moves n x these)
+    spill_fetches: int = 0
+    spill_writebacks: int = 0
+    spill_bytes_in: int = 0
+    spill_bytes_out: int = 0
+    spill_accesses: int = 0
 
 
 #: arena scrub policies between runs (see :class:`PlanExecutor`)
@@ -282,6 +329,12 @@ class PlanExecutor:
     ``batch_size=N`` provisions ``N`` arena rows with the identical
     per-sample layout, enabling :meth:`run_batch` over up to ``N``
     stacked samples (see the module docstring).
+
+    ``spill`` executes under a two-region tiered arena: spilled
+    buffers live off-chip and are staged on-chip per access window,
+    with fetch/writeback steps in the step table and measured traffic
+    in :attr:`last_stats` / :meth:`traffic_report` (see the module
+    docstring). Outputs are bitwise those of the unspilled executor.
     """
 
     def __init__(
@@ -294,6 +347,7 @@ class PlanExecutor:
         model: BufferModel | None = None,
         scrub: str = "never",
         batch_size: int = 1,
+        spill: SpillPlan | None = None,
     ) -> None:
         schedule.validate(graph)
         if scrub not in SCRUB_POLICIES:
@@ -337,26 +391,122 @@ class PlanExecutor:
             )
         self._itemsize = itemsizes.pop()
 
+        # tiered-arena layout: spilled buffers are homed in the spill
+        # region and staged on-chip per window, everything else keeps a
+        # fixed resident-region slot for its whole lifetime
+        self.spill = spill
+        self._spilled: frozenset[int] = (
+            spill.spilled if spill is not None else frozenset()
+        )
+        if spill is not None:
+            spill.validate()
+            resident = set(range(self.model.n_buffers)) - set(self._spilled)
+            if set(spill.resident_offsets) != resident:
+                raise ExecutionError(
+                    "spill plan does not cover this graph's buffers: "
+                    f"{len(spill.resident_offsets)} resident offsets for "
+                    f"{len(resident)} resident buffers"
+                )
+        self._region_offset: Mapping[int, int] = (
+            spill.resident_offsets if spill is not None else plan.offsets
+        )
+        #: the on-chip promise every run is held to (resident region)
+        self._capacity_bytes = (
+            spill.capacity_bytes if spill is not None else plan.arena_bytes
+        )
+
         intra = intra_buffer_offsets(graph, self.model)
         self._check_write_hazards(intra)
+        self._schedule_pos = schedule.positions()
+        self._buf_of_name = {
+            name: self.model.buffer_of[i] for i, name in enumerate(idx.order)
+        }
         self._elem_offset: dict[str, int] = {}
+        self._intra_elem: dict[str, int] = {}
         for i, name in enumerate(idx.order):
-            byte_off = plan.offsets[self.model.buffer_of[i]] + intra[name]
+            b = self.model.buffer_of[i]
+            if intra[name] % self._itemsize:
+                raise ExecutionError(
+                    f"intra-buffer offset {intra[name]} of {name!r} is not "
+                    f"aligned to the {self._itemsize}-byte element size"
+                )
+            self._intra_elem[name] = intra[name] // self._itemsize
+            if b in self._spilled:
+                continue  # staged per window: no fixed arena offset
+            byte_off = self._region_offset[b] + intra[name]
             if byte_off % self._itemsize:
                 raise ExecutionError(
                     f"planned offset {byte_off} of {name!r} is not aligned "
                     f"to the {self._itemsize}-byte element size"
                 )
             self._elem_offset[name] = byte_off // self._itemsize
+
+        # spilled-buffer geometry (element units) + per-node touch sets
+        self._buf_elems: dict[int, int] = {}
+        self._home_elem: dict[int, int] = {}
+        self._touched_spilled: dict[str, tuple[int, ...]] = {}
+        self._touch_count: dict[str, int] = {}
+        spill_extent = 0
+        window_extent = 0
+        if spill is not None:
+            for b in self._spilled:
+                size = self.model.buf_size[b]
+                home = spill.home_offsets[b]
+                if (
+                    size % self._itemsize
+                    or home % self._itemsize
+                    or any(
+                        w.offset % self._itemsize for w in spill.windows[b]
+                    )
+                ):
+                    raise ExecutionError(
+                        f"spill plan for buffer {b} is not aligned to the "
+                        f"{self._itemsize}-byte element size"
+                    )
+                self._buf_elems[b] = size // self._itemsize
+                self._home_elem[b] = home // self._itemsize
+                spill_extent = max(spill_extent, home + size)
+                window_extent = max(
+                    window_extent,
+                    max(w.offset + size for w in spill.windows[b]),
+                )
+            # homes must be pairwise disjoint — the plan document does
+            # not carry buffer sizes, so this cross-check against the
+            # graph's buffer model is the executor's job (a corrupt
+            # artifact with aliased homes would silently corrupt data)
+            homes = sorted(
+                (spill.home_offsets[b], self.model.buf_size[b], b)
+                for b in self._spilled
+            )
+            for (off_a, size_a, a), (off_b, _, b2) in zip(homes, homes[1:]):
+                if off_a + size_a > off_b:
+                    raise ExecutionError(
+                        f"spill plan home slots overlap: buffers {a} "
+                        f"([{off_a}, {off_a + size_a})) and {b2} "
+                        f"(starting at {off_b}) share spill-region bytes"
+                    )
+            # the planner's touch model, verbatim — capacity floors and
+            # staging sets must never diverge from it
+            for name, bufs in zip(schedule, step_touches(graph, schedule, self.model)):
+                self._touch_count[name] = len(bufs)
+                touched = tuple(b for b in bufs if b in self._spilled)
+                if touched:
+                    self._touched_spilled[name] = touched
+        self._spill_elems = -(-spill_extent // self._itemsize)
+
         # sized to the layout's true extent so every site view exists
         # even under a plan that understates arena_bytes (the run-time
         # overflow check still holds such a plan to its promise)
+        resident_promise = (
+            spill.resident_bytes if spill is not None else plan.arena_bytes
+        )
         self._arena_elems = max(
-            -(-plan.arena_bytes // self._itemsize),
+            -(-resident_promise // self._itemsize),
+            -(-window_extent // self._itemsize),
             max(
                 (
                     self._elem_offset[name] + graph.node(name).output.elements
-                    for name in idx.order
+                    for name in self._elem_offset
                 ),
                 default=0,
             ),
@@ -383,9 +533,13 @@ class PlanExecutor:
             )
 
     def _alloc_arena(self) -> None:
-        """(Re)allocate the zeroed arena and rebuild every site view."""
+        """(Re)allocate the zeroed region(s) and rebuild every site view."""
         self._arena = np.zeros(
             (self.batch_size, self._arena_elems), dtype=_EXEC_DTYPE
+        )
+        #: off-chip home bytes of spilled buffers (empty without spill)
+        self._spill_arena = np.zeros(
+            (self.batch_size, self._spill_elems), dtype=_EXEC_DTYPE
         )
         #: per-node views keyed by batch width (_UNBATCHED = row-0
         #: views with the spec's own shape; n >= 1 = (n, ...) views
@@ -444,9 +598,14 @@ class PlanExecutor:
     # ------------------------------------------------------------------
     @property
     def arena_nbytes(self) -> int:
-        """Actual bytes held by the preallocated arena array (all
-        ``batch_size`` rows)."""
+        """Actual bytes held by the preallocated resident arena array
+        (all ``batch_size`` rows)."""
         return self._arena.nbytes
+
+    @property
+    def spill_nbytes(self) -> int:
+        """Bytes held by the off-chip spill region (0 without spill)."""
+        return self._spill_arena.nbytes
 
     def _sites_for(self, n: int) -> dict[str, np.ndarray]:
         """Per-node arena views at batch width ``n``, built lazily once
@@ -456,13 +615,16 @@ class PlanExecutor:
         (the single-sample hot path); ``n >= 1`` binds ``(n, ...)``
         views spanning the first ``n`` rows — zero-copy strided views
         into the same bytes, so batched and single-sample runs share
-        one arena.
+        one arena. Spilled nodes are absent: their views move per
+        staging window and are bound at step-table compile time.
         """
         cached = self._sites.get(n)
         if cached is not None:
             return cached
         sites: dict[str, np.ndarray] = {}
         for name in self.model.index.order:
+            if name not in self._elem_offset:
+                continue  # spilled: bound per window
             node = self.graph.node(name)
             start = self._elem_offset[name]
             stop = start + node.output.elements
@@ -499,6 +661,11 @@ class PlanExecutor:
             node = self.graph.node(name)
             out_kernel = OUT_KERNELS.get(node.op)
             if out_kernel is None or node.op not in KERNELS:
+                continue
+            if self._touched_spilled.get(name):
+                # spilled sites move per staging window; the disjointness
+                # argument below is about fixed ranges, so keep the
+                # always-safe temporary-then-copy path
                 continue
             spec = node.output
             out_lo, out_hi = self._elem_range(name)
@@ -555,6 +722,35 @@ class PlanExecutor:
             direct[name] = node.op
         return direct
 
+    def _window_view(
+        self, name: str, window: StageWindow, n: int
+    ) -> np.ndarray:
+        """View of spilled node ``name`` inside its staged buffer slot."""
+        node = self.graph.node(name)
+        start = window.offset // self._itemsize + self._intra_elem[name]
+        stop = start + node.output.elements
+        if n == _UNBATCHED:
+            return self._arena[0, start:stop].reshape(node.output.shape)
+        return self._arena[:n, start:stop].reshape((n,) + node.output.shape)
+
+    def _stage_and_home(
+        self, b: int, window: StageWindow, n: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Whole-buffer (staging slot, home slot) views for fetch and
+        writeback steps — raw element runs, no tensor shape."""
+        elems = self._buf_elems[b]
+        s0 = window.offset // self._itemsize
+        h0 = self._home_elem[b]
+        if n == _UNBATCHED:
+            return (
+                self._arena[0, s0 : s0 + elems],
+                self._spill_arena[0, h0 : h0 + elems],
+            )
+        return (
+            self._arena[:n, s0 : s0 + elems],
+            self._spill_arena[:n, h0 : h0 + elems],
+        )
+
     def _compile_run_plan(
         self, order: tuple[str, ...], executed0: int, n: int
     ) -> "_RunPlan":
@@ -570,6 +766,14 @@ class PlanExecutor:
         with the same diagnostic the per-step check used to produce —
         an understated plan is rejected statically, before any kernel
         (batched or not) touches the arena.
+
+        Under a spill plan the replay also inserts the fetch/writeback
+        data movement (see the module docstring): a spilled buffer's
+        staging slot is held from its window entry to its last executed
+        touch in that window, a window entry after the buffer's first
+        write fetches the home bytes, and a dirty window exit writes
+        them back when the data is needed again. The resulting traffic
+        is data-independent too, so it is counted here, once per plan.
         """
         graph, model, params = self.graph, self.model, self.params
         if n == _UNBATCHED:
@@ -580,6 +784,9 @@ class PlanExecutor:
             batch_dims = (n,)
         sites = self._sites_for(n)
         idx = model.index
+        spill = self.spill
+        spilled = self._spilled
+        pos = self._schedule_pos
         steps: list[tuple] = []
         direct_writes = 0
         copy_writes = 0
@@ -587,15 +794,68 @@ class PlanExecutor:
         executed = executed0
         measured_peak = 0
         overflow_at: str | None = None
-        for name in order:
+
+        # static spill bookkeeping for THIS order: which window each
+        # executed touch lands in, and where windows (as executed) end
+        fetches = writebacks = bytes_in = bytes_out = accesses = 0
+        staged_win: dict[int, StageWindow] = {}
+        staged_extent: dict[int, int] = {}
+        written: set[int] = set()
+        dirty: set[int] = set()
+        windows_at: dict[int, dict[int, StageWindow]] = {}
+        last_in_win: dict[tuple[int, int], int] = {}
+        last_touch: dict[int, int] = {}
+        if spilled:
+            for oi, name in enumerate(order):
+                for b in self._touched_spilled.get(name, ()):
+                    w = spill.window_at(b, pos[name])  # type: ignore[union-attr]
+                    windows_at.setdefault(b, {})[oi] = w
+                    last_in_win[(b, w.start)] = oi
+                    last_touch[b] = oi
+
+        for oi, name in enumerate(order):
             node = graph.node(name)
             u = idx.index[name]
-            live.add(model.buffer_of[u])
+            b_own = model.buffer_of[u]
+            if spill is not None:
+                accesses += self._touch_count[name]
+            # stage every spilled buffer this step touches (fetching
+            # home bytes unless nothing was ever written to them)
+            for b in self._touched_spilled.get(name, ()):
+                w = windows_at[b][oi]
+                if staged_win.get(b) is not w:
+                    staged_win[b] = w
+                    staged_extent[b] = w.offset + model.buf_size[b]
+                    if b in written:
+                        stage, home = self._stage_and_home(b, w, n)
+                        steps.append(
+                            (
+                                _STEP_FETCH,
+                                f"<fetch:b{b}>",
+                                stage,
+                                None,
+                                (home,),
+                                None,
+                                None,
+                                None,
+                            )
+                        )
+                        fetches += 1
+                        bytes_in += model.buf_size[b]
+            if b_own not in spilled:
+                live.add(b_own)
             extent = max(
-                self.plan.offsets[bb] + model.buf_size[bb] for bb in live
+                max(
+                    (
+                        self._region_offset[bb] + model.buf_size[bb]
+                        for bb in live
+                    ),
+                    default=0,
+                ),
+                max(staged_extent.values(), default=0),
             )
             measured_peak = max(measured_peak, extent)
-            if overflow_at is None and measured_peak > self.plan.arena_bytes:
+            if overflow_at is None and measured_peak > self._capacity_bytes:
                 overflow_at = name
             executed |= 1 << u
             for b2 in model.check_buffers[u]:
@@ -604,51 +864,94 @@ class PlanExecutor:
                 if not (model.buf_required[b2] & ~executed):
                     live.discard(b2)
 
-            site = sites[name]
+            def view_of(nm: str) -> np.ndarray:
+                bb = self._buf_of_name[nm]
+                if bb in spilled:
+                    return self._window_view(nm, staged_win[bb], n)
+                return sites[nm]
+
+            site = view_of(name)
             shape = batch_dims + node.output.shape
             if node.op == "input":
                 steps.append((_STEP_INPUT, name, site, None, (), {}, {}, shape))
-                continue
-            direct_op = self._direct.get(name)
-            args = tuple(sites[src] for src in node.inputs)
-            node_params = params.get(name, {})
-            if direct_op is not None:
-                steps.append(
-                    (
-                        _STEP_DIRECT,
-                        name,
-                        site,
-                        out_table[direct_op],
-                        args,
-                        node.attrs,
-                        node_params,
-                        None,
-                    )
-                )
-                direct_writes += 1
             else:
-                kernel = kernel_table.get(node.op)
-                if kernel is None:
-                    raise ExecutionError(f"no kernel for op {node.op!r}")
-                steps.append(
-                    (
-                        _STEP_COPY,
-                        name,
-                        site,
-                        kernel,
-                        args,
-                        node.attrs,
-                        node_params,
-                        shape,
+                direct_op = self._direct.get(name)
+                args = tuple(view_of(src) for src in node.inputs)
+                node_params = params.get(name, {})
+                if direct_op is not None:
+                    steps.append(
+                        (
+                            _STEP_DIRECT,
+                            name,
+                            site,
+                            out_table[direct_op],
+                            args,
+                            node.attrs,
+                            node_params,
+                            None,
+                        )
                     )
-                )
-                copy_writes += 1
+                    direct_writes += 1
+                else:
+                    kernel = kernel_table.get(node.op)
+                    if kernel is None:
+                        raise ExecutionError(f"no kernel for op {node.op!r}")
+                    steps.append(
+                        (
+                            _STEP_COPY,
+                            name,
+                            site,
+                            kernel,
+                            args,
+                            node.attrs,
+                            node_params,
+                            shape,
+                        )
+                    )
+                    copy_writes += 1
+
+            # window exits: write dirty staged bytes home when the data
+            # is needed again (or holds a graph output); dead windows
+            # drop silently, exactly like the memsim eviction rule
+            if b_own in spilled:
+                written.add(b_own)
+                dirty.add(b_own)
+            for b in self._touched_spilled.get(name, ()):
+                w = staged_win[b]
+                if last_in_win.get((b, w.start)) != oi:
+                    continue  # window continues at a later executed step
+                has_later = last_touch[b] != oi
+                if b in dirty and (has_later or model.buf_persistent[b]):
+                    stage, home = self._stage_and_home(b, w, n)
+                    steps.append(
+                        (
+                            _STEP_WRITEBACK,
+                            f"<writeback:b{b}>",
+                            home,
+                            None,
+                            (stage,),
+                            None,
+                            None,
+                            None,
+                        )
+                    )
+                    writebacks += 1
+                    bytes_out += model.buf_size[b]
+                    dirty.discard(b)
+                elif not has_later:
+                    dirty.discard(b)
+                staged_extent.pop(b, None)
         return _RunPlan(
             steps=tuple(steps),
             measured_peak_bytes=measured_peak,
             overflow_at=overflow_at,
             direct_writes=direct_writes,
             copy_writes=copy_writes,
+            spill_fetches=fetches,
+            spill_writebacks=writebacks,
+            spill_bytes_in=bytes_in,
+            spill_bytes_out=bytes_out,
+            spill_accesses=accesses,
         )
 
     def _get_plan(self, wanted: list[str] | None, n: int) -> "_RunPlan":
@@ -761,6 +1064,13 @@ class PlanExecutor:
         subset = None if outputs is None else wanted
         plan = self._get_plan(subset, n)
         if plan.overflow_at is not None:
+            if self.spill is not None:
+                raise ExecutionError(
+                    f"resident region overflow at {plan.overflow_at!r}: "
+                    f"measured high-water mark {plan.measured_peak_bytes} "
+                    f"exceeds the {self._capacity_bytes}-byte on-chip "
+                    "capacity per sample (corrupt spill plan)"
+                )
             raise ExecutionError(
                 f"arena overflow at {plan.overflow_at!r}: measured high-water "
                 f"mark {plan.measured_peak_bytes} exceeds the planned "
@@ -779,6 +1089,8 @@ class PlanExecutor:
             plan = self._get_plan(subset, n)
         elif self.scrub == "zero":
             self._arena.fill(0.0)
+            if self._spill_elems:
+                self._spill_arena.fill(0.0)
         reused = self.scrub != "fresh" and self.runs > 0
 
         snapshots: dict[str, np.ndarray] = {}
@@ -794,7 +1106,7 @@ class PlanExecutor:
                         f"spec says {shape}"
                     )
                 site[...] = value
-            else:  # input
+            elif kind == _STEP_INPUT:
                 if name not in feeds:
                     raise ExecutionError(f"missing feed for input {name!r}")
                 value = np.asarray(feeds[name], dtype=_EXEC_DTYPE)
@@ -804,10 +1116,14 @@ class PlanExecutor:
                         f"expected {shape}"
                     )
                 site[...] = value
+            else:  # fetch / writeback: verbatim whole-buffer byte moves
+                site[...] = args[0]
+                continue
             if name in want:
                 snapshots[name] = site.copy()
 
         self.runs += 1
+        n_eff = 1 if n == _UNBATCHED else n
         self.last_stats = PlanExecutionStats(
             steps=len(plan.steps),
             arena_bytes=self.plan.arena_bytes,
@@ -815,6 +1131,45 @@ class PlanExecutor:
             arena_reused=reused,
             direct_writes=plan.direct_writes,
             copy_writes=plan.copy_writes,
-            batch=1 if n == _UNBATCHED else n,
+            batch=n_eff,
+            capacity_bytes=(
+                self.spill.capacity_bytes if self.spill is not None else None
+            ),
+            spilled_buffers=len(self._spilled),
+            spill_fetches=plan.spill_fetches * n_eff,
+            spill_writebacks=plan.spill_writebacks * n_eff,
+            spill_bytes_in=plan.spill_bytes_in * n_eff,
+            spill_bytes_out=plan.spill_bytes_out * n_eff,
+            spill_accesses=plan.spill_accesses * n_eff,
         )
         return {w: snapshots[w] for w in wanted}
+
+    def traffic_report(self) -> TrafficReport:
+        """Off-chip traffic of the most recent run, in the Fig 11
+        simulator's units (:class:`~repro.memsim.hierarchy.TrafficReport`).
+
+        Unlike the offline simulator this reports *executed* movement:
+        every counted byte was actually copied between the spill region
+        and a staging slot by a fetch or writeback step. Without a
+        spill plan (or with a trivial one) the report is all-zero —
+        the "SERENITY removes off-chip communication" case.
+        """
+        stats = self.last_stats
+        if stats is None:
+            raise ExecutionError(
+                "no run to report traffic for; call run() or run_batch() first"
+            )
+        return TrafficReport(
+            capacity_bytes=(
+                stats.capacity_bytes
+                if stats.capacity_bytes is not None
+                else stats.arena_bytes
+            ),
+            policy=self.spill.policy if self.spill is not None else "resident",
+            bytes_in=stats.spill_bytes_in,
+            bytes_out=stats.spill_bytes_out,
+            fetches=stats.spill_fetches,
+            writebacks=stats.spill_writebacks,
+            bypass_bytes=0,
+            accesses=stats.spill_accesses,
+        )

@@ -54,6 +54,10 @@ class LoadReport:
     batch_size: int = 1
     #: whether the pool was warmed before the measured window
     preloaded: bool = False
+    #: over-budget admission policy the pool ran with
+    spill: str = "never"
+    #: total simulated off-chip bytes moved by spilled executor runs
+    spill_bytes: int = 0
 
     @property
     def rps(self) -> float:
@@ -85,6 +89,12 @@ class LoadReport:
             f"  mean stacked batch    : {self.mean_batch:7.2f}",
             f"  resident arena bytes  : {self.pool.resident_bytes / 1024:7.1f}KB",
         ]
+        if self.spill != "never" or self.spill_bytes:
+            lines.append(
+                f"  off-chip spill traffic: {self.spill_bytes / 1024:7.1f}KB "
+                f"(spill={self.spill}, {self.pool.spilled_builds} spilled "
+                "executors)"
+            )
         if self.errors:
             lines.append(f"  ERRORS                : {self.errors}")
         if self.verified is not None:
@@ -111,6 +121,8 @@ def run_load(
     scrub: str = "never",
     verify: bool = False,
     preload: bool = False,
+    spill: str = "never",
+    spill_policy: str = "belady",
 ) -> LoadReport:
     """Drive ``requests`` inferences from ``clients`` concurrent threads.
 
@@ -125,7 +137,11 @@ def run_load(
     ``max_batch``, so a fully drained micro-batch runs as one stacked
     kernel pass). ``preload=True`` warms the pool — one executor per
     model — before the clients start, so the measured window contains
-    no cold-start builds.
+    no cold-start builds. ``spill`` picks what happens to arenas the
+    budget cannot hold: refuse (``never``), degrade to planned
+    off-chip staging with measured traffic (``auto``), or spill-plan
+    every executor (``always``); outputs stay bitwise-verified either
+    way.
     """
     names = registry.names()
     if not names:
@@ -139,6 +155,8 @@ def run_load(
         scrub=scrub,
         reuse=reuse,
         batch_size=batch_size,
+        spill=spill,
+        spill_policy=spill_policy,
     )
     preloaded = bool(pool.preload()) if preload else False
     references = (
@@ -211,4 +229,6 @@ def run_load(
         mismatches=tuple(mismatches),
         batch_size=batch_size,
         preloaded=preloaded,
+        spill=spill,
+        spill_bytes=stats.spill_bytes,
     )

@@ -15,7 +15,22 @@ hands them out to request threads:
 * when the budget is exhausted, admission control first **evicts idle
   arenas** of other models (coldest first), then blocks the request
   until a lease is released; a model whose single arena can never fit
-  is rejected outright with :class:`~repro.exceptions.AdmissionError`.
+  is rejected outright with :class:`~repro.exceptions.AdmissionError` —
+  unless spilling is enabled.
+
+``spill`` picks what happens to arenas that exceed the budget
+outright. ``"never"`` (default) keeps the hard rejection. ``"auto"``
+degrades them instead: the executor is built against a compile-time
+:class:`~repro.allocator.spill.SpillPlan` whose on-chip (resident)
+region fits the budget, with cold buffers homed off-chip and fetched /
+written back around their uses — measured traffic, bitwise-identical
+outputs. ``"always"`` builds every executor that way (a fitting model
+gets the trivial zero-traffic plan). Admission then prices the
+executor at its *resident* bytes, the on-chip footprint the budget
+actually models. Batched executors spill per **row**: the per-row
+capacity is ``budget // batch_size``, so an ``N x`` footprint that
+misses the budget stages cold rows' buffers instead of refusing the
+whole batch.
 
 ``batch_size=N`` makes every pooled executor **batch-capable**: its
 arena is ``N`` per-sample rows, the request scheduler can stack a
@@ -44,7 +59,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.exceptions import AdmissionError, ServingError
+from repro.allocator.spill import SPILL_MODES, SpillPlan
+from repro.exceptions import AdmissionError, ServingError, SpillError
 from repro.runtime.plan_executor import PlanExecutor
 from repro.scheduler.device import DeviceSpec
 from repro.serving.registry import ModelRegistry
@@ -70,6 +86,10 @@ class PoolStats:
     leased: int
     #: executors built ahead of traffic by :meth:`ArenaPool.preload`
     preloads: int = 0
+    #: executors built against a non-trivial spill plan (over-budget
+    #: admissions degraded to off-chip staging instead of being
+    #: refused; trivial everything-fits plans do not count)
+    spilled_builds: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -102,6 +122,14 @@ class ArenaPool:
         ``N`` arena rows per executor (admission prices them at ``N x``
         the plan) so the scheduler can stack same-model requests into
         one batched run.
+    spill:
+        Over-budget admission policy (see the module docstring):
+        ``"never"`` refuses, ``"auto"`` degrades to a spill-planned
+        executor whose resident region fits the budget, ``"always"``
+        spill-plans every build.
+    spill_policy:
+        Replacement policy ranking spill victims (``belady`` | ``lru``
+        | ``fifo`` — the Fig 11 simulator's registry).
     """
 
     def __init__(
@@ -113,9 +141,15 @@ class ArenaPool:
         scrub: str = "never",
         reuse: bool = True,
         batch_size: int = 1,
+        spill: str = "never",
+        spill_policy: str = "belady",
     ) -> None:
         if batch_size < 1:
             raise ServingError(f"batch_size must be >= 1, got {batch_size}")
+        if spill not in SPILL_MODES:
+            raise ServingError(
+                f"unknown spill mode {spill!r}; pick one of {SPILL_MODES}"
+            )
         self.registry = registry
         self.budget_bytes = (
             budget.sram_bytes if isinstance(budget, DeviceSpec) else budget
@@ -124,6 +158,8 @@ class ArenaPool:
         self.scrub = scrub
         self.reuse = reuse
         self.batch_size = batch_size
+        self.spill = spill
+        self.spill_policy = spill_policy
         self._cond = threading.Condition()
         #: idle executors per model, most-recently-released last
         self._idle: dict[str, deque[PlanExecutor]] = defaultdict(deque)
@@ -137,18 +173,56 @@ class ArenaPool:
         self._evictions = 0
         self._waits = 0
         self._preloads = 0
+        self._spilled_builds = 0
 
     # ------------------------------------------------------------------
+    def _spill_plan_for(self, name: str) -> SpillPlan | None:
+        """The spill plan an executor of ``name`` is built against
+        (None: plain resident executor).
+
+        ``auto`` spill-plans only models whose ``batch_size x`` arena
+        misses the budget; ``always`` plans every model. The per-row
+        on-chip capacity is ``budget // batch_size`` — rows stage and
+        spill independently, so ``batch_size`` resident rows together
+        fit the budget. Raises :class:`AdmissionError` when even full
+        spilling cannot meet it (the schedule's single-step working
+        set is the floor)."""
+        if self.spill == "never" or self.budget_bytes is None:
+            return None
+        model = self.registry.get(name)
+        per_row = self.budget_bytes // self.batch_size
+        if self.spill == "auto" and (
+            model.arena_bytes_for(self.batch_size) <= self.budget_bytes
+        ):
+            return None
+        try:
+            return model.spill_plan(per_row, policy=self.spill_policy)
+        except SpillError as exc:
+            raise AdmissionError(
+                f"model {name!r} cannot be admitted even with spilling: "
+                f"per-row on-chip capacity {per_row} bytes (budget "
+                f"{self.budget_bytes} / batch {self.batch_size}) is below "
+                f"the schedule's floor ({exc})"
+            ) from exc
+
     def _build(self, name: str) -> PlanExecutor:
         model = self.registry.get(name)
-        return PlanExecutor(
+        spill = self._spill_plan_for(name)
+        executor = PlanExecutor(
             model.graph,
             model.schedule,
             model.plan,
             seed=self.seed,
             scrub=self.scrub,
             batch_size=self.batch_size,
+            spill=spill,
         )
+        if spill is not None and not spill.is_trivial:
+            # only genuinely degraded executors count — a trivial plan
+            # (everything fits) moves no bytes off-chip
+            with self._cond:
+                self._spilled_builds += 1
+        return executor
 
     def _arena_cost(self, name: str) -> int:
         """Bytes one executor of ``name`` counts against the budget.
@@ -156,11 +230,16 @@ class ArenaPool:
         This is the *plan's* arena size times the pool's batch capacity
         (a batch-``N`` executor holds ``N`` layout-identical rows) — the
         number device-fit verdicts are made of — used consistently for
-        admission, release and eviction. (The NumPy executor simulates
-        in float64, so its host allocation can be larger than the plan
-        for narrower dtypes; budgets model the device, not the
-        simulator's heap.)
+        admission, release and eviction. A spill-planned executor is
+        priced at its **resident** bytes per row: only the on-chip
+        region competes for the budget; its off-chip home region does
+        not. (The NumPy executor simulates in float64, so its host
+        allocation can be larger than the plan for narrower dtypes;
+        budgets model the device, not the simulator's heap.)
         """
+        spill = self._spill_plan_for(name)
+        if spill is not None:
+            return spill.resident_bytes * self.batch_size
         return self.registry.arena_bytes(name, batch_size=self.batch_size)
 
     def _evict_idle(self, needed: int, keep: str) -> None:
@@ -194,8 +273,10 @@ class ArenaPool:
             )
             raise AdmissionError(
                 f"model {name!r} needs a {cost}-byte arena{batched} but the "
-                f"pool budget is {self.budget_bytes} bytes; it can never be "
-                "admitted"
+                f"pool budget is {self.budget_bytes} bytes "
+                f"({cost - self.budget_bytes} bytes short); it can never be "
+                "admitted with spill='never' — set spill='auto' to degrade "
+                "over-budget arenas to planned off-chip staging"
             )
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
@@ -341,6 +422,7 @@ class ArenaPool:
                 resident_bytes=self._resident_bytes,
                 leased=self._leased,
                 preloads=self._preloads,
+                spilled_builds=self._spilled_builds,
             )
 
     def close(self) -> None:

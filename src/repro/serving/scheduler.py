@@ -64,6 +64,10 @@ class RequestStats:
     #: how many samples actually ran stacked in this request's run
     #: (1 = solo run; > 1 = one batched kernel pass served them all)
     batch_size: int
+    #: simulated off-chip bytes moved by the run that served this
+    #: request (0 on a resident, unspilled executor); run-level, like
+    #: :attr:`measured_peak_bytes` — a stacked run's traffic is shared
+    spill_bytes: int = 0
 
     @property
     def total_s(self) -> float:
@@ -95,6 +99,9 @@ class ServingStats:
     batches: int
     latencies_s: tuple[float, ...] = field(repr=False)
     pool: PoolStats | None = None
+    #: total simulated off-chip bytes moved by executor runs (counted
+    #: once per run, not per stacked request)
+    spill_bytes: int = 0
 
     @property
     def p50_s(self) -> float:
@@ -175,6 +182,7 @@ class RequestScheduler:
         self._requests = 0
         self._errors = 0
         self._batches = 0
+        self._spill_bytes = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -245,6 +253,7 @@ class RequestScheduler:
                 batches=self._batches,
                 latencies_s=tuple(self._latencies),
                 pool=self.pool.stats(),
+                spill_bytes=self._spill_bytes,
             )
 
     # ------------------------------------------------------------------
@@ -345,6 +354,7 @@ class RequestScheduler:
         completed = 0
         errors = 0
         runs = 0
+        spill_bytes = 0
         latencies: list[float] = []
         capacity = getattr(executor, "batch_size", 1)
         if capacity > 1 and len(batch) > 1:
@@ -395,6 +405,8 @@ class RequestScheduler:
                 t1 = time.perf_counter()
                 run_stats = executor.last_stats
                 runs += 1
+                run_spill = getattr(run_stats, "spill_bytes_total", 0)
+                spill_bytes += run_spill
                 for i, req in enumerate(live):
                     scattered = (
                         {k: v[i].copy() for k, v in outputs.items()}
@@ -408,6 +420,7 @@ class RequestScheduler:
                         measured_peak_bytes=run_stats.measured_peak_bytes,
                         arena_reused=run_stats.arena_reused,
                         batch_size=len(live),
+                        spill_bytes=run_spill,
                     )
                     req.future.set_result(
                         InferenceResult(outputs=scattered, stats=stats)
@@ -418,4 +431,5 @@ class RequestScheduler:
             self._requests += completed
             self._errors += errors
             self._batches += runs
+            self._spill_bytes += spill_bytes
             self._latencies.extend(latencies)

@@ -1,0 +1,135 @@
+"""Spill planning: determinism, floors, serialization, policy registry."""
+
+import pytest
+
+from repro.allocator.arena import plan_allocation
+from repro.allocator.spill import (
+    SpillPlan,
+    buffer_access_trace,
+    min_capacity_bytes,
+    plan_spill,
+    step_touches,
+)
+from repro.exceptions import SpillError
+from repro.models.suite import get_cell
+from repro.scheduler.memory import BufferModel
+from repro.scheduler.registry import run_strategy
+
+
+@pytest.fixture(scope="module")
+def compiled_cell():
+    out = run_strategy("greedy", get_cell("randwire-c10-b").factory())
+    graph, schedule = out.scheduled_graph, out.schedule
+    plan = plan_allocation(graph, schedule)
+    return graph, schedule, plan, BufferModel.of(graph)
+
+
+class TestPlanSpill:
+    def test_trivial_at_full_capacity(self, compiled_cell):
+        graph, schedule, plan, _ = compiled_cell
+        sp = plan_spill(graph, schedule, plan, plan.arena_bytes)
+        assert sp.is_trivial
+        assert sp.resident_bytes == plan.arena_bytes
+        assert sp.spill_bytes == 0
+        assert sp.resident_offsets == plan.offsets
+
+    def test_constrained_capacity_spills(self, compiled_cell):
+        graph, schedule, plan, _ = compiled_cell
+        cap = int(plan.arena_bytes * 0.75)
+        sp = plan_spill(graph, schedule, plan, cap)
+        assert not sp.is_trivial
+        assert sp.resident_bytes <= cap
+        model = BufferModel.of(graph)
+        assert sp.spill_bytes == sum(
+            model.buf_size[b] for b in sp.spilled
+        )
+        # every spilled buffer has a home and at least one window
+        for b in sp.spilled:
+            assert b in sp.home_offsets
+            assert sp.windows[b]
+
+    def test_deterministic(self, compiled_cell):
+        graph, schedule, plan, _ = compiled_cell
+        cap = int(plan.arena_bytes * 0.6)
+        assert plan_spill(graph, schedule, plan, cap) == plan_spill(
+            graph, schedule, plan, cap
+        )
+
+    def test_below_floor_raises(self, compiled_cell):
+        graph, schedule, plan, model = compiled_cell
+        floor = min_capacity_bytes(graph, schedule, model)
+        assert 0 < floor <= plan.arena_bytes
+        with pytest.raises(SpillError, match="working set"):
+            plan_spill(graph, schedule, plan, floor - 8)
+
+    def test_at_floor_succeeds(self, compiled_cell):
+        graph, schedule, plan, model = compiled_cell
+        floor = min_capacity_bytes(graph, schedule, model)
+        sp = plan_spill(graph, schedule, plan, floor)
+        assert sp.resident_bytes <= floor
+
+    def test_nonpositive_capacity_raises(self, compiled_cell):
+        graph, schedule, plan, _ = compiled_cell
+        with pytest.raises(SpillError, match="positive"):
+            plan_spill(graph, schedule, plan, 0)
+
+    @pytest.mark.parametrize("policy", ["belady", "lru", "fifo"])
+    def test_policy_registry_shared_with_memsim(self, compiled_cell, policy):
+        """Every fig11 simulator policy also drives spill planning."""
+        graph, schedule, plan, _ = compiled_cell
+        cap = int(plan.arena_bytes * 0.7)
+        sp = plan_spill(graph, schedule, plan, cap, policy=policy)
+        assert sp.policy == policy
+        assert sp.resident_bytes <= cap
+
+    def test_unknown_policy_raises(self, compiled_cell):
+        graph, schedule, plan, _ = compiled_cell
+        with pytest.raises(ValueError, match="unknown replacement policy"):
+            plan_spill(
+                graph, schedule, plan, plan.arena_bytes // 2, policy="magic"
+            )
+
+    def test_windows_cover_every_touch(self, compiled_cell):
+        graph, schedule, plan, model = compiled_cell
+        cap = int(plan.arena_bytes * 0.6)
+        sp = plan_spill(graph, schedule, plan, cap)
+        touch = step_touches(graph, schedule, model)
+        for s, bufs in enumerate(touch):
+            for b in bufs:
+                if b in sp.spilled:
+                    w = sp.window_at(b, s)
+                    assert w.start <= s < w.end
+
+
+class TestSpillPlanDoc:
+    def test_round_trip(self, compiled_cell):
+        graph, schedule, plan, _ = compiled_cell
+        sp = plan_spill(graph, schedule, plan, int(plan.arena_bytes * 0.7))
+        assert SpillPlan.from_doc(sp.to_doc()) == sp
+
+    def test_trivial_round_trip(self, compiled_cell):
+        graph, schedule, plan, _ = compiled_cell
+        sp = plan_spill(graph, schedule, plan, plan.arena_bytes)
+        assert SpillPlan.from_doc(sp.to_doc()) == sp
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(SpillError, match="format"):
+            SpillPlan.from_doc({"format": "nope"})
+
+    def test_corrupt_doc_rejected(self, compiled_cell):
+        graph, schedule, plan, _ = compiled_cell
+        sp = plan_spill(graph, schedule, plan, int(plan.arena_bytes * 0.7))
+        doc = sp.to_doc()
+        doc["resident_bytes"] = doc["capacity_bytes"] + 1
+        with pytest.raises(SpillError, match="exceeds"):
+            SpillPlan.from_doc(doc)
+
+
+class TestBufferTrace:
+    def test_first_access_is_a_write(self, compiled_cell):
+        """Every buffer's first access is its producing write — the
+        invariant the executor's no-fetch-on-first-window rule rests on."""
+        graph, schedule, plan, model = compiled_cell
+        trace = buffer_access_trace(graph, schedule, model)
+        for obj, positions in trace.positions.items():
+            assert trace.accesses[positions[0]].kind == "write", obj

@@ -117,6 +117,36 @@ class TestArtifactRoundTrip:
         px.run(random_feeds(loaded.graph))
         assert px.last_stats.measured_peak_bytes <= loaded.arena_bytes
 
+    def test_spill_plans_round_trip(self, tmp_path):
+        """Artifacts carry tiered-arena spill plans per capacity, and a
+        loaded artifact serves them without recomputation."""
+        from dataclasses import replace
+
+        from repro.models.suite import get_cell
+
+        model = CompilationPipeline("greedy").compile(
+            get_cell("randwire-c10-b").factory()
+        )
+        cap = (model.spill_floor_bytes + model.arena_bytes) // 2
+        plan = model.spill_plan(cap)
+        assert not plan.is_trivial
+        model = replace(model, spill_plans=(plan,))
+        loaded = CompiledModel.load(model.save(tmp_path / "m.json"))
+        assert loaded.spill_plans == (plan,)
+        # a carried plan is served as-is (no recompute, same object)
+        assert loaded.spill_plan(cap) is loaded.spill_plans[0]
+        # and a computed plan for the same capacity is identical
+        assert model.spill_plan(cap) == plan
+
+    def test_spill_executor_from_capacity(self, diamond_graph):
+        from repro.runtime import random_feeds
+
+        model = CompilationPipeline("greedy").compile(diamond_graph)
+        px = model.executor(capacity_bytes=model.arena_bytes)
+        px.run(random_feeds(model.graph))
+        assert px.spill is not None and px.spill.is_trivial
+        assert px.traffic_report().eliminated
+
     def test_format_versioned(self, tmp_path, diamond_graph):
         model = CompilationPipeline("kahn").compile(diamond_graph)
         doc = model.to_doc()

@@ -253,3 +253,140 @@ class TestCompileRun:
         assert run_proc.returncode == 0, run_proc.stderr
         assert "bitwise-equal" in run_proc.stdout
         assert "measured high-water mark" in run_proc.stdout
+
+
+class TestSpillCLI:
+    """--capacity/--spill on compile/run, --spill on serve, --policy on
+    the experiment path (ISSUE 5)."""
+
+    @pytest.fixture()
+    def artifact(self, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        assert (
+            main(
+                [
+                    "compile", "--cell", "randwire-c10-b", "-o", str(out),
+                    "--strategy", "greedy", "--no-cache",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return out
+
+    @staticmethod
+    def _bounds(artifact):
+        from repro.compiler import CompiledModel
+
+        model = CompiledModel.load(artifact)
+        return model.spill_floor_bytes, model.arena_bytes
+
+    def test_compile_embeds_spill_plan(self, tmp_path, artifact, capsys):
+        floor, arena = self._bounds(artifact)
+        cap_kib = (floor + arena) / 2 / 1024
+        out = tmp_path / "sp.json"
+        assert (
+            main(
+                [
+                    "compile", "--cell", "randwire-c10-b", "-o", str(out),
+                    "--strategy", "greedy", "--no-cache",
+                    "--capacity", f"{cap_kib}",
+                ]
+            )
+            == 0
+        )
+        assert "spill plan" in capsys.readouterr().out
+        from repro.compiler import CompiledModel
+
+        model = CompiledModel.load(out)
+        assert len(model.spill_plans) == 1
+        assert model.spill_plans[0].capacity_bytes == int(cap_kib * 1024)
+        assert not model.spill_plans[0].is_trivial
+
+    def test_compile_below_floor_exits_1(self, tmp_path, artifact, capsys):
+        floor, _ = self._bounds(artifact)
+        assert (
+            main(
+                [
+                    "compile", "--cell", "randwire-c10-b",
+                    "-o", str(tmp_path / "x.json"),
+                    "--strategy", "greedy", "--no-cache",
+                    "--capacity", f"{(floor - 4096) / 1024}",
+                ]
+            )
+            == 1
+        )
+        assert "cannot spill-plan" in capsys.readouterr().err
+
+    def test_run_spills_and_verifies(self, artifact, capsys):
+        floor, arena = self._bounds(artifact)
+        cap_kib = (floor + arena) / 2 / 1024
+        assert (
+            main(
+                ["run", str(artifact), "--capacity", f"{cap_kib}", "--verify"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "off-chip traffic" in out
+        assert "bitwise-equal" in out
+
+    def test_run_capacity_zero_rejected(self, artifact, capsys):
+        assert main(["run", str(artifact), "--capacity", "0"]) == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_run_spill_never_exits_1(self, artifact, capsys):
+        floor, arena = self._bounds(artifact)
+        cap_kib = (floor + arena) / 2 / 1024
+        assert (
+            main(
+                [
+                    "run", str(artifact),
+                    "--capacity", f"{cap_kib}", "--spill", "never",
+                ]
+            )
+            == 1
+        )
+        err = capsys.readouterr().err
+        assert "bytes short" in err and "--spill auto" in err
+
+    def test_serve_spill_auto_over_tight_budget(self, capsys):
+        from repro.compiler import CompilationPipeline
+        from repro.models.suite import get_cell
+
+        model = CompilationPipeline("greedy").compile(
+            get_cell("randwire-c10-b").factory()
+        )
+        budget_kib = (model.spill_floor_bytes + model.arena_bytes) / 2 / 1024
+        assert (
+            main(
+                [
+                    "serve", "--cell", "randwire-c10-b",
+                    "--strategy", "greedy", "--no-cache",
+                    "--requests", "6", "--clients", "2", "--workers", "1",
+                    "--max-batch", "1",
+                    "--budget-kb", f"{budget_kib}",
+                    "--spill", "auto", "--verify",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "off-chip spill traffic" in out
+        assert "bitwise-equal to reference executor" in out
+
+    def test_experiment_policy_passthrough(self, capsys, monkeypatch):
+        import repro.experiments.fig11_offchip as fig11
+
+        calls = {}
+        monkeypatch.setattr(
+            fig11, "main", lambda policy="belady": calls.setdefault(
+                "policy", policy
+            )
+        )
+        assert main(["experiment", "fig11", "--policy", "lru"]) == 0
+        assert calls["policy"] == "lru"
+
+    def test_experiment_policy_only_for_fig11(self, capsys):
+        assert main(["experiment", "fig10", "--policy", "lru"]) == 2
+        assert "--policy only applies to fig11" in capsys.readouterr().err

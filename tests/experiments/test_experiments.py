@@ -81,6 +81,14 @@ class TestFig11:
         out = fig11_offchip.render(fig11_offchip.run(FAST))
         assert "32KB" in out and "256KB" in out
 
+    def test_alternate_policy_from_shared_registry(self):
+        """The --policy CLI knob resolves through the same registry the
+        runtime spill planner uses; lru must simulate cleanly."""
+        cells = fig11_offchip.run(FAST, policy="lru")
+        for cell in cells:
+            for base, ours, _ratio in cell.by_capacity.values():
+                assert base >= 0 and ours >= 0
+
 
 class TestFig12:
     def test_traces_structural(self):

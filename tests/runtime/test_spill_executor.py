@@ -1,0 +1,276 @@
+"""Tiered-arena executor: bitwise parity under every spill configuration.
+
+The ISSUE-5 acceptance matrix: every ``models.suite`` cell at on-chip
+capacities {50%, 75%, 100%} of the planned peak (clamped to the
+schedule's irreducible staging floor), batch N in {1, 8}, scrub in
+{never, zero} — outputs bitwise-equal to the reference executor, twice
+per configuration so the second run replays over stale arena *and*
+stale spill-region bytes. Traffic accounting is asserted alongside:
+zero at full capacity, positive when buffers spill, and exactly
+``N x`` per-sample under batching (every row moves its own bytes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.allocator.arena import plan_allocation
+from repro.allocator.spill import min_capacity_bytes, plan_spill
+from repro.models.suite import suite_cells
+from repro.runtime.executor import Executor, init_params, random_feeds
+from repro.runtime.plan_executor import PlanExecutor
+from repro.scheduler.registry import run_strategy
+
+CAPACITY_FRACTIONS = (0.5, 0.75, 1.0)
+BATCH_WIDTHS = (1, 8)
+SCRUBS = ("never", "zero")
+
+
+@pytest.fixture(scope="module")
+def spill_suite():
+    """One greedy compilation + spill plans + reference outputs per
+    cell, shared across the whole (capacity, batch, scrub) matrix."""
+    cache: dict = {}
+
+    def get(key: str):
+        if key not in cache:
+            spec = next(c for c in suite_cells() if c.key == key)
+            out = run_strategy("greedy", spec.factory())
+            graph = out.scheduled_graph
+            plan = plan_allocation(graph, out.schedule)
+            params = init_params(graph, seed=0)
+            cache[key] = {
+                "graph": graph,
+                "schedule": out.schedule,
+                "plan": plan,
+                "params": params,
+                "floor": min_capacity_bytes(graph, out.schedule),
+                "ref": Executor(graph, params=params),
+                "spills": {},  # capacity fraction -> SpillPlan
+                "want": {},  # n -> (feeds, stacked, per-sample refs)
+            }
+        return cache[key]
+
+    return get
+
+
+def _capacity(cell, frac: float) -> int:
+    """The tested capacity: frac x planned peak, clamped to the
+    irreducible floor (whole-buffer staging cannot go below the
+    largest single-step working set)."""
+    return max(int(cell["plan"].arena_bytes * frac), cell["floor"])
+
+
+def _spill_plan(cell, frac: float):
+    if frac not in cell["spills"]:
+        cell["spills"][frac] = plan_spill(
+            cell["graph"],
+            cell["schedule"],
+            cell["plan"],
+            _capacity(cell, frac),
+        )
+    return cell["spills"][frac]
+
+
+def _references(cell, n: int):
+    if n not in cell["want"]:
+        graph = cell["graph"]
+        feeds = [random_feeds(graph, seed=i) for i in range(n)]
+        stacked = {k: np.stack([f[k] for f in feeds]) for k in feeds[0]}
+        cell["want"][n] = (feeds, stacked, [cell["ref"].run(f) for f in feeds])
+    return cell["want"][n]
+
+
+class TestSpillParityMatrix:
+    """Every cell x capacity x batch x scrub: bitwise, twice."""
+
+    @pytest.mark.parametrize("scrub", SCRUBS)
+    @pytest.mark.parametrize("n", BATCH_WIDTHS)
+    @pytest.mark.parametrize("frac", CAPACITY_FRACTIONS)
+    @pytest.mark.parametrize("key", [c.key for c in suite_cells()])
+    def test_cell_spilled_parity(self, spill_suite, key, frac, n, scrub):
+        cell = spill_suite(key)
+        spill = _spill_plan(cell, frac)
+        feeds, stacked, want = _references(cell, n)
+        px = PlanExecutor(
+            cell["graph"],
+            cell["schedule"],
+            cell["plan"],
+            params=cell["params"],
+            batch_size=n,
+            scrub=scrub,
+            spill=spill,
+        )
+        for _round in range(2):
+            got = (
+                px.run(feeds[0]) if n == 1 else px.run_batch(stacked)
+            )
+            for b in range(n):
+                for name in want[b]:
+                    sample = got[name] if n == 1 else got[name][b]
+                    np.testing.assert_array_equal(want[b][name], sample)
+        stats = px.last_stats
+        assert stats.capacity_bytes == spill.capacity_bytes
+        assert stats.measured_peak_bytes <= spill.capacity_bytes
+        n_eff = 1 if n == 1 else n
+        if spill.is_trivial:
+            assert stats.spill_bytes_total == 0
+            assert stats.spill_fetches == 0
+        else:
+            assert stats.spill_bytes_total > 0
+            # every batched row moves its own bytes: exactly N x solo
+            assert stats.spill_bytes_total % n_eff == 0
+            assert stats.spilled_buffers == len(spill.spilled)
+
+
+class TestSpillSemantics:
+    def test_batched_traffic_is_n_times_solo(self, spill_suite):
+        cell = spill_suite("randwire-c100-c")
+        spill = _spill_plan(cell, 0.5)
+        assert not spill.is_trivial
+        solo = PlanExecutor(
+            cell["graph"], cell["schedule"], cell["plan"],
+            params=cell["params"], spill=spill,
+        )
+        feeds, stacked, _ = _references(cell, 8)
+        solo.run(feeds[0])
+        per_sample = solo.last_stats.spill_bytes_total
+        batched = PlanExecutor(
+            cell["graph"], cell["schedule"], cell["plan"],
+            params=cell["params"], batch_size=8, spill=spill,
+        )
+        batched.run_batch(stacked)
+        assert batched.last_stats.spill_bytes_total == 8 * per_sample
+
+    def test_pruned_outputs_stay_bitwise(self, spill_suite):
+        """run(outputs=...) prunes execution; fetch/writeback insertion
+        must follow the executed subset, not the full schedule."""
+        cell = spill_suite("randwire-c10-b")
+        spill = _spill_plan(cell, 0.5)
+        assert not spill.is_trivial
+        graph = cell["graph"]
+        feeds, _, _ = _references(cell, 1)
+        # an intermediate (non-sink) node roughly mid-schedule
+        mid = [
+            name
+            for name in cell["schedule"]
+            if graph.succs(name) and graph.node(name).op != "input"
+        ]
+        target = mid[len(mid) // 2]
+        px = PlanExecutor(
+            cell["graph"], cell["schedule"], cell["plan"],
+            params=cell["params"], spill=spill,
+        )
+        got = px.run(feeds[0], outputs=[target])
+        want = cell["ref"].run(feeds[0], outputs=[target])
+        np.testing.assert_array_equal(want[target], got[target])
+        # pruned traffic never exceeds the full run's
+        full_traffic = PlanExecutor(
+            cell["graph"], cell["schedule"], cell["plan"],
+            params=cell["params"], spill=spill,
+        )
+        full_traffic.run(feeds[0])
+        assert (
+            px.last_stats.spill_bytes_total
+            <= full_traffic.last_stats.spill_bytes_total
+        )
+
+    def test_traffic_report_units(self, spill_suite):
+        cell = spill_suite("randwire-c10-b")
+        spill = _spill_plan(cell, 0.5)
+        px = PlanExecutor(
+            cell["graph"], cell["schedule"], cell["plan"],
+            params=cell["params"], spill=spill,
+        )
+        feeds, _, _ = _references(cell, 1)
+        px.run(feeds[0])
+        report = px.traffic_report()
+        stats = px.last_stats
+        assert report.capacity_bytes == spill.capacity_bytes
+        assert report.policy == spill.policy
+        assert report.bytes_in == stats.spill_bytes_in
+        assert report.bytes_out == stats.spill_bytes_out
+        assert report.total_bytes == stats.spill_bytes_total
+        assert report.fetches == stats.spill_fetches
+        assert report.writebacks == stats.spill_writebacks
+        assert not report.eliminated
+
+    def test_unspilled_traffic_report_is_zero(self, spill_suite):
+        cell = spill_suite("randwire-c10-b")
+        px = PlanExecutor(
+            cell["graph"], cell["schedule"], cell["plan"],
+            params=cell["params"],
+        )
+        feeds, _, _ = _references(cell, 1)
+        px.run(feeds[0])
+        report = px.traffic_report()
+        assert report.eliminated
+        assert report.policy == "resident"
+
+    def test_traffic_report_requires_a_run(self, spill_suite):
+        from repro.exceptions import ExecutionError
+
+        cell = spill_suite("randwire-c10-b")
+        px = PlanExecutor(
+            cell["graph"], cell["schedule"], cell["plan"],
+            params=cell["params"],
+        )
+        with pytest.raises(ExecutionError, match="no run"):
+            px.traffic_report()
+
+    def test_aliased_home_slots_rejected(self, spill_suite):
+        """A corrupt plan whose home slots overlap must fail at
+        construction, not corrupt data at run time (SpillPlan.validate
+        cannot see buffer sizes; the executor cross-checks)."""
+        from dataclasses import replace
+
+        from repro.exceptions import ExecutionError
+
+        cell = spill_suite("randwire-c10-b")
+        spill = _spill_plan(cell, 0.5)
+        assert len(spill.spilled) >= 2
+        homes = dict(spill.home_offsets)
+        a, b = sorted(spill.spilled)[:2]
+        homes[b] = homes[a]  # alias two buffers onto one home slot
+        corrupt = replace(spill, home_offsets=homes)
+        with pytest.raises(ExecutionError, match="home slots overlap"):
+            PlanExecutor(
+                cell["graph"], cell["schedule"], cell["plan"],
+                params=cell["params"], spill=corrupt,
+            )
+
+    def test_fresh_scrub_reallocates_both_regions(self, spill_suite):
+        """scrub='fresh' rebuilds the resident arena AND the spill
+        region per run; parity must survive the re-bind."""
+        cell = spill_suite("randwire-c100-c")
+        spill = _spill_plan(cell, 0.5)
+        assert not spill.is_trivial
+        px = PlanExecutor(
+            cell["graph"], cell["schedule"], cell["plan"],
+            params=cell["params"], scrub="fresh", spill=spill,
+        )
+        feeds, _, want = _references(cell, 1)
+        for _ in range(2):
+            got = px.run(feeds[0])
+            for k in want[0]:
+                np.testing.assert_array_equal(want[0][k], got[k])
+            assert px.last_stats.arena_reused is False
+
+    def test_interleaved_solo_and_batched_spilled(self, spill_suite):
+        """Solo runs on row 0 interleave with batched runs over the
+        same spilled arena without corrupting either."""
+        cell = spill_suite("randwire-c100-c")
+        spill = _spill_plan(cell, 0.75)
+        px = PlanExecutor(
+            cell["graph"], cell["schedule"], cell["plan"],
+            params=cell["params"], batch_size=4, spill=spill,
+        )
+        feeds, _, want1 = _references(cell, 1)
+        feeds4, stacked4, want4 = _references(cell, 4)
+        for _ in range(2):
+            got = px.run(feeds[0])
+            for k in want1[0]:
+                np.testing.assert_array_equal(want1[0][k], got[k])
+            gotb = px.run_batch(stacked4)
+            for b in range(4):
+                for k in want4[b]:
+                    np.testing.assert_array_equal(want4[b][k], gotb[k][b])

@@ -1,0 +1,176 @@
+"""Off-chip-aware serving: spill knob on the pool, stats surfacing."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompilationPipeline
+from repro.exceptions import AdmissionError, ServingError
+from repro.models.suite import serving_suite
+from repro.runtime.executor import Executor, random_feeds
+from repro.serving import ModelRegistry, run_load
+from repro.serving.pool import ArenaPool
+from repro.serving.scheduler import RequestScheduler
+
+
+@pytest.fixture(scope="module")
+def registry():
+    reg = ModelRegistry()
+    pipeline = CompilationPipeline("greedy")
+    for name, factory in serving_suite().items():
+        reg.register(pipeline.compile(factory()), name=name)
+    return reg
+
+
+def _tight_budget(registry) -> int:
+    """A budget above every model's staging floor but below every
+    arena — spilling is both necessary and possible."""
+    floors = [registry.get(n).spill_floor_bytes for n in registry.names()]
+    arenas = [registry.get(n).arena_bytes for n in registry.names()]
+    budget = max(floors) + 16
+    assert budget < min(arenas), "serving suite geometry changed"
+    return budget
+
+
+class TestAdmissionMessages:
+    def test_refusal_names_needed_vs_available_and_hints_spill(self, registry):
+        budget = _tight_budget(registry)
+        pool = ArenaPool(registry, budget)
+        name = registry.names()[0]
+        need = registry.get(name).arena_bytes
+        with pytest.raises(AdmissionError) as err:
+            pool.acquire(name)
+        message = str(err.value)
+        assert str(need) in message  # needed bytes
+        assert str(budget) in message  # available bytes
+        assert str(need - budget) in message  # the shortfall
+        assert "spill='auto'" in message  # the knob hint
+
+    def test_below_floor_refused_even_with_spill(self, registry):
+        pool = ArenaPool(registry, 64, spill="auto")
+        with pytest.raises(AdmissionError, match="even with spilling"):
+            pool.acquire(registry.names()[0])
+
+    def test_unknown_spill_mode_rejected(self, registry):
+        with pytest.raises(ServingError, match="spill mode"):
+            ArenaPool(registry, spill="sometimes")
+
+
+class TestSpilledAdmission:
+    def test_auto_degrades_over_budget_to_spilled_executor(self, registry):
+        budget = _tight_budget(registry)
+        pool = ArenaPool(registry, budget, spill="auto")
+        name = registry.names()[0]
+        executor = pool.acquire(name)
+        try:
+            assert executor.spill is not None
+            assert not executor.spill.is_trivial
+            stats = pool.stats()
+            assert stats.spilled_builds == 1
+            # admission priced at resident bytes, within budget
+            assert stats.resident_bytes <= budget
+            graph = registry.get(name).graph
+            feeds = random_feeds(graph, seed=3)
+            got = executor.run(feeds)
+            ref = Executor(graph, params=executor.params).run(feeds)
+            for k in ref:
+                np.testing.assert_array_equal(ref[k], got[k])
+            assert executor.last_stats.spill_bytes_total > 0
+        finally:
+            pool.release(name, executor)
+
+    def test_auto_keeps_fitting_models_resident(self, registry):
+        name = registry.names()[0]
+        pool = ArenaPool(
+            registry, registry.get(name).arena_bytes * 4, spill="auto"
+        )
+        executor = pool.acquire(name)
+        try:
+            assert executor.spill is None
+            assert pool.stats().spilled_builds == 0
+        finally:
+            pool.release(name, executor)
+
+    def test_always_spill_plans_fitting_models_trivially(self, registry):
+        name = registry.names()[0]
+        pool = ArenaPool(
+            registry, registry.get(name).arena_bytes * 4, spill="always"
+        )
+        executor = pool.acquire(name)
+        try:
+            assert executor.spill is not None
+            assert executor.spill.is_trivial
+            # a trivial plan moves no bytes: not a degraded build
+            assert pool.stats().spilled_builds == 0
+        finally:
+            pool.release(name, executor)
+
+    def test_batched_rows_spill_before_batch_refused(self, registry):
+        """An N x footprint over budget stages cold rows' buffers
+        instead of refusing the whole batch."""
+        name = registry.names()[0]
+        model = registry.get(name)
+        batch = 2
+        # room for the floors of both rows, not for both full arenas
+        budget = batch * (model.spill_floor_bytes + 16)
+        assert budget < model.arena_bytes_for(batch)
+        pool = ArenaPool(registry, budget, spill="auto", batch_size=batch)
+        executor = pool.acquire(name)
+        try:
+            assert executor.spill is not None
+            feeds = [random_feeds(model.graph, seed=i) for i in range(batch)]
+            stacked = {
+                k: np.stack([f[k] for f in feeds]) for k in feeds[0]
+            }
+            got = executor.run_batch(stacked)
+            ref = Executor(model.graph, params=executor.params)
+            for b in range(batch):
+                want = ref.run(feeds[b])
+                for k in want:
+                    np.testing.assert_array_equal(want[k], got[k][b])
+            assert executor.last_stats.spill_bytes_total > 0
+        finally:
+            pool.release(name, executor)
+
+
+class TestServingStatsSurface:
+    def test_run_load_spill_auto_serves_and_accounts(self, registry):
+        budget = _tight_budget(registry)
+        report = run_load(
+            registry,
+            requests=16,
+            clients=2,
+            workers=2,
+            max_batch=1,
+            budget=budget,
+            spill="auto",
+            verify=True,
+        )
+        assert report.errors == 0
+        assert report.verified is True
+        assert report.spill == "auto"
+        assert report.spill_bytes > 0
+        assert report.pool.spilled_builds >= 1
+        assert "off-chip spill traffic" in report.summary()
+
+    def test_request_stats_carry_spill_bytes(self, registry):
+        budget = _tight_budget(registry)
+        pool = ArenaPool(registry, budget, spill="auto")
+        name = registry.names()[0]
+        graph = registry.get(name).graph
+        with RequestScheduler(registry, pool, workers=1) as server:
+            result = server.submit(
+                name, random_feeds(graph, seed=0)
+            ).result(timeout=30)
+            assert result.stats.spill_bytes > 0
+            stats = server.stats()
+        assert stats.spill_bytes >= result.stats.spill_bytes
+        pool.close()
+
+    def test_never_mode_reports_zero_spill(self, registry):
+        report = run_load(
+            registry, requests=8, clients=2, workers=1, max_batch=1
+        )
+        assert report.spill == "never"
+        assert report.spill_bytes == 0
+        assert report.pool.spilled_builds == 0
+        assert "off-chip spill traffic" not in report.summary()
