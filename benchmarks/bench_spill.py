@@ -1,8 +1,8 @@
-"""Tiered arenas: off-chip-aware serving instead of AdmissionError.
+"""Tiered arenas: off-chip-aware serving, with prefetch hiding the traffic.
 
-The ISSUE-5 acceptance benchmark. One model whose arena exceeds the
-serving budget — exactly the request the pool used to refuse with
-:class:`AdmissionError` — is driven through the runtime twice:
+The ISSUE-5/ISSUE-6 acceptance benchmark. One model whose arena exceeds
+the serving budget — exactly the request the pool used to refuse with
+:class:`AdmissionError` — is driven through the runtime:
 
 * **constrained**: pool budget midway between the schedule's staging
   floor and the planned arena, ``spill=auto`` — admission degrades to
@@ -11,11 +11,18 @@ serving budget — exactly the request the pool used to refuse with
   recorded in :class:`~repro.memsim.hierarchy.TrafficReport` units;
 * **unconstrained**: same workload, no budget — the zero-traffic
   baseline the constrained run is compared against (req/s cost of
-  spilling).
+  spilling);
+* **prefetch A/B** (the ISSUE-6 acceptance): at capacity = 50% of the
+  unconstrained peak, with a modeled off-chip link calibrated so
+  transfer time is comparable to compute, constrained serving runs
+  twice — double-buffered prefetch vs inline transfers — and the
+  prefetch run must clear **1.3x** the inline req/s with a nonzero
+  hidden-transfer fraction.
 
 An executor-level capacity sweep (100% / 75% / floor of the planned
-peak) records the traffic curve, asserting zero bytes at full capacity
-and monotonically non-decreasing traffic as capacity shrinks.
+peak) records the traffic curve, asserting zero bytes at full capacity,
+monotonically non-decreasing traffic as capacity shrinks, and bitwise
+parity at every point — solo **and** batched (prefetch engine on).
 
 Hard assertions:
 
@@ -24,22 +31,28 @@ Hard assertions:
 * the same admission under ``spill='auto'`` serves every request with
   **zero errors**, **nonzero** measured traffic, and bitwise-verified
   outputs;
-* the full-capacity spill plan is trivial: no traffic.
+* the full-capacity spill plan is trivial: no traffic;
+* the prefetch run hides a nonzero fraction of transfer time (quick
+  and full mode) and clears 1.3x inline req/s (full mode; the quick
+  smoke keeps a loose sanity floor so CI noise cannot flake it).
 
 Results land in ``benchmarks/results/BENCH_spill.json`` (traffic
-bytes, req/s constrained vs unconstrained) and CI uploads them as an
-artifact + step summary like the serving/executor benches.
+bytes, req/s constrained vs unconstrained, stall vs hidden transfer
+seconds) and CI uploads them as an artifact + step summary like the
+serving/executor benches.
 """
 
 from __future__ import annotations
 
 import os
+import time
 
 import numpy as np
 import pytest
 
 from repro.compiler import CompilationPipeline
 from repro.exceptions import AdmissionError
+from repro.memsim import OffchipLink
 from repro.models.suite import get_cell
 from repro.runtime.executor import Executor, init_params, random_feeds
 from repro.serving import ModelRegistry, run_load
@@ -51,7 +64,18 @@ QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 REQUESTS = 32 if QUICK else 128
 CLIENTS = 4
 WORKERS = 2
-CELL = "randwire-c10-b"
+CELL = "randwire-c100-a"
+#: prefetch A/B: requests per measured pass, passes per mode (the
+#: compared number is each mode's best pass — the minimum-time
+#: estimator — because host scheduling noise between passes is larger
+#: than the effect of interest; medians are reported alongside)
+AB_REQUESTS = 24 if QUICK else 96
+AB_REPS = 3 if QUICK else 5
+CALIB_REPS = 3 if QUICK else 7
+#: modeled link bandwidth = this multiple of (traffic / compute time) —
+#: transfer comparable to compute, the regime where overlap matters
+LINK_COMPUTE_RATIO = 2.0
+BATCH_WIDTH = 4
 
 
 def build_registry() -> ModelRegistry:
@@ -63,13 +87,18 @@ def build_registry() -> ModelRegistry:
 
 def measure_capacity_sweep(registry: ModelRegistry) -> list[dict]:
     """Executor-level traffic at 100% / 75% / floor capacity, each
-    point bitwise-verified against the reference executor."""
+    point bitwise-verified against the reference executor — solo and
+    as one stacked ``run_batch`` (the prefetch engine active on both)."""
     model = registry.get(CELL)
     graph = model.graph
     params = init_params(graph, seed=0)
     ref = Executor(graph, params=params)
-    feeds = random_feeds(graph, seed=1)
-    want = ref.run(feeds)
+    feed_set = [random_feeds(graph, seed=1 + i) for i in range(BATCH_WIDTH)]
+    want_set = [ref.run(f) for f in feed_set]
+    feeds, want = feed_set[0], want_set[0]
+    stacked = {
+        k: np.stack([np.asarray(f[k]) for f in feed_set]) for k in feeds
+    }
     floor, arena = model.spill_floor_bytes, model.arena_bytes
     rows = []
     for label, cap in (
@@ -83,6 +112,17 @@ def measure_capacity_sweep(registry: ModelRegistry) -> list[dict]:
             0 if np.array_equal(want[k], got[k]) else 1 for k in want
         )
         traffic = px.traffic_report()
+        px.close()
+        bx = model.executor(
+            params=params, capacity_bytes=cap, batch_size=BATCH_WIDTH
+        )
+        got_batch = bx.run_batch(stacked)
+        mismatched_batched = sum(
+            0 if np.array_equal(want_set[i][k], got_batch[k][i]) else 1
+            for i in range(BATCH_WIDTH)
+            for k in want_set[i]
+        )
+        bx.close()
         rows.append(
             {
                 "capacity": label,
@@ -93,9 +133,99 @@ def measure_capacity_sweep(registry: ModelRegistry) -> list[dict]:
                 "fetches": traffic.fetches,
                 "writebacks": traffic.writebacks,
                 "bitwise_mismatches": mismatched,
+                "bitwise_mismatches_batched": mismatched_batched,
             }
         )
     return rows
+
+
+def measure_prefetch_ab(registry: ModelRegistry) -> dict:
+    """Constrained serving at 50% of the unconstrained peak: prefetch
+    vs inline transfers over a calibrated off-chip link.
+
+    The link bandwidth is set so one run's transfer time is
+    ``1/LINK_COMPUTE_RATIO`` of its compute time — slow enough that
+    stall shows up in req/s, fast enough that a double-buffered
+    schedule can hide it. Each mode runs ``AB_REPS`` measured passes
+    (``workers=1`` so the pipeline cannot hide stall behind a second
+    request) and each mode's **best** pass is compared (minimum-time
+    estimator; host noise between passes exceeds the effect under
+    study); one small verified pass per mode proves bitwise parity
+    under the link.
+    """
+    model = registry.get(CELL)
+    floor, arena = model.spill_floor_bytes, model.arena_bytes
+    cap = max(arena // 2, floor)
+    graph = model.graph
+    params = init_params(graph, seed=0)
+    feeds = random_feeds(graph, seed=1)
+
+    # calibrate: inline spill run without a link -> compute time and
+    # traffic of one constrained run
+    px = model.executor(params=params, capacity_bytes=cap, prefetch=False)
+    px.run(feeds)
+    times = []
+    for _ in range(CALIB_REPS):
+        t0 = time.perf_counter()
+        px.run(feeds)
+        times.append(time.perf_counter() - t0)
+    t_compute = min(times)  # the reproducible (noise-free) estimate
+    traffic_bytes = px.traffic_report().total_bytes
+    px.close()
+    link = OffchipLink(
+        bandwidth_bytes_per_s=LINK_COMPUTE_RATIO * traffic_bytes / t_compute
+    )
+
+    common = dict(
+        clients=2,
+        workers=1,
+        max_batch=1,
+        seed=0,
+        budget=cap,
+        spill="auto",
+        preload=True,
+        link=link,
+    )
+    verified_ok = {}
+    reports: dict[bool, list] = {True: [], False: []}
+    for mode in (False, True):
+        parity = run_load(
+            registry, requests=8, verify=True, prefetch=mode, **common
+        )
+        verified_ok[mode] = parity.verified is True and parity.errors == 0
+    for _ in range(AB_REPS):
+        for mode in (False, True):
+            reports[mode].append(
+                run_load(
+                    registry, requests=AB_REQUESTS, prefetch=mode, **common
+                )
+            )
+
+    def best_report(mode: bool):
+        return max(reports[mode], key=lambda r: r.rps)
+
+    def median_rps(mode: bool) -> float:
+        ranked = sorted(r.rps for r in reports[mode])
+        return ranked[len(ranked) // 2]
+
+    inline = best_report(False)
+    prefetch = best_report(True)
+    return {
+        "capacity_bytes": cap,
+        "capacity_fraction": cap / arena,
+        "link_mbps": link.bandwidth_bytes_per_s / 1e6,
+        "calib_compute_s": t_compute,
+        "calib_traffic_bytes": traffic_bytes,
+        "reps": AB_REPS,
+        "inline": inline,
+        "prefetch": prefetch,
+        "inline_verified": verified_ok[False],
+        "prefetch_verified": verified_ok[True],
+        "speedup": prefetch.rps / inline.rps if inline.rps else None,
+        "speedup_median": (
+            median_rps(True) / median_rps(False) if median_rps(False) else None
+        ),
+    }
 
 
 def run() -> dict:
@@ -112,6 +242,7 @@ def run() -> dict:
         admission_error = str(exc)
 
     sweep = measure_capacity_sweep(registry)
+    prefetch_ab = measure_prefetch_ab(registry)
 
     common = dict(
         requests=REQUESTS,
@@ -136,6 +267,7 @@ def run() -> dict:
         "budget_bytes": budget,
         "admission_error": admission_error,
         "sweep": sweep,
+        "prefetch_ab": prefetch_ab,
         "constrained": constrained,
         "unconstrained": unconstrained,
     }
@@ -144,8 +276,9 @@ def run() -> dict:
 def render(result: dict) -> str:
     constrained = result["constrained"]
     unconstrained = result["unconstrained"]
+    ab = result["prefetch_ab"]
     lines = [
-        "tiered arenas: off-chip-aware serving instead of AdmissionError "
+        "tiered arenas: off-chip-aware serving with prefetch overlap "
         f"({'quick' if QUICK else 'full'} mode)",
         "",
         f"model {result['model']}: arena "
@@ -156,7 +289,8 @@ def render(result: dict) -> str:
         "spill='never' (the old behaviour):",
         f"  {result['admission_error']}",
         "",
-        "executor-level capacity sweep (bitwise-verified at every point):",
+        "executor-level capacity sweep (bitwise-verified at every point, "
+        f"solo + batch {BATCH_WIDTH}):",
         f"  {'capacity':>9s} {'spilled':>8s} {'resident KB':>12s} "
         f"{'traffic KB':>11s} {'fetch/wb':>9s}",
     ]
@@ -168,6 +302,20 @@ def render(result: dict) -> str:
             f" {row['fetches']:>4d}/{row['writebacks']:<4d}"
         )
     lines += [
+        "",
+        "prefetch A/B at 50% capacity "
+        f"({ab['capacity_bytes'] / 1024:.1f}KB on-chip, modeled link "
+        f"{ab['link_mbps']:.0f}MB/s, best of {ab['reps']} passes):",
+        f"  inline transfers        : {ab['inline'].rps:9.1f} req/s "
+        f"(stall {ab['inline'].spill_stall_s * 1e3:.1f}ms, "
+        f"hidden {ab['inline'].spill_hidden_s * 1e3:.1f}ms)",
+        f"  double-buffered prefetch: {ab['prefetch'].rps:9.1f} req/s "
+        f"(stall {ab['prefetch'].spill_stall_s * 1e3:.1f}ms, "
+        f"hidden {ab['prefetch'].spill_hidden_s * 1e3:.1f}ms, "
+        f"{100.0 * ab['prefetch'].hidden_fraction:.0f}% hidden)",
+        f"  prefetch speedup        : {ab['speedup']:9.2f}x req/s "
+        f"(median {ab['speedup_median']:.2f}x; bitwise-verified in "
+        "both modes)",
         "",
         "constrained serving (spill=auto over the same admission):",
         constrained.summary(),
@@ -185,6 +333,7 @@ def payload(result: dict) -> dict:
     """The machine-readable BENCH_spill.json document."""
     constrained = result["constrained"]
     unconstrained = result["unconstrained"]
+    ab = result["prefetch_ab"]
 
     def load_doc(report) -> dict:
         return {
@@ -197,7 +346,12 @@ def payload(result: dict) -> dict:
             "spill": report.spill,
             "spill_bytes": report.spill_bytes,
             "spilled_builds": report.pool.spilled_builds,
+            "prefetch_builds": report.pool.prefetch_builds,
             "resident_arena_bytes": report.pool.resident_bytes,
+            "prefetch": report.prefetch,
+            "spill_stall_s": report.spill_stall_s,
+            "spill_hidden_s": report.spill_hidden_s,
+            "hidden_fraction": report.hidden_fraction,
         }
 
     return {
@@ -208,6 +362,18 @@ def payload(result: dict) -> dict:
         "budget_bytes": result["budget_bytes"],
         "admission_error_without_spill": result["admission_error"],
         "capacity_sweep": result["sweep"],
+        "prefetch_ab": {
+            "capacity_bytes": ab["capacity_bytes"],
+            "capacity_fraction": ab["capacity_fraction"],
+            "link_mbps": ab["link_mbps"],
+            "reps": ab["reps"],
+            "inline": load_doc(ab["inline"]),
+            "prefetch": load_doc(ab["prefetch"]),
+            "inline_verified": ab["inline_verified"],
+            "prefetch_verified": ab["prefetch_verified"],
+            "req_per_s_prefetch_vs_inline": ab["speedup"],
+            "req_per_s_prefetch_vs_inline_median": ab["speedup_median"],
+        },
         "serving": {
             "constrained": load_doc(constrained),
             "unconstrained": load_doc(unconstrained),
@@ -227,16 +393,34 @@ def test_spill_smoke(benchmark, save_result, save_json):
     assert result["admission_error"] is not None
     assert "spill='auto'" in result["admission_error"]
 
-    # capacity sweep: bitwise everywhere, zero traffic at full
-    # capacity, non-decreasing traffic as capacity shrinks
+    # capacity sweep: bitwise everywhere (solo and batched), zero
+    # traffic at full capacity, non-decreasing traffic as capacity
+    # shrinks
     sweep = result["sweep"]
     assert all(row["bitwise_mismatches"] == 0 for row in sweep)
+    assert all(row["bitwise_mismatches_batched"] == 0 for row in sweep)
     assert sweep[0]["traffic_bytes"] == 0 and sweep[0]["spilled_buffers"] == 0
     assert sweep[1]["traffic_bytes"] > 0
     traffics = [row["traffic_bytes"] for row in sweep]
     assert traffics == sorted(traffics)
     for row in sweep:
         assert row["resident_bytes"] <= row["capacity_bytes"]
+
+    # the ISSUE-6 acceptance: at 50% capacity over a calibrated link,
+    # double-buffered prefetch hides a nonzero fraction of transfer
+    # time and beats inline-spill serving
+    ab = result["prefetch_ab"]
+    assert ab["inline_verified"] and ab["prefetch_verified"]
+    assert ab["inline"].errors == 0 and ab["prefetch"].errors == 0
+    assert ab["prefetch"].hidden_fraction > 0.0
+    assert ab["prefetch"].spill_hidden_s > 0.0
+    assert ab["inline"].spill_hidden_s == 0.0
+    assert ab["inline"].spill_stall_s > 0.0
+    if QUICK:
+        # the quick CI smoke keeps a loose floor so noise cannot flake
+        assert ab["speedup"] >= 1.0
+    else:
+        assert ab["speedup"] >= 1.3
 
     # the ISSUE-5 acceptance assertion: the admission that raised
     # AdmissionError now serves under spill=auto — zero errors, nonzero

@@ -71,6 +71,7 @@ from repro.scheduler.schedule import Schedule
 __all__ = [
     "SPILL_MODES",
     "StageWindow",
+    "PrefetchPlan",
     "SpillPlan",
     "plan_spill",
     "min_capacity_bytes",
@@ -101,6 +102,74 @@ class StageWindow:
 
 
 @dataclass(frozen=True)
+class PrefetchPlan:
+    """Double-buffered (ping/pong) staging layout over a base plan.
+
+    The base :class:`SpillPlan` reuses one slot for consecutive windows
+    of a buffer, which forces the fetch of window N+1 to wait for
+    window N's exit. This layout re-allocates the resident region with
+    each staging interval's *head* extended by that window's lead:
+    window N+1's slot is already reserved while window N still
+    computes, so windows whose extended intervals overlap land on
+    disjoint ping/pong offsets and the executor may issue the fetch up
+    to ``lead`` steps early on a background transfer engine. Writebacks
+    need no reservation at all — the executor retires every one of
+    them asynchronously and synchronizes only when the slot's bytes are
+    demonstrably reused — so even a zero-lead layout (identical to the
+    base) overlaps writeback traffic. Leads are assigned per-window —
+    a window crossing the schedule's peak step has no slack and keeps
+    lead 0 (its fetch stays inline) while windows with headroom get up
+    to ``lead_steps`` of overlap. Window ``(start, end)`` bounds are
+    identical to the base plan's — only offsets (and the region
+    high-water mark, still capped by the capacity) differ."""
+
+    lead_steps: int
+    resident_bytes: int
+    resident_offsets: dict[int, int]
+    windows: dict[int, tuple[StageWindow, ...]]
+    #: per-buffer, per-window lead (parallel to ``windows``); 0 means
+    #: that window's transfers execute inline even under prefetch
+    window_leads: dict[int, tuple[int, ...]]
+
+    def to_doc(self) -> dict[str, Any]:
+        return {
+            "lead_steps": self.lead_steps,
+            "resident_bytes": self.resident_bytes,
+            "resident_offsets": {
+                str(b): off for b, off in sorted(self.resident_offsets.items())
+            },
+            "windows": {
+                str(b): [[w.start, w.end, w.offset] for w in ws]
+                for b, ws in sorted(self.windows.items())
+            },
+            "window_leads": {
+                str(b): list(ls) for b, ls in sorted(self.window_leads.items())
+            },
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict[str, Any]) -> "PrefetchPlan":
+        return cls(
+            lead_steps=int(doc["lead_steps"]),
+            resident_bytes=int(doc["resident_bytes"]),
+            resident_offsets={
+                int(b): int(off)
+                for b, off in doc["resident_offsets"].items()
+            },
+            windows={
+                int(b): tuple(
+                    StageWindow(int(s), int(e), int(off)) for s, e, off in ws
+                )
+                for b, ws in doc["windows"].items()
+            },
+            window_leads={
+                int(b): tuple(int(x) for x in ls)
+                for b, ls in doc["window_leads"].items()
+            },
+        )
+
+
+@dataclass(frozen=True)
 class SpillPlan:
     """A two-region arena layout for one (schedule, plan, capacity).
 
@@ -110,7 +179,10 @@ class SpillPlan:
     region holds one *home* slot per spilled buffer at
     ``home_offsets`` (``spill_bytes`` total). An empty ``spilled`` set
     is the trivial plan: the whole arena fits on-chip and no traffic
-    occurs."""
+    occurs. ``prefetch`` optionally carries a double-buffered layout of
+    the same windows for overlapped transfers; ``None`` (e.g. when the
+    ping/pong slots would not fit the capacity) keeps transfers
+    inline."""
 
     capacity_bytes: int
     policy: str
@@ -120,6 +192,7 @@ class SpillPlan:
     resident_offsets: dict[int, int]
     home_offsets: dict[int, int]
     windows: dict[int, tuple[StageWindow, ...]]
+    prefetch: PrefetchPlan | None = None
 
     @property
     def is_trivial(self) -> bool:
@@ -185,12 +258,58 @@ class SpillPlan:
                     f"buffer {b}: home offset {off} escapes the "
                     f"{self.spill_bytes}-byte spill region"
                 )
+        if self.prefetch is not None:
+            self._validate_prefetch(self.prefetch)
         return self
+
+    def _validate_prefetch(self, p: PrefetchPlan) -> None:
+        if p.lead_steps < 0:
+            raise SpillError(
+                f"prefetch lead must be >= 0 steps, got {p.lead_steps}"
+            )
+        if p.resident_bytes > self.capacity_bytes:
+            raise SpillError(
+                f"prefetch resident region ({p.resident_bytes} bytes) "
+                f"exceeds the {self.capacity_bytes}-byte capacity"
+            )
+        if (
+            set(p.windows) != set(self.spilled)
+            or set(p.window_leads) != set(self.spilled)
+            or set(p.resident_offsets) != set(self.resident_offsets)
+        ):
+            raise SpillError(
+                "prefetch layout is inconsistent: buffer sets disagree "
+                "with the base spill plan"
+            )
+        for b, ws in p.windows.items():
+            base = self.windows[b]
+            if len(ws) != len(base) or any(
+                w.start != bw.start or w.end != bw.end
+                for w, bw in zip(ws, base)
+            ):
+                raise SpillError(
+                    f"buffer {b}: prefetch windows disagree with the "
+                    "base staging windows"
+                )
+            for w in ws:
+                if w.offset < 0 or w.offset > p.resident_bytes:
+                    raise SpillError(
+                        f"buffer {b}: prefetch staging offset {w.offset} "
+                        f"escapes the {p.resident_bytes}-byte region"
+                    )
+            leads = p.window_leads[b]
+            if len(leads) != len(ws) or any(
+                ld < 0 or ld > p.lead_steps for ld in leads
+            ):
+                raise SpillError(
+                    f"buffer {b}: prefetch window leads are malformed "
+                    f"(want {len(ws)} leads in [0, {p.lead_steps}])"
+                )
 
     # ------------------------------------------------------------------
     def to_doc(self) -> dict[str, Any]:
         """Serialise to a JSON-compatible document (artifact embedding)."""
-        return {
+        doc = {
             "format": SPILL_FORMAT,
             "capacity_bytes": self.capacity_bytes,
             "policy": self.policy,
@@ -208,6 +327,9 @@ class SpillPlan:
                 for b, ws in sorted(self.windows.items())
             },
         }
+        if self.prefetch is not None:
+            doc["prefetch"] = self.prefetch.to_doc()
+        return doc
 
     @classmethod
     def from_doc(cls, doc: dict[str, Any]) -> "SpillPlan":
@@ -234,6 +356,11 @@ class SpillPlan:
                 )
                 for b, ws in doc["windows"].items()
             },
+            prefetch=(
+                PrefetchPlan.from_doc(doc["prefetch"])
+                if doc.get("prefetch") is not None
+                else None
+            ),
         ).validate()
 
 
@@ -375,6 +502,136 @@ def _stage_runs(
     return runs
 
 
+def _layout_staging(
+    plan: AllocationPlan,
+    spilled: frozenset[int],
+    runs_of: dict[int, list[tuple[int, int]]],
+    size,
+    leads: int | dict[tuple[int, int], int],
+) -> tuple[int, dict[int, int], dict[tuple[int, int], int]]:
+    """Allocate the resident region: full lifetimes for resident
+    buffers plus one interval per staging window of each spilled
+    buffer, window ``(b, k)``'s interval head-extended by its lead
+    (``leads`` is a uniform int or a per-window map). With lead 0 this
+    is the base (inline) layout; with a positive lead, windows whose
+    extended intervals overlap land on disjoint ping/pong slots, making
+    the early fetch safe. Writebacks take no tail reservation — the
+    executor drains them asynchronously and syncs at the slot's first
+    actual reuse. Returns ``(region_bytes, resident_offsets,
+    window_offsets)``."""
+    intervals: list[BufferLifetime] = []
+    tag: list[tuple] = []  # synthetic id -> ("res", b) | ("win", b, k)
+    for lt in plan.lifetimes:
+        if lt.buffer_id in spilled:
+            continue
+        intervals.append(
+            BufferLifetime(
+                buffer_id=len(tag),
+                size=lt.size,
+                start=lt.start,
+                end=lt.end,
+                producers=lt.producers,
+            )
+        )
+        tag.append(("res", lt.buffer_id))
+    for b in sorted(spilled):
+        for k, (s0, s1) in enumerate(runs_of[b]):
+            lead = leads if isinstance(leads, int) else leads[(b, k)]
+            intervals.append(
+                BufferLifetime(
+                    buffer_id=len(tag),
+                    size=size[b],
+                    start=max(0, s0 - lead),
+                    end=s1 + 1,
+                    producers=(),
+                )
+            )
+            tag.append(("win", b, k))
+    # two offset allocators, tightest region wins (fragmentation
+    # profiles differ; both only ever see the same interval set)
+    region = min(
+        (greedy_by_size_plan(intervals), first_fit_arena(intervals)),
+        key=lambda r: r.arena_bytes,
+    )
+    resident_offsets: dict[int, int] = {}
+    window_offsets: dict[tuple[int, int], int] = {}
+    for synthetic_id, entry in enumerate(tag):
+        if entry[0] == "res":
+            resident_offsets[entry[1]] = region.offsets[synthetic_id]
+        else:
+            window_offsets[(entry[1], entry[2])] = region.offsets[synthetic_id]
+    return region.arena_bytes, resident_offsets, window_offsets
+
+
+#: allocator-call budget for per-window lead refinement — keeps spill
+#: planning bounded on schedules with many staging windows
+_LEAD_ASSIGN_BUDGET = 1500
+
+
+def _assign_leads(
+    plan: AllocationPlan,
+    spilled: frozenset[int],
+    runs_of: dict[int, list[tuple[int, int]]],
+    size,
+    capacity_bytes: int,
+    max_lead: int,
+) -> dict[tuple[int, int], int]:
+    """Grant each staging window as much prefetch lead as the capacity
+    allows. Fast path: a uniform lead (halving from ``max_lead``) for
+    the common case with slack. Refinement: round-robin over windows,
+    granting one step at a time while the extended region still fits —
+    windows crossing the schedule's peak demand naturally end at 0 and
+    stay inline. Deterministic and bounded by an allocator-call
+    budget."""
+    keys = [(b, k) for b in sorted(spilled) for k in range(len(runs_of[b]))]
+    leads = dict.fromkeys(keys, 0)
+    budget = _LEAD_ASSIGN_BUDGET
+
+    def fits() -> bool:
+        nonlocal budget
+        budget -= 1
+        region_bytes, _, _ = _layout_staging(
+            plan, spilled, runs_of, size, leads
+        )
+        return region_bytes <= capacity_bytes
+
+    uniform = max_lead
+    while uniform >= 1 and budget > 0:
+        leads = dict.fromkeys(keys, uniform)
+        if fits():
+            break
+        uniform //= 2
+    else:
+        leads = dict.fromkeys(keys, 0)
+
+    improved = True
+    while improved and budget > 0:
+        improved = False
+        for key in keys:
+            if leads[key] >= max_lead or budget <= 0:
+                continue
+            leads[key] += 1
+            if fits():
+                improved = True
+            else:
+                leads[key] -= 1
+    return leads
+
+
+def _windows_from(
+    spilled: frozenset[int],
+    runs_of: dict[int, list[tuple[int, int]]],
+    window_offsets: dict[tuple[int, int], int],
+) -> dict[int, tuple[StageWindow, ...]]:
+    return {
+        b: tuple(
+            StageWindow(start=s0, end=s1 + 1, offset=window_offsets[(b, k)])
+            for k, (s0, s1) in enumerate(runs_of[b])
+        )
+        for b in sorted(spilled)
+    }
+
+
 def min_capacity_bytes(
     graph: Graph, schedule: Schedule, model: BufferModel | None = None
 ) -> int:
@@ -396,6 +653,7 @@ def plan_spill(
     capacity_bytes: int,
     policy: str = "belady",
     model: BufferModel | None = None,
+    prefetch_lead: int = 8,
 ) -> SpillPlan:
     """Partition ``plan``'s buffers into resident vs spilled so the
     resident region fits ``capacity_bytes`` (see module docstring).
@@ -404,7 +662,13 @@ def plan_spill(
     policy)`` always yields the same plan. Raises :class:`SpillError`
     when the capacity is below the schedule's irreducible single-step
     working set — no spill configuration can help there, because every
-    tensor a kernel touches must be staged on-chip while it runs."""
+    tensor a kernel touches must be staged on-chip while it runs.
+
+    ``prefetch_lead`` asks for a ping/pong :class:`PrefetchPlan`
+    alongside the base layout (``0`` disables it); each window gets as
+    much fetch lead as the capacity allows, down to 0 for windows
+    crossing the schedule's peak (writeback overlap needs no lead, so
+    the layout ships even when every lead lands at 0)."""
     if capacity_bytes <= 0:
         raise SpillError(
             f"on-chip capacity must be positive, got {capacity_bytes}"
@@ -463,52 +727,22 @@ def plan_spill(
         spilled = _select_spilled(
             model, live, touch, select_capacity, policy, trace, pos_end
         )
-        intervals: list[BufferLifetime] = []
-        tag: list[tuple] = []  # synthetic id -> ("res", b) | ("win", b, k)
-        for lt in plan.lifetimes:
-            if lt.buffer_id in spilled:
-                continue
-            intervals.append(
-                BufferLifetime(
-                    buffer_id=len(tag),
-                    size=lt.size,
-                    start=lt.start,
-                    end=lt.end,
-                    producers=lt.producers,
-                )
-            )
-            tag.append(("res", lt.buffer_id))
-        runs_of: dict[int, list[tuple[int, int]]] = {}
-        for b in sorted(spilled):
-            runs = _stage_runs(touch, b)
-            runs_of[b] = runs
-            for k, (s0, s1) in enumerate(runs):
-                intervals.append(
-                    BufferLifetime(
-                        buffer_id=len(tag),
-                        size=size[b],
-                        start=s0,
-                        end=s1 + 1,
-                        producers=(),
-                    )
-                )
-                tag.append(("win", b, k))
-        # two offset allocators, tightest region wins (fragmentation
-        # profiles differ; both only ever see the same interval set)
-        region = min(
-            (greedy_by_size_plan(intervals), first_fit_arena(intervals)),
-            key=lambda r: r.arena_bytes,
+        runs_of: dict[int, list[tuple[int, int]]] = {
+            b: _stage_runs(touch, b) for b in sorted(spilled)
+        }
+        region_bytes, resident_offsets, window_offsets = _layout_staging(
+            plan, spilled, runs_of, size, leads=0
         )
-        if region.arena_bytes <= capacity_bytes:
+        if region_bytes <= capacity_bytes:
             break
         if select_capacity <= min_needed:
             raise SpillError(
                 f"{graph.name}: allocator fragmentation defeats every "
                 f"spill configuration under {capacity_bytes} bytes "
-                f"(tightest region: {region.arena_bytes} bytes)"
+                f"(tightest region: {region_bytes} bytes)"
             )
         select_capacity = max(
-            min_needed, select_capacity - (region.arena_bytes - capacity_bytes)
+            min_needed, select_capacity - (region_bytes - capacity_bytes)
         )
     else:  # pragma: no cover - select_capacity strictly decreases
         raise SpillError(
@@ -516,32 +750,43 @@ def plan_spill(
             f"{capacity_bytes} bytes"
         )
 
-    resident_offsets: dict[int, int] = {}
-    window_offsets: dict[tuple[int, int], int] = {}
-    for synthetic_id, entry in enumerate(tag):
-        if entry[0] == "res":
-            resident_offsets[entry[1]] = region.offsets[synthetic_id]
-        else:
-            window_offsets[(entry[1], entry[2])] = region.offsets[synthetic_id]
-
-    windows: dict[int, tuple[StageWindow, ...]] = {}
     home_offsets: dict[int, int] = {}
     cursor = 0
     for b in sorted(spilled):
-        windows[b] = tuple(
-            StageWindow(start=s0, end=s1 + 1, offset=window_offsets[(b, k)])
-            for k, (s0, s1) in enumerate(runs_of[b])
-        )
         home_offsets[b] = cursor
         cursor += size[b]
+
+    # Ping/pong layout for overlapped transfers: grant each window as
+    # much fetch lead as the capacity allows. Even all-zero leads ship
+    # a prefetch layout (identical offsets to the base plan): the
+    # executor still overlaps every writeback behind compute.
+    prefetch: PrefetchPlan | None = None
+    if prefetch_lead > 0:
+        leads = _assign_leads(
+            plan, spilled, runs_of, size, capacity_bytes, prefetch_lead
+        )
+        pf_bytes, pf_resident, pf_windows = _layout_staging(
+            plan, spilled, runs_of, size, leads
+        )
+        prefetch = PrefetchPlan(
+            lead_steps=max(leads.values(), default=0),
+            resident_bytes=pf_bytes,
+            resident_offsets=pf_resident,
+            windows=_windows_from(spilled, runs_of, pf_windows),
+            window_leads={
+                b: tuple(leads[(b, k)] for k in range(len(runs_of[b])))
+                for b in sorted(spilled)
+            },
+        )
 
     return SpillPlan(
         capacity_bytes=capacity_bytes,
         policy=policy,
-        resident_bytes=region.arena_bytes,
+        resident_bytes=region_bytes,
         spill_bytes=cursor,
         spilled=spilled,
         resident_offsets=resident_offsets,
         home_offsets=home_offsets,
-        windows=windows,
+        windows=_windows_from(spilled, runs_of, window_offsets),
+        prefetch=prefetch,
     ).validate()

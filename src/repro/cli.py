@@ -210,6 +210,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             seed=args.seed,
             capacity_bytes=capacity,
             spill_policy=args.spill_policy,
+            prefetch=not args.no_prefetch,
+            link=_offchip_link(args),
         )
         outputs = executor.run(feeds)
     except ReproError as exc:
@@ -231,6 +233,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"{traffic.policy} policy)")
         print(f"off-chip traffic        : {traffic.total_kib:9.1f}KB "
               f"({traffic.fetches} fetches, {traffic.writebacks} writebacks)")
+        overlap = (
+            f"prefetch lead {stats.prefetch_lead} steps"
+            if stats.prefetch_lead
+            else "inline transfers"
+        )
+        print(f"transfer stall / hidden : {traffic.stall_s * 1e3:9.2f} / "
+              f"{traffic.hidden_s * 1e3:.2f} ms "
+              f"({100.0 * traffic.hidden_fraction:.0f}% hidden, {overlap})")
     for name, value in outputs.items():
         flat = value.ravel()
         head = ", ".join(f"{v:.4g}" for v in flat[:4])
@@ -308,6 +318,15 @@ def _serving_budget(args: argparse.Namespace):
     return resolve_budget(args.budget_device, args.budget_kb)
 
 
+def _offchip_link(args: argparse.Namespace):
+    """--offchip-mbps resolved to an OffchipLink (None: instant copies)."""
+    if getattr(args, "offchip_mbps", None) is None:
+        return None
+    from repro.memsim import OffchipLink
+
+    return OffchipLink(bandwidth_bytes_per_s=args.offchip_mbps * 1e6)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.exceptions import ReproError
     from repro.serving import ModelRegistry, run_load
@@ -372,6 +391,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             preload=args.preload,
             spill=args.spill,
             spill_policy=args.spill_policy,
+            prefetch=not args.no_prefetch,
+            link=_offchip_link(args),
         )
     except ReproError as exc:
         print(f"error: serving run failed: {exc}", file=sys.stderr)
@@ -402,6 +423,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     print(f"compiled {len(registry)} models: {', '.join(registry.names())}")
 
     budget = _serving_budget(args)
+    link = _offchip_link(args)
     common = dict(
         requests=args.requests,
         clients=args.clients,
@@ -410,15 +432,19 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         spill=args.spill,
         spill_policy=args.spill_policy,
+        prefetch=not args.no_prefetch,
+        link=link,
     )
     try:
         # warm both paths once so neither pays first-touch costs
         run_load(registry, requests=args.clients, clients=args.clients,
                  workers=args.workers, budget=budget, reuse=True,
-                 spill=args.spill, spill_policy=args.spill_policy)
+                 spill=args.spill, spill_policy=args.spill_policy,
+                 prefetch=not args.no_prefetch, link=link)
         run_load(registry, requests=args.clients, clients=args.clients,
                  workers=args.workers, budget=budget, reuse=False,
-                 spill=args.spill, spill_policy=args.spill_policy)
+                 spill=args.spill, spill_policy=args.spill_policy,
+                 prefetch=not args.no_prefetch, link=link)
         pooled = run_load(
             registry, max_batch=args.max_batch, reuse=True,
             preload=args.preload, **common
@@ -588,6 +614,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="belady",
         help="replacement policy ranking spill victims (default: belady)",
     )
+    p_run.add_argument(
+        "--no-prefetch", action="store_true",
+        help="run spill transfers inline instead of overlapping them on "
+        "the background prefetch engine",
+    )
+    p_run.add_argument(
+        "--offchip-mbps", type=float, metavar="MBPS",
+        help="model the off-chip link at this bandwidth (MB/s) so every "
+        "fetch/writeback costs wall-clock; default: instant host copies",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_batch = sub.add_parser(
@@ -694,6 +730,16 @@ def build_parser() -> argparse.ArgumentParser:
             choices=POLICY_NAMES,
             default="belady",
             help="replacement policy ranking spill victims (default: belady)",
+        )
+        p.add_argument(
+            "--no-prefetch", action="store_true",
+            help="run spilled executors' transfers inline instead of "
+            "overlapping them on the background prefetch engine",
+        )
+        p.add_argument(
+            "--offchip-mbps", type=float, metavar="MBPS",
+            help="model the off-chip link at this bandwidth (MB/s) on "
+            "every pooled executor's fetches/writebacks",
         )
 
     p_serve = sub.add_parser(

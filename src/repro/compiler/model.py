@@ -151,6 +151,8 @@ class CompiledModel:
         spill: SpillPlan | None = None,
         capacity_bytes: int | None = None,
         spill_policy: str = "belady",
+        prefetch: bool = True,
+        link=None,
     ):
         """A ready :class:`~repro.runtime.plan_executor.PlanExecutor`.
 
@@ -160,6 +162,10 @@ class CompiledModel:
         under a two-region tiered arena whose on-chip region fits that
         capacity, spilled buffers streaming from the off-chip region
         with measured traffic — outputs stay bitwise identical.
+        ``prefetch=False`` forces those transfers inline instead of
+        overlapping them on the background engine; ``link`` (an
+        :class:`~repro.memsim.OffchipLink`) models the transfer path's
+        bandwidth/latency.
         """
         from repro.runtime.plan_executor import PlanExecutor
 
@@ -174,6 +180,8 @@ class CompiledModel:
             batch_size=batch_size,
             scrub=scrub,
             spill=spill,
+            prefetch=prefetch,
+            link=link,
         )
 
     # ------------------------------------------------------------------

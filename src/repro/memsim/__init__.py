@@ -2,6 +2,7 @@
 
 from repro.memsim.hierarchy import (
     MemoryHierarchySimulator,
+    OffchipLink,
     TrafficReport,
     offchip_traffic,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "FIFOPolicy",
     "make_policy",
     "MemoryHierarchySimulator",
+    "OffchipLink",
     "TrafficReport",
     "offchip_traffic",
 ]

@@ -44,7 +44,37 @@ from repro.memsim.trace import AccessTrace, build_trace
 from repro.scheduler.memory import BufferModel
 from repro.scheduler.schedule import Schedule
 
-__all__ = ["TrafficReport", "MemoryHierarchySimulator", "offchip_traffic"]
+__all__ = [
+    "OffchipLink",
+    "TrafficReport",
+    "MemoryHierarchySimulator",
+    "offchip_traffic",
+]
+
+
+@dataclass(frozen=True)
+class OffchipLink:
+    """Modeled timing of the on-chip <-> off-chip transfer path.
+
+    Real edge parts pay bandwidth and per-transfer latency for every
+    DRAM/flash word moved; host memcpys do not. Attaching a link to the
+    plan executor makes each fetch/writeback cost
+    ``latency_s + nbytes / bandwidth_bytes_per_s`` of wall-clock, so
+    stall-vs-hidden accounting measures what the modeled part would
+    feel rather than the host's memcpy throughput."""
+
+    bandwidth_bytes_per_s: float
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ReproError("off-chip link bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ReproError("off-chip link latency must be non-negative")
+
+    def transfer_s(self, nbytes: int) -> float:
+        """Modeled wall-clock seconds to move ``nbytes``."""
+        return self.latency_s + nbytes / self.bandwidth_bytes_per_s
 
 
 @dataclass(frozen=True)
@@ -59,6 +89,12 @@ class TrafficReport:
     writebacks: int
     bypass_bytes: int
     accesses: int
+    #: transfer wall-clock the compute stream waited on (runtime only;
+    #: the offline simulator counts bytes, not seconds)
+    stall_s: float = 0.0
+    #: transfer wall-clock overlapped behind compute by the prefetch
+    #: engine (zero for inline spill execution)
+    hidden_s: float = 0.0
 
     @property
     def total_bytes(self) -> int:
@@ -73,6 +109,12 @@ class TrafficReport:
     @property
     def total_kib(self) -> float:
         return self.total_bytes / 1024.0
+
+    @property
+    def hidden_fraction(self) -> float:
+        """Share of transfer time hidden behind compute."""
+        busy = self.stall_s + self.hidden_s
+        return self.hidden_s / busy if busy > 0 else 0.0
 
 
 @dataclass

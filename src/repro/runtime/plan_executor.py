@@ -94,6 +94,10 @@ silently corrupting memory.
 
 from __future__ import annotations
 
+import bisect
+import threading
+import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
@@ -104,7 +108,7 @@ from repro.allocator.spill import SpillPlan, StageWindow, step_touches
 from repro.exceptions import ExecutionError
 from repro.graph.graph import Graph
 from repro.graph.node import Node
-from repro.memsim.hierarchy import TrafficReport
+from repro.memsim.hierarchy import OffchipLink, TrafficReport
 from repro.runtime.executor import Params, init_params
 from repro.runtime.kernels import (
     BATCH_KERNELS,
@@ -241,6 +245,16 @@ class PlanExecutionStats:
     spill_bytes_out: int = 0
     #: buffer touches replayed (reads + writes), for traffic reports
     spill_accesses: int = 0
+    #: transfer wall-clock the compute stream waited on: inline
+    #: fetch/writeback copies (plus any modeled link time) and barrier
+    #: waits on in-flight prefetch jobs
+    spill_stall_s: float = 0.0
+    #: transfer wall-clock the background engine overlapped behind
+    #: compute (0 for inline execution)
+    spill_hidden_s: float = 0.0
+    #: max prefetch lead (schedule steps) the run executed with; 0
+    #: means every transfer ran inline
+    prefetch_lead: int = 0
 
     @property
     def spill_bytes_total(self) -> int:
@@ -259,6 +273,105 @@ class PlanExecutionStats:
 _STEP_INPUT, _STEP_DIRECT, _STEP_COPY = 0, 1, 2
 #: spill data movement: fetch = home -> staging slot, writeback = back
 _STEP_FETCH, _STEP_WRITEBACK = 3, 4
+#: overlapped data movement: hand a (dst, src) copy to the transfer
+#: engine / wait until engine job #attrs (1-based) has completed
+_STEP_ENQUEUE, _STEP_SYNC = 5, 6
+
+
+class _TransferEngine:
+    """One background "DMA engine": a daemon thread draining a FIFO of
+    whole-buffer copies.
+
+    A single queue gives every transfer a total order, which makes all
+    engine-vs-engine hazards (writeback before the next fetch of the
+    same home; slot handoff between ping/pong windows) safe by
+    construction — the compute thread only needs explicit waits where
+    a kernel consumes bytes still in flight. NumPy copies release the
+    GIL for the bulk of the move (and a modeled
+    :class:`~repro.memsim.hierarchy.OffchipLink` sleeps, which also
+    releases it), so engine transfers genuinely overlap compute."""
+
+    def __init__(self, link: OffchipLink | None = None) -> None:
+        self.link = link
+        #: monotone job counters: job k is the k-th submitted copy
+        self.enqueued = 0
+        self.completed = 0
+        #: wall-clock the engine spent moving bytes
+        self.busy_s = 0.0
+        self._q: deque[tuple[np.ndarray, np.ndarray]] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._failure: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._drain, daemon=True, name="repro-offchip-dma"
+        )
+        self._thread.start()
+
+    def submit(self, dst: np.ndarray, src: np.ndarray) -> int:
+        """Queue one copy; returns its 1-based job number."""
+        with self._cond:
+            if self._closed:
+                raise ExecutionError(
+                    "transfer engine is closed (executor was released)"
+                )
+            if self._failure is not None:
+                raise ExecutionError(
+                    f"transfer engine failed: {self._failure!r}"
+                )
+            self._q.append((dst, src))
+            self.enqueued += 1
+            self._cond.notify_all()
+            return self.enqueued
+
+    def wait(self, job: int) -> float:
+        """Block until job number ``job`` has completed; returns the
+        wall-clock seconds spent waiting (the compute stall)."""
+        t0 = time.perf_counter()
+        with self._cond:
+            while self.completed < job and self._failure is None:
+                self._cond.wait()
+            if self.completed < job:
+                raise ExecutionError(
+                    f"transfer engine failed: {self._failure!r}"
+                )
+        return time.perf_counter() - t0
+
+    def quiesce(self) -> None:
+        """Wait until the queue is empty (no error propagation) — used
+        to leave no transfer in flight after a failed run."""
+        with self._cond:
+            while self.completed < self.enqueued and self._failure is None:
+                self._cond.wait()
+
+    def close(self) -> None:
+        """Idempotent shutdown: the drain thread finishes queued jobs
+        and exits; further submits are rejected."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def _drain(self) -> None:
+        while True:
+            with self._cond:
+                while not self._q and not self._closed:
+                    self._cond.wait()
+                if not self._q:
+                    return  # closed and drained
+                dst, src = self._q.popleft()
+            t0 = time.perf_counter()
+            try:
+                dst[...] = src
+                if self.link is not None:
+                    time.sleep(self.link.transfer_s(dst.nbytes))
+            except BaseException as exc:  # propagate to the next wait
+                with self._cond:
+                    self._failure = exc
+                    self._cond.notify_all()
+                return
+            with self._cond:
+                self.busy_s += time.perf_counter() - t0
+                self.completed += 1
+                self._cond.notify_all()
 
 
 @dataclass(frozen=True)
@@ -284,6 +397,8 @@ class _RunPlan:
     spill_bytes_in: int = 0
     spill_bytes_out: int = 0
     spill_accesses: int = 0
+    #: transfer-engine jobs this plan submits per run (prefetch mode)
+    total_jobs: int = 0
 
 
 #: arena scrub policies between runs (see :class:`PlanExecutor`)
@@ -335,6 +450,17 @@ class PlanExecutor:
     with fetch/writeback steps in the step table and measured traffic
     in :attr:`last_stats` / :meth:`traffic_report` (see the module
     docstring). Outputs are bitwise those of the unspilled executor.
+
+    ``prefetch`` (default on) uses the spill plan's ping/pong
+    :class:`~repro.allocator.spill.PrefetchPlan` when it carries one:
+    fetches are issued early and writebacks drained late on a
+    background transfer engine, so transfer time hides behind compute
+    and only surfaces as stall when a kernel needs bytes still in
+    flight. ``link`` attaches a modeled
+    :class:`~repro.memsim.hierarchy.OffchipLink` so every transfer
+    (inline or overlapped) costs the modeled wall-clock instead of a
+    host memcpy. Executors with an active engine own a daemon thread;
+    :meth:`close` releases it (pools do this when discarding).
     """
 
     def __init__(
@@ -348,6 +474,8 @@ class PlanExecutor:
         scrub: str = "never",
         batch_size: int = 1,
         spill: SpillPlan | None = None,
+        prefetch: bool = True,
+        link: OffchipLink | None = None,
     ) -> None:
         schedule.validate(graph)
         if scrub not in SCRUB_POLICIES:
@@ -398,6 +526,11 @@ class PlanExecutor:
         self._spilled: frozenset[int] = (
             spill.spilled if spill is not None else frozenset()
         )
+        if link is not None and not isinstance(link, OffchipLink):
+            raise ExecutionError(
+                f"link must be an OffchipLink or None, got {type(link).__name__}"
+            )
+        self._link = link
         if spill is not None:
             spill.validate()
             resident = set(range(self.model.n_buffers)) - set(self._spilled)
@@ -407,8 +540,37 @@ class PlanExecutor:
                     f"{len(spill.resident_offsets)} resident offsets for "
                     f"{len(resident)} resident buffers"
                 )
+        # active staging layout: the ping/pong prefetch layout when the
+        # plan carries one and the caller wants overlap, else the base
+        # (inline) layout — window (start, end) bounds are identical,
+        # only offsets and the per-window leads differ. Even a layout
+        # with all-zero leads engages the engine: writeback overlap
+        # needs no lead.
+        pf = spill.prefetch if (spill is not None and prefetch) else None
+        self._prefetch = pf
+        self._windows: dict[int, tuple[StageWindow, ...]] = (
+            (pf.windows if pf is not None else spill.windows)
+            if spill is not None
+            else {}
+        )
+        #: per-(buffer, window start) prefetch lead; missing or 0 means
+        #: that window's transfers execute inline
+        self._lead_of: dict[tuple[int, int], int] = (
+            {
+                (b, w.start): lead
+                for b, ws in pf.windows.items()
+                for w, lead in zip(ws, pf.window_leads[b])
+            }
+            if pf is not None
+            else {}
+        )
+        self._engine: _TransferEngine | None = (
+            _TransferEngine(link) if pf is not None else None
+        )
         self._region_offset: Mapping[int, int] = (
-            spill.resident_offsets if spill is not None else plan.offsets
+            pf.resident_offsets
+            if pf is not None
+            else (spill.resident_offsets if spill is not None else plan.offsets)
         )
         #: the on-chip promise every run is held to (resident region)
         self._capacity_bytes = (
@@ -456,7 +618,7 @@ class PlanExecutor:
                     size % self._itemsize
                     or home % self._itemsize
                     or any(
-                        w.offset % self._itemsize for w in spill.windows[b]
+                        w.offset % self._itemsize for w in self._windows[b]
                     )
                 ):
                     raise ExecutionError(
@@ -468,7 +630,7 @@ class PlanExecutor:
                 spill_extent = max(spill_extent, home + size)
                 window_extent = max(
                     window_extent,
-                    max(w.offset + size for w in spill.windows[b]),
+                    max(w.offset + size for w in self._windows[b]),
                 )
             # homes must be pairwise disjoint — the plan document does
             # not carry buffer sizes, so this cross-check against the
@@ -498,7 +660,9 @@ class PlanExecutor:
         # even under a plan that understates arena_bytes (the run-time
         # overflow check still holds such a plan to its promise)
         resident_promise = (
-            spill.resident_bytes if spill is not None else plan.arena_bytes
+            pf.resident_bytes
+            if pf is not None
+            else (spill.resident_bytes if spill is not None else plan.arena_bytes)
         )
         self._arena_elems = max(
             -(-resident_promise // self._itemsize),
@@ -596,6 +760,39 @@ class PlanExecutor:
                         )
 
     # ------------------------------------------------------------------
+    @property
+    def prefetch_active(self) -> bool:
+        """True when runs overlap transfers on a background engine
+        (False again once :meth:`close` shuts the engine down)."""
+        return self._engine is not None and not self._engine._closed
+
+    def close(self) -> None:
+        """Release the background transfer engine, if any (idempotent).
+
+        Serving pools call this when an executor is discarded; a closed
+        executor rejects further prefetch runs."""
+        engine = self._engine
+        if engine is not None:
+            engine.close()
+
+    def __del__(self) -> None:  # backstop for unpooled executors
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _window_at(self, b: int, step: int) -> StageWindow:
+        """The *active-layout* staging window of buffer ``b`` covering
+        schedule ``step`` (prefetch offsets when the engine is on)."""
+        ws = self._windows[b]
+        i = bisect.bisect_right([w.start for w in ws], step) - 1
+        if i >= 0 and ws[i].start <= step < ws[i].end:
+            return ws[i]
+        raise ExecutionError(
+            f"step {step} touches spilled buffer {b} outside every "
+            "staging window (corrupt spill plan)"
+        )
+
     @property
     def arena_nbytes(self) -> int:
         """Actual bytes held by the preallocated resident arena array
@@ -774,6 +971,20 @@ class PlanExecutor:
         write fetches the home bytes, and a dirty window exit writes
         them back when the data is needed again. The resulting traffic
         is data-independent too, so it is counted here, once per plan.
+
+        Transfer events are collected against the executed order first
+        and *placed* second. Inline placement reproduces the historical
+        step order exactly (fetches before the kernel, writebacks
+        after). Prefetch placement hands each leaded window's transfers
+        to the engine instead: the fetch is enqueued up to ``lead``
+        schedule positions early (never before the same buffer's
+        previous writeback — the FIFO queue then orders the home
+        accesses), a single per-step sync waits for the highest job
+        number the step depends on (fetch completions at window entry,
+        writeback completions when a slot reservation expires or an
+        inline fetch needs the home bytes), and leftover jobs drain at
+        end of run. Zero-lead windows keep inline transfers even in
+        prefetch mode.
         """
         graph, model, params = self.graph, self.model, self.params
         if n == _UNBATCHED:
@@ -787,7 +998,7 @@ class PlanExecutor:
         spill = self.spill
         spilled = self._spilled
         pos = self._schedule_pos
-        steps: list[tuple] = []
+        kernel_rows: list[tuple] = []  # exactly one row per executed step
         direct_writes = 0
         copy_writes = 0
         live: set[int] = set()
@@ -805,10 +1016,19 @@ class PlanExecutor:
         windows_at: dict[int, dict[int, StageWindow]] = {}
         last_in_win: dict[tuple[int, int], int] = {}
         last_touch: dict[int, int] = {}
+        #: transfer events in executed order: (buffer, window, step
+        #: index) — fetch events at window entry, writeback events at
+        #: dirty window exit; placement happens after the replay.
+        #: ``entry_events`` records every window entry (fetching or
+        #: not): prefetch placement needs to know when each staging
+        #: slot is first touched to scope writeback syncs
+        fetch_events: list[tuple[int, StageWindow, int]] = []
+        wb_events: list[tuple[int, StageWindow, int]] = []
+        entry_events: list[tuple[int, StageWindow, int]] = []
         if spilled:
             for oi, name in enumerate(order):
                 for b in self._touched_spilled.get(name, ()):
-                    w = spill.window_at(b, pos[name])  # type: ignore[union-attr]
+                    w = self._window_at(b, pos[name])
                     windows_at.setdefault(b, {})[oi] = w
                     last_in_win[(b, w.start)] = oi
                     last_touch[b] = oi
@@ -826,20 +1046,9 @@ class PlanExecutor:
                 if staged_win.get(b) is not w:
                     staged_win[b] = w
                     staged_extent[b] = w.offset + model.buf_size[b]
+                    entry_events.append((b, w, oi))
                     if b in written:
-                        stage, home = self._stage_and_home(b, w, n)
-                        steps.append(
-                            (
-                                _STEP_FETCH,
-                                f"<fetch:b{b}>",
-                                stage,
-                                None,
-                                (home,),
-                                None,
-                                None,
-                                None,
-                            )
-                        )
+                        fetch_events.append((b, w, oi))
                         fetches += 1
                         bytes_in += model.buf_size[b]
             if b_own not in spilled:
@@ -873,13 +1082,15 @@ class PlanExecutor:
             site = view_of(name)
             shape = batch_dims + node.output.shape
             if node.op == "input":
-                steps.append((_STEP_INPUT, name, site, None, (), {}, {}, shape))
+                kernel_rows.append(
+                    (_STEP_INPUT, name, site, None, (), {}, {}, shape)
+                )
             else:
                 direct_op = self._direct.get(name)
                 args = tuple(view_of(src) for src in node.inputs)
                 node_params = params.get(name, {})
                 if direct_op is not None:
-                    steps.append(
+                    kernel_rows.append(
                         (
                             _STEP_DIRECT,
                             name,
@@ -896,7 +1107,7 @@ class PlanExecutor:
                     kernel = kernel_table.get(node.op)
                     if kernel is None:
                         raise ExecutionError(f"no kernel for op {node.op!r}")
-                    steps.append(
+                    kernel_rows.append(
                         (
                             _STEP_COPY,
                             name,
@@ -922,6 +1133,72 @@ class PlanExecutor:
                     continue  # window continues at a later executed step
                 has_later = last_touch[b] != oi
                 if b in dirty and (has_later or model.buf_persistent[b]):
+                    wb_events.append((b, w, oi))
+                    writebacks += 1
+                    bytes_out += model.buf_size[b]
+                    dirty.discard(b)
+                elif not has_later:
+                    dirty.discard(b)
+                staged_extent.pop(b, None)
+        steps, total_jobs = self._place_transfers(
+            order, kernel_rows, fetch_events, wb_events, entry_events, n
+        )
+        return _RunPlan(
+            steps=steps,
+            measured_peak_bytes=measured_peak,
+            overflow_at=overflow_at,
+            direct_writes=direct_writes,
+            copy_writes=copy_writes,
+            spill_fetches=fetches,
+            spill_writebacks=writebacks,
+            spill_bytes_in=bytes_in,
+            spill_bytes_out=bytes_out,
+            spill_accesses=accesses,
+            total_jobs=total_jobs,
+        )
+
+    def _place_transfers(
+        self,
+        order: tuple[str, ...],
+        kernel_rows: list[tuple],
+        fetch_events: list[tuple[int, StageWindow, int]],
+        wb_events: list[tuple[int, StageWindow, int]],
+        entry_events: list[tuple[int, StageWindow, int]],
+        n: int,
+    ) -> tuple[tuple[tuple, ...], int]:
+        """Interleave the collected transfer events with the kernel rows.
+
+        Without an engine this reproduces the historical inline order
+        exactly: a step's fetches immediately before its kernel row, its
+        writebacks immediately after. With the engine, leaded windows
+        route through the FIFO instead, under the placement rules
+        documented on :meth:`_compile_run_plan`; zero-lead windows stay
+        inline. Returns ``(steps, total engine jobs per run)``.
+        """
+        if self._engine is None:
+            steps: list[tuple] = []
+            fi = wi = 0
+            nf, nw = len(fetch_events), len(wb_events)
+            for oi, row in enumerate(kernel_rows):
+                while fi < nf and fetch_events[fi][2] == oi:
+                    b, w, _ = fetch_events[fi]
+                    stage, home = self._stage_and_home(b, w, n)
+                    steps.append(
+                        (
+                            _STEP_FETCH,
+                            f"<fetch:b{b}>",
+                            stage,
+                            None,
+                            (home,),
+                            None,
+                            None,
+                            None,
+                        )
+                    )
+                    fi += 1
+                steps.append(row)
+                while wi < nw and wb_events[wi][2] == oi:
+                    b, w, _ = wb_events[wi]
                     stage, home = self._stage_and_home(b, w, n)
                     steps.append(
                         (
@@ -935,24 +1212,181 @@ class PlanExecutor:
                             None,
                         )
                     )
-                    writebacks += 1
-                    bytes_out += model.buf_size[b]
-                    dirty.discard(b)
-                elif not has_later:
-                    dirty.discard(b)
-                staged_extent.pop(b, None)
-        return _RunPlan(
-            steps=tuple(steps),
-            measured_peak_bytes=measured_peak,
-            overflow_at=overflow_at,
-            direct_writes=direct_writes,
-            copy_writes=copy_writes,
-            spill_fetches=fetches,
-            spill_writebacks=writebacks,
-            spill_bytes_in=bytes_in,
-            spill_bytes_out=bytes_out,
-            spill_accesses=accesses,
-        )
+                    wi += 1
+            return tuple(steps), 0
+
+        pos = self._schedule_pos
+        n_exec = len(order)
+        sched = [pos[nm] for nm in order]
+        # full per-buffer writeback history (exit step indices, both
+        # inline and engine) — a later fetch of the same buffer reads
+        # home bytes the previous writeback produces, so its enqueue
+        # can never cross that writeback
+        wb_exits: dict[int, list[int]] = {}
+        for b, _w, oi in wb_events:
+            wb_exits.setdefault(b, []).append(oi)
+        inline_f: dict[int, list[tuple[int, StageWindow]]] = {}
+        inline_w: dict[int, list[tuple[int, StageWindow]]] = {}
+        #: enqueue oi -> [(buffer, window, entry oi)]
+        eng_f: dict[int, list[tuple[int, StageWindow, int]]] = {}
+        #: exit oi -> [(buffer, window, due oi)]
+        eng_w: dict[int, list[tuple[int, StageWindow, int]]] = {}
+        #: (buffer, window start) pairs whose fetch routes through the
+        #: engine — their window-entry fetch sync already orders every
+        #: earlier FIFO job before the first kernel touch of the slot
+        eng_fetch_windows: set[tuple[int, int]] = set()
+        for b, w, entry_oi in fetch_events:
+            lead = self._lead_of.get((b, w.start), 0)
+            if lead == 0:
+                inline_f.setdefault(entry_oi, []).append((b, w))
+                continue
+            eo = bisect.bisect_left(sched, max(0, w.start - lead))
+            exits = wb_exits.get(b, ())
+            i = bisect.bisect_left(exits, entry_oi)
+            if i:
+                eo = max(eo, exits[i - 1] + 1)
+            eo = min(eo, entry_oi)
+            eng_f.setdefault(eo, []).append((b, w, entry_oi))
+            eng_fetch_windows.add((b, w.start))
+        size = self.model.buf_size
+        # staging slots share the region with resident buffers (the
+        # layout interleaves both interval sets), so a pending
+        # writeback's slot bytes can be recycled by a resident buffer
+        # whose lifetime starts after the window's extended reservation
+        # — collect each resident buffer's producing-write steps
+        resident_writes: dict[int, list[int]] = {}
+        spilled = self._spilled
+        for oi, name in enumerate(order):
+            r = self._buf_of_name[name]
+            if r not in spilled:
+                resident_writes.setdefault(r, []).append(oi)
+        for b, w, exit_oi in wb_events:
+            # every writeback rides the engine (no lead needed): it
+            # must only land before its staging slot is next touched
+            # from the compute thread — the first later window
+            # overlapping the slot whose entry is NOT already ordered
+            # behind this job by its own engine-fetch sync, or the
+            # first write to an overlapping resident buffer. Slot
+            # reservations keep conflicting *engine* fetches enqueued
+            # after this writeback, so the FIFO handles those.
+            # Home-byte readers are fetches of the same buffer: engine
+            # ones are FIFO-ordered, inline ones sync explicitly below.
+            lo, hi = w.offset, w.offset + size[b]
+            due = n_exec
+            for b2, w2, e2 in entry_events:
+                if e2 <= exit_oi or e2 >= due:
+                    continue
+                if (b2, w2.start) in eng_fetch_windows:
+                    continue
+                if w2.offset < hi and lo < w2.offset + size[b2]:
+                    due = e2
+            for r, ois in resident_writes.items():
+                off = self._region_offset[r]
+                if off < hi and lo < off + size[r]:
+                    i = bisect.bisect_right(ois, exit_oi)
+                    if i < len(ois) and ois[i] < due:
+                        due = ois[i]
+            eng_w.setdefault(exit_oi, []).append((b, w, due))
+
+        # FIFO job numbers follow step-table enqueue order: walk the
+        # executed order once, fetch enqueues before writeback enqueues
+        # within a step, and record where each job must be complete
+        job = 0
+        need_at = [0] * n_exec
+        eng_wb_hist: dict[int, list[tuple[int, int]]] = {}
+        for oi in range(n_exec):
+            for b, w, entry_oi in eng_f.get(oi, ()):
+                job += 1
+                need_at[entry_oi] = max(need_at[entry_oi], job)
+            for b, w, due in eng_w.get(oi, ()):
+                job += 1
+                if due < n_exec:
+                    need_at[due] = max(need_at[due], job)
+                eng_wb_hist.setdefault(b, []).append((oi, job))
+        total_jobs = job
+        # an inline fetch reads home bytes a still-pending engine
+        # writeback of the same buffer may be producing
+        for oi, evs in inline_f.items():
+            for b, _w in evs:
+                hist = eng_wb_hist.get(b)
+                if hist:
+                    i = bisect.bisect_left(hist, (oi, 0))
+                    if i:
+                        need_at[oi] = max(need_at[oi], hist[i - 1][1])
+
+        # assemble: [fetch enqueues][one sync][inline fetches][kernel]
+        # [inline writebacks][writeback enqueues] per step; the FIFO
+        # completes in submit order, so one wait on the highest needed
+        # job covers every earlier one (``guaranteed`` skips redundant
+        # syncs)
+        steps = []
+        guaranteed = 0
+        for oi, row in enumerate(kernel_rows):
+            for b, w, _entry in eng_f.get(oi, ()):
+                stage, home = self._stage_and_home(b, w, n)
+                steps.append(
+                    (
+                        _STEP_ENQUEUE,
+                        f"<prefetch:b{b}>",
+                        stage,
+                        None,
+                        (home,),
+                        None,
+                        None,
+                        None,
+                    )
+                )
+            need = need_at[oi]
+            if need > guaranteed:
+                steps.append(
+                    (_STEP_SYNC, f"<sync:{need}>", None, None, (), need,
+                     None, None)
+                )
+                guaranteed = need
+            for b, w in inline_f.get(oi, ()):
+                stage, home = self._stage_and_home(b, w, n)
+                steps.append(
+                    (
+                        _STEP_FETCH,
+                        f"<fetch:b{b}>",
+                        stage,
+                        None,
+                        (home,),
+                        None,
+                        None,
+                        None,
+                    )
+                )
+            steps.append(row)
+            for b, w in inline_w.get(oi, ()):
+                stage, home = self._stage_and_home(b, w, n)
+                steps.append(
+                    (
+                        _STEP_WRITEBACK,
+                        f"<writeback:b{b}>",
+                        home,
+                        None,
+                        (stage,),
+                        None,
+                        None,
+                        None,
+                    )
+                )
+            for b, w, _due in eng_w.get(oi, ()):
+                stage, home = self._stage_and_home(b, w, n)
+                steps.append(
+                    (
+                        _STEP_ENQUEUE,
+                        f"<drain:b{b}>",
+                        home,
+                        None,
+                        (stage,),
+                        None,
+                        None,
+                        None,
+                    )
+                )
+        return tuple(steps), total_jobs
 
     def _get_plan(self, wanted: list[str] | None, n: int) -> "_RunPlan":
         """The compiled plan for ``(output subset, batch width)``.
@@ -1093,37 +1527,88 @@ class PlanExecutor:
                 self._spill_arena.fill(0.0)
         reused = self.scrub != "fresh" and self.runs > 0
 
+        engine = self._engine
+        link = self._link
+        base = 0
+        busy0 = 0.0
+        if engine is not None:
+            # leave no orphan job from an earlier failed run in flight,
+            # then measure this run's jobs/busy-time against a clean
+            # baseline
+            engine.quiesce()
+            base = engine.enqueued
+            busy0 = engine.busy_s
+        inline_stall_s = 0.0
+        engine_wait_s = 0.0
+
         snapshots: dict[str, np.ndarray] = {}
         want = set(wanted)
-        for kind, name, site, fn, args, attrs, node_params, shape in plan.steps:
-            if kind == _STEP_DIRECT:
-                fn(args, attrs, node_params, site)
-            elif kind == _STEP_COPY:
-                value = fn(args, attrs, node_params)
-                if tuple(value.shape) != shape:
-                    raise ExecutionError(
-                        f"kernel produced shape {value.shape} for {name!r}, "
-                        f"spec says {shape}"
+        try:
+            for (
+                kind,
+                name,
+                site,
+                fn,
+                args,
+                attrs,
+                node_params,
+                shape,
+            ) in plan.steps:
+                if kind == _STEP_DIRECT:
+                    fn(args, attrs, node_params, site)
+                elif kind == _STEP_COPY:
+                    value = fn(args, attrs, node_params)
+                    if tuple(value.shape) != shape:
+                        raise ExecutionError(
+                            f"kernel produced shape {value.shape} for "
+                            f"{name!r}, spec says {shape}"
+                        )
+                    site[...] = value
+                elif kind == _STEP_INPUT:
+                    if name not in feeds:
+                        raise ExecutionError(
+                            f"missing feed for input {name!r}"
+                        )
+                    value = np.asarray(feeds[name], dtype=_EXEC_DTYPE)
+                    if tuple(value.shape) != shape:
+                        raise ExecutionError(
+                            f"feed {name!r} has shape {value.shape}, "
+                            f"expected {shape}"
+                        )
+                    site[...] = value
+                elif kind == _STEP_ENQUEUE:
+                    engine.submit(site, args[0])  # type: ignore[union-attr]
+                    continue
+                elif kind == _STEP_SYNC:
+                    engine_wait_s += engine.wait(  # type: ignore[union-attr]
+                        base + attrs
                     )
-                site[...] = value
-            elif kind == _STEP_INPUT:
-                if name not in feeds:
-                    raise ExecutionError(f"missing feed for input {name!r}")
-                value = np.asarray(feeds[name], dtype=_EXEC_DTYPE)
-                if tuple(value.shape) != shape:
-                    raise ExecutionError(
-                        f"feed {name!r} has shape {value.shape}, "
-                        f"expected {shape}"
-                    )
-                site[...] = value
-            else:  # fetch / writeback: verbatim whole-buffer byte moves
-                site[...] = args[0]
-                continue
-            if name in want:
-                snapshots[name] = site.copy()
+                    continue
+                else:  # fetch / writeback: whole-buffer byte moves the
+                    # compute stream waits out (the inline stall)
+                    t0 = time.perf_counter()
+                    site[...] = args[0]
+                    if link is not None:
+                        time.sleep(link.transfer_s(site.nbytes))
+                    inline_stall_s += time.perf_counter() - t0
+                    continue
+                if name in want:
+                    snapshots[name] = site.copy()
+            if engine is not None and plan.total_jobs:
+                # end-of-run drain: writebacks due past the last step
+                # must land before the caller (or the next run, or a
+                # fresh-scrub realloc) reads the spill region
+                engine_wait_s += engine.wait(base + plan.total_jobs)
+        except BaseException:
+            if engine is not None:
+                engine.quiesce()
+            raise
 
         self.runs += 1
         n_eff = 1 if n == _UNBATCHED else n
+        hidden_s = 0.0
+        if engine is not None:
+            hidden_s = max(0.0, (engine.busy_s - busy0) - engine_wait_s)
         self.last_stats = PlanExecutionStats(
             steps=len(plan.steps),
             arena_bytes=self.plan.arena_bytes,
@@ -1141,6 +1626,11 @@ class PlanExecutor:
             spill_bytes_in=plan.spill_bytes_in * n_eff,
             spill_bytes_out=plan.spill_bytes_out * n_eff,
             spill_accesses=plan.spill_accesses * n_eff,
+            spill_stall_s=inline_stall_s + engine_wait_s,
+            spill_hidden_s=hidden_s,
+            prefetch_lead=(
+                self._prefetch.lead_steps if self._prefetch is not None else 0
+            ),
         )
         return {w: snapshots[w] for w in wanted}
 
@@ -1172,4 +1662,6 @@ class PlanExecutor:
             writebacks=stats.spill_writebacks,
             bypass_bytes=0,
             accesses=stats.spill_accesses,
+            stall_s=stats.spill_stall_s,
+            hidden_s=stats.spill_hidden_s,
         )

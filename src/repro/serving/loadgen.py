@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.memsim import OffchipLink
 from repro.runtime.executor import Executor, init_params, random_feeds
 from repro.scheduler.device import DeviceSpec
 from repro.serving.pool import ArenaPool, PoolStats
@@ -58,6 +59,12 @@ class LoadReport:
     spill: str = "never"
     #: total simulated off-chip bytes moved by spilled executor runs
     spill_bytes: int = 0
+    #: whether spilled executors ran with the background prefetch engine
+    prefetch: bool = True
+    #: transfer seconds runs stalled on vs hid behind compute (sums
+    #: over every executor run in the window)
+    spill_stall_s: float = 0.0
+    spill_hidden_s: float = 0.0
 
     @property
     def rps(self) -> float:
@@ -69,6 +76,12 @@ class LoadReport:
         so this equals :attr:`rps`; stacked runs serve several samples
         per executor dispatch)."""
         return self.rps
+
+    @property
+    def hidden_fraction(self) -> float:
+        """Share of off-chip transfer time hidden behind compute."""
+        busy = self.spill_stall_s + self.spill_hidden_s
+        return self.spill_hidden_s / busy if busy > 0 else 0.0
 
     def summary(self) -> str:
         mode = "arena reuse" if self.reuse else "fresh alloc per request"
@@ -82,7 +95,8 @@ class LoadReport:
             f"  models resident       : {', '.join(self.models)}",
             f"  throughput            : {self.rps:9.1f} req/s "
             f"({self.wall_s:.2f}s wall)",
-            f"  latency p50 / p99     : {self.p50_ms:7.2f} / {self.p99_ms:.2f} ms",
+            f"  latency p50 / p99     : {self.p50_ms:7.2f} / {self.p99_ms:.2f} ms "
+            f"({self.errors} errors, included)",
             f"  arena reuse hit rate  : {100.0 * self.pool.hit_rate:7.1f}% "
             f"({self.pool.hits} hits, {self.pool.misses} fresh, "
             f"{self.pool.preloads} preloaded, {self.pool.evictions} evicted)",
@@ -93,7 +107,12 @@ class LoadReport:
             lines.append(
                 f"  off-chip spill traffic: {self.spill_bytes / 1024:7.1f}KB "
                 f"(spill={self.spill}, {self.pool.spilled_builds} spilled "
-                "executors)"
+                f"executors, {self.pool.prefetch_builds} prefetching)"
+            )
+            lines.append(
+                f"  transfer stall/hidden : {self.spill_stall_s * 1e3:7.1f} / "
+                f"{self.spill_hidden_s * 1e3:.1f} ms "
+                f"({100.0 * self.hidden_fraction:.0f}% hidden)"
             )
         if self.errors:
             lines.append(f"  ERRORS                : {self.errors}")
@@ -123,6 +142,8 @@ def run_load(
     preload: bool = False,
     spill: str = "never",
     spill_policy: str = "belady",
+    prefetch: bool = True,
+    link: OffchipLink | None = None,
 ) -> LoadReport:
     """Drive ``requests`` inferences from ``clients`` concurrent threads.
 
@@ -141,7 +162,9 @@ def run_load(
     budget cannot hold: refuse (``never``), degrade to planned
     off-chip staging with measured traffic (``auto``), or spill-plan
     every executor (``always``); outputs stay bitwise-verified either
-    way.
+    way. ``prefetch=False`` forces spilled executors' transfers inline
+    (the stall-everything baseline); ``link`` attaches a modeled
+    off-chip bandwidth/latency to every fetch and writeback.
     """
     names = registry.names()
     if not names:
@@ -157,6 +180,8 @@ def run_load(
         batch_size=batch_size,
         spill=spill,
         spill_policy=spill_policy,
+        prefetch=prefetch,
+        link=link,
     )
     preloaded = bool(pool.preload()) if preload else False
     references = (
@@ -231,4 +256,7 @@ def run_load(
         preloaded=preloaded,
         spill=spill,
         spill_bytes=stats.spill_bytes,
+        prefetch=prefetch,
+        spill_stall_s=stats.spill_stall_s,
+        spill_hidden_s=stats.spill_hidden_s,
     )

@@ -61,6 +61,7 @@ from typing import Iterator
 
 from repro.allocator.spill import SPILL_MODES, SpillPlan
 from repro.exceptions import AdmissionError, ServingError, SpillError
+from repro.memsim import OffchipLink
 from repro.runtime.plan_executor import PlanExecutor
 from repro.scheduler.device import DeviceSpec
 from repro.serving.registry import ModelRegistry
@@ -90,6 +91,9 @@ class PoolStats:
     #: admissions degraded to off-chip staging instead of being
     #: refused; trivial everything-fits plans do not count)
     spilled_builds: int = 0
+    #: spilled executors whose transfers run on the background prefetch
+    #: engine (double-buffered staging) rather than inline
+    prefetch_builds: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -130,6 +134,15 @@ class ArenaPool:
     spill_policy:
         Replacement policy ranking spill victims (``belady`` | ``lru``
         | ``fifo`` — the Fig 11 simulator's registry).
+    prefetch:
+        ``True`` (default) runs spilled executors' transfers on the
+        background prefetch engine when their plan carries a
+        double-buffered layout; ``False`` forces inline transfers (the
+        stall-everything baseline the spill benchmark compares against).
+    link:
+        Optional :class:`~repro.memsim.OffchipLink` modeling the
+        off-chip transfer path's bandwidth/latency on every pooled
+        executor's fetches and writebacks.
     """
 
     def __init__(
@@ -143,6 +156,8 @@ class ArenaPool:
         batch_size: int = 1,
         spill: str = "never",
         spill_policy: str = "belady",
+        prefetch: bool = True,
+        link: OffchipLink | None = None,
     ) -> None:
         if batch_size < 1:
             raise ServingError(f"batch_size must be >= 1, got {batch_size}")
@@ -160,6 +175,8 @@ class ArenaPool:
         self.batch_size = batch_size
         self.spill = spill
         self.spill_policy = spill_policy
+        self.prefetch = prefetch
+        self.link = link
         self._cond = threading.Condition()
         #: idle executors per model, most-recently-released last
         self._idle: dict[str, deque[PlanExecutor]] = defaultdict(deque)
@@ -174,6 +191,7 @@ class ArenaPool:
         self._waits = 0
         self._preloads = 0
         self._spilled_builds = 0
+        self._prefetch_builds = 0
 
     # ------------------------------------------------------------------
     def _spill_plan_for(self, name: str) -> SpillPlan | None:
@@ -216,12 +234,16 @@ class ArenaPool:
             scrub=self.scrub,
             batch_size=self.batch_size,
             spill=spill,
+            prefetch=self.prefetch,
+            link=self.link,
         )
         if spill is not None and not spill.is_trivial:
             # only genuinely degraded executors count — a trivial plan
             # (everything fits) moves no bytes off-chip
             with self._cond:
                 self._spilled_builds += 1
+                if executor.prefetch_active:
+                    self._prefetch_builds += 1
         return executor
 
     def _arena_cost(self, name: str) -> int:
@@ -253,7 +275,7 @@ class ArenaPool:
                 continue
             queue = self._idle.get(name)
             while queue and self._resident_bytes + needed > self.budget_bytes:
-                queue.popleft()
+                queue.popleft().close()
                 self._resident_bytes -= self._arena_cost(name)
                 self._evictions += 1
             if not queue:
@@ -345,6 +367,7 @@ class ArenaPool:
                     self._cold_order.append(name)
                 queue.append(executor)
             else:
+                executor.close()
                 self._resident_bytes -= self._arena_cost(name)
             self._cond.notify_all()
 
@@ -399,6 +422,7 @@ class ArenaPool:
                 raise
             with self._cond:
                 if self._closed:
+                    executor.close()
                     self._resident_bytes -= cost
                     self._cond.notify_all()
                     raise ServingError("pool is closed")
@@ -423,6 +447,7 @@ class ArenaPool:
                 leased=self._leased,
                 preloads=self._preloads,
                 spilled_builds=self._spilled_builds,
+                prefetch_builds=self._prefetch_builds,
             )
 
     def close(self) -> None:
@@ -431,7 +456,7 @@ class ArenaPool:
             self._closed = True
             for name, queue in self._idle.items():
                 while queue:
-                    queue.popleft()
+                    queue.popleft().close()
                     self._resident_bytes -= self._arena_cost(name)
             self._idle.clear()
             self._cold_order.clear()

@@ -68,6 +68,10 @@ class RequestStats:
     #: request (0 on a resident, unspilled executor); run-level, like
     #: :attr:`measured_peak_bytes` — a stacked run's traffic is shared
     spill_bytes: int = 0
+    #: transfer seconds the run's compute stream stalled on (run-level)
+    spill_stall_s: float = 0.0
+    #: transfer seconds the prefetch engine hid behind compute
+    spill_hidden_s: float = 0.0
 
     @property
     def total_s(self) -> float:
@@ -97,11 +101,19 @@ class ServingStats:
     requests: int
     errors: int
     batches: int
+    #: completion latencies of every finished request, errors included —
+    #: a failed request waited and ran too, and hiding it would make
+    #: p50/p99 over-report health under faults
     latencies_s: tuple[float, ...] = field(repr=False)
     pool: PoolStats | None = None
     #: total simulated off-chip bytes moved by executor runs (counted
     #: once per run, not per stacked request)
     spill_bytes: int = 0
+    #: transfer seconds executor runs stalled on (inline copies plus
+    #: barrier waits on in-flight prefetch jobs; run-level sums)
+    spill_stall_s: float = 0.0
+    #: transfer seconds the prefetch engines hid behind compute
+    spill_hidden_s: float = 0.0
 
     @property
     def p50_s(self) -> float:
@@ -121,6 +133,12 @@ class ServingStats:
     @property
     def arena_hit_rate(self) -> float:
         return self.pool.hit_rate if self.pool is not None else 0.0
+
+    @property
+    def hidden_fraction(self) -> float:
+        """Share of off-chip transfer time hidden behind compute."""
+        busy = self.spill_stall_s + self.spill_hidden_s
+        return self.spill_hidden_s / busy if busy > 0 else 0.0
 
 
 @dataclass
@@ -183,6 +201,8 @@ class RequestScheduler:
         self._errors = 0
         self._batches = 0
         self._spill_bytes = 0
+        self._spill_stall_s = 0.0
+        self._spill_hidden_s = 0.0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -254,6 +274,8 @@ class RequestScheduler:
                 latencies_s=tuple(self._latencies),
                 pool=self.pool.stats(),
                 spill_bytes=self._spill_bytes,
+                spill_stall_s=self._spill_stall_s,
+                spill_hidden_s=self._spill_hidden_s,
             )
 
     # ------------------------------------------------------------------
@@ -289,13 +311,23 @@ class RequestScheduler:
             model = batch[0].model
             try:
                 executor = self.pool.acquire(model)
-            except BaseException as exc:
+            except Exception as exc:
                 for req in batch:
                     if req.future.set_running_or_notify_cancel():
                         req.future.set_exception(exc)
                 with self._cond:
                     self._errors += len(batch)
                 continue
+            except BaseException as exc:
+                # KeyboardInterrupt / SystemExit must stop the worker,
+                # not be swallowed as a request error: fail the drained
+                # futures so no client hangs, then let the thread die
+                for req in batch:
+                    if req.future.set_running_or_notify_cancel():
+                        req.future.set_exception(exc)
+                with self._cond:
+                    self._errors += len(batch)
+                raise
             try:
                 self._run_batch(model, batch, executor)
             finally:
@@ -350,11 +382,22 @@ class RequestScheduler:
         request; everything else falls back to back-to-back solo runs
         on the same hot arena. Runs always execute at the actual number
         of drained samples — a partial batch is never padded.
+
+        A kernel exception inside a stacked run does **not** fail the
+        whole stack: the chunk's requests are retried solo on the same
+        arena, so only the culpable request sees the exception. Failed
+        requests still contribute their latency (queue wait plus the
+        failed attempt's run time) to the aggregate — error paths must
+        not vanish from the percentiles. A non-``Exception`` escape
+        (``KeyboardInterrupt`` / ``SystemExit``) fails everything still
+        pending, then re-raises so the worker actually stops.
         """
         completed = 0
         errors = 0
         runs = 0
         spill_bytes = 0
+        spill_stall = 0.0
+        spill_hidden = 0.0
         latencies: list[float] = []
         capacity = getattr(executor, "batch_size", 1)
         if capacity > 1 and len(batch) > 1:
@@ -362,27 +405,66 @@ class RequestScheduler:
         else:
             groups = [[req] for req in batch]
 
-        for group in groups:
-            chunks = (
-                [group]
-                if len(group) <= capacity
-                else [
-                    group[i : i + capacity]
-                    for i in range(0, len(group), capacity)
-                ]
+        def run_solo(req: _Request) -> None:
+            """One solo run for a future already marked running."""
+            nonlocal completed, errors, runs
+            nonlocal spill_bytes, spill_stall, spill_hidden
+            t0 = time.perf_counter()
+            try:
+                outputs = executor.run(req.feeds, outputs=req.outputs)
+            except Exception as exc:
+                t1 = time.perf_counter()
+                req.future.set_exception(exc)
+                errors += 1
+                runs += 1
+                latencies.append(t1 - req.enqueued_at)
+                return
+            t1 = time.perf_counter()
+            run_stats = executor.last_stats
+            runs += 1
+            spill_bytes += run_stats.spill_bytes_total
+            spill_stall += run_stats.spill_stall_s
+            spill_hidden += run_stats.spill_hidden_s
+            stats = RequestStats(
+                model=model,
+                queue_s=t0 - req.enqueued_at,
+                run_s=t1 - t0,
+                measured_peak_bytes=run_stats.measured_peak_bytes,
+                arena_reused=run_stats.arena_reused,
+                batch_size=1,
+                spill_bytes=run_stats.spill_bytes_total,
+                spill_stall_s=run_stats.spill_stall_s,
+                spill_hidden_s=run_stats.spill_hidden_s,
             )
-            for chunk in chunks:
-                live = [
-                    req
-                    for req in chunk
-                    if req.future.set_running_or_notify_cancel()
-                ]
-                if not live:
-                    continue
-                stacked = len(live) > 1
-                t0 = time.perf_counter()
-                try:
-                    if stacked:
+            req.future.set_result(
+                InferenceResult(outputs=outputs, stats=stats)
+            )
+            completed += 1
+            latencies.append(stats.total_s)
+
+        try:
+            for group in groups:
+                chunks = (
+                    [group]
+                    if len(group) <= capacity
+                    else [
+                        group[i : i + capacity]
+                        for i in range(0, len(group), capacity)
+                    ]
+                )
+                for chunk in chunks:
+                    live = [
+                        req
+                        for req in chunk
+                        if req.future.set_running_or_notify_cancel()
+                    ]
+                    if not live:
+                        continue
+                    if len(live) == 1:
+                        run_solo(live[0])
+                        continue
+                    t0 = time.perf_counter()
+                    try:
                         feeds = {
                             k: np.stack(
                                 [np.asarray(req.feeds[k]) for req in live]
@@ -392,44 +474,63 @@ class RequestScheduler:
                         outputs = executor.run_batch(
                             feeds, outputs=live[0].outputs, batch=len(live)
                         )
-                    else:
-                        outputs = executor.run(
-                            live[0].feeds, outputs=live[0].outputs
-                        )
-                except BaseException as exc:
-                    for req in live:
-                        req.future.set_exception(exc)
-                    errors += len(live)
+                    except Exception:
+                        # one poisoned batchmate must not fail its
+                        # neighbours: retry each request solo so only
+                        # the culpable one gets the exception
+                        for req in live:
+                            run_solo(req)
+                        continue
+                    t1 = time.perf_counter()
+                    run_stats = executor.last_stats
                     runs += 1
-                    continue
-                t1 = time.perf_counter()
-                run_stats = executor.last_stats
-                runs += 1
-                run_spill = getattr(run_stats, "spill_bytes_total", 0)
-                spill_bytes += run_spill
-                for i, req in enumerate(live):
-                    scattered = (
-                        {k: v[i].copy() for k, v in outputs.items()}
-                        if stacked
-                        else outputs
-                    )
-                    stats = RequestStats(
-                        model=model,
-                        queue_s=t0 - req.enqueued_at,
-                        run_s=t1 - t0,
-                        measured_peak_bytes=run_stats.measured_peak_bytes,
-                        arena_reused=run_stats.arena_reused,
-                        batch_size=len(live),
-                        spill_bytes=run_spill,
-                    )
-                    req.future.set_result(
-                        InferenceResult(outputs=scattered, stats=stats)
-                    )
-                    completed += 1
-                    latencies.append(stats.total_s)
-        with self._cond:
-            self._requests += completed
-            self._errors += errors
-            self._batches += runs
-            self._spill_bytes += spill_bytes
-            self._latencies.extend(latencies)
+                    run_spill = run_stats.spill_bytes_total
+                    spill_bytes += run_spill
+                    spill_stall += run_stats.spill_stall_s
+                    spill_hidden += run_stats.spill_hidden_s
+                    for i, req in enumerate(live):
+                        scattered = {
+                            k: v[i].copy() for k, v in outputs.items()
+                        }
+                        stats = RequestStats(
+                            model=model,
+                            queue_s=t0 - req.enqueued_at,
+                            run_s=t1 - t0,
+                            measured_peak_bytes=run_stats.measured_peak_bytes,
+                            arena_reused=run_stats.arena_reused,
+                            batch_size=len(live),
+                            spill_bytes=run_spill,
+                            spill_stall_s=run_stats.spill_stall_s,
+                            spill_hidden_s=run_stats.spill_hidden_s,
+                        )
+                        req.future.set_result(
+                            InferenceResult(outputs=scattered, stats=stats)
+                        )
+                        completed += 1
+                        latencies.append(stats.total_s)
+        except BaseException as exc:
+            # a true BaseException (shutdown signal) aborts the batch:
+            # fail whatever is still pending so no client blocks
+            # forever, then re-raise out of the worker loop
+            for group in groups:
+                for req in group:
+                    fut = req.future
+                    if fut.done():
+                        continue
+                    try:
+                        fut.set_running_or_notify_cancel()
+                    except Exception:
+                        pass
+                    if not fut.done():
+                        fut.set_exception(exc)
+                        errors += 1
+            raise
+        finally:
+            with self._cond:
+                self._requests += completed
+                self._errors += errors
+                self._batches += runs
+                self._spill_bytes += spill_bytes
+                self._spill_stall_s += spill_stall
+                self._spill_hidden_s += spill_hidden
+                self._latencies.extend(latencies)

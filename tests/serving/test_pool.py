@@ -198,3 +198,35 @@ class TestPreload:
         pool.close()
         with pytest.raises(ServingError, match="closed"):
             pool.preload()
+
+
+class TestAdmissionDeadline:
+    def test_timeout_is_absolute_under_spurious_wakeups(self, registry):
+        """Notifications that don't free budget must not reset the
+        admission clock: acquire times out against an absolute
+        deadline, not per-wait."""
+        import time
+
+        budget = registry.arena_bytes("chain")
+        pool = ArenaPool(registry, budget=budget)
+        held = pool.acquire("chain")
+        stop = threading.Event()
+
+        def heckle():
+            while not stop.is_set():
+                with pool._cond:
+                    pool._cond.notify_all()
+                time.sleep(0.02)
+
+        heckler = threading.Thread(target=heckle)
+        heckler.start()
+        try:
+            t0 = time.monotonic()
+            with pytest.raises(AdmissionError, match="timed out"):
+                pool.acquire("chain", timeout=0.4)
+            elapsed = time.monotonic() - t0
+        finally:
+            stop.set()
+            heckler.join()
+            pool.release("chain", held)
+        assert 0.3 <= elapsed < 2.0

@@ -334,3 +334,145 @@ class TestConcurrentServing:
     def test_stats_percentiles_ordered(self, registry):
         report = run_load(registry, requests=16, clients=2, workers=2)
         assert 0.0 < report.p50_ms <= report.p99_ms
+
+
+class TestErrorPaths:
+    """Worker-loop failure semantics: poisoned batchmates, shutdown
+    signals, and error latencies in the aggregate stats."""
+
+    POISON = 7.5e33  # sentinel feed value the patched kernels choke on
+
+    def _request(self, graph, seed, feeds=None) -> _Request:
+        return _Request(
+            model="diamond",
+            feeds=feeds if feeds is not None else random_feeds(graph, seed=seed),
+            outputs=None,
+            future=Future(),
+            enqueued_at=time.perf_counter(),
+        )
+
+    def _poison_executor(self, executor):
+        """Make the executor raise whenever a feed carries the sentinel
+        (stand-in for a data-dependent kernel exception)."""
+        real_run, real_run_batch = executor.run, executor.run_batch
+
+        def run(feeds, outputs=None):
+            if any(np.any(np.asarray(v) == self.POISON) for v in feeds.values()):
+                raise ExecutionError("poisoned feed")
+            return real_run(feeds, outputs=outputs)
+
+        def run_batch(feeds, outputs=None, batch=None):
+            if any(np.any(np.asarray(v) == self.POISON) for v in feeds.values()):
+                raise ExecutionError("poisoned feed in stacked batch")
+            return real_run_batch(feeds, outputs=outputs, batch=batch)
+
+        executor.run, executor.run_batch = run, run_batch
+
+    def test_poisoned_batchmate_fails_alone_among_eight(self, registry):
+        """A kernel exception inside one stacked run_batch must fail
+        only the culpable request: the other seven are re-run solo and
+        answered bitwise-correct."""
+        graph = registry.get("diamond").graph
+        params = init_params(graph, 0)
+        pool = ArenaPool(registry, batch_size=8)
+        server = RequestScheduler(registry, pool, workers=1, max_batch=8)
+        requests = [self._request(graph, seed=i) for i in range(8)]
+        spec = graph.node(graph.input_nodes[0]).output.shape
+        poisoned = requests[3]
+        poisoned.feeds = {graph.input_nodes[0]: np.full(spec, self.POISON)}
+        executor = pool.acquire("diamond")
+        self._poison_executor(executor)
+        try:
+            server._run_batch("diamond", requests, executor)
+        finally:
+            pool.release("diamond", executor)
+        ref = Executor(graph, params=params)
+        for i, req in enumerate(requests):
+            if req is poisoned:
+                continue
+            result = req.future.result(timeout=5)
+            assert result.stats.batch_size == 1  # served by the solo retry
+            want = ref.run(random_feeds(graph, seed=i))
+            for name in want:
+                np.testing.assert_array_equal(want[name], result.outputs[name])
+        with pytest.raises(ExecutionError, match="poisoned feed"):
+            poisoned.future.result(timeout=5)
+        stats = server.stats()
+        assert stats.errors == 1
+        assert stats.requests == 7
+        # every request — the failed one included — has a latency
+        assert len(stats.latencies_s) == 8
+
+    def test_base_exception_fails_pending_futures_and_reraises(self, registry):
+        """KeyboardInterrupt inside a run aborts the batch: every
+        pending future fails (no client hangs) and the signal
+        propagates instead of being swallowed as a request error."""
+        graph = registry.get("diamond").graph
+        pool = ArenaPool(registry, batch_size=4)
+        server = RequestScheduler(registry, pool, workers=1, max_batch=4)
+        requests = [self._request(graph, seed=i) for i in range(4)]
+        executor = pool.acquire("diamond")
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        executor.run_batch = interrupted
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                server._run_batch("diamond", requests, executor)
+        finally:
+            pool.release("diamond", executor)
+        for req in requests:
+            assert isinstance(req.future.exception(timeout=5), KeyboardInterrupt)
+
+    def test_worker_thread_dies_on_base_exception(self, registry):
+        """SystemExit from the pool stops the worker loop; the drained
+        request's future carries the exception."""
+        graph = registry.get("chain").graph
+        pool = ArenaPool(registry)
+        server = RequestScheduler(registry, pool, workers=1).start()
+
+        def exiting_acquire(name, timeout=30.0):
+            raise SystemExit("going down")
+
+        server.pool = ArenaPool(registry)
+        server.pool.acquire = exiting_acquire
+        fut = server.submit("chain", random_feeds(graph))
+        with pytest.raises(SystemExit):
+            fut.result(timeout=10)
+        server._threads[0].join(timeout=10)
+        assert not server._threads[0].is_alive()
+        assert server.stats().errors == 1
+        server.shutdown(wait=True)
+
+    def test_error_latencies_reach_percentiles(self, registry):
+        """Failed runs must not vanish from the latency distribution."""
+        graph = registry.get("chain").graph
+        pool = ArenaPool(registry)
+        with RequestScheduler(registry, pool, workers=1) as server:
+            ok = server.submit("chain", random_feeds(graph, seed=0))
+            bad = server.submit("chain", {})  # missing feeds -> run fails
+            ok.result(timeout=30)
+            with pytest.raises(ExecutionError):
+                bad.result(timeout=30)
+        stats = server.stats()
+        assert stats.requests == 1
+        assert stats.errors == 1
+        assert len(stats.latencies_s) == 2  # the error's latency counts
+
+    def test_plan_execution_stats_fields_pinned_for_serving(self):
+        """The scheduler reads these PlanExecutionStats names directly;
+        renaming them must break loudly here, not silently zero the
+        serving stats."""
+        from dataclasses import fields
+
+        from repro.runtime.plan_executor import PlanExecutionStats
+
+        names = {f.name for f in fields(PlanExecutionStats)}
+        assert {
+            "measured_peak_bytes",
+            "arena_reused",
+            "spill_stall_s",
+            "spill_hidden_s",
+        } <= names
+        assert isinstance(PlanExecutionStats.spill_bytes_total, property)

@@ -174,3 +174,24 @@ class TestServingStatsSurface:
         assert report.spill_bytes == 0
         assert report.pool.spilled_builds == 0
         assert "off-chip spill traffic" not in report.summary()
+
+
+class TestPreloadSpillPricing:
+    def test_preload_auto_prices_resident_bytes_not_arenas(self, registry):
+        """Under spill='auto' a preloaded executor must charge its
+        spill plan's resident bytes against the budget, not the full
+        arena it no longer provisions."""
+        budget = _tight_budget(registry)
+        pool = ArenaPool(registry, budget, spill="auto")
+        built = pool.preload()
+        try:
+            assert built, "tight budget should still admit spilled builds"
+            stats = pool.stats()
+            assert stats.spilled_builds >= 1
+            priced = sum(pool._arena_cost(name) for name in built)
+            assert stats.resident_bytes == priced
+            assert stats.resident_bytes <= budget
+            arenas = sum(registry.get(name).arena_bytes for name in built)
+            assert stats.resident_bytes < arenas  # spill pricing, not arenas
+        finally:
+            pool.close()
