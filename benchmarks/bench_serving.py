@@ -14,6 +14,16 @@ compute — dominate, the paper's edge regime):
   capable pooled executors, preloaded), solo pooled (``max_batch 1``),
   and the fresh-allocation-per-request baseline.
 
+A third layer measures the scaling story:
+
+* **thread-workers sweep** (1/2/4) — the honest GIL baseline: NumPy
+  kernels hold the GIL for most of a micro-cell run, so thread workers
+  plateau. Recorded, not asserted — it is the wall the shards beat.
+* **sharded A/B** — the identical workload through ``shards=1`` vs
+  ``shards=N`` worker *processes* (sticky rendezvous routing, zero-copy
+  shared-memory tensor rings), plus a separate sharded run with
+  per-request **bitwise verification** on.
+
 Hard assertions:
 
 * batch 8 sustains **>= 2x** the samples/sec of batch 1 (executor-level
@@ -22,11 +32,19 @@ Hard assertions:
 * pooled serving stays **>= 2x** the fresh baseline's requests/sec (the
   PR-3 guarantee, unregressed);
 * a concurrent verified run (4+ clients, 2 models, stacking on) returns
-  outputs bitwise-equal to the reference executor for every request.
+  outputs bitwise-equal to the reference executor for every request —
+  and so does the sharded verified run, across processes;
+* sharded req/s >= 1.8x single-process at 4 shards (full mode; QUICK
+  asserts >= 1.0x at 2 shards). Process speedup needs processors: the
+  bar is only *asserted* when the host has the cores to honestly pass
+  it (>= 4 CPUs full, >= 2 quick); on smaller hosts the A/B still runs
+  and is recorded, correctness still asserted.
 
 Results are written machine-readable to
 ``benchmarks/results/BENCH_serving.json`` (req/s, samples/s, p50/p99,
-arena peaks) so the perf trajectory is tracked across PRs.
+arena peaks, workers sweep, per-shard stats) so the perf trajectory is
+tracked across PRs. The two tests merge into the same document, so CI
+can run them as separate steps (``-k "not sharded"`` / ``-k sharded``).
 
 Marked ``slow``; set ``REPRO_BENCH_QUICK=1`` (as CI does) to shrink the
 request counts.
@@ -34,8 +52,10 @@ request counts.
 
 from __future__ import annotations
 
+import json
 import os
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -51,11 +71,17 @@ QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 REQUESTS = 120 if QUICK else 320
 CLIENTS = 32  # deep client pool so worker queues actually form batches
 # one worker serialises kernel execution, so the A/B isolates per-run
-# dispatch amortisation; multi-worker scaling is the process-sharding
-# roadmap item, not this benchmark's subject
+# dispatch amortisation; multi-worker thread scaling is measured (and
+# shown to plateau) by the workers sweep, and beaten by the shards
 WORKERS = 1
 BATCH = 8
 EXEC_ROUNDS = 20 if QUICK else 60
+WORKER_SWEEP = (1, 2, 4)
+SHARDS = 2 if QUICK else 4
+CPUS = os.cpu_count() or 1
+#: the sharded speedup bar is asserted only on hosts with the cores to
+#: honestly pass it; below that it is recorded, correctness-only
+SPEEDUP_BAR = (1.0, 2) if QUICK else (1.8, 4)
 
 
 def build_registry() -> ModelRegistry:
@@ -152,13 +178,64 @@ def run() -> dict:
         preload=True,
         verify=True,
     )
+    # the GIL plateau the shards must beat: thread workers 1/2/4 over
+    # the identical stacked-batching workload (recorded, not asserted)
+    sweep = []
+    for w in WORKER_SWEEP:
+        r = run_load(
+            registry, requests=REQUESTS, clients=CLIENTS, workers=w,
+            max_batch=BATCH, reuse=True, preload=True, seed=0,
+        )
+        sweep.append(
+            {
+                "workers": w,
+                "req_per_s": r.rps,
+                "p50_ms": r.p50_ms,
+                "p99_ms": r.p99_ms,
+                "mean_batch": r.mean_batch,
+                "errors": r.errors,
+            }
+        )
     return {
         "exec": exec_rows,
         "batched": batched,
         "solo": solo,
         "fresh": fresh,
         "verified": verified,
+        "workers_sweep": sweep,
     }
+
+
+def run_sharded() -> dict:
+    """The sharded-vs-single A/B plus a sharded bitwise-verified run.
+
+    The timed pair differs in exactly one knob — ``shards`` — so the
+    ratio is the process-sharding win and nothing else. Verification is
+    deliberately *outside* the timed pair: the reference executor runs
+    on the parent's CPU and would serialise the very parallelism being
+    measured.
+    """
+    registry = build_registry()
+    common = dict(
+        requests=REQUESTS, clients=CLIENTS, workers=WORKERS,
+        max_batch=BATCH, seed=0, reuse=True, preload=True,
+    )
+    # warm first-touch costs (schedule cache, imports) outside the A/B
+    run_load(registry, requests=CLIENTS, clients=CLIENTS, workers=WORKERS)
+    single = run_load(registry, **common)
+    sharded = run_load(registry, shards=SHARDS, **common)
+    verified = run_load(
+        registry,
+        requests=max(24, REQUESTS // 4),
+        clients=CLIENTS,
+        workers=WORKERS,
+        max_batch=BATCH,
+        reuse=True,
+        preload=True,
+        verify=True,
+        shards=SHARDS,
+    )
+    return {"single": single, "sharded": sharded, "verified": verified}
 
 
 def render(result: dict) -> str:
@@ -197,35 +274,61 @@ def render(result: dict) -> str:
         "concurrent verification run (stacking on):",
         verified.summary(),
     ]
+    sweep = result["workers_sweep"]
+    base = sweep[0]["req_per_s"] or 1.0
+    lines += [
+        "",
+        f"thread-workers sweep (the GIL plateau, {CPUS} cpus):",
+        f"  {'workers':>7s} {'req/s':>10s} {'vs 1':>6s} {'p99 ms':>8s}",
+    ]
+    for row in sweep:
+        lines.append(
+            f"  {row['workers']:>7d} {row['req_per_s']:>10.1f}"
+            f" {row['req_per_s'] / base:>5.2f}x {row['p99_ms']:>8.2f}"
+        )
+    lines.append(
+        "  (NumPy kernels hold the GIL for most of a micro-cell run; "
+        "thread workers plateau — process shards are the multiplier)"
+    )
+    return "\n".join(lines)
+
+
+def render_sharded(result: dict) -> str:
+    single, sharded = result["single"], result["sharded"]
+    verified = result["verified"]
+    bar, need_cpus = SPEEDUP_BAR
+    speedup = sharded.rps / single.rps if single.rps else float("inf")
+    verdict = (
+        f"asserted >= {bar:.1f}x"
+        if CPUS >= need_cpus
+        else f"recorded only ({CPUS} cpus < {need_cpus}; bar {bar:.1f}x "
+        "needs cores to be honest)"
+    )
+    lines = [
+        f"sharded serving A/B: {SHARDS} processes vs single "
+        f"({'quick' if QUICK else 'full'} mode, {CPUS} cpus)",
+        "",
+        single.summary(),
+        "",
+        sharded.summary(),
+        "",
+        f"sharding speedup        : {speedup:9.2f}x requests/sec "
+        f"({SHARDS} shards vs 1 process; {verdict})",
+        "",
+        "sharded verification run (bitwise, across processes):",
+        verified.summary(),
+    ]
     return "\n".join(lines)
 
 
 def payload(result: dict) -> dict:
     """The machine-readable BENCH_serving.json document."""
 
-    def load_doc(report) -> dict:
-        return {
-            "requests": report.requests,
-            "clients": report.clients,
-            "workers": report.workers,
-            "max_batch": report.max_batch,
-            "batch_size": report.batch_size,
-            "reuse": report.reuse,
-            "preloaded": report.preloaded,
-            "req_per_s": report.rps,
-            "samples_per_s": report.samples_per_s,
-            "p50_ms": report.p50_ms,
-            "p99_ms": report.p99_ms,
-            "mean_batch": report.mean_batch,
-            "arena_hit_rate": report.pool.hit_rate,
-            "resident_arena_bytes": report.pool.resident_bytes,
-            "errors": report.errors,
-        }
-
     batched, solo, fresh = result["batched"], result["solo"], result["fresh"]
     return {
         "quick": QUICK,
         "batch": BATCH,
+        "cpus": CPUS,
         "executor": result["exec"],
         "serving": {
             "batched": load_doc(batched),
@@ -233,6 +336,7 @@ def payload(result: dict) -> dict:
             "fresh": load_doc(fresh),
             "verified": load_doc(result["verified"]),
         },
+        "workers_sweep": result["workers_sweep"],
         "speedups": {
             "batched_vs_solo_samples_per_s": (
                 batched.samples_per_s / solo.samples_per_s
@@ -247,10 +351,80 @@ def payload(result: dict) -> dict:
     }
 
 
+def load_doc(report) -> dict:
+    doc = {
+        "requests": report.requests,
+        "clients": report.clients,
+        "workers": report.workers,
+        "max_batch": report.max_batch,
+        "batch_size": report.batch_size,
+        "reuse": report.reuse,
+        "preloaded": report.preloaded,
+        "req_per_s": report.rps,
+        "samples_per_s": report.samples_per_s,
+        "p50_ms": report.p50_ms,
+        "p99_ms": report.p99_ms,
+        "mean_batch": report.mean_batch,
+        "arena_hit_rate": report.pool.hit_rate,
+        "resident_arena_bytes": report.pool.resident_bytes,
+        "errors": report.errors,
+        "shards": report.shards,
+    }
+    if report.shards > 1:
+        doc["shard_stats"] = [s.to_doc() for s in report.shard_stats]
+    return doc
+
+
+def sharded_payload(result: dict) -> dict:
+    """The ``sharded`` section of BENCH_serving.json."""
+    single, sharded = result["single"], result["sharded"]
+    bar, need_cpus = SPEEDUP_BAR
+    return {
+        "shards": SHARDS,
+        "cpus": CPUS,
+        "single": load_doc(single),
+        "sharded": load_doc(sharded),
+        "verified": load_doc(result["verified"]),
+        "speedup_req_per_s": (
+            sharded.rps / single.rps if single.rps else None
+        ),
+        "speedup_bar": bar,
+        "speedup_asserted": CPUS >= need_cpus,
+        "verified_bitwise": result["verified"].verified,
+    }
+
+
+def merged_payload(extra: dict) -> dict:
+    """Existing BENCH_serving.json keys + ``extra``.
+
+    The smoke test and the sharded test run as separate CI steps but
+    share one document; whichever runs second must not clobber the
+    first's sections.
+    """
+    path = Path(__file__).parent / "results" / "BENCH_serving.json"
+    doc: dict = {}
+    if path.exists():
+        try:
+            doc = json.loads(path.read_text())
+        except ValueError:
+            doc = {}
+        doc.pop("bench", None)
+        doc.pop("host", None)
+    doc.update(extra)
+    return doc
+
+
 def test_serving_smoke(benchmark, save_result, save_json):
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     save_result("serving_smoke", render(result))
-    save_json("serving", payload(result))
+    save_json("serving", merged_payload(payload(result)))
+
+    # the GIL-plateau sweep is recorded, not asserted — but it must at
+    # least have run cleanly at every worker count
+    assert [row["workers"] for row in result["workers_sweep"]] == list(
+        WORKER_SWEEP
+    )
+    assert all(row["errors"] == 0 for row in result["workers_sweep"])
 
     batched, solo, fresh = result["batched"], result["solo"], result["fresh"]
     verified = result["verified"]
@@ -294,5 +468,45 @@ def test_serving_smoke(benchmark, save_result, save_json):
     )
 
 
+def test_sharded_serving(save_result, save_json):
+    result = run_sharded()
+    save_result("serving_sharded", render_sharded(result))
+    save_json("serving", merged_payload({"sharded": sharded_payload(result)}))
+
+    single, sharded = result["single"], result["sharded"]
+    verified = result["verified"]
+    assert not single.errors and not sharded.errors and not verified.errors
+
+    # the zero-copy process boundary preserves the executor contract:
+    # every response, scattered out of a stacked run in some worker
+    # process and shipped back through the response ring, is bitwise
+    # the reference executor's
+    assert verified.shards == SHARDS
+    assert verified.verified is True
+
+    # sticky routing spread the suite across shards and kept arenas
+    # warm inside each: requests flowed to >= 2 shards, models never
+    # duplicated, and each busy shard's pool re-served its arenas
+    stats = sharded.shard_stats
+    assert len(stats) == SHARDS
+    assert sorted(m for s in stats for m in s.models) == list(sharded.models)
+    busy = [s for s in stats if s.requests > 0]
+    assert len(busy) >= min(len(sharded.models), SHARDS)
+    for s in busy:
+        assert s.pool is not None and s.pool.hits > 0, s
+        assert s.req_ring_peak > 0
+
+    bar, need_cpus = SPEEDUP_BAR
+    speedup = sharded.rps / single.rps if single.rps else float("inf")
+    if CPUS >= need_cpus:
+        assert speedup >= bar, (
+            f"sharded {sharded.rps:.1f} req/s vs single {single.rps:.1f} "
+            f"req/s ({speedup:.2f}x < {bar:.1f}x at {SHARDS} shards, "
+            f"{CPUS} cpus)"
+        )
+
+
 if __name__ == "__main__":  # pragma: no cover - manual profiling entry
     print(render(run()))
+    print()
+    print(render_sharded(run_sharded()))

@@ -337,6 +337,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    if args.shards > 1 and args.no_reuse:
+        print(
+            "error: --shards requires arena reuse; drop --no-reuse "
+            "(sharding exists to keep per-shard arenas warm)",
+            file=sys.stderr,
+        )
+        return 2
 
     registry = ModelRegistry()
     try:
@@ -393,6 +403,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             spill_policy=args.spill_policy,
             prefetch=not args.no_prefetch,
             link=_offchip_link(args),
+            shards=args.shards,
         )
     except ReproError as exc:
         print(f"error: serving run failed: {exc}", file=sys.stderr)
@@ -407,6 +418,10 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     from repro.exceptions import ReproError
     from repro.models.suite import serving_suite
     from repro.serving import ModelRegistry, run_load
+
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
 
     registry = ModelRegistry()
     try:
@@ -447,8 +462,9 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
                  prefetch=not args.no_prefetch, link=link)
         pooled = run_load(
             registry, max_batch=args.max_batch, reuse=True,
-            preload=args.preload, **common
+            preload=args.preload, shards=args.shards, **common
         )
+        # the fresh-per-request baseline is inherently single-process
         fresh = run_load(registry, max_batch=1, reuse=False, **common)
     except ReproError as exc:
         print(f"error: serving run failed: {exc}", file=sys.stderr)
@@ -461,7 +477,9 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     speedup = pooled.rps / fresh.rps if fresh.rps else float("inf")
     print(f"arena reuse speedup     : {speedup:9.2f}x requests/sec "
           f"(stacked batch {pooled.batch_size}, "
-          f"mean {pooled.mean_batch:.2f})")
+          f"mean {pooled.mean_batch:.2f}"
+          + (f", {pooled.shards} shards" if pooled.shards > 1 else "")
+          + ")")
     return 0
 
 
@@ -692,6 +710,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--workers", type=int, default=4,
             help="scheduler worker threads (default 4)",
+        )
+        p.add_argument(
+            "--shards", type=int, default=1,
+            help="worker PROCESSES to shard serving across (default 1: "
+            "in-process threads). Each shard owns its own arena pool + "
+            "scheduler; models are sticky-routed by rendezvous hash and "
+            "tensors cross zero-copy shared-memory rings",
         )
         p.add_argument(
             "--max-batch", type=int, default=4,

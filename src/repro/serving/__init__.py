@@ -1,6 +1,6 @@
 """Concurrent artifact-serving runtime over preallocated arenas.
 
-The deployment story in three layers:
+The deployment story in four layers:
 
 * :class:`~repro.serving.registry.ModelRegistry` — loads and
   signature-verifies :class:`~repro.compiler.model.CompiledModel`
@@ -10,7 +10,11 @@ The deployment story in three layers:
   bounded by a device memory budget with admission control;
 * :class:`~repro.serving.scheduler.RequestScheduler` — dispatches
   concurrent requests to pooled executors across threads, with optional
-  micro-batching of same-model requests and per-request stats.
+  micro-batching of same-model requests and per-request stats;
+* :class:`~repro.serving.shard.ShardedScheduler` — the process-level
+  multiplier: N worker processes (one pool + scheduler each), sticky
+  rendezvous model→shard routing, zero-copy shared-memory tensor
+  rings, behind the same ``submit() -> Future`` API.
 
 >>> registry = ModelRegistry()
 >>> registry.load("model.json")
@@ -28,6 +32,12 @@ from repro.serving.scheduler import (
     RequestStats,
     ServingStats,
 )
+from repro.serving.shard import (
+    ShardedScheduler,
+    ShardStats,
+    balanced_routing,
+    rendezvous_shard,
+)
 
 __all__ = [
     "ArenaPool",
@@ -38,5 +48,9 @@ __all__ = [
     "RequestScheduler",
     "RequestStats",
     "ServingStats",
+    "ShardStats",
+    "ShardedScheduler",
+    "balanced_routing",
+    "rendezvous_shard",
     "run_load",
 ]

@@ -22,12 +22,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.exceptions import ServingError
 from repro.memsim import OffchipLink
 from repro.runtime.executor import Executor, init_params, random_feeds
 from repro.scheduler.device import DeviceSpec
 from repro.serving.pool import ArenaPool, PoolStats
 from repro.serving.registry import ModelRegistry
 from repro.serving.scheduler import RequestScheduler
+from repro.serving.shard import ShardedScheduler, ShardStats
 
 __all__ = ["LoadReport", "run_load"]
 
@@ -65,6 +67,12 @@ class LoadReport:
     #: over every executor run in the window)
     spill_stall_s: float = 0.0
     spill_hidden_s: float = 0.0
+    #: worker processes the run was sharded across (1 = in-process
+    #: thread scheduler, no IPC)
+    shards: int = 1
+    #: per-shard snapshots when ``shards > 1`` (sticky routing, ring
+    #: occupancy, child-side queue depth and spill accounting)
+    shard_stats: tuple[ShardStats, ...] = ()
 
     @property
     def rps(self) -> float:
@@ -103,6 +111,23 @@ class LoadReport:
             f"  mean stacked batch    : {self.mean_batch:7.2f}",
             f"  resident arena bytes  : {self.pool.resident_bytes / 1024:7.1f}KB",
         ]
+        if self.shards > 1:
+            lines.append(
+                f"  shards                : {self.shards} processes, "
+                "sticky rendezvous routing"
+            )
+            for s in self.shard_stats:
+                rps = s.requests / self.wall_s if self.wall_s else 0.0
+                state = "alive" if s.alive else "DEAD"
+                lines.append(
+                    f"    shard {s.shard} ({state}): {rps:7.1f} req/s | "
+                    f"models {', '.join(s.models) or '-'} | "
+                    f"queue {s.queue_depth} | "
+                    f"ring peak {s.req_ring_peak}/{s.req_slots} req, "
+                    f"{s.resp_ring_peak}/{s.resp_slots} resp | "
+                    f"stall/hidden {s.spill_stall_s * 1e3:.1f}/"
+                    f"{s.spill_hidden_s * 1e3:.1f} ms"
+                )
         if self.spill != "never" or self.spill_bytes:
             lines.append(
                 f"  off-chip spill traffic: {self.spill_bytes / 1024:7.1f}KB "
@@ -144,6 +169,7 @@ def run_load(
     spill_policy: str = "belady",
     prefetch: bool = True,
     link: OffchipLink | None = None,
+    shards: int = 1,
 ) -> LoadReport:
     """Drive ``requests`` inferences from ``clients`` concurrent threads.
 
@@ -165,25 +191,62 @@ def run_load(
     way. ``prefetch=False`` forces spilled executors' transfers inline
     (the stall-everything baseline); ``link`` attaches a modeled
     off-chip bandwidth/latency to every fetch and writeback.
+
+    ``shards > 1`` swaps the in-process thread scheduler for a
+    :class:`~repro.serving.shard.ShardedScheduler`: that many worker
+    *processes*, each with its own pool and scheduler (every knob above
+    passes through), models sticky-routed by rendezvous hash, tensors
+    crossing over zero-copy shared-memory rings. The client loop,
+    verification and reporting are identical — only the server behind
+    ``submit()`` changes.
     """
     names = registry.names()
     if not names:
         raise ValueError("registry has no models to serve")
+    if shards < 1:
+        raise ServingError(f"shards must be >= 1, got {shards}")
     if batch_size is None:
         batch_size = max_batch if reuse else 1
-    pool = ArenaPool(
-        registry,
-        budget,
-        seed=seed,
-        scrub=scrub,
-        reuse=reuse,
-        batch_size=batch_size,
-        spill=spill,
-        spill_policy=spill_policy,
-        prefetch=prefetch,
-        link=link,
+    pool: ArenaPool | None = None
+    if shards > 1:
+        # raises ServingError on reuse=False: sharding exists to keep
+        # per-shard arenas warm, the no-reuse baseline is single-process
+        server_ctx: ShardedScheduler | RequestScheduler = ShardedScheduler(
+            registry,
+            shards=shards,
+            workers=workers,
+            max_batch=max_batch,
+            batch_size=batch_size,
+            budget=budget,
+            seed=seed,
+            scrub=scrub,
+            reuse=reuse,
+            spill=spill,
+            spill_policy=spill_policy,
+            prefetch=prefetch,
+            link=link,
+            preload=preload,
+            ring_slots=max(16, 2 * -(-clients // shards)),
+        )
+    else:
+        pool = ArenaPool(
+            registry,
+            budget,
+            seed=seed,
+            scrub=scrub,
+            reuse=reuse,
+            batch_size=batch_size,
+            spill=spill,
+            spill_policy=spill_policy,
+            prefetch=prefetch,
+            link=link,
+        )
+        server_ctx = RequestScheduler(
+            registry, pool, workers=workers, max_batch=max_batch
+        )
+    preloaded = (
+        bool(pool.preload()) if (preload and pool is not None) else False
     )
-    preloaded = bool(pool.preload()) if preload else False
     references = (
         {
             name: Executor(
@@ -221,9 +284,8 @@ def run_load(
                     with lock:
                         mismatches.append(i)
 
-    with RequestScheduler(
-        registry, pool, workers=workers, max_batch=max_batch
-    ) as server:
+    shard_stats: tuple[ShardStats, ...] = ()
+    with server_ctx as server:
         t0 = time.perf_counter()
         threads = [
             threading.Thread(target=client, args=(c, server), name=f"client-{c}")
@@ -235,8 +297,17 @@ def run_load(
             t.join()
         wall_s = time.perf_counter() - t0
         stats = server.stats()
+        if isinstance(server, ShardedScheduler):
+            shard_stats = tuple(server.shard_stats(refresh=False))
+            preloaded = preload and stats.pool is not None and stats.pool.preloads > 0
 
-    pool.close()
+    if pool is not None:
+        pool.close()
+    pool_stats = stats.pool
+    if pool_stats is None:  # every shard died before the snapshot
+        pool_stats = PoolStats(
+            **{name: 0 for name in PoolStats.__dataclass_fields__}
+        )
     return LoadReport(
         requests=requests,
         clients=clients,
@@ -248,7 +319,7 @@ def run_load(
         p50_ms=stats.p50_s * 1e3,
         p99_ms=stats.p99_s * 1e3,
         mean_batch=stats.mean_batch,
-        pool=stats.pool,
+        pool=pool_stats,
         errors=errors,
         verified=(not mismatches) if verify else None,
         mismatches=tuple(mismatches),
@@ -259,4 +330,6 @@ def run_load(
         prefetch=prefetch,
         spill_stall_s=stats.spill_stall_s,
         spill_hidden_s=stats.spill_hidden_s,
+        shards=shards,
+        shard_stats=shard_stats,
     )

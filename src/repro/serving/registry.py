@@ -33,6 +33,10 @@ class ModelRegistry:
 
     def __init__(self) -> None:
         self._models: dict[str, CompiledModel] = {}
+        #: artifact path per name, for models that came from disk —
+        #: lets a shard worker process re-open (and re-verify) the
+        #: artifact instead of pickling the model across the fork
+        self._paths: dict[str, Path] = {}
 
     # ------------------------------------------------------------------
     def register(self, model: CompiledModel, name: str | None = None) -> str:
@@ -81,7 +85,15 @@ class ModelRegistry:
             model = CompiledModel.load(path)
         except (ReproError, OSError, ValueError, KeyError) as exc:
             raise ServingError(f"cannot load artifact {path}: {exc}") from exc
-        return self.register(model, name)
+        name = self.register(model, name)
+        self._paths[name] = Path(path).resolve()
+        return name
+
+    def path_of(self, name: str) -> Path | None:
+        """The artifact file ``name`` was loaded from (``None`` for
+        in-memory registrations)."""
+        self.get(name)
+        return self._paths.get(name)
 
     # ------------------------------------------------------------------
     def get(self, name: str) -> CompiledModel:

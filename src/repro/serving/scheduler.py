@@ -265,6 +265,12 @@ class RequestScheduler:
             self._cond.notify()
         return fut
 
+    @property
+    def queue_depth(self) -> int:
+        """Requests accepted but not yet picked up by a worker."""
+        with self._cond:
+            return len(self._queue)
+
     def stats(self) -> ServingStats:
         with self._cond:
             return ServingStats(

@@ -1,0 +1,1200 @@
+"""Process-sharded serving: multi-process front end over shared-memory rings.
+
+The thread-based :class:`~repro.serving.scheduler.RequestScheduler`
+scales until the GIL says stop — the NumPy kernels hold it for most of
+a micro-cell run, so ``workers=4`` buys little over ``workers=1``.
+:class:`ShardedScheduler` is the process-level answer: it spawns N
+worker **processes**, each owning its own
+:class:`~repro.serving.pool.ArenaPool` and
+:class:`~repro.serving.scheduler.RequestScheduler` (every serving knob
+— ``batch_size``, ``spill``, ``prefetch``, ``link`` — passes through),
+behind the same ``submit() -> Future`` API, so ``run_load``, ``serve``
+and ``bench-serve`` drive it unchanged.
+
+Two properties make it more than ``multiprocessing.Pool``:
+
+* **Sticky model → shard routing.** Models are assigned to shards by a
+  rendezvous (highest-random-weight) hash of their canonical *graph
+  signature*: stable across runs, minimally disturbed when the shard
+  count changes, and deterministic — so every request for a model
+  lands on the one shard whose arenas are already warm, and
+  ``preload()`` never builds the same model twice.
+* **Zero-copy tensor rings.** Feed and output tensors never pickle.
+  Each shard owns two ``multiprocessing.shared_memory`` ring buffers
+  (request and response) carved into fixed-size slots; the front end
+  writes feed tensors into a request slot and sends only fixed-size
+  ``(name, dtype, shape, offset)`` descriptors over the control pipe,
+  the worker maps them back as NumPy views straight into the executor,
+  and output tensors come back the same way. The pickled control
+  message is the same size for a 1 KB and a 1 GB tensor.
+
+Lifecycle is explicit and safe: ``SIGTERM``/``SIGINT`` in a worker
+drains its in-flight requests before exit, ``close()`` is idempotent,
+the parent always unlinks every shared-memory segment (with a
+``weakref.finalize`` backstop), and a shard that dies — during preload
+or mid-load — fails fast: its in-flight futures error with
+:class:`~repro.exceptions.ServingError` instead of hanging, and other
+shards keep serving.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import os
+import shutil
+import signal
+import tempfile
+import threading
+import time
+import weakref
+from concurrent.futures import Future
+from dataclasses import asdict, dataclass
+from multiprocessing import get_all_start_methods, get_context
+from multiprocessing.shared_memory import SharedMemory
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from repro.exceptions import ServingError
+from repro.memsim import OffchipLink
+from repro.serving.pool import ArenaPool, PoolStats
+from repro.serving.registry import ModelRegistry
+from repro.serving.scheduler import (
+    InferenceResult,
+    RequestScheduler,
+    RequestStats,
+    ServingStats,
+)
+
+__all__ = [
+    "ShardStats",
+    "ShardedScheduler",
+    "balanced_routing",
+    "rendezvous_shard",
+]
+
+#: alignment of every tensor payload inside a ring slot (cache line)
+_ALIGN = 64
+
+_START_METHOD = "fork" if "fork" in get_all_start_methods() else "spawn"
+_MP = get_context(_START_METHOD)
+
+
+# ----------------------------------------------------------------------
+# sticky routing: rendezvous hashing on the graph signature
+# ----------------------------------------------------------------------
+def _rendezvous_score(key: str, shard: int) -> int:
+    digest = hashlib.blake2b(
+        f"{key}|{shard}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def rendezvous_shard(key: str, shards: int) -> int:
+    """Highest-random-weight shard for ``key`` (deterministic).
+
+    Unlike ``hash(key) % shards`` this is stable across interpreter
+    runs (no hash randomisation) and rebalances *minimally*: going from
+    ``n`` to ``n + 1`` shards moves only the keys whose new shard wins
+    the rendezvous — roughly ``1 / (n + 1)`` of them — and every moved
+    key moves *to the new shard*, never between surviving ones.
+    """
+    if shards < 1:
+        raise ServingError(f"shards must be >= 1, got {shards}")
+    return max(range(shards), key=lambda i: _rendezvous_score(key, i))
+
+
+def balanced_routing(keys: Mapping[str, str], shards: int) -> dict[str, int]:
+    """Sticky, balanced model→shard assignment for a whole registry.
+
+    Pure rendezvous on a *small* model set can pile everything onto one
+    shard by hash luck — which would quietly erase the sharding win.
+    This keeps the rendezvous preference (each model goes to its
+    highest-scoring shard) but restricts the choice to the currently
+    least-loaded shards, so ``n`` models spread over ``min(n, shards)``
+    shards. Models are placed in signature order, so the assignment is
+    deterministic for a given (model set, shard count) — every restart
+    routes the same model to the same warm shard.
+    """
+    if shards < 1:
+        raise ServingError(f"shards must be >= 1, got {shards}")
+    load = [0] * shards
+    routing: dict[str, int] = {}
+    for name in sorted(keys, key=lambda n: (keys[n], n)):
+        floor = min(load)
+        candidates = [i for i in range(shards) if load[i] == floor]
+        shard = max(
+            candidates, key=lambda i: _rendezvous_score(keys[name], i)
+        )
+        routing[name] = shard
+        load[shard] += 1
+    return routing
+
+
+# ----------------------------------------------------------------------
+# shared-memory tensor rings
+# ----------------------------------------------------------------------
+def _attach_shm(name: str) -> SharedMemory:
+    """Attach to an existing segment a worker does not own.
+
+    Pre-3.13 ``SharedMemory`` registers the segment with the resource
+    tracker on *attach*, not just create (bpo-39959). Under ``spawn``
+    the child has its own tracker, which would warn "leaked
+    shared_memory" at exit — worse, *unlink* the parent's live segment
+    while cleaning up — so the child must unregister. Under ``fork``
+    the tracker process is shared with the parent: the attach-side
+    re-register is an idempotent set-add, and unregistering here would
+    strip the parent's entry and break its own ``unlink``. Python 3.13
+    grew ``track=False`` for exactly this dance.
+    """
+    try:
+        return SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        shm = SharedMemory(name=name)
+        if _START_METHOD == "spawn":
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+        return shm
+
+
+def _align(offset: int) -> int:
+    return -(-offset // _ALIGN) * _ALIGN
+
+
+class _TensorRing:
+    """A shared-memory segment carved into fixed-size tensor slots.
+
+    ``write`` packs a dict of arrays into one slot and returns the
+    fixed-size descriptors ``(name, dtype, shape, offset)`` that cross
+    the control pipe; ``read`` maps descriptors back to zero-copy NumPy
+    views over the segment. Slot bookkeeping (who may write which slot)
+    lives with the writing side — :class:`_SlotPool` — not here.
+    """
+
+    def __init__(
+        self, slot_bytes: int, slots: int, *, name: str | None = None
+    ) -> None:
+        self.slot_bytes = slot_bytes
+        self.slots = slots
+        if name is None:
+            self.shm = SharedMemory(create=True, size=slot_bytes * slots)
+            self.owner = True
+        else:
+            self.shm = _attach_shm(name)
+            self.owner = False
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def write(
+        self, slot: int, arrays: Mapping[str, np.ndarray]
+    ) -> tuple[tuple[str, str, tuple[int, ...], int], ...]:
+        """Pack ``arrays`` into ``slot``; returns pipe descriptors."""
+        base = slot * self.slot_bytes
+        cursor = 0
+        descs = []
+        for name, array in arrays.items():
+            a = np.ascontiguousarray(array)
+            cursor = _align(cursor)
+            if cursor + a.nbytes > self.slot_bytes:
+                raise ServingError(
+                    f"tensor payload exceeds the ring slot: {name!r} at "
+                    f"offset {cursor} + {a.nbytes} bytes > slot "
+                    f"{self.slot_bytes} bytes"
+                )
+            if a.size:
+                view = np.frombuffer(
+                    self.shm.buf,
+                    dtype=a.dtype,
+                    count=a.size,
+                    offset=base + cursor,
+                )
+                view[...] = a.ravel()
+            descs.append((name, a.dtype.str, tuple(a.shape), base + cursor))
+            cursor += a.nbytes
+        return tuple(descs)
+
+    def read(
+        self, descs: Iterable[tuple[str, str, tuple[int, ...], int]]
+    ) -> dict[str, np.ndarray]:
+        """Descriptors back to zero-copy views into the segment."""
+        out: dict[str, np.ndarray] = {}
+        for name, dtype, shape, offset in descs:
+            dt = np.dtype(dtype)
+            count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            out[name] = np.frombuffer(
+                self.shm.buf, dtype=dt, count=count, offset=offset
+            ).reshape(shape)
+        return out
+
+    def close(self) -> None:
+        try:
+            self.shm.close()
+        except BufferError:
+            # a NumPy view over the segment is still alive somewhere;
+            # the mapping is released when the last view dies (or the
+            # process exits) — unlink below does not need it closed
+            pass
+
+    def unlink(self) -> None:
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double close
+            pass
+
+
+class _SlotPool:
+    """Free-slot bookkeeping for one ring (the writing side owns it)."""
+
+    def __init__(self, slots: int) -> None:
+        self.slots = slots
+        self._free = set(range(slots))
+        self._cond = threading.Condition()
+        self._dead = False
+        self.peak = 0
+
+    def acquire(self, timeout: float | None = 30.0) -> int:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while not self._free:
+                if self._dead:
+                    raise ServingError("ring is closed")
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if (
+                    remaining is not None and remaining <= 0.0
+                ) or not self._cond.wait(timeout=remaining):
+                    raise ServingError(
+                        f"timed out after {timeout}s waiting for a free "
+                        f"ring slot ({self.slots} slots all in flight)"
+                    )
+            if self._dead:
+                raise ServingError("ring is closed")
+            slot = self._free.pop()
+            self.peak = max(self.peak, self.slots - len(self._free))
+            return slot
+
+    def release(self, slot: int) -> None:
+        with self._cond:
+            self._free.add(slot)
+            self._cond.notify()
+
+    def in_use(self) -> int:
+        with self._cond:
+            return self.slots - len(self._free)
+
+    def kill(self) -> None:
+        """Wake every waiter with an error (the shard died)."""
+        with self._cond:
+            self._dead = True
+            self._cond.notify_all()
+
+
+def _slot_bytes_for(models: Iterable) -> int:
+    """One slot must hold any request or response payload of ``models``:
+    the sum of every node's (aligned) float64 tensor bytes bounds both
+    the feeds and any requested output subset."""
+    worst = 4096
+    for model in models:
+        total = 0
+        for node in model.graph:
+            elems = int(np.prod(node.output.shape, dtype=np.int64))
+            total += _align(max(1, elems) * 8)
+        worst = max(worst, total)
+    return worst
+
+
+# ----------------------------------------------------------------------
+# worker-process side
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _ShardConfig:
+    """Everything a worker process needs to build its serving stack.
+
+    Only primitives, paths and small frozen dataclasses — picklable
+    under ``spawn`` as well as ``fork``. Models arrive as artifact
+    *paths* (re-opened and signature-verified in the child), never as
+    pickled graphs.
+    """
+
+    shard: int
+    models: tuple[tuple[str, str], ...]  # (serving name, artifact path)
+    workers: int
+    max_batch: int
+    batch_size: int
+    budget_bytes: int | None
+    seed: int
+    scrub: str
+    spill: str
+    spill_policy: str
+    prefetch: bool
+    link: OffchipLink | None
+    preload: bool
+    req_ring: tuple[str, int, int]  # (shm name, slot_bytes, slots)
+    resp_ring: tuple[str, int, int]
+
+
+def _shard_worker_main(cfg: _ShardConfig, conn) -> None:  # pragma: no cover
+    # covered by the cross-process tests; coverage can't see children
+    try:
+        _ShardWorker(cfg, conn).run()
+    except BaseException as exc:
+        try:
+            conn.send(("fatal", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+        os._exit(1)
+    os._exit(0)
+
+
+class _ShardWorker:
+    """The event loop that runs inside one shard process."""
+
+    def __init__(self, cfg: _ShardConfig, conn) -> None:
+        self.cfg = cfg
+        self.conn = conn
+        self._send_lock = threading.Lock()
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+        self._draining = False
+
+        registry = ModelRegistry()
+        for name, path in cfg.models:
+            registry.load(path, name)
+        self.pool = ArenaPool(
+            registry,
+            cfg.budget_bytes,
+            seed=cfg.seed,
+            scrub=cfg.scrub,
+            reuse=True,
+            batch_size=cfg.batch_size,
+            spill=cfg.spill,
+            spill_policy=cfg.spill_policy,
+            prefetch=cfg.prefetch,
+            link=cfg.link,
+        )
+        self.scheduler = RequestScheduler(
+            registry,
+            self.pool,
+            workers=cfg.workers,
+            max_batch=cfg.max_batch,
+        ).start()
+        preloaded = self.pool.preload() if cfg.preload else []
+
+        req_name, req_slot_bytes, req_slots = cfg.req_ring
+        resp_name, resp_slot_bytes, resp_slots = cfg.resp_ring
+        self.req_ring = _TensorRing(req_slot_bytes, req_slots, name=req_name)
+        self.resp_ring = _TensorRing(
+            resp_slot_bytes, resp_slots, name=resp_name
+        )
+        self.resp_slots = _SlotPool(resp_slots)
+
+        signal.signal(signal.SIGTERM, self._signal)
+        signal.signal(signal.SIGINT, self._signal)
+        self._send(("ready", os.getpid(), tuple(preloaded)))
+
+    # ------------------------------------------------------------------
+    def _signal(self, signum, frame) -> None:
+        # drain: finish everything already accepted, then exit; the
+        # main loop keeps answering free_resp so responses can retire
+        self._draining = True
+
+    def _send(self, msg: tuple) -> None:
+        with self._send_lock:
+            self.conn.send(msg)
+
+    def _send_error(self, req_id: int, exc: BaseException, req_slot: int) -> None:
+        try:
+            self._send(("err", req_id, exc, req_slot))
+        except Exception:
+            # unpicklable exception: degrade to a string-carrying one
+            try:
+                self._send(
+                    (
+                        "err",
+                        req_id,
+                        ServingError(f"{type(exc).__name__}: {exc}"),
+                        req_slot,
+                    )
+                )
+            except Exception:  # parent is gone; nothing left to tell
+                pass
+
+    # ------------------------------------------------------------------
+    def _on_request(self, req_id: int, model, outputs, descs, req_slot) -> None:
+        if self._draining:
+            self._send_error(
+                req_id, ServingError("shard is draining"), req_slot
+            )
+            return
+        try:
+            feeds = self.req_ring.read(descs)
+            future = self.scheduler.submit(model, feeds, outputs)
+        except Exception as exc:
+            self._send_error(req_id, exc, req_slot)
+            return
+        with self._pending_lock:
+            self._pending += 1
+        future.add_done_callback(
+            lambda fut: self._on_done(req_id, req_slot, fut)
+        )
+
+    def _on_done(self, req_id: int, req_slot: int, future: Future) -> None:
+        """Runs on a scheduler worker thread when a request resolves."""
+        try:
+            exc = future.exception()
+            if exc is not None:
+                self._send_error(req_id, exc, req_slot)
+                return
+            result: InferenceResult = future.result()
+            try:
+                resp_slot = self.resp_slots.acquire(timeout=60.0)
+            except ServingError as slot_exc:
+                self._send_error(req_id, slot_exc, req_slot)
+                return
+            try:
+                descs = self.resp_ring.write(resp_slot, result.outputs)
+            except Exception as write_exc:
+                self.resp_slots.release(resp_slot)
+                self._send_error(req_id, write_exc, req_slot)
+                return
+            self._send(
+                ("res", req_id, result.stats, descs, req_slot, resp_slot)
+            )
+        finally:
+            with self._pending_lock:
+                self._pending -= 1
+
+    def _stats_doc(self) -> dict[str, Any]:
+        stats = self.scheduler.stats()
+        return {
+            "requests": stats.requests,
+            "errors": stats.errors,
+            "batches": stats.batches,
+            "spill_bytes": stats.spill_bytes,
+            "spill_stall_s": stats.spill_stall_s,
+            "spill_hidden_s": stats.spill_hidden_s,
+            "queue_depth": self.scheduler.queue_depth,
+            "resp_ring_peak": self.resp_slots.peak,
+            "pool": asdict(stats.pool) if stats.pool is not None else None,
+        }
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        shutdown = False
+        while True:
+            if (shutdown or self._draining) and self._pending_count() == 0:
+                break
+            if not self.conn.poll(0.05):
+                continue
+            try:
+                msg = self.conn.recv()
+            except (EOFError, OSError):
+                break  # parent is gone: drain and leave
+            kind = msg[0]
+            if kind == "req":
+                _, req_id, model, outputs, descs, req_slot = msg
+                if shutdown:
+                    self._send_error(
+                        req_id, ServingError("shard is draining"), req_slot
+                    )
+                else:
+                    self._on_request(req_id, model, outputs, descs, req_slot)
+            elif kind == "free_resp":
+                self.resp_slots.release(msg[1])
+            elif kind == "stats":
+                self._send(("stats_res", msg[1], self._stats_doc()))
+            elif kind == "shutdown":
+                shutdown = True
+        # answer whatever is still sitting unread in the pipe: requests
+        # that lost the race against the drain decision get a clean
+        # error here instead of silently dying with the EOF
+        while True:
+            try:
+                if not self.conn.poll(0):
+                    break
+                msg = self.conn.recv()
+            except (EOFError, OSError):
+                break
+            if msg[0] == "req":
+                self._send_error(
+                    msg[1], ServingError("shard is draining"), msg[5]
+                )
+            elif msg[0] == "free_resp":
+                self.resp_slots.release(msg[1])
+        self.scheduler.shutdown(wait=True)
+        self.pool.close()
+        self.req_ring.close()
+        self.resp_ring.close()
+        try:
+            self._send(("bye",))
+        except Exception:
+            pass
+        self.conn.close()
+
+    def _pending_count(self) -> int:
+        with self._pending_lock:
+            return self._pending
+
+
+# ----------------------------------------------------------------------
+# front-end side
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardStats:
+    """One shard's slice of the serving run (see
+    :meth:`ShardedScheduler.shard_stats`)."""
+
+    shard: int
+    pid: int
+    alive: bool
+    #: models the rendezvous hash routes to this shard
+    models: tuple[str, ...]
+    #: requests completed through this shard (front-end count)
+    requests: int
+    errors: int
+    #: most requests ever in flight to this shard at once
+    inflight_peak: int
+    #: child-side scheduler queue depth at snapshot time
+    queue_depth: int
+    #: executor runs inside the child (requests / batches = stacking)
+    batches: int
+    spill_bytes: int
+    spill_stall_s: float
+    spill_hidden_s: float
+    #: request-ring occupancy: slots, high-water mark
+    req_slots: int
+    req_ring_peak: int
+    resp_slots: int
+    resp_ring_peak: int
+    pool: PoolStats | None
+
+    def to_doc(self) -> dict[str, Any]:
+        doc = asdict(self)
+        doc["pool"] = asdict(self.pool) if self.pool is not None else None
+        doc["models"] = list(self.models)
+        return doc
+
+
+@dataclass
+class _Inflight:
+    future: Future
+    shard: int
+    enqueued_at: float
+    req_slot: int
+
+
+class _ShardHandle:
+    """Parent-side state for one worker process."""
+
+    def __init__(
+        self,
+        shard: int,
+        models: tuple[str, ...],
+        req_ring: _TensorRing,
+        resp_ring: _TensorRing,
+    ) -> None:
+        self.shard = shard
+        self.models = models
+        self.req_ring = req_ring
+        self.resp_ring = resp_ring
+        self.req_slots = _SlotPool(req_ring.slots)
+        self.process = None
+        self.conn = None
+        self.pid = -1
+        self.alive = False
+        self.byed = False
+        self.send_lock = threading.Lock()
+        self.receiver: threading.Thread | None = None
+        # front-end accounting (guarded by the scheduler's lock)
+        self.completed = 0
+        self.errors = 0
+        self.inflight = 0
+        self.inflight_peak = 0
+        #: last child stats doc (refreshed by stats(); kept after death)
+        self.child_doc: dict[str, Any] = {}
+
+    def send(self, msg: tuple) -> None:
+        with self.send_lock:
+            self.conn.send(msg)
+
+
+def _unlink_segments(names: list[str]) -> None:
+    """finalizer backstop: never leak a segment, even without close()."""
+    for name in names:
+        try:
+            shm = SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        shm.close()
+        shm.unlink()
+
+
+class ShardedScheduler:
+    """Process-sharded serving front end with the thread scheduler's API.
+
+    >>> with ShardedScheduler(registry, shards=4, workers=2) as server:
+    ...     result = server.submit("rw-micro-a", feeds).result()
+
+    Parameters mirror :class:`~repro.serving.scheduler.RequestScheduler`
+    plus the :class:`~repro.serving.pool.ArenaPool` knobs, which pass
+    through to every shard's private pool (``budget`` bounds each shard
+    separately — a shard *is* a device). ``preload=True`` warms each
+    shard's arenas for exactly the models routed to it, so preloads are
+    never duplicated across shards.
+
+    ``ring_slots`` bounds the per-shard in-flight window: the request
+    ring has that many tensor slots, and ``submit`` exerts backpressure
+    (blocks up to ``submit_timeout``) when all are in flight.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        *,
+        shards: int,
+        workers: int = 4,
+        max_batch: int = 1,
+        batch_size: int | None = None,
+        budget=None,
+        seed: int = 0,
+        scrub: str = "never",
+        reuse: bool = True,
+        spill: str = "never",
+        spill_policy: str = "belady",
+        prefetch: bool = True,
+        link: OffchipLink | None = None,
+        preload: bool = False,
+        ring_slots: int = 16,
+        submit_timeout: float = 30.0,
+        start_timeout: float = 120.0,
+    ) -> None:
+        if shards < 1:
+            raise ServingError(f"shards must be >= 1, got {shards}")
+        if not reuse:
+            raise ServingError(
+                "sharded serving requires arena reuse: each shard keeps "
+                "its routed models' arenas warm (reuse=False is the "
+                "single-process baseline; run it without shards)"
+            )
+        if not registry.names():
+            raise ServingError("registry has no models to shard")
+        if ring_slots < 1:
+            raise ServingError(f"ring_slots must be >= 1, got {ring_slots}")
+        self.registry = registry
+        self.shards = shards
+        self.workers = workers
+        self.max_batch = max_batch
+        self.batch_size = max_batch if batch_size is None else batch_size
+        self.budget_bytes = (
+            budget if budget is None or isinstance(budget, int)
+            else budget.sram_bytes
+        )
+        self.seed = seed
+        self.scrub = scrub
+        self.spill = spill
+        self.spill_policy = spill_policy
+        self.prefetch = prefetch
+        self.link = link
+        self.preload = preload
+        self.ring_slots = ring_slots
+        self.submit_timeout = submit_timeout
+        self.start_timeout = start_timeout
+
+        #: sticky routing table: model name -> shard id, by rendezvous
+        #: hash of the model's canonical graph signature under a
+        #: least-loaded balance constraint (see :func:`balanced_routing`)
+        self.routing = balanced_routing(
+            {name: registry.get(name).signature for name in registry.names()},
+            shards,
+        )
+        self._lock = threading.Lock()
+        self._req_ids = itertools.count()
+        self._inflight: dict[int, _Inflight] = {}
+        self._latencies: list[float] = []
+        self._completed = 0
+        self._errors = 0
+        self._stats_waiters: dict[int, tuple[threading.Event, list]] = {}
+        self._stats_tokens = itertools.count()
+        self._handles: list[_ShardHandle] = []
+        self._spool_dir: Path | None = None
+        self._started = False
+        self._closed = False
+        self._finalizer: weakref.finalize | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _spool_models(self) -> dict[str, str]:
+        """Artifact path per model, re-openable from a child process.
+
+        Models the registry loaded from disk are re-opened by their
+        original path; in-memory registrations are spooled once to a
+        private directory the scheduler owns (and removes on close).
+        """
+        paths: dict[str, str] = {}
+        for name in self.registry.names():
+            path = self.registry.path_of(name)
+            if path is None:
+                if self._spool_dir is None:
+                    self._spool_dir = Path(
+                        tempfile.mkdtemp(prefix="repro-shards-")
+                    )
+                path = self._spool_dir / f"model-{len(paths)}.json"
+                self.registry.get(name).save(path)
+            paths[name] = str(path)
+        return paths
+
+    def start(self) -> "ShardedScheduler":
+        if self._started:
+            return self
+        if self._closed:
+            raise ServingError("sharded scheduler is closed")
+        paths = self._spool_models()
+        by_shard: dict[int, list[str]] = {i: [] for i in range(self.shards)}
+        for name, shard in self.routing.items():
+            by_shard[shard].append(name)
+        segment_names: list[str] = []
+        try:
+            for shard in range(self.shards):
+                models = tuple(sorted(by_shard[shard]))
+                slot_bytes = _slot_bytes_for(
+                    self.registry.get(name) for name in models
+                )
+                req_ring = _TensorRing(slot_bytes, self.ring_slots)
+                segment_names.append(req_ring.name)
+                resp_ring = _TensorRing(slot_bytes, self.ring_slots)
+                segment_names.append(resp_ring.name)
+                handle = _ShardHandle(shard, models, req_ring, resp_ring)
+                # registered before spawn so a failed start tears the
+                # rings down (and unlinks them) with everything else
+                self._handles.append(handle)
+                parent_conn, child_conn = _MP.Pipe()
+                cfg = _ShardConfig(
+                    shard=shard,
+                    models=tuple((n, paths[n]) for n in models),
+                    workers=self.workers,
+                    max_batch=self.max_batch,
+                    batch_size=self.batch_size,
+                    budget_bytes=self.budget_bytes,
+                    seed=self.seed,
+                    scrub=self.scrub,
+                    spill=self.spill,
+                    spill_policy=self.spill_policy,
+                    prefetch=self.prefetch,
+                    link=self.link,
+                    preload=self.preload,
+                    req_ring=(req_ring.name, slot_bytes, self.ring_slots),
+                    resp_ring=(resp_ring.name, slot_bytes, self.ring_slots),
+                )
+                process = _MP.Process(
+                    target=_shard_worker_main,
+                    args=(cfg, child_conn),
+                    name=f"serve-shard-{shard}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                handle.process = process
+                handle.conn = parent_conn
+            self._await_ready()
+        except BaseException:
+            self._closed = True
+            self._teardown(force=True)
+            raise
+        self._finalizer = weakref.finalize(
+            self, _unlink_segments, segment_names
+        )
+        for handle in self._handles:
+            handle.receiver = threading.Thread(
+                target=self._receiver_loop,
+                args=(handle,),
+                name=f"shard-recv-{handle.shard}",
+                daemon=True,
+            )
+            handle.receiver.start()
+        self._started = True
+        return self
+
+    def _await_ready(self) -> None:
+        """Block until every shard reports ready — or explain why not.
+
+        A worker that dies during startup (artifact load failure, OOM
+        during preload, import crash) must surface as a clear error
+        here, never as futures that hang later.
+        """
+        deadline = time.monotonic() + self.start_timeout
+        for handle in self._handles:
+            while True:
+                if handle.conn.poll(0.1):
+                    try:
+                        msg = handle.conn.recv()
+                    except (EOFError, OSError):
+                        msg = None
+                    if msg is not None and msg[0] == "ready":
+                        handle.pid = msg[1]
+                        handle.alive = True
+                        break
+                    detail = (
+                        f": {msg[1]}" if msg is not None and msg[0] == "fatal"
+                        else ""
+                    )
+                    handle.process.join(timeout=5.0)
+                    raise ServingError(
+                        f"shard {handle.shard} died during startup"
+                        f"{detail} (exit code {handle.process.exitcode}, "
+                        f"models {list(handle.models)})"
+                    )
+                if not handle.process.is_alive():
+                    raise ServingError(
+                        f"shard {handle.shard} died during startup "
+                        f"(exit code {handle.process.exitcode}, models "
+                        f"{list(handle.models)})"
+                    )
+                if time.monotonic() > deadline:
+                    raise ServingError(
+                        f"shard {handle.shard} did not become ready "
+                        f"within {self.start_timeout}s"
+                    )
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Drain every shard, stop the workers, unlink all segments.
+
+        Idempotent; also reachable as :meth:`close` and ``__exit__``.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._started = False
+        for handle in self._handles:
+            if handle.alive:
+                try:
+                    handle.send(("shutdown",))
+                except (OSError, ValueError):
+                    pass
+        if wait:
+            deadline = time.monotonic() + 30.0
+            for handle in self._handles:
+                if handle.process is not None:
+                    handle.process.join(
+                        timeout=max(0.1, deadline - time.monotonic())
+                    )
+        self._teardown(force=True)
+
+    close = shutdown
+
+    def _teardown(self, force: bool) -> None:
+        for handle in self._handles:
+            if handle.process is not None and handle.process.is_alive():
+                if force:
+                    handle.process.terminate()
+                    handle.process.join(timeout=5.0)
+            handle.alive = False
+            handle.req_slots.kill()
+            if handle.conn is not None:
+                try:
+                    handle.conn.close()
+                except OSError:
+                    pass
+            if (
+                handle.receiver is not None
+                and handle.receiver is not threading.current_thread()
+            ):
+                handle.receiver.join(timeout=5.0)
+            handle.req_ring.close()
+            handle.resp_ring.close()
+            handle.req_ring.unlink()
+            handle.resp_ring.unlink()
+        self._fail_inflight(
+            None, ServingError("sharded scheduler shut down")
+        )
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if self._spool_dir is not None:
+            shutil.rmtree(self._spool_dir, ignore_errors=True)
+            self._spool_dir = None
+
+    def __enter__(self) -> "ShardedScheduler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def route(self, model: str) -> int:
+        """The shard ``model`` is sticky-routed to."""
+        shard = self.routing.get(model)
+        if shard is None:
+            self.registry.get(model)  # raises the canonical unknown-model
+            raise ServingError(f"model {model!r} has no route")
+        return shard
+
+    def submit(
+        self,
+        model: str,
+        feeds: Mapping[str, np.ndarray],
+        outputs: Iterable[str] | None = None,
+    ) -> Future:
+        """Enqueue one inference on the model's sticky shard; resolves
+        to an :class:`~repro.serving.scheduler.InferenceResult`. The
+        feed tensors are written into the shard's shared-memory request
+        ring — only descriptors cross the pipe."""
+        shard = self.route(model)
+        if not self._started or self._closed:
+            raise ServingError(
+                "sharded scheduler is not running (call start())"
+            )
+        handle = self._handles[shard]
+        if not handle.alive:
+            raise ServingError(
+                f"shard {shard} is dead; requests for {model!r} cannot "
+                "be served"
+            )
+        req_slot = handle.req_slots.acquire(timeout=self.submit_timeout)
+        future: Future = Future()
+        enqueued_at = time.perf_counter()
+        req_id = next(self._req_ids)
+        try:
+            descs = handle.req_ring.write(req_slot, feeds)
+            with self._lock:
+                self._inflight[req_id] = _Inflight(
+                    future, shard, enqueued_at, req_slot
+                )
+                handle.inflight += 1
+                handle.inflight_peak = max(
+                    handle.inflight_peak, handle.inflight
+                )
+            handle.send(
+                (
+                    "req",
+                    req_id,
+                    model,
+                    list(outputs) if outputs is not None else None,
+                    descs,
+                    req_slot,
+                )
+            )
+        except BaseException:
+            with self._lock:
+                if self._inflight.pop(req_id, None) is not None:
+                    handle.inflight -= 1
+            handle.req_slots.release(req_slot)
+            raise
+        return future
+
+    # ------------------------------------------------------------------
+    # responses
+    # ------------------------------------------------------------------
+    def _receiver_loop(self, handle: _ShardHandle) -> None:
+        while True:
+            try:
+                msg = handle.conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = msg[0]
+            if kind == "res":
+                self._on_result(handle, *msg[1:])
+            elif kind == "err":
+                self._on_error(handle, *msg[1:])
+            elif kind == "stats_res":
+                self._on_stats(handle, msg[1], msg[2])
+            elif kind == "bye":
+                handle.byed = True
+        # the shard is gone (clean or not): fail only ITS in-flight
+        # requests, wake its slot waiters, leave other shards serving.
+        # Even after a clean "bye" nothing may remain unresolved — a
+        # request can lose the race against the child's drain
+        handle.alive = False
+        handle.req_slots.kill()
+        detail = (
+            "exited while the request was in flight"
+            if handle.byed
+            else "died; its in-flight requests are lost"
+        )
+        self._fail_inflight(
+            handle.shard,
+            ServingError(f"shard {handle.shard} (pid {handle.pid}) {detail}"),
+        )
+        # unblock any stats() call waiting on this shard
+        with self._lock:
+            waiters = list(self._stats_waiters.values())
+        for event, _sink in waiters:
+            event.set()
+
+    def _pop_inflight(self, handle: _ShardHandle, req_id: int):
+        with self._lock:
+            entry = self._inflight.pop(req_id, None)
+            if entry is not None:
+                handle.inflight -= 1
+        return entry
+
+    def _on_result(
+        self, handle, req_id, stats: RequestStats, descs, req_slot, resp_slot
+    ) -> None:
+        entry = self._pop_inflight(handle, req_id)
+        views = handle.resp_ring.read(descs)
+        outputs = {name: view.copy() for name, view in views.items()}
+        try:
+            handle.send(("free_resp", resp_slot))
+        except (OSError, ValueError):
+            pass
+        handle.req_slots.release(req_slot)
+        if entry is None:
+            return
+        latency = time.perf_counter() - entry.enqueued_at
+        delivered = entry.future.set_running_or_notify_cancel()
+        with self._lock:
+            if delivered:
+                self._completed += 1
+                handle.completed += 1
+                self._latencies.append(latency)
+        if delivered:
+            entry.future.set_result(
+                InferenceResult(outputs=outputs, stats=stats)
+            )
+
+    def _on_error(self, handle, req_id, exc, req_slot) -> None:
+        entry = self._pop_inflight(handle, req_id)
+        handle.req_slots.release(req_slot)
+        if entry is None:
+            return
+        latency = time.perf_counter() - entry.enqueued_at
+        delivered = entry.future.set_running_or_notify_cancel()
+        with self._lock:
+            if delivered:
+                self._errors += 1
+                handle.errors += 1
+                self._latencies.append(latency)
+        if delivered:
+            entry.future.set_exception(exc)
+
+    def _fail_inflight(self, shard: int | None, exc: Exception) -> None:
+        with self._lock:
+            doomed = [
+                (req_id, entry)
+                for req_id, entry in self._inflight.items()
+                if shard is None or entry.shard == shard
+            ]
+            for req_id, entry in doomed:
+                del self._inflight[req_id]
+                self._handles[entry.shard].inflight -= 1
+        for _req_id, entry in doomed:
+            if entry.future.set_running_or_notify_cancel():
+                with self._lock:
+                    self._errors += 1
+                    self._handles[entry.shard].errors += 1
+                    self._latencies.append(
+                        time.perf_counter() - entry.enqueued_at
+                    )
+                entry.future.set_exception(exc)
+
+    def _on_stats(self, handle: _ShardHandle, token: int, doc: dict) -> None:
+        handle.child_doc = doc
+        with self._lock:
+            waiter = self._stats_waiters.get(token)
+        if waiter is not None:
+            event, sink = waiter
+            sink.append(handle.shard)
+            if len(sink) >= sum(1 for h in self._handles if h.alive):
+                event.set()
+
+    def _refresh_child_stats(self, timeout: float = 5.0) -> None:
+        live = [h for h in self._handles if h.alive]
+        if not live:
+            return
+        token = next(self._stats_tokens)
+        event = threading.Event()
+        with self._lock:
+            self._stats_waiters[token] = (event, [])
+        try:
+            for handle in live:
+                try:
+                    handle.send(("stats", token))
+                except (OSError, ValueError):
+                    pass
+            event.wait(timeout)
+        finally:
+            with self._lock:
+                self._stats_waiters.pop(token, None)
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def shard_stats(self, refresh: bool = True) -> list[ShardStats]:
+        """A :class:`ShardStats` snapshot per shard (live child-side
+        numbers are fetched over the control pipe; a dead shard reports
+        its last known ones)."""
+        if refresh and self._started:
+            self._refresh_child_stats()
+        out = []
+        with self._lock:
+            for handle in self._handles:
+                doc = handle.child_doc
+                pool_doc = doc.get("pool")
+                out.append(
+                    ShardStats(
+                        shard=handle.shard,
+                        pid=handle.pid,
+                        alive=handle.alive,
+                        models=handle.models,
+                        requests=handle.completed,
+                        errors=handle.errors,
+                        inflight_peak=handle.inflight_peak,
+                        queue_depth=doc.get("queue_depth", 0),
+                        batches=doc.get("batches", 0),
+                        spill_bytes=doc.get("spill_bytes", 0),
+                        spill_stall_s=doc.get("spill_stall_s", 0.0),
+                        spill_hidden_s=doc.get("spill_hidden_s", 0.0),
+                        req_slots=handle.req_slots.slots,
+                        req_ring_peak=handle.req_slots.peak,
+                        resp_slots=handle.resp_ring.slots,
+                        resp_ring_peak=doc.get("resp_ring_peak", 0),
+                        pool=(
+                            PoolStats(**pool_doc)
+                            if pool_doc is not None
+                            else None
+                        ),
+                    )
+                )
+        return out
+
+    def stats(self) -> ServingStats:
+        """Aggregate :class:`ServingStats` across every shard.
+
+        Latencies are *end-to-end* (submit to response, IPC included);
+        batches, spill accounting and pool stats are summed from the
+        shards' own schedulers.
+        """
+        shards = self.shard_stats()
+        pool = None
+        pools = [s.pool for s in shards if s.pool is not None]
+        if pools:
+            pool = PoolStats(
+                **{
+                    field: sum(getattr(p, field) for p in pools)
+                    for field in PoolStats.__dataclass_fields__
+                }
+            )
+        with self._lock:
+            return ServingStats(
+                requests=self._completed,
+                errors=self._errors,
+                batches=sum(s.batches for s in shards),
+                latencies_s=tuple(self._latencies),
+                pool=pool,
+                spill_bytes=sum(s.spill_bytes for s in shards),
+                spill_stall_s=sum(s.spill_stall_s for s in shards),
+                spill_hidden_s=sum(s.spill_hidden_s for s in shards),
+            )

@@ -148,6 +148,42 @@ class TestServe:
         assert main(["serve"]) == 2
         assert "nothing to serve" in capsys.readouterr().err
 
+    def test_serve_rejects_zero_shards(self, capsys):
+        assert (
+            main(["serve", "--cell", "swiftnet-c", "--shards", "0"]) == 2
+        )
+        assert "--shards must be >= 1" in capsys.readouterr().err
+
+    def test_serve_rejects_shards_without_reuse(self, capsys):
+        assert (
+            main(
+                ["serve", "--cell", "swiftnet-c", "--shards", "2", "--no-reuse"]
+            )
+            == 2
+        )
+        assert "requires arena reuse" in capsys.readouterr().err
+
+    def test_serve_sharded_end_to_end(self, capsys):
+        assert (
+            main(
+                [
+                    "serve", "--cell", "swiftnet-c", "--cell", "swiftnet-b",
+                    "--strategy", "greedy", "--no-cache",
+                    "--requests", "8", "--clients", "2", "--workers", "1",
+                    "--shards", "2", "--preload", "--verify",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 processes, sticky rendezvous routing" in out
+        assert "shard 0" in out and "shard 1" in out
+        assert "bitwise-equal to reference executor" in out
+
+    def test_bench_serve_rejects_zero_shards(self, capsys):
+        assert main(["bench-serve", "--shards", "0"]) == 2
+        assert "--shards must be >= 1" in capsys.readouterr().err
+
 
 class TestCompileRun:
     def test_compile_writes_artifact(self, tmp_path, capsys):
