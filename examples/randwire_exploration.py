@@ -16,7 +16,7 @@ from repro.analysis.cdf import sample_peak_cdf
 from repro.models import randwire_stage
 
 
-def explore(generator: str, seeds=range(4)) -> None:
+def explore(generator: str, seeds: tuple[int, ...] = (0, 1, 2, 3)) -> None:
     print(f"--- {generator.upper()} graphs "
           f"(n=18 nodes, 8ch @ 16x16) ---")
     print(f"  {'seed':>4}  {'nodes':>5}  {'baseline':>9}  {'optimal':>9}  "

@@ -53,7 +53,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 from repro.allocator.arena import (
     AllocationPlan,
@@ -506,7 +506,7 @@ def _layout_staging(
     plan: AllocationPlan,
     spilled: frozenset[int],
     runs_of: dict[int, list[tuple[int, int]]],
-    size,
+    size: Sequence[int],
     leads: int | dict[tuple[int, int], int],
 ) -> tuple[int, dict[int, int], dict[tuple[int, int], int]]:
     """Allocate the resident region: full lifetimes for resident
@@ -572,7 +572,7 @@ def _assign_leads(
     plan: AllocationPlan,
     spilled: frozenset[int],
     runs_of: dict[int, list[tuple[int, int]]],
-    size,
+    size: Sequence[int],
     capacity_bytes: int,
     max_lead: int,
 ) -> dict[tuple[int, int], int]:

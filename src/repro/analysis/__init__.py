@@ -1,4 +1,5 @@
-"""Analysis utilities: schedule-space CDFs, network stats, Pareto data."""
+"""Analysis utilities: static plan verification, schedule-space CDFs,
+network stats, Pareto data."""
 
 from repro.analysis.cdf import (
     SPARKFUN_EDGE_BYTES,
@@ -12,6 +13,8 @@ from repro.analysis.complexity import (
     count_downsets,
     naive_recursion_size,
 )
+from repro.analysis.diagnostics import ERROR, WARNING, AnalysisReport, Diagnostic
+from repro.analysis.mutations import MUTATION_CLASSES, Mutant, iter_mutants
 from repro.analysis.netstats import NetworkStats, network_stats
 from repro.analysis.pareto import (
     IMAGENET_POINTS,
@@ -21,8 +24,27 @@ from repro.analysis.pareto import (
 )
 from repro.analysis.quantization import cast_graph
 from repro.analysis.reporting import format_kib, format_table, geomean, ratio_str
+from repro.analysis.shadow import shadow_check
+from repro.analysis.verifier import (
+    VERIFY_LEVELS,
+    analyze_artifact,
+    analyze_model,
+    analyze_plan,
+)
 
 __all__ = [
+    "Diagnostic",
+    "AnalysisReport",
+    "ERROR",
+    "WARNING",
+    "VERIFY_LEVELS",
+    "analyze_plan",
+    "analyze_model",
+    "analyze_artifact",
+    "shadow_check",
+    "Mutant",
+    "MUTATION_CLASSES",
+    "iter_mutants",
     "ScheduleSpaceCDF",
     "sample_peak_cdf",
     "enumerate_peak_cdf",

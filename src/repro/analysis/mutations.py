@@ -1,0 +1,358 @@
+"""Seeded-defect corpus: plan corruptions the static verifier must catch.
+
+The verifier's acceptance bar is behavioural: *every* corruption class
+below, injected into a real compiled artifact, must produce at least
+one error-severity diagnostic from the expected family — and the
+unmutated artifact must pass with zero findings. Each mutator takes an
+artifact document (the JSON form of a
+:class:`~repro.compiler.model.CompiledModel`), deep-copies it, applies
+one deterministic corruption and returns a :class:`Mutant` naming the
+diagnostic codes that should fire. A mutator returns ``None`` when the
+artifact lacks the surface it corrupts (e.g. no embedded spill plans),
+so callers assert applicability explicitly.
+
+Mutations only ever touch the *plan* side of the document — the carried
+graph (and therefore its embedded signature) stays intact, so every
+mutant exercises the analyzer proper rather than the artifact parser.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.allocator.lifetimes import BufferLifetime, compute_lifetimes
+from repro.allocator.spill import min_capacity_bytes
+from repro.graph.graph import Graph
+from repro.graph.serialization import graph_from_dict
+from repro.scheduler.memory import BufferModel
+from repro.scheduler.schedule import Schedule
+
+__all__ = ["Mutant", "MUTATION_CLASSES", "iter_mutants"]
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One corrupted artifact document and the verdict it must draw."""
+
+    name: str
+    description: str
+    doc: dict[str, Any]
+    #: the verifier catches this mutant iff at least one error carries
+    #: one of these codes (collateral findings are allowed)
+    expect_codes: frozenset[str]
+
+
+def _ctx(
+    doc: dict[str, Any],
+) -> tuple[Graph, Schedule, BufferModel, list[BufferLifetime]]:
+    graph = graph_from_dict(doc["graph"])
+    schedule = Schedule(tuple(doc["plan"]["schedule"]), graph.name)
+    model = BufferModel.of(graph)
+    lifetimes = compute_lifetimes(graph, schedule, model=model)
+    return graph, schedule, model, lifetimes
+
+
+def _arena_extent(doc: dict[str, Any], model: BufferModel) -> int:
+    return max(
+        int(b["offset"]) + model.buf_size[int(b["id"])]
+        for b in doc["plan"]["buffers"]
+    )
+
+
+# ----------------------------------------------------------------------
+# mutators: doc (already deep-copied) -> Mutant | None
+# ----------------------------------------------------------------------
+def _shifted_offset(doc: dict[str, Any]) -> Mutant | None:
+    """Alias two temporally-overlapping buffers' arena offsets."""
+    _, _, _, lifetimes = _ctx(doc)
+    offsets = {int(b["id"]): int(b["offset"]) for b in doc["plan"]["buffers"]}
+    for i, a in enumerate(lifetimes):
+        for b in lifetimes[i + 1 :]:
+            if not a.overlaps(b):
+                continue
+            for ent in doc["plan"]["buffers"]:
+                if int(ent["id"]) == b.buffer_id:
+                    ent["offset"] = offsets[a.buffer_id]
+            return Mutant(
+                name="shifted_offset",
+                description=f"buffer {b.buffer_id} moved onto buffer "
+                f"{a.buffer_id}'s offset while both are live",
+                doc=doc,
+                expect_codes=frozenset({"ARENA_OVERLAP"}),
+            )
+    return None
+
+
+def _stale_peak(doc: dict[str, Any]) -> Mutant | None:
+    """Inflate the declared arena peak past the true high-water mark."""
+    doc["plan"]["arena_bytes"] = int(doc["plan"]["arena_bytes"]) + 4096
+    return Mutant(
+        name="stale_peak",
+        description="declared arena_bytes inflated by 4096 over the "
+        "recomputed liveness peak",
+        doc=doc,
+        expect_codes=frozenset({"ARENA_PEAK"}),
+    )
+
+
+def _row_overlap(doc: dict[str, Any]) -> Mutant | None:
+    """Understate the arena so batched rows (stride arena_bytes) alias."""
+    _, _, model, _ = _ctx(doc)
+    extent = _arena_extent(doc, model)
+    if extent < 2:
+        return None
+    doc["plan"]["arena_bytes"] = extent - 1
+    return Mutant(
+        name="row_overlap",
+        description="arena_bytes understated below the layout extent: "
+        "row N's tail bytes alias row N+1's head in batched mode",
+        doc=doc,
+        expect_codes=frozenset({"ARENA_ROW_OVERLAP", "ARENA_BOUNDS"}),
+    )
+
+
+def _reordered_schedule(doc: dict[str, Any]) -> Mutant | None:
+    """Swap a producer past one of its consumers."""
+    graph, _, _, _ = _ctx(doc)
+    order = list(doc["plan"]["schedule"])
+    pos = {name: i for i, name in enumerate(order)}
+    for src, dst in graph.edges():
+        i, j = pos[src], pos[dst]
+        order[i], order[j] = order[j], order[i]
+        doc["plan"]["schedule"] = order
+        return Mutant(
+            name="reordered_schedule",
+            description=f"swapped {src!r} (producer) with {dst!r} "
+            "(consumer) in the execution order",
+            doc=doc,
+            expect_codes=frozenset({"SCHED_TOPO"}),
+        )
+    return None
+
+
+def _pick_window(
+    doc: dict[str, Any], want_last: bool, min_span: int = 2
+) -> tuple[dict[str, Any], str, int] | None:
+    """A (spill_doc, buffer_key, window_index) whose window spans >=
+    ``min_span`` steps, preferring the buffer's last (or a non-last)
+    window."""
+    for sp in doc.get("spill_plans", ()):
+        for b_key, ws in sp["windows"].items():
+            indices = (
+                [len(ws) - 1]
+                if want_last
+                else list(range(len(ws) - 1))
+            )
+            for k in indices:
+                s, e, _off = ws[k]
+                if e - s >= min_span:
+                    return sp, b_key, k
+    return None
+
+
+def _shrink_window(
+    doc: dict[str, Any], want_last: bool, name: str, description: str
+) -> Mutant | None:
+    # prefer multi-step windows (a clean off-by-one truncation); a
+    # span-1 window shrunk to empty still uncovers its touch step
+    picked = _pick_window(doc, want_last=want_last, min_span=2) or _pick_window(
+        doc, want_last=want_last, min_span=1
+    )
+    if picked is None:
+        return None
+    sp, b_key, k = picked
+    sp["windows"][b_key][k][1] -= 1
+    pf = sp.get("prefetch")
+    if pf is not None and b_key in pf["windows"]:
+        pf["windows"][b_key][k][1] -= 1
+    return Mutant(
+        name=name,
+        description=description.format(buffer=b_key, window=k),
+        doc=doc,
+        expect_codes=frozenset(
+            {"SPILL_WINDOW_MISS", "SPILL_WINDOW_MALFORMED"}
+        ),
+    )
+
+
+def _truncated_lifetime(doc: dict[str, Any]) -> Mutant | None:
+    """Shrink a buffer's final staging window: its last touch would hit
+    an already-released slot."""
+    return _shrink_window(
+        doc,
+        want_last=True,
+        name="truncated_lifetime",
+        description="buffer {buffer}'s last staging window truncated by "
+        "one step — its final touch lands outside every window",
+    )
+
+
+def _premature_writeback(doc: dict[str, Any]) -> Mutant | None:
+    """Shrink a non-final window: the writeback (at window exit) now
+    happens while a step still touches the staged bytes."""
+    return _shrink_window(
+        doc,
+        want_last=False,
+        name="premature_writeback",
+        description="buffer {buffer}'s window {window} exits one step "
+        "early — the writeback fires while step end-1 still touches it",
+    )
+
+
+def _dropped_fetch(doc: dict[str, Any]) -> Mutant | None:
+    """Delete a buffer's second staging window outright — its touches
+    run with no fetch ever staged."""
+    for sp in doc.get("spill_plans", ()):
+        for b_key, ws in sp["windows"].items():
+            if len(ws) < 2:
+                continue
+            del ws[1]
+            pf = sp.get("prefetch")
+            if pf is not None and b_key in pf["windows"]:
+                del pf["windows"][b_key][1]
+                del pf["window_leads"][b_key][1]
+            return Mutant(
+                name="dropped_fetch",
+                description=f"buffer {b_key}'s second staging window "
+                "deleted: its touches execute with no fetch",
+                doc=doc,
+                expect_codes=frozenset({"SPILL_WINDOW_MISS"}),
+            )
+    return None
+
+
+def _overlapping_prefetch_lead(doc: dict[str, Any]) -> Mutant | None:
+    """Alias a prefetch staging slot with bytes that are live while the
+    leaded transfer may be in flight."""
+    _, _, _, lifetimes = _ctx(doc)
+    lt_of = {lt.buffer_id: lt for lt in lifetimes}
+    for sp in doc.get("spill_plans", ()):
+        pf = sp.get("prefetch")
+        if pf is None:
+            continue
+        for b_key, ws in pf["windows"].items():
+            leads = pf["window_leads"][b_key]
+            for k, (s, e, _off) in enumerate(ws):
+                t0 = max(0, s - leads[k])
+                for r_key, r_off in pf["resident_offsets"].items():
+                    lt = lt_of.get(int(r_key))
+                    if lt is None:
+                        continue
+                    if t0 < lt.end and lt.start < e:
+                        ws[k][2] = r_off
+                        return Mutant(
+                            name="overlapping_prefetch_lead",
+                            description=f"buffer {b_key}'s window {k} "
+                            f"prefetch slot aliased onto resident buffer "
+                            f"{r_key}, live while the transfer flies",
+                            doc=doc,
+                            expect_codes=frozenset({"PREFETCH_RACE"}),
+                        )
+        # no resident overlaps in time: alias two concurrently-held
+        # staging windows instead
+        for b_key, ws in pf["windows"].items():
+            for k, (s, e, _off) in enumerate(ws):
+                t0 = max(0, s - pf["window_leads"][b_key][k])
+                for b2_key, ws2 in pf["windows"].items():
+                    if b2_key == b_key:
+                        continue
+                    for s2, e2, off2 in ws2:
+                        if t0 < e2 and s2 < e:
+                            ws[k][2] = off2
+                            return Mutant(
+                                name="overlapping_prefetch_lead",
+                                description=f"buffer {b_key}'s window {k} "
+                                "prefetch slot aliased onto buffer "
+                                f"{b2_key}'s concurrently-held slot",
+                                doc=doc,
+                                expect_codes=frozenset({"PREFETCH_RACE"}),
+                            )
+    return None
+
+
+def _dropped_offset(doc: dict[str, Any]) -> Mutant | None:
+    """Remove one buffer's arena placement entirely."""
+    buffers = doc["plan"]["buffers"]
+    if not buffers:
+        return None
+    dropped = buffers.pop()
+    return Mutant(
+        name="dropped_offset",
+        description=f"buffer {dropped['id']}'s arena offset removed "
+        "from the plan",
+        doc=doc,
+        expect_codes=frozenset({"ARENA_COVERAGE"}),
+    )
+
+
+def _home_overlap(doc: dict[str, Any]) -> Mutant | None:
+    """Alias two spilled buffers' off-chip home slots."""
+    for sp in doc.get("spill_plans", ()):
+        homes = sorted(sp["home_offsets"].items(), key=lambda kv: kv[1])
+        if len(homes) < 2:
+            continue
+        (a_key, a_off), (b_key, _b_off) = homes[0], homes[1]
+        sp["home_offsets"][b_key] = a_off
+        return Mutant(
+            name="home_overlap",
+            description=f"buffer {b_key}'s off-chip home aliased onto "
+            f"buffer {a_key}'s slot",
+            doc=doc,
+            expect_codes=frozenset({"SPILL_HOME_OVERLAP"}),
+        )
+    return None
+
+
+def _capacity_floor(doc: dict[str, Any]) -> Mutant | None:
+    """Declare a capacity below the schedule's irreducible working set."""
+    sps = doc.get("spill_plans", ())
+    if not sps:
+        return None
+    graph, schedule, model, _ = _ctx(doc)
+    floor = min_capacity_bytes(graph, schedule, model=model)
+    if floor < 2:
+        return None
+    sps[0]["capacity_bytes"] = floor - 1
+    return Mutant(
+        name="capacity_floor",
+        description=f"capacity_bytes lowered to {floor - 1}, below the "
+        f"{floor}-byte single-step working-set floor",
+        doc=doc,
+        expect_codes=frozenset({"SPILL_FLOOR"}),
+    )
+
+
+_MUTATORS: tuple[Callable[[dict[str, Any]], Mutant | None], ...] = (
+    _shifted_offset,
+    _stale_peak,
+    _row_overlap,
+    _reordered_schedule,
+    _truncated_lifetime,
+    _dropped_fetch,
+    _premature_writeback,
+    _overlapping_prefetch_lead,
+    _dropped_offset,
+    _home_overlap,
+    _capacity_floor,
+)
+
+#: every corruption class the corpus can seed, in application order
+MUTATION_CLASSES: tuple[str, ...] = tuple(
+    fn.__name__.lstrip("_") for fn in _MUTATORS
+)
+
+
+def iter_mutants(doc: dict[str, Any]) -> Iterator[Mutant]:
+    """Yield every mutation class applicable to this artifact document.
+
+    Each mutant gets its own deep copy; the input document is never
+    modified. Classes that need a surface the artifact lacks (spill
+    plans, prefetch layouts, multiple windows) are silently skipped —
+    assert on the yielded names when a test requires full coverage.
+    """
+    for fn in _MUTATORS:
+        mutant = fn(copy.deepcopy(doc))
+        if mutant is not None:
+            yield mutant

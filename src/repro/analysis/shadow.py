@@ -1,0 +1,301 @@
+"""Dynamic byte-bounds shadow checker for the plan executor.
+
+The static verifier (:mod:`repro.analysis.verifier`) proves plan
+invariants from the plan documents; this module is its runtime
+cross-check. It walks a :class:`~repro.runtime.plan_executor.PlanExecutor`'s
+*compiled* step table — the exact ``(kind, name, site, fn, args, ...)``
+rows the hot loop executes, with every NumPy view already bound into
+the persistent arena — and re-proves the byte-level safety properties
+over the real addresses, without invoking a single kernel:
+
+* every view lands inside its declared region (``SHADOW_OOB``): the
+  resident arena row within the plan's promised bytes, spilled homes
+  within the declared spill region;
+* every byte a row reads was written by an earlier row in the same run
+  (``SHADOW_UNWRITTEN_READ``) — this is what makes the spill plan's
+  fetch-after-first-write / writeback-iff-dirty-and-needed dataflow
+  observable: a fetch reads home bytes that only a preceding writeback
+  can have produced;
+* modelling the transfer engine exactly as the executor drives it —
+  ``_STEP_ENQUEUE`` registers an in-flight (dst, src) copy,
+  ``_STEP_SYNC`` completes every job up to its watermark, the FIFO
+  serialises engine jobs against each other — no synchronous compute
+  row may touch an in-flight destination, or write an in-flight
+  source (``SHADOW_RACE``).
+
+Because views are compared by their actual byte bounds (via NumPy's
+``byte_bounds``), this catches disagreements between the plan documents
+and the executor's binding of them — the class of bug the static
+analyzer cannot see. Batched tables are checked per-sample: rows are
+layout-identical, so every view is mapped to its row-0 byte range.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.analysis.diagnostics import ERROR, AnalysisReport, Diagnostic
+from repro.analysis.verifier import _add, _covers, _ranges_overlap
+
+try:  # numpy >= 2.0
+    from numpy.lib.array_utils import byte_bounds
+except ImportError:  # pragma: no cover - numpy 1.x
+    byte_bounds = np.byte_bounds  # type: ignore[attr-defined]
+
+__all__ = ["shadow_check"]
+
+
+class _Pending:
+    """One in-flight transfer-engine job (enqueued, not yet synced)."""
+
+    __slots__ = ("job", "name", "dst", "src")
+
+    def __init__(
+        self,
+        job: int,
+        name: str,
+        dst: tuple[str, int, int],
+        src: tuple[str, int, int],
+    ) -> None:
+        self.job = job
+        self.name = name
+        self.dst = dst
+        self.src = src
+
+
+def _walk_plan(px: Any, plan: Any, n: int, diags: list[Diagnostic]) -> None:
+    from repro.runtime.plan_executor import (
+        _STEP_COPY,
+        _STEP_DIRECT,
+        _STEP_ENQUEUE,
+        _STEP_FETCH,
+        _STEP_INPUT,
+        _STEP_SYNC,
+        _STEP_WRITEBACK,
+        _UNBATCHED,
+    )
+
+    itemsize = px._itemsize
+    n_eff = 1 if n == _UNBATCHED else n
+    tag = f"shadow@batch{n_eff}"
+
+    # declared byte budgets per region: the numbers the plan *promises*,
+    # not the (possibly larger) allocation the executor defends with
+    if px.spill is not None:
+        pf = px._prefetch
+        arena_decl = (
+            pf.resident_bytes if pf is not None else px.spill.resident_bytes
+        )
+    else:
+        arena_decl = px.plan.arena_bytes
+    regions: list[tuple[str, int, int, int]] = []
+    a_lo, a_hi = byte_bounds(px._arena)
+    regions.append(("arena", a_lo, a_hi, arena_decl))
+    if px.spill is not None and px._spill_arena.size:
+        s_lo, s_hi = byte_bounds(px._spill_arena)
+        regions.append(("spill", s_lo, s_hi, px.spill.spill_bytes))
+
+    # the arena's storage cells may be wider than the plan's accounting
+    # itemsize (offsets are bound in element units); map real addresses
+    # back to plan byte units so ranges compare against declared bytes
+    cell = px._arena.dtype.itemsize
+
+    def locate(view: np.ndarray) -> tuple[str, int, int, int] | None:
+        lo, hi = byte_bounds(view)
+        for rname, b_lo, b_hi, decl in regions:
+            if b_lo <= lo and hi <= b_hi:
+                rel = (lo - b_lo) // cell * itemsize
+                span = (view.size // n_eff) * itemsize
+                return (rname, rel, rel + span, decl)
+        return None
+
+    def resolve(
+        view: np.ndarray, oi: int, name: str, role: str
+    ) -> tuple[str, int, int] | None:
+        where = locate(view)
+        if where is None:
+            diags.append(
+                Diagnostic(
+                    code="SHADOW_REGION",
+                    severity=ERROR,
+                    message=f"{name!r} {role} view is bound outside every "
+                    "known arena region",
+                    step=oi,
+                    node=name,
+                    plan=tag,
+                )
+            )
+            return None
+        rname, lo, hi, decl = where
+        if lo < 0 or hi > decl:
+            diags.append(
+                Diagnostic(
+                    code="SHADOW_OOB",
+                    severity=ERROR,
+                    message=f"{name!r} {role} occupies {rname} bytes "
+                    f"[{lo}, {hi}) beyond the declared {decl}-byte region",
+                    step=oi,
+                    node=name,
+                    byte_range=(lo, hi),
+                    plan=tag,
+                )
+            )
+        return (rname, lo, hi)
+
+    written: dict[str, list[tuple[int, int]]] = {"arena": [], "spill": []}
+    pending: list[_Pending] = []
+    job_no = 0
+
+    def written_plus_pending(rname: str) -> list[tuple[int, int]]:
+        tmp = list(written[rname])
+        for p in pending:
+            if p.dst[0] == rname:
+                _add(tmp, p.dst[1], p.dst[2])
+        return tmp
+
+    for oi, row in enumerate(plan.steps):
+        kind, name, site, _fn, args, attrs = row[0], row[1], row[2], row[3], row[4], row[5]
+        if kind == _STEP_SYNC:
+            watermark = int(attrs)
+            done = [p for p in pending if p.job <= watermark]
+            pending[:] = [p for p in pending if p.job > watermark]
+            for p in done:
+                _add(written[p.dst[0]], p.dst[1], p.dst[2])
+            continue
+        if kind == _STEP_ENQUEUE:
+            job_no += 1
+            dst = resolve(site, oi, name, "engine destination")
+            src = resolve(args[0], oi, name, "engine source")
+            if dst is None or src is None:
+                continue
+            # FIFO jobs serialise against each other, so an enqueue may
+            # legally overlap in-flight jobs; its source must still be
+            # produced by something — an earlier synchronous write or an
+            # earlier FIFO job's destination
+            if not _covers(written_plus_pending(src[0]), src[1], src[2]):
+                diags.append(
+                    Diagnostic(
+                        code="SHADOW_UNWRITTEN_READ",
+                        severity=ERROR,
+                        message=f"{name!r} enqueues a copy of {src[0]} "
+                        f"bytes [{src[1]}, {src[2]}) that no earlier step "
+                        "or engine job wrote",
+                        step=oi,
+                        node=name,
+                        byte_range=(src[1], src[2]),
+                        plan=tag,
+                    )
+                )
+            pending.append(_Pending(job_no, name, dst, src))
+            continue
+
+        reads: list[tuple[str, int, int]] = []
+        writes: list[tuple[str, int, int]] = []
+        if kind == _STEP_INPUT:
+            w = resolve(site, oi, name, "site")
+            if w:
+                writes.append(w)
+        elif kind in (_STEP_DIRECT, _STEP_COPY, _STEP_FETCH, _STEP_WRITEBACK):
+            w = resolve(site, oi, name, "site")
+            if w:
+                writes.append(w)
+            for j, arg in enumerate(args):
+                r = resolve(arg, oi, name, f"input {j}")
+                if r:
+                    reads.append(r)
+        else:  # pragma: no cover - future step kinds must be modelled
+            diags.append(
+                Diagnostic(
+                    code="SHADOW_REGION",
+                    severity=ERROR,
+                    message=f"unknown step kind {kind!r} at {name!r}",
+                    step=oi,
+                    node=name,
+                    plan=tag,
+                )
+            )
+            continue
+
+        # race model: a synchronous row must not read or write bytes an
+        # in-flight engine copy is producing, nor overwrite bytes one
+        # is still consuming
+        for p in pending:
+            for rname, lo, hi in writes:
+                for role, (prname, plo, phi) in (("destination", p.dst), ("source", p.src)):
+                    if rname == prname and _ranges_overlap(lo, hi, plo, phi):
+                        diags.append(
+                            Diagnostic(
+                                code="SHADOW_RACE",
+                                severity=ERROR,
+                                message=f"{name!r} writes {rname} bytes "
+                                f"[{max(lo, plo)}, {min(hi, phi)}) while "
+                                f"engine job {p.job} ({p.name!r}) still "
+                                f"holds them as its {role}",
+                                step=oi,
+                                node=name,
+                                byte_range=(max(lo, plo), min(hi, phi)),
+                                plan=tag,
+                            )
+                        )
+            for rname, lo, hi in reads:
+                prname, plo, phi = p.dst
+                if rname == prname and _ranges_overlap(lo, hi, plo, phi):
+                    diags.append(
+                        Diagnostic(
+                            code="SHADOW_RACE",
+                            severity=ERROR,
+                            message=f"{name!r} reads {rname} bytes "
+                            f"[{max(lo, plo)}, {min(hi, phi)}) that engine "
+                            f"job {p.job} ({p.name!r}) is still writing",
+                            step=oi,
+                            node=name,
+                            byte_range=(max(lo, plo), min(hi, phi)),
+                            plan=tag,
+                        )
+                    )
+
+        for rname, lo, hi in reads:
+            if not _covers(written_plus_pending(rname), lo, hi):
+                diags.append(
+                    Diagnostic(
+                        code="SHADOW_UNWRITTEN_READ",
+                        severity=ERROR,
+                        message=f"{name!r} reads {rname} bytes [{lo}, {hi}) "
+                        "that no earlier step in this run wrote",
+                        step=oi,
+                        node=name,
+                        byte_range=(lo, hi),
+                        plan=tag,
+                    )
+                )
+        for rname, lo, hi in writes:
+            _add(written[rname], lo, hi)
+    # leftover pending jobs are legal: the run loop drains the FIFO
+    # (waits for job ``total_jobs``) before returning
+
+
+def shadow_check(px: Any) -> AnalysisReport:
+    """Byte-bounds replay of an executor's pinned step tables.
+
+    Takes a live :class:`~repro.runtime.plan_executor.PlanExecutor` and
+    checks every pinned compiled plan (the full schedule, single-sample
+    and — when ``batch_size > 1`` — batched). Returns an
+    :class:`AnalysisReport`; ``report.ok`` means every read is covered,
+    every view in bounds and no engine transfer can race compute.
+    """
+    diags: list[Diagnostic] = []
+    checks: list[str] = []
+    for wanted, nb in sorted(
+        px._pinned, key=lambda k: (k[0] is not None, k[1])
+    ):
+        plan = px._run_plans[(wanted, nb)]
+        checks.append(f"shadow@batch{max(nb, 1)}")
+        _walk_plan(px, plan, nb, diags)
+    return AnalysisReport(
+        target=px.graph.name,
+        diagnostics=tuple(diags),
+        checks=tuple(checks),
+        level="full",
+    )

@@ -1,0 +1,1054 @@
+"""Static plan verification: prove compiled artifacts safe without running them.
+
+The compile pipeline stacks three interacting plans per artifact — the
+arena's byte offsets (:class:`~repro.allocator.arena.AllocationPlan`),
+the tiered-arena staging windows
+(:class:`~repro.allocator.spill.SpillPlan`) and the overlapped-transfer
+layout (:class:`~repro.allocator.spill.PrefetchPlan`). Their invariants
+used to be checked dynamically: execute and compare bitwise, or trip an
+executor-side assertion. This module proves the full invariant set
+*statically*, from the plan documents alone:
+
+schedule legality
+    a complete, duplicate-free topological order in which every feed is
+    produced before it is read, and no shared-buffer write clobbers
+    bytes a later step still reads (the executor's write-hazard rule).
+arena soundness (byte-exact)
+    every buffer's ``[offset, offset + nbytes)`` stays inside the
+    declared arena, no two *temporally live* buffers overlap in address
+    space, every kernel read is covered by a preceding write at
+    intra-buffer byte granularity, and the declared ``arena_bytes``
+    equals the peak of the recomputed liveness trace — an understated
+    peak means batched arena rows (stride ``arena_bytes``) would
+    overlap; an overstated one breaks serving admission pricing.
+spill soundness
+    the capacity respects :func:`~repro.allocator.spill.min_capacity_bytes`,
+    every step that touches a spilled buffer falls inside one of its
+    staging windows (the fetch-after-first-write / writeback-iff-dirty
+    rules are *derived* from window entry/exit, so a covered touch set
+    is exactly what makes them correct), staging slots and resident
+    buffers never overlap while simultaneously live, and off-chip home
+    slots are pairwise disjoint.
+prefetch race detection
+    the transfer engine may start a window's fetch up to ``lead`` steps
+    early; modelling each async transfer as holding its destination
+    byte range for the whole lead-extended interval, no transfer range
+    may overlap a concurrently-live compute read/write (a resident
+    buffer's lifetime or another staging window). This is the static
+    analogue of the runtime byte-bounds shadow checker in
+    :mod:`repro.analysis.shadow`, which replays the same property over
+    the executor's compiled ``_STEP_ENQUEUE``/``_STEP_SYNC`` rows.
+
+Findings come back as :class:`~repro.analysis.diagnostics.Diagnostic`
+records inside an :class:`~repro.analysis.diagnostics.AnalysisReport`;
+nothing here raises on a corrupt plan — raising is the caller's policy
+(:meth:`CompiledModel.load` turns error reports into
+:class:`~repro.exceptions.PlanVerificationError`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.allocator.lifetimes import BufferLifetime, compute_lifetimes
+from repro.allocator.spill import (
+    SPILL_FORMAT,
+    PrefetchPlan,
+    SpillPlan,
+    StageWindow,
+    step_touches,
+)
+from repro.analysis.diagnostics import ERROR, WARNING, AnalysisReport, Diagnostic
+from repro.exceptions import ExecutionError, GraphError
+from repro.graph.graph import Graph
+from repro.scheduler.memory import BufferModel
+from repro.scheduler.schedule import Schedule
+
+__all__ = [
+    "VERIFY_LEVELS",
+    "analyze_plan",
+    "analyze_model",
+    "analyze_artifact",
+]
+
+#: verification levels: ``none`` skips analysis entirely, ``basic``
+#: proves schedule legality + arena/spill/prefetch layout soundness,
+#: ``full`` adds the byte-exact read-coverage replay
+VERIFY_LEVELS = ("none", "basic", "full")
+
+
+# ----------------------------------------------------------------------
+# byte-interval bookkeeping (read-coverage replay)
+# ----------------------------------------------------------------------
+def _covers(ivals: list[tuple[int, int]], lo: int, hi: int) -> bool:
+    """Whether sorted disjoint ``ivals`` fully cover ``[lo, hi)``."""
+    for a, b in ivals:
+        if a <= lo < b:
+            if hi <= b:
+                return True
+            lo = b
+        elif a > lo:
+            return False
+    return lo >= hi
+
+
+def _add(ivals: list[tuple[int, int]], lo: int, hi: int) -> None:
+    """Insert ``[lo, hi)`` into sorted disjoint ``ivals``, merging."""
+    out: list[tuple[int, int]] = []
+    placed = False
+    for a, b in ivals:
+        if b < lo or hi < a:
+            if a > hi and not placed:
+                out.append((lo, hi))
+                placed = True
+            out.append((a, b))
+        else:
+            lo, hi = min(lo, a), max(hi, b)
+    if not placed:
+        out.append((lo, hi))
+    out.sort()
+    ivals[:] = out
+
+
+def _ranges_overlap(a_lo: int, a_hi: int, b_lo: int, b_hi: int) -> bool:
+    return a_lo < b_hi and b_lo < a_hi
+
+
+# ----------------------------------------------------------------------
+# individual check families (each appends Diagnostics)
+# ----------------------------------------------------------------------
+def _check_schedule(
+    graph: Graph, order: Sequence[str], diags: list[Diagnostic]
+) -> dict[str, int] | None:
+    """Duplicate/coverage/topological legality. Returns the position
+    map when the order is usable for byte-level analysis (complete and
+    duplicate-free; topological violations are reported but do not
+    block further checks), else ``None``."""
+    pos: dict[str, int] = {}
+    broken = False
+    for i, name in enumerate(order):
+        if name in pos:
+            broken = True
+            diags.append(
+                Diagnostic(
+                    code="SCHED_DUPLICATE",
+                    severity=ERROR,
+                    message=f"schedule repeats node {name!r} "
+                    f"(first at step {pos[name]})",
+                    step=i,
+                    node=name,
+                    plan="schedule",
+                )
+            )
+        else:
+            pos[name] = i
+    names = set(graph.node_names)
+    missing = sorted(names - pos.keys())
+    extra = sorted(pos.keys() - names)
+    if missing or extra:
+        broken = True
+        diags.append(
+            Diagnostic(
+                code="SCHED_COVERAGE",
+                severity=ERROR,
+                message="schedule does not cover the graph "
+                f"(missing={missing[:5]}, extra={extra[:5]})",
+                plan="schedule",
+            )
+        )
+    if broken:
+        return None
+    ok = True
+    for src, dst in graph.edges():
+        if pos[src] >= pos[dst]:
+            ok = False
+            diags.append(
+                Diagnostic(
+                    code="SCHED_TOPO",
+                    severity=ERROR,
+                    message=f"{dst!r} executes at step {pos[dst]} but its "
+                    f"feed {src!r} is not produced until step {pos[src]}",
+                    step=pos[dst],
+                    node=dst,
+                    plan="schedule",
+                )
+            )
+    return pos if ok else None
+
+
+def _check_hazards(
+    graph: Graph,
+    model: BufferModel,
+    pos: Mapping[str, int],
+    intra: Mapping[str, int],
+    diags: list[Diagnostic],
+) -> None:
+    """Static port of the executor's shared-buffer write-hazard rule:
+    a later member of a buffer overwriting an earlier member's bytes is
+    illegal while any still-later step reads the earlier tensor —
+    except a view node copying an aliased operand's identical bytes."""
+    from repro.graph.analysis import bits
+
+    idx = model.index
+
+    def aliased_inputs(name: str) -> set[str]:
+        node = graph.node(name)
+        indices = node.attrs.get("view_inputs")
+        if indices is None:
+            indices = range(len(node.inputs))
+        return {node.inputs[j] for j in indices}
+
+    for b in range(model.n_buffers):
+        members = [
+            (idx.order[i], intra[idx.order[i]], idx.out_bytes[i])
+            for i in bits(model.buf_members[b])
+        ]
+        for vi, (a, a_off, a_sz) in enumerate(members):
+            for b2, b_off, b_sz in members[vi + 1 :]:
+                if not _ranges_overlap(a_off, a_off + a_sz, b_off, b_off + b_sz):
+                    continue
+                early, late = (a, b2) if pos[a] <= pos[b2] else (b2, a)
+                writer = graph.node(late)
+                if writer.memory.view and early in aliased_inputs(late):
+                    continue  # byte-preserving copy-back
+                clobbered = [
+                    c
+                    for c in graph.succs(early)
+                    if c != late and pos[c] > pos[late]
+                ]
+                if clobbered:
+                    lo = max(a_off, b_off)
+                    hi = min(a_off + a_sz, b_off + b_sz)
+                    diags.append(
+                        Diagnostic(
+                            code="SCHED_HAZARD",
+                            severity=ERROR,
+                            message=f"{late!r} overwrites {early!r}'s bytes "
+                            f"at step {pos[late]}, but {clobbered[0]!r} "
+                            f"still reads {early!r} at step "
+                            f"{pos[clobbered[0]]}",
+                            step=pos[late],
+                            node=late,
+                            buffer=b,
+                            byte_range=(lo, hi),
+                            plan="schedule",
+                        )
+                    )
+
+
+def _check_arena(
+    model: BufferModel,
+    lifetimes: Sequence[BufferLifetime],
+    offsets: Mapping[int, int],
+    arena_bytes: int,
+    batched: bool,
+    diags: list[Diagnostic],
+) -> None:
+    """Byte-exact arena soundness: coverage, bounds, live-pair overlap
+    and strict peak equality (both shipped allocators set
+    ``arena_bytes`` to the exact high-water mark, and every buffer is
+    live at some step, so any inequality is a corruption)."""
+    n_buf = model.n_buffers
+    missing = [b for b in range(n_buf) if b not in offsets]
+    extra = sorted(set(offsets) - set(range(n_buf)))
+    if missing or extra:
+        diags.append(
+            Diagnostic(
+                code="ARENA_COVERAGE",
+                severity=ERROR,
+                message=f"allocation plan does not cover the graph's "
+                f"{n_buf} buffers (missing offsets for {missing[:5]}, "
+                f"unknown ids {extra[:5]})",
+                buffer=missing[0] if missing else extra[0],
+                plan="arena",
+            )
+        )
+    placed = [lt for lt in lifetimes if lt.buffer_id in offsets]
+    max_extent = 0
+    for lt in placed:
+        off = offsets[lt.buffer_id]
+        max_extent = max(max_extent, off + lt.size)
+        if off < 0 or off + lt.size > arena_bytes:
+            diags.append(
+                Diagnostic(
+                    code="ARENA_BOUNDS",
+                    severity=ERROR,
+                    message=f"buffer {lt.buffer_id} at "
+                    f"[{off}, {off + lt.size}) escapes the declared "
+                    f"{arena_bytes}-byte arena",
+                    step=lt.start,
+                    buffer=lt.buffer_id,
+                    byte_range=(off, off + lt.size),
+                    plan="arena",
+                )
+            )
+    for i, a in enumerate(placed):
+        off_a = offsets[a.buffer_id]
+        for b in placed[i + 1 :]:
+            if not a.overlaps(b):
+                continue
+            off_b = offsets[b.buffer_id]
+            if _ranges_overlap(off_a, off_a + a.size, off_b, off_b + b.size):
+                diags.append(
+                    Diagnostic(
+                        code="ARENA_OVERLAP",
+                        severity=ERROR,
+                        message=f"live buffers {a.buffer_id} and "
+                        f"{b.buffer_id} overlap: [{off_a}, {off_a + a.size}) "
+                        f"vs [{off_b}, {off_b + b.size}) while both live "
+                        f"at step {max(a.start, b.start)}",
+                        step=max(a.start, b.start),
+                        buffer=b.buffer_id,
+                        byte_range=(
+                            max(off_a, off_b),
+                            min(off_a + a.size, off_b + b.size),
+                        ),
+                        plan="arena",
+                    )
+                )
+    if not missing and arena_bytes > max_extent:
+        diags.append(
+            Diagnostic(
+                code="ARENA_PEAK",
+                severity=ERROR,
+                message=f"declared arena peak {arena_bytes} is stale: the "
+                f"recomputed liveness trace peaks at {max_extent} bytes "
+                "(admission control would over-price this plan)",
+                byte_range=(max_extent, arena_bytes),
+                plan="arena",
+            )
+        )
+    if batched and max_extent > arena_bytes:
+        diags.append(
+            Diagnostic(
+                code="ARENA_ROW_OVERLAP",
+                severity=ERROR,
+                message=f"batched arena rows at stride {arena_bytes} would "
+                f"overlap: the per-sample layout extends to byte "
+                f"{max_extent}, so row N's tail aliases row N+1's head",
+                byte_range=(arena_bytes, max_extent),
+                plan="arena",
+            )
+        )
+
+
+def _check_read_coverage(
+    graph: Graph,
+    model: BufferModel,
+    order: Sequence[str],
+    intra: Mapping[str, int],
+    diags: list[Diagnostic],
+) -> None:
+    """Byte-exact dataflow replay: every byte a kernel reads must have
+    been written by an earlier step (a feed, a producing kernel, or a
+    member tensor of the same shared buffer)."""
+    idx = model.index
+    written: dict[int, list[tuple[int, int]]] = {}
+    for s, name in enumerate(order):
+        node = graph.node(name)
+        for src in node.inputs:
+            b = model.buffer_of[idx.index[src]]
+            lo = intra[src]
+            hi = lo + graph.node(src).output.bytes
+            if not _covers(written.get(b, []), lo, hi):
+                diags.append(
+                    Diagnostic(
+                        code="READ_UNCOVERED",
+                        severity=ERROR,
+                        message=f"{name!r} reads {src!r} (buffer {b} bytes "
+                        f"[{lo}, {hi})) but no preceding step wrote all of "
+                        "those bytes",
+                        step=s,
+                        node=name,
+                        buffer=b,
+                        byte_range=(lo, hi),
+                        plan="arena",
+                    )
+                )
+        b_own = model.buffer_of[idx.index[name]]
+        lo = intra[name]
+        _add(written.setdefault(b_own, []), lo, lo + node.output.bytes)
+
+
+def _staging_intervals(
+    model: BufferModel,
+    lifetimes: Sequence[BufferLifetime],
+    resident_offsets: Mapping[int, int],
+    windows: Mapping[int, tuple[StageWindow, ...]],
+    leads: Mapping[int, tuple[int, ...]] | None,
+) -> list[tuple[int, int, int, int, str, int]]:
+    """The resident region as (t0, t1, lo, hi, kind, buffer) intervals:
+    resident buffers hold their slot for their whole lifetime; staging
+    windows hold theirs for the window, head-extended by the window's
+    prefetch lead when ``leads`` is given (the span an async fetch may
+    occupy the slot)."""
+    size = model.buf_size
+    out: list[tuple[int, int, int, int, str, int]] = []
+    lt_of = {lt.buffer_id: lt for lt in lifetimes}
+    for b, off in resident_offsets.items():
+        lt = lt_of.get(b)
+        if lt is None:
+            continue
+        out.append((lt.start, lt.end, off, off + lt.size, "resident", b))
+    for b, ws in windows.items():
+        if not (0 <= b < model.n_buffers):
+            continue
+        for k, w in enumerate(ws):
+            lead = 0
+            if leads is not None:
+                bl = leads.get(b, ())
+                lead = bl[k] if k < len(bl) else 0
+            out.append(
+                (
+                    max(0, w.start - lead),
+                    w.end,
+                    w.offset,
+                    w.offset + size[b],
+                    "window",
+                    b,
+                )
+            )
+    return out
+
+
+def _check_spill(
+    graph: Graph,
+    model: BufferModel,
+    lifetimes: Sequence[BufferLifetime],
+    sp: SpillPlan,
+    touch: Sequence[tuple[int, ...]],
+    floor: int,
+    diags: list[Diagnostic],
+) -> None:
+    tag = f"spill@{sp.capacity_bytes}"
+    size = model.buf_size
+    n_steps = len(touch)
+    if sp.capacity_bytes <= 0:
+        diags.append(
+            Diagnostic(
+                code="SPILL_CAPACITY",
+                severity=ERROR,
+                message=f"on-chip capacity must be positive, got "
+                f"{sp.capacity_bytes}",
+                plan=tag,
+            )
+        )
+        return
+    if sp.capacity_bytes < floor:
+        diags.append(
+            Diagnostic(
+                code="SPILL_FLOOR",
+                severity=ERROR,
+                message=f"capacity {sp.capacity_bytes} is below the "
+                f"schedule's irreducible staging floor ({floor} bytes: "
+                "the largest single-step working set); no spill "
+                "configuration can execute this plan",
+                plan=tag,
+            )
+        )
+    spilled = set(sp.spilled)
+    bad_ids = sorted(b for b in spilled if not 0 <= b < model.n_buffers)
+    if (
+        set(sp.windows) != spilled
+        or set(sp.home_offsets) != spilled
+        or bad_ids
+    ):
+        diags.append(
+            Diagnostic(
+                code="SPILL_CONSISTENCY",
+                severity=ERROR,
+                message="spilled set, staging windows and home slots "
+                f"disagree (spilled={len(spilled)}, "
+                f"windows={len(sp.windows)}, homes={len(sp.home_offsets)}"
+                f"{', unknown buffer ids ' + str(bad_ids[:5]) if bad_ids else ''})",
+                plan=tag,
+            )
+        )
+    resident = set(range(model.n_buffers)) - spilled
+    if set(sp.resident_offsets) != resident:
+        miss = sorted(resident - set(sp.resident_offsets))
+        diags.append(
+            Diagnostic(
+                code="SPILL_CONSISTENCY",
+                severity=ERROR,
+                message="resident offsets do not cover the unspilled "
+                f"buffers (missing {miss[:5]}, "
+                f"{len(sp.resident_offsets)} offsets for "
+                f"{len(resident)} resident buffers)",
+                plan=tag,
+            )
+        )
+    if sp.resident_bytes > sp.capacity_bytes:
+        diags.append(
+            Diagnostic(
+                code="SPILL_CAPACITY",
+                severity=ERROR,
+                message=f"resident region ({sp.resident_bytes} bytes) "
+                f"exceeds the {sp.capacity_bytes}-byte capacity",
+                plan=tag,
+            )
+        )
+
+    # window shape + touch coverage
+    for b in sorted(spilled & set(sp.windows)):
+        if not 0 <= b < model.n_buffers:
+            continue
+        ws = sp.windows[b]
+        prev_end = -1
+        for k, w in enumerate(ws):
+            if w.start < 0 or w.end <= w.start or w.end > n_steps:
+                diags.append(
+                    Diagnostic(
+                        code="SPILL_WINDOW_MALFORMED",
+                        severity=ERROR,
+                        message=f"buffer {b} staging window {k} "
+                        f"[{w.start}, {w.end}) is malformed "
+                        f"(schedule has {n_steps} steps)",
+                        step=w.start,
+                        buffer=b,
+                        plan=tag,
+                    )
+                )
+            elif w.start <= prev_end:
+                diags.append(
+                    Diagnostic(
+                        code="SPILL_WINDOW_MALFORMED",
+                        severity=ERROR,
+                        message=f"buffer {b} staging windows {k - 1} and "
+                        f"{k} overlap or are out of order",
+                        step=w.start,
+                        buffer=b,
+                        plan=tag,
+                    )
+                )
+            prev_end = max(prev_end, w.end - 1)
+            lo, hi = w.offset, w.offset + size[b]
+            if w.offset < 0 or hi > sp.resident_bytes:
+                diags.append(
+                    Diagnostic(
+                        code="SPILL_BOUNDS",
+                        severity=ERROR,
+                        message=f"buffer {b} staging slot [{lo}, {hi}) "
+                        f"escapes the {sp.resident_bytes}-byte resident "
+                        "region",
+                        step=w.start,
+                        buffer=b,
+                        byte_range=(lo, hi),
+                        plan=tag,
+                    )
+                )
+        covered = [
+            s
+            for s in range(n_steps)
+            if b in touch[s]
+            and not any(w.start <= s < w.end for w in ws)
+        ]
+        for s in covered:
+            diags.append(
+                Diagnostic(
+                    code="SPILL_WINDOW_MISS",
+                    severity=ERROR,
+                    message=f"step {s} touches spilled buffer {b} outside "
+                    "every staging window — the kernel would read or "
+                    "write an unstaged (or prematurely written-back) slot",
+                    step=s,
+                    buffer=b,
+                    plan=tag,
+                )
+            )
+
+    # resident bounds
+    for b, off in sorted(sp.resident_offsets.items()):
+        if not 0 <= b < model.n_buffers:
+            continue
+        if off < 0 or off + size[b] > sp.resident_bytes:
+            diags.append(
+                Diagnostic(
+                    code="SPILL_BOUNDS",
+                    severity=ERROR,
+                    message=f"resident buffer {b} at "
+                    f"[{off}, {off + size[b]}) escapes the "
+                    f"{sp.resident_bytes}-byte resident region",
+                    buffer=b,
+                    byte_range=(off, off + size[b]),
+                    plan=tag,
+                )
+            )
+
+    # byte-disjointness of simultaneously-live resident slots and
+    # staging windows (lead 0: the inline layout)
+    ivals = _staging_intervals(
+        model, lifetimes, sp.resident_offsets, sp.windows, leads=None
+    )
+    _check_interval_overlap(ivals, "SPILL_OVERLAP", tag, diags)
+
+    # off-chip home slots: pairwise disjoint, inside the spill region
+    homes = sorted(
+        (off, off + size[b], b)
+        for b, off in sp.home_offsets.items()
+        if 0 <= b < model.n_buffers
+    )
+    for (lo_a, hi_a, a), (lo_b, hi_b, b2) in zip(homes, homes[1:]):
+        if hi_a > lo_b:
+            diags.append(
+                Diagnostic(
+                    code="SPILL_HOME_OVERLAP",
+                    severity=ERROR,
+                    message=f"off-chip home slots of buffers {a} and {b2} "
+                    f"overlap: [{lo_a}, {hi_a}) vs [{lo_b}, {hi_b}) — a "
+                    "writeback of one would corrupt the other",
+                    buffer=b2,
+                    byte_range=(lo_b, min(hi_a, hi_b)),
+                    plan=tag,
+                )
+            )
+    for lo, hi, b in homes:
+        if lo < 0 or hi > sp.spill_bytes:
+            diags.append(
+                Diagnostic(
+                    code="SPILL_HOME_BOUNDS",
+                    severity=ERROR,
+                    message=f"buffer {b} home slot [{lo}, {hi}) escapes "
+                    f"the {sp.spill_bytes}-byte spill region",
+                    buffer=b,
+                    byte_range=(lo, hi),
+                    plan=tag,
+                )
+            )
+
+
+def _check_interval_overlap(
+    ivals: list[tuple[int, int, int, int, str, int]],
+    code: str,
+    tag: str,
+    diags: list[Diagnostic],
+) -> None:
+    """Any two intervals overlapping in time AND bytes are a layout
+    corruption (for ``PREFETCH_RACE``: an async transfer's destination
+    bytes collide with concurrently-live compute bytes)."""
+    by_start = sorted(ivals, key=lambda iv: iv[0])
+    for i, (t0a, t1a, loa, hia, ka, ba) in enumerate(by_start):
+        for t0b, t1b, lob, hib, kb, bb in by_start[i + 1 :]:
+            if t0b >= t1a:
+                break  # sorted by start: no later interval overlaps a
+            if not _ranges_overlap(loa, hia, lob, hib):
+                continue
+            if ka == "window" and kb == "window" and ba == bb and code == "SPILL_OVERLAP":
+                # consecutive windows of one buffer may share a slot in
+                # the inline layout only when time-disjoint — reaching
+                # here means they aren't, which is a genuine overlap
+                pass
+            race = code == "PREFETCH_RACE"
+            what_a = f"{'staging window' if ka == 'window' else 'resident buffer'} {ba}"
+            what_b = f"{'staging window' if kb == 'window' else 'resident buffer'} {bb}"
+            if race:
+                mover = what_a if ka == "window" else what_b
+                other = what_b if ka == "window" else what_a
+                msg = (
+                    f"async transfer into {mover}'s slot (bytes "
+                    f"[{max(loa, lob)}, {min(hia, hib)})) may be in flight "
+                    f"during steps [{max(t0a, t0b)}, {min(t1a, t1b)}) while "
+                    f"{other} holds overlapping bytes — the engine would "
+                    "race concurrently-live compute reads/writes"
+                )
+            else:
+                msg = (
+                    f"{what_a} and {what_b} overlap in bytes "
+                    f"[{max(loa, lob)}, {min(hia, hib)}) while both live "
+                    f"during steps [{max(t0a, t0b)}, {min(t1a, t1b)})"
+                )
+            diags.append(
+                Diagnostic(
+                    code=code,
+                    severity=ERROR,
+                    message=msg,
+                    step=max(t0a, t0b),
+                    buffer=bb,
+                    byte_range=(max(loa, lob), min(hia, hib)),
+                    plan=tag,
+                )
+            )
+
+
+def _check_prefetch(
+    model: BufferModel,
+    lifetimes: Sequence[BufferLifetime],
+    sp: SpillPlan,
+    pf: PrefetchPlan,
+    diags: list[Diagnostic],
+) -> None:
+    tag = f"prefetch@{sp.capacity_bytes}"
+    size = model.buf_size
+    spilled = set(sp.spilled)
+    if pf.lead_steps < 0:
+        diags.append(
+            Diagnostic(
+                code="PREFETCH_CONSISTENCY",
+                severity=ERROR,
+                message=f"prefetch lead must be >= 0, got {pf.lead_steps}",
+                plan=tag,
+            )
+        )
+    if (
+        set(pf.windows) != spilled
+        or set(pf.window_leads) != spilled
+        or set(pf.resident_offsets) != set(sp.resident_offsets)
+    ):
+        diags.append(
+            Diagnostic(
+                code="PREFETCH_CONSISTENCY",
+                severity=ERROR,
+                message="prefetch layout buffer sets disagree with the "
+                "base spill plan",
+                plan=tag,
+            )
+        )
+    for b in sorted(spilled & set(pf.windows) & set(sp.windows)):
+        ws, base = pf.windows[b], sp.windows[b]
+        if len(ws) != len(base) or any(
+            w.start != bw.start or w.end != bw.end for w, bw in zip(ws, base)
+        ):
+            diags.append(
+                Diagnostic(
+                    code="PREFETCH_CONSISTENCY",
+                    severity=ERROR,
+                    message=f"buffer {b}: prefetch window bounds disagree "
+                    "with the base staging windows",
+                    buffer=b,
+                    plan=tag,
+                )
+            )
+        leads = pf.window_leads.get(b, ())
+        if len(leads) != len(ws) or any(
+            ld < 0 or ld > pf.lead_steps for ld in leads
+        ):
+            diags.append(
+                Diagnostic(
+                    code="PREFETCH_CONSISTENCY",
+                    severity=ERROR,
+                    message=f"buffer {b}: window leads are malformed "
+                    f"(want {len(ws)} leads in [0, {pf.lead_steps}])",
+                    buffer=b,
+                    plan=tag,
+                )
+            )
+        if not 0 <= b < model.n_buffers:
+            continue
+        for w in ws:
+            lo, hi = w.offset, w.offset + size[b]
+            if w.offset < 0 or hi > pf.resident_bytes:
+                diags.append(
+                    Diagnostic(
+                        code="PREFETCH_BOUNDS",
+                        severity=ERROR,
+                        message=f"buffer {b} prefetch staging slot "
+                        f"[{lo}, {hi}) escapes the {pf.resident_bytes}-byte "
+                        "region",
+                        step=w.start,
+                        buffer=b,
+                        byte_range=(lo, hi),
+                        plan=tag,
+                    )
+                )
+    if pf.resident_bytes > sp.capacity_bytes:
+        diags.append(
+            Diagnostic(
+                code="PREFETCH_CAPACITY",
+                severity=ERROR,
+                message=f"prefetch resident region ({pf.resident_bytes} "
+                f"bytes) exceeds the {sp.capacity_bytes}-byte capacity",
+                plan=tag,
+            )
+        )
+    # the race model: each window's slot is occupied from the moment
+    # its fetch may be enqueued (lead steps early) to window exit;
+    # every pair of time-overlapping occupations must be byte-disjoint
+    ivals = _staging_intervals(
+        model, lifetimes, pf.resident_offsets, pf.windows, leads=pf.window_leads
+    )
+    _check_interval_overlap(ivals, "PREFETCH_RACE", tag, diags)
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def analyze_plan(
+    graph: Graph,
+    schedule: Schedule | Sequence[str],
+    plan: Any,
+    spill_plans: Iterable[SpillPlan] = (),
+    *,
+    level: str = "full",
+    batch_sizes: Sequence[int] = (1,),
+    target: str | None = None,
+) -> AnalysisReport:
+    """Statically verify one (graph, schedule, plan[, spill plans]).
+
+    ``plan`` is an :class:`~repro.allocator.arena.AllocationPlan` or
+    anything with ``offsets``/``arena_bytes``. Never raises on a bad
+    plan — every violation becomes a :class:`Diagnostic`.
+    """
+    if level not in VERIFY_LEVELS:
+        raise ValueError(
+            f"unknown verify level {level!r}; pick one of {VERIFY_LEVELS}"
+        )
+    order = tuple(schedule.order if isinstance(schedule, Schedule) else schedule)
+    target = target or graph.name
+    diags: list[Diagnostic] = []
+    checks: list[str] = ["schedule"]
+    if level == "none":
+        return AnalysisReport(target=target, diagnostics=(), checks=(), level=level)
+
+    pos = _check_schedule(graph, order, diags)
+    model = BufferModel.of(graph)
+    usable = len(set(order)) == len(order) and set(order) == set(
+        graph.node_names
+    )
+    if not usable:
+        return AnalysisReport(
+            target=target,
+            diagnostics=tuple(diags),
+            checks=tuple(checks),
+            level=level,
+        )
+    all_pos = pos if pos is not None else {n: i for i, n in enumerate(order)}
+    sched = Schedule(order, graph.name)
+    lifetimes = compute_lifetimes(graph, sched, model=model)
+
+    intra: dict[str, int] | None
+    try:
+        from repro.runtime.plan_executor import intra_buffer_offsets
+
+        intra = intra_buffer_offsets(graph, model)
+    except ExecutionError as exc:
+        intra = None
+        diags.append(
+            Diagnostic(
+                code="ARENA_ALIAS",
+                severity=ERROR,
+                message=f"buffer aliasing is inconsistent: {exc}",
+                plan="arena",
+            )
+        )
+    if intra is not None:
+        checks.append("hazards")
+        _check_hazards(graph, model, all_pos, intra, diags)
+
+    checks.append("arena")
+    batched = any(n > 1 for n in batch_sizes)
+    offsets = dict(plan.offsets)
+    _check_arena(model, lifetimes, offsets, int(plan.arena_bytes), batched, diags)
+
+    if level == "full" and intra is not None and pos is not None:
+        checks.append("reads")
+        _check_read_coverage(graph, model, order, intra, diags)
+
+    spill_plans = tuple(spill_plans)
+    if spill_plans:
+        checks.append("spill")
+        touch = step_touches(graph, sched, model)
+        floor = max(
+            (sum(model.buf_size[b] for b in bufs) for bufs in touch),
+            default=0,
+        )
+        if any(sp.prefetch is not None for sp in spill_plans):
+            checks.append("prefetch")
+        for sp in spill_plans:
+            _check_spill(graph, model, lifetimes, sp, touch, floor, diags)
+            if sp.prefetch is not None:
+                _check_prefetch(model, lifetimes, sp, sp.prefetch, diags)
+
+    return AnalysisReport(
+        target=target,
+        diagnostics=tuple(diags),
+        checks=tuple(checks),
+        level=level,
+    )
+
+
+def analyze_model(
+    model: Any,
+    *,
+    level: str = "full",
+    batch_sizes: Sequence[int] = (1,),
+) -> AnalysisReport:
+    """Verify a :class:`~repro.compiler.model.CompiledModel` in memory."""
+    return analyze_plan(
+        model.graph,
+        model.schedule,
+        model.plan,
+        model.spill_plans,
+        level=level,
+        batch_sizes=batch_sizes,
+        target=model.graph.name,
+    )
+
+
+def _spill_plan_lenient(
+    doc: dict[str, Any], diags: list[Diagnostic], index: int
+) -> SpillPlan | None:
+    """Rebuild a spill plan *without* its self-validation, so layout
+    corruptions reach the analyzer instead of raising at parse time."""
+    tag = f"spill_plans[{index}]"
+    if doc.get("format") != SPILL_FORMAT:
+        diags.append(
+            Diagnostic(
+                code="ARTIFACT_FORMAT",
+                severity=ERROR,
+                message=f"{tag}: unsupported spill plan format "
+                f"{doc.get('format')!r} (want {SPILL_FORMAT!r})",
+                plan="artifact",
+            )
+        )
+        return None
+    try:
+        prefetch = None
+        if doc.get("prefetch") is not None:
+            prefetch = PrefetchPlan.from_doc(doc["prefetch"])
+        return SpillPlan(
+            capacity_bytes=int(doc["capacity_bytes"]),
+            policy=str(doc["policy"]),
+            resident_bytes=int(doc["resident_bytes"]),
+            spill_bytes=int(doc["spill_bytes"]),
+            spilled=frozenset(int(b) for b in doc["spilled"]),
+            resident_offsets={
+                int(b): int(off) for b, off in doc["resident_offsets"].items()
+            },
+            home_offsets={
+                int(b): int(off) for b, off in doc["home_offsets"].items()
+            },
+            windows={
+                int(b): tuple(
+                    StageWindow(int(s), int(e), int(off)) for s, e, off in ws
+                )
+                for b, ws in doc["windows"].items()
+            },
+            prefetch=prefetch,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        diags.append(
+            Diagnostic(
+                code="ARTIFACT_PARSE",
+                severity=ERROR,
+                message=f"{tag} is unreadable: {exc!r}",
+                plan="artifact",
+            )
+        )
+        return None
+
+
+def analyze_artifact(
+    doc: dict[str, Any],
+    *,
+    level: str = "full",
+    batch_sizes: Sequence[int] = (1,),
+    target: str | None = None,
+) -> AnalysisReport:
+    """Verify a raw ``CompiledModel`` artifact document, leniently.
+
+    Unlike :meth:`CompiledModel.from_doc` — which raises on the first
+    structural problem — this path parses defensively and reports every
+    corruption it can still reach as a :class:`Diagnostic`, so a
+    damaged artifact yields a full findings list rather than one
+    exception. This is the path the mutation harness and the
+    ``verify-plan`` CLI exercise.
+    """
+    from repro.compiler.model import ARTIFACT_FORMAT
+    from repro.graph.serialization import graph_from_dict, graph_signature
+
+    diags: list[Diagnostic] = []
+    target = target or str(doc.get("name", "<artifact>"))
+    if doc.get("format") != ARTIFACT_FORMAT:
+        diags.append(
+            Diagnostic(
+                code="ARTIFACT_FORMAT",
+                severity=ERROR,
+                message=f"unsupported compiled-model format "
+                f"{doc.get('format')!r} (want {ARTIFACT_FORMAT!r})",
+                plan="artifact",
+            )
+        )
+        return AnalysisReport(
+            target=target, diagnostics=tuple(diags), checks=("artifact",), level=level
+        )
+    try:
+        graph = graph_from_dict(doc["graph"])
+    except (GraphError, KeyError, TypeError, ValueError) as exc:
+        diags.append(
+            Diagnostic(
+                code="ARTIFACT_PARSE",
+                severity=ERROR,
+                message=f"field 'graph' is unreadable: {exc!r}",
+                plan="artifact",
+            )
+        )
+        return AnalysisReport(
+            target=target, diagnostics=tuple(diags), checks=("artifact",), level=level
+        )
+    if graph_signature(graph) != doc.get("signature"):
+        diags.append(
+            Diagnostic(
+                code="ARTIFACT_SIGNATURE",
+                severity=ERROR,
+                message="embedded signature does not match the carried "
+                "graph (tampered or corrupted artifact)",
+                plan="artifact",
+            )
+        )
+    plan_doc = doc.get("plan")
+    if not isinstance(plan_doc, dict):
+        diags.append(
+            Diagnostic(
+                code="ARTIFACT_PARSE",
+                severity=ERROR,
+                message="field 'plan' is missing or not an object",
+                plan="artifact",
+            )
+        )
+        return AnalysisReport(
+            target=target, diagnostics=tuple(diags), checks=("artifact",), level=level
+        )
+    try:
+        order = tuple(str(n) for n in plan_doc["schedule"])
+        offsets = {
+            int(b["id"]): int(b["offset"]) for b in plan_doc["buffers"]
+        }
+        arena_bytes = int(plan_doc["arena_bytes"])
+    except (KeyError, TypeError, ValueError) as exc:
+        diags.append(
+            Diagnostic(
+                code="ARTIFACT_PARSE",
+                severity=ERROR,
+                message=f"field 'plan' is unreadable: {exc!r}",
+                plan="artifact",
+            )
+        )
+        return AnalysisReport(
+            target=target, diagnostics=tuple(diags), checks=("artifact",), level=level
+        )
+    spill_plans = []
+    for i, sp_doc in enumerate(doc.get("spill_plans", ())):
+        sp = _spill_plan_lenient(sp_doc, diags, i)
+        if sp is not None:
+            spill_plans.append(sp)
+
+    class _RawPlan:
+        def __init__(self) -> None:
+            self.offsets = offsets
+            self.arena_bytes = arena_bytes
+
+    report = analyze_plan(
+        graph,
+        order,
+        _RawPlan(),
+        spill_plans,
+        level=level,
+        batch_sizes=batch_sizes,
+        target=target,
+    )
+    return AnalysisReport(
+        target=target,
+        diagnostics=tuple(diags) + report.diagnostics,
+        checks=("artifact",) + report.checks,
+        level=level,
+    )

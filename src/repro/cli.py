@@ -264,6 +264,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify_plan(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.verifier import analyze_artifact
+
+    batch_sizes = tuple(args.batch) if args.batch else (1, 8)
+    reports = []
+    unreadable = 0
+    for path in args.artifacts:
+        try:
+            doc = json.loads(open(path).read())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read artifact {path}: {exc}", file=sys.stderr)
+            unreadable += 1
+            continue
+        report = analyze_artifact(
+            doc, level=args.level, batch_sizes=batch_sizes, target=path
+        )
+        reports.append(report)
+        if args.json:
+            print(json.dumps(report.to_doc()))
+        else:
+            print(report.summary())
+    if unreadable:
+        return 2
+    failed = sum(1 for r in reports if not r.ok)
+    if not args.json:
+        print(
+            f"verified {len(reports)} artifact(s): "
+            f"{len(reports) - failed} passed, {failed} failed"
+        )
+    return 1 if failed else 0
+
+
 def _cmd_compile_batch(args: argparse.Namespace) -> int:
     from repro.exceptions import SchedulingError
     from repro.graph.serialization import load_graph
@@ -643,6 +677,41 @@ def build_parser() -> argparse.ArgumentParser:
         "fetch/writeback costs wall-clock; default: instant host copies",
     )
     p_run.set_defaults(func=_cmd_run)
+
+    p_verify = sub.add_parser(
+        "verify-plan",
+        help="statically verify compiled artifacts without executing them",
+        description="Prove each artifact's schedule legality, byte-exact "
+        "arena soundness, spill-window coverage and prefetch race freedom "
+        "from the plan documents alone — no kernel runs. Every violated "
+        "invariant prints as a structured diagnostic; exit 1 if any "
+        "artifact has error-severity findings, 2 if one is unreadable.",
+    )
+    p_verify.add_argument(
+        "artifacts", nargs="+", help="CompiledModel JSON artifact path(s)"
+    )
+    p_verify.add_argument(
+        "--level",
+        choices=("basic", "full"),
+        default="full",
+        help="basic: schedule + layout invariants; full (default) adds "
+        "the byte-exact read-coverage replay",
+    )
+    p_verify.add_argument(
+        "--batch",
+        type=int,
+        action="append",
+        metavar="N",
+        help="batch width(s) the plan must price correctly (repeatable; "
+        "default: 1 and 8 — any width > 1 proves batched arena rows "
+        "cannot alias)",
+    )
+    p_verify.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON report per artifact instead of text",
+    )
+    p_verify.set_defaults(func=_cmd_verify_plan)
 
     p_batch = sub.add_parser(
         "compile-batch",

@@ -24,7 +24,12 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.memsim.hierarchy import OffchipLink
+    from repro.runtime.executor import Params
+    from repro.runtime.plan_executor import PlanExecutor
 
 from repro.allocator.arena import AllocationPlan
 from repro.allocator.export import plan_to_dict
@@ -144,7 +149,7 @@ class CompiledModel:
 
     def executor(
         self,
-        params=None,
+        params: "Params | None" = None,
         seed: int = 0,
         batch_size: int = 1,
         scrub: str = "never",
@@ -152,8 +157,8 @@ class CompiledModel:
         capacity_bytes: int | None = None,
         spill_policy: str = "belady",
         prefetch: bool = True,
-        link=None,
-    ):
+        link: "OffchipLink | None" = None,
+    ) -> "PlanExecutor":
         """A ready :class:`~repro.runtime.plan_executor.PlanExecutor`.
 
         ``batch_size=N`` provisions ``N`` arena rows so ``run_batch``
@@ -220,6 +225,8 @@ class CompiledModel:
             raise GraphError(
                 f"unsupported compiled-model format {doc.get('format')!r}"
             )
+        if "graph" not in doc:
+            raise GraphError("compiled model is corrupt: missing field 'graph'")
         graph = graph_from_dict(doc["graph"])
         signature = graph_signature(graph)
         if signature != doc.get("signature"):
@@ -227,11 +234,29 @@ class CompiledModel:
                 "compiled model is corrupt: embedded signature "
                 f"{doc.get('signature')!r} does not match the carried graph"
             )
-        plan_doc = doc["plan"]
+        plan_doc = doc.get("plan")
+        if not isinstance(plan_doc, dict):
+            raise GraphError(
+                "compiled model is corrupt: field 'plan' is missing or "
+                "not an object"
+            )
+        for want in ("schedule", "buffers", "arena_bytes", "strategy"):
+            if want not in plan_doc:
+                raise GraphError(
+                    f"compiled model is corrupt: missing field 'plan.{want}'"
+                )
         schedule = Schedule(tuple(plan_doc["schedule"]), graph.name)
         schedule.validate(graph)
         model = BufferModel.of(graph)
-        offsets = {int(b["id"]): int(b["offset"]) for b in plan_doc["buffers"]}
+        offsets = {}
+        for i, ent in enumerate(plan_doc["buffers"]):
+            try:
+                offsets[int(ent["id"])] = int(ent["offset"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise GraphError(
+                    "compiled model is corrupt: field "
+                    f"'plan.buffers[{i}]' is unreadable ({exc!r})"
+                ) from exc
         plan = AllocationPlan(
             strategy=plan_doc["strategy"],
             offsets=offsets,
@@ -266,6 +291,30 @@ class CompiledModel:
         return path
 
     @classmethod
-    def load(cls, path: str | Path) -> "CompiledModel":
-        """Load and verify an artifact written by :meth:`save`."""
-        return cls.from_doc(json.loads(Path(path).read_text()))
+    def load(cls, path: str | Path, *, verify: str = "basic") -> "CompiledModel":
+        """Load and verify an artifact written by :meth:`save`.
+
+        Structural validation (format version, signature, schedule and
+        plan self-consistency) always runs. ``verify`` additionally
+        routes the loaded model through the static plan verifier
+        (:mod:`repro.analysis.verifier`): ``"basic"`` (default) proves
+        schedule legality and arena/spill/prefetch layout soundness,
+        ``"full"`` adds the byte-exact read-coverage replay, ``"none"``
+        skips the analyzer. Error-severity findings raise
+        :class:`~repro.exceptions.PlanVerificationError` carrying the
+        full report.
+        """
+        from repro.analysis.verifier import VERIFY_LEVELS, analyze_model
+
+        if verify not in VERIFY_LEVELS:
+            raise ValueError(
+                f"unknown verify level {verify!r}; pick one of {VERIFY_LEVELS}"
+            )
+        model = cls.from_doc(json.loads(Path(path).read_text()))
+        if verify != "none":
+            report = analyze_model(model, level=verify)
+            if not report.ok:
+                from repro.exceptions import PlanVerificationError
+
+                raise PlanVerificationError(report)
+        return model

@@ -76,6 +76,28 @@ class SpillError(AllocationError):
     runs), or when fragmentation defeats every spill configuration."""
 
 
+class PlanVerificationError(ReproError):
+    """The static plan verifier found error-severity findings.
+
+    Raised by :meth:`repro.compiler.model.CompiledModel.load` (and any
+    other caller that treats an analysis failure as fatal). Carries the
+    full :class:`repro.analysis.diagnostics.AnalysisReport` as
+    ``report`` so callers can inspect which invariant broke, at which
+    step, over which bytes."""
+
+    def __init__(self, report, message: str | None = None) -> None:
+        self.report = report
+        if message is None:
+            errs = report.errors
+            head = errs[0].format() if errs else "no findings"
+            more = f" (+{len(errs) - 1} more)" if len(errs) > 1 else ""
+            message = (
+                f"plan verification failed for {report.target!r}: "
+                f"{head}{more}"
+            )
+        super().__init__(message)
+
+
 class RewriteError(ReproError):
     """A graph rewrite rule failed to apply or broke graph invariants."""
 

@@ -161,14 +161,15 @@ class MemoryHierarchySimulator:
                 continue
             if b in resident:
                 policy.on_access(b, pos)
-            elif acc.kind == "read" and acc.last_use:
-                # final read: stream from DRAM without installing — the
-                # kernel consumes a dying tensor, so caching it would only
-                # evict useful residents (no-allocate on last use)
-                bytes_in += size
-                fetches += 1
-                continue
             else:
+                if acc.kind == "read" and acc.last_use:
+                    # final read: stream from DRAM without installing —
+                    # the kernel consumes a dying tensor, so caching it
+                    # would only evict useful residents (no-allocate on
+                    # last use)
+                    bytes_in += size
+                    fetches += 1
+                    continue
                 evict_for(size, pos)
                 if acc.kind == "read":
                     bytes_in += size

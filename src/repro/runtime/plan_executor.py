@@ -1554,6 +1554,23 @@ class PlanExecutor:
                 node_params,
                 shape,
             ) in plan.steps:
+                if kind == _STEP_ENQUEUE:
+                    engine.submit(site, args[0])  # type: ignore[union-attr]
+                    continue
+                if kind == _STEP_SYNC:
+                    engine_wait_s += engine.wait(  # type: ignore[union-attr]
+                        base + attrs
+                    )
+                    continue
+                if kind >= _STEP_FETCH:
+                    # fetch / writeback: whole-buffer byte moves the
+                    # compute stream waits out (the inline stall)
+                    t0 = time.perf_counter()
+                    site[...] = args[0]
+                    if link is not None:
+                        time.sleep(link.transfer_s(site.nbytes))
+                    inline_stall_s += time.perf_counter() - t0
+                    continue
                 if kind == _STEP_DIRECT:
                     fn(args, attrs, node_params, site)
                 elif kind == _STEP_COPY:
@@ -1564,7 +1581,7 @@ class PlanExecutor:
                             f"{name!r}, spec says {shape}"
                         )
                     site[...] = value
-                elif kind == _STEP_INPUT:
+                else:  # _STEP_INPUT
                     if name not in feeds:
                         raise ExecutionError(
                             f"missing feed for input {name!r}"
@@ -1576,22 +1593,6 @@ class PlanExecutor:
                             f"expected {shape}"
                         )
                     site[...] = value
-                elif kind == _STEP_ENQUEUE:
-                    engine.submit(site, args[0])  # type: ignore[union-attr]
-                    continue
-                elif kind == _STEP_SYNC:
-                    engine_wait_s += engine.wait(  # type: ignore[union-attr]
-                        base + attrs
-                    )
-                    continue
-                else:  # fetch / writeback: whole-buffer byte moves the
-                    # compute stream waits out (the inline stall)
-                    t0 = time.perf_counter()
-                    site[...] = args[0]
-                    if link is not None:
-                        time.sleep(link.transfer_s(site.nbytes))
-                    inline_stall_s += time.perf_counter() - t0
-                    continue
                 if name in want:
                     snapshots[name] = site.copy()
             if engine is not None and plan.total_jobs:
@@ -1633,6 +1634,21 @@ class PlanExecutor:
             ),
         )
         return {w: snapshots[w] for w in wanted}
+
+    def shadow_check(self):
+        """Byte-bounds replay of this executor's compiled step tables.
+
+        Delegates to :func:`repro.analysis.shadow.shadow_check`: every
+        pinned plan (single-sample, and batched when ``batch_size > 1``)
+        is walked row by row — views bounds-checked against the
+        declared regions, reads proven covered by earlier writes, and
+        transfer-engine rows modelled for races — without executing a
+        kernel. Returns an
+        :class:`~repro.analysis.diagnostics.AnalysisReport`.
+        """
+        from repro.analysis.shadow import shadow_check
+
+        return shadow_check(self)
 
     def traffic_report(self) -> TrafficReport:
         """Off-chip traffic of the most recent run, in the Fig 11

@@ -156,12 +156,17 @@ class PortfolioResult:
     #: strategies recomputed in-process after their worker pool broke
     fallbacks: tuple[str, ...] = ()
     device: DeviceSpec | None = None
+    #: strategies disqualified by the static plan verifier — a schedule
+    #: or plan with error-severity findings can never win the race
+    rejected: tuple[str, ...] = ()
 
     @property
     def winner(self) -> StrategyOutcome:
-        """Lowest ideal peak; ties break on arena peak, then on cost."""
+        """Lowest ideal peak among verified outcomes; ties break on
+        arena peak, then on cost."""
+        pool = [o for o in self.outcomes if o.strategy not in self.rejected]
         return min(
-            self.outcomes,
+            pool or self.outcomes,
             key=lambda o: (o.peak_bytes, o.arena_bytes, get_strategy(o.strategy).rank),
         )
 
@@ -237,6 +242,13 @@ class BatchReport:
                 "  worker pool broke; recomputed in-process: "
                 + ", ".join(degraded)
             )
+        disqualified = [
+            f"{r.graph_name}:{name}" for r in self.results for name in r.rejected
+        ]
+        if disqualified:
+            lines.append(
+                "  rejected by plan verification: " + ", ".join(disqualified)
+            )
         if self.device is not None:
             n_fit = sum(1 for r in self.results if r.fits)
             lines.append(
@@ -279,6 +291,15 @@ class PortfolioCompiler:
         A :class:`ScheduleCache`, or ``None`` to compile uncached.
     device:
         Optional budget enabling the early-cancellation race.
+    verify:
+        When true (default), each graph's would-be winner is screened
+        through the static plan verifier before the race verdict:
+        its schedule plus a fresh arena plan must analyze clean at
+        ``"basic"`` level. A failing strategy is *rejected* (recorded
+        on the result) and the next-best outcome races in its place —
+        a corrupted or hazardous plan can never be crowned. Raises
+        :class:`~repro.exceptions.SchedulingError` when every outcome
+        for a graph fails analysis.
     """
 
     def __init__(
@@ -288,6 +309,7 @@ class PortfolioCompiler:
         workers: int = 0,
         cache: ScheduleCache | None = None,
         device: DeviceSpec | None = None,
+        verify: bool = True,
     ) -> None:
         names = tuple(
             dict.fromkeys(strategies if strategies is not None else default_portfolio())
@@ -299,6 +321,7 @@ class PortfolioCompiler:
         self.workers = workers
         self.cache = cache
         self.device = device
+        self.verify = verify
 
     # ------------------------------------------------------------------
     # cache plumbing
@@ -386,6 +409,13 @@ class PortfolioCompiler:
                     pending, graphs, signatures, outcomes, cancelled, fallbacks
                 )
 
+        rejected: dict[int, tuple[str, ...]] = {}
+        for gi in range(len(graphs)):
+            got = tuple(
+                outcomes[gi][n] for n in self.strategies if n in outcomes[gi]
+            )
+            rejected[gi] = self._screen_winner(graphs[gi].name, got)
+
         results = tuple(
             PortfolioResult(
                 graph_name=graphs[gi].name,
@@ -396,6 +426,7 @@ class PortfolioCompiler:
                 cancelled=tuple(cancelled[gi]),
                 fallbacks=tuple(fallbacks[gi]),
                 device=self.device,
+                rejected=rejected[gi],
             )
             for gi in range(len(graphs))
         )
@@ -407,6 +438,48 @@ class PortfolioCompiler:
             cache_hits=hits,
             cache_lookups=lookups,
             device=self.device,
+        )
+
+    # ------------------------------------------------------------------
+    def _screen_winner(
+        self, graph_name: str, got: tuple[StrategyOutcome, ...]
+    ) -> tuple[str, ...]:
+        """Disqualify would-be winners whose plans fail static analysis.
+
+        Candidates are tried in race order (the :attr:`winner` key);
+        the first whose schedule + fresh arena plan analyzes clean at
+        ``"basic"`` level stops the screen, so the common case costs
+        one verification per graph. Returns the rejected strategy
+        names; raises :class:`~repro.exceptions.SchedulingError` when
+        no outcome survives.
+        """
+        if not self.verify or not got:
+            return ()
+        from repro.allocator.arena import plan_allocation
+        from repro.analysis.verifier import analyze_plan
+        from repro.exceptions import AllocationError, SchedulingError
+
+        rejected: list[str] = []
+        ordered = sorted(
+            got,
+            key=lambda o: (o.peak_bytes, o.arena_bytes, get_strategy(o.strategy).rank),
+        )
+        for out in ordered:
+            target = out.scheduled_graph
+            try:
+                plan = plan_allocation(target, out.schedule)
+                report = analyze_plan(
+                    target, out.schedule, plan, level="basic"
+                )
+            except AllocationError:
+                rejected.append(out.strategy)
+                continue
+            if report.ok:
+                return tuple(rejected)
+            rejected.append(out.strategy)
+        raise SchedulingError(
+            f"every portfolio outcome for {graph_name!r} failed static "
+            f"plan verification: {', '.join(rejected)}"
         )
 
     # ------------------------------------------------------------------

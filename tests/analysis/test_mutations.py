@@ -1,0 +1,126 @@
+"""Seeded-defect corpus: the verifier's behavioural acceptance bar.
+
+Every mutation class injected into a real compiled artifact must draw
+at least one error from its expected diagnostic family, and clean
+plans — every suite cell, across spill capacities, prefetch leads and
+batch widths — must pass with zero findings (no false positives)."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.allocator.spill import min_capacity_bytes, plan_spill
+from repro.analysis import (
+    MUTATION_CLASSES,
+    analyze_artifact,
+    analyze_plan,
+    iter_mutants,
+)
+from repro.compiler.pipeline import CompilationPipeline
+from repro.models.suite import get_cell, suite_cells
+
+
+@pytest.fixture(scope="module")
+def artifact_doc():
+    """A real artifact rich enough for every mutation class: embedded
+    spill plan, prefetch layout, multi-window staged buffers."""
+    model = CompilationPipeline("greedy").compile(
+        get_cell("randwire-c10-a").factory()
+    )
+    floor = min_capacity_bytes(model.graph, model.schedule)
+    cap = max(floor, model.plan.arena_bytes // 2)
+    sp = plan_spill(
+        model.graph, model.schedule, model.plan, cap, prefetch_lead=8
+    )
+    return replace(model, spill_plans=(sp,)).to_doc()
+
+
+class TestCorpus:
+    def test_corpus_covers_at_least_eight_classes(self):
+        assert len(MUTATION_CLASSES) >= 8
+
+    def test_clean_artifact_has_zero_findings(self, artifact_doc):
+        report = analyze_artifact(artifact_doc, level="full", batch_sizes=(1, 8))
+        assert report.ok
+        assert len(report) == 0, report.summary()
+
+    def test_document_survives_json_round_trip(self, artifact_doc):
+        doc = json.loads(json.dumps(artifact_doc))
+        report = analyze_artifact(doc, level="full", batch_sizes=(1, 8))
+        assert report.ok and len(report) == 0
+
+    def test_every_class_applies_to_this_artifact(self, artifact_doc):
+        names = [m.name for m in iter_mutants(artifact_doc)]
+        assert names == list(MUTATION_CLASSES)
+
+    def test_every_mutant_is_caught(self, artifact_doc):
+        # mutate the JSON round-tripped form: exactly what a corrupted
+        # on-disk artifact looks like
+        doc = json.loads(json.dumps(artifact_doc))
+        caught = {}
+        for mutant in iter_mutants(doc):
+            report = analyze_artifact(
+                mutant.doc, level="full", batch_sizes=(1, 8)
+            )
+            hits = {d.code for d in report.errors} & mutant.expect_codes
+            assert not report.ok, (
+                f"{mutant.name} escaped the verifier: {mutant.description}"
+            )
+            assert hits, (
+                f"{mutant.name} was flagged, but with none of the expected "
+                f"codes {sorted(mutant.expect_codes)}; got "
+                f"{sorted(report.codes())}"
+            )
+            caught[mutant.name] = hits
+        assert set(caught) == set(MUTATION_CLASSES)
+
+    def test_mutants_never_touch_the_original(self, artifact_doc):
+        before = json.dumps(artifact_doc, sort_keys=True)
+        for _ in iter_mutants(artifact_doc):
+            pass
+        assert json.dumps(artifact_doc, sort_keys=True) == before
+
+
+class TestNoFalsePositives:
+    """Clean compiled plans across the whole suite must verify clean."""
+
+    def test_clean_sweep(self):
+        checked = 0
+        for cell in suite_cells():
+            model = CompilationPipeline("greedy").compile(cell.factory())
+            floor = min_capacity_bytes(model.graph, model.schedule)
+            arena = model.plan.arena_bytes
+            capacities = sorted(
+                {
+                    floor,
+                    max(floor, arena // 2),
+                    max(floor, arena * 3 // 4),
+                    max(floor, arena),
+                }
+            )
+            for lead in (0, 8):
+                spills = tuple(
+                    plan_spill(
+                        model.graph,
+                        model.schedule,
+                        model.plan,
+                        cap,
+                        prefetch_lead=lead,
+                    )
+                    for cap in capacities
+                )
+                report = analyze_plan(
+                    model.graph,
+                    model.schedule,
+                    model.plan,
+                    spills,
+                    level="full",
+                    batch_sizes=(1, 8),
+                )
+                assert report.ok and len(report) == 0, (
+                    f"false positive on {cell.key} (lead={lead}, "
+                    f"capacities={capacities}):\n{report.summary()}"
+                )
+                checked += 1
+        assert checked == len(suite_cells()) * 2

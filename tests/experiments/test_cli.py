@@ -426,3 +426,70 @@ class TestSpillCLI:
     def test_experiment_policy_only_for_fig11(self, capsys):
         assert main(["experiment", "fig10", "--policy", "lru"]) == 2
         assert "--policy only applies to fig11" in capsys.readouterr().err
+
+
+class TestVerifyPlanCLI:
+    """`verify-plan`: the static analyzer as a CI gate."""
+
+    @pytest.fixture()
+    def artifact(self, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        assert (
+            main(
+                [
+                    "compile", "--cell", "swiftnet-c", "-o", str(out),
+                    "--strategy", "greedy", "--no-cache",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return out
+
+    @staticmethod
+    def _corrupt(artifact, tmp_path):
+        import json
+
+        doc = json.loads(artifact.read_text())
+        doc["plan"]["arena_bytes"] = int(doc["plan"]["arena_bytes"]) + 4096
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(doc))
+        return bad
+
+    def test_clean_artifact_passes(self, artifact, capsys):
+        assert main(["verify-plan", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "1 passed, 0 failed" in out
+
+    def test_corrupt_artifact_exits_1(self, artifact, tmp_path, capsys):
+        bad = self._corrupt(artifact, tmp_path)
+        assert main(["verify-plan", str(artifact), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "ARENA_PEAK" in out
+        assert "1 passed, 1 failed" in out
+
+    def test_unreadable_artifact_exits_2(self, tmp_path, capsys):
+        assert main(["verify-plan", str(tmp_path / "missing.json")]) == 2
+        assert "cannot read artifact" in capsys.readouterr().err
+
+    def test_json_reports(self, artifact, tmp_path, capsys):
+        import json
+
+        bad = self._corrupt(artifact, tmp_path)
+        assert main(["verify-plan", "--json", str(artifact), str(bad)]) == 1
+        lines = capsys.readouterr().out.strip().splitlines()
+        docs = [json.loads(line) for line in lines]
+        assert [d["ok"] for d in docs] == [True, False]
+        assert any(
+            diag["code"] == "ARENA_PEAK" for diag in docs[1]["diagnostics"]
+        )
+
+    def test_batch_widths_change_the_verdict(self, artifact, tmp_path, capsys):
+        import json
+
+        doc = json.loads(artifact.read_text())
+        doc["plan"]["arena_bytes"] = int(doc["plan"]["arena_bytes"]) - 1
+        bad = tmp_path / "rows.json"
+        bad.write_text(json.dumps(doc))
+        assert main(["verify-plan", str(bad), "--batch", "8"]) == 1
+        assert "ARENA_ROW_OVERLAP" in capsys.readouterr().out
