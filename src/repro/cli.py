@@ -438,6 +438,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             prefetch=not args.no_prefetch,
             link=_offchip_link(args),
             shards=args.shards,
+            deadline_s=(
+                args.deadline_ms / 1e3 if args.deadline_ms else None
+            ),
+            retries=args.retries,
         )
     except ReproError as exc:
         print(f"error: serving run failed: {exc}", file=sys.stderr)
@@ -456,6 +460,13 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print(f"error: --shards must be >= 1, got {args.shards}", file=sys.stderr)
         return 2
+    if args.chaos and args.shards < 2:
+        print(
+            "error: --chaos needs --shards >= 2 (survivors must keep "
+            "serving while a shard is down)",
+            file=sys.stderr,
+        )
+        return 2
 
     registry = ModelRegistry()
     try:
@@ -470,6 +481,9 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         print(f"error: compilation failed: {exc}", file=sys.stderr)
         return 2
     print(f"compiled {len(registry)} models: {', '.join(registry.names())}")
+
+    if args.chaos:
+        return _run_chaos_bench(args, registry)
 
     budget = _serving_budget(args)
     link = _offchip_link(args)
@@ -515,6 +529,126 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
           + (f", {pooled.shards} shards" if pooled.shards > 1 else "")
           + ")")
     return 0
+
+
+def _run_chaos_bench(args: argparse.Namespace, registry) -> int:
+    """``bench-serve --chaos``: kill every shard once mid-load under a
+    seeded FaultPlan and *assert* self-healing — full shard count
+    restored, bitwise-correct responses through the kills, counters
+    consistent with the injected schedule. Exit 1 when recovery fails,
+    so CI can gate on it."""
+    import json
+    import os
+    from pathlib import Path
+
+    from repro.exceptions import ReproError
+    from repro.serving import FaultPlan, run_load
+
+    quick = bool(os.environ.get("REPRO_BENCH_QUICK"))
+    requests = min(args.requests, 48) if quick else args.requests
+    deadline_s = (
+        args.deadline_ms / 1e3 if args.deadline_ms else 30.0
+    )
+    retries = args.retries if args.retries else 6
+    plan = FaultPlan.kill_each_shard_once(args.shards, seed=args.seed)
+    print(
+        f"chaos plan (seed {args.seed}): kill each of {args.shards} "
+        "shards once, at arrivals "
+        f"{[f.at_request for f in plan.faults]}"
+    )
+    try:
+        report = run_load(
+            registry,
+            requests=requests,
+            clients=args.clients,
+            workers=args.workers,
+            max_batch=args.max_batch,
+            budget=_serving_budget(args),
+            seed=args.seed,
+            verify=True,
+            preload=args.preload,
+            spill=args.spill,
+            spill_policy=args.spill_policy,
+            prefetch=not args.no_prefetch,
+            link=_offchip_link(args),
+            shards=args.shards,
+            deadline_s=deadline_s,
+            retries=retries,
+            faults=plan,
+        )
+    except ReproError as exc:
+        print(f"error: chaos run failed: {exc}", file=sys.stderr)
+        return 2
+    print()
+    print(report.summary())
+    print()
+
+    alive = sum(1 for s in report.shard_stats if s.alive)
+    checks = [
+        (
+            f"shard count restored ({alive}/{args.shards} alive)",
+            alive == args.shards,
+        ),
+        (
+            f"every kill recovered ({report.restarts} restarts "
+            f"for {plan.kills()} kills)",
+            report.restarts == plan.kills(),
+        ),
+        (
+            f">= 99% requests completed ({requests - report.errors}"
+            f"/{requests})",
+            report.errors <= requests * 0.01,
+        ),
+        (
+            "responses bitwise-correct (retries included)",
+            report.verified is True,
+        ),
+        ("no circuit breaker trips", report.breaker_trips == 0),
+    ]
+    for label, ok in checks:
+        print(f"  [{'PASS' if ok else 'FAIL'}] {label}")
+    recovered = all(ok for _, ok in checks)
+
+    if args.json_out:
+        path = Path(args.json_out)
+        doc: dict = {}
+        if path.exists():
+            try:
+                doc = json.loads(path.read_text())
+            except ValueError:
+                doc = {}
+        doc["chaos"] = {
+            "quick": quick,
+            "shards": args.shards,
+            "requests": requests,
+            "seed": args.seed,
+            "plan_kills": plan.kills(),
+            "kill_arrivals": [f.at_request for f in plan.faults],
+            "deadline_s": deadline_s,
+            "retries_budget": retries,
+            "restarts": report.restarts,
+            "retries": report.retries,
+            "expired": report.expired,
+            "shed": report.shed,
+            "breaker_trips": report.breaker_trips,
+            "errors": report.errors,
+            "alive_shards": alive,
+            "verified_bitwise": report.verified,
+            "recovered": recovered,
+            "req_per_s": report.rps,
+            "p50_ms": report.p50_ms,
+            "p99_ms": report.p99_ms,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"\nchaos counters merged into {path}")
+
+    print(
+        "\nchaos verdict           : "
+        + ("self-healed, service stayed correct" if recovered
+           else "RECOVERY FAILED")
+    )
+    return 0 if recovered else 1
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -835,6 +969,19 @@ def build_parser() -> argparse.ArgumentParser:
             help="model the off-chip link at this bandwidth (MB/s) on "
             "every pooled executor's fetches/writebacks",
         )
+        p.add_argument(
+            "--deadline-ms", type=float, metavar="MS", default=None,
+            help="per-request deadline: queued requests past it are shed "
+            "before compute, in-flight ones fail typed "
+            "(DeadlineExceededError) instead of blocking — identical "
+            "semantics sharded and unsharded",
+        )
+        p.add_argument(
+            "--retries", type=int, default=0,
+            help="retry a request whose shard died with it in flight, "
+            "rerouted through the live routing table (sharded runs; "
+            "default 0)",
+        )
 
     p_serve = sub.add_parser(
         "serve",
@@ -923,6 +1070,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="scheduling strategy for compilation (default: greedy)",
     )
     add_serving_options(p_bserve, requests=160)
+    p_bserve.add_argument(
+        "--chaos",
+        action="store_true",
+        help="self-healing acceptance run: kill every shard once "
+        "mid-load under a seeded FaultPlan and assert recovery — full "
+        "shard count restored, >= 99%% of requests bitwise-correct, "
+        "restart counters matching the schedule (needs --shards >= 2; "
+        "exit 1 on failed recovery)",
+    )
+    p_bserve.add_argument(
+        "--json-out",
+        metavar="FILE",
+        help="merge the chaos fault/recovery counters into this JSON "
+        "document (e.g. benchmarks/results/BENCH_serving.json)",
+    )
     p_bserve.set_defaults(func=_cmd_bench_serve)
 
     p_exp = sub.add_parser("experiment", help="regenerate a table/figure")

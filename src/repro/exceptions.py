@@ -112,3 +112,32 @@ class ServingError(ReproError):
 
 class AdmissionError(ServingError):
     """An arena could not be admitted under the serving memory budget."""
+
+
+class DeadlineExceededError(ServingError):
+    """A request's deadline passed before it could be served.
+
+    Raised into the request's future when a queued request is shed
+    before compute (single-process and shard-worker schedulers), or
+    when the sharded front end sweeps an in-flight request whose
+    deadline expired while its shard was down or wedged. Never raised
+    for a request whose result was already delivered."""
+
+
+class OverloadedError(ServingError):
+    """A shard's in-flight window is full: the request was rejected
+    *immediately* instead of blocking on ring backpressure.
+
+    Only raised when a per-shard in-flight cap (``max_inflight``) is
+    configured, or when ring-slot acquisition times out — both mean
+    "shed load now", and clients should back off or retry elsewhere."""
+
+
+class ShardFailedError(ServingError):
+    """A shard process died, wedged, or drained with the request on it.
+
+    This is the *retryable* serving failure: the request itself was
+    fine, the process serving it was not. The sharded front end retries
+    these automatically when ``retries > 0``; the message keeps the
+    legacy "died"/"dead"/"draining" vocabulary so existing matchers
+    hold."""

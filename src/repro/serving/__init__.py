@@ -14,7 +14,12 @@ The deployment story in four layers:
 * :class:`~repro.serving.shard.ShardedScheduler` — the process-level
   multiplier: N worker processes (one pool + scheduler each), sticky
   rendezvous model→shard routing, zero-copy shared-memory tensor
-  rings, behind the same ``submit() -> Future`` API.
+  rings, behind the same ``submit() -> Future`` API — and
+  **self-healing**: dead/wedged shards respawn under supervision,
+  crash loops trip a circuit breaker that reroutes models to the
+  survivors, requests carry deadlines and bounded retries, and the
+  whole story is provable with a deterministic
+  :class:`~repro.serving.faults.FaultPlan`.
 
 >>> registry = ModelRegistry()
 >>> registry.load("model.json")
@@ -23,6 +28,15 @@ The deployment story in four layers:
 ...     outputs = server.submit("model", feeds).result().outputs
 """
 
+from repro.serving.faults import (
+    DelayResponse,
+    DropResponse,
+    FaultPlan,
+    KillMidResponse,
+    KillShard,
+    StallEngine,
+    WedgeShard,
+)
 from repro.serving.loadgen import LoadReport, run_load
 from repro.serving.pool import ArenaPool, PoolStats
 from repro.serving.registry import ModelRegistry
@@ -41,7 +55,12 @@ from repro.serving.shard import (
 
 __all__ = [
     "ArenaPool",
+    "DelayResponse",
+    "DropResponse",
+    "FaultPlan",
     "InferenceResult",
+    "KillMidResponse",
+    "KillShard",
     "LoadReport",
     "ModelRegistry",
     "PoolStats",
@@ -50,6 +69,8 @@ __all__ = [
     "ServingStats",
     "ShardStats",
     "ShardedScheduler",
+    "StallEngine",
+    "WedgeShard",
     "balanced_routing",
     "rendezvous_shard",
     "run_load",

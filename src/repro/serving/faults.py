@@ -1,0 +1,259 @@
+"""Deterministic fault injection for the sharded serving stack.
+
+The self-healing claims in :mod:`repro.serving.shard` — supervision,
+respawn, retry-with-reroute, deadline shedding — are only worth having
+if they can be *demonstrated*, repeatably, in CI. This module is the
+seeded-defect corpus for the serving layer, the runtime counterpart of
+``repro.analysis.mutations``: a :class:`FaultPlan` describes exactly
+which shard misbehaves, how, and at which request arrival, and the
+plan is injected into the worker process through test-only hooks in
+``_ShardWorker``. Same plan + same seed ⇒ same fault schedule, so a
+chaos run's restart/retry/shed counters can be asserted exactly.
+
+Fault vocabulary (all frozen, picklable dataclasses):
+
+* :class:`KillShard` — ``SIGKILL`` the shard process the instant the
+  Nth request arrives (before it is accepted). The hard-crash case.
+* :class:`KillMidResponse` — ``SIGKILL`` *between* the response-ring
+  payload write and the control-pipe notify: the nastiest partial-state
+  window, where the payload exists but the parent was never told.
+* :class:`WedgeShard` — stall the worker's event loop (heartbeats
+  stop, the process stays alive): the livelock/hang case only
+  heartbeat supervision can catch.
+* :class:`DropResponse` — compute the Nth request, then silently drop
+  its response message. Without a deadline the client would wait
+  forever; with one, the parent sweep sheds it.
+* :class:`DelayResponse` — hold the Nth response for ``delay_s``
+  before sending it (late but correct).
+* :class:`StallEngine` — inject a synchronous stall into the shard's
+  execution engine before its next dispatch (models a stuck transfer
+  engine / device queue): requests behind it age out against their
+  deadlines while the process stays healthy.
+
+Every fault carries an ``incarnation``: ``0`` (default) fires only in
+the shard's first life, so a respawned shard does not re-trip the same
+fault when its arrival counter restarts; ``None`` fires in *every*
+incarnation — that is how a crash-looping shard is built to order for
+circuit-breaker tests. Plans compose: several faults may target the
+same shard, arrival, or incarnation.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from random import Random
+from typing import Iterable
+
+from repro.exceptions import ServingError
+
+__all__ = [
+    "DelayResponse",
+    "DropResponse",
+    "Fault",
+    "FaultPlan",
+    "KillMidResponse",
+    "KillShard",
+    "StallEngine",
+    "WedgeShard",
+]
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base fault: targets ``shard`` when its ``at_request``-th request
+    arrives (1-based arrival count, per incarnation)."""
+
+    shard: int
+    at_request: int = 1
+    #: which life of the shard this fault fires in: ``0`` = first
+    #: incarnation only (default), ``N`` = that incarnation, ``None`` =
+    #: every incarnation (crash loops)
+    incarnation: int | None = 0
+
+    def _validate(self) -> None:
+        if self.shard < 0:
+            raise ServingError(f"fault shard must be >= 0, got {self.shard}")
+        if self.at_request < 1:
+            raise ServingError(
+                f"fault at_request must be >= 1, got {self.at_request}"
+            )
+
+
+@dataclass(frozen=True)
+class KillShard(Fault):
+    """SIGKILL the shard process when the Nth request arrives."""
+
+
+@dataclass(frozen=True)
+class KillMidResponse(Fault):
+    """SIGKILL between response-ring write and control-pipe notify."""
+
+
+@dataclass(frozen=True)
+class WedgeShard(Fault):
+    """Stall the worker event loop for ``stall_s`` (heartbeats stop)."""
+
+    stall_s: float = 30.0
+
+
+@dataclass(frozen=True)
+class DropResponse(Fault):
+    """Serve the Nth request but never send its response."""
+
+
+@dataclass(frozen=True)
+class DelayResponse(Fault):
+    """Hold the Nth response for ``delay_s`` before sending it."""
+
+    delay_s: float = 0.2
+
+
+@dataclass(frozen=True)
+class StallEngine(Fault):
+    """Stall the shard's execution engine for ``stall_s`` before the
+    next dispatch after the Nth request arrives."""
+
+    stall_s: float = 0.5
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, seedable schedule of serving faults.
+
+    Frozen and picklable: the plan crosses into worker processes inside
+    ``_ShardConfig`` under ``fork`` and ``spawn`` alike. The ``seed``
+    only matters to the constructors that *draw* a schedule
+    (:meth:`kill_each_shard_once`); a hand-built plan is already fully
+    determined by its faults.
+    """
+
+    faults: tuple[Fault, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for fault in self.faults:
+            fault._validate()
+
+    # ------------------------------------------------------------------
+    # canned schedules
+    # ------------------------------------------------------------------
+    @classmethod
+    def kill_each_shard_once(
+        cls,
+        shards: int,
+        *,
+        at_request: int | None = None,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """Kill every shard exactly once, mid-load, first incarnation.
+
+        When ``at_request`` is ``None`` each shard's kill point is drawn
+        deterministically from ``seed`` (arrivals 2..6), so different
+        seeds exercise different interleavings while any one seed is
+        exactly reproducible.
+        """
+        if shards < 1:
+            raise ServingError(f"shards must be >= 1, got {shards}")
+        rng = Random(seed)
+        faults = tuple(
+            KillShard(
+                shard=shard,
+                at_request=(
+                    at_request if at_request is not None else rng.randint(2, 6)
+                ),
+            )
+            for shard in range(shards)
+        )
+        return cls(faults=faults, seed=seed)
+
+    @classmethod
+    def crash_loop(
+        cls, shard: int, *, at_request: int = 1, seed: int = 0
+    ) -> "FaultPlan":
+        """Kill ``shard`` at the same arrival in *every* incarnation —
+        the canonical circuit-breaker trip."""
+        return cls(
+            faults=(
+                KillShard(shard=shard, at_request=at_request, incarnation=None),
+            ),
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def for_shard(self, shard: int, incarnation: int) -> tuple[Fault, ...]:
+        """The faults armed for one life of one shard."""
+        return tuple(
+            f
+            for f in self.faults
+            if f.shard == shard
+            and (f.incarnation is None or f.incarnation == incarnation)
+        )
+
+    def injector(self, shard: int, incarnation: int) -> "_FaultInjector | None":
+        """Child-side runtime for this plan, or ``None`` if no fault
+        targets this life of this shard (the hot path stays hook-free)."""
+        armed = self.for_shard(shard, incarnation)
+        if not armed:
+            return None
+        return _FaultInjector(armed)
+
+    def kills(self) -> int:
+        """Process-death faults in the plan (drives expected restarts)."""
+        return sum(
+            1
+            for f in self.faults
+            if isinstance(f, (KillShard, KillMidResponse))
+        )
+
+
+class _FaultInjector:
+    """Per-process fault runtime built from a :class:`FaultPlan`.
+
+    Lives inside ``_ShardWorker``; counts request arrivals and tells
+    the worker's hooks what to do. Arrival counting happens on the
+    worker's single event-loop thread, so no locking is needed there;
+    the deferred-response map is touched from scheduler worker threads
+    too and is guarded.
+    """
+
+    def __init__(self, faults: Iterable[Fault]) -> None:
+        self.faults = tuple(faults)
+        self.arrivals = 0
+        self._by_req: dict[int, list[Fault]] = {}
+        self._stalls: list[float] = []
+        self._lock = threading.Lock()
+
+    def on_request(self, req_id: int) -> list[Fault]:
+        """Record one request arrival; returns faults the event loop
+        must act on *now* (kill/wedge). Deferred faults (drop, delay,
+        mid-response kill, engine stall) are armed for later hooks."""
+        self.arrivals += 1
+        immediate: list[Fault] = []
+        for fault in self.faults:
+            if fault.at_request != self.arrivals:
+                continue
+            if isinstance(fault, (KillShard, WedgeShard)):
+                immediate.append(fault)
+            elif isinstance(fault, StallEngine):
+                with self._lock:
+                    self._stalls.append(fault.stall_s)
+            else:
+                with self._lock:
+                    self._by_req.setdefault(req_id, []).append(fault)
+        return immediate
+
+    def response_faults(self, req_id: int) -> list[Fault]:
+        """Faults armed against this request's response (consumed)."""
+        with self._lock:
+            return self._by_req.pop(req_id, [])
+
+    def take_stall(self) -> float | None:
+        """Pending engine stall, if any (consumed by the run hook)."""
+        with self._lock:
+            if not self._stalls:
+                return None
+            return self._stalls.pop(0)

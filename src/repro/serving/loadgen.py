@@ -26,6 +26,7 @@ from repro.exceptions import ServingError
 from repro.memsim import OffchipLink
 from repro.runtime.executor import Executor, init_params, random_feeds
 from repro.scheduler.device import DeviceSpec
+from repro.serving.faults import FaultPlan
 from repro.serving.pool import ArenaPool, PoolStats
 from repro.serving.registry import ModelRegistry
 from repro.serving.scheduler import RequestScheduler
@@ -73,6 +74,14 @@ class LoadReport:
     #: per-shard snapshots when ``shards > 1`` (sticky routing, ring
     #: occupancy, child-side queue depth and spill accounting)
     shard_stats: tuple[ShardStats, ...] = ()
+    #: self-healing counters (sharded runs): shard respawns, request
+    #: retries, deadline expiries, load-shed rejections
+    restarts: int = 0
+    retries: int = 0
+    expired: int = 0
+    shed: int = 0
+    #: shards permanently failed by the crash-loop circuit breaker
+    breaker_trips: int = 0
 
     @property
     def rps(self) -> float:
@@ -118,7 +127,11 @@ class LoadReport:
             )
             for s in self.shard_stats:
                 rps = s.requests / self.wall_s if self.wall_s else 0.0
-                state = "alive" if s.alive else "DEAD"
+                state = "alive" if s.alive else (
+                    "BREAKER-OPEN" if s.failed else "DEAD"
+                )
+                if s.incarnation:
+                    state += f", incarnation {s.incarnation}"
                 lines.append(
                     f"    shard {s.shard} ({state}): {rps:7.1f} req/s | "
                     f"models {', '.join(s.models) or '-'} | "
@@ -128,6 +141,17 @@ class LoadReport:
                     f"stall/hidden {s.spill_stall_s * 1e3:.1f}/"
                     f"{s.spill_hidden_s * 1e3:.1f} ms"
                 )
+        if self.restarts or self.retries or self.expired or self.shed:
+            lines.append(
+                f"  self-healing          : {self.restarts} restarts, "
+                f"{self.retries} retries, {self.expired} deadline-expired, "
+                f"{self.shed} shed"
+                + (
+                    f", {self.breaker_trips} breaker trip(s)"
+                    if self.breaker_trips
+                    else ""
+                )
+            )
         if self.spill != "never" or self.spill_bytes:
             lines.append(
                 f"  off-chip spill traffic: {self.spill_bytes / 1024:7.1f}KB "
@@ -170,6 +194,11 @@ def run_load(
     prefetch: bool = True,
     link: OffchipLink | None = None,
     shards: int = 1,
+    deadline_s: float | None = None,
+    retries: int = 0,
+    max_inflight: int | None = None,
+    supervise: bool = True,
+    faults: FaultPlan | None = None,
 ) -> LoadReport:
     """Drive ``requests`` inferences from ``clients`` concurrent threads.
 
@@ -199,12 +228,28 @@ def run_load(
     crossing over zero-copy shared-memory rings. The client loop,
     verification and reporting are identical — only the server behind
     ``submit()`` changes.
+
+    The robustness knobs pass through to whichever scheduler runs:
+    ``deadline_s`` bounds every request end to end (expiries count as
+    errors and in :attr:`LoadReport.expired`); sharded runs also honor
+    ``retries`` (retry-with-reroute on shard death), ``max_inflight``
+    (per-shard cap, excess shed as
+    :class:`~repro.exceptions.OverloadedError`), ``supervise`` (dead
+    and wedged shards respawn), and ``faults`` — a deterministic
+    :class:`~repro.serving.faults.FaultPlan` injected into the workers,
+    which is how the chaos benchmark proves the self-healing counters
+    it reports.
     """
     names = registry.names()
     if not names:
         raise ValueError("registry has no models to serve")
     if shards < 1:
         raise ServingError(f"shards must be >= 1, got {shards}")
+    if faults is not None and shards < 2:
+        raise ServingError(
+            "fault injection needs shards >= 2: a chaos run must keep "
+            "serving from surviving shards while one is down"
+        )
     if batch_size is None:
         batch_size = max_batch if reuse else 1
     pool: ArenaPool | None = None
@@ -227,6 +272,11 @@ def run_load(
             link=link,
             preload=preload,
             ring_slots=max(16, 2 * -(-clients // shards)),
+            deadline_s=deadline_s,
+            retries=retries,
+            max_inflight=max_inflight,
+            supervise=supervise,
+            faults=faults,
         )
     else:
         pool = ArenaPool(
@@ -242,7 +292,11 @@ def run_load(
             link=link,
         )
         server_ctx = RequestScheduler(
-            registry, pool, workers=workers, max_batch=max_batch
+            registry,
+            pool,
+            workers=workers,
+            max_batch=max_batch,
+            deadline_s=deadline_s,
         )
     preloaded = (
         bool(pool.preload()) if (preload and pool is not None) else False
@@ -332,4 +386,9 @@ def run_load(
         spill_hidden_s=stats.spill_hidden_s,
         shards=shards,
         shard_stats=shard_stats,
+        restarts=stats.restarts,
+        retries=stats.retries,
+        expired=stats.expired,
+        shed=stats.shed,
+        breaker_trips=sum(1 for s in shard_stats if s.failed),
     )

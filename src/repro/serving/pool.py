@@ -57,7 +57,7 @@ import time
 from collections import defaultdict, deque
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.allocator.spill import SPILL_MODES, SpillPlan
 from repro.exceptions import AdmissionError, ServingError, SpillError
@@ -381,7 +381,7 @@ class ArenaPool:
             self.release(name, executor)
 
     # ------------------------------------------------------------------
-    def preload(self) -> list[str]:
+    def preload(self, names: Iterable[str] | None = None) -> list[str]:
         """Build one idle executor per registered model before traffic.
 
         Warms the pool so no request pays executor construction (arena
@@ -394,13 +394,19 @@ class ArenaPool:
         in :attr:`PoolStats.preloads`, **not** as misses — the miss
         counter keeps meaning "a request paid for a build".
 
+        ``names`` restricts warming to a subset (default: the whole
+        registry) — shard workers load every artifact so models can
+        rehash onto them after a peer fails, but warm only the models
+        *currently routed* to them, keeping preloads unduplicated.
+
         Returns the names actually built. No-op (empty list) when
         pooling is disabled.
         """
         built: list[str] = []
         if not self.reuse:
             return built
-        for name in self.registry.names():
+        targets = self.registry.names() if names is None else list(names)
+        for name in targets:
             cost = self._arena_cost(name)
             with self._cond:
                 if self._closed:

@@ -32,11 +32,11 @@ import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
-from repro.exceptions import ServingError
+from repro.exceptions import DeadlineExceededError, ServingError
 from repro.serving.pool import ArenaPool, PoolStats
 from repro.serving.registry import ModelRegistry
 
@@ -72,6 +72,10 @@ class RequestStats:
     spill_stall_s: float = 0.0
     #: transfer seconds the prefetch engine hid behind compute
     spill_hidden_s: float = 0.0
+    #: how many submissions it took to serve this request: 1 = first
+    #: try; > 1 = the sharded front end retried it after a shard died
+    #: under it (queue/run times are the *successful* attempt's)
+    attempts: int = 1
 
     @property
     def total_s(self) -> float:
@@ -114,6 +118,17 @@ class ServingStats:
     spill_stall_s: float = 0.0
     #: transfer seconds the prefetch engines hid behind compute
     spill_hidden_s: float = 0.0
+    #: shard processes respawned by supervision (0 without sharding)
+    restarts: int = 0
+    #: automatic resubmissions after a shard died with requests on it
+    retries: int = 0
+    #: requests that missed their deadline (shed pre-compute, or swept
+    #: in flight by the sharded front end); a subset of ``errors``
+    expired: int = 0
+    #: requests rejected immediately by overload control (in-flight cap
+    #: or ring-slot timeout); also counted in ``errors`` by callers
+    #: that observe the raised :class:`OverloadedError`
+    shed: int = 0
 
     @property
     def p50_s(self) -> float:
@@ -148,6 +163,8 @@ class _Request:
     outputs: list[str] | None
     future: Future
     enqueued_at: float
+    #: absolute ``time.monotonic()`` deadline, or ``None`` for no limit
+    deadline: float | None = None
 
 
 class RequestScheduler:
@@ -169,6 +186,15 @@ class RequestScheduler:
         batching. When the pool's executors are batch-capable, the
         drained requests additionally run as one stacked
         ``run_batch`` call (chunked to the executors' capacity).
+    deadline_s:
+        Default per-request deadline (seconds from submit). A request
+        whose deadline passes while it is still queued is *shed before
+        compute*: its future fails with
+        :class:`~repro.exceptions.DeadlineExceededError` and it never
+        touches an executor. ``submit(deadline_s=...)`` overrides per
+        request; ``None`` (default) disables deadlines. This is the
+        same knob the sharded path honours, so ``--shards 1`` and
+        unsharded serving fail identically.
     """
 
     def __init__(
@@ -178,15 +204,23 @@ class RequestScheduler:
         *,
         workers: int = 4,
         max_batch: int = 1,
+        deadline_s: float | None = None,
     ) -> None:
         if workers < 1:
             raise ServingError("RequestScheduler needs at least one worker")
         if max_batch < 1:
             raise ServingError("max_batch must be >= 1")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ServingError(f"deadline_s must be > 0, got {deadline_s}")
         self.registry = registry
         self.pool = pool
         self.workers = workers
         self.max_batch = max_batch
+        self.deadline_s = deadline_s
+        #: test-only fault hook: when set, called (no args) at the top
+        #: of every batch dispatch — the chaos harness injects engine
+        #: stalls here (see ``repro.serving.faults.StallEngine``)
+        self.run_hook: Callable[[], None] | None = None
         self._queue: deque[_Request] = deque()
         #: per-model input specs for stacking validation, memoised —
         #: artifacts are immutable, and this sits on the dispatch path
@@ -200,9 +234,11 @@ class RequestScheduler:
         self._requests = 0
         self._errors = 0
         self._batches = 0
+        self._expired = 0
         self._spill_bytes = 0
         self._spill_stall_s = 0.0
         self._spill_hidden_s = 0.0
+        self._sweeper: threading.Thread | None = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -220,6 +256,10 @@ class RequestScheduler:
         ]
         for t in self._threads:
             t.start()
+        self._sweeper = threading.Thread(
+            target=self._sweep_loop, name="serve-deadline-sweep", daemon=True
+        )
+        self._sweeper.start()
         return self
 
     def shutdown(self, wait: bool = True) -> None:
@@ -230,7 +270,10 @@ class RequestScheduler:
         if wait:
             for t in self._threads:
                 t.join()
+            if self._sweeper is not None:
+                self._sweeper.join()
         self._threads = []
+        self._sweeper = None
         self._started = False
 
     def __enter__(self) -> "RequestScheduler":
@@ -247,9 +290,19 @@ class RequestScheduler:
         model: str,
         feeds: Mapping[str, np.ndarray],
         outputs: Iterable[str] | None = None,
+        *,
+        deadline_s: float | None = None,
     ) -> Future:
-        """Enqueue one inference; resolves to an :class:`InferenceResult`."""
+        """Enqueue one inference; resolves to an :class:`InferenceResult`.
+
+        ``deadline_s`` (seconds from now; default: the scheduler's
+        ``deadline_s``) bounds how long the request may wait: if it is
+        still queued when the deadline passes it is shed before compute
+        and the future fails with
+        :class:`~repro.exceptions.DeadlineExceededError`."""
         self.registry.get(model)  # fail fast on unknown names
+        if deadline_s is None:
+            deadline_s = self.deadline_s
         fut: Future = Future()
         request = _Request(
             model=model,
@@ -257,6 +310,9 @@ class RequestScheduler:
             outputs=list(outputs) if outputs is not None else None,
             future=fut,
             enqueued_at=time.perf_counter(),
+            deadline=(
+                None if deadline_s is None else time.monotonic() + deadline_s
+            ),
         )
         with self._cond:
             if self._stop or not self._started:
@@ -282,7 +338,49 @@ class RequestScheduler:
                 spill_bytes=self._spill_bytes,
                 spill_stall_s=self._spill_stall_s,
                 spill_hidden_s=self._spill_hidden_s,
+                expired=self._expired,
             )
+
+    # ------------------------------------------------------------------
+    # deadlines
+    # ------------------------------------------------------------------
+    def _expire(self, request: _Request, latencies: bool = True) -> None:
+        """Fail one already-dequeued request as past-deadline."""
+        if not request.future.set_running_or_notify_cancel():
+            return
+        request.future.set_exception(
+            DeadlineExceededError(
+                f"request for {request.model!r} missed its deadline "
+                "while queued (shed before compute)"
+            )
+        )
+        with self._cond:
+            self._errors += 1
+            self._expired += 1
+            if latencies:
+                self._latencies.append(
+                    time.perf_counter() - request.enqueued_at
+                )
+
+    def _sweep_loop(self) -> None:
+        """Shed queued requests whose deadline has passed.
+
+        Workers also shed at dispatch time; this thread matters when
+        every worker is busy on long runs — queued requests must not
+        wait past their deadline just because nobody dequeued them."""
+        while True:
+            expired: list[_Request] = []
+            with self._cond:
+                if self._stop:
+                    return
+                now = time.monotonic()
+                for request in list(self._queue):
+                    if request.deadline is not None and request.deadline <= now:
+                        self._queue.remove(request)
+                        expired.append(request)
+            for request in expired:
+                self._expire(request)
+            time.sleep(0.02)
 
     # ------------------------------------------------------------------
     # workers
@@ -448,6 +546,9 @@ class RequestScheduler:
             completed += 1
             latencies.append(stats.total_s)
 
+        hook = self.run_hook
+        if hook is not None:
+            hook()
         try:
             for group in groups:
                 chunks = (
@@ -459,11 +560,15 @@ class RequestScheduler:
                     ]
                 )
                 for chunk in chunks:
-                    live = [
-                        req
-                        for req in chunk
-                        if req.future.set_running_or_notify_cancel()
-                    ]
+                    now = time.monotonic()
+                    live = []
+                    for req in chunk:
+                        if req.deadline is not None and req.deadline <= now:
+                            # shed before compute: the deadline passed
+                            # while the request waited for this dispatch
+                            self._expire(req)
+                        elif req.future.set_running_or_notify_cancel():
+                            live.append(req)
                     if not live:
                         continue
                     if len(live) == 1:

@@ -35,13 +35,36 @@ the parent always unlinks every shared-memory segment (with a
 or mid-load — fails fast: its in-flight futures error with
 :class:`~repro.exceptions.ServingError` instead of hanging, and other
 shards keep serving.
+
+The scheduler is also **self-healing** (``supervise=True``, default):
+
+* a supervisor thread detects dead shards (process exit) and *wedged*
+  ones (alive but no heartbeat for ``wedge_timeout_s``) and respawns
+  them with jittered exponential backoff — same rings, fresh slot
+  window, warm preload of the models currently routed there;
+* K rapid failures in a row trip a crash-loop **circuit breaker**: the
+  shard is marked permanently failed and removed from the rendezvous
+  routing, so its models rehash onto the survivors (HRW makes that
+  minimal-movement by construction) and service continues;
+* requests carry **deadlines** (swept in flight by the supervisor,
+  shed pre-compute in the worker) and are **retried** with reroute
+  when the shard under them dies (``retries=N``, bounded, jittered,
+  surfaced in ``RequestStats.attempts``), while per-shard in-flight
+  caps (``max_inflight``) turn unbounded blocking into immediate typed
+  :class:`~repro.exceptions.OverloadedError` rejections;
+* every recovery action is counted — ``restarts``/``retries``/
+  ``expired``/``shed`` in :class:`ShardStats` and the aggregate
+  :class:`~repro.serving.scheduler.ServingStats` — and the whole story
+  is provable on demand via ``repro.serving.faults.FaultPlan``.
 """
 
 from __future__ import annotations
 
 import hashlib
+import heapq
 import itertools
 import os
+import random
 import shutil
 import signal
 import tempfile
@@ -49,16 +72,29 @@ import threading
 import time
 import weakref
 from concurrent.futures import Future
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from multiprocessing import get_all_start_methods, get_context
 from multiprocessing.shared_memory import SharedMemory
 from pathlib import Path
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.exceptions import ServingError
+from repro.exceptions import (
+    DeadlineExceededError,
+    OverloadedError,
+    ServingError,
+    ShardFailedError,
+)
 from repro.memsim import OffchipLink
+from repro.serving.faults import (
+    DelayResponse,
+    DropResponse,
+    FaultPlan,
+    KillMidResponse,
+    KillShard,
+    WedgeShard,
+)
 from repro.serving.pool import ArenaPool, PoolStats
 from repro.serving.registry import ModelRegistry
 from repro.serving.scheduler import (
@@ -106,7 +142,9 @@ def rendezvous_shard(key: str, shards: int) -> int:
     return max(range(shards), key=lambda i: _rendezvous_score(key, i))
 
 
-def balanced_routing(keys: Mapping[str, str], shards: int) -> dict[str, int]:
+def balanced_routing(
+    keys: Mapping[str, str], shards: int | Sequence[int]
+) -> dict[str, int]:
     """Sticky, balanced model→shard assignment for a whole registry.
 
     Pure rendezvous on a *small* model set can pile everything onto one
@@ -117,14 +155,28 @@ def balanced_routing(keys: Mapping[str, str], shards: int) -> dict[str, int]:
     shards. Models are placed in signature order, so the assignment is
     deterministic for a given (model set, shard count) — every restart
     routes the same model to the same warm shard.
+
+    ``shards`` is a shard count *or* an explicit list of eligible shard
+    ids: when the circuit breaker removes a failed shard, routing is
+    recomputed over the survivors, and rendezvous scoring guarantees
+    that models already on a survivor stay put — only the failed
+    shard's models move.
     """
-    if shards < 1:
-        raise ServingError(f"shards must be >= 1, got {shards}")
-    load = [0] * shards
+    if isinstance(shards, int):
+        if shards < 1:
+            raise ServingError(f"shards must be >= 1, got {shards}")
+        ids = list(range(shards))
+    else:
+        ids = list(shards)
+    if not ids:
+        raise ServingError("routing needs at least one eligible shard")
+    if len(set(ids)) != len(ids) or min(ids) < 0:
+        raise ServingError(f"invalid shard id list {ids}")
+    load = {i: 0 for i in ids}
     routing: dict[str, int] = {}
     for name in sorted(keys, key=lambda n: (keys[n], n)):
-        floor = min(load)
-        candidates = [i for i in range(shards) if load[i] == floor]
+        floor = min(load.values())
+        candidates = [i for i in ids if load[i] == floor]
         shard = max(
             candidates, key=lambda i: _rendezvous_score(keys[name], i)
         )
@@ -265,19 +317,19 @@ class _SlotPool:
         with self._cond:
             while not self._free:
                 if self._dead:
-                    raise ServingError("ring is closed")
+                    raise ShardFailedError("ring is closed (the shard died)")
                 remaining = (
                     None if deadline is None else deadline - time.monotonic()
                 )
                 if (
                     remaining is not None and remaining <= 0.0
                 ) or not self._cond.wait(timeout=remaining):
-                    raise ServingError(
+                    raise OverloadedError(
                         f"timed out after {timeout}s waiting for a free "
                         f"ring slot ({self.slots} slots all in flight)"
                     )
             if self._dead:
-                raise ServingError("ring is closed")
+                raise ShardFailedError("ring is closed (the shard died)")
             slot = self._free.pop()
             self.peak = max(self.peak, self.slots - len(self._free))
             return slot
@@ -340,6 +392,17 @@ class _ShardConfig:
     preload: bool
     req_ring: tuple[str, int, int]  # (shm name, slot_bytes, slots)
     resp_ring: tuple[str, int, int]
+    #: models to warm on preload — every shard *loads* all artifacts
+    #: (so rerouted models can be served after a peer fails) but warms
+    #: only the ones currently routed to it
+    preload_models: tuple[str, ...] = ()
+    #: which life of this shard this is (0 = first); fault plans use it
+    #: to fire only in chosen incarnations
+    incarnation: int = 0
+    #: seconds between ("hb",) heartbeats to the parent
+    heartbeat_s: float = 0.25
+    #: deterministic fault schedule (test/chaos only)
+    faults: FaultPlan | None = None
 
 
 def _shard_worker_main(cfg: _ShardConfig, conn) -> None:  # pragma: no cover
@@ -365,6 +428,12 @@ class _ShardWorker:
         self._pending = 0
         self._pending_lock = threading.Lock()
         self._draining = False
+        self._last_hb = time.monotonic()
+        self.injector = (
+            cfg.faults.injector(cfg.shard, cfg.incarnation)
+            if cfg.faults is not None
+            else None
+        )
 
         registry = ModelRegistry()
         for name, path in cfg.models:
@@ -386,8 +455,13 @@ class _ShardWorker:
             self.pool,
             workers=cfg.workers,
             max_batch=cfg.max_batch,
-        ).start()
-        preloaded = self.pool.preload() if cfg.preload else []
+        )
+        if self.injector is not None:
+            self.scheduler.run_hook = self._run_hook
+        self.scheduler.start()
+        preloaded = (
+            self.pool.preload(cfg.preload_models) if cfg.preload else []
+        )
 
         req_name, req_slot_bytes, req_slots = cfg.req_ring
         resp_name, resp_slot_bytes, resp_slots = cfg.resp_ring
@@ -406,6 +480,14 @@ class _ShardWorker:
         # drain: finish everything already accepted, then exit; the
         # main loop keeps answering free_resp so responses can retire
         self._draining = True
+
+    def _run_hook(self) -> None:
+        """Scheduler dispatch hook: injects pending engine stalls."""
+        if self.injector is None:
+            return
+        stall = self.injector.take_stall()
+        if stall is not None:
+            time.sleep(stall)
 
     def _send(self, msg: tuple) -> None:
         with self._send_lock:
@@ -429,15 +511,27 @@ class _ShardWorker:
                 pass
 
     # ------------------------------------------------------------------
-    def _on_request(self, req_id: int, model, outputs, descs, req_slot) -> None:
+    def _on_request(
+        self, req_id: int, model, outputs, descs, req_slot, deadline_s=None
+    ) -> None:
+        if self.injector is not None:
+            # fault hooks fire before the request is accepted: a kill
+            # here is the hard-crash case the supervisor must survive
+            for fault in self.injector.on_request(req_id):
+                if isinstance(fault, WedgeShard):
+                    time.sleep(fault.stall_s)
+                elif isinstance(fault, KillShard):
+                    os.kill(os.getpid(), signal.SIGKILL)
         if self._draining:
             self._send_error(
-                req_id, ServingError("shard is draining"), req_slot
+                req_id, ShardFailedError("shard is draining"), req_slot
             )
             return
         try:
             feeds = self.req_ring.read(descs)
-            future = self.scheduler.submit(model, feeds, outputs)
+            future = self.scheduler.submit(
+                model, feeds, outputs, deadline_s=deadline_s
+            )
         except Exception as exc:
             self._send_error(req_id, exc, req_slot)
             return
@@ -466,6 +560,17 @@ class _ShardWorker:
                 self.resp_slots.release(resp_slot)
                 self._send_error(req_id, write_exc, req_slot)
                 return
+            if self.injector is not None:
+                for fault in self.injector.response_faults(req_id):
+                    if isinstance(fault, KillMidResponse):
+                        # the partial-response crash window: payload
+                        # written, parent never notified
+                        os.kill(os.getpid(), signal.SIGKILL)
+                    elif isinstance(fault, DelayResponse):
+                        time.sleep(fault.delay_s)
+                    elif isinstance(fault, DropResponse):
+                        self.resp_slots.release(resp_slot)
+                        return
             self._send(
                 ("res", req_id, result.stats, descs, req_slot, resp_slot)
             )
@@ -479,6 +584,7 @@ class _ShardWorker:
             "requests": stats.requests,
             "errors": stats.errors,
             "batches": stats.batches,
+            "expired": stats.expired,
             "spill_bytes": stats.spill_bytes,
             "spill_stall_s": stats.spill_stall_s,
             "spill_hidden_s": stats.spill_hidden_s,
@@ -493,6 +599,16 @@ class _ShardWorker:
         while True:
             if (shutdown or self._draining) and self._pending_count() == 0:
                 break
+            now = time.monotonic()
+            if now - self._last_hb >= self.cfg.heartbeat_s:
+                # liveness signal: a wedged event loop stops sending
+                # these, which is exactly what the parent's wedge
+                # detector keys on
+                self._last_hb = now
+                try:
+                    self._send(("hb",))
+                except Exception:
+                    pass
             if not self.conn.poll(0.05):
                 continue
             try:
@@ -501,13 +617,15 @@ class _ShardWorker:
                 break  # parent is gone: drain and leave
             kind = msg[0]
             if kind == "req":
-                _, req_id, model, outputs, descs, req_slot = msg
+                _, req_id, model, outputs, descs, req_slot, deadline_s = msg
                 if shutdown:
                     self._send_error(
-                        req_id, ServingError("shard is draining"), req_slot
+                        req_id, ShardFailedError("shard is draining"), req_slot
                     )
                 else:
-                    self._on_request(req_id, model, outputs, descs, req_slot)
+                    self._on_request(
+                        req_id, model, outputs, descs, req_slot, deadline_s
+                    )
             elif kind == "free_resp":
                 self.resp_slots.release(msg[1])
             elif kind == "stats":
@@ -526,7 +644,7 @@ class _ShardWorker:
                 break
             if msg[0] == "req":
                 self._send_error(
-                    msg[1], ServingError("shard is draining"), msg[5]
+                    msg[1], ShardFailedError("shard is draining"), msg[5]
                 )
             elif msg[0] == "free_resp":
                 self.resp_slots.release(msg[1])
@@ -576,6 +694,21 @@ class ShardStats:
     resp_slots: int
     resp_ring_peak: int
     pool: PoolStats | None
+    #: times the supervisor respawned this shard's process
+    restarts: int = 0
+    #: retry dispatches routed to this shard after a peer (or an
+    #: earlier life of this shard) failed with the request in flight
+    retries: int = 0
+    #: requests that missed their deadline on this shard (swept in
+    #: flight by the parent, or shed pre-compute by the child)
+    expired: int = 0
+    #: requests rejected immediately by overload control
+    shed: int = 0
+    #: circuit breaker open: crash-looped past the strike limit and
+    #: permanently removed from routing (its models rehashed away)
+    failed: bool = False
+    #: which life of the process the stats describe (0 = never died)
+    incarnation: int = 0
 
     def to_doc(self) -> dict[str, Any]:
         doc = asdict(self)
@@ -585,10 +718,32 @@ class ShardStats:
 
 
 @dataclass
-class _Inflight:
+class _PendingRequest:
+    """One client request across all its submission attempts."""
+
+    model: str
+    feeds: Mapping[str, np.ndarray]
+    outputs: list[str] | None
     future: Future
-    shard: int
+    #: ``time.perf_counter()`` at first submit — the latency base
     enqueued_at: float
+    #: absolute ``time.monotonic()`` deadline, or ``None``
+    deadline: float | None
+    retries_left: int
+    attempts: int = 0
+
+    def expired(self, now: float | None = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline
+
+
+@dataclass
+class _Inflight:
+    """One attempt of a pending request, live on a specific shard."""
+
+    pending: _PendingRequest
+    shard: int
     req_slot: int
 
 
@@ -621,6 +776,25 @@ class _ShardHandle:
         self.inflight_peak = 0
         #: last child stats doc (refreshed by stats(); kept after death)
         self.child_doc: dict[str, Any] = {}
+        # --- supervision state (touched by the supervisor thread) ---
+        #: which life of the process is (or was) running
+        self.incarnation = 0
+        #: monotonic time of the last message received from the child
+        self.last_hb = 0.0
+        #: monotonic time the current incarnation reported ready
+        self.last_ready = 0.0
+        #: when the next respawn attempt is due (None = not scheduled)
+        self.restart_due: float | None = None
+        #: consecutive rapid failures (crash-loop strikes)
+        self.strikes = 0
+        #: completed respawns
+        self.restarts = 0
+        #: circuit breaker open — permanently out of routing
+        self.failed = False
+        # recovery accounting (guarded by the scheduler's lock)
+        self.retries = 0
+        self.expired = 0
+        self.shed = 0
 
     def send(self, msg: tuple) -> None:
         with self.send_lock:
@@ -676,9 +850,40 @@ class ShardedScheduler:
         ring_slots: int = 16,
         submit_timeout: float = 30.0,
         start_timeout: float = 120.0,
+        deadline_s: float | None = None,
+        retries: int = 0,
+        max_inflight: int | None = None,
+        supervise: bool = True,
+        heartbeat_s: float = 0.25,
+        wedge_timeout_s: float | None = 10.0,
+        restart_backoff_s: float = 0.25,
+        restart_backoff_max_s: float = 4.0,
+        crashloop_window_s: float = 5.0,
+        crashloop_threshold: int = 3,
+        retry_backoff_s: float = 0.05,
+        faults: FaultPlan | None = None,
     ) -> None:
         if shards < 1:
             raise ServingError(f"shards must be >= 1, got {shards}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ServingError(f"deadline_s must be > 0, got {deadline_s}")
+        if retries < 0:
+            raise ServingError(f"retries must be >= 0, got {retries}")
+        if max_inflight is not None and max_inflight < 1:
+            raise ServingError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if heartbeat_s <= 0:
+            raise ServingError(f"heartbeat_s must be > 0, got {heartbeat_s}")
+        if wedge_timeout_s is not None and wedge_timeout_s <= heartbeat_s:
+            raise ServingError(
+                "wedge_timeout_s must exceed heartbeat_s "
+                f"({wedge_timeout_s} <= {heartbeat_s})"
+            )
+        if crashloop_threshold < 1:
+            raise ServingError(
+                f"crashloop_threshold must be >= 1, got {crashloop_threshold}"
+            )
         if not reuse:
             raise ServingError(
                 "sharded serving requires arena reuse: each shard keeps "
@@ -708,6 +913,18 @@ class ShardedScheduler:
         self.ring_slots = ring_slots
         self.submit_timeout = submit_timeout
         self.start_timeout = start_timeout
+        self.deadline_s = deadline_s
+        self.retries = retries
+        self.max_inflight = max_inflight
+        self.supervise = supervise
+        self.heartbeat_s = heartbeat_s
+        self.wedge_timeout_s = wedge_timeout_s
+        self.restart_backoff_s = restart_backoff_s
+        self.restart_backoff_max_s = restart_backoff_max_s
+        self.crashloop_window_s = crashloop_window_s
+        self.crashloop_threshold = crashloop_threshold
+        self.retry_backoff_s = retry_backoff_s
+        self.faults = faults
 
         #: sticky routing table: model name -> shard id, by rendezvous
         #: hash of the model's canonical graph signature under a
@@ -722,6 +939,11 @@ class ShardedScheduler:
         self._latencies: list[float] = []
         self._completed = 0
         self._errors = 0
+        self._restarts = 0
+        self._retries = 0
+        self._expired = 0
+        self._shed = 0
+        self._breaker_trips = 0
         self._stats_waiters: dict[int, tuple[threading.Event, list]] = {}
         self._stats_tokens = itertools.count()
         self._handles: list[_ShardHandle] = []
@@ -729,6 +951,17 @@ class ShardedScheduler:
         self._started = False
         self._closed = False
         self._finalizer: weakref.finalize | None = None
+        # retry machinery: a due-time heap drained by one daemon thread;
+        # the condition shares self._lock so heap and counters stay
+        # consistent under one mutex
+        self._retry_cond = threading.Condition(self._lock)
+        self._retry_heap: list[tuple[float, int, _PendingRequest, Exception]] = []
+        self._retry_seq = itertools.count()
+        self._rng = random.Random(seed ^ 0x5EED)
+        self._supervisor: threading.Thread | None = None
+        self._retryer: threading.Thread | None = None
+        self._paths: dict[str, str] = {}
+        self._slot_bytes = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -758,7 +991,13 @@ class ShardedScheduler:
             return self
         if self._closed:
             raise ServingError("sharded scheduler is closed")
-        paths = self._spool_models()
+        self._paths = self._spool_models()
+        # one slot must fit ANY model's payload: after a breaker trip a
+        # surviving shard can inherit any model, so rings are sized to
+        # the registry-wide worst case up front
+        self._slot_bytes = _slot_bytes_for(
+            self.registry.get(name) for name in self.registry.names()
+        )
         by_shard: dict[int, list[str]] = {i: [] for i in range(self.shards)}
         for name, shard in self.routing.items():
             by_shard[shard].append(name)
@@ -766,45 +1005,15 @@ class ShardedScheduler:
         try:
             for shard in range(self.shards):
                 models = tuple(sorted(by_shard[shard]))
-                slot_bytes = _slot_bytes_for(
-                    self.registry.get(name) for name in models
-                )
-                req_ring = _TensorRing(slot_bytes, self.ring_slots)
+                req_ring = _TensorRing(self._slot_bytes, self.ring_slots)
                 segment_names.append(req_ring.name)
-                resp_ring = _TensorRing(slot_bytes, self.ring_slots)
+                resp_ring = _TensorRing(self._slot_bytes, self.ring_slots)
                 segment_names.append(resp_ring.name)
                 handle = _ShardHandle(shard, models, req_ring, resp_ring)
                 # registered before spawn so a failed start tears the
                 # rings down (and unlinks them) with everything else
                 self._handles.append(handle)
-                parent_conn, child_conn = _MP.Pipe()
-                cfg = _ShardConfig(
-                    shard=shard,
-                    models=tuple((n, paths[n]) for n in models),
-                    workers=self.workers,
-                    max_batch=self.max_batch,
-                    batch_size=self.batch_size,
-                    budget_bytes=self.budget_bytes,
-                    seed=self.seed,
-                    scrub=self.scrub,
-                    spill=self.spill,
-                    spill_policy=self.spill_policy,
-                    prefetch=self.prefetch,
-                    link=self.link,
-                    preload=self.preload,
-                    req_ring=(req_ring.name, slot_bytes, self.ring_slots),
-                    resp_ring=(resp_ring.name, slot_bytes, self.ring_slots),
-                )
-                process = _MP.Process(
-                    target=_shard_worker_main,
-                    args=(cfg, child_conn),
-                    name=f"serve-shard-{shard}",
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()
-                handle.process = process
-                handle.conn = parent_conn
+                self._spawn_child(handle)
             self._await_ready()
         except BaseException:
             self._closed = True
@@ -814,15 +1023,87 @@ class ShardedScheduler:
             self, _unlink_segments, segment_names
         )
         for handle in self._handles:
-            handle.receiver = threading.Thread(
-                target=self._receiver_loop,
-                args=(handle,),
-                name=f"shard-recv-{handle.shard}",
-                daemon=True,
-            )
-            handle.receiver.start()
+            self._start_receiver(handle)
         self._started = True
+        self._supervisor = threading.Thread(
+            target=self._supervisor_loop, name="shard-supervisor", daemon=True
+        )
+        self._supervisor.start()
+        self._retryer = threading.Thread(
+            target=self._retry_loop, name="shard-retry", daemon=True
+        )
+        self._retryer.start()
         return self
+
+    def _make_cfg(self, handle: _ShardHandle) -> _ShardConfig:
+        """Worker config for (this incarnation of) one shard: every
+        artifact is loadable, only the currently-routed models warm."""
+        with self._lock:
+            preload_models = tuple(
+                sorted(
+                    name
+                    for name, shard in self.routing.items()
+                    if shard == handle.shard
+                )
+            )
+        return _ShardConfig(
+            shard=handle.shard,
+            models=tuple(sorted(self._paths.items())),
+            workers=self.workers,
+            max_batch=self.max_batch,
+            batch_size=self.batch_size,
+            budget_bytes=self.budget_bytes,
+            seed=self.seed,
+            scrub=self.scrub,
+            spill=self.spill,
+            spill_policy=self.spill_policy,
+            prefetch=self.prefetch,
+            link=self.link,
+            preload=self.preload,
+            req_ring=(handle.req_ring.name, self._slot_bytes, self.ring_slots),
+            resp_ring=(
+                handle.resp_ring.name,
+                self._slot_bytes,
+                self.ring_slots,
+            ),
+            preload_models=preload_models,
+            incarnation=handle.incarnation,
+            heartbeat_s=self.heartbeat_s,
+            faults=self.faults,
+        )
+
+    def _spawn_child(self, handle: _ShardHandle) -> None:
+        """Fork/spawn one worker process and wire its pipe into
+        ``handle`` (used by first start and by respawn alike)."""
+        parent_conn, child_conn = _MP.Pipe()
+        cfg = self._make_cfg(handle)
+        process = _MP.Process(
+            target=_shard_worker_main,
+            args=(cfg, child_conn),
+            name=f"serve-shard-{handle.shard}-i{handle.incarnation}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        with handle.send_lock:
+            old_conn = handle.conn
+            handle.conn = parent_conn
+        if old_conn is not None:
+            try:
+                old_conn.close()
+            except OSError:
+                pass
+        handle.process = process
+        handle.byed = False
+
+    def _start_receiver(self, handle: _ShardHandle) -> None:
+        handle.receiver = threading.Thread(
+            target=self._receiver_loop,
+            args=(handle, handle.conn),
+            name=f"shard-recv-{handle.shard}-i{handle.incarnation}",
+            daemon=True,
+        )
+        handle.receiver.start()
 
     def _await_ready(self) -> None:
         """Block until every shard reports ready — or explain why not.
@@ -833,37 +1114,52 @@ class ShardedScheduler:
         """
         deadline = time.monotonic() + self.start_timeout
         for handle in self._handles:
-            while True:
-                if handle.conn.poll(0.1):
-                    try:
-                        msg = handle.conn.recv()
-                    except (EOFError, OSError):
-                        msg = None
-                    if msg is not None and msg[0] == "ready":
-                        handle.pid = msg[1]
-                        handle.alive = True
-                        break
-                    detail = (
-                        f": {msg[1]}" if msg is not None and msg[0] == "fatal"
-                        else ""
-                    )
-                    handle.process.join(timeout=5.0)
-                    raise ServingError(
-                        f"shard {handle.shard} died during startup"
-                        f"{detail} (exit code {handle.process.exitcode}, "
-                        f"models {list(handle.models)})"
-                    )
-                if not handle.process.is_alive():
-                    raise ServingError(
-                        f"shard {handle.shard} died during startup "
-                        f"(exit code {handle.process.exitcode}, models "
-                        f"{list(handle.models)})"
-                    )
-                if time.monotonic() > deadline:
-                    raise ServingError(
-                        f"shard {handle.shard} did not become ready "
-                        f"within {self.start_timeout}s"
-                    )
+            error = self._wait_ready(handle, deadline)
+            if error is not None:
+                raise ServingError(error)
+
+    def _wait_ready(self, handle: _ShardHandle, deadline: float) -> str | None:
+        """Wait for one shard's ready message; ``None`` on success, an
+        error description otherwise (initial start raises it, respawn
+        treats it as another crash-loop strike)."""
+        while True:
+            if self._closed:
+                return f"shard {handle.shard} start aborted by shutdown"
+            if handle.conn.poll(0.1):
+                try:
+                    msg = handle.conn.recv()
+                except (EOFError, OSError):
+                    msg = None
+                if msg is not None and msg[0] == "ready":
+                    handle.pid = msg[1]
+                    now = time.monotonic()
+                    handle.last_hb = now
+                    handle.last_ready = now
+                    handle.alive = True
+                    return None
+                if msg is not None and msg[0] == "hb":
+                    continue
+                detail = (
+                    f": {msg[1]}" if msg is not None and msg[0] == "fatal"
+                    else ""
+                )
+                handle.process.join(timeout=5.0)
+                return (
+                    f"shard {handle.shard} died during startup"
+                    f"{detail} (exit code {handle.process.exitcode}, "
+                    f"models {list(handle.models)})"
+                )
+            if not handle.process.is_alive():
+                return (
+                    f"shard {handle.shard} died during startup "
+                    f"(exit code {handle.process.exitcode}, models "
+                    f"{list(handle.models)})"
+                )
+            if time.monotonic() > deadline:
+                return (
+                    f"shard {handle.shard} did not become ready "
+                    f"within {self.start_timeout}s"
+                )
 
     def shutdown(self, wait: bool = True) -> None:
         """Drain every shard, stop the workers, unlink all segments.
@@ -875,6 +1171,8 @@ class ShardedScheduler:
                 return
             self._closed = True
             self._started = False
+            # wake the retry thread so it can fail its pending requests
+            self._retry_cond.notify_all()
         for handle in self._handles:
             if handle.alive:
                 try:
@@ -893,6 +1191,12 @@ class ShardedScheduler:
     close = shutdown
 
     def _teardown(self, force: bool) -> None:
+        current = threading.current_thread()
+        for thread in (self._supervisor, self._retryer):
+            if thread is not None and thread is not current:
+                thread.join(timeout=10.0)
+        self._supervisor = None
+        self._retryer = None
         for handle in self._handles:
             if handle.process is not None and handle.process.is_alive():
                 if force:
@@ -946,64 +1250,441 @@ class ShardedScheduler:
         model: str,
         feeds: Mapping[str, np.ndarray],
         outputs: Iterable[str] | None = None,
+        *,
+        deadline_s: float | None = None,
+        retries: int | None = None,
     ) -> Future:
         """Enqueue one inference on the model's sticky shard; resolves
         to an :class:`~repro.serving.scheduler.InferenceResult`. The
         feed tensors are written into the shard's shared-memory request
-        ring — only descriptors cross the pipe."""
-        shard = self.route(model)
+        ring — only descriptors cross the pipe.
+
+        ``deadline_s`` (default: the scheduler's) bounds the request
+        end to end: past it, the future fails with
+        :class:`~repro.exceptions.DeadlineExceededError` — whether the
+        request is queued in the child (shed before compute) or in
+        flight on a dead shard (swept by the supervisor). ``retries``
+        (default: the scheduler's) resubmits the request — rerouted
+        through the *current* routing table — when a shard dies or
+        drains with it in flight; the attempt count is surfaced in
+        ``result.stats.attempts``. With ``retries == 0`` a dead shard
+        raises :class:`~repro.exceptions.ShardFailedError`
+        synchronously, as before; an overloaded shard always raises
+        :class:`~repro.exceptions.OverloadedError` synchronously —
+        flow control must push back, not buffer."""
+        self.route(model)  # fail fast on unknown models
+        if deadline_s is None:
+            deadline_s = self.deadline_s
+        if retries is None:
+            retries = self.retries
+        pending = _PendingRequest(
+            model=model,
+            feeds=feeds,
+            outputs=list(outputs) if outputs is not None else None,
+            future=Future(),
+            enqueued_at=time.perf_counter(),
+            deadline=(
+                None if deadline_s is None else time.monotonic() + deadline_s
+            ),
+            retries_left=retries,
+        )
+        try:
+            self._send_attempt(pending)
+        except ShardFailedError as exc:
+            # dying shard on the FIRST attempt: with retries budgeted,
+            # absorb it — schedule the retry and hand back the future
+            if pending.retries_left > 0 and not pending.expired():
+                self._schedule_retry(pending, exc)
+            else:
+                raise
+        return pending.future
+
+    def _send_attempt(self, pending: _PendingRequest, retry: bool = False) -> None:
+        """One submission attempt of ``pending`` to its current shard.
+
+        Raises :class:`~repro.exceptions.ShardFailedError` (retryable),
+        :class:`~repro.exceptions.OverloadedError` (shed), or plain
+        :class:`~repro.exceptions.ServingError`. Every failure path
+        releases anything it acquired — most importantly the ring slot,
+        which used to leak if the pipe send raised."""
+        pending.attempts += 1
         if not self._started or self._closed:
             raise ServingError(
                 "sharded scheduler is not running (call start())"
             )
+        shard = self.route(pending.model)
         handle = self._handles[shard]
-        if not handle.alive:
-            raise ServingError(
-                f"shard {shard} is dead; requests for {model!r} cannot "
-                "be served"
+        if handle.failed:
+            raise ShardFailedError(
+                f"shard {shard} is dead (circuit breaker open); requests "
+                f"for {pending.model!r} cannot be served"
             )
-        req_slot = handle.req_slots.acquire(timeout=self.submit_timeout)
-        future: Future = Future()
-        enqueued_at = time.perf_counter()
+        if not handle.alive:
+            raise ShardFailedError(
+                f"shard {shard} is dead; requests for {pending.model!r} "
+                "cannot be served"
+            )
+        if self.max_inflight is not None:
+            with self._lock:
+                if handle.inflight >= self.max_inflight:
+                    self._shed += 1
+                    handle.shed += 1
+                    raise OverloadedError(
+                        f"shard {shard} is at its in-flight cap "
+                        f"({self.max_inflight}); request for "
+                        f"{pending.model!r} shed"
+                    )
+        if retry:
+            with self._lock:
+                self._retries += 1
+                handle.retries += 1
+        try:
+            req_slot = handle.req_slots.acquire(timeout=self.submit_timeout)
+        except OverloadedError:
+            with self._lock:
+                self._shed += 1
+                handle.shed += 1
+            raise
         req_id = next(self._req_ids)
         try:
-            descs = handle.req_ring.write(req_slot, feeds)
+            descs = handle.req_ring.write(req_slot, pending.feeds)
+            deadline_rem = (
+                None
+                if pending.deadline is None
+                else pending.deadline - time.monotonic()
+            )
             with self._lock:
-                self._inflight[req_id] = _Inflight(
-                    future, shard, enqueued_at, req_slot
-                )
+                self._inflight[req_id] = _Inflight(pending, shard, req_slot)
                 handle.inflight += 1
                 handle.inflight_peak = max(
                     handle.inflight_peak, handle.inflight
                 )
-            handle.send(
-                (
-                    "req",
-                    req_id,
-                    model,
-                    list(outputs) if outputs is not None else None,
-                    descs,
-                    req_slot,
+            try:
+                handle.send(
+                    (
+                        "req",
+                        req_id,
+                        pending.model,
+                        pending.outputs,
+                        descs,
+                        req_slot,
+                        deadline_rem,
+                    )
                 )
-            )
+            except (OSError, ValueError, BrokenPipeError) as exc:
+                raise ShardFailedError(
+                    f"shard {shard} died mid-send: {exc}"
+                ) from exc
         except BaseException:
             with self._lock:
                 if self._inflight.pop(req_id, None) is not None:
                     handle.inflight -= 1
             handle.req_slots.release(req_slot)
             raise
-        return future
+
+    # ------------------------------------------------------------------
+    # retries
+    # ------------------------------------------------------------------
+    def _retry_delay(self, attempts: int) -> float:
+        """Jittered exponential backoff for the Nth retry."""
+        base = self.retry_backoff_s * (2 ** max(0, attempts - 1))
+        return min(base, 2.0) * (0.5 + self._rng.random())
+
+    def _schedule_retry(
+        self, pending: _PendingRequest, exc: Exception
+    ) -> None:
+        """Queue ``pending`` for resubmission after a jittered delay.
+
+        Caller must NOT hold ``self._lock``. Consumes one retry."""
+        resolve_now = False
+        with self._retry_cond:
+            if self._closed:
+                resolve_now = True
+            else:
+                pending.retries_left -= 1
+                due = time.monotonic() + self._retry_delay(pending.attempts)
+                heapq.heappush(
+                    self._retry_heap,
+                    (due, next(self._retry_seq), pending, exc),
+                )
+                self._retry_cond.notify_all()
+        if resolve_now:
+            self._resolve_error(pending, exc)
+
+    def _retry_loop(self) -> None:
+        """Drain the retry heap: redispatch each due request through
+        the *current* routing (reroute is free: the breaker rewrites
+        ``self.routing`` and the next attempt follows it)."""
+        while True:
+            with self._retry_cond:
+                while True:
+                    if self._closed:
+                        drained = [
+                            (p, e) for (_, _, p, e) in self._retry_heap
+                        ]
+                        self._retry_heap.clear()
+                        break
+                    now = time.monotonic()
+                    if self._retry_heap and self._retry_heap[0][0] <= now:
+                        _, _, pending, exc = heapq.heappop(self._retry_heap)
+                        drained = None
+                        break
+                    timeout = (
+                        self._retry_heap[0][0] - now
+                        if self._retry_heap
+                        else None
+                    )
+                    self._retry_cond.wait(timeout=timeout)
+            if drained is not None:
+                for pending, exc in drained:
+                    self._resolve_error(
+                        pending,
+                        ServingError("sharded scheduler shut down"),
+                    )
+                return
+            if pending.future.done():
+                continue  # swept by the deadline sweeper meanwhile
+            if pending.expired():
+                self._resolve_error(
+                    pending,
+                    DeadlineExceededError(
+                        f"request for {pending.model!r} missed its deadline "
+                        f"after {pending.attempts} attempt(s)"
+                    ),
+                )
+                continue
+            try:
+                self._send_attempt(pending, retry=True)
+            except (ShardFailedError, OverloadedError) as exc2:
+                if pending.retries_left > 0 and not pending.expired():
+                    self._schedule_retry(pending, exc2)
+                else:
+                    self._resolve_error(pending, exc2)
+            except Exception as exc2:
+                self._resolve_error(pending, exc2)
+
+    # ------------------------------------------------------------------
+    # resolution (exactly-once per pending request)
+    # ------------------------------------------------------------------
+    def _resolve_result(
+        self,
+        pending: _PendingRequest,
+        handle: _ShardHandle,
+        outputs: dict[str, np.ndarray],
+        stats: RequestStats,
+    ) -> None:
+        if pending.future.done():
+            return
+        if not pending.future.set_running_or_notify_cancel():
+            return
+        if pending.attempts > 1:
+            stats = replace(stats, attempts=pending.attempts)
+        latency = time.perf_counter() - pending.enqueued_at
+        with self._lock:
+            self._completed += 1
+            handle.completed += 1
+            self._latencies.append(latency)
+        pending.future.set_result(
+            InferenceResult(outputs=outputs, stats=stats)
+        )
+
+    def _resolve_error(
+        self,
+        pending: _PendingRequest,
+        exc: Exception,
+        shard: int | None = None,
+    ) -> None:
+        if pending.future.done():
+            return
+        if not pending.future.set_running_or_notify_cancel():
+            return
+        latency = time.perf_counter() - pending.enqueued_at
+        with self._lock:
+            self._errors += 1
+            if isinstance(exc, DeadlineExceededError):
+                self._expired += 1
+            if shard is not None:
+                self._handles[shard].errors += 1
+                if isinstance(exc, DeadlineExceededError):
+                    self._handles[shard].expired += 1
+            self._latencies.append(latency)
+        pending.future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    # supervision
+    # ------------------------------------------------------------------
+    def _supervisor_loop(self) -> None:
+        """Monitor thread: sweeps in-flight deadlines every tick and —
+        when ``supervise`` — detects dead/wedged shards, respawns them
+        with jittered exponential backoff, and trips the crash-loop
+        circuit breaker."""
+        tick = min(0.05, self.heartbeat_s / 2.0)
+        while not self._closed:
+            self._sweep_deadlines()
+            if self.supervise:
+                now = time.monotonic()
+                for handle in self._handles:
+                    try:
+                        self._check_handle(handle, now)
+                    except Exception:
+                        # supervision must never die with the patient
+                        pass
+            time.sleep(tick)
+
+    def _sweep_deadlines(self) -> None:
+        """Fail in-flight futures whose deadline passed — the guarantee
+        that no client blocks past its deadline even when the shard
+        under the request is wedged or mid-respawn. The ring slot is
+        deliberately NOT released here: the child may still be reading
+        the feed views lazily. It is reclaimed by the child's eventual
+        response (popped entry, no-op resolve) or by the fresh slot
+        window a respawn installs."""
+        now = time.monotonic()
+        with self._lock:
+            ripe = [
+                entry
+                for entry in self._inflight.values()
+                if entry.pending.deadline is not None
+                and entry.pending.deadline <= now
+                and not entry.pending.future.done()
+            ]
+        for entry in ripe:
+            self._resolve_error(
+                entry.pending,
+                DeadlineExceededError(
+                    f"request for {entry.pending.model!r} missed its "
+                    f"deadline in flight on shard {entry.shard} after "
+                    f"{entry.pending.attempts} attempt(s)"
+                ),
+                shard=entry.shard,
+            )
+
+    def _backoff(self, strikes: int) -> float:
+        """Jittered exponential respawn backoff for the Nth strike."""
+        base = min(
+            self.restart_backoff_max_s,
+            self.restart_backoff_s * (2 ** max(0, strikes - 1)),
+        )
+        return base * (0.5 + self._rng.random())
+
+    def _check_handle(self, handle: _ShardHandle, now: float) -> None:
+        """One supervision step for one shard: wedge detection while
+        alive; strike accounting, breaker, and backoff-gated respawn
+        once dead."""
+        if handle.failed:
+            return
+        if handle.alive:
+            if (
+                self.wedge_timeout_s is not None
+                and handle.pid > 0
+                and now - handle.last_hb > self.wedge_timeout_s
+            ):
+                # wedged: the process is up but its event loop stopped
+                # heartbeating. SIGKILL it and let the normal death
+                # path (receiver EOF → _fail_inflight → respawn) run.
+                try:
+                    os.kill(handle.pid, signal.SIGKILL)
+                except (ProcessLookupError, PermissionError, OSError):
+                    pass
+                handle.last_hb = now  # one kill per wedge, not per tick
+            return
+        if handle.restart_due is None:
+            # just noticed this death: account the strike and decide
+            # between breaker and backoff
+            rapid = (now - handle.last_ready) < self.crashloop_window_s
+            handle.strikes = handle.strikes + 1 if rapid else 1
+            if handle.strikes >= self.crashloop_threshold:
+                self._trip_breaker(handle)
+                return
+            handle.restart_due = now + self._backoff(handle.strikes)
+        elif now >= handle.restart_due:
+            self._respawn(handle)
+
+    def _respawn(self, handle: _ShardHandle) -> None:
+        """Bring one dead shard back: fresh process, fresh pipe, fresh
+        slot window over the same rings, warm preload of whatever is
+        routed to it *now*."""
+        if self._closed:
+            return
+        handle.restart_due = None
+        handle.incarnation += 1
+        # every pre-death slot is either free or pinned by a swept
+        # request the child will never answer; the new incarnation gets
+        # a clean window
+        handle.req_slots = _SlotPool(handle.req_ring.slots)
+        try:
+            self._spawn_child(handle)
+            error = self._wait_ready(
+                handle, time.monotonic() + self.start_timeout
+            )
+        except Exception as exc:
+            error = f"shard {handle.shard} respawn failed: {exc}"
+        if error is not None:
+            # a respawn that cannot reach ready is another strike
+            handle.strikes += 1
+            if handle.strikes >= self.crashloop_threshold:
+                self._trip_breaker(handle)
+            else:
+                handle.restart_due = (
+                    time.monotonic() + self._backoff(handle.strikes)
+                )
+            return
+        self._start_receiver(handle)
+        with self._lock:
+            handle.restarts += 1
+            self._restarts += 1
+
+    def _trip_breaker(self, handle: _ShardHandle) -> None:
+        """Crash-loop circuit breaker: give up on this shard for good
+        and rehash its models onto the survivors (rendezvous keeps
+        every survivor's existing assignment in place)."""
+        handle.failed = True
+        handle.alive = False
+        handle.restart_due = None
+        survivors = [
+            h.shard for h in self._handles if not h.failed
+        ]
+        with self._lock:
+            self._breaker_trips += 1
+            if survivors:
+                sigs = {
+                    name: self.registry.get(name).signature
+                    for name in self.registry.names()
+                }
+                self.routing = balanced_routing(sigs, survivors)
+        # in-flight requests on the broken shard reroute (with retry
+        # budget) or fail typed — never hang
+        self._fail_inflight(
+            handle.shard,
+            ShardFailedError(
+                f"shard {handle.shard} is crash-looping "
+                f"({handle.strikes} rapid failures); circuit breaker "
+                "open, models rerouted to surviving shards"
+            ),
+        )
+        if not survivors:
+            self._fail_inflight(
+                None,
+                ShardFailedError(
+                    "every shard is dead; circuit breaker open on all"
+                ),
+            )
 
     # ------------------------------------------------------------------
     # responses
     # ------------------------------------------------------------------
-    def _receiver_loop(self, handle: _ShardHandle) -> None:
+    def _receiver_loop(self, handle: _ShardHandle, conn) -> None:
+        # bound to ONE incarnation's pipe: a respawn starts a fresh
+        # receiver on the fresh pipe, and this one drains out
         while True:
             try:
-                msg = handle.conn.recv()
+                msg = conn.recv()
             except (EOFError, OSError):
                 break
+            handle.last_hb = time.monotonic()
             kind = msg[0]
+            if kind == "hb":
+                continue
             if kind == "res":
                 self._on_result(handle, *msg[1:])
             elif kind == "err":
@@ -1012,10 +1693,11 @@ class ShardedScheduler:
                 self._on_stats(handle, msg[1], msg[2])
             elif kind == "bye":
                 handle.byed = True
-        # the shard is gone (clean or not): fail only ITS in-flight
-        # requests, wake its slot waiters, leave other shards serving.
-        # Even after a clean "bye" nothing may remain unresolved — a
-        # request can lose the race against the child's drain
+        # the shard is gone (clean or not): fail or retry only ITS
+        # in-flight requests, wake its slot waiters, leave other shards
+        # serving. Even after a clean "bye" nothing may remain
+        # unresolved — a request can lose the race against the child's
+        # drain
         handle.alive = False
         handle.req_slots.kill()
         detail = (
@@ -1025,7 +1707,9 @@ class ShardedScheduler:
         )
         self._fail_inflight(
             handle.shard,
-            ServingError(f"shard {handle.shard} (pid {handle.pid}) {detail}"),
+            ShardFailedError(
+                f"shard {handle.shard} (pid {handle.pid}) {detail}"
+            ),
         )
         # unblock any stats() call waiting on this shard
         with self._lock:
@@ -1053,34 +1737,30 @@ class ShardedScheduler:
         handle.req_slots.release(req_slot)
         if entry is None:
             return
-        latency = time.perf_counter() - entry.enqueued_at
-        delivered = entry.future.set_running_or_notify_cancel()
-        with self._lock:
-            if delivered:
-                self._completed += 1
-                handle.completed += 1
-                self._latencies.append(latency)
-        if delivered:
-            entry.future.set_result(
-                InferenceResult(outputs=outputs, stats=stats)
-            )
+        self._resolve_result(entry.pending, handle, outputs, stats)
 
     def _on_error(self, handle, req_id, exc, req_slot) -> None:
         entry = self._pop_inflight(handle, req_id)
         handle.req_slots.release(req_slot)
         if entry is None:
             return
-        latency = time.perf_counter() - entry.enqueued_at
-        delivered = entry.future.set_running_or_notify_cancel()
-        with self._lock:
-            if delivered:
-                self._errors += 1
-                handle.errors += 1
-                self._latencies.append(latency)
-        if delivered:
-            entry.future.set_exception(exc)
+        pending = entry.pending
+        if (
+            isinstance(exc, ShardFailedError)
+            and pending.retries_left > 0
+            and not pending.expired()
+        ):
+            self._schedule_retry(pending, exc)
+            return
+        self._resolve_error(pending, exc, shard=handle.shard)
 
     def _fail_inflight(self, shard: int | None, exc: Exception) -> None:
+        """Pop every in-flight entry on ``shard`` (all shards when
+        ``None``) and either reschedule it — a :class:`ShardFailedError`
+        with retry budget left — or fail its future. Requests whose
+        deadline already passed fail as
+        :class:`~repro.exceptions.DeadlineExceededError` instead of
+        burning retries on work nobody is waiting for."""
         with self._lock:
             doomed = [
                 (req_id, entry)
@@ -1091,14 +1771,24 @@ class ShardedScheduler:
                 del self._inflight[req_id]
                 self._handles[entry.shard].inflight -= 1
         for _req_id, entry in doomed:
-            if entry.future.set_running_or_notify_cancel():
-                with self._lock:
-                    self._errors += 1
-                    self._handles[entry.shard].errors += 1
-                    self._latencies.append(
-                        time.perf_counter() - entry.enqueued_at
-                    )
-                entry.future.set_exception(exc)
+            pending = entry.pending
+            if pending.expired():
+                self._resolve_error(
+                    pending,
+                    DeadlineExceededError(
+                        f"request for {pending.model!r} missed its "
+                        f"deadline on failed shard {entry.shard}"
+                    ),
+                    shard=entry.shard,
+                )
+            elif (
+                isinstance(exc, ShardFailedError)
+                and pending.retries_left > 0
+                and not self._closed
+            ):
+                self._schedule_retry(pending, exc)
+            else:
+                self._resolve_error(pending, exc, shard=entry.shard)
 
     def _on_stats(self, handle: _ShardHandle, token: int, doc: dict) -> None:
         handle.child_doc = doc
@@ -1166,6 +1856,15 @@ class ShardedScheduler:
                             if pool_doc is not None
                             else None
                         ),
+                        restarts=handle.restarts,
+                        retries=handle.retries,
+                        # parent-side count is complete: child-shed
+                        # requests come back as DeadlineExceededError
+                        # responses and are counted on arrival
+                        expired=handle.expired,
+                        shed=handle.shed,
+                        failed=handle.failed,
+                        incarnation=handle.incarnation,
                     )
                 )
         return out
@@ -1197,4 +1896,8 @@ class ShardedScheduler:
                 spill_bytes=sum(s.spill_bytes for s in shards),
                 spill_stall_s=sum(s.spill_stall_s for s in shards),
                 spill_hidden_s=sum(s.spill_hidden_s for s in shards),
+                restarts=self._restarts,
+                retries=self._retries,
+                expired=self._expired,
+                shed=self._shed,
             )

@@ -7,7 +7,11 @@ import numpy as np
 import pytest
 
 from repro.compiler import CompilationPipeline
-from repro.exceptions import ExecutionError, ServingError
+from repro.exceptions import (
+    DeadlineExceededError,
+    ExecutionError,
+    ServingError,
+)
 from repro.runtime.executor import Executor, init_params, random_feeds
 from repro.serving import (
     ArenaPool,
@@ -476,3 +480,64 @@ class TestErrorPaths:
             "spill_hidden_s",
         } <= names
         assert isinstance(PlanExecutionStats.spill_bytes_total, property)
+
+
+class TestDeadlines:
+    """Single-process deadline semantics — identical to the sharded
+    path, so `serve --shards 1` and unsharded serving fail the same."""
+
+    def test_queued_request_is_shed_before_compute(self, registry):
+        graph = registry.get("chain").graph
+        pool = ArenaPool(registry)
+        with RequestScheduler(registry, pool, workers=1) as server:
+            # stall the single worker so the second request waits in the
+            # queue past its deadline
+            server.run_hook = lambda: time.sleep(0.4)
+            slow = server.submit("chain", random_feeds(graph, seed=0))
+            doomed = server.submit(
+                "chain", random_feeds(graph, seed=1), deadline_s=0.05
+            )
+            with pytest.raises(DeadlineExceededError, match="shed before"):
+                doomed.result(timeout=30)
+            assert slow.result(timeout=30) is not None
+        stats = server.stats()
+        assert stats.expired == 1
+        assert stats.errors == 1  # expiries are a subset of errors
+        assert stats.requests == 1
+        assert len(stats.latencies_s) == 2  # shed latency still counts
+
+    def test_constructor_default_applies_to_every_request(self, registry):
+        graph = registry.get("chain").graph
+        pool = ArenaPool(registry)
+        with RequestScheduler(
+            registry, pool, workers=1, deadline_s=0.05
+        ) as server:
+            server.run_hook = lambda: time.sleep(0.4)
+            # a per-request deadline overrides the constructor default
+            first = server.submit(
+                "chain", random_feeds(graph, seed=0), deadline_s=30.0
+            )
+            second = server.submit("chain", random_feeds(graph, seed=1))
+            # the second inherited the 50ms default and aged out queued
+            with pytest.raises(DeadlineExceededError):
+                second.result(timeout=30)
+            assert first.result(timeout=30) is not None
+        assert server.stats().expired == 1
+
+    def test_no_deadline_means_no_shedding(self, registry):
+        graph = registry.get("chain").graph
+        pool = ArenaPool(registry)
+        with RequestScheduler(registry, pool, workers=1) as server:
+            server.run_hook = lambda: time.sleep(0.1)
+            futures = [
+                server.submit("chain", random_feeds(graph, seed=i))
+                for i in range(3)
+            ]
+            for f in futures:
+                assert f.result(timeout=30) is not None
+        assert server.stats().expired == 0
+
+    def test_rejects_nonpositive_deadline(self, registry):
+        pool = ArenaPool(registry)
+        with pytest.raises(ServingError, match="deadline_s"):
+            RequestScheduler(registry, pool, deadline_s=0.0)
