@@ -1,0 +1,201 @@
+"""Diff two ``BENCH_*.json`` documents and gate on regressions.
+
+CI runs every benchmark smoke against the numbers committed in
+``benchmarks/results/`` and posts the diff to the step summary. Raw
+throughput (req/s, samples/s) moves with the host, so only
+**machine-portable** metrics gate the build:
+
+* ratio metrics — ``*speedup*``, ``req_per_s_*_vs_*``,
+  ``hidden_fraction`` — must not drop by more than ``--threshold``
+  (relative);
+* correctness metrics — ``errors`` must not grow, ``verified_bitwise``
+  and ``*_verified`` must not flip away from true, ``*mismatch*``
+  counts must not grow.
+
+Everything else (absolute req/s, stall seconds, traffic bytes, floors)
+is reported for the record but never fails the build.
+
+Two guards keep the gate honest: ratio metrics whose baseline is
+below ``MIN_GATED_RATIO`` are report-only (a 0.0005 -> 0 drop is
+noise, not a regression), and when the two documents were produced
+under different ``quick`` settings (full committed baseline vs a
+quick-mode CI smoke with fewer reps/requests) ratio gating is
+disabled entirely — only correctness metrics still gate.
+
+Usage::
+
+    python scripts/bench_compare.py BASELINE.json CURRENT.json
+        [--threshold 0.15] [--markdown]
+
+Exit status: 0 clean, 1 regression past the threshold, 2 unreadable
+input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Iterator
+
+#: relative drop a gated ratio metric may suffer before failing
+DEFAULT_THRESHOLD = 0.15
+
+#: ratio metrics with a baseline below this are report-only — relative
+#: drops on near-zero fractions are measurement noise
+MIN_GATED_RATIO = 0.05
+
+_RATIO_MARKERS = ("speedup", "hidden_fraction", "_vs_")
+_ERROR_KEYS = ("errors", "mismatch")
+_VERIFIED_MARKERS = ("verified",)
+
+
+def flatten(doc: Any, prefix: str = "") -> Iterator[tuple[str, Any]]:
+    """Yield ``(dotted.path, leaf)`` pairs for every scalar in ``doc``."""
+    if isinstance(doc, dict):
+        for key in sorted(doc):
+            yield from flatten(doc[key], f"{prefix}{key}.")
+    elif isinstance(doc, list):
+        for i, item in enumerate(doc):
+            yield from flatten(item, f"{prefix}{i}.")
+    else:
+        yield prefix.rstrip("."), doc
+
+
+def classify(path: str) -> str:
+    """``ratio`` / ``error`` / ``verified`` / ``info`` for one metric path."""
+    leaf = path.rsplit(".", 1)[-1]
+    if any(marker in leaf for marker in _RATIO_MARKERS):
+        return "ratio"
+    if any(leaf == key or key in leaf for key in _ERROR_KEYS):
+        return "error"
+    if any(marker in leaf for marker in _VERIFIED_MARKERS):
+        return "verified"
+    return "info"
+
+
+def compare(
+    baseline: dict, current: dict, threshold: float = DEFAULT_THRESHOLD
+) -> tuple[list[dict], list[dict]]:
+    """Diff two bench documents.
+
+    Returns ``(rows, regressions)``: every changed shared metric, and
+    the subset that fails the gate. Paths present in only one document
+    (new cells, removed sections) are reported as info, never gated —
+    benches grow fields across PRs.
+    """
+    base = dict(flatten(baseline))
+    curr = dict(flatten(current))
+    # a full-mode baseline vs a quick-mode run (or vice versa) differ in
+    # reps/requests by design; ratios are not comparable across modes
+    same_mode = baseline.get("quick") == current.get("quick")
+    rows: list[dict] = []
+    regressions: list[dict] = []
+    for path in sorted(base.keys() | curr.keys()):
+        b, c = base.get(path), curr.get(path)
+        if b == c:
+            continue
+        kind = classify(path)
+        row = {"path": path, "kind": kind, "baseline": b, "current": c}
+        if b is None or c is None:
+            row["verdict"] = "added" if b is None else "removed"
+            rows.append(row)
+            continue
+        verdict = "changed"
+        if kind == "ratio" and _is_num(b) and _is_num(c):
+            if (
+                same_mode
+                and b >= MIN_GATED_RATIO
+                and c < b * (1.0 - threshold)
+            ):
+                verdict = "REGRESSED"
+        elif kind == "error" and _is_num(b) and _is_num(c):
+            if c > b:
+                verdict = "REGRESSED"
+        elif kind == "verified":
+            if b is True and c is not True:
+                verdict = "REGRESSED"
+        row["verdict"] = verdict
+        rows.append(row)
+        if verdict == "REGRESSED":
+            regressions.append(row)
+    return rows, regressions
+
+
+def _is_num(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render(rows: list[dict], regressions: list[dict], markdown: bool) -> str:
+    if not rows:
+        return "benchmarks unchanged vs baseline"
+    lines = []
+    if markdown:
+        lines += [
+            "| metric | kind | baseline | current | verdict |",
+            "| --- | --- | --- | --- | --- |",
+        ]
+        for row in rows:
+            mark = "**REGRESSED**" if row["verdict"] == "REGRESSED" else row["verdict"]
+            lines.append(
+                f"| `{row['path']}` | {row['kind']} | {_fmt(row['baseline'])} "
+                f"| {_fmt(row['current'])} | {mark} |"
+            )
+    else:
+        width = max(len(row["path"]) for row in rows)
+        for row in rows:
+            lines.append(
+                f"{row['path']:<{width}}  {row['kind']:<8} "
+                f"{_fmt(row['baseline'])} -> {_fmt(row['current'])} "
+                f"[{row['verdict']}]"
+            )
+    lines.append("")
+    lines.append(
+        f"{len(rows)} metric(s) differ; {len(regressions)} regression(s) "
+        "past the gate"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("baseline", help="committed BENCH_*.json")
+    ap.add_argument("current", help="freshly generated BENCH_*.json")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="max relative drop a gated ratio metric may take "
+        f"(default {DEFAULT_THRESHOLD})",
+    )
+    ap.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit a GitHub-flavored markdown table (for step summaries)",
+    )
+    args = ap.parse_args(argv)
+    try:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        with open(args.current) as fh:
+            current = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read bench document: {exc}", file=sys.stderr)
+        return 2
+    rows, regressions = compare(baseline, current, threshold=args.threshold)
+    try:
+        print(render(rows, regressions, markdown=args.markdown))
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe; the verdict still stands
+        sys.stderr.close()
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

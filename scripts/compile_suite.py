@@ -2,8 +2,9 @@
 
 The CI ``verify-plan`` gate runs this first: each cell is compiled,
 tiered-arena spill plans (with prefetch layouts) are embedded at the
-capacity floor and at 50%/75% of the arena, and the artifacts are
-written as JSON. ``python -m repro.cli verify-plan <dir>/*.json`` then
+capacity floor and at 50%/75% of the arena — plus one tile-streaming
+plan at a capacity *below* the whole-buffer floor — and the artifacts
+are written as JSON. ``python -m repro.cli verify-plan <dir>/*.json`` then
 statically proves every one of them race-free and byte-sound — the
 gate fails if any compiled plan violates an invariant the runtime
 would only have caught (or worse, missed) at execution time.
@@ -29,6 +30,13 @@ def main(argv: list[str] | None = None) -> int:
         default=8,
         help="max transfer-engine lead granted to embedded spill plans",
     )
+    ap.add_argument(
+        "--tile-bytes",
+        type=int,
+        default=8192,
+        help="tile size for the below-floor tiled spill plan each "
+        "artifact also embeds",
+    )
     args = ap.parse_args(argv)
 
     from repro.allocator.spill import min_capacity_bytes, plan_spill
@@ -49,7 +57,7 @@ def main(argv: list[str] | None = None) -> int:
                 floor,
             }
         )
-        spills = tuple(
+        spills = [
             plan_spill(
                 model.graph,
                 model.schedule,
@@ -59,15 +67,39 @@ def main(argv: list[str] | None = None) -> int:
                 prefetch_lead=args.prefetch_lead,
             )
             for cap in caps
+        ]
+        # one tiled plan per cell, at a capacity the whole-buffer path
+        # cannot admit — the verify-plan gate proves the tile invariants
+        tile_floor = min_capacity_bytes(
+            model.graph, model.schedule, tile_bytes=args.tile_bytes
         )
+        tiled_cap = max(tile_floor, min(floor - 1, tile_floor * 2))
+        if tiled_cap < floor:
+            spills.append(
+                plan_spill(
+                    model.graph,
+                    model.schedule,
+                    model.plan,
+                    tiled_cap,
+                    policy="belady",
+                    prefetch_lead=args.prefetch_lead,
+                    tile_bytes=args.tile_bytes,
+                )
+            )
         path = (
-            replace(model, spill_plans=spills)
+            replace(model, spill_plans=tuple(spills))
             .save(outdir / f"{cell.key}.json")
         )
         written += 1
+        tiled_note = (
+            f", tiled {tiled_cap} B @ {args.tile_bytes} B tiles"
+            if tiled_cap < floor
+            else ""
+        )
         print(
             f"{cell.key}: arena {model.plan.arena_bytes} B, "
-            f"floor {floor} B, spill capacities {caps} -> {path}"
+            f"floor {floor} B, spill capacities {caps}{tiled_note} "
+            f"-> {path}"
         )
     print(f"wrote {written} artifact(s) to {outdir}/")
     return 0

@@ -40,9 +40,12 @@ fetch/writeback steps the executor inserts implement it literally):
   a member tensor) is written back (``bytes_out += size``) iff the
   data is needed again — a later window exists — or the buffer holds a
   graph output; clean or dead windows drop silently;
-* fetch/writeback moves whole buffers: traffic is counted at buffer
-  granularity (the tile-granularity refinement stays with the offline
-  simulator).
+* fetch/writeback moves whole buffers by default; with
+  ``tile_bytes`` set, spilled buffers instead *stream* through a tile
+  slot of ``min(size, tile_bytes)`` bytes — the same
+  :func:`repro.memsim.trace.tile_spans` geometry the Fig 11 simulator
+  traces at — so the capacity floor drops from the largest-buffer to
+  the largest-tile working set and traffic is counted per tile.
 
 Because fetch and writeback copy bytes verbatim, a spilled execution
 is **bitwise identical** to the resident one under every capacity —
@@ -64,7 +67,7 @@ from repro.allocator.lifetimes import BufferLifetime
 from repro.exceptions import SpillError
 from repro.graph.graph import Graph
 from repro.memsim.policies import POLICY_NAMES, BeladyPolicy, make_policy
-from repro.memsim.trace import Access, AccessTrace
+from repro.memsim.trace import Access, AccessTrace, resolve_tile_bytes
 from repro.scheduler.memory import BufferModel
 from repro.scheduler.schedule import Schedule
 
@@ -182,7 +185,10 @@ class SpillPlan:
     occurs. ``prefetch`` optionally carries a double-buffered layout of
     the same windows for overlapped transfers; ``None`` (e.g. when the
     ping/pong slots would not fit the capacity) keeps transfers
-    inline."""
+    inline. ``tile_bytes`` set means spilled buffers stream through
+    tile slots of ``min(size, tile_bytes)`` bytes instead of staging
+    whole buffers — window offsets then address tile slots, and the
+    executor moves per-tile pieces through them."""
 
     capacity_bytes: int
     policy: str
@@ -193,6 +199,8 @@ class SpillPlan:
     home_offsets: dict[int, int]
     windows: dict[int, tuple[StageWindow, ...]]
     prefetch: PrefetchPlan | None = None
+    #: transfer granularity for spilled buffers; ``None`` = whole-buffer
+    tile_bytes: int | None = None
 
     @property
     def is_trivial(self) -> bool:
@@ -226,6 +234,11 @@ class SpillPlan:
             raise SpillError(
                 f"spill plan resident region ({self.resident_bytes} bytes) "
                 f"exceeds the {self.capacity_bytes}-byte capacity"
+            )
+        if self.tile_bytes is not None and self.tile_bytes <= 0:
+            raise SpillError(
+                f"spill plan tile_bytes must be positive, got "
+                f"{self.tile_bytes}"
             )
         if set(self.windows) != set(self.spilled) or set(
             self.home_offsets
@@ -329,6 +342,8 @@ class SpillPlan:
         }
         if self.prefetch is not None:
             doc["prefetch"] = self.prefetch.to_doc()
+        if self.tile_bytes is not None:
+            doc["tile_bytes"] = self.tile_bytes
         return doc
 
     @classmethod
@@ -359,6 +374,11 @@ class SpillPlan:
             prefetch=(
                 PrefetchPlan.from_doc(doc["prefetch"])
                 if doc.get("prefetch") is not None
+                else None
+            ),
+            tile_bytes=(
+                int(doc["tile_bytes"])
+                if doc.get("tile_bytes") is not None
                 else None
             ),
         ).validate()
@@ -441,6 +461,7 @@ def _select_spilled(
     policy_name: str,
     trace: AccessTrace,
     pos_end: list[int],
+    slot: Sequence[int] | None = None,
 ) -> frozenset[int]:
     """Pick the spilled buffer set for a selection capacity.
 
@@ -449,24 +470,38 @@ def _select_spilled(
     the replacement policy names among buffers live-but-untouched
     there, until every step fits. Belady uses exact next-use distances
     from the trace; LRU/FIFO replay the access history up to the
-    overflow point."""
+    overflow point. ``slot`` gives the staged footprint per buffer
+    (tile-clamped under tiling; defaults to full sizes)."""
     size = model.buf_size
+    if slot is None:
+        slot = size
     spilled: set[int] = set()
     n_steps = len(touch)
     for _ in range(model.n_buffers + 1):
         peak_step, peak = -1, 0
         for s in range(n_steps):
             demand = sum(size[b] for b in live[s] if b not in spilled)
-            demand += sum(size[b] for b in touch[s] if b in spilled)
+            demand += sum(slot[b] for b in touch[s] if b in spilled)
             if demand > peak:
                 peak_step, peak = s, demand
         if peak <= capacity:
             return frozenset(spilled)
+        # cold buffers (live-but-untouched at the peak step) spill for
+        # free at this step; buffers touched there still pay their
+        # staged footprint, so they only help when tiling shrinks it
+        # (slot < size) — and they thrash a window per touch run, so
+        # they are a last resort, not peers of the cold pool
         candidates = {
             (b, 0)
             for b in live[peak_step]
             if b not in spilled and b not in touch[peak_step]
         }
+        if not candidates:
+            candidates = {
+                (b, 0)
+                for b in touch[peak_step]
+                if b not in spilled and slot[b] < size[b]
+            }
         if not candidates:
             raise SpillError(
                 f"no spill configuration fits {capacity} bytes on-chip: "
@@ -633,16 +668,26 @@ def _windows_from(
 
 
 def min_capacity_bytes(
-    graph: Graph, schedule: Schedule, model: BufferModel | None = None
+    graph: Graph,
+    schedule: Schedule,
+    model: BufferModel | None = None,
+    tile_bytes: int | None = None,
 ) -> int:
     """The irreducible on-chip floor of ``schedule``: the largest
-    single-step working set. Fetch/writeback moves whole buffers, so
-    every tensor one kernel touches must be staged simultaneously — no
-    spill configuration can execute below this."""
+    single-step working set. Whole-buffer staging must hold every
+    tensor one kernel touches simultaneously; with ``tile_bytes`` set,
+    each touched buffer needs only a ``min(size, tile_bytes)`` tile
+    slot, so the floor drops from the largest-buffer to the
+    largest-tile working set — no spill configuration can execute
+    below this."""
     model = model or BufferModel.of(graph)
     touch = step_touches(graph, schedule, model)
+    tile = resolve_tile_bytes(tile_bytes, default=None)
+    size = model.buf_size
+    if tile is None:
+        return max((sum(size[b] for b in bufs) for bufs in touch), default=0)
     return max(
-        (sum(model.buf_size[b] for b in bufs) for bufs in touch), default=0
+        (sum(min(size[b], tile) for b in bufs) for bufs in touch), default=0
     )
 
 
@@ -654,21 +699,29 @@ def plan_spill(
     policy: str = "belady",
     model: BufferModel | None = None,
     prefetch_lead: int = 8,
+    tile_bytes: int | None = None,
 ) -> SpillPlan:
     """Partition ``plan``'s buffers into resident vs spilled so the
     resident region fits ``capacity_bytes`` (see module docstring).
 
     Deterministic: the same ``(graph, schedule, plan, capacity,
-    policy)`` always yields the same plan. Raises :class:`SpillError`
-    when the capacity is below the schedule's irreducible single-step
-    working set — no spill configuration can help there, because every
-    tensor a kernel touches must be staged on-chip while it runs.
+    policy, tile_bytes)`` always yields the same plan. Raises
+    :class:`SpillError` when the capacity is below the schedule's
+    irreducible single-step working set — no spill configuration can
+    help there, because every tensor a kernel touches must be staged
+    on-chip while it runs.
 
     ``prefetch_lead`` asks for a ping/pong :class:`PrefetchPlan`
     alongside the base layout (``0`` disables it); each window gets as
     much fetch lead as the capacity allows, down to 0 for windows
     crossing the schedule's peak (writeback overlap needs no lead, so
-    the layout ships even when every lead lands at 0)."""
+    the layout ships even when every lead lands at 0).
+
+    ``tile_bytes`` switches spilled buffers to tile streaming: staging
+    slots shrink to ``min(size, tile_bytes)`` and the executor moves
+    :func:`repro.memsim.trace.tile_spans` pieces through them, so the
+    capacity floor drops to the largest-tile working set. ``None`` (and
+    ``0``) keep whole-buffer staging."""
     if capacity_bytes <= 0:
         raise SpillError(
             f"on-chip capacity must be positive, got {capacity_bytes}"
@@ -678,6 +731,7 @@ def plan_spill(
             f"unknown replacement policy {policy!r}; pick one of "
             f"{POLICY_NAMES}"
         )
+    tile = resolve_tile_bytes(tile_bytes, default=None)
     model = model or BufferModel.of(graph)
     if plan.arena_bytes <= capacity_bytes:
         # the whole arena fits: trivial plan, zero traffic
@@ -690,13 +744,17 @@ def plan_spill(
             resident_offsets=dict(plan.offsets),
             home_offsets={},
             windows={},
+            tile_bytes=tile,
         ).validate()
 
     size = model.buf_size
+    slot: Sequence[int] = (
+        size if tile is None else [min(s, tile) for s in size]
+    )
     touch = step_touches(graph, schedule, model)
     n_steps = len(touch)
     min_needed = max(
-        (sum(size[b] for b in bufs) for bufs in touch), default=0
+        (sum(slot[b] for b in bufs) for bufs in touch), default=0
     )
     if capacity_bytes < min_needed:
         raise SpillError(
@@ -725,13 +783,13 @@ def plan_spill(
     select_capacity = capacity_bytes
     for _ in range(64):
         spilled = _select_spilled(
-            model, live, touch, select_capacity, policy, trace, pos_end
+            model, live, touch, select_capacity, policy, trace, pos_end, slot
         )
         runs_of: dict[int, list[tuple[int, int]]] = {
             b: _stage_runs(touch, b) for b in sorted(spilled)
         }
         region_bytes, resident_offsets, window_offsets = _layout_staging(
-            plan, spilled, runs_of, size, leads=0
+            plan, spilled, runs_of, slot, leads=0
         )
         if region_bytes <= capacity_bytes:
             break
@@ -763,10 +821,10 @@ def plan_spill(
     prefetch: PrefetchPlan | None = None
     if prefetch_lead > 0:
         leads = _assign_leads(
-            plan, spilled, runs_of, size, capacity_bytes, prefetch_lead
+            plan, spilled, runs_of, slot, capacity_bytes, prefetch_lead
         )
         pf_bytes, pf_resident, pf_windows = _layout_staging(
-            plan, spilled, runs_of, size, leads
+            plan, spilled, runs_of, slot, leads
         )
         prefetch = PrefetchPlan(
             lead_steps=max(leads.values(), default=0),
@@ -789,4 +847,5 @@ def plan_spill(
         home_offsets=home_offsets,
         windows=_windows_from(spilled, runs_of, window_offsets),
         prefetch=prefetch,
+        tile_bytes=tile,
     ).validate()

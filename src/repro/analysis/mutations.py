@@ -306,12 +306,15 @@ def _home_overlap(doc: dict[str, Any]) -> Mutant | None:
 
 
 def _capacity_floor(doc: dict[str, Any]) -> Mutant | None:
-    """Declare a capacity below the schedule's irreducible working set."""
+    """Declare a capacity below the schedule's irreducible working set
+    (the floor matching the plan's own staging granularity)."""
     sps = doc.get("spill_plans", ())
     if not sps:
         return None
     graph, schedule, model, _ = _ctx(doc)
-    floor = min_capacity_bytes(graph, schedule, model=model)
+    floor = min_capacity_bytes(
+        graph, schedule, model=model, tile_bytes=sps[0].get("tile_bytes")
+    )
     if floor < 2:
         return None
     sps[0]["capacity_bytes"] = floor - 1
@@ -322,6 +325,84 @@ def _capacity_floor(doc: dict[str, Any]) -> Mutant | None:
         doc=doc,
         expect_codes=frozenset({"SPILL_FLOOR"}),
     )
+
+
+def _overlapping_tile_slot(doc: dict[str, Any]) -> Mutant | None:
+    """Alias two time-overlapping tile slots in a tiled spill plan —
+    tile N of one buffer would stream over tile M of another."""
+    for sp in doc.get("spill_plans", ()):
+        if sp.get("tile_bytes") is None:
+            continue
+        wins = [
+            (b_key, k, s, e)
+            for b_key, ws in sp["windows"].items()
+            for k, (s, e, _off) in enumerate(ws)
+        ]
+        for i, (b1, k1, s1, e1) in enumerate(wins):
+            off1 = sp["windows"][b1][k1][2]
+            for b2, k2, s2, e2 in wins[i + 1 :]:
+                if b2 == b1 or not (s1 < e2 and s2 < e1):
+                    continue
+                sp["windows"][b2][k2][2] = off1
+                return Mutant(
+                    name="overlapping_tile_slot",
+                    description=f"buffer {b2}'s window {k2} tile slot "
+                    f"aliased onto buffer {b1}'s concurrently-held tile "
+                    "slot",
+                    doc=doc,
+                    expect_codes=frozenset({"SPILL_OVERLAP"}),
+                )
+    return None
+
+
+def _dropped_tile_fetch(doc: dict[str, Any]) -> Mutant | None:
+    """Delete a staging window from a tiled plan — its touches stream
+    tiles through a slot that was never reserved (no fetch staged)."""
+    for sp in doc.get("spill_plans", ()):
+        if sp.get("tile_bytes") is None:
+            continue
+        for b_key, ws in sp["windows"].items():
+            if len(ws) < 2:
+                continue
+            del ws[1]
+            pf = sp.get("prefetch")
+            if pf is not None and b_key in pf["windows"]:
+                del pf["windows"][b_key][1]
+                del pf["window_leads"][b_key][1]
+            return Mutant(
+                name="dropped_tile_fetch",
+                description=f"buffer {b_key}'s second tile staging window "
+                "deleted from the tiled plan: its touches execute with no "
+                "tile ever fetched",
+                doc=doc,
+                expect_codes=frozenset({"SPILL_WINDOW_MISS"}),
+            )
+    return None
+
+
+def _tile_floor(doc: dict[str, Any]) -> Mutant | None:
+    """Understate a tiled plan's capacity below the tile-working-set
+    floor (the tile-granularity analogue of ``capacity_floor``)."""
+    for sp in doc.get("spill_plans", ()):
+        tb = sp.get("tile_bytes")
+        if tb is None:
+            continue
+        graph, schedule, model, _ = _ctx(doc)
+        floor = min_capacity_bytes(
+            graph, schedule, model=model, tile_bytes=tb
+        )
+        if floor < 2:
+            return None
+        sp["capacity_bytes"] = floor - 1
+        return Mutant(
+            name="tile_floor",
+            description=f"tiled plan capacity_bytes lowered to "
+            f"{floor - 1}, below the {floor}-byte largest-tile "
+            "working-set floor",
+            doc=doc,
+            expect_codes=frozenset({"SPILL_FLOOR"}),
+        )
+    return None
 
 
 _MUTATORS: tuple[Callable[[dict[str, Any]], Mutant | None], ...] = (
@@ -336,6 +417,9 @@ _MUTATORS: tuple[Callable[[dict[str, Any]], Mutant | None], ...] = (
     _dropped_offset,
     _home_overlap,
     _capacity_floor,
+    _overlapping_tile_slot,
+    _dropped_tile_fetch,
+    _tile_floor,
 )
 
 #: every corruption class the corpus can seed, in application order

@@ -72,6 +72,7 @@ def _walk_plan(px: Any, plan: Any, n: int, diags: list[Diagnostic]) -> None:
         _STEP_ENQUEUE,
         _STEP_FETCH,
         _STEP_INPUT,
+        _STEP_STAGE,
         _STEP_SYNC,
         _STEP_WRITEBACK,
         _UNBATCHED,
@@ -96,6 +97,11 @@ def _walk_plan(px: Any, plan: Any, n: int, diags: list[Diagnostic]) -> None:
     if px.spill is not None and px._spill_arena.size:
         s_lo, s_hi = byte_bounds(px._spill_arena)
         regions.append(("spill", s_lo, s_hi, px.spill.spill_bytes))
+    # tile streaming: each spilled buffer's scratch backing store is its
+    # own region, declared at the buffer's per-sample byte size
+    for b, scr in px._scratch.items():
+        c_lo, c_hi = byte_bounds(scr)
+        regions.append((f"scratch:{b}", c_lo, c_hi, px.model.buf_size[b]))
 
     # the arena's storage cells may be wider than the plan's accounting
     # itemsize (offsets are bound in element units); map real addresses
@@ -144,7 +150,9 @@ def _walk_plan(px: Any, plan: Any, n: int, diags: list[Diagnostic]) -> None:
             )
         return (rname, lo, hi)
 
-    written: dict[str, list[tuple[int, int]]] = {"arena": [], "spill": []}
+    written: dict[str, list[tuple[int, int]]] = {
+        rname: [] for rname, *_rest in regions
+    }
     pending: list[_Pending] = []
     job_no = 0
 
@@ -166,29 +174,40 @@ def _walk_plan(px: Any, plan: Any, n: int, diags: list[Diagnostic]) -> None:
             continue
         if kind == _STEP_ENQUEUE:
             job_no += 1
-            dst = resolve(site, oi, name, "engine destination")
-            src = resolve(args[0], oi, name, "engine source")
-            if dst is None or src is None:
-                continue
-            # FIFO jobs serialise against each other, so an enqueue may
-            # legally overlap in-flight jobs; its source must still be
-            # produced by something — an earlier synchronous write or an
-            # earlier FIFO job's destination
-            if not _covers(written_plus_pending(src[0]), src[1], src[2]):
-                diags.append(
-                    Diagnostic(
-                        code="SHADOW_UNWRITTEN_READ",
-                        severity=ERROR,
-                        message=f"{name!r} enqueues a copy of {src[0]} "
-                        f"bytes [{src[1]}, {src[2]}) that no earlier step "
-                        "or engine job wrote",
-                        step=oi,
-                        node=name,
-                        byte_range=(src[1], src[2]),
-                        plan=tag,
+            # a whole-buffer enqueue is one (site <- args[0]) hop; a
+            # tiled job carries its hop list in ``attrs``. Hops execute
+            # in order inside one job, so a later hop's source may be a
+            # previous hop's destination (slot handoff).
+            hops = (
+                ((site, args[0]),)
+                if site is not None
+                else tuple((dst, src) for dst, src, _linked in attrs)
+            )
+            for dst_view, src_view in hops:
+                dst = resolve(dst_view, oi, name, "engine destination")
+                src = resolve(src_view, oi, name, "engine source")
+                if dst is None or src is None:
+                    continue
+                # FIFO jobs serialise against each other, so an enqueue
+                # may legally overlap in-flight jobs; its source must
+                # still be produced by something — an earlier
+                # synchronous write, an earlier FIFO job's destination,
+                # or this job's previous hop
+                if not _covers(written_plus_pending(src[0]), src[1], src[2]):
+                    diags.append(
+                        Diagnostic(
+                            code="SHADOW_UNWRITTEN_READ",
+                            severity=ERROR,
+                            message=f"{name!r} enqueues a copy of {src[0]} "
+                            f"bytes [{src[1]}, {src[2]}) that no earlier "
+                            "step or engine job wrote",
+                            step=oi,
+                            node=name,
+                            byte_range=(src[1], src[2]),
+                            plan=tag,
+                        )
                     )
-                )
-            pending.append(_Pending(job_no, name, dst, src))
+                pending.append(_Pending(job_no, name, dst, src))
             continue
 
         reads: list[tuple[str, int, int]] = []
@@ -197,7 +216,13 @@ def _walk_plan(px: Any, plan: Any, n: int, diags: list[Diagnostic]) -> None:
             w = resolve(site, oi, name, "site")
             if w:
                 writes.append(w)
-        elif kind in (_STEP_DIRECT, _STEP_COPY, _STEP_FETCH, _STEP_WRITEBACK):
+        elif kind in (
+            _STEP_DIRECT,
+            _STEP_COPY,
+            _STEP_FETCH,
+            _STEP_WRITEBACK,
+            _STEP_STAGE,
+        ):
             w = resolve(site, oi, name, "site")
             if w:
                 writes.append(w)

@@ -370,19 +370,34 @@ def _check_read_coverage(
         _add(written.setdefault(b_own, []), lo, lo + node.output.bytes)
 
 
+def _slot_bytes(
+    model: BufferModel, b: int, tile_bytes: int | None
+) -> int:
+    """Staging-slot footprint of spilled buffer ``b`` — the whole
+    buffer, or one tile under tile streaming (the executor's
+    ``_slot_bytes`` rule, restated from the plan document)."""
+    size = model.buf_size[b]
+    if tile_bytes is None or tile_bytes <= 0:
+        return size
+    return min(size, tile_bytes)
+
+
 def _staging_intervals(
     model: BufferModel,
     lifetimes: Sequence[BufferLifetime],
     resident_offsets: Mapping[int, int],
     windows: Mapping[int, tuple[StageWindow, ...]],
     leads: Mapping[int, tuple[int, ...]] | None,
+    tile_bytes: int | None = None,
 ) -> list[tuple[int, int, int, int, str, int]]:
     """The resident region as (t0, t1, lo, hi, kind, buffer) intervals:
     resident buffers hold their slot for their whole lifetime; staging
     windows hold theirs for the window, head-extended by the window's
     prefetch lead when ``leads`` is given (the span an async fetch may
-    occupy the slot)."""
-    size = model.buf_size
+    occupy the slot). Under tile streaming (``tile_bytes``), a window's
+    slot holds one tile, so its byte extent is tile-clamped — the
+    tile-slot disjointness invariant runs through the same time×byte
+    sweep as whole-buffer slots."""
     out: list[tuple[int, int, int, int, str, int]] = []
     lt_of = {lt.buffer_id: lt for lt in lifetimes}
     for b, off in resident_offsets.items():
@@ -403,7 +418,7 @@ def _staging_intervals(
                     max(0, w.start - lead),
                     w.end,
                     w.offset,
-                    w.offset + size[b],
+                    w.offset + _slot_bytes(model, b, tile_bytes),
                     "window",
                     b,
                 )
@@ -417,7 +432,6 @@ def _check_spill(
     lifetimes: Sequence[BufferLifetime],
     sp: SpillPlan,
     touch: Sequence[tuple[int, ...]],
-    floor: int,
     diags: list[Diagnostic],
 ) -> None:
     tag = f"spill@{sp.capacity_bytes}"
@@ -434,6 +448,29 @@ def _check_spill(
             )
         )
         return
+    if sp.tile_bytes is not None and sp.tile_bytes <= 0:
+        diags.append(
+            Diagnostic(
+                code="SPILL_TILE_GEOMETRY",
+                severity=ERROR,
+                message=f"tile_bytes must be positive when set, got "
+                f"{sp.tile_bytes} — the tile partition of every staged "
+                "buffer is undefined",
+                plan=tag,
+            )
+        )
+        # fall through with whole-buffer slots (_slot_bytes ignores a
+        # non-positive tile size), so layout checks still run
+    # the irreducible floor is per-plan: whole-buffer staging needs the
+    # largest single-step working set of entire buffers, tile streaming
+    # only the largest working set of tile slots
+    floor = max(
+        (
+            sum(_slot_bytes(model, b, sp.tile_bytes) for b in bufs)
+            for bufs in touch
+        ),
+        default=0,
+    )
     if sp.capacity_bytes < floor:
         diags.append(
             Diagnostic(
@@ -441,8 +478,13 @@ def _check_spill(
                 severity=ERROR,
                 message=f"capacity {sp.capacity_bytes} is below the "
                 f"schedule's irreducible staging floor ({floor} bytes: "
-                "the largest single-step working set); no spill "
-                "configuration can execute this plan",
+                "the largest single-step working set"
+                + (
+                    f" of {sp.tile_bytes}-byte tile slots"
+                    if sp.tile_bytes is not None
+                    else ""
+                )
+                + "); no spill configuration can execute this plan",
                 plan=tag,
             )
         )
@@ -522,7 +564,8 @@ def _check_spill(
                     )
                 )
             prev_end = max(prev_end, w.end - 1)
-            lo, hi = w.offset, w.offset + size[b]
+            lo = w.offset
+            hi = lo + _slot_bytes(model, b, sp.tile_bytes)
             if w.offset < 0 or hi > sp.resident_bytes:
                 diags.append(
                     Diagnostic(
@@ -578,7 +621,12 @@ def _check_spill(
     # byte-disjointness of simultaneously-live resident slots and
     # staging windows (lead 0: the inline layout)
     ivals = _staging_intervals(
-        model, lifetimes, sp.resident_offsets, sp.windows, leads=None
+        model,
+        lifetimes,
+        sp.resident_offsets,
+        sp.windows,
+        leads=None,
+        tile_bytes=sp.tile_bytes,
     )
     _check_interval_overlap(ivals, "SPILL_OVERLAP", tag, diags)
 
@@ -678,7 +726,6 @@ def _check_prefetch(
     diags: list[Diagnostic],
 ) -> None:
     tag = f"prefetch@{sp.capacity_bytes}"
-    size = model.buf_size
     spilled = set(sp.spilled)
     if pf.lead_steps < 0:
         diags.append(
@@ -735,7 +782,8 @@ def _check_prefetch(
         if not 0 <= b < model.n_buffers:
             continue
         for w in ws:
-            lo, hi = w.offset, w.offset + size[b]
+            lo = w.offset
+            hi = lo + _slot_bytes(model, b, sp.tile_bytes)
             if w.offset < 0 or hi > pf.resident_bytes:
                 diags.append(
                     Diagnostic(
@@ -764,7 +812,12 @@ def _check_prefetch(
     # its fetch may be enqueued (lead steps early) to window exit;
     # every pair of time-overlapping occupations must be byte-disjoint
     ivals = _staging_intervals(
-        model, lifetimes, pf.resident_offsets, pf.windows, leads=pf.window_leads
+        model,
+        lifetimes,
+        pf.resident_offsets,
+        pf.windows,
+        leads=pf.window_leads,
+        tile_bytes=sp.tile_bytes,
     )
     _check_interval_overlap(ivals, "PREFETCH_RACE", tag, diags)
 
@@ -847,14 +900,10 @@ def analyze_plan(
     if spill_plans:
         checks.append("spill")
         touch = step_touches(graph, sched, model)
-        floor = max(
-            (sum(model.buf_size[b] for b in bufs) for bufs in touch),
-            default=0,
-        )
         if any(sp.prefetch is not None for sp in spill_plans):
             checks.append("prefetch")
         for sp in spill_plans:
-            _check_spill(graph, model, lifetimes, sp, touch, floor, diags)
+            _check_spill(graph, model, lifetimes, sp, touch, diags)
             if sp.prefetch is not None:
                 _check_prefetch(model, lifetimes, sp, sp.prefetch, diags)
 
@@ -924,6 +973,11 @@ def _spill_plan_lenient(
                 for b, ws in doc["windows"].items()
             },
             prefetch=prefetch,
+            tile_bytes=(
+                int(doc["tile_bytes"])
+                if doc.get("tile_bytes") is not None
+                else None
+            ),
         )
     except (KeyError, TypeError, ValueError) as exc:
         diags.append(

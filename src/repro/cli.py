@@ -45,6 +45,15 @@ _EXPERIMENTS = {
 }
 
 
+def _tile_bytes_arg(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"tile size must be >= 0 bytes (0 = whole-buffer), got {value}"
+        )
+    return value
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     from repro.scheduler.registry import iter_strategies
 
@@ -150,7 +159,13 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         for kib in args.capacity:
             cap = int(kib * 1024)
             try:
-                plans.append(model.spill_plan(cap, policy=args.spill_policy))
+                plans.append(
+                    model.spill_plan(
+                        cap,
+                        policy=args.spill_policy,
+                        tile_bytes=args.tile_bytes,
+                    )
+                )
             except SpillError as exc:
                 print(f"error: cannot spill-plan {kib:g}KiB: {exc}",
                       file=sys.stderr)
@@ -170,7 +185,11 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         print(f"device {model.device.name} ({model.device.sram_kib:.0f}KB): "
               f"{verdict}")
     for sp in model.spill_plans:
-        print(f"spill plan {sp.capacity_bytes / 1024:g}KiB ({sp.policy}): "
+        tiled = (
+            f", {sp.tile_bytes}B tiles" if sp.tile_bytes is not None else ""
+        )
+        print(f"spill plan {sp.capacity_bytes / 1024:g}KiB "
+              f"({sp.policy}{tiled}): "
               f"{sp.spilled_count} buffers spilled, resident "
               f"{sp.resident_bytes / 1024:.1f}KB, off-chip home "
               f"{sp.spill_bytes / 1024:.1f}KB")
@@ -210,6 +229,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             seed=args.seed,
             capacity_bytes=capacity,
             spill_policy=args.spill_policy,
+            tile_bytes=args.tile_bytes,
             prefetch=not args.no_prefetch,
             link=_offchip_link(args),
         )
@@ -435,6 +455,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             preload=args.preload,
             spill=args.spill,
             spill_policy=args.spill_policy,
+            tile_bytes=args.tile_bytes,
             prefetch=not args.no_prefetch,
             link=_offchip_link(args),
             shards=args.shards,
@@ -495,6 +516,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         spill=args.spill,
         spill_policy=args.spill_policy,
+        tile_bytes=args.tile_bytes,
         prefetch=not args.no_prefetch,
         link=link,
     )
@@ -503,10 +525,12 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         run_load(registry, requests=args.clients, clients=args.clients,
                  workers=args.workers, budget=budget, reuse=True,
                  spill=args.spill, spill_policy=args.spill_policy,
+                 tile_bytes=args.tile_bytes,
                  prefetch=not args.no_prefetch, link=link)
         run_load(registry, requests=args.clients, clients=args.clients,
                  workers=args.workers, budget=budget, reuse=False,
                  spill=args.spill, spill_policy=args.spill_policy,
+                 tile_bytes=args.tile_bytes,
                  prefetch=not args.no_prefetch, link=link)
         pooled = run_load(
             registry, max_batch=args.max_batch, reuse=True,
@@ -569,6 +593,7 @@ def _run_chaos_bench(args: argparse.Namespace, registry) -> int:
             preload=args.preload,
             spill=args.spill,
             spill_policy=args.spill_policy,
+            tile_bytes=args.tile_bytes,
             prefetch=not args.no_prefetch,
             link=_offchip_link(args),
             shards=args.shards,
@@ -758,6 +783,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="belady",
         help="replacement policy ranking spill victims (default: belady)",
     )
+    p_comp.add_argument(
+        "--tile-bytes", type=_tile_bytes_arg, metavar="BYTES",
+        help="stage spilled buffers through fixed-size tile slots instead "
+        "of whole-buffer windows (applies to every --capacity plan; drops "
+        "the admissible capacity floor to the largest tiled working set)",
+    )
     p_comp.set_defaults(func=_cmd_compile)
 
     p_run = sub.add_parser(
@@ -799,6 +830,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=POLICY_NAMES,
         default="belady",
         help="replacement policy ranking spill victims (default: belady)",
+    )
+    p_run.add_argument(
+        "--tile-bytes", type=_tile_bytes_arg, metavar="BYTES",
+        help="stream spilled buffers through fixed-size tile slots "
+        "instead of whole-buffer staging windows (lower capacity floor, "
+        "same bitwise outputs)",
     )
     p_run.add_argument(
         "--no-prefetch", action="store_true",
@@ -958,6 +995,12 @@ def build_parser() -> argparse.ArgumentParser:
             choices=POLICY_NAMES,
             default="belady",
             help="replacement policy ranking spill victims (default: belady)",
+        )
+        p.add_argument(
+            "--tile-bytes", type=_tile_bytes_arg, metavar="BYTES",
+            help="stream spilled executors' buffers through fixed-size "
+            "tile slots instead of whole-buffer staging (admits models "
+            "below the whole-buffer capacity floor)",
         )
         p.add_argument(
             "--no-prefetch", action="store_true",

@@ -102,31 +102,51 @@ class CompiledModel:
     def spill_floor_bytes(self) -> int:
         """Irreducible on-chip capacity of this schedule: the largest
         single-step working set (whole buffers are staged to be
-        touched). No spill plan can execute below this; memoised."""
+        touched). No spill plan can execute below this; memoised.
+        Tile streaming goes lower — see :meth:`spill_floor_for`."""
+        return self.spill_floor_for(None)
+
+    def spill_floor_for(self, tile_bytes: int | None) -> int:
+        """The staging floor at a transfer granularity: the largest
+        single-step working set of whole buffers (``tile_bytes=None``)
+        or of per-buffer tile slots. Memoised per granularity."""
         cache = self._spill_cache()
-        floor = cache.get("floor")
+        key = ("floor", tile_bytes)
+        floor = cache.get(key)
         if floor is None:
-            floor = min_capacity_bytes(self.graph, self.schedule)
-            cache["floor"] = floor
+            floor = min_capacity_bytes(
+                self.graph, self.schedule, tile_bytes=tile_bytes
+            )
+            cache[key] = floor
         return floor
 
     def spill_plan(
-        self, capacity_bytes: int, policy: str = "belady"
+        self,
+        capacity_bytes: int,
+        policy: str = "belady",
+        tile_bytes: int | None = None,
     ) -> SpillPlan:
         """The tiered-arena layout for one on-chip capacity.
 
         Serves a carried (artifact-embedded) plan when one matches,
         else computes and memoises — spill planning is deterministic in
-        ``(graph, schedule, plan, capacity, policy)``, so a computed
-        plan equals the one the compiler would have embedded. Raises
-        :class:`~repro.exceptions.SpillError` below
-        :attr:`spill_floor_bytes`.
+        ``(graph, schedule, plan, capacity, policy, tile granularity)``,
+        so a computed plan equals the one the compiler would have
+        embedded. ``tile_bytes`` switches to tile-streamed staging,
+        whose floor (:meth:`spill_floor_for`) sits far below the
+        whole-buffer :attr:`spill_floor_bytes`. Raises
+        :class:`~repro.exceptions.SpillError` below the applicable
+        floor.
         """
         for sp in self.spill_plans:
-            if sp.capacity_bytes == capacity_bytes and sp.policy == policy:
+            if (
+                sp.capacity_bytes == capacity_bytes
+                and sp.policy == policy
+                and sp.tile_bytes == tile_bytes
+            ):
                 return sp
         cache = self._spill_cache()
-        key = (capacity_bytes, policy)
+        key = (capacity_bytes, policy, tile_bytes)
         plan = cache.get(key)
         if plan is None:
             plan = plan_spill(
@@ -135,6 +155,7 @@ class CompiledModel:
                 self.plan,
                 capacity_bytes,
                 policy=policy,
+                tile_bytes=tile_bytes,
             )
             cache[key] = plan
         return plan
@@ -156,6 +177,7 @@ class CompiledModel:
         spill: SpillPlan | None = None,
         capacity_bytes: int | None = None,
         spill_policy: str = "belady",
+        tile_bytes: int | None = None,
         prefetch: bool = True,
         link: "OffchipLink | None" = None,
     ) -> "PlanExecutor":
@@ -167,15 +189,19 @@ class CompiledModel:
         under a two-region tiered arena whose on-chip region fits that
         capacity, spilled buffers streaming from the off-chip region
         with measured traffic — outputs stay bitwise identical.
-        ``prefetch=False`` forces those transfers inline instead of
-        overlapping them on the background engine; ``link`` (an
-        :class:`~repro.memsim.OffchipLink`) models the transfer path's
-        bandwidth/latency.
+        ``tile_bytes`` streams spilled buffers tile by tile instead of
+        whole (dropping the admissible capacity floor to the largest
+        tile working set). ``prefetch=False`` forces those transfers
+        inline instead of overlapping them on the background engine;
+        ``link`` (an :class:`~repro.memsim.OffchipLink`) models the
+        transfer path's bandwidth/latency.
         """
         from repro.runtime.plan_executor import PlanExecutor
 
         if spill is None and capacity_bytes is not None:
-            spill = self.spill_plan(capacity_bytes, policy=spill_policy)
+            spill = self.spill_plan(
+                capacity_bytes, policy=spill_policy, tile_bytes=tile_bytes
+            )
         return PlanExecutor(
             self.graph,
             self.schedule,

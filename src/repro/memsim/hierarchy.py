@@ -35,12 +35,12 @@ back in this module's :class:`TrafficReport` units
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.exceptions import ReproError
 from repro.graph.graph import Graph
 from repro.memsim.policies import FIFOPolicy, make_policy
-from repro.memsim.trace import AccessTrace, build_trace
+from repro.memsim.trace import AccessTrace, build_trace, resolve_tile_bytes
 from repro.scheduler.memory import BufferModel
 from repro.scheduler.schedule import Schedule
 
@@ -95,6 +95,9 @@ class TrafficReport:
     #: transfer wall-clock overlapped behind compute by the prefetch
     #: engine (zero for inline spill execution)
     hidden_s: float = 0.0
+    #: transfer granularity the counted traffic moved at (``None`` =
+    #: whole-buffer staging)
+    tile_bytes: int | None = None
 
     @property
     def total_bytes(self) -> int:
@@ -212,11 +215,7 @@ def offchip_traffic(
     pass an explicit value (or ``0`` for whole-tensor transfers) to
     override.
     """
-    from repro.memsim.trace import DEFAULT_TILE_BYTES
-
-    if tile_bytes is None:
-        tile_bytes = DEFAULT_TILE_BYTES
-    elif tile_bytes == 0:
-        tile_bytes = None  # whole-tensor transfers
+    tile_bytes = resolve_tile_bytes(tile_bytes)
     trace = build_trace(graph, schedule, model=model, tile_bytes=tile_bytes)
-    return MemoryHierarchySimulator(capacity_bytes, policy).run(trace)
+    report = MemoryHierarchySimulator(capacity_bytes, policy).run(trace)
+    return replace(report, tile_bytes=tile_bytes)

@@ -31,11 +31,62 @@ from repro.graph.graph import Graph
 from repro.scheduler.memory import BufferModel
 from repro.scheduler.schedule import Schedule
 
-__all__ = ["Access", "AccessTrace", "build_trace"]
+__all__ = [
+    "Access",
+    "AccessTrace",
+    "build_trace",
+    "resolve_tile_bytes",
+    "tile_spans",
+]
 
 
 #: default DRAM↔SRAM transfer granularity
 DEFAULT_TILE_BYTES = 8 * 1024
+
+
+def resolve_tile_bytes(
+    tile_bytes: int | None,
+    default: int | None = DEFAULT_TILE_BYTES,
+) -> int | None:
+    """Normalise a tile-size knob to an effective granularity.
+
+    ``None`` means "use the caller's default" (the simulator's
+    ``DEFAULT_TILE_BYTES``, or no tiling at all for the spill planner),
+    ``0`` means whole-tensor transfers, and any positive value is used
+    as-is. Negative sizes are rejected. Returns the effective tile size
+    in bytes, or ``None`` for whole-tensor granularity.
+    """
+    if tile_bytes is None:
+        return default
+    if tile_bytes == 0:
+        return None
+    if tile_bytes < 0:
+        from repro.exceptions import ReproError
+
+        raise ReproError(f"tile_bytes must be >= 0, got {tile_bytes}")
+    return tile_bytes
+
+
+def tile_spans(
+    total_bytes: int, tile_bytes: int | None
+) -> tuple[tuple[int, int], ...]:
+    """Partition ``total_bytes`` into ``(offset, size)`` tile spans.
+
+    This is *the* tile geometry — the simulator's trace builder, the
+    spill planner's tiler, and the executor's tiled transfer steps all
+    partition through here, so simulated and live traffic agree by
+    construction. ``tile_bytes=None`` (or a tensor no larger than one
+    tile) yields a single whole-tensor span; otherwise full tiles
+    followed by one remainder span. Span sizes always sum to
+    ``total_bytes`` exactly.
+    """
+    if tile_bytes is None or total_bytes <= tile_bytes:
+        return ((0, total_bytes),)
+    n_full, rem = divmod(total_bytes, tile_bytes)
+    spans = [(k * tile_bytes, tile_bytes) for k in range(n_full)]
+    if rem:
+        spans.append((n_full * tile_bytes, rem))
+    return tuple(spans)
 
 
 @dataclass(frozen=True)
@@ -104,12 +155,8 @@ def build_trace(
 
     def tiles_of(t: int) -> list[tuple[tuple[int, int], int]]:
         """[(object id, tile bytes)] for tensor t."""
-        total = idx.out_bytes[t]
-        if tile_bytes is None or total <= tile_bytes:
-            return [((t, 0), total)]
-        n_full, rem = divmod(total, tile_bytes)
-        sizes = [tile_bytes] * n_full + ([rem] if rem else [])
-        return [((t, k), sz) for k, sz in enumerate(sizes)]
+        spans = tile_spans(idx.out_bytes[t], tile_bytes)
+        return [((t, k), sz) for k, (_off, sz) in enumerate(spans)]
 
     raw: list[tuple[int, str, tuple[int, int], int, str]] = []
     for step, name in enumerate(schedule):

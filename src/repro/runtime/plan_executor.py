@@ -109,6 +109,7 @@ from repro.exceptions import ExecutionError
 from repro.graph.graph import Graph
 from repro.graph.node import Node
 from repro.memsim.hierarchy import OffchipLink, TrafficReport
+from repro.memsim.trace import tile_spans
 from repro.runtime.executor import Params, init_params
 from repro.runtime.kernels import (
     BATCH_KERNELS,
@@ -255,6 +256,9 @@ class PlanExecutionStats:
     #: max prefetch lead (schedule steps) the run executed with; 0
     #: means every transfer ran inline
     prefetch_lead: int = 0
+    #: transfer granularity spilled buffers streamed at (None =
+    #: whole-buffer staging)
+    tile_bytes: int | None = None
 
     @property
     def spill_bytes_total(self) -> int:
@@ -273,32 +277,94 @@ class PlanExecutionStats:
 _STEP_INPUT, _STEP_DIRECT, _STEP_COPY = 0, 1, 2
 #: spill data movement: fetch = home -> staging slot, writeback = back
 _STEP_FETCH, _STEP_WRITEBACK = 3, 4
-#: overlapped data movement: hand a (dst, src) copy to the transfer
-#: engine / wait until engine job #attrs (1-based) has completed
-_STEP_ENQUEUE, _STEP_SYNC = 5, 6
+#: tile staging hop between a tile slot and a spilled buffer's scratch
+#: backing store (on-chip move: copy-timed, never link-timed)
+_STEP_STAGE = 5
+#: overlapped data movement: hand a copy (or a multi-hop tile job) to
+#: the transfer engine / wait until engine job #attrs (1-based) is done
+_STEP_ENQUEUE, _STEP_SYNC = 6, 7
+
+
+def _range_add(ranges: list[tuple[int, int]], lo: int, hi: int) -> None:
+    """Merge byte interval ``[lo, hi)`` into a sorted disjoint list."""
+    if hi <= lo:
+        return
+    ranges.append((lo, hi))
+    ranges.sort()
+    merged = [ranges[0]]
+    for r_lo, r_hi in ranges[1:]:
+        if r_lo <= merged[-1][1]:
+            if r_hi > merged[-1][1]:
+                merged[-1] = (merged[-1][0], r_hi)
+        else:
+            merged.append((r_lo, r_hi))
+    ranges[:] = merged
+
+
+def _tile_pieces(
+    touch_ranges: list[tuple[int, int]],
+    clip_ranges: list[tuple[int, int]],
+    spans: tuple[tuple[int, int], ...],
+) -> list[tuple[int, int, int]]:
+    """Per-tile transfer pieces for one staging window.
+
+    A tile is moved iff it intersects ``touch_ranges`` (the bytes the
+    window's kernels actually bind — the memsim rule: traffic happens
+    at the granularity of touched tiles), and only the bytes inside
+    ``clip_ranges`` move (fetch clips to already-homed bytes, writeback
+    to bytes some kernel produced — the rest of the tile has no defined
+    value yet). Returns ``(lo, hi, slot_lo)`` pieces in buffer byte
+    coordinates; ``slot_lo`` is the piece's offset inside the (single,
+    tile-sized) staging slot its tile streams through."""
+    out: list[tuple[int, int, int]] = []
+    for t_lo, t_sz in spans:
+        t_hi = t_lo + t_sz
+        if not any(lo < t_hi and t_lo < hi for lo, hi in touch_ranges):
+            continue
+        for lo, hi in clip_ranges:
+            p_lo, p_hi = max(lo, t_lo), min(hi, t_hi)
+            if p_lo < p_hi:
+                out.append((p_lo, p_hi, p_lo - t_lo))
+    return out
 
 
 class _TransferEngine:
     """One background "DMA engine": a daemon thread draining a FIFO of
-    whole-buffer copies.
+    copies.
 
     A single queue gives every transfer a total order, which makes all
     engine-vs-engine hazards (writeback before the next fetch of the
-    same home; slot handoff between ping/pong windows) safe by
-    construction — the compute thread only needs explicit waits where
-    a kernel consumes bytes still in flight. NumPy copies release the
-    GIL for the bulk of the move (and a modeled
+    same home; slot handoff between ping/pong windows; tile-slot reuse
+    between consecutive tile pieces) safe by construction — the compute
+    thread only needs explicit waits where a kernel consumes bytes
+    still in flight. A job is a sequence of **hops** ``(dst, src,
+    linked)`` executed in order: a plain whole-buffer copy is one
+    linked hop, a tile piece is two (off-chip <-> tile slot, link-timed;
+    tile slot <-> scratch, a plain on-chip move). NumPy copies release
+    the GIL for the bulk of the move (and a modeled
     :class:`~repro.memsim.hierarchy.OffchipLink` sleeps, which also
     releases it), so engine transfers genuinely overlap compute."""
 
-    def __init__(self, link: OffchipLink | None = None) -> None:
+    def __init__(
+        self, link: OffchipLink | None = None, *, batch_sleeps: bool = False
+    ) -> None:
         self.link = link
+        #: pay modeled link time in >= quantum sleeps (tile streaming:
+        #: many tiny jobs whose individual sleeps would drown in
+        #: ``time.sleep`` syscall overhead); whole-buffer staging keeps
+        #: one sleep per job
+        self.batch_sleeps = batch_sleeps
         #: monotone job counters: job k is the k-th submitted copy
         self.enqueued = 0
         self.completed = 0
         #: wall-clock the engine spent moving bytes
         self.busy_s = 0.0
-        self._q: deque[tuple[np.ndarray, np.ndarray]] = deque()
+        self._q: deque[tuple[tuple[np.ndarray, np.ndarray, bool], ...]] = (
+            deque()
+        )
+        #: threads currently blocked on a completion — sleep batching
+        #: only defers completions nobody is observing
+        self._waiters = 0
         self._cond = threading.Condition()
         self._closed = False
         self._failure: BaseException | None = None
@@ -309,6 +375,13 @@ class _TransferEngine:
 
     def submit(self, dst: np.ndarray, src: np.ndarray) -> int:
         """Queue one copy; returns its 1-based job number."""
+        return self.submit_hops(((dst, src, True),))
+
+    def submit_hops(
+        self, hops: tuple[tuple[np.ndarray, np.ndarray, bool], ...]
+    ) -> int:
+        """Queue one multi-hop job (hops run in order); returns its
+        1-based job number."""
         with self._cond:
             if self._closed:
                 raise ExecutionError(
@@ -318,7 +391,7 @@ class _TransferEngine:
                 raise ExecutionError(
                     f"transfer engine failed: {self._failure!r}"
                 )
-            self._q.append((dst, src))
+            self._q.append(hops)
             self.enqueued += 1
             self._cond.notify_all()
             return self.enqueued
@@ -328,8 +401,12 @@ class _TransferEngine:
         wall-clock seconds spent waiting (the compute stall)."""
         t0 = time.perf_counter()
         with self._cond:
-            while self.completed < job and self._failure is None:
-                self._cond.wait()
+            self._waiters += 1
+            try:
+                while self.completed < job and self._failure is None:
+                    self._cond.wait()
+            finally:
+                self._waiters -= 1
             if self.completed < job:
                 raise ExecutionError(
                     f"transfer engine failed: {self._failure!r}"
@@ -340,8 +417,15 @@ class _TransferEngine:
         """Wait until the queue is empty (no error propagation) — used
         to leave no transfer in flight after a failed run."""
         with self._cond:
-            while self.completed < self.enqueued and self._failure is None:
-                self._cond.wait()
+            self._waiters += 1
+            try:
+                while (
+                    self.completed < self.enqueued
+                    and self._failure is None
+                ):
+                    self._cond.wait()
+            finally:
+                self._waiters -= 1
 
     def close(self) -> None:
         """Idempotent shutdown: the drain thread finishes queued jobs
@@ -350,28 +434,62 @@ class _TransferEngine:
             self._closed = True
             self._cond.notify_all()
 
+    #: modeled link time is paid in sleeps no shorter than this: a
+    #: host ``time.sleep`` costs ~100us of scheduler overhead however
+    #: short, which would bill a tile-granularity run 5x its modeled
+    #: link time. Jobs whose sleep is deferred stay *incomplete* until
+    #: the accumulated debt is slept off, so stall accounting can only
+    #: round up (by < one quantum per wait), never undercount — and
+    #: batching only ever defers completions nobody is observing: the
+    #: moment a thread blocks in wait()/quiesce(), the debt is flushed
+    #: after every job, restoring per-job completion granularity.
+    _SLEEP_QUANTUM_S = 2.5e-4
+
     def _drain(self) -> None:
+        debt = 0.0  # modeled link seconds owed but not yet slept
+        batch = 0  # jobs copied but not yet marked complete
         while True:
             with self._cond:
-                while not self._q and not self._closed:
+                while not self._q and not self._closed and not batch:
                     self._cond.wait()
-                if not self._q:
+                if not self._q and not batch:
                     return  # closed and drained
-                dst, src = self._q.popleft()
-            t0 = time.perf_counter()
-            try:
-                dst[...] = src
-                if self.link is not None:
-                    time.sleep(self.link.transfer_s(dst.nbytes))
-            except BaseException as exc:  # propagate to the next wait
+                hops = self._q.popleft() if self._q else None
+                queue_empty = not self._q
+            if hops is not None:
+                t0 = time.perf_counter()
+                try:
+                    for dst, src, linked in hops:
+                        dst[...] = src
+                        if linked and self.link is not None:
+                            debt += self.link.transfer_s(dst.nbytes)
+                except BaseException as exc:  # propagate to the next wait
+                    with self._cond:
+                        self._failure = exc
+                        self._cond.notify_all()
+                    return
+                batch += 1
                 with self._cond:
-                    self._failure = exc
+                    self.busy_s += time.perf_counter() - t0
+                    waited_on = self._waiters > 0
+            else:
+                with self._cond:
+                    waited_on = self._waiters > 0
+            if batch and (
+                queue_empty
+                or waited_on
+                or self.link is None
+                or not self.batch_sleeps
+                or debt >= self._SLEEP_QUANTUM_S
+            ):
+                if debt > 0.0:
+                    time.sleep(debt)
+                with self._cond:
+                    self.busy_s += debt
+                    self.completed += batch
                     self._cond.notify_all()
-                return
-            with self._cond:
-                self.busy_s += time.perf_counter() - t0
-                self.completed += 1
-                self._cond.notify_all()
+                debt = 0.0
+                batch = 0
 
 
 @dataclass(frozen=True)
@@ -565,7 +683,14 @@ class PlanExecutor:
             else {}
         )
         self._engine: _TransferEngine | None = (
-            _TransferEngine(link) if pf is not None else None
+            _TransferEngine(
+                link,
+                batch_sleeps=(
+                    spill is not None and spill.tile_bytes is not None
+                ),
+            )
+            if pf is not None
+            else None
         )
         self._region_offset: Mapping[int, int] = (
             pf.resident_offsets
@@ -608,6 +733,24 @@ class PlanExecutor:
         self._home_elem: dict[int, int] = {}
         self._touched_spilled: dict[str, tuple[int, ...]] = {}
         self._touch_count: dict[str, int] = {}
+        #: tile streaming (None = whole-buffer staging): staging slots
+        #: hold one tile, kernels bind scratch backing stores, and all
+        #: fetch/writeback traffic moves per-tile pieces
+        self._tile_bytes: int | None = (
+            spill.tile_bytes if spill is not None else None
+        )
+        if self._tile_bytes is not None and (
+            self._tile_bytes <= 0 or self._tile_bytes % self._itemsize
+        ):
+            raise ExecutionError(
+                f"spill plan tile_bytes ({self._tile_bytes}) must be a "
+                f"positive multiple of the {self._itemsize}-byte element "
+                "size"
+            )
+        #: per spilled buffer: staging-slot bytes (tile-clamped under
+        #: tiling, full size otherwise) and the shared tile geometry
+        self._slot_bytes: dict[int, int] = {}
+        self._tile_spans: dict[int, tuple[tuple[int, int], ...]] = {}
         spill_extent = 0
         window_extent = 0
         if spill is not None:
@@ -627,10 +770,18 @@ class PlanExecutor:
                     )
                 self._buf_elems[b] = size // self._itemsize
                 self._home_elem[b] = home // self._itemsize
+                if self._tile_bytes is None:
+                    self._slot_bytes[b] = size
+                else:
+                    self._slot_bytes[b] = min(size, self._tile_bytes)
+                    self._tile_spans[b] = tile_spans(size, self._tile_bytes)
                 spill_extent = max(spill_extent, home + size)
                 window_extent = max(
                     window_extent,
-                    max(w.offset + size for w in self._windows[b]),
+                    max(
+                        w.offset + self._slot_bytes[b]
+                        for w in self._windows[b]
+                    ),
                 )
             # homes must be pairwise disjoint — the plan document does
             # not carry buffer sizes, so this cross-check against the
@@ -705,6 +856,17 @@ class PlanExecutor:
         self._spill_arena = np.zeros(
             (self.batch_size, self._spill_elems), dtype=_EXEC_DTYPE
         )
+        #: tile mode: per-buffer backing stores kernels bind into while
+        #: tiles stream through the (single, tile-sized) staging slot —
+        #: the functional stand-in for a kernel consuming its operands
+        #: tile by tile, with the same per-tile traffic accounting as
+        #: the Fig 11 simulator
+        self._scratch: dict[int, np.ndarray] = {
+            b: np.zeros((self.batch_size, self._buf_elems[b]), _EXEC_DTYPE)
+            for b in (
+                sorted(self._spilled) if self._tile_bytes is not None else ()
+            )
+        }
         #: per-node views keyed by batch width (_UNBATCHED = row-0
         #: views with the spec's own shape; n >= 1 = (n, ...) views
         #: over the first n rows), built lazily per width
@@ -922,13 +1084,21 @@ class PlanExecutor:
     def _window_view(
         self, name: str, window: StageWindow, n: int
     ) -> np.ndarray:
-        """View of spilled node ``name`` inside its staged buffer slot."""
+        """View of spilled node ``name`` inside its staged buffer slot
+        (whole-buffer staging) or its scratch backing store (tile
+        streaming — the slot holds one tile at a time, so kernels bind
+        the full-tensor scratch instead)."""
         node = self.graph.node(name)
-        start = window.offset // self._itemsize + self._intra_elem[name]
+        start = self._intra_elem[name]
+        if self._tile_bytes is not None:
+            base = self._scratch[self._buf_of_name[name]]
+        else:
+            base = self._arena
+            start += window.offset // self._itemsize
         stop = start + node.output.elements
         if n == _UNBATCHED:
-            return self._arena[0, start:stop].reshape(node.output.shape)
-        return self._arena[:n, start:stop].reshape((n,) + node.output.shape)
+            return base[0, start:stop].reshape(node.output.shape)
+        return base[:n, start:stop].reshape((n,) + node.output.shape)
 
     def _stage_and_home(
         self, b: int, window: StageWindow, n: int
@@ -946,6 +1116,31 @@ class PlanExecutor:
         return (
             self._arena[:n, s0 : s0 + elems],
             self._spill_arena[:n, h0 : h0 + elems],
+        )
+
+    def _tile_views(
+        self, b: int, window: StageWindow, piece: tuple[int, int, int], n: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(slot, home, scratch) views for one tile piece of spilled
+        buffer ``b`` — raw element runs of ``piece``'s bytes, with the
+        slot view at the piece's intra-tile offset inside the window's
+        tile slot."""
+        lo, hi, slot_lo = piece
+        it = self._itemsize
+        ne = (hi - lo) // it
+        s0 = window.offset // it + slot_lo // it
+        h0 = self._home_elem[b] + lo // it
+        c0 = lo // it
+        if n == _UNBATCHED:
+            return (
+                self._arena[0, s0 : s0 + ne],
+                self._spill_arena[0, h0 : h0 + ne],
+                self._scratch[b][0, c0 : c0 + ne],
+            )
+        return (
+            self._arena[:n, s0 : s0 + ne],
+            self._spill_arena[:n, h0 : h0 + ne],
+            self._scratch[b][:n, c0 : c0 + ne],
         )
 
     def _compile_run_plan(
@@ -1017,21 +1212,63 @@ class PlanExecutor:
         last_in_win: dict[tuple[int, int], int] = {}
         last_touch: dict[int, int] = {}
         #: transfer events in executed order: (buffer, window, step
-        #: index) — fetch events at window entry, writeback events at
-        #: dirty window exit; placement happens after the replay.
+        #: index, pieces) — fetch events at window entry, writeback
+        #: events at dirty window exit; placement happens after the
+        #: replay. ``pieces`` is None for whole-buffer staging, or the
+        #: per-tile transfer pieces under tile streaming.
         #: ``entry_events`` records every window entry (fetching or
         #: not): prefetch placement needs to know when each staging
         #: slot is first touched to scope writeback syncs
-        fetch_events: list[tuple[int, StageWindow, int]] = []
-        wb_events: list[tuple[int, StageWindow, int]] = []
+        fetch_events: list[
+            tuple[int, StageWindow, int, list[tuple[int, int, int]] | None]
+        ] = []
+        wb_events: list[
+            tuple[int, StageWindow, int, list[tuple[int, int, int]] | None]
+        ] = []
         entry_events: list[tuple[int, StageWindow, int]] = []
+        tiled = self._tile_bytes is not None
+        #: tile mode: merged byte ranges each window's kernels bind
+        #: ((b, w.start) keyed), plus each buffer's windows in entry
+        #: order — scratch is shared across a buffer's windows, so a
+        #: tile fetch must trail every earlier window whose ranges
+        #: intersect the piece (disjoint windows can neither read nor
+        #: dirty the piece's scratch or home bytes)
+        win_ranges: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        win_order: list[tuple[int, int]] = []
+        #: tile mode, tracked in executed order: bytes some kernel has
+        #: produced (scratch holds them) / bytes written back to the
+        #: home (a later fetch may legally read exactly these)
+        produced: dict[int, list[tuple[int, int]]] = {}
+        homed: dict[int, list[tuple[int, int]]] = {}
         if spilled:
+            it = self._itemsize
             for oi, name in enumerate(order):
-                for b in self._touched_spilled.get(name, ()):
+                touched = self._touched_spilled.get(name, ())
+                for b in touched:
                     w = self._window_at(b, pos[name])
                     windows_at.setdefault(b, {})[oi] = w
                     last_in_win[(b, w.start)] = oi
                     last_touch[b] = oi
+                    if not tiled:
+                        continue
+                    if (b, w.start) not in win_ranges:
+                        win_order.append((b, w.start))
+                    acc = win_ranges.setdefault((b, w.start), [])
+                    for t in (name, *graph.node(name).inputs):
+                        if self._buf_of_name[t] != b:
+                            continue
+                        t_lo = self._intra_elem[t] * it
+                        _range_add(
+                            acc, t_lo, t_lo + graph.node(t).output.bytes
+                        )
+        #: per buffer, its windows in entry order as (start, last touch
+        #: executed index, touched ranges) — the per-piece fetch floor
+        #: scans this
+        win_seq: dict[int, list[tuple[int, int, list[tuple[int, int]]]]] = {}
+        for b, start in win_order:
+            win_seq.setdefault(b, []).append(
+                (start, last_in_win[(b, start)], win_ranges[(b, start)])
+            )
 
         for oi, name in enumerate(order):
             node = graph.node(name)
@@ -1045,10 +1282,23 @@ class PlanExecutor:
                 w = windows_at[b][oi]
                 if staged_win.get(b) is not w:
                     staged_win[b] = w
-                    staged_extent[b] = w.offset + model.buf_size[b]
+                    staged_extent[b] = w.offset + self._slot_bytes[b]
                     entry_events.append((b, w, oi))
-                    if b in written:
-                        fetch_events.append((b, w, oi))
+                    if tiled:
+                        # fetch = touched tiles clipped to home bytes a
+                        # previous writeback produced; never-homed bytes
+                        # the window reads are still live in scratch
+                        pieces = _tile_pieces(
+                            win_ranges[(b, w.start)],
+                            homed.get(b, []),
+                            self._tile_spans[b],
+                        )
+                        if pieces:
+                            fetch_events.append((b, w, oi, pieces))
+                            fetches += len(pieces)
+                            bytes_in += sum(p[1] - p[0] for p in pieces)
+                    elif b in written:
+                        fetch_events.append((b, w, oi, None))
                         fetches += 1
                         bytes_in += model.buf_size[b]
             if b_own not in spilled:
@@ -1127,21 +1377,44 @@ class PlanExecutor:
             if b_own in spilled:
                 written.add(b_own)
                 dirty.add(b_own)
+                if tiled:
+                    o_lo = self._intra_elem[name] * self._itemsize
+                    _range_add(
+                        produced.setdefault(b_own, []),
+                        o_lo,
+                        o_lo + node.output.bytes,
+                    )
             for b in self._touched_spilled.get(name, ()):
                 w = staged_win[b]
                 if last_in_win.get((b, w.start)) != oi:
                     continue  # window continues at a later executed step
                 has_later = last_touch[b] != oi
                 if b in dirty and (has_later or model.buf_persistent[b]):
-                    wb_events.append((b, w, oi))
-                    writebacks += 1
-                    bytes_out += model.buf_size[b]
+                    if tiled:
+                        # writeback = touched tiles clipped to produced
+                        # bytes (the rest has no defined value)
+                        pieces = _tile_pieces(
+                            win_ranges[(b, w.start)],
+                            produced.get(b, []),
+                            self._tile_spans[b],
+                        )
+                        wb_events.append((b, w, oi, pieces))
+                        writebacks += len(pieces)
+                        bytes_out += sum(p[1] - p[0] for p in pieces)
+                        hb = homed.setdefault(b, [])
+                        for p_lo, p_hi, _s in pieces:
+                            _range_add(hb, p_lo, p_hi)
+                    else:
+                        wb_events.append((b, w, oi, None))
+                        writebacks += 1
+                        bytes_out += model.buf_size[b]
                     dirty.discard(b)
                 elif not has_later:
                     dirty.discard(b)
                 staged_extent.pop(b, None)
         steps, total_jobs = self._place_transfers(
-            order, kernel_rows, fetch_events, wb_events, entry_events, n
+            order, kernel_rows, fetch_events, wb_events, entry_events,
+            win_seq, n
         )
         return _RunPlan(
             steps=steps,
@@ -1161,19 +1434,26 @@ class PlanExecutor:
         self,
         order: tuple[str, ...],
         kernel_rows: list[tuple],
-        fetch_events: list[tuple[int, StageWindow, int]],
-        wb_events: list[tuple[int, StageWindow, int]],
+        fetch_events: list,
+        wb_events: list,
         entry_events: list[tuple[int, StageWindow, int]],
+        win_seq: dict[int, list[tuple[int, int, list[tuple[int, int]]]]],
         n: int,
     ) -> tuple[tuple[tuple, ...], int]:
         """Interleave the collected transfer events with the kernel rows.
 
         Without an engine this reproduces the historical inline order
         exactly: a step's fetches immediately before its kernel row, its
-        writebacks immediately after. With the engine, leaded windows
-        route through the FIFO instead, under the placement rules
-        documented on :meth:`_compile_run_plan`; zero-lead windows stay
-        inline. Returns ``(steps, total engine jobs per run)``.
+        writebacks immediately after — a tile piece expands to a
+        link-timed FETCH/WRITEBACK through the tile slot plus a plain
+        STAGE hop between slot and scratch. With the engine, leaded
+        windows route through the FIFO instead, under the placement
+        rules documented on :meth:`_compile_run_plan`; zero-lead
+        whole-buffer windows stay inline, while *every* tile piece
+        rides the engine as one two-hop job — the FIFO totally orders
+        all tile-slot accesses, which is what makes the single
+        engine-private slot race-free. Returns ``(steps, total engine
+        jobs per run)``.
         """
         if self._engine is None:
             steps: list[tuple] = []
@@ -1181,37 +1461,65 @@ class PlanExecutor:
             nf, nw = len(fetch_events), len(wb_events)
             for oi, row in enumerate(kernel_rows):
                 while fi < nf and fetch_events[fi][2] == oi:
-                    b, w, _ = fetch_events[fi]
-                    stage, home = self._stage_and_home(b, w, n)
-                    steps.append(
-                        (
-                            _STEP_FETCH,
-                            f"<fetch:b{b}>",
-                            stage,
-                            None,
-                            (home,),
-                            None,
-                            None,
-                            None,
+                    b, w, _, pieces = fetch_events[fi]
+                    if pieces is None:
+                        stage, home = self._stage_and_home(b, w, n)
+                        steps.append(
+                            (
+                                _STEP_FETCH,
+                                f"<fetch:b{b}>",
+                                stage,
+                                None,
+                                (home,),
+                                None,
+                                None,
+                                None,
+                            )
                         )
-                    )
+                    else:
+                        for piece in pieces:
+                            slot, home, scr = self._tile_views(
+                                b, w, piece, n
+                            )
+                            steps.append(
+                                (_STEP_FETCH, f"<fetch:b{b}>", slot, None,
+                                 (home,), None, None, None)
+                            )
+                            steps.append(
+                                (_STEP_STAGE, f"<stage:b{b}>", scr, None,
+                                 (slot,), None, None, None)
+                            )
                     fi += 1
                 steps.append(row)
                 while wi < nw and wb_events[wi][2] == oi:
-                    b, w, _ = wb_events[wi]
-                    stage, home = self._stage_and_home(b, w, n)
-                    steps.append(
-                        (
-                            _STEP_WRITEBACK,
-                            f"<writeback:b{b}>",
-                            home,
-                            None,
-                            (stage,),
-                            None,
-                            None,
-                            None,
+                    b, w, _, pieces = wb_events[wi]
+                    if pieces is None:
+                        stage, home = self._stage_and_home(b, w, n)
+                        steps.append(
+                            (
+                                _STEP_WRITEBACK,
+                                f"<writeback:b{b}>",
+                                home,
+                                None,
+                                (stage,),
+                                None,
+                                None,
+                                None,
+                            )
                         )
-                    )
+                    else:
+                        for piece in pieces:
+                            slot, home, scr = self._tile_views(
+                                b, w, piece, n
+                            )
+                            steps.append(
+                                (_STEP_STAGE, f"<stage:b{b}>", slot, None,
+                                 (scr,), None, None, None)
+                            )
+                            steps.append(
+                                (_STEP_WRITEBACK, f"<writeback:b{b}>",
+                                 home, None, (slot,), None, None, None)
+                            )
                     wi += 1
             return tuple(steps), 0
 
@@ -1223,30 +1531,59 @@ class PlanExecutor:
         # home bytes the previous writeback produces, so its enqueue
         # can never cross that writeback
         wb_exits: dict[int, list[int]] = {}
-        for b, _w, oi in wb_events:
+        for b, _w, oi, _p in wb_events:
             wb_exits.setdefault(b, []).append(oi)
         inline_f: dict[int, list[tuple[int, StageWindow]]] = {}
         inline_w: dict[int, list[tuple[int, StageWindow]]] = {}
-        #: enqueue oi -> [(buffer, window, entry oi)]
-        eng_f: dict[int, list[tuple[int, StageWindow, int]]] = {}
-        #: exit oi -> [(buffer, window, due oi)]
-        eng_w: dict[int, list[tuple[int, StageWindow, int]]] = {}
+        #: enqueue oi -> [(buffer, window, entry oi, piece|None)]
+        eng_f: dict[int, list[tuple]] = {}
+        #: exit oi -> [(buffer, window, due oi, piece|None)]
+        eng_w: dict[int, list[tuple]] = {}
         #: (buffer, window start) pairs whose fetch routes through the
         #: engine — their window-entry fetch sync already orders every
         #: earlier FIFO job before the first kernel touch of the slot
         eng_fetch_windows: set[tuple[int, int]] = set()
-        for b, w, entry_oi in fetch_events:
+        for b, w, entry_oi, pieces in fetch_events:
             lead = self._lead_of.get((b, w.start), 0)
-            if lead == 0:
+            if pieces is None and lead == 0:
                 inline_f.setdefault(entry_oi, []).append((b, w))
                 continue
             eo = bisect.bisect_left(sched, max(0, w.start - lead))
-            exits = wb_exits.get(b, ())
-            i = bisect.bisect_left(exits, entry_oi)
-            if i:
-                eo = max(eo, exits[i - 1] + 1)
-            eo = min(eo, entry_oi)
-            eng_f.setdefault(eo, []).append((b, w, entry_oi))
+            if pieces is None:
+                exits = wb_exits.get(b, ())
+                i = bisect.bisect_left(exits, entry_oi)
+                if i:
+                    eo = max(eo, exits[i - 1] + 1)
+                eng_f.setdefault(min(eo, entry_oi), []).append(
+                    (b, w, entry_oi, None)
+                )
+            else:
+                # per-piece floor: the fetch writes scratch[piece] (hop
+                # 2) and reads home[piece] (hop 1), so it must trail the
+                # last earlier window of b whose touched ranges
+                # intersect the piece — that window's kernels read/write
+                # exactly those scratch bytes and its exit writeback
+                # (FIFO-enqueued at its last touch) refreshes exactly
+                # those home bytes. Windows touching disjoint ranges
+                # impose nothing, which is what lets consecutive
+                # windows of a hot buffer keep their full prefetch lead.
+                prior = [
+                    (wp_last, wp_ranges)
+                    for wp_start, wp_last, wp_ranges in win_seq[b]
+                    if wp_start < w.start
+                ]
+                for piece in pieces:
+                    p_lo, p_hi = piece[0], piece[1]
+                    floor = 0
+                    for wp_last, wp_ranges in prior:
+                        if wp_last + 1 > floor and any(
+                            r_lo < p_hi and p_lo < r_hi
+                            for r_lo, r_hi in wp_ranges
+                        ):
+                            floor = wp_last + 1
+                    eng_f.setdefault(
+                        min(max(eo, floor), entry_oi), []
+                    ).append((b, w, entry_oi, piece))
             eng_fetch_windows.add((b, w.start))
         size = self.model.buf_size
         # staging slots share the region with resident buffers (the
@@ -1255,12 +1592,22 @@ class PlanExecutor:
         # whose lifetime starts after the window's extended reservation
         # — collect each resident buffer's producing-write steps
         resident_writes: dict[int, list[int]] = {}
+        #: spilled buffers' own-write steps with the byte range each
+        #: kernel produces — a tiled writeback piece only waits on
+        #: later writes that overlap its bytes
+        scratch_writes: dict[int, list[tuple[int, int, int]]] = {}
         spilled = self._spilled
+        it = self._itemsize
         for oi, name in enumerate(order):
             r = self._buf_of_name[name]
             if r not in spilled:
                 resident_writes.setdefault(r, []).append(oi)
-        for b, w, exit_oi in wb_events:
+            else:
+                o_lo = self._intra_elem[name] * it
+                scratch_writes.setdefault(r, []).append(
+                    (oi, o_lo, o_lo + self.graph.node(name).output.bytes)
+                )
+        for b, w, exit_oi, pieces in wb_events:
             # every writeback rides the engine (no lead needed): it
             # must only land before its staging slot is next touched
             # from the compute thread — the first later window
@@ -1271,22 +1618,46 @@ class PlanExecutor:
             # after this writeback, so the FIFO handles those.
             # Home-byte readers are fetches of the same buffer: engine
             # ones are FIFO-ordered, inline ones sync explicitly below.
-            lo, hi = w.offset, w.offset + size[b]
+            lo, hi = w.offset, w.offset + self._slot_bytes[b]
             due = n_exec
-            for b2, w2, e2 in entry_events:
-                if e2 <= exit_oi or e2 >= due:
-                    continue
-                if (b2, w2.start) in eng_fetch_windows:
-                    continue
-                if w2.offset < hi and lo < w2.offset + size[b2]:
-                    due = e2
+            if pieces is None:
+                for b2, w2, e2 in entry_events:
+                    if e2 <= exit_oi or e2 >= due:
+                        continue
+                    if (b2, w2.start) in eng_fetch_windows:
+                        continue
+                    if w2.offset < hi and lo < w2.offset + self._slot_bytes[b2]:
+                        due = e2
             for r, ois in resident_writes.items():
                 off = self._region_offset[r]
                 if off < hi and lo < off + size[r]:
                     i = bisect.bisect_right(ois, exit_oi)
                     if i < len(ois) and ois[i] < due:
                         due = ois[i]
-            eng_w.setdefault(exit_oi, []).append((b, w, due))
+            if pieces is None:
+                eng_w.setdefault(exit_oi, []).append((b, w, due, None))
+            else:
+                # tiled: compute never touches tile slots (kernels bind
+                # scratch), and every tiled transfer rides the FIFO, so
+                # slot conflicts are engine-vs-engine and ordered by
+                # enqueue position. The compute-side hazard is the
+                # drain's scratch read racing a later own write of b —
+                # but only one that overlaps the piece's bytes; each
+                # tensor is produced once, so disjoint-range writebacks
+                # drain lazily off the critical path.
+                ws = scratch_writes.get(b, ())
+                for piece in pieces:
+                    p_lo, p_hi = piece[0], piece[1]
+                    p_due = due
+                    for w_oi, w_lo, w_hi in ws:
+                        if w_oi <= exit_oi:
+                            continue
+                        if w_oi >= p_due:
+                            break
+                        if w_lo < p_hi and p_lo < w_hi:
+                            p_due = w_oi
+                            break
+                    eng_w.setdefault(exit_oi, []).append((b, w, p_due, piece))
 
         # FIFO job numbers follow step-table enqueue order: walk the
         # executed order once, fetch enqueues before writeback enqueues
@@ -1295,10 +1666,10 @@ class PlanExecutor:
         need_at = [0] * n_exec
         eng_wb_hist: dict[int, list[tuple[int, int]]] = {}
         for oi in range(n_exec):
-            for b, w, entry_oi in eng_f.get(oi, ()):
+            for b, w, entry_oi, _piece in eng_f.get(oi, ()):
                 job += 1
                 need_at[entry_oi] = max(need_at[entry_oi], job)
-            for b, w, due in eng_w.get(oi, ()):
+            for b, w, due, _piece in eng_w.get(oi, ()):
                 job += 1
                 if due < n_exec:
                     need_at[due] = max(need_at[due], job)
@@ -1322,20 +1693,28 @@ class PlanExecutor:
         steps = []
         guaranteed = 0
         for oi, row in enumerate(kernel_rows):
-            for b, w, _entry in eng_f.get(oi, ()):
-                stage, home = self._stage_and_home(b, w, n)
-                steps.append(
-                    (
-                        _STEP_ENQUEUE,
-                        f"<prefetch:b{b}>",
-                        stage,
-                        None,
-                        (home,),
-                        None,
-                        None,
-                        None,
+            for b, w, _entry, piece in eng_f.get(oi, ()):
+                if piece is None:
+                    stage, home = self._stage_and_home(b, w, n)
+                    steps.append(
+                        (
+                            _STEP_ENQUEUE,
+                            f"<prefetch:b{b}>",
+                            stage,
+                            None,
+                            (home,),
+                            None,
+                            None,
+                            None,
+                        )
                     )
-                )
+                else:
+                    slot, home, scr = self._tile_views(b, w, piece, n)
+                    hops = ((slot, home, True), (scr, slot, False))
+                    steps.append(
+                        (_STEP_ENQUEUE, f"<prefetch:b{b}>", None, None,
+                         (), hops, None, None)
+                    )
             need = need_at[oi]
             if need > guaranteed:
                 steps.append(
@@ -1372,20 +1751,28 @@ class PlanExecutor:
                         None,
                     )
                 )
-            for b, w, _due in eng_w.get(oi, ()):
-                stage, home = self._stage_and_home(b, w, n)
-                steps.append(
-                    (
-                        _STEP_ENQUEUE,
-                        f"<drain:b{b}>",
-                        home,
-                        None,
-                        (stage,),
-                        None,
-                        None,
-                        None,
+            for b, w, _due, piece in eng_w.get(oi, ()):
+                if piece is None:
+                    stage, home = self._stage_and_home(b, w, n)
+                    steps.append(
+                        (
+                            _STEP_ENQUEUE,
+                            f"<drain:b{b}>",
+                            home,
+                            None,
+                            (stage,),
+                            None,
+                            None,
+                            None,
+                        )
                     )
-                )
+                else:
+                    slot, home, scr = self._tile_views(b, w, piece, n)
+                    hops = ((slot, scr, False), (home, slot, True))
+                    steps.append(
+                        (_STEP_ENQUEUE, f"<drain:b{b}>", None, None,
+                         (), hops, None, None)
+                    )
         return tuple(steps), total_jobs
 
     def _get_plan(self, wanted: list[str] | None, n: int) -> "_RunPlan":
@@ -1525,6 +1912,8 @@ class PlanExecutor:
             self._arena.fill(0.0)
             if self._spill_elems:
                 self._spill_arena.fill(0.0)
+            for scr in self._scratch.values():
+                scr.fill(0.0)
         reused = self.scrub != "fresh" and self.runs > 0
 
         engine = self._engine
@@ -1555,7 +1944,10 @@ class PlanExecutor:
                 shape,
             ) in plan.steps:
                 if kind == _STEP_ENQUEUE:
-                    engine.submit(site, args[0])  # type: ignore[union-attr]
+                    if site is None:  # tiled two-hop job
+                        engine.submit_hops(attrs)  # type: ignore[union-attr]
+                    else:
+                        engine.submit(site, args[0])  # type: ignore[union-attr]
                     continue
                 if kind == _STEP_SYNC:
                     engine_wait_s += engine.wait(  # type: ignore[union-attr]
@@ -1563,11 +1955,13 @@ class PlanExecutor:
                     )
                     continue
                 if kind >= _STEP_FETCH:
-                    # fetch / writeback: whole-buffer byte moves the
-                    # compute stream waits out (the inline stall)
+                    # fetch / writeback: byte moves the compute stream
+                    # waits out (the inline stall); STAGE is the
+                    # on-chip slot<->scratch hop of a tile move, which
+                    # never pays the off-chip link
                     t0 = time.perf_counter()
                     site[...] = args[0]
-                    if link is not None:
+                    if link is not None and kind != _STEP_STAGE:
                         time.sleep(link.transfer_s(site.nbytes))
                     inline_stall_s += time.perf_counter() - t0
                     continue
@@ -1632,6 +2026,7 @@ class PlanExecutor:
             prefetch_lead=(
                 self._prefetch.lead_steps if self._prefetch is not None else 0
             ),
+            tile_bytes=self._tile_bytes,
         )
         return {w: snapshots[w] for w in wanted}
 
@@ -1680,4 +2075,5 @@ class PlanExecutor:
             accesses=stats.spill_accesses,
             stall_s=stats.spill_stall_s,
             hidden_s=stats.spill_hidden_s,
+            tile_bytes=stats.tile_bytes,
         )

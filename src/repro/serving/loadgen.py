@@ -64,6 +64,9 @@ class LoadReport:
     spill_bytes: int = 0
     #: whether spilled executors ran with the background prefetch engine
     prefetch: bool = True
+    #: staging tile size spilled executors streamed at (``None`` =
+    #: whole-buffer staging)
+    tile_bytes: int | None = None
     #: transfer seconds runs stalled on vs hid behind compute (sums
     #: over every executor run in the window)
     spill_stall_s: float = 0.0
@@ -191,6 +194,7 @@ def run_load(
     preload: bool = False,
     spill: str = "never",
     spill_policy: str = "belady",
+    tile_bytes: int | None = None,
     prefetch: bool = True,
     link: OffchipLink | None = None,
     shards: int = 1,
@@ -268,6 +272,7 @@ def run_load(
             reuse=reuse,
             spill=spill,
             spill_policy=spill_policy,
+            tile_bytes=tile_bytes,
             prefetch=prefetch,
             link=link,
             preload=preload,
@@ -288,6 +293,7 @@ def run_load(
             batch_size=batch_size,
             spill=spill,
             spill_policy=spill_policy,
+            tile_bytes=tile_bytes,
             prefetch=prefetch,
             link=link,
         )
@@ -382,6 +388,7 @@ def run_load(
         spill=spill,
         spill_bytes=stats.spill_bytes,
         prefetch=prefetch,
+        tile_bytes=tile_bytes,
         spill_stall_s=stats.spill_stall_s,
         spill_hidden_s=stats.spill_hidden_s,
         shards=shards,

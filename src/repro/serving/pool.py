@@ -134,6 +134,11 @@ class ArenaPool:
     spill_policy:
         Replacement policy ranking spill victims (``belady`` | ``lru``
         | ``fifo`` — the Fig 11 simulator's registry).
+    tile_bytes:
+        Transfer granularity for spill-planned executors: ``None``
+        stages whole buffers; a positive size streams sub-buffer tiles,
+        admitting models at capacities below the whole-buffer floor
+        (the Fig 11 small-capacity regime, live).
     prefetch:
         ``True`` (default) runs spilled executors' transfers on the
         background prefetch engine when their plan carries a
@@ -156,6 +161,7 @@ class ArenaPool:
         batch_size: int = 1,
         spill: str = "never",
         spill_policy: str = "belady",
+        tile_bytes: int | None = None,
         prefetch: bool = True,
         link: OffchipLink | None = None,
     ) -> None:
@@ -175,6 +181,7 @@ class ArenaPool:
         self.batch_size = batch_size
         self.spill = spill
         self.spill_policy = spill_policy
+        self.tile_bytes = tile_bytes
         self.prefetch = prefetch
         self.link = link
         self._cond = threading.Condition()
@@ -214,7 +221,9 @@ class ArenaPool:
         ):
             return None
         try:
-            return model.spill_plan(per_row, policy=self.spill_policy)
+            return model.spill_plan(
+                per_row, policy=self.spill_policy, tile_bytes=self.tile_bytes
+            )
         except SpillError as exc:
             raise AdmissionError(
                 f"model {name!r} cannot be admitted even with spilling: "

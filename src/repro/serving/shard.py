@@ -387,6 +387,7 @@ class _ShardConfig:
     scrub: str
     spill: str
     spill_policy: str
+    tile_bytes: int | None
     prefetch: bool
     link: OffchipLink | None
     preload: bool
@@ -447,6 +448,7 @@ class _ShardWorker:
             batch_size=cfg.batch_size,
             spill=cfg.spill,
             spill_policy=cfg.spill_policy,
+            tile_bytes=cfg.tile_bytes,
             prefetch=cfg.prefetch,
             link=cfg.link,
         )
@@ -844,6 +846,7 @@ class ShardedScheduler:
         reuse: bool = True,
         spill: str = "never",
         spill_policy: str = "belady",
+        tile_bytes: int | None = None,
         prefetch: bool = True,
         link: OffchipLink | None = None,
         preload: bool = False,
@@ -907,6 +910,7 @@ class ShardedScheduler:
         self.scrub = scrub
         self.spill = spill
         self.spill_policy = spill_policy
+        self.tile_bytes = tile_bytes
         self.prefetch = prefetch
         self.link = link
         self.preload = preload
@@ -1057,6 +1061,7 @@ class ShardedScheduler:
             scrub=self.scrub,
             spill=self.spill,
             spill_policy=self.spill_policy,
+            tile_bytes=self.tile_bytes,
             prefetch=self.prefetch,
             link=self.link,
             preload=self.preload,

@@ -101,6 +101,113 @@ class TestPlanSpill:
                     assert w.start <= s < w.end
 
 
+class TestTiledPlan:
+    """Tile-granularity staging: the floor drops to the largest tile
+    working set and plans exist below the whole-buffer floor."""
+
+    TILE = 8192
+
+    def test_tiled_floor_at_most_whole_floor(self, compiled_cell):
+        graph, schedule, _, model = compiled_cell
+        floor = min_capacity_bytes(graph, schedule, model)
+        tile_floor = min_capacity_bytes(
+            graph, schedule, model, tile_bytes=self.TILE
+        )
+        assert 0 < tile_floor <= floor
+
+    def test_tiled_floor_strictly_below_for_large_buffers(self):
+        out = run_strategy("greedy", get_cell("randwire-c100-b").factory())
+        graph, schedule = out.scheduled_graph, out.schedule
+        floor = min_capacity_bytes(graph, schedule)
+        tile_floor = min_capacity_bytes(graph, schedule, tile_bytes=self.TILE)
+        assert tile_floor < floor
+
+    def test_plans_below_whole_buffer_floor(self, compiled_cell):
+        graph, schedule, plan, model = compiled_cell
+        floor = min_capacity_bytes(graph, schedule, model)
+        tile_floor = min_capacity_bytes(
+            graph, schedule, model, tile_bytes=self.TILE
+        )
+        cap = max(tile_floor, min(floor - 1, tile_floor * 2))
+        if cap >= floor:
+            pytest.skip("cell has no tile headroom below the whole floor")
+        with pytest.raises(SpillError):
+            plan_spill(graph, schedule, plan, cap)
+        sp = plan_spill(graph, schedule, plan, cap, tile_bytes=self.TILE)
+        assert sp.tile_bytes == self.TILE
+        assert not sp.is_trivial
+        assert sp.resident_bytes <= cap
+
+    def test_tiled_plan_deterministic(self, compiled_cell):
+        graph, schedule, plan, _ = compiled_cell
+        cap = int(plan.arena_bytes * 0.6)
+        assert plan_spill(
+            graph, schedule, plan, cap, tile_bytes=self.TILE
+        ) == plan_spill(graph, schedule, plan, cap, tile_bytes=self.TILE)
+
+    def test_tile_zero_means_whole_buffer(self, compiled_cell):
+        graph, schedule, plan, _ = compiled_cell
+        cap = int(plan.arena_bytes * 0.7)
+        assert plan_spill(
+            graph, schedule, plan, cap, tile_bytes=0
+        ) == plan_spill(graph, schedule, plan, cap)
+
+    def test_negative_tile_rejected(self, compiled_cell):
+        graph, schedule, plan, model = compiled_cell
+        with pytest.raises(Exception, match="tile_bytes"):
+            plan_spill(
+                graph, schedule, plan, plan.arena_bytes, tile_bytes=-4
+            )
+        with pytest.raises(Exception, match="tile_bytes"):
+            min_capacity_bytes(graph, schedule, model, tile_bytes=-4)
+
+    def test_below_tiled_floor_still_raises(self, compiled_cell):
+        graph, schedule, plan, model = compiled_cell
+        tile_floor = min_capacity_bytes(
+            graph, schedule, model, tile_bytes=self.TILE
+        )
+        with pytest.raises(SpillError):
+            plan_spill(
+                graph, schedule, plan, tile_floor - 8, tile_bytes=self.TILE
+            )
+
+    def test_doc_round_trip_preserves_tile_bytes(self, compiled_cell):
+        graph, schedule, plan, _ = compiled_cell
+        sp = plan_spill(
+            graph,
+            schedule,
+            plan,
+            int(plan.arena_bytes * 0.6),
+            tile_bytes=self.TILE,
+        )
+        doc = sp.to_doc()
+        assert doc["tile_bytes"] == self.TILE
+        assert SpillPlan.from_doc(doc) == sp
+
+    def test_untiled_doc_is_legacy_identical(self, compiled_cell):
+        """Whole-buffer plans serialize without a tile key at all, so
+        artifacts written before tiling existed stay byte-identical."""
+        graph, schedule, plan, _ = compiled_cell
+        sp = plan_spill(graph, schedule, plan, int(plan.arena_bytes * 0.7))
+        doc = sp.to_doc()
+        assert "tile_bytes" not in doc
+        assert SpillPlan.from_doc(doc).tile_bytes is None
+
+    def test_nonpositive_doc_tile_rejected(self, compiled_cell):
+        graph, schedule, plan, _ = compiled_cell
+        sp = plan_spill(
+            graph,
+            schedule,
+            plan,
+            int(plan.arena_bytes * 0.6),
+            tile_bytes=self.TILE,
+        )
+        doc = sp.to_doc()
+        doc["tile_bytes"] = 0
+        with pytest.raises(SpillError, match="tile_bytes"):
+            SpillPlan.from_doc(doc)
+
+
 class TestSpillPlanDoc:
     def test_round_trip(self, compiled_cell):
         graph, schedule, plan, _ = compiled_cell

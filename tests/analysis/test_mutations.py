@@ -24,7 +24,8 @@ from repro.models.suite import get_cell, suite_cells
 @pytest.fixture(scope="module")
 def artifact_doc():
     """A real artifact rich enough for every mutation class: embedded
-    spill plan, prefetch layout, multi-window staged buffers."""
+    spill plan, prefetch layout, multi-window staged buffers, and a
+    tiled plan below the whole-buffer floor for the tile classes."""
     model = CompilationPipeline("greedy").compile(
         get_cell("randwire-c10-a").factory()
     )
@@ -33,7 +34,18 @@ def artifact_doc():
     sp = plan_spill(
         model.graph, model.schedule, model.plan, cap, prefetch_lead=8
     )
-    return replace(model, spill_plans=(sp,)).to_doc()
+    tile_floor = min_capacity_bytes(
+        model.graph, model.schedule, tile_bytes=8192
+    )
+    sp_tiled = plan_spill(
+        model.graph,
+        model.schedule,
+        model.plan,
+        max(tile_floor, min(floor - 1, tile_floor * 2)),
+        prefetch_lead=8,
+        tile_bytes=8192,
+    )
+    return replace(model, spill_plans=(sp, sp_tiled)).to_doc()
 
 
 class TestCorpus:
@@ -99,6 +111,9 @@ class TestNoFalsePositives:
                     max(floor, arena),
                 }
             )
+            tile_floor = min_capacity_bytes(
+                model.graph, model.schedule, tile_bytes=8192
+            )
             for lead in (0, 8):
                 spills = tuple(
                     plan_spill(
@@ -109,6 +124,24 @@ class TestNoFalsePositives:
                         prefetch_lead=lead,
                     )
                     for cap in capacities
+                ) + tuple(
+                    plan_spill(
+                        model.graph,
+                        model.schedule,
+                        model.plan,
+                        cap,
+                        prefetch_lead=lead,
+                        tile_bytes=8192,
+                    )
+                    # the tile floor itself can be defeated by allocator
+                    # fragmentation; 2x floor (clamped below the whole-
+                    # buffer floor) always plans
+                    for cap in sorted(
+                        {
+                            max(tile_floor, min(floor - 1, tile_floor * 2)),
+                            max(floor, arena // 2),
+                        }
+                    )
                 )
                 report = analyze_plan(
                     model.graph,

@@ -52,6 +52,31 @@ class TestCleanExecutors:
         report = px.shadow_check()
         assert report.ok and len(report) == 0, report.summary()
 
+    def test_tiled_below_whole_floor(self, compiled):
+        """The shadow replay covers tile-granularity transfer rows —
+        at a capacity whole-buffer staging cannot even plan."""
+        whole = compiled.spill_floor_bytes
+        tile_floor = compiled.spill_floor_for(8192)
+        cap = max(tile_floor, min(whole - 1, tile_floor * 2))
+        if cap >= whole:
+            pytest.skip("no tile headroom below the whole floor")
+        px = compiled.executor(
+            seed=0, capacity_bytes=cap, tile_bytes=8192, prefetch=False
+        )
+        report = px.shadow_check()
+        assert report.ok and len(report) == 0, report.summary()
+
+    def test_tiled_prefetch_batched(self, compiled):
+        px = compiled.executor(
+            seed=0,
+            batch_size=4,
+            capacity_bytes=_spill_capacity(compiled),
+            tile_bytes=8192,
+            prefetch=True,
+        )
+        report = px.shadow_check()
+        assert report.ok and len(report) == 0, report.summary()
+
     def test_outputs_unaffected_by_checking(self, compiled):
         import numpy as np
 

@@ -220,6 +220,74 @@ class TestDiagnosticMechanics:
         assert report.ok and "warning" in report.summary()
 
 
+class TestTiledSpillInvariants:
+    """Tile-streamed plans: clean passes below the whole-buffer floor,
+    and the tile-specific invariants trigger on corruption."""
+
+    @pytest.fixture(scope="class")
+    def tiled(self, compiled):
+        """The compiled model with a tiled plan embedded at a capacity
+        whole-buffer staging cannot plan."""
+        floor = min_capacity_bytes(compiled.graph, compiled.schedule)
+        tile_floor = min_capacity_bytes(
+            compiled.graph, compiled.schedule, tile_bytes=8192
+        )
+        cap = max(tile_floor, min(floor - 1, tile_floor * 2))
+        assert cap < floor, "fixture cell must have tile headroom"
+        sp = plan_spill(
+            compiled.graph,
+            compiled.schedule,
+            compiled.plan,
+            cap,
+            prefetch_lead=8,
+            tile_bytes=8192,
+        )
+        return replace(compiled, spill_plans=(sp,)), sp
+
+    def test_clean_tiled_plan_passes_full(self, tiled):
+        model, sp = tiled
+        assert sp.tile_bytes == 8192
+        report = analyze_model(model, level="full", batch_sizes=(1, 8))
+        assert report.ok and len(report) == 0, report.summary()
+
+    def test_tiled_artifact_round_trip_passes(self, tiled):
+        model, _ = tiled
+        doc = json.loads(json.dumps(model.to_doc()))
+        report = analyze_artifact(doc, level="full")
+        assert report.ok and len(report) == 0, report.summary()
+
+    def test_nonpositive_tile_flags_geometry(self, tiled):
+        model, sp = tiled
+        # bypass from_doc validation: corrupt the in-memory plan
+        bad = replace(sp, tile_bytes=-8)
+        report = analyze_plan(
+            model.graph, model.schedule, model.plan, (bad,), level="full"
+        )
+        assert not report.ok
+        assert "SPILL_TILE_GEOMETRY" in report.codes()
+
+    def test_whole_buffer_capacity_now_below_tiled_floor(self, tiled):
+        """Stripping tile_bytes from a below-floor tiled plan leaves a
+        capacity no whole-buffer configuration can execute."""
+        model, sp = tiled
+        bad = replace(sp, tile_bytes=None)
+        report = analyze_plan(
+            model.graph, model.schedule, model.plan, (bad,), level="full"
+        )
+        assert not report.ok
+        assert "SPILL_FLOOR" in report.codes()
+
+    def test_shrunk_tile_breaks_slot_layout(self, tiled):
+        """Window offsets are laid out for min(size, tile) slots; a
+        different tile size must be caught, not silently reinterpreted."""
+        model, sp = tiled
+        bad = replace(sp, tile_bytes=sp.tile_bytes * 64)
+        report = analyze_plan(
+            model.graph, model.schedule, model.plan, (bad,), level="full"
+        )
+        assert not report.ok, "64x tile slots must not fit the same layout"
+
+
 class TestLoadVerification:
     def test_corrupt_artifact_fails_load(self, compiled, tmp_path):
         doc = compiled.to_doc()

@@ -138,6 +138,45 @@ class TestArtifactRoundTrip:
         # and a computed plan for the same capacity is identical
         assert model.spill_plan(cap) == plan
 
+    def test_tiled_spill_plan_memo_keyed_by_tile(self, tmp_path):
+        """spill_plan memoizes per (capacity, policy, tile_bytes), and
+        an embedded tiled plan is served only to a matching request."""
+        from dataclasses import replace
+
+        from repro.models.suite import get_cell
+
+        model = CompilationPipeline("greedy").compile(
+            get_cell("randwire-c10-b").factory()
+        )
+        cap = (model.spill_floor_bytes + model.arena_bytes) // 2
+        tiled = model.spill_plan(cap, tile_bytes=8192)
+        whole = model.spill_plan(cap)
+        assert tiled.tile_bytes == 8192 and whole.tile_bytes is None
+        assert tiled != whole
+        # memoized per key: same object back, never cross-served
+        assert model.spill_plan(cap, tile_bytes=8192) is tiled
+        assert model.spill_plan(cap) is whole
+        # an embedded tiled plan round-trips and only matches tiled asks
+        loaded = CompiledModel.load(
+            replace(model, spill_plans=(tiled,)).save(tmp_path / "t.json")
+        )
+        assert loaded.spill_plan(cap, tile_bytes=8192) is loaded.spill_plans[0]
+        assert loaded.spill_plan(cap).tile_bytes is None
+
+    def test_tiled_floor_memo(self):
+        from repro.allocator.spill import min_capacity_bytes
+        from repro.models.suite import get_cell
+
+        model = CompilationPipeline("greedy").compile(
+            get_cell("randwire-c10-b").factory()
+        )
+        assert model.spill_floor_for(None) == model.spill_floor_bytes
+        tiled = model.spill_floor_for(8192)
+        assert tiled == min_capacity_bytes(
+            model.graph, model.schedule, tile_bytes=8192
+        )
+        assert tiled < model.spill_floor_bytes
+
     def test_spill_executor_from_capacity(self, diamond_graph):
         from repro.runtime import random_feeds
 

@@ -428,6 +428,107 @@ class TestSpillCLI:
         assert "--policy only applies to fig11" in capsys.readouterr().err
 
 
+class TestTileCLI:
+    """--tile-bytes through compile/run/serve: tile streaming serves
+    capacities whole-buffer staging refuses outright."""
+
+    @pytest.fixture()
+    def bounds(self):
+        from repro.compiler import CompilationPipeline
+        from repro.models.suite import get_cell
+
+        model = CompilationPipeline("greedy").compile(
+            get_cell("randwire-c10-b").factory()
+        )
+        floor = model.spill_floor_bytes
+        tile_floor = model.spill_floor_for(8192)
+        below = max(tile_floor, min(floor - 1, tile_floor * 2))
+        assert below < floor, "fixture cell must have tile headroom"
+        return below, floor
+
+    def test_compile_run_tiled_below_whole_floor(
+        self, tmp_path, bounds, capsys
+    ):
+        below, _ = bounds
+        cap_kib = below / 1024
+        out = tmp_path / "tiled.json"
+        # whole-buffer staging cannot plan this capacity at all
+        assert (
+            main(
+                [
+                    "compile", "--cell", "randwire-c10-b",
+                    "-o", str(tmp_path / "x.json"),
+                    "--strategy", "greedy", "--no-cache",
+                    "--capacity", f"{cap_kib}",
+                ]
+            )
+            == 1
+        )
+        assert "cannot spill-plan" in capsys.readouterr().err
+        # tile streaming plans, embeds, and runs it bitwise
+        assert (
+            main(
+                [
+                    "compile", "--cell", "randwire-c10-b", "-o", str(out),
+                    "--strategy", "greedy", "--no-cache",
+                    "--capacity", f"{cap_kib}", "--tile-bytes", "8192",
+                ]
+            )
+            == 0
+        )
+        assert "tiles" in capsys.readouterr().out
+        from repro.compiler import CompiledModel
+
+        model = CompiledModel.load(out)
+        assert len(model.spill_plans) == 1
+        assert model.spill_plans[0].tile_bytes == 8192
+        assert main(["verify-plan", str(out), "--level", "full"]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "run", str(out), "--capacity", f"{cap_kib}",
+                    "--tile-bytes", "8192", "--verify",
+                ]
+            )
+            == 0
+        )
+        run_out = capsys.readouterr().out
+        assert "off-chip traffic" in run_out
+        assert "bitwise-equal" in run_out
+
+    def test_serve_tiled_below_whole_floor(self, bounds, capsys):
+        below, _ = bounds
+        assert (
+            main(
+                [
+                    "serve", "--cell", "randwire-c10-b",
+                    "--strategy", "greedy", "--no-cache",
+                    "--requests", "6", "--clients", "2", "--workers", "1",
+                    "--max-batch", "1",
+                    "--budget-kb", f"{below / 1024}",
+                    "--spill", "auto", "--tile-bytes", "8192", "--verify",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "off-chip spill traffic" in out
+        assert "bitwise-equal to reference executor" in out
+
+    def test_negative_tile_bytes_rejected(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "compile", "--cell", "randwire-c10-b",
+                    "-o", str(tmp_path / "x.json"),
+                    "--strategy", "greedy", "--no-cache",
+                    "--capacity", "64", "--tile-bytes", "-8",
+                ]
+            )
+        assert "tile size must be >= 0" in capsys.readouterr().err
+
+
 class TestVerifyPlanCLI:
     """`verify-plan`: the static analyzer as a CI gate."""
 

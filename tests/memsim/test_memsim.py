@@ -5,7 +5,13 @@ import pytest
 from repro.graph.builder import GraphBuilder
 from repro.memsim.hierarchy import MemoryHierarchySimulator, offchip_traffic
 from repro.memsim.policies import BeladyPolicy, FIFOPolicy, LRUPolicy, make_policy
-from repro.memsim.trace import build_trace
+from repro.exceptions import ReproError
+from repro.memsim.trace import (
+    DEFAULT_TILE_BYTES,
+    build_trace,
+    resolve_tile_bytes,
+    tile_spans,
+)
 from repro.scheduler.schedule import Schedule
 from repro.scheduler.topological import kahn_schedule, random_topological
 
@@ -81,6 +87,70 @@ class TestTrace:
         trace = build_trace(g, kahn_schedule(g), tile_bytes=256)
         sizes = [a.size for a in trace.accesses]
         assert sorted(sizes) == [44, 256]
+
+
+class TestTileGeometry:
+    """The shared tile geometry: simulator, spill planner, and tiled
+    executor all partition buffers through the same two helpers, so
+    these edge cases are load-bearing for every consumer at once."""
+
+    def test_resolve_none_takes_callers_default(self):
+        assert resolve_tile_bytes(None) == DEFAULT_TILE_BYTES
+        # the spill planner's calling convention: None means untiled
+        assert resolve_tile_bytes(None, default=None) is None
+
+    def test_resolve_zero_means_whole_tensor(self):
+        assert resolve_tile_bytes(0) is None
+        assert resolve_tile_bytes(0, default=None) is None
+
+    def test_resolve_positive_passthrough(self):
+        assert resolve_tile_bytes(4096) == 4096
+        assert resolve_tile_bytes(1) == 1
+
+    def test_resolve_negative_rejected(self):
+        with pytest.raises(ReproError, match="tile_bytes"):
+            resolve_tile_bytes(-1)
+
+    def test_spans_untiled_is_one_whole_span(self):
+        assert tile_spans(300, None) == ((0, 300),)
+
+    def test_spans_tensor_no_larger_than_tile(self):
+        assert tile_spans(256, 256) == ((0, 256),)
+        assert tile_spans(100, 256) == ((0, 100),)
+
+    def test_spans_non_divisible_has_remainder(self):
+        spans = tile_spans(300, 128)
+        assert spans == ((0, 128), (128, 128), (256, 44))
+
+    def test_spans_divisible_all_full(self):
+        spans = tile_spans(512, 128)
+        assert all(size == 128 for _, size in spans)
+        assert len(spans) == 4
+
+    def test_spans_are_contiguous_and_exhaustive(self):
+        for total in (1, 44, 255, 256, 257, 300, 8192, 8193):
+            for tile in (1, 7, 64, 256, None):
+                spans = tile_spans(total, tile)
+                cursor = 0
+                for off, size in spans:
+                    assert off == cursor and size > 0
+                    cursor += size
+                assert cursor == total
+
+    def test_trace_sizes_match_tile_spans(self, chain_graph, chain_sched):
+        """The trace builder's per-tensor access sizes are exactly the
+        shared geometry's span sizes — no private re-derivation."""
+        trace = build_trace(chain_graph, chain_sched, tile_bytes=256)
+        for node in chain_graph.nodes:
+            writes = [
+                a.size
+                for a in trace.accesses
+                if a.node == node.name and a.kind == "write"
+            ]
+            if not writes:
+                continue
+            expected = [s for _, s in tile_spans(node.output_bytes, 256)]
+            assert writes == expected
 
 
 class TestPolicies:

@@ -122,6 +122,155 @@ class TestSpillParityMatrix:
             assert stats.spilled_buffers == len(spill.spilled)
 
 
+TILE_BYTES = 8192
+
+
+def _tiled_capacity(cell) -> int | None:
+    """A capacity strictly below the whole-buffer floor that tiled
+    staging can plan (the tile floor itself can be defeated by
+    allocator fragmentation; 2x floor clamped below the whole floor
+    always plans). ``None`` when the cell has no tile headroom."""
+    tile_floor = min_capacity_bytes(
+        cell["graph"], cell["schedule"], tile_bytes=TILE_BYTES
+    )
+    cap = max(tile_floor, min(cell["floor"] - 1, tile_floor * 2))
+    return cap if cap < cell["floor"] else None
+
+
+def _tiled_plan(cell, lead: int):
+    key = ("tiled", lead)
+    if key not in cell["spills"]:
+        cap = _tiled_capacity(cell)
+        if cap is None:
+            cell["spills"][key] = None
+        else:
+            cell["spills"][key] = plan_spill(
+                cell["graph"],
+                cell["schedule"],
+                cell["plan"],
+                cap,
+                prefetch_lead=lead,
+                tile_bytes=TILE_BYTES,
+            )
+    return cell["spills"][key]
+
+
+class TestTiledParityMatrix:
+    """Tile streaming below the whole-buffer floor: every suite cell,
+    prefetch on and off — capacities whole-buffer staging *refuses*
+    must run bitwise-equal, twice per configuration."""
+
+    @pytest.mark.parametrize("lead", [0, 8])
+    @pytest.mark.parametrize("key", [c.key for c in suite_cells()])
+    def test_cell_tiled_below_floor_parity(self, spill_suite, key, lead):
+        cell = spill_suite(key)
+        spill = _tiled_plan(cell, lead)
+        if spill is None:
+            pytest.skip(f"{key}: no tile headroom below the whole floor")
+        # the defining property: whole-buffer staging cannot plan here
+        from repro.exceptions import SpillError
+
+        with pytest.raises(SpillError):
+            plan_spill(
+                cell["graph"],
+                cell["schedule"],
+                cell["plan"],
+                spill.capacity_bytes,
+            )
+        feeds, _, want = _references(cell, 1)
+        px = PlanExecutor(
+            cell["graph"],
+            cell["schedule"],
+            cell["plan"],
+            params=cell["params"],
+            spill=spill,
+        )
+        for _round in range(2):
+            got = px.run(feeds[0])
+            for name in want[0]:
+                np.testing.assert_array_equal(want[0][name], got[name])
+        stats = px.last_stats
+        assert stats.tile_bytes == TILE_BYTES
+        assert stats.spill_bytes_total > 0
+        assert stats.measured_peak_bytes <= spill.capacity_bytes
+        if lead:
+            assert spill.prefetch is not None
+
+    @pytest.mark.parametrize("scrub", SCRUBS)
+    @pytest.mark.parametrize("n", BATCH_WIDTHS)
+    @pytest.mark.parametrize("key", ["randwire-c10-b", "randwire-c100-c"])
+    def test_tiled_batch_scrub_matrix(self, spill_suite, key, n, scrub):
+        cell = spill_suite(key)
+        spill = _tiled_plan(cell, 8)
+        if spill is None:
+            pytest.skip(f"{key}: no tile headroom below the whole floor")
+        feeds, stacked, want = _references(cell, n)
+        px = PlanExecutor(
+            cell["graph"],
+            cell["schedule"],
+            cell["plan"],
+            params=cell["params"],
+            batch_size=n,
+            scrub=scrub,
+            spill=spill,
+        )
+        for _round in range(2):
+            got = px.run(feeds[0]) if n == 1 else px.run_batch(stacked)
+            for b in range(n):
+                for name in want[b]:
+                    sample = got[name] if n == 1 else got[name][b]
+                    np.testing.assert_array_equal(want[b][name], sample)
+        stats = px.last_stats
+        n_eff = 1 if n == 1 else n
+        assert stats.tile_bytes == TILE_BYTES
+        assert stats.spill_bytes_total > 0
+        assert stats.spill_bytes_total % n_eff == 0
+
+    def test_tiled_moves_no_more_than_whole_at_equal_capacity(
+        self, spill_suite
+    ):
+        """Range-clipped tile pieces never move more bytes than
+        whole-buffer staging at the same capacity."""
+        cell = spill_suite("randwire-c100-c")
+        cap = _capacity(cell, 0.5)
+        whole = plan_spill(
+            cell["graph"], cell["schedule"], cell["plan"], cap
+        )
+        tiled = plan_spill(
+            cell["graph"],
+            cell["schedule"],
+            cell["plan"],
+            cap,
+            tile_bytes=TILE_BYTES,
+        )
+        assert not whole.is_trivial
+        feeds, _, _ = _references(cell, 1)
+        moved = {}
+        for label, sp in (("whole", whole), ("tiled", tiled)):
+            px = PlanExecutor(
+                cell["graph"], cell["schedule"], cell["plan"],
+                params=cell["params"], spill=sp,
+            )
+            px.run(feeds[0])
+            moved[label] = px.last_stats.spill_bytes_total
+        assert moved["tiled"] <= moved["whole"]
+
+    def test_traffic_report_carries_tile_bytes(self, spill_suite):
+        cell = spill_suite("randwire-c10-b")
+        spill = _tiled_plan(cell, 0)
+        if spill is None:
+            pytest.skip("no tile headroom below the whole floor")
+        px = PlanExecutor(
+            cell["graph"], cell["schedule"], cell["plan"],
+            params=cell["params"], spill=spill,
+        )
+        feeds, _, _ = _references(cell, 1)
+        px.run(feeds[0])
+        report = px.traffic_report()
+        assert report.tile_bytes == TILE_BYTES
+        assert report.total_bytes == px.last_stats.spill_bytes_total
+
+
 class TestSpillSemantics:
     def test_batched_traffic_is_n_times_solo(self, spill_suite):
         cell = spill_suite("randwire-c100-c")

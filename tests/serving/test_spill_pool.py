@@ -132,6 +132,88 @@ class TestSpilledAdmission:
             pool.release(name, executor)
 
 
+@pytest.fixture(scope="module")
+def tiled_registry():
+    """The micro serving cells' buffers are smaller than one tile, so
+    tile streaming cannot drop their floor; tile admission needs a
+    real suite cell with multi-tile buffers."""
+    from repro.models.suite import get_cell
+
+    reg = ModelRegistry()
+    reg.register(
+        CompilationPipeline("greedy").compile(
+            get_cell("randwire-c10-b").factory()
+        ),
+        name="rw-c10-b",
+    )
+    return reg
+
+
+class TestTileStreamingAdmission:
+    """tile_bytes on the pool: admission below the whole-buffer floor."""
+
+    TILE = 8192
+
+    @classmethod
+    def _tile_bounds(cls, registry, name):
+        model = registry.get(name)
+        floor = model.spill_floor_bytes
+        tile_floor = model.spill_floor_for(cls.TILE)
+        below = max(tile_floor, min(floor - 1, tile_floor * 2))
+        assert below < floor, "fixture cell must have tile headroom"
+        return below, floor
+
+    def test_tiled_pool_admits_below_whole_floor(self, tiled_registry):
+        name = tiled_registry.names()[0]
+        below, _ = self._tile_bounds(tiled_registry, name)
+        # whole-buffer staging refuses this budget outright
+        whole = ArenaPool(tiled_registry, below, spill="auto")
+        with pytest.raises(AdmissionError, match="even with spilling"):
+            whole.acquire(name)
+        pool = ArenaPool(
+            tiled_registry, below, spill="auto", tile_bytes=self.TILE
+        )
+        executor = pool.acquire(name)
+        try:
+            assert executor.spill is not None
+            assert executor.spill.tile_bytes == self.TILE
+            graph = tiled_registry.get(name).graph
+            feeds = random_feeds(graph, seed=5)
+            got = executor.run(feeds)
+            ref = Executor(graph, params=executor.params).run(feeds)
+            for k in ref:
+                np.testing.assert_array_equal(ref[k], got[k])
+            assert executor.last_stats.tile_bytes == self.TILE
+            assert executor.last_stats.spill_bytes_total > 0
+        finally:
+            pool.release(name, executor)
+
+    def test_run_load_threads_tile_bytes(self, tiled_registry):
+        name = tiled_registry.names()[0]
+        below, _ = self._tile_bounds(tiled_registry, name)
+        report = run_load(
+            tiled_registry,
+            requests=8,
+            clients=2,
+            workers=1,
+            max_batch=1,
+            budget=below,
+            spill="auto",
+            tile_bytes=self.TILE,
+            verify=True,
+        )
+        assert report.errors == 0
+        assert report.verified is True
+        assert report.tile_bytes == self.TILE
+        assert report.spill_bytes > 0
+
+    def test_untiled_report_has_no_tile_bytes(self, registry):
+        report = run_load(
+            registry, requests=4, clients=1, workers=1, max_batch=1
+        )
+        assert report.tile_bytes is None
+
+
 class TestServingStatsSurface:
     def test_run_load_spill_auto_serves_and_accounts(self, registry):
         budget = _tight_budget(registry)

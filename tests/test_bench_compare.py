@@ -1,0 +1,174 @@
+"""CI benchmark diffing: flatten/classify/compare/gate semantics."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare",
+    Path(__file__).resolve().parents[1] / "scripts" / "bench_compare.py",
+)
+bench_compare = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_compare)
+
+
+class TestFlatten:
+    def test_nested_paths(self):
+        doc = {"a": {"b": 1, "c": [2, {"d": 3}]}, "e": True}
+        assert dict(bench_compare.flatten(doc)) == {
+            "a.b": 1,
+            "a.c.0": 2,
+            "a.c.1.d": 3,
+            "e": True,
+        }
+
+    def test_scalar_root(self):
+        assert dict(bench_compare.flatten(7)) == {"": 7}
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "path,kind",
+        [
+            ("serving.batch_speedup", "ratio"),
+            ("prefetch.hidden_fraction", "ratio"),
+            ("req_per_s_pooled_vs_fresh", "ratio"),
+            ("served.errors", "error"),
+            ("tile.bitwise_mismatches", "error"),
+            ("served.verified_bitwise", "verified"),
+            ("served.req_per_s", "info"),
+            ("stall_tiled_s", "info"),
+            ("moved_whole_bytes", "info"),
+        ],
+    )
+    def test_kinds(self, path, kind):
+        assert bench_compare.classify(path) == kind
+
+
+class TestCompare:
+    def _one(self, base, curr, **kw):
+        rows, regressions = bench_compare.compare(base, curr, **kw)
+        return rows, regressions
+
+    def test_unchanged_is_empty(self):
+        doc = {"quick": False, "x": {"speedup": 2.0, "req_per_s": 10.0}}
+        rows, regs = self._one(doc, json.loads(json.dumps(doc)))
+        assert rows == [] and regs == []
+
+    def test_ratio_drop_past_threshold_gates(self):
+        base = {"quick": False, "speedup": 2.0}
+        curr = {"quick": False, "speedup": 1.0}
+        _, regs = self._one(base, curr, threshold=0.25)
+        assert [r["path"] for r in regs] == ["speedup"]
+
+    def test_ratio_drop_within_threshold_passes(self):
+        base = {"quick": False, "speedup": 2.0}
+        curr = {"quick": False, "speedup": 1.9}
+        _, regs = self._one(base, curr, threshold=0.25)
+        assert regs == []
+
+    def test_ratio_improvement_never_gates(self):
+        base = {"quick": False, "speedup": 2.0}
+        curr = {"quick": False, "speedup": 9.0}
+        _, regs = self._one(base, curr)
+        assert regs == []
+
+    def test_near_zero_ratio_is_report_only(self):
+        """A 0.0005 -> 0 hidden_fraction drop is noise, not a regression."""
+        base = {"quick": False, "hidden_fraction": 0.0005}
+        curr = {"quick": False, "hidden_fraction": 0.0}
+        rows, regs = self._one(base, curr, threshold=0.25)
+        assert regs == []
+        assert rows[0]["verdict"] == "changed"
+
+    def test_mode_mismatch_disables_ratio_gating(self):
+        """Full-mode committed baseline vs quick-mode CI smoke: fewer
+        reps/requests make ratios incomparable — report, don't gate."""
+        base = {"quick": False, "speedup": 2.0}
+        curr = {"quick": True, "speedup": 1.0}
+        _, regs = self._one(base, curr, threshold=0.25)
+        assert regs == []
+
+    def test_mode_mismatch_still_gates_correctness(self):
+        base = {"quick": False, "served": {"errors": 0}}
+        curr = {"quick": True, "served": {"errors": 3}}
+        _, regs = self._one(base, curr)
+        assert [r["path"] for r in regs] == ["served.errors"]
+
+    def test_error_count_growth_gates(self):
+        base = {"quick": False, "served": {"errors": 0, "mismatches": 0}}
+        curr = {"quick": False, "served": {"errors": 0, "mismatches": 2}}
+        _, regs = self._one(base, curr)
+        assert [r["path"] for r in regs] == ["served.mismatches"]
+
+    def test_error_count_shrink_passes(self):
+        base = {"quick": False, "errors": 2}
+        curr = {"quick": False, "errors": 0}
+        _, regs = self._one(base, curr)
+        assert regs == []
+
+    def test_verified_flip_gates(self):
+        base = {"quick": False, "verified_bitwise": True}
+        curr = {"quick": False, "verified_bitwise": False}
+        _, regs = self._one(base, curr)
+        assert [r["path"] for r in regs] == ["verified_bitwise"]
+
+    def test_verified_becoming_true_passes(self):
+        base = {"quick": False, "verified_bitwise": False}
+        curr = {"quick": False, "verified_bitwise": True}
+        _, regs = self._one(base, curr)
+        assert regs == []
+
+    def test_added_and_removed_paths_never_gate(self):
+        base = {"quick": False, "old_speedup": 2.0}
+        curr = {"quick": False, "tile_staging": {"speedup": 0.1}}
+        rows, regs = self._one(base, curr)
+        assert regs == []
+        verdicts = {r["path"]: r["verdict"] for r in rows}
+        assert verdicts["old_speedup"] == "removed"
+        assert verdicts["tile_staging.speedup"] == "added"
+
+    def test_absolute_throughput_never_gates(self):
+        base = {"quick": False, "req_per_s": 100.0, "stall_s": 0.001}
+        curr = {"quick": False, "req_per_s": 10.0, "stall_s": 5.0}
+        _, regs = self._one(base, curr)
+        assert regs == []
+
+
+class TestRender:
+    def test_markdown_table(self):
+        base = {"quick": False, "speedup": 2.0}
+        curr = {"quick": False, "speedup": 1.0}
+        rows, regs = bench_compare.compare(base, curr, threshold=0.25)
+        text = bench_compare.render(rows, regs, markdown=True)
+        assert "| metric |" in text
+        assert "**REGRESSED**" in text
+        assert "1 regression(s)" in text
+
+    def test_plain_no_changes(self):
+        assert "unchanged" in bench_compare.render([], [], markdown=False)
+
+
+class TestMain:
+    def _write(self, tmp_path, name, doc):
+        p = tmp_path / name
+        p.write_text(json.dumps(doc))
+        return str(p)
+
+    def test_exit_zero_clean(self, tmp_path, capsys):
+        b = self._write(tmp_path, "b.json", {"quick": False, "speedup": 2.0})
+        c = self._write(tmp_path, "c.json", {"quick": False, "speedup": 2.1})
+        assert bench_compare.main([b, c]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path):
+        b = self._write(tmp_path, "b.json", {"quick": False, "speedup": 2.0})
+        c = self._write(tmp_path, "c.json", {"quick": False, "speedup": 0.5})
+        assert bench_compare.main([b, c, "--threshold", "0.25"]) == 1
+
+    def test_exit_two_unreadable(self, tmp_path, capsys):
+        c = self._write(tmp_path, "c.json", {})
+        assert bench_compare.main([str(tmp_path / "nope.json"), c]) == 2
+        assert "cannot read" in capsys.readouterr().err
